@@ -1,0 +1,227 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Class, Program};
+
+/// Sizes of the train/validation/test splits, per class.
+///
+/// [`DatasetSpec::paper`] matches the paper's Table I exactly; the
+/// `quick` and `tiny` presets scale it down for CI and interactive runs
+/// while preserving the class ratios (training balanced; test
+/// malware-heavy like the VirusTotal test set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Clean training samples.
+    pub train_clean: usize,
+    /// Malware training samples.
+    pub train_malware: usize,
+    /// Clean validation samples.
+    pub val_clean: usize,
+    /// Malware validation samples.
+    pub val_malware: usize,
+    /// Clean test samples.
+    pub test_clean: usize,
+    /// Malware test samples.
+    pub test_malware: usize,
+}
+
+impl DatasetSpec {
+    /// The paper's Table I: train 57 170 (28 594 clean / 28 576 malware),
+    /// validation 578 (280 / 298), test 45 028 (16 154 / 28 874).
+    pub fn paper() -> Self {
+        DatasetSpec {
+            train_clean: 28_594,
+            train_malware: 28_576,
+            val_clean: 280,
+            val_malware: 298,
+            test_clean: 16_154,
+            test_malware: 28_874,
+        }
+    }
+
+    /// A laptop-scale preset (~1/16 of paper) preserving the class ratios.
+    pub fn quick() -> Self {
+        DatasetSpec {
+            train_clean: 1_787,
+            train_malware: 1_786,
+            val_clean: 70,
+            val_malware: 74,
+            test_clean: 1_010,
+            test_malware: 1_805,
+        }
+    }
+
+    /// A tiny preset for unit tests.
+    pub fn tiny() -> Self {
+        DatasetSpec {
+            train_clean: 60,
+            train_malware: 60,
+            val_clean: 10,
+            val_malware: 10,
+            test_clean: 40,
+            test_malware: 60,
+        }
+    }
+
+    /// Total training samples.
+    pub fn train_total(&self) -> usize {
+        self.train_clean + self.train_malware
+    }
+
+    /// Total validation samples.
+    pub fn val_total(&self) -> usize {
+        self.val_clean + self.val_malware
+    }
+
+    /// Total test samples.
+    pub fn test_total(&self) -> usize {
+        self.test_clean + self.test_malware
+    }
+}
+
+/// A generated train/validation/test corpus of [`Program`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    train: Vec<Program>,
+    val: Vec<Program>,
+    test: Vec<Program>,
+}
+
+impl Dataset {
+    /// Assembles a dataset from explicit splits.
+    pub fn new(train: Vec<Program>, val: Vec<Program>, test: Vec<Program>) -> Self {
+        Dataset { train, val, test }
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &[Program] {
+        &self.train
+    }
+
+    /// The validation split.
+    pub fn val(&self) -> &[Program] {
+        &self.val
+    }
+
+    /// The test split.
+    pub fn test(&self) -> &[Program] {
+        &self.test
+    }
+
+    /// Hard labels (0 = clean, 1 = malware) for a split.
+    pub fn labels(split: &[Program]) -> Vec<usize> {
+        split.iter().map(|p| p.class().label()).collect()
+    }
+
+    /// `(clean, malware)` counts of a split.
+    pub fn class_counts(split: &[Program]) -> (usize, usize) {
+        let malware = split.iter().filter(|p| p.class() == Class::Malware).count();
+        (split.len() - malware, malware)
+    }
+
+    /// Indices of a split's samples belonging to `class`.
+    pub fn indices_of(split: &[Program], class: Class) -> Vec<usize> {
+        split
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.class() == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the dataset summary in the shape of the paper's Table I.
+    pub fn render_table_i(&self) -> String {
+        let (tc, tm) = Self::class_counts(&self.train);
+        let (vc, vm) = Self::class_counts(&self.val);
+        let (ec, em) = Self::class_counts(&self.test);
+        let mut s = String::new();
+        s.push_str("Dataset          Number of Samples\n");
+        s.push_str(&format!(
+            "Training Set     {} ({tc} clean and {tm} malware)\n",
+            self.train.len()
+        ));
+        s.push_str(&format!(
+            "Validation Set   {} ({vc} clean and {vm} malware)\n",
+            self.val.len()
+        ));
+        s.push_str(&format!(
+            "Test Set         {} ({ec} clean and {em} malware)\n",
+            self.test.len()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{World, WorldConfig};
+
+    #[test]
+    fn paper_spec_matches_table_i() {
+        let s = DatasetSpec::paper();
+        assert_eq!(s.train_total(), 57_170);
+        assert_eq!(s.val_total(), 578);
+        assert_eq!(s.test_total(), 45_028);
+        assert_eq!(s.train_clean, 28_594);
+        assert_eq!(s.test_malware, 28_874);
+    }
+
+    #[test]
+    fn quick_preserves_ratio_roughly() {
+        let s = DatasetSpec::quick();
+        // training balanced
+        assert!((s.train_clean as i64 - s.train_malware as i64).abs() <= 5);
+        // test malware-heavy like the paper (64% malware)
+        let ratio = s.test_malware as f64 / s.test_total() as f64;
+        assert!((ratio - 0.64).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn build_dataset_honours_spec() {
+        let world = World::new(WorldConfig::default());
+        let spec = DatasetSpec::tiny();
+        let ds = world.build_dataset(&spec, 42);
+        assert_eq!(ds.train().len(), spec.train_total());
+        assert_eq!(ds.val().len(), spec.val_total());
+        assert_eq!(ds.test().len(), spec.test_total());
+        assert_eq!(Dataset::class_counts(ds.train()), (60, 60));
+        assert_eq!(Dataset::class_counts(ds.test()), (40, 60));
+    }
+
+    #[test]
+    fn build_dataset_is_deterministic() {
+        let world = World::default();
+        let spec = DatasetSpec::tiny();
+        assert_eq!(world.build_dataset(&spec, 1), world.build_dataset(&spec, 1));
+        assert_ne!(world.build_dataset(&spec, 1), world.build_dataset(&spec, 2));
+    }
+
+    #[test]
+    fn splits_use_independent_streams() {
+        // Train and test of the same seed must differ (different streams).
+        let world = World::default();
+        let ds = world.build_dataset(&DatasetSpec::tiny(), 9);
+        assert_ne!(ds.train()[..40], ds.test()[..40]);
+    }
+
+    #[test]
+    fn labels_and_indices() {
+        let world = World::default();
+        let ds = world.build_dataset(&DatasetSpec::tiny(), 3);
+        let labels = Dataset::labels(ds.test());
+        assert_eq!(labels.len(), ds.test().len());
+        let mal_idx = Dataset::indices_of(ds.test(), Class::Malware);
+        assert_eq!(mal_idx.len(), 60);
+        assert!(mal_idx.iter().all(|&i| labels[i] == 1));
+    }
+
+    #[test]
+    fn table_i_rendering_contains_counts() {
+        let world = World::default();
+        let ds = world.build_dataset(&DatasetSpec::tiny(), 3);
+        let table = ds.render_table_i();
+        assert!(table.contains("Training Set"));
+        assert!(table.contains("120 (60 clean and 60 malware)"));
+        assert!(table.contains("100 (40 clean and 60 malware)"));
+    }
+}

@@ -1,0 +1,213 @@
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth class of a program: the label the detector learns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Benign software ("clean" in the paper's tables).
+    Clean,
+    /// Malicious software.
+    Malware,
+}
+
+impl Class {
+    /// The label index used for training (clean = 0, malware = 1 —
+    /// matching the paper's Equation 1, where target class 0 is clean).
+    pub fn label(self) -> usize {
+        match self {
+            Class::Clean => 0,
+            Class::Malware => 1,
+        }
+    }
+
+    /// Converts a label index back into a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label > 1`.
+    pub fn from_label(label: usize) -> Self {
+        match label {
+            0 => Class::Clean,
+            1 => Class::Malware,
+            _ => panic!("class label must be 0 or 1, got {label}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Class::Clean => "clean",
+            Class::Malware => "malware",
+        })
+    }
+}
+
+/// Behavioural family of a synthetic program.
+///
+/// The real corpus mixes many kinds of software; families give the
+/// synthetic world the same within-class diversity. Each family has its
+/// own API-usage profile (see [`profile`](crate::profile)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    // --- benign families ---
+    /// Document/office-style software: heavy file + UI usage.
+    Office,
+    /// Developer tooling: module loading, console, file churn.
+    DevTool,
+    /// Media software: GDI-heavy, file reads.
+    MediaPlayer,
+    /// System utilities: registry, services, system info.
+    SystemUtility,
+    /// Network clients: sockets and HTTP without dropper behaviour.
+    Browser,
+    // --- malware families ---
+    /// Process injectors: `writeprocessmemory`, `createremotethread`, ….
+    Injector,
+    /// Droppers: download + write + execute.
+    Dropper,
+    /// Keyloggers: hooks and key-state polling.
+    Keylogger,
+    /// Ransomware: crypto + file enumeration + deletion.
+    Ransomware,
+    /// Backdoors: sockets, shell, persistence via registry/services.
+    Backdoor,
+}
+
+impl Family {
+    /// All benign families.
+    pub const BENIGN: [Family; 5] = [
+        Family::Office,
+        Family::DevTool,
+        Family::MediaPlayer,
+        Family::SystemUtility,
+        Family::Browser,
+    ];
+
+    /// All malware families.
+    pub const MALWARE: [Family; 5] = [
+        Family::Injector,
+        Family::Dropper,
+        Family::Keylogger,
+        Family::Ransomware,
+        Family::Backdoor,
+    ];
+
+    /// The ground-truth class of this family.
+    pub fn class(self) -> Class {
+        match self {
+            Family::Office
+            | Family::DevTool
+            | Family::MediaPlayer
+            | Family::SystemUtility
+            | Family::Browser => Class::Clean,
+            Family::Injector
+            | Family::Dropper
+            | Family::Keylogger
+            | Family::Ransomware
+            | Family::Backdoor => Class::Malware,
+        }
+    }
+
+    /// All families of the given class.
+    pub fn of_class(class: Class) -> &'static [Family] {
+        match class {
+            Class::Clean => &Self::BENIGN,
+            Class::Malware => &Self::MALWARE,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::Office => "office",
+            Family::DevTool => "devtool",
+            Family::MediaPlayer => "mediaplayer",
+            Family::SystemUtility => "systemutility",
+            Family::Browser => "browser",
+            Family::Injector => "injector",
+            Family::Dropper => "dropper",
+            Family::Keylogger => "keylogger",
+            Family::Ransomware => "ransomware",
+            Family::Backdoor => "backdoor",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Windows version the sample's log was captured on; the paper's corpus
+/// mixes Win7, WinXP, Win8 and Win10 logs (Section II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsVersion {
+    /// Windows XP.
+    WinXp,
+    /// Windows 7.
+    Win7,
+    /// Windows 8.
+    Win8,
+    /// Windows 10.
+    Win10,
+}
+
+impl OsVersion {
+    /// All simulated OS versions.
+    pub const ALL: [OsVersion; 4] = [
+        OsVersion::WinXp,
+        OsVersion::Win7,
+        OsVersion::Win8,
+        OsVersion::Win10,
+    ];
+}
+
+impl std::fmt::Display for OsVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OsVersion::WinXp => "winxp",
+            OsVersion::Win7 => "win7",
+            OsVersion::Win8 => "win8",
+            OsVersion::Win10 => "win10",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        assert_eq!(Class::Clean.label(), 0);
+        assert_eq!(Class::Malware.label(), 1);
+        assert_eq!(Class::from_label(0), Class::Clean);
+        assert_eq!(Class::from_label(1), Class::Malware);
+    }
+
+    #[test]
+    #[should_panic(expected = "class label must be 0 or 1")]
+    fn bad_label_panics() {
+        Class::from_label(2);
+    }
+
+    #[test]
+    fn families_partition_by_class() {
+        for f in Family::BENIGN {
+            assert_eq!(f.class(), Class::Clean);
+        }
+        for f in Family::MALWARE {
+            assert_eq!(f.class(), Class::Malware);
+        }
+        assert_eq!(Family::of_class(Class::Clean).len(), 5);
+        assert_eq!(Family::of_class(Class::Malware).len(), 5);
+    }
+
+    #[test]
+    fn displays_are_lowercase_and_nonempty() {
+        for f in Family::BENIGN.iter().chain(Family::MALWARE.iter()) {
+            let s = f.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_ascii_lowercase());
+        }
+        assert_eq!(Class::Malware.to_string(), "malware");
+        assert_eq!(OsVersion::Win10.to_string(), "win10");
+    }
+}

@@ -1,0 +1,69 @@
+//! Synthetic Windows API-call world for the `maleva` reproduction.
+//!
+//! The paper's dataset is proprietary: PE samples collected by McAfee Labs,
+//! run in a sandbox whose log files capture API calls (Table II), from
+//! which **491 API-count features** are extracted (Table III). This crate
+//! is the substitute substrate: a generative world of synthetic programs
+//! whose API usage follows class- and family-specific behaviour profiles,
+//! rendered to and parsed from Table-II-style log text.
+//!
+//! The substitution preserves what the attacks and defenses actually
+//! exercise — the *geometry* of two overlapping classes in count-feature
+//! space, where a sparse set of APIs carries the class evidence — without
+//! any real malware.
+//!
+//! # Components
+//!
+//! * [`ApiVocab`] — the 491-name API vocabulary (alphabetical, as in
+//!   Table III), including every API name the paper mentions.
+//! * [`Family`] / [`Class`] — benign and malicious program families with
+//!   distinct behaviour profiles.
+//! * [`Program`] — a synthetic sample: API-call counts plus metadata. The
+//!   "source code edit" of the paper's live grey-box test is
+//!   [`Program::insert_api_calls`].
+//! * [`log`] — render/parse `Api:Address (args)"tid"` log lines.
+//! * [`World`] — the seeded generator.
+//! * [`Dataset`] / [`DatasetSpec`] — Table I splits with `paper`, `quick`
+//!   and `tiny` presets.
+//!
+//! # Example
+//!
+//! ```
+//! use maleva_apisim::{ApiVocab, World, WorldConfig, Class};
+//!
+//! let vocab = ApiVocab::standard();
+//! assert_eq!(vocab.len(), 491);
+//!
+//! let world = World::new(WorldConfig::default());
+//! let mut rng = maleva_apisim::rng(42);
+//! let prog = world.sample_program(Class::Malware, &mut rng);
+//! assert_eq!(prog.class(), Class::Malware);
+//!
+//! // Logs round-trip: parse(render(p)) recovers p's counts.
+//! let text = prog.render_log(&vocab);
+//! let counts = maleva_apisim::log::parse_counts(&text, &vocab);
+//! assert_eq!(&counts, prog.counts());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod family;
+mod program;
+mod vocab;
+mod world;
+pub mod log;
+pub mod profile;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use family::{Class, Family, OsVersion};
+pub use program::Program;
+pub use vocab::ApiVocab;
+pub use world::{World, WorldConfig};
+
+/// Creates the crate's canonical deterministic RNG from a seed.
+pub fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,227 @@
+//! Rendering and parsing of sandbox API-call logs.
+//!
+//! The paper's Table II shows the log format its feature extractor
+//! consumes:
+//!
+//! ```text
+//! GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"
+//! GetStartupInfoW:13FBC4539 ()"61484"
+//! ```
+//!
+//! i.e. `ApiName:CallAddress (args)"threadid"`. Only the API name matters
+//! to the 491-count feature extractor; addresses, arguments and thread ids
+//! are simulation colour. Rendering is deterministic per program (derived
+//! from a hash of the counts) so the same program always produces the
+//! same log, and `parse_counts(render(p)) == p.counts()`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::{ApiVocab, Program};
+
+/// Renders a program's API-call log in the paper's Table II format.
+///
+/// Calls are interleaved deterministically (round-robin over APIs with
+/// remaining counts) to mimic real execution traces rather than emitting
+/// all calls of one API contiguously.
+///
+/// # Panics
+///
+/// Panics if the program's count vector is longer than the vocabulary.
+pub fn render(program: &Program, vocab: &ApiVocab) -> String {
+    let counts = program.counts();
+    assert!(
+        counts.len() <= vocab.len(),
+        "program has {} counts but vocabulary has {} names",
+        counts.len(),
+        vocab.len()
+    );
+    let mut hasher = DefaultHasher::new();
+    counts.hash(&mut hasher);
+    let base = hasher.finish();
+    let tid = 60_000 + (base % 8_000);
+
+    let mut remaining: Vec<(usize, u32)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+
+    let mut out = String::new();
+    let mut call_no: u64 = 0;
+    while !remaining.is_empty() {
+        let mut next = Vec::with_capacity(remaining.len());
+        for &(api, left) in &remaining {
+            let name = vocab.name(api).expect("index within vocabulary");
+            // Deterministic pseudo-address per (program, api, occurrence).
+            let addr = base
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((api as u64) << 20)
+                .wrapping_add(call_no)
+                & 0xF_FFFF_FFFF;
+            let args = pseudo_args(base, api, call_no, vocab);
+            out.push_str(&format!("{name}:{addr:X} ({args})\"{tid}\"\n"));
+            call_no += 1;
+            if left > 1 {
+                next.push((api, left - 1));
+            }
+        }
+        remaining = next;
+    }
+    out
+}
+
+/// Deterministic argument string: most calls log `()`, some log a module
+/// handle and a quoted symbol, as in Table II's `GetProcAddress` line.
+fn pseudo_args(base: u64, api: usize, call_no: u64, vocab: &ApiVocab) -> String {
+    let h = base ^ ((api as u64) << 32) ^ call_no.wrapping_mul(0x517C_C1B7_2722_0A95);
+    if h % 5 == 0 {
+        let handle = 0x7000_0000u64 + (h % 0x00FF_FFFF);
+        let sym_idx = (h >> 8) as usize % vocab.len();
+        let sym = vocab.name(sym_idx).unwrap_or("Unknown");
+        format!("{handle:X},\"{sym}\"")
+    } else {
+        String::new()
+    }
+}
+
+/// Parses a log back into per-API counts against `vocab`.
+///
+/// Lines whose API name is not in the vocabulary are counted in the
+/// returned `unknown` total by [`parse_counts_with_unknown`]; this
+/// function discards that total. Malformed lines (no `:` separator) are
+/// skipped.
+pub fn parse_counts(text: &str, vocab: &ApiVocab) -> Vec<u32> {
+    parse_counts_with_unknown(text, vocab).0
+}
+
+/// Like [`parse_counts`], also returning how many calls named APIs outside
+/// the vocabulary (the "different features" situation of grey-box
+/// experiment 2).
+pub fn parse_counts_with_unknown(text: &str, vocab: &ApiVocab) -> (Vec<u32>, u64) {
+    let mut counts = vec![0u32; vocab.len()];
+    let mut unknown = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(colon) = line.find(':') else {
+            continue;
+        };
+        let name = &line[..colon];
+        if name.is_empty() {
+            continue;
+        }
+        match vocab.index_of(name) {
+            Some(i) => counts[i] = counts[i].saturating_add(1),
+            None => unknown += 1,
+        }
+    }
+    (counts, unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Family, OsVersion};
+
+    fn vocab() -> ApiVocab {
+        ApiVocab::standard()
+    }
+
+    fn prog_with(counts: &[(usize, u32)]) -> Program {
+        let v = vocab();
+        let mut c = vec![0u32; v.len()];
+        for &(i, n) in counts {
+            c[i] = n;
+        }
+        Program::new(Family::Injector, OsVersion::Win10, c)
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let p = prog_with(&[(0, 3), (100, 1), (490, 7)]);
+        let text = render(&p, &vocab());
+        let parsed = parse_counts(&text, &vocab());
+        assert_eq!(&parsed, p.counts());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let p = prog_with(&[(5, 2), (50, 4)]);
+        assert_eq!(render(&p, &vocab()), render(&p, &vocab()));
+    }
+
+    #[test]
+    fn line_format_matches_table_ii() {
+        let v = vocab();
+        let idx = v.index_of("getprocaddress").unwrap();
+        let p = prog_with(&[(idx, 1)]);
+        let text = render(&p, &v);
+        let line = text.lines().next().unwrap();
+        // getprocaddress:HEXADDR (args)"tid"
+        assert!(line.starts_with("getprocaddress:"), "line: {line}");
+        assert!(line.contains('(') && line.contains(')'), "line: {line}");
+        assert!(line.ends_with('"'), "line: {line}");
+        let tid_part = line.rsplit('"').nth(1).unwrap();
+        assert!(tid_part.parse::<u64>().is_ok(), "tid not numeric: {tid_part}");
+    }
+
+    #[test]
+    fn interleaves_calls_rather_than_grouping() {
+        let p = prog_with(&[(1, 3), (2, 3)]);
+        let v = vocab();
+        let text = render(&p, &v);
+        let names: Vec<&str> = text.lines().map(|l| l.split(':').next().unwrap()).collect();
+        assert_eq!(names.len(), 6);
+        // Round-robin: a b a b a b, never a a a b b b.
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn empty_program_renders_empty_log() {
+        let v = vocab();
+        let p = Program::new(Family::Office, OsVersion::Win7, vec![0; v.len()]);
+        assert_eq!(render(&p, &v), "");
+        assert_eq!(parse_counts("", &v), vec![0u32; v.len()]);
+    }
+
+    #[test]
+    fn parser_counts_unknown_apis() {
+        let v = vocab();
+        let text = "notanapi:123 ()\"1\"\ngetprocaddress:456 ()\"1\"\n";
+        let (counts, unknown) = parse_counts_with_unknown(text, &v);
+        assert_eq!(unknown, 1);
+        assert_eq!(counts[v.index_of("getprocaddress").unwrap()], 1);
+    }
+
+    #[test]
+    fn parser_skips_malformed_lines() {
+        let v = vocab();
+        let text = "garbage line with no separator\n\n   \n:empty name\n";
+        let (counts, unknown) = parse_counts_with_unknown(text, &v);
+        assert!(counts.iter().all(|&c| c == 0));
+        assert_eq!(unknown, 0);
+    }
+
+    #[test]
+    fn parser_is_case_insensitive_like_the_feature_pipeline() {
+        let v = vocab();
+        let text = "GetProcAddress:7FEF ()\"61468\"\n";
+        let counts = parse_counts(text, &v);
+        assert_eq!(counts[v.index_of("getprocaddress").unwrap()], 1);
+    }
+
+    #[test]
+    fn inserted_api_calls_show_up_in_reparsed_log() {
+        // The live grey-box loop: edit source -> re-render -> re-parse.
+        let v = vocab();
+        let idx = v.index_of("destroyicon").unwrap();
+        let mut p = prog_with(&[(3, 2)]);
+        assert_eq!(parse_counts(&render(&p, &v), &v)[idx], 0);
+        p.insert_api_calls(idx, 8);
+        assert_eq!(parse_counts(&render(&p, &v), &v)[idx], 8);
+    }
+}

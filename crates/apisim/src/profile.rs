@@ -1,0 +1,637 @@
+//! Behaviour profiles: expected API-call rates per program family.
+//!
+//! A profile assigns every vocabulary API an expected call rate; sampling
+//! a program draws per-API counts from Poisson distributions scaled by a
+//! log-normal program-size factor. Benign and malicious families share a
+//! *common runtime baseline* (the loader/CRT calls visible in the paper's
+//! Table II log excerpt appear in every program) and differ in a sparse
+//! set of *signature APIs* — which is exactly the feature geometry the
+//! JSMA attack exploits and the defenses must cope with.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Poisson};
+use serde::{Deserialize, Serialize};
+
+use crate::{ApiVocab, Family, OsVersion};
+
+/// Expected API-call rates for one program family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorProfile {
+    family: Family,
+    rates: Vec<f64>,
+}
+
+/// Rate given to every API as sparse background noise.
+const BACKGROUND_RATE: f64 = 0.02;
+
+/// APIs every Windows process touches (cf. the paper's Table II excerpt),
+/// with their baseline rates.
+const COMMON_BASELINE: &[(&str, f64)] = &[
+    ("getstartupinfow", 2.0),
+    ("getfiletype", 2.5),
+    ("getmodulehandlew", 4.0),
+    ("getmodulehandlea", 2.0),
+    ("getprocaddress", 12.0),
+    ("getstdhandle", 2.5),
+    ("freeenvironmentstringsw", 1.5),
+    ("getcpinfo", 1.5),
+    ("getlasterror", 8.0),
+    ("heapalloc", 20.0),
+    ("heapfree", 18.0),
+    ("getprocessheap", 2.0),
+    ("flsalloc", 1.0),
+    ("tlsalloc", 1.0),
+    ("tlsgetvalue", 6.0),
+    ("entercriticalsection", 10.0),
+    ("leavecriticalsection", 10.0),
+    ("initializecriticalsection", 3.0),
+    ("loadlibrarya", 3.0),
+    ("loadlibraryw", 3.0),
+    ("freelibrary", 2.0),
+    ("getcommandlinea", 1.0),
+    ("getcommandlinew", 1.0),
+    ("multibytetowidechar", 5.0),
+    ("widechartomultibyte", 5.0),
+    ("lstrlena", 3.0),
+    ("lstrlenw", 3.0),
+    ("getenvironmentstringsw", 1.0),
+    ("exitprocess", 1.0),
+    ("sleep", 2.0),
+    ("getcurrentprocess", 2.0),
+    ("getcurrentthread", 1.5),
+    ("gettickcount", 2.5),
+    ("getsystemtimeasfiletime", 1.5),
+    ("queryperformancecounter", 1.5),
+    ("interlockedincrement", 4.0),
+    ("interlockeddecrement", 4.0),
+    ("getversionexa", 1.0),
+    ("getversionexw", 1.0),
+    ("setlasterror", 2.0),
+    ("raiseexception", 0.3),
+    ("setunhandledexceptionfilter", 0.8),
+    ("getacp", 1.0),
+    ("getlocaleinfoa", 1.0),
+    ("getstringtypew", 1.5),
+];
+
+/// APIs common to (nearly all) *benign* software regardless of family:
+/// the GUI message pump, resource loading, COM — interactive-software
+/// plumbing that malware typically lacks. These give every detector a
+/// shared clean-evidence direction, which is what makes adversarial
+/// examples transfer between independently trained models (and is why
+/// the paper's Figure 1 evasion adds GUI APIs like `destroyicon`).
+const CLEAN_CLASS_BASELINE: &[(&str, f64)] = &[
+    ("registerclassexw", 2.0),
+    ("createwindowexw", 2.5),
+    ("getmessagew", 5.0),
+    ("dispatchmessagew", 5.0),
+    ("translatemessage", 5.0),
+    ("defwindowprocw", 1.0),
+    ("loadiconw", 0.7),
+    ("loadcursorw", 0.7),
+    ("destroyicon", 0.5),
+    ("begingpaint", 0.8),
+    ("endpaint", 0.8),
+    ("getclientrect", 0.8),
+    ("findresourcew", 0.8),
+    ("loadresource", 0.8),
+    ("lockresource", 0.6),
+    ("coinitialize", 0.5),
+    ("cocreateinstance", 0.7),
+    ("getfileversioninfow", 0.4),
+    ("getstockobject", 0.5),
+    ("getsystemmetrics", 0.8),
+];
+
+/// APIs common to (nearly all) *malware* regardless of family:
+/// anti-debugging, self-location, persistence and infection markers.
+const MALWARE_CLASS_BASELINE: &[(&str, f64)] = &[
+    ("isdebuggerpresent", 2.5),
+    ("checkremotedebuggerpresent", 0.8),
+    ("getmodulefilenamea", 2.5),
+    ("createmutexa", 2.5),
+    ("openprocess", 0.8),
+    ("createtoolhelp32snapshot", 0.8),
+    ("virtualalloc", 1.2),
+    ("virtualprotect", 0.6),
+    ("regcreatekeyexa", 0.8),
+    ("adjusttokenprivileges", 0.5),
+    ("getcomputernamea", 0.5),
+    ("exitprocess", 0.8),
+];
+
+/// Per-family signature APIs with their rates. These are the
+/// class-evidence features the detector learns and the attacker perturbs.
+fn family_signature(family: Family) -> &'static [(&'static str, f64)] {
+    match family {
+        Family::Office => &[
+            ("createfilew", 10.0),
+            ("readfile", 14.0),
+            ("writefile", 9.0),
+            ("closeclipboard", 1.0),
+            ("openclipboard", 1.0),
+            ("getclipboarddata", 1.0),
+            ("createwindowexw", 5.0),
+            ("showwindow", 3.0),
+            ("updatewindow", 2.0),
+            ("getdc", 3.0),
+            ("releasedc", 3.0),
+            ("textoutw", 4.0),
+            ("createfontw", 2.0),
+            ("getprivateprofilestringw", 3.0),
+            ("writeprivateprofilestringw", 1.5),
+            ("getwindowtextw", 2.0),
+            ("setwindowtextw", 2.0),
+            ("dispatchmessagew", 8.0),
+            ("getmessagew", 8.0),
+            ("translatemessage", 8.0),
+            ("sendmessagew", 5.0),
+            ("shgetfolderpathw", 1.0),
+            ("findresourcew", 1.5),
+            ("loadresource", 1.5),
+            ("cocreateinstance", 2.0),
+            ("coinitializeex", 1.0),
+            ("sysallocstring", 3.0),
+            ("variantinit", 2.0),
+        ],
+        Family::DevTool => &[
+            ("createfilea", 12.0),
+            ("readfile", 16.0),
+            ("writefile", 12.0),
+            ("writeconsolea", 6.0),
+            ("writeconsolew", 4.0),
+            ("readconsolea", 1.5),
+            ("getconsolemode", 2.0),
+            ("setconsolemode", 1.5),
+            ("allocconsole", 0.8),
+            ("findfirstfilea", 4.0),
+            ("findnextfilea", 8.0),
+            ("findclose", 4.0),
+            ("getfullpathnamea", 3.0),
+            ("getcurrentdirectorya", 2.0),
+            ("setcurrentdirectorya", 1.5),
+            ("createprocessa", 2.0),
+            ("waitforsingleobject", 3.0),
+            ("getexitcodeprocess", 1.5),
+            ("createpipe", 0.0), // not in vocab; ignored harmlessly
+            ("getenvironmentvariablea", 3.0),
+            ("setenvironmentvariablea", 1.5),
+            ("outputdebugstringa", 1.0),
+            ("getfileattributesa", 3.0),
+            ("createdirectorya", 1.0),
+            ("getmodulefilenamea", 2.0),
+        ],
+        Family::MediaPlayer => &[
+            ("createfilew", 8.0),
+            ("readfile", 20.0),
+            ("setfilepointer", 10.0),
+            ("createcompatibledc", 4.0),
+            ("createcompatiblebitmap", 3.0),
+            ("bitblt", 8.0),
+            ("stretchblt", 4.0),
+            ("selectobject", 6.0),
+            ("deleteobject", 6.0),
+            ("getdibits", 3.0),
+            ("setdibits", 2.0),
+            ("createwindowexw", 3.0),
+            ("getclientrect", 3.0),
+            ("getwindowrect", 2.0),
+            ("settimer", 2.0),
+            ("killtimer", 1.5),
+            ("timegettime", 4.0),
+            ("dispatchmessagew", 6.0),
+            ("peekmessagew", 8.0),
+            ("loadimagew", 2.0),
+            ("drawicon", 1.0),
+            ("waitmessage", 2.0),
+            ("windowfromdc", 1.0),
+        ],
+        Family::SystemUtility => &[
+            ("regopenkeyexw", 8.0),
+            ("regqueryvalueexw", 10.0),
+            ("regclosekey", 8.0),
+            ("regenumkeyexw", 4.0),
+            ("regenumvaluew", 3.0),
+            ("regsetvalueexw", 2.0),
+            ("openscmanagerw", 1.5),
+            ("openservicew", 2.0),
+            ("queryservicestatus", 2.0),
+            ("closeservicehandle", 2.5),
+            ("getsysteminfo", 1.5),
+            ("globalmemorystatusex", 1.5),
+            ("getcomputernamew", 1.0),
+            ("getusernamew", 1.0),
+            ("getsystemdirectoryw", 1.5),
+            ("getwindowsdirectoryw", 1.5),
+            ("getdrivetypew", 2.0),
+            ("getlogicaldrives", 1.0),
+            ("getdiskfreespaceexa", 1.5),
+            ("createtoolhelp32snapshot", 1.5),
+            ("process32first", 1.0),
+            ("process32next", 6.0),
+            ("enumprocesses", 1.0),
+            ("getfileversioninfow", 1.5),
+            ("verqueryvaluew", 1.5),
+            ("shellexecutew", 1.0),
+        ],
+        Family::Browser => &[
+            ("wsastartup", 1.0),
+            ("socket", 4.0),
+            ("connect", 4.0),
+            ("send", 12.0),
+            ("recv", 16.0),
+            ("closesocket", 4.0),
+            ("gethostbyname", 3.0),
+            ("getaddrinfo", 3.0),
+            ("internetopenw", 1.0),
+            ("internetconnectw", 2.0),
+            ("httpopenrequestw", 3.0),
+            ("httpsendrequestw", 3.0),
+            ("internetreadfile", 10.0),
+            ("internetclosehandle", 3.0),
+            ("createwindowexw", 3.0),
+            ("dispatchmessagew", 6.0),
+            ("getmessagew", 6.0),
+            ("cryptacquirecontextw", 1.0),
+            ("cryptgenrandom", 1.5),
+            ("createfilew", 5.0),
+            ("writefile", 6.0),
+            ("readfile", 8.0),
+            ("getclipboarddata", 0.5),
+            ("shgetknownfolderpath", 1.0),
+        ],
+        Family::Injector => &[
+            ("openprocess", 6.0),
+            ("virtualallocex", 5.0),
+            ("writeprocessmemory", 8.0),
+            ("readprocessmemory", 3.0),
+            ("createremotethread", 4.0),
+            ("virtualprotect", 4.0),
+            ("virtualalloc", 5.0),
+            ("getthreadcontext", 2.0),
+            ("setthreadcontext", 2.0),
+            ("suspendthread", 2.0),
+            ("resumethread", 2.5),
+            ("ntunmapviewofsection", 1.5),
+            ("queueuserapc", 1.5),
+            ("createtoolhelp32snapshot", 2.5),
+            ("process32first", 1.5),
+            ("process32next", 8.0),
+            ("openprocesstoken", 2.0),
+            ("adjusttokenprivileges", 2.0),
+            ("lookupprivilegevaluea", 1.5),
+            ("isdebuggerpresent", 1.5),
+            ("checkremotedebuggerpresent", 1.0),
+            ("ldrloaddll", 1.0),
+            ("getmodulefilenamea", 2.0),
+        ],
+        Family::Dropper => &[
+            ("internetopena", 2.0),
+            ("internetopenurla", 3.0),
+            ("internetreadfile", 10.0),
+            ("urldownloadtofilea", 2.5),
+            ("createfilea", 6.0),
+            ("writefile", 14.0),
+            ("winexec", 2.5),
+            ("shellexecutea", 2.0),
+            ("createprocessa", 3.0),
+            ("movefileexa", 1.5),
+            ("copyfilea", 2.0),
+            ("gettemppatha", 2.0),
+            ("gettempfilenamea", 2.0),
+            ("setfileattributesa", 2.0),
+            ("deletefilea", 2.0),
+            ("regcreatekeyexa", 2.5),
+            ("regsetvalueexa", 3.0),
+            ("wsastartup", 1.0),
+            ("socket", 2.0),
+            ("connect", 2.0),
+            ("recv", 4.0),
+            ("isdebuggerpresent", 1.5),
+            ("getmodulefilenamea", 2.5),
+            ("exitprocess", 1.5),
+        ],
+        Family::Keylogger => &[
+            ("setwindowshookexa", 2.5),
+            ("setwindowshookexw", 1.5),
+            ("callnexthookex", 8.0),
+            ("unhookwindowshookex", 1.0),
+            ("getasynckeystate", 20.0),
+            ("getkeystate", 8.0),
+            ("getkeyboardstate", 4.0),
+            ("mapvirtualkeya", 4.0),
+            ("getforegroundwindow", 6.0),
+            ("getwindowtexta", 5.0),
+            ("attachthreadinput", 1.5),
+            ("getrawinputdata", 3.0),
+            ("registerrawinputdevices", 1.0),
+            ("createfilea", 3.0),
+            ("writefile", 8.0),
+            ("send", 3.0),
+            ("socket", 1.5),
+            ("connect", 1.5),
+            ("gettickcount", 5.0),
+            ("settimer", 2.0),
+            ("regcreatekeyexa", 1.5),
+            ("regsetvalueexa", 2.0),
+            ("getcursorpos", 4.0),
+        ],
+        Family::Ransomware => &[
+            ("cryptacquirecontexta", 2.0),
+            ("cryptgenkey", 2.0),
+            ("cryptderivekey", 1.5),
+            ("cryptencrypt", 18.0),
+            ("cryptimportkey", 1.5),
+            ("cryptgenrandom", 2.5),
+            ("findfirstfilew", 6.0),
+            ("findnextfilew", 25.0),
+            ("findclose", 6.0),
+            ("createfilew", 16.0),
+            ("readfile", 18.0),
+            ("writefile", 20.0),
+            ("movefileexa", 3.0),
+            ("deletefilew", 8.0),
+            ("setfileattributesw", 3.0),
+            ("getlogicaldrives", 1.5),
+            ("getdrivetypew", 3.0),
+            ("getdiskfreespaceexa", 1.0),
+            ("regcreatekeyexw", 1.5),
+            ("regsetvalueexw", 2.0),
+            ("wsastartup", 0.8),
+            ("gethostbyname", 1.0),
+            ("send", 2.0),
+            ("terminateprocess", 1.5),
+            ("openprocess", 2.0),
+        ],
+        Family::Backdoor => &[
+            ("wsastartup", 1.5),
+            ("wsasocketa", 2.5),
+            ("socket", 3.0),
+            ("bind", 2.0),
+            ("listen", 1.5),
+            ("accept", 2.0),
+            ("connect", 3.0),
+            ("send", 10.0),
+            ("recv", 12.0),
+            ("closesocket", 3.0),
+            ("createprocessa", 3.5),
+            ("createpipe", 0.0), // not in vocab; ignored harmlessly
+            ("winexec", 1.5),
+            ("shellexecutea", 1.5),
+            ("regcreatekeyexa", 2.5),
+            ("regsetvalueexa", 3.5),
+            ("createservicea", 1.5),
+            ("startservicea", 1.0),
+            ("openscmanagera", 1.5),
+            ("openprocesstoken", 1.5),
+            ("adjusttokenprivileges", 1.5),
+            ("logonusera", 0.8),
+            ("getcomputernamea", 1.5),
+            ("getusernamea", 1.5),
+            ("isdebuggerpresent", 1.2),
+            ("gethostname", 1.5),
+        ],
+    }
+}
+
+/// OS-specific extra rates (the corpus mixes Win7/XP/8/10 logs; newer OSes
+/// surface slightly different runtime APIs).
+fn os_adjustment(os: OsVersion) -> &'static [(&'static str, f64)] {
+    match os {
+        OsVersion::WinXp => &[
+            ("getversion", 1.0),
+            ("globalmemorystatus", 0.8),
+            ("getprofilestringa", 0.6),
+        ],
+        OsVersion::Win7 => &[("getversionexw", 0.8), ("gettickcount", 1.0)],
+        OsVersion::Win8 => &[
+            ("gettickcount64", 1.0),
+            ("getnativesysteminfo", 0.6),
+            ("shgetknownfolderpath", 0.5),
+        ],
+        OsVersion::Win10 => &[
+            ("gettickcount64", 1.5),
+            ("getnativesysteminfo", 0.8),
+            ("iswow64process", 0.8),
+            ("shgetknownfolderpath", 0.8),
+        ],
+    }
+}
+
+impl BehaviorProfile {
+    /// Builds the profile for `family` over `vocab`.
+    ///
+    /// APIs named in the family signature that are absent from `vocab` are
+    /// silently skipped (this is what happens when an attacker's guessed
+    /// vocabulary differs from the target's).
+    pub fn for_family(family: Family, vocab: &ApiVocab) -> Self {
+        let mut rates = vec![BACKGROUND_RATE; vocab.len()];
+        for &(name, rate) in COMMON_BASELINE {
+            if let Some(i) = vocab.index_of(name) {
+                rates[i] += rate;
+            }
+        }
+        let class_baseline = match family.class() {
+            crate::Class::Clean => CLEAN_CLASS_BASELINE,
+            crate::Class::Malware => MALWARE_CLASS_BASELINE,
+        };
+        for &(name, rate) in class_baseline {
+            if let Some(i) = vocab.index_of(name) {
+                rates[i] += rate;
+            }
+        }
+        for &(name, rate) in family_signature(family) {
+            if let Some(i) = vocab.index_of(name) {
+                rates[i] += rate;
+            }
+        }
+        BehaviorProfile { family, rates }
+    }
+
+    /// The family this profile models.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Expected call rate per vocabulary index.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Adds OS-specific rates in place.
+    pub fn apply_os(&mut self, os: OsVersion, vocab: &ApiVocab) {
+        for &(name, rate) in os_adjustment(os) {
+            if let Some(i) = vocab.index_of(name) {
+                self.rates[i] += rate;
+            }
+        }
+    }
+
+    /// Blends this profile toward `other`: `self = (1-w)·self + w·other`.
+    /// Used for label-noise samples that straddle the class boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different lengths or `w` is outside
+    /// `[0, 1]`.
+    pub fn blend_toward(&mut self, other: &BehaviorProfile, w: f64) {
+        assert_eq!(self.rates.len(), other.rates.len(), "profile length mismatch");
+        assert!((0.0..=1.0).contains(&w), "blend weight must be in [0, 1]");
+        for (a, &b) in self.rates.iter_mut().zip(other.rates.iter()) {
+            *a = (1.0 - w) * *a + w * b;
+        }
+    }
+
+    /// Samples per-API counts: `count_i ~ Poisson(rate_i * intensity)`.
+    ///
+    /// `intensity` is the program-size factor (see [`sample_intensity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is not finite and positive.
+    pub fn sample_counts(&self, intensity: f64, rng: &mut impl Rng) -> Vec<u32> {
+        assert!(
+            intensity.is_finite() && intensity > 0.0,
+            "intensity must be positive and finite, got {intensity}"
+        );
+        self.rates
+            .iter()
+            .map(|&r| {
+                let lambda = r * intensity;
+                if lambda <= 0.0 {
+                    0
+                } else {
+                    Poisson::new(lambda)
+                        .expect("positive lambda")
+                        .sample(rng) as u32
+                }
+            })
+            .collect()
+    }
+}
+
+/// Draws a log-normal program-size factor with median 1.
+///
+/// `sigma` controls dispersion; the default world uses 0.45, giving a
+/// realistic heavy tail of both tiny and very chatty programs.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn sample_intensity(sigma: f64, rng: &mut impl Rng) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    LogNormal::new(0.0, sigma).expect("valid lognormal").sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn every_family_has_a_profile_with_common_baseline() {
+        let vocab = ApiVocab::standard();
+        let gpa = vocab.index_of("getprocaddress").unwrap();
+        for f in Family::BENIGN.iter().chain(Family::MALWARE.iter()) {
+            let p = BehaviorProfile::for_family(*f, &vocab);
+            assert_eq!(p.rates().len(), vocab.len());
+            assert!(p.rates()[gpa] > 10.0, "{f} lacks the common baseline");
+            assert!(p.rates().iter().all(|&r| r >= BACKGROUND_RATE));
+        }
+    }
+
+    #[test]
+    fn injector_signature_distinguishes_it_from_office() {
+        let vocab = ApiVocab::standard();
+        let injector = BehaviorProfile::for_family(Family::Injector, &vocab);
+        let office = BehaviorProfile::for_family(Family::Office, &vocab);
+        let wpm = vocab.index_of("writeprocessmemory").unwrap();
+        assert!(injector.rates()[wpm] > 5.0);
+        assert!(office.rates()[wpm] < 0.1);
+    }
+
+    #[test]
+    fn unknown_signature_names_are_skipped() {
+        // "createpipe" appears in two signatures with rate 0.0 and is not
+        // in the vocabulary; profile construction must not panic.
+        let vocab = ApiVocab::standard();
+        assert!(vocab.index_of("createpipe").is_none());
+        let _ = BehaviorProfile::for_family(Family::Backdoor, &vocab);
+    }
+
+    #[test]
+    fn sampled_counts_track_rates() {
+        let vocab = ApiVocab::standard();
+        let p = BehaviorProfile::for_family(Family::Ransomware, &vocab);
+        let mut rng = rng(1);
+        // Average many draws; empirical mean ≈ rate.
+        let n = 200;
+        let idx = vocab.index_of("cryptencrypt").unwrap();
+        let total: u64 = (0..n)
+            .map(|_| p.sample_counts(1.0, &mut rng)[idx] as u64)
+            .sum();
+        let mean = total as f64 / n as f64;
+        let rate = p.rates()[idx];
+        assert!(
+            (mean - rate).abs() < rate * 0.2,
+            "empirical mean {mean} too far from rate {rate}"
+        );
+    }
+
+    #[test]
+    fn intensity_scales_expected_counts() {
+        let vocab = ApiVocab::standard();
+        let p = BehaviorProfile::for_family(Family::Office, &vocab);
+        let mut rng = rng(2);
+        let total_small: u64 = (0..50)
+            .map(|_| p.sample_counts(0.5, &mut rng).iter().map(|&c| c as u64).sum::<u64>())
+            .sum();
+        let total_big: u64 = (0..50)
+            .map(|_| p.sample_counts(2.0, &mut rng).iter().map(|&c| c as u64).sum::<u64>())
+            .sum();
+        assert!(total_big > total_small * 2);
+    }
+
+    #[test]
+    fn os_adjustment_adds_rates() {
+        let vocab = ApiVocab::standard();
+        let mut p = BehaviorProfile::for_family(Family::Office, &vocab);
+        let idx = vocab.index_of("gettickcount64").unwrap();
+        let before = p.rates()[idx];
+        p.apply_os(OsVersion::Win10, &vocab);
+        assert!(p.rates()[idx] > before);
+    }
+
+    #[test]
+    fn blend_moves_rates_toward_other() {
+        let vocab = ApiVocab::standard();
+        let mut mal = BehaviorProfile::for_family(Family::Injector, &vocab);
+        let ben = BehaviorProfile::for_family(Family::Office, &vocab);
+        let wpm = vocab.index_of("writeprocessmemory").unwrap();
+        let before = mal.rates()[wpm];
+        mal.blend_toward(&ben, 0.5);
+        assert!(mal.rates()[wpm] < before);
+        assert!(mal.rates()[wpm] > ben.rates()[wpm]);
+    }
+
+    #[test]
+    fn intensity_sampler_median_near_one() {
+        let mut rng = rng(3);
+        let mut vals: Vec<f64> = (0..1001).map(|_| sample_intensity(0.45, &mut rng)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[500];
+        assert!((median - 1.0).abs() < 0.15, "median {median}");
+        assert_eq!(sample_intensity(0.0, &mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be positive")]
+    fn sample_counts_rejects_bad_intensity() {
+        let vocab = ApiVocab::standard();
+        let p = BehaviorProfile::for_family(Family::Office, &vocab);
+        p.sample_counts(0.0, &mut rng(0));
+    }
+}

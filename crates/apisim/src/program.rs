@@ -1,0 +1,152 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ApiVocab, Class, Family, OsVersion};
+
+/// A synthetic program sample: per-API call counts plus metadata.
+///
+/// `Program` plays the role of both the PE sample *and* its source code in
+/// the reproduction: the paper's live grey-box test (Section III-B, third
+/// experiment) has a researcher "add one single API call multiple times in
+/// the source code" — here that edit is [`Program::insert_api_calls`],
+/// after which the log re-renders and the detector re-scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    family: Family,
+    os: OsVersion,
+    counts: Vec<u32>,
+    /// True for label-noise samples drawn from a blended profile.
+    boundary_case: bool,
+}
+
+impl Program {
+    /// Creates a program from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn new(family: Family, os: OsVersion, counts: Vec<u32>) -> Self {
+        assert!(!counts.is_empty(), "program must have a count vector");
+        Program {
+            family,
+            os,
+            counts,
+            boundary_case: false,
+        }
+    }
+
+    /// Marks the program as a boundary case (blended-profile sample).
+    pub(crate) fn with_boundary_flag(mut self, flag: bool) -> Self {
+        self.boundary_case = flag;
+        self
+    }
+
+    /// The behavioural family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The ground-truth class (derived from the family).
+    pub fn class(&self) -> Class {
+        self.family.class()
+    }
+
+    /// The OS the log was "captured" on.
+    pub fn os(&self) -> OsVersion {
+        self.os
+    }
+
+    /// Whether this sample was drawn from a blended (boundary) profile.
+    pub fn is_boundary_case(&self) -> bool {
+        self.boundary_case
+    }
+
+    /// Per-API call counts, aligned with the generating vocabulary.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total number of API call events.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Number of distinct APIs called at least once.
+    pub fn distinct_apis(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Adds `times` calls of the API at `api_index` — the "edit the source
+    /// code and rebuild" step of the paper's live grey-box experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `api_index` is out of range.
+    pub fn insert_api_calls(&mut self, api_index: usize, times: u32) {
+        assert!(
+            api_index < self.counts.len(),
+            "API index {api_index} out of range ({} APIs)",
+            self.counts.len()
+        );
+        self.counts[api_index] = self.counts[api_index].saturating_add(times);
+    }
+
+    /// Renders the program's sandbox log (Table II format). See
+    /// [`log::render`](crate::log::render).
+    pub fn render_log(&self, vocab: &ApiVocab) -> String {
+        crate::log::render(self, vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> Program {
+        Program::new(Family::Dropper, OsVersion::Win7, vec![0, 3, 1, 0, 2])
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let p = prog();
+        assert_eq!(p.family(), Family::Dropper);
+        assert_eq!(p.class(), Class::Malware);
+        assert_eq!(p.os(), OsVersion::Win7);
+        assert!(!p.is_boundary_case());
+    }
+
+    #[test]
+    fn count_summaries() {
+        let p = prog();
+        assert_eq!(p.total_calls(), 6);
+        assert_eq!(p.distinct_apis(), 3);
+    }
+
+    #[test]
+    fn insert_api_calls_adds_and_never_removes() {
+        let mut p = prog();
+        p.insert_api_calls(0, 5);
+        assert_eq!(p.counts()[0], 5);
+        p.insert_api_calls(1, 2);
+        assert_eq!(p.counts()[1], 5);
+        assert_eq!(p.total_calls(), 13);
+    }
+
+    #[test]
+    fn insert_saturates_instead_of_overflowing() {
+        let mut p = Program::new(Family::Office, OsVersion::Win10, vec![u32::MAX]);
+        p.insert_api_calls(0, 10);
+        assert_eq!(p.counts()[0], u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_bad_index() {
+        prog().insert_api_calls(99, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have a count vector")]
+    fn rejects_empty_counts() {
+        Program::new(Family::Office, OsVersion::Win7, vec![]);
+    }
+}

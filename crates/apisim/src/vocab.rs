@@ -1,0 +1,491 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Deserializer, Serialize};
+
+/// The number of API features the paper's detector uses.
+pub const STANDARD_VOCAB_SIZE: usize = 491;
+
+/// An ordered vocabulary of API names.
+///
+/// The paper's feature space is 491 API-call counts; Table III shows the
+/// vocabulary is lowercase and alphabetically ordered (indices 475–484 are
+/// `waitmessage` … `writeprofilestringa`). [`ApiVocab::standard`] rebuilds
+/// a 491-name vocabulary with the same shape, containing every API name
+/// the paper mentions (including `destroyicon` and `dllsload` from
+/// Figure 1).
+#[derive(Debug, Clone, Serialize)]
+pub struct ApiVocab {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+// Manual Deserialize: the name→index map must be rebuilt (serde's skip
+// would leave it empty, silently breaking every `index_of` lookup).
+impl<'de> Deserialize<'de> for ApiVocab {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            names: Vec<String>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        ApiVocab::from_names(raw.names).map_err(serde::de::Error::custom)
+    }
+}
+
+impl ApiVocab {
+    /// The canonical 491-API vocabulary, alphabetically ordered.
+    pub fn standard() -> Self {
+        Self::from_names(standard_names()).expect("standard vocabulary is well-formed")
+    }
+
+    /// Builds a vocabulary from explicit names.
+    ///
+    /// Names are lowercased; the order given is preserved (callers wanting
+    /// the paper's alphabetical layout should sort first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `names` is empty or contains duplicates
+    /// after lowercasing.
+    pub fn from_names<I, S>(names: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names
+            .into_iter()
+            .map(|n| n.into().to_ascii_lowercase())
+            .collect();
+        if names.is_empty() {
+            return Err("vocabulary must not be empty".to_string());
+        }
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            if index.insert(n.clone(), i).is_some() {
+                return Err(format!("duplicate API name: {n}"));
+            }
+        }
+        Ok(ApiVocab { names, index })
+    }
+
+    /// Number of APIs in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name at `index`, or `None` out of range.
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// The index of `name` (case-insensitive), or `None` if absent.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(&i) = self.index.get(name) {
+            return Some(i);
+        }
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Iterates over `(index, name)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+
+    /// Borrows all names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// A smaller, *different* vocabulary an attacker without feature
+    /// knowledge might guess: the `fraction` alphabetically-first share of
+    /// the standard names plus that many again of plausible-but-wrong
+    /// names. Used by black-box experiments where attacker features differ
+    /// from target features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn attacker_guess(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1], got {fraction}"
+        );
+        let std_names = standard_names();
+        let keep = ((std_names.len() as f64 * fraction) as usize).max(1);
+        let mut names: Vec<String> = std_names.into_iter().take(keep).collect();
+        for i in 0..keep {
+            names.push(format!("ext_api_{i:03}"));
+        }
+        names.sort();
+        names.dedup();
+        Self::from_names(names).expect("attacker vocabulary is well-formed")
+    }
+}
+
+impl PartialEq for ApiVocab {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+/// API names the paper explicitly shows (Tables II & III, Figure 1).
+/// Every one of these must appear in the standard vocabulary.
+pub(crate) const PAPER_APIS: &[&str] = &[
+    "destroyicon",
+    "dllsload",
+    "freeenvironmentstringsw",
+    "getcpinfo",
+    "getfiletype",
+    "getmodulehandlew",
+    "getprocaddress",
+    "getstartupinfow",
+    "getstdhandle",
+    "waitmessage",
+    "windowfromdc",
+    "winexec",
+    "writeconsolea",
+    "writeconsolew",
+    "writefile",
+    "writeprivateprofilestringa",
+    "writeprivateprofilestringw",
+    "writeprocessmemory",
+    "writeprofilestringa",
+];
+
+/// Hand-curated real Win32 API names beyond the paper's own list; the
+/// behaviour profiles reference many of these by name.
+const CURATED_APIS: &[&str] = &[
+    // process / injection
+    "createprocessa", "createprocessw", "openprocess", "terminateprocess",
+    "createremotethread", "virtualalloc", "virtualallocex", "virtualprotect",
+    "virtualfree", "readprocessmemory", "ntunmapviewofsection", "queueuserapc",
+    "setthreadcontext", "getthreadcontext", "suspendthread", "resumethread",
+    "createthread", "exitthread", "getcurrentprocess", "getcurrentthread",
+    "getexitcodeprocess", "waitforsingleobject", "waitformultipleobjects",
+    "openthread", "ntqueryinformationprocess", "iswow64process",
+    // modules / loading
+    "loadlibrarya", "loadlibraryw", "loadlibraryexa", "loadlibraryexw",
+    "freelibrary", "getmodulehandlea", "getmodulefilenamea", "getmodulefilenamew",
+    "ldrloaddll", "getprocessheap", "heapalloc", "heapfree", "heapcreate",
+    "heapdestroy", "heaprealloc", "heapsize", "localalloc", "localfree",
+    "globalalloc", "globalfree", "globallock", "globalunlock",
+    // files
+    "createfilea", "createfilew", "readfile", "writefileex", "deletefilea",
+    "deletefilew", "copyfilea", "copyfilew", "movefilea", "movefilew",
+    "movefileexa", "movefileexw", "getfilesize", "getfilesizeex",
+    "setfilepointer", "setfilepointerex", "setendoffile", "flushfilebuffers",
+    "findfirstfilea", "findfirstfilew", "findnextfilea", "findnextfilew",
+    "findclose", "getfileattributesa", "getfileattributesw",
+    "setfileattributesa", "setfileattributesw", "gettempfilenamea",
+    "gettempfilenamew", "gettemppatha", "gettemppathw", "createdirectorya",
+    "createdirectoryw", "removedirectorya", "removedirectoryw",
+    "getcurrentdirectorya", "getcurrentdirectoryw", "setcurrentdirectorya",
+    "setcurrentdirectoryw", "getfullpathnamea", "getfullpathnamew",
+    "getlongpathnamea", "getlongpathnamew", "getshortpathnamea",
+    "getdrivetypea", "getdrivetypew", "getlogicaldrives", "getdiskfreespacea",
+    "getdiskfreespaceexa", "lockfile", "unlockfile", "createfilemappinga",
+    "createfilemappingw", "mapviewoffile", "unmapviewoffile", "openfilemappinga",
+    // registry
+    "regopenkeya", "regopenkeyw", "regopenkeyexa", "regopenkeyexw",
+    "regcreatekeya", "regcreatekeyw", "regcreatekeyexa", "regcreatekeyexw",
+    "regclosekey", "regqueryvaluea", "regqueryvaluew", "regqueryvalueexa",
+    "regqueryvalueexw", "regsetvaluea", "regsetvaluew", "regsetvalueexa",
+    "regsetvalueexw", "regdeletekeya", "regdeletekeyw", "regdeletevaluea",
+    "regdeletevaluew", "regenumkeya", "regenumkeyw", "regenumkeyexa",
+    "regenumkeyexw", "regenumvaluea", "regenumvaluew", "regflushkey",
+    // network
+    "socket", "connect", "bind", "listen", "accept", "send", "recv",
+    "sendto", "recvfrom", "closesocket", "gethostbyname", "gethostname",
+    "getaddrinfo", "inet_addr", "inet_ntoa", "htons", "ntohs", "wsastartup",
+    "wsacleanup", "wsasocketa", "wsasocketw", "wsaconnect", "wsasend",
+    "wsarecv", "internetopena", "internetopenw", "internetopenurla",
+    "internetopenurlw", "internetconnecta", "internetconnectw",
+    "internetreadfile", "internetwritefile", "internetclosehandle",
+    "httpopenrequesta", "httpopenrequestw", "httpsendrequesta",
+    "httpsendrequestw", "urldownloadtofilea", "urldownloadtofilew",
+    "winhttpopen", "winhttpconnect", "winhttpsendrequest",
+    "winhttpreceiveresponse", "winhttpreaddata", "winhttpclosehandle",
+    // crypto
+    "cryptacquirecontexta", "cryptacquirecontextw", "cryptreleasecontext",
+    "cryptcreatehash", "crypthashdata", "cryptdestroyhash", "cryptgenkey",
+    "cryptderivekey", "cryptdestroykey", "cryptencrypt", "cryptdecrypt",
+    "cryptgenrandom", "cryptimportkey", "cryptexportkey",
+    // ui / window
+    "createwindowexa", "createwindowexw", "destroywindow", "showwindow",
+    "updatewindow", "findwindowa", "findwindoww", "findwindowexa",
+    "getforegroundwindow", "setforegroundwindow", "getwindowtexta",
+    "getwindowtextw", "setwindowtexta", "setwindowtextw", "getwindowrect",
+    "getclientrect", "getdc", "releasedc", "begingpaint", "endpaint",
+    "messageboxa", "messageboxw", "defwindowproca", "defwindowprocw",
+    "registerclassa", "registerclassw", "registerclassexa", "registerclassexw",
+    "postmessagea", "postmessagew", "sendmessagea", "sendmessagew",
+    "getmessagea", "getmessagew", "peekmessagea", "peekmessagew",
+    "translatemessage", "dispatchmessagea", "dispatchmessagew",
+    "postquitmessage", "loadicona", "loadiconw", "loadcursora", "loadcursorw",
+    "loadimagea", "loadimagew", "loadbitmapa", "loadbitmapw", "createicon",
+    "drawicon", "drawiconex", "destroycursor", "setcursor", "getcursorpos",
+    "setcursorpos", "showcursor", "clipcursor",
+    // hooks / input capture (keylogger signatures)
+    "setwindowshookexa", "setwindowshookexw", "unhookwindowshookex",
+    "callnexthookex", "getasynckeystate", "getkeystate", "getkeyboardstate",
+    "mapvirtualkeya", "mapvirtualkeyw", "keybd_event", "mouse_event",
+    "attachthreadinput", "getrawinputdata", "registerrawinputdevices",
+    // services
+    "openscmanagera", "openscmanagerw", "openservicea", "openservicew",
+    "createservicea", "createservicew", "startservicea", "startservicew",
+    "controlservice", "deleteservice", "closeservicehandle",
+    "queryserviceconfiga", "queryservicestatus", "changeserviceconfiga",
+    // tokens / privileges
+    "openprocesstoken", "openthreadtoken", "adjusttokenprivileges",
+    "lookupprivilegevaluea", "lookupprivilegevaluew", "gettokeninformation",
+    "duplicatetoken", "duplicatetokenex", "impersonateloggedonuser",
+    "reverttoself", "logonusera", "logonuserw", "createprocessasusera",
+    // system info
+    "getsysteminfo", "getnativesysteminfo", "getversion", "getversionexa",
+    "getversionexw", "getcomputernamea", "getcomputernamew", "getusernamea",
+    "getusernamew", "getsystemdirectorya", "getsystemdirectoryw",
+    "getwindowsdirectorya", "getwindowsdirectoryw", "getsystemtime",
+    "getlocaltime", "getsystemtimeasfiletime", "gettickcount",
+    "gettickcount64", "queryperformancecounter", "queryperformancefrequency",
+    "getsystemmetrics", "globalmemorystatus", "globalmemorystatusex",
+    "getenvironmentvariablea", "getenvironmentvariablew",
+    "setenvironmentvariablea", "setenvironmentvariablew",
+    "getenvironmentstrings", "getenvironmentstringsw",
+    "expandenvironmentstringsa", "expandenvironmentstringsw",
+    "getcommandlinea", "getcommandlinew", "getstartupinfoa",
+    // processes enumeration / debugging (evasion signatures)
+    "createtoolhelp32snapshot", "process32first", "process32next",
+    "module32first", "module32next", "thread32first", "thread32next",
+    "enumprocesses", "enumprocessmodules", "getmodulebasenamea",
+    "isdebuggerpresent", "checkremotedebuggerpresent", "outputdebugstringa",
+    "outputdebugstringw", "debugactiveprocess", "debugbreak",
+    "setunhandledexceptionfilter", "unhandledexceptionfilter",
+    // shell
+    "shellexecutea", "shellexecutew", "shellexecuteexa", "shellexecuteexw",
+    "shgetfolderpatha", "shgetfolderpathw", "shgetspecialfolderpatha",
+    "shfileoperationa", "shfileoperationw", "shgetknownfolderpath",
+    // string / locale
+    "lstrlena", "lstrlenw", "lstrcpya", "lstrcpyw", "lstrcata", "lstrcatw",
+    "lstrcmpa", "lstrcmpw", "lstrcmpia", "lstrcmpiw", "multibytetowidechar",
+    "widechartomultibyte", "comparestringa", "comparestringw",
+    "getlocaleinfoa", "getlocaleinfow", "getacp", "getoemcp",
+    "getuserdefaultlcid", "getsystemdefaultlangid", "charuppera", "charupperw",
+    "charlowera", "charlowerw", "isvalidcodepage", "getstringtypea",
+    "getstringtypew", "foldstringa", "foldstringw",
+    // console / std
+    "allocconsole", "freeconsole", "getconsolewindow", "setconsoletitlea",
+    "setconsoletitlew", "readconsolea", "readconsolew", "getconsolemode",
+    "setconsolemode", "setstdhandle", "getconsolecp", "getconsoleoutputcp",
+    // time / sync
+    "sleep", "sleepex", "createeventa", "createeventw", "setevent",
+    "resetevent", "createmutexa", "createmutexw", "releasemutex",
+    "opensemaphorea", "createsemaphorea", "createsemaphorew",
+    "releasesemaphore", "entercriticalsection", "leavecriticalsection",
+    "initializecriticalsection", "deletecriticalsection",
+    "createwaitabletimera", "setwaitabletimer", "cancelwaitabletimer",
+    "settimer", "killtimer", "timegettime", "getmessagetime",
+    // misc runtime (Table II common calls)
+    "flsalloc", "flsfree", "flsgetvalue", "flssetvalue", "tlsalloc",
+    "tlsfree", "tlsgetvalue", "tlssetvalue", "getlasterror", "setlasterror",
+    "raiseexception", "rtlunwind", "interlockedincrement",
+    "interlockeddecrement", "interlockedexchange", "interlockedcompareexchange",
+    "exitprocess", "fatalappexita", "fatalappexitw",
+    "freeenvironmentstringsa", "getcpinfoexa", "getcpinfoexw",
+    // clipboard / misc ui
+    "openclipboard", "closeclipboard", "getclipboarddata", "setclipboarddata",
+    "emptyclipboard", "isclipboardformatavailable", "registerclipboardformata",
+    // gdi
+    "bitblt", "stretchblt", "createcompatibledc", "createcompatiblebitmap",
+    "selectobject", "deleteobject", "deletedc", "getdibits", "setdibits",
+    "getpixel", "setpixel", "textouta", "textoutw", "settextcolor",
+    "setbkcolor", "createfonta", "createfontw", "createfontindirecta",
+    "getstockobject", "createsolidbrush", "createpen", "rectangle",
+    "ellipse", "polygon", "polyline", "lineto", "moveto", "movetoex",
+    // profile strings (paper's w-block neighbourhood)
+    "getprivateprofilestringa", "getprivateprofilestringw",
+    "getprivateprofileinta", "getprivateprofileintw", "getprofilestringa",
+    "getprofilestringw", "getprofileinta", "getprofileintw",
+    "writeprivateprofilesectiona", "writeprivateprofilesectionw",
+    // ole / com
+    "coinitialize", "coinitializeex", "couninitialize", "cocreateinstance",
+    "cocreateguid", "cotaskmemalloc", "cotaskmemfree", "olerun",
+    "variantinit", "variantclear", "sysallocstring", "sysfreestring",
+    // verification / resources
+    "getfileversioninfoa", "getfileversioninfow", "getfileversioninfosizea",
+    "verqueryvaluea", "verqueryvaluew", "findresourcea", "findresourcew",
+    "loadresource", "lockresource", "sizeofresource", "freeresource",
+    "enumresourcetypesa", "enumresourcenamesa", "updateresourcea",
+    "beginupdateresourcea", "endupdateresourcea",
+];
+
+/// Builds the canonical 491-name vocabulary: paper names + curated names,
+/// deduplicated, padded deterministically if short, truncated from the
+/// middle (never dropping paper names) if long, then sorted.
+pub(crate) fn standard_names() -> Vec<String> {
+    let mut names: Vec<String> = PAPER_APIS
+        .iter()
+        .chain(CURATED_APIS.iter())
+        .map(|s| s.to_string())
+        .collect();
+    names.sort();
+    names.dedup();
+
+    use std::collections::HashSet;
+    let must_keep: HashSet<&str> = PAPER_APIS.iter().copied().collect();
+
+    // Pad with plausible synthetic names if the curated list is short.
+    let mut pad = 0usize;
+    while names.len() < STANDARD_VOCAB_SIZE {
+        let candidate = format!("ntquerysysteminformation{pad:02}");
+        if !names.contains(&candidate) {
+            names.push(candidate);
+        }
+        pad += 1;
+    }
+    // Trim evenly from non-paper names if the curated list is long.
+    while names.len() > STANDARD_VOCAB_SIZE {
+        let excess = names.len() - STANDARD_VOCAB_SIZE;
+        let step = (names.len() / excess).max(1);
+        let mut removed = false;
+        let mut i = step / 2;
+        while i < names.len() && names.len() > STANDARD_VOCAB_SIZE {
+            if !must_keep.contains(names[i].as_str()) {
+                names.remove(i);
+                removed = true;
+            }
+            i += step;
+        }
+        if !removed {
+            // Degenerate fallback: remove the first removable name.
+            if let Some(pos) = names.iter().position(|n| !must_keep.contains(n.as_str())) {
+                names.remove(pos);
+            } else {
+                break;
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_has_exactly_491_names() {
+        let v = ApiVocab::standard();
+        assert_eq!(v.len(), STANDARD_VOCAB_SIZE);
+    }
+
+    #[test]
+    fn standard_contains_every_paper_api() {
+        let v = ApiVocab::standard();
+        for api in PAPER_APIS {
+            assert!(
+                v.index_of(api).is_some(),
+                "paper API {api} missing from standard vocabulary"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_is_sorted_and_unique() {
+        let v = ApiVocab::standard();
+        for w in v.names().windows(2) {
+            assert!(w[0] < w[1], "not strictly sorted: {} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn paper_w_apis_cluster_near_the_end() {
+        // Table III shows the w-block at indices 475-484; alphabetical
+        // ordering must put writeprocessmemory et al. in the final stretch.
+        let v = ApiVocab::standard();
+        let idx = v.index_of("writeprocessmemory").unwrap();
+        assert!(idx > v.len() * 9 / 10, "index {idx} not near the end");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let v = ApiVocab::standard();
+        for (i, name) in v.iter() {
+            assert_eq!(v.index_of(name), Some(i));
+            assert_eq!(v.name(i), Some(name));
+        }
+        assert_eq!(v.name(v.len()), None);
+        assert_eq!(v.index_of("definitely_not_an_api"), None);
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let v = ApiVocab::standard();
+        assert_eq!(
+            v.index_of("GetProcAddress"),
+            v.index_of("getprocaddress")
+        );
+    }
+
+    #[test]
+    fn from_names_rejects_duplicates_and_empty() {
+        assert!(ApiVocab::from_names(Vec::<String>::new()).is_err());
+        assert!(ApiVocab::from_names(vec!["a", "A"]).is_err());
+        assert!(ApiVocab::from_names(vec!["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn standard_is_deterministic() {
+        assert_eq!(ApiVocab::standard(), ApiVocab::standard());
+    }
+
+    #[test]
+    fn attacker_guess_differs_from_standard() {
+        let guess = ApiVocab::attacker_guess(0.5);
+        let std_v = ApiVocab::standard();
+        assert_ne!(guess, std_v);
+        // Some overlap exists (shared alphabetic prefix of real names).
+        let overlap = guess
+            .names()
+            .iter()
+            .filter(|n| std_v.index_of(n).is_some())
+            .count();
+        assert!(overlap > 0);
+        // And some fabricated names do not exist in the real vocabulary.
+        assert!(guess.index_of("ext_api_000").is_some());
+        assert!(std_v.index_of("ext_api_000").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn attacker_guess_rejects_bad_fraction() {
+        ApiVocab::attacker_guess(0.0);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn deserialized_vocab_has_working_index() {
+        let v = ApiVocab::standard();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: ApiVocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        // The regression this guards: index must be rebuilt, not empty.
+        assert_eq!(back.index_of("getprocaddress"), v.index_of("getprocaddress"));
+        assert!(back.index_of("getprocaddress").is_some());
+    }
+
+    #[test]
+    fn deserialization_rejects_duplicate_names() {
+        let json = r#"{"names": ["a", "a"]}"#;
+        assert!(serde_json::from_str::<ApiVocab>(json).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{sample_intensity, BehaviorProfile};
+use crate::{ApiVocab, Class, Dataset, DatasetSpec, Family, OsVersion, Program};
+
+/// Configuration of the synthetic world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Fraction of samples drawn from a blended (boundary) profile. These
+    /// keep the detector below 100% accuracy, as in the paper (baseline
+    /// TPR 0.883 / TNR 0.964, Table VI).
+    pub boundary_fraction: f64,
+    /// How far boundary samples blend toward the opposite class, in
+    /// `[0, 1]`.
+    pub boundary_blend: f64,
+    /// Log-normal σ of the program-size factor.
+    pub intensity_sigma: f64,
+    /// Probability weights of each OS version (XP, 7, 8, 10), normalized
+    /// internally.
+    pub os_mix: [f64; 4],
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            boundary_fraction: 0.12,
+            boundary_blend: 0.75,
+            intensity_sigma: 0.45,
+            os_mix: [0.1, 0.45, 0.15, 0.3],
+        }
+    }
+}
+
+impl WorldConfig {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.boundary_fraction),
+            "boundary_fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.boundary_blend),
+            "boundary_blend must be in [0, 1]"
+        );
+        assert!(
+            self.intensity_sigma >= 0.0 && self.intensity_sigma.is_finite(),
+            "intensity_sigma must be >= 0"
+        );
+        assert!(
+            self.os_mix.iter().all(|&w| w >= 0.0) && self.os_mix.iter().sum::<f64>() > 0.0,
+            "os_mix must be non-negative and not all zero"
+        );
+    }
+}
+
+/// The seeded generator of synthetic programs.
+///
+/// A `World` owns the vocabulary and one [`BehaviorProfile`] per family
+/// (per OS). The same `World` value always generates the same data given
+/// the same RNG seed.
+#[derive(Debug, Clone)]
+pub struct World {
+    config: WorldConfig,
+    vocab: ApiVocab,
+    /// Profiles indexed by (family, os); os-adjusted at construction.
+    profiles: Vec<((Family, OsVersion), BehaviorProfile)>,
+}
+
+impl World {
+    /// Builds a world over the standard 491-API vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see field docs).
+    pub fn new(config: WorldConfig) -> Self {
+        Self::with_vocab(config, ApiVocab::standard())
+    }
+
+    /// Builds a world over a custom vocabulary (used by the black-box
+    /// framework, where the attacker's feature space differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn with_vocab(config: WorldConfig, vocab: ApiVocab) -> Self {
+        config.validate();
+        let mut profiles = Vec::new();
+        for family in Family::BENIGN.iter().chain(Family::MALWARE.iter()) {
+            for os in OsVersion::ALL {
+                let mut p = BehaviorProfile::for_family(*family, &vocab);
+                p.apply_os(os, &vocab);
+                profiles.push(((*family, os), p));
+            }
+        }
+        World {
+            config,
+            vocab,
+            profiles,
+        }
+    }
+
+    /// The vocabulary programs are generated against.
+    pub fn vocab(&self) -> &ApiVocab {
+        &self.vocab
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    fn profile(&self, family: Family, os: OsVersion) -> &BehaviorProfile {
+        self.profiles
+            .iter()
+            .find(|((f, o), _)| *f == family && *o == os)
+            .map(|(_, p)| p)
+            .expect("all (family, os) profiles are built in new()")
+    }
+
+    fn sample_os(&self, rng: &mut impl Rng) -> OsVersion {
+        let total: f64 = self.config.os_mix.iter().sum();
+        let mut draw = rng.gen::<f64>() * total;
+        for (os, &w) in OsVersion::ALL.iter().zip(self.config.os_mix.iter()) {
+            if draw < w {
+                return *os;
+            }
+            draw -= w;
+        }
+        OsVersion::Win10
+    }
+
+    /// Samples one program of the given class (random family of that
+    /// class, random OS, with the configured boundary-case probability).
+    pub fn sample_program(&self, class: Class, rng: &mut impl Rng) -> Program {
+        let families = Family::of_class(class);
+        let family = families[rng.gen_range(0..families.len())];
+        self.sample_program_of(family, rng)
+    }
+
+    /// Samples one program of a specific family.
+    pub fn sample_program_of(&self, family: Family, rng: &mut impl Rng) -> Program {
+        let os = self.sample_os(rng);
+        let boundary = rng.gen::<f64>() < self.config.boundary_fraction;
+        let intensity = sample_intensity(self.config.intensity_sigma, rng);
+        let counts = if boundary {
+            // Blend toward a random family of the opposite class.
+            let opposite = match family.class() {
+                Class::Clean => Class::Malware,
+                Class::Malware => Class::Clean,
+            };
+            let others = Family::of_class(opposite);
+            let other = others[rng.gen_range(0..others.len())];
+            let mut p = self.profile(family, os).clone();
+            p.blend_toward(self.profile(other, os), self.config.boundary_blend);
+            p.sample_counts(intensity, rng)
+        } else {
+            self.profile(family, os).sample_counts(intensity, rng)
+        };
+        Program::new(family, os, counts).with_boundary_flag(boundary)
+    }
+
+    /// Samples `n_clean + n_malware` programs, clean first.
+    pub fn sample_batch(
+        &self,
+        n_clean: usize,
+        n_malware: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Program> {
+        let mut out = Vec::with_capacity(n_clean + n_malware);
+        for _ in 0..n_clean {
+            out.push(self.sample_program(Class::Clean, rng));
+        }
+        for _ in 0..n_malware {
+            out.push(self.sample_program(Class::Malware, rng));
+        }
+        out
+    }
+
+    /// Builds a full train/validation/test dataset per `spec`, with each
+    /// split drawn from an independent RNG stream (the paper's test set
+    /// comes from a source independent of training).
+    pub fn build_dataset(&self, spec: &DatasetSpec, seed: u64) -> Dataset {
+        let mut train_rng = crate::rng(seed.wrapping_mul(3).wrapping_add(1));
+        let mut val_rng = crate::rng(seed.wrapping_mul(3).wrapping_add(2));
+        let mut test_rng = crate::rng(seed.wrapping_mul(3).wrapping_add(3));
+        Dataset::new(
+            self.sample_batch(spec.train_clean, spec.train_malware, &mut train_rng),
+            self.sample_batch(spec.val_clean, spec.val_malware, &mut val_rng),
+            self.sample_batch(spec.test_clean, spec.test_malware, &mut test_rng),
+        )
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new(WorldConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let world = World::default();
+        let a = world.sample_program(Class::Malware, &mut rng(7));
+        let b = world.sample_program(Class::Malware, &mut rng(7));
+        assert_eq!(a, b);
+        let c = world.sample_program(Class::Malware, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_class_matches_request() {
+        let world = World::default();
+        let mut r = rng(1);
+        for _ in 0..20 {
+            assert_eq!(world.sample_program(Class::Clean, &mut r).class(), Class::Clean);
+            assert_eq!(
+                world.sample_program(Class::Malware, &mut r).class(),
+                Class::Malware
+            );
+        }
+    }
+
+    #[test]
+    fn counts_have_vocab_length_and_plausible_mass() {
+        let world = World::default();
+        let p = world.sample_program(Class::Clean, &mut rng(2));
+        assert_eq!(p.counts().len(), world.vocab().len());
+        assert!(p.total_calls() > 20, "program suspiciously quiet");
+        assert!(p.distinct_apis() > 10);
+    }
+
+    #[test]
+    fn classes_are_separable_on_signature_apis() {
+        let world = World::default();
+        let mut r = rng(3);
+        let v = world.vocab();
+        let wpm = v.index_of("writeprocessmemory").unwrap();
+        let mal_total: u64 = (0..60)
+            .map(|_| world.sample_program_of(Family::Injector, &mut r).counts()[wpm] as u64)
+            .sum();
+        let clean_total: u64 = (0..60)
+            .map(|_| world.sample_program(Class::Clean, &mut r).counts()[wpm] as u64)
+            .sum();
+        assert!(mal_total > clean_total * 3, "mal {mal_total} clean {clean_total}");
+    }
+
+    #[test]
+    fn boundary_fraction_controls_boundary_cases() {
+        let mut config = WorldConfig::default();
+        config.boundary_fraction = 0.0;
+        let world = World::new(config);
+        let mut r = rng(4);
+        assert!((0..50).all(|_| !world.sample_program(Class::Clean, &mut r).is_boundary_case()));
+
+        let mut config = WorldConfig::default();
+        config.boundary_fraction = 1.0;
+        let world = World::new(config);
+        let mut r = rng(4);
+        assert!((0..50).all(|_| world.sample_program(Class::Clean, &mut r).is_boundary_case()));
+    }
+
+    #[test]
+    fn os_mix_respected_in_the_extreme() {
+        let mut config = WorldConfig::default();
+        config.os_mix = [0.0, 0.0, 0.0, 1.0];
+        let world = World::new(config);
+        let mut r = rng(5);
+        for _ in 0..20 {
+            assert_eq!(world.sample_program(Class::Clean, &mut r).os(), OsVersion::Win10);
+        }
+    }
+
+    #[test]
+    fn batch_layout_is_clean_then_malware() {
+        let world = World::default();
+        let batch = world.sample_batch(3, 2, &mut rng(6));
+        assert_eq!(batch.len(), 5);
+        assert!(batch[..3].iter().all(|p| p.class() == Class::Clean));
+        assert!(batch[3..].iter().all(|p| p.class() == Class::Malware));
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary_fraction")]
+    fn invalid_config_panics() {
+        let mut config = WorldConfig::default();
+        config.boundary_fraction = 1.5;
+        World::new(config);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the synthetic API world: log round-trips,
+//! program-edit semantics, vocabulary laws, and generation determinism.
+
+use maleva_apisim::{ApiVocab, Class, Family, OsVersion, Program, World, WorldConfig};
+use proptest::prelude::*;
+
+fn vocab() -> ApiVocab {
+    ApiVocab::standard()
+}
+
+/// Strategy: a sparse count vector over the standard vocabulary.
+fn sparse_counts() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    prop::collection::vec((0usize..491, 1u32..50), 0..20)
+}
+
+fn program_from(sparse: &[(usize, u32)]) -> Program {
+    let mut counts = vec![0u32; 491];
+    for &(i, c) in sparse {
+        counts[i] = counts[i].saturating_add(c);
+    }
+    Program::new(Family::Dropper, OsVersion::Win7, counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_round_trips_any_counts(sparse in sparse_counts()) {
+        let v = vocab();
+        let p = program_from(&sparse);
+        let text = p.render_log(&v);
+        let parsed = maleva_apisim::log::parse_counts(&text, &v);
+        prop_assert_eq!(&parsed, p.counts());
+    }
+
+    #[test]
+    fn log_line_count_equals_total_calls(sparse in sparse_counts()) {
+        let v = vocab();
+        let p = program_from(&sparse);
+        let text = p.render_log(&v);
+        prop_assert_eq!(text.lines().count() as u64, p.total_calls());
+    }
+
+    #[test]
+    fn insert_api_calls_is_additive(sparse in sparse_counts(),
+                                    api in 0usize..491,
+                                    a in 1u32..20, b in 1u32..20) {
+        let mut once = program_from(&sparse);
+        once.insert_api_calls(api, a + b);
+        let mut twice = program_from(&sparse);
+        twice.insert_api_calls(api, a);
+        twice.insert_api_calls(api, b);
+        prop_assert_eq!(once.counts(), twice.counts());
+    }
+
+    #[test]
+    fn insert_never_decreases_any_count(sparse in sparse_counts(),
+                                        api in 0usize..491,
+                                        n in 1u32..30) {
+        let before = program_from(&sparse);
+        let mut after = before.clone();
+        after.insert_api_calls(api, n);
+        for (b, a) in before.counts().iter().zip(after.counts().iter()) {
+            prop_assert!(a >= b);
+        }
+        prop_assert_eq!(after.total_calls(), before.total_calls() + n as u64);
+    }
+
+    #[test]
+    fn parser_ignores_arbitrary_garbage_lines(garbage in "[a-z0-9 ]{0,40}") {
+        let v = vocab();
+        // Garbage without a colon parses to nothing; with unknown name it
+        // counts as unknown — never panics, never miscounts known APIs.
+        let (counts, _) = maleva_apisim::log::parse_counts_with_unknown(&garbage, &v);
+        prop_assert!(counts.iter().all(|&c| c == 0) || garbage.contains(':'));
+    }
+
+    #[test]
+    fn sampling_is_deterministic(seed in 0u64..10_000) {
+        let world = World::new(WorldConfig::default());
+        let a = world.sample_program(Class::Malware, &mut maleva_apisim::rng(seed));
+        let b = world.sample_program(Class::Malware, &mut maleva_apisim::rng(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_programs_are_wellformed(seed in 0u64..5_000) {
+        let world = World::new(WorldConfig::default());
+        let mut rng = maleva_apisim::rng(seed);
+        for class in [Class::Clean, Class::Malware] {
+            let p = world.sample_program(class, &mut rng);
+            prop_assert_eq!(p.class(), class);
+            prop_assert_eq!(p.counts().len(), 491);
+            prop_assert!(p.total_calls() > 0, "empty program");
+        }
+    }
+
+    #[test]
+    fn vocab_indices_bijective(idx in 0usize..491) {
+        let v = vocab();
+        let name = v.name(idx).expect("in range").to_string();
+        prop_assert_eq!(v.index_of(&name), Some(idx));
+        prop_assert_eq!(v.index_of(&name.to_ascii_uppercase()), Some(idx));
+    }
+}

@@ -1,0 +1,136 @@
+use serde::{Deserialize, Serialize};
+
+use maleva_nn::{Network, NnError};
+
+use crate::{AttackOutcome, EvasionAttack, Jsma};
+
+/// A **squeeze-aware** JSMA: the adaptive attacker of the paper's
+/// conclusion ("It is an open challenge to design a defense against a
+/// powerful adaptive attack").
+///
+/// Feature squeezing with a low-mass trim (see
+/// `maleva_defense::Squeezer::TrimLow`) erases adversarial feature
+/// additions smaller than its threshold, so the model's prediction
+/// "snaps back" and the L1 gap flags the sample. An attacker who *knows*
+/// the squeezer simply plants perturbations **above** the trim
+/// threshold: the squeezed input then equals the raw input on every
+/// perturbed feature, the prediction gap vanishes, and the detector goes
+/// blind — while the classifier itself is still evaded.
+///
+/// Implementation: run standard JSMA with an effective per-feature step
+/// of `max(θ, trim_threshold + margin)` by post-processing each chosen
+/// feature up to the survival level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqueezeAwareJsma {
+    /// The underlying JSMA configuration.
+    pub inner: Jsma,
+    /// The squeezer's trim threshold the attacker must clear.
+    pub trim_threshold: f64,
+    /// Safety margin above the threshold.
+    pub margin: f64,
+}
+
+impl SqueezeAwareJsma {
+    /// Wraps a JSMA so every planted perturbation survives a `TrimLow`
+    /// squeezer with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trim_threshold` is not in `[0, 1]` or `margin` is
+    /// negative.
+    pub fn new(inner: Jsma, trim_threshold: f64, margin: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&trim_threshold),
+            "trim threshold must be in [0, 1], got {trim_threshold}"
+        );
+        assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
+        SqueezeAwareJsma {
+            inner,
+            trim_threshold,
+            margin,
+        }
+    }
+
+    /// The per-feature value floor a perturbed feature is raised to.
+    pub fn survival_level(&self) -> f64 {
+        (self.trim_threshold + self.margin).min(1.0)
+    }
+}
+
+impl EvasionAttack for SqueezeAwareJsma {
+    fn name(&self) -> &str {
+        "jsma-squeeze-aware"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        let base = self.inner.craft(net, sample)?;
+        let level = self.survival_level();
+        let mut adversarial = base.adversarial.clone();
+        for &j in &base.perturbed_features {
+            // Raise every planted feature above the trim threshold so the
+            // squeezer cannot erase it. (Add-only is preserved: we only
+            // ever raise.)
+            if adversarial[j] < level {
+                adversarial[j] = level;
+            }
+        }
+        let evaded = net
+            .predict(&maleva_linalg::Matrix::row_vector(&adversarial))?[0]
+            == crate::CLEAN_CLASS;
+        Ok(AttackOutcome::new(
+            sample,
+            adversarial,
+            base.perturbed_features,
+            evaded,
+            base.iterations,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_detector;
+
+    #[test]
+    fn perturbed_features_clear_the_trim_threshold() {
+        let (net, mal, _) = trained_detector(12, 80);
+        let attack = SqueezeAwareJsma::new(Jsma::new(0.1, 0.5), 0.3, 0.01);
+        for r in 0..mal.rows().min(8) {
+            let o = attack.craft(&net, mal.row(r)).unwrap();
+            for &j in &o.perturbed_features {
+                assert!(
+                    o.adversarial[j] >= 0.31 - 1e-12,
+                    "feature {j} at {} would be trimmed",
+                    o.adversarial[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn still_addonly_and_in_box() {
+        let (net, mal, _) = trained_detector(12, 81);
+        let attack = SqueezeAwareJsma::new(Jsma::new(0.2, 0.5), 0.4, 0.05);
+        use crate::EvasionAttack as _;
+        let (adv, _) = attack.craft_batch(&net, &mal).unwrap();
+        assert!(adv.iter().all(|v| (0.0..=1.0).contains(&v)));
+        for r in 0..mal.rows() {
+            for (o, a) in mal.row(r).iter().zip(adv.row(r).iter()) {
+                assert!(a + 1e-12 >= *o);
+            }
+        }
+    }
+
+    #[test]
+    fn survival_level_saturates_at_one() {
+        let attack = SqueezeAwareJsma::new(Jsma::new(0.1, 0.1), 0.99, 0.5);
+        assert_eq!(attack.survival_level(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim threshold must be in [0, 1]")]
+    fn rejects_bad_threshold() {
+        SqueezeAwareJsma::new(Jsma::new(0.1, 0.1), 1.5, 0.0);
+    }
+}

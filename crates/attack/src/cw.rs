@@ -1,0 +1,257 @@
+use serde::{Deserialize, Serialize};
+
+use maleva_linalg::{norm, Matrix};
+use maleva_nn::{Network, NnError};
+
+use crate::{AttackOutcome, EvasionAttack, CLEAN_CLASS, MALWARE_CLASS};
+
+/// A Carlini–Wagner-style targeted L2 attack (the paper cites C&W as
+/// "one of the strongest attacks"), adapted to the malware feature box.
+///
+/// Minimizes `‖δ‖₂² + c · f(x + δ)` by projected gradient descent, where
+/// `f` is the logit-margin loss
+/// `f(x) = max(Z_malware(x) − Z_clean(x), −κ)` — zero once the sample is
+/// classified clean with margin `κ`, so the optimizer then spends its
+/// remaining steps *shrinking* the perturbation. Projection enforces the
+/// `[0, 1]` box and (optionally) the add-only constraint after every
+/// step.
+///
+/// Unlike JSMA this perturbs densely — it is the minimal-L2 end of the
+/// attack spectrum, where JSMA is the minimal-L0 end; comparing the two
+/// is exactly the paper's motivation for picking JSMA ("minimum number
+/// of features").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarliniWagnerL2 {
+    /// Trade-off constant between perturbation size and attack loss.
+    pub c: f64,
+    /// Confidence margin κ: the attack pushes until
+    /// `Z_clean − Z_malware ≥ κ`.
+    pub kappa: f64,
+    /// Gradient-descent steps.
+    pub steps: usize,
+    /// Step size.
+    pub lr: f64,
+    /// Enforce the malware-domain add-only constraint.
+    pub add_only: bool,
+}
+
+impl CarliniWagnerL2 {
+    /// Creates the attack with the given trade-off constant and default
+    /// κ = 0, 100 steps, lr = 0.05, add-only enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not positive and finite.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "c must be positive and finite, got {c}");
+        CarliniWagnerL2 {
+            c,
+            kappa: 0.0,
+            steps: 100,
+            lr: 0.05,
+            add_only: true,
+        }
+    }
+
+    /// Sets the confidence margin κ (high-confidence adversarial
+    /// examples transfer better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is negative.
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        assert!(kappa >= 0.0, "kappa must be non-negative, got {kappa}");
+        self.kappa = kappa;
+        self
+    }
+
+    /// Sets the optimization budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `lr <= 0`.
+    pub fn with_budget(mut self, steps: usize, lr: f64) -> Self {
+        assert!(steps > 0, "steps must be positive");
+        assert!(lr > 0.0 && lr.is_finite(), "lr must be positive, got {lr}");
+        self.steps = steps;
+        self.lr = lr;
+        self
+    }
+
+    /// Enables or disables the add-only constraint.
+    pub fn with_add_only(mut self, add_only: bool) -> Self {
+        self.add_only = add_only;
+        self
+    }
+}
+
+impl EvasionAttack for CarliniWagnerL2 {
+    fn name(&self) -> &str {
+        "cw-l2"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        if sample.len() != net.input_dim() {
+            return Err(NnError::InputShape {
+                expected: net.input_dim(),
+                actual: sample.len(),
+            });
+        }
+        let mut x = sample.to_vec();
+        let mut best: Option<Vec<f64>> = None;
+        let mut best_l2 = f64::INFINITY;
+        let mut iterations = 0usize;
+
+        for _ in 0..self.steps {
+            iterations += 1;
+            let xm = Matrix::row_vector(&x);
+            let z = net.logits(&xm)?;
+            let margin = z.get(0, MALWARE_CLASS) - z.get(0, CLEAN_CLASS);
+
+            if margin <= -self.kappa {
+                // Successful with requested confidence: remember the
+                // smallest perturbation seen, then keep optimizing purely
+                // on the L2 term (loss gradient of f is 0 here).
+                let l2 = norm::l2_distance(sample, &x);
+                if l2 < best_l2 {
+                    best_l2 = l2;
+                    best = Some(x.clone());
+                }
+            }
+
+            // Gradient of the objective w.r.t. x:
+            //   2·δ  +  c · d f / d x      (f-gradient zero once satisfied)
+            let mut grad: Vec<f64> = x
+                .iter()
+                .zip(sample.iter())
+                .map(|(&xi, &si)| 2.0 * (xi - si))
+                .collect();
+            if margin > -self.kappa {
+                // d(Z_mal − Z_clean)/dx via one backward pass.
+                let mut seed = Matrix::zeros(1, net.num_classes());
+                seed.set(0, MALWARE_CLASS, 1.0);
+                seed.set(0, CLEAN_CLASS, -1.0);
+                let g = net.input_gradient(&xm, &seed)?;
+                for (gi, j) in grad.iter_mut().zip(0..x.len()) {
+                    *gi += self.c * g.get(0, j);
+                }
+            }
+
+            // Projected descent step.
+            for (j, xi) in x.iter_mut().enumerate() {
+                let lo = if self.add_only { sample[j] } else { 0.0 };
+                *xi = (*xi - self.lr * grad[j]).clamp(lo, 1.0);
+            }
+        }
+
+        // Final candidate: prefer the best successful perturbation; fall
+        // back to the final iterate.
+        let adversarial = best.unwrap_or(x);
+        let evaded = net.predict(&Matrix::row_vector(&adversarial))?[0] == CLEAN_CLASS;
+        let perturbed: Vec<usize> = adversarial
+            .iter()
+            .zip(sample.iter())
+            .enumerate()
+            .filter(|(_, (a, s))| (*a - *s).abs() > 1e-9)
+            .map(|(j, _)| j)
+            .collect();
+        Ok(AttackOutcome::new(
+            sample,
+            adversarial,
+            perturbed,
+            evaded,
+            iterations,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection_rate;
+    use crate::testutil::trained_detector;
+    use crate::Jsma;
+
+    #[test]
+    fn cw_reduces_detection_rate() {
+        let (net, mal, _) = trained_detector(12, 60);
+        let cw = CarliniWagnerL2::new(5.0).with_budget(150, 0.05);
+        let (adv, outcomes) = cw.craft_batch(&net, &mal).unwrap();
+        let before = detection_rate(&net, &mal).unwrap();
+        let after = detection_rate(&net, &adv).unwrap();
+        assert!(after < before - 0.3, "CW detection {before} -> {after}");
+        assert!(outcomes.iter().filter(|o| o.evaded).count() > mal.rows() / 2);
+    }
+
+    #[test]
+    fn cw_respects_box_and_addonly() {
+        let (net, mal, _) = trained_detector(12, 61);
+        let cw = CarliniWagnerL2::new(5.0);
+        let (adv, _) = cw.craft_batch(&net, &mal).unwrap();
+        assert!(adv.iter().all(|v| (0.0..=1.0).contains(&v)));
+        for r in 0..mal.rows() {
+            for (o, a) in mal.row(r).iter().zip(adv.row(r).iter()) {
+                assert!(a + 1e-12 >= *o, "add-only violated");
+            }
+        }
+    }
+
+    #[test]
+    fn cw_perturbs_more_features_but_smaller_l2_than_jsma() {
+        // The L0/L2 trade: C&W spreads a smaller total perturbation over
+        // more features than JSMA spends reaching the same flip.
+        let (net, mal, _) = trained_detector(12, 62);
+        let cw = CarliniWagnerL2::new(5.0).with_budget(200, 0.05);
+        let jsma = Jsma::new(0.5, 1.0);
+        let (_, co) = cw.craft_batch(&net, &mal).unwrap();
+        let (_, jo) = jsma.craft_batch(&net, &mal).unwrap();
+        let evaded_pairs: Vec<(&crate::AttackOutcome, &crate::AttackOutcome)> = co
+            .iter()
+            .zip(jo.iter())
+            .filter(|(c, j)| c.evaded && j.evaded)
+            .collect();
+        assert!(!evaded_pairs.is_empty(), "need joint evasions to compare");
+        let mean = |f: &dyn Fn(&crate::AttackOutcome) -> f64, side: bool| -> f64 {
+            evaded_pairs
+                .iter()
+                .map(|(c, j)| f(if side { c } else { j }))
+                .sum::<f64>()
+                / evaded_pairs.len() as f64
+        };
+        let cw_l2 = mean(&|o| o.l2_distance, true);
+        let jsma_l2 = mean(&|o| o.l2_distance, false);
+        assert!(
+            cw_l2 <= jsma_l2 + 1e-9,
+            "C&W should find smaller-L2 evasions: {cw_l2} vs {jsma_l2}"
+        );
+    }
+
+    #[test]
+    fn higher_kappa_gives_higher_confidence() {
+        let (net, mal, _) = trained_detector(12, 63);
+        let low = CarliniWagnerL2::new(5.0).with_kappa(0.0).with_budget(150, 0.05);
+        let high = CarliniWagnerL2::new(5.0).with_kappa(2.0).with_budget(150, 0.05);
+        let sample = mal.row(0);
+        let lo = low.craft(&net, sample).unwrap();
+        let hi = high.craft(&net, sample).unwrap();
+        if lo.evaded && hi.evaded {
+            let margin = |adv: &[f64]| {
+                let z = net.logits(&Matrix::row_vector(adv)).unwrap();
+                z.get(0, 0) - z.get(0, 1) // clean minus malware
+            };
+            assert!(margin(&hi.adversarial) >= margin(&lo.adversarial) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let (net, _, _) = trained_detector(12, 64);
+        assert!(CarliniWagnerL2::new(1.0).craft(&net, &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be positive")]
+    fn rejects_bad_c() {
+        CarliniWagnerL2::new(0.0);
+    }
+}

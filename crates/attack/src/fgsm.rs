@@ -1,0 +1,145 @@
+use serde::{Deserialize, Serialize};
+
+use maleva_linalg::Matrix;
+use maleva_nn::{loss, Network, NnError};
+
+use crate::{AttackOutcome, EvasionAttack, CLEAN_CLASS};
+
+/// Targeted Fast Gradient Sign Method (Goodfellow et al. 2015), adapted to
+/// the malware domain.
+///
+/// FGSM is not the paper's attack (the paper motivates choosing JSMA for
+/// its minimal-feature perturbations) but is the canonical baseline the
+/// adversarial-training defense is usually introduced with; it is included
+/// for the attack-method ablations. The targeted variant steps *down* the
+/// loss toward the clean class:
+///
+/// `x' = clamp(x − ε · sign(∂CE(f(x), clean)/∂x))`
+///
+/// Under the add-only constraint, negative components of the step (which
+/// would remove API evidence) are zeroed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fgsm {
+    /// Step size ε.
+    pub epsilon: f64,
+    /// If `true`, features may only increase (paper's domain constraint).
+    pub add_only: bool,
+}
+
+impl Fgsm {
+    /// Creates a targeted FGSM with the add-only constraint enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        Fgsm {
+            epsilon,
+            add_only: true,
+        }
+    }
+
+    /// Enables or disables the add-only constraint.
+    pub fn with_add_only(mut self, add_only: bool) -> Self {
+        self.add_only = add_only;
+        self
+    }
+}
+
+impl EvasionAttack for Fgsm {
+    fn name(&self) -> &str {
+        "fgsm"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        let x = Matrix::row_vector(sample);
+        let logits = net.logits(&x)?;
+        // Loss toward the target (clean) class; its input-gradient points
+        // away from clean, so we step against it.
+        let grad_logits = loss::cross_entropy_grad(&logits, &[CLEAN_CLASS], 1.0)?;
+        let grad_input = net.input_gradient(&x, &grad_logits)?;
+
+        let mut adv = sample.to_vec();
+        let mut perturbed = Vec::new();
+        for (j, v) in adv.iter_mut().enumerate() {
+            let step = -self.epsilon * grad_input.get(0, j).signum();
+            if grad_input.get(0, j) == 0.0 {
+                continue;
+            }
+            if self.add_only && step < 0.0 {
+                continue;
+            }
+            let before = *v;
+            *v = (*v + step).clamp(0.0, 1.0);
+            if (*v - before).abs() > 1e-15 {
+                perturbed.push(j);
+            }
+        }
+        let evaded = net.predict(&Matrix::row_vector(&adv))?[0] == CLEAN_CLASS;
+        Ok(AttackOutcome::new(sample, adv, perturbed, evaded, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection_rate;
+    use crate::testutil::trained_detector;
+
+    #[test]
+    fn fgsm_reduces_detection_rate() {
+        let (net, mal, _) = trained_detector(12, 20);
+        let fgsm = Fgsm::new(0.5);
+        let (adv, _) = fgsm.craft_batch(&net, &mal).unwrap();
+        let before = detection_rate(&net, &mal).unwrap();
+        let after = detection_rate(&net, &adv).unwrap();
+        assert!(after < before, "detection {before} -> {after}");
+    }
+
+    #[test]
+    fn add_only_respects_monotonicity() {
+        let (net, mal, _) = trained_detector(12, 21);
+        let fgsm = Fgsm::new(0.3);
+        let outcome = fgsm.craft(&net, mal.row(0)).unwrap();
+        for (o, a) in mal.row(0).iter().zip(outcome.adversarial.iter()) {
+            assert!(a >= o);
+        }
+    }
+
+    #[test]
+    fn unconstrained_fgsm_is_at_least_as_strong() {
+        let (net, mal, _) = trained_detector(12, 22);
+        let constrained = Fgsm::new(0.4);
+        let free = Fgsm::new(0.4).with_add_only(false);
+        let (adv_c, _) = constrained.craft_batch(&net, &mal).unwrap();
+        let (adv_f, _) = free.craft_batch(&net, &mal).unwrap();
+        let dc = detection_rate(&net, &adv_c).unwrap();
+        let df = detection_rate(&net, &adv_f).unwrap();
+        assert!(df <= dc + 1e-9, "free {df} vs constrained {dc}");
+    }
+
+    #[test]
+    fn stays_in_unit_box() {
+        let (net, mal, _) = trained_detector(12, 23);
+        let fgsm = Fgsm::new(2.0).with_add_only(false);
+        let (adv, _) = fgsm.craft_batch(&net, &mal).unwrap();
+        assert!(adv.iter().all(|v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn single_iteration_always() {
+        let (net, mal, _) = trained_detector(12, 24);
+        let outcome = Fgsm::new(0.2).craft(&net, mal.row(0)).unwrap();
+        assert_eq!(outcome.iterations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        Fgsm::new(-0.1);
+    }
+}

@@ -1,0 +1,74 @@
+use maleva_linalg::norm;
+use serde::{Deserialize, Serialize};
+
+/// The result of crafting one adversarial example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// The adversarial feature vector (same length as the input).
+    pub adversarial: Vec<f64>,
+    /// Indices of the features the attack modified, in modification order.
+    pub perturbed_features: Vec<usize>,
+    /// Whether the *crafting* model classifies the result as the target
+    /// (clean) class. Transfer success against other models is evaluated
+    /// separately.
+    pub evaded: bool,
+    /// Number of saliency/gradient iterations performed.
+    pub iterations: usize,
+    /// L2 distance between the original and adversarial vectors — the
+    /// paper's perturbation metric (Figure 5).
+    pub l2_distance: f64,
+}
+
+impl AttackOutcome {
+    /// Builds an outcome, computing the L2 distance from the originals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original.len() != adversarial.len()`.
+    pub fn new(
+        original: &[f64],
+        adversarial: Vec<f64>,
+        perturbed_features: Vec<usize>,
+        evaded: bool,
+        iterations: usize,
+    ) -> Self {
+        let l2_distance = norm::l2_distance(original, &adversarial);
+        AttackOutcome {
+            adversarial,
+            perturbed_features,
+            evaded,
+            iterations,
+            l2_distance,
+        }
+    }
+
+    /// Number of distinct features modified.
+    pub fn features_modified(&self) -> usize {
+        self.perturbed_features.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_is_computed_from_difference() {
+        let outcome = AttackOutcome::new(&[0.0, 0.0], vec![3.0, 4.0], vec![0, 1], true, 2);
+        assert_eq!(outcome.l2_distance, 5.0);
+        assert_eq!(outcome.features_modified(), 2);
+    }
+
+    #[test]
+    fn unmodified_outcome_has_zero_distance() {
+        let outcome = AttackOutcome::new(&[0.5], vec![0.5], vec![], false, 0);
+        assert_eq!(outcome.l2_distance, 0.0);
+        assert!(!outcome.evaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        AttackOutcome::new(&[0.0], vec![1.0, 2.0], vec![], false, 0);
+    }
+}

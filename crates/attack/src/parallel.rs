@@ -1,0 +1,132 @@
+//! Multi-threaded adversarial crafting.
+//!
+//! Crafting is embarrassingly parallel across samples — each JSMA run
+//! touches only its own row — so sweeps over thousands of malware
+//! samples scale with cores. Results are **bit-identical** to the
+//! sequential path: rows are partitioned deterministically and written
+//! back in order, and every attack in this crate derives its randomness
+//! (if any) from the sample contents, not from shared state.
+
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError};
+
+use crate::{AttackOutcome, EvasionAttack};
+
+/// Crafts adversarial examples for every row of `batch` using up to
+/// `threads` worker threads. Equivalent to
+/// [`EvasionAttack::craft_batch`] but parallel; the output is
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns the first [`NnError`] any worker hits (by row order).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn craft_batch_parallel<A>(
+    attack: &A,
+    net: &Network,
+    batch: &Matrix,
+    threads: usize,
+) -> Result<(Matrix, Vec<AttackOutcome>), NnError>
+where
+    A: EvasionAttack + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = batch.rows();
+    if n == 0 || threads == 1 {
+        return attack.craft_batch(net, batch);
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+
+    let mut results: Vec<Option<Result<AttackOutcome, NnError>>> = Vec::new();
+    results.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<Result<AttackOutcome, NnError>>] = &mut results;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let begin = start;
+            scope.spawn(move || {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(attack.craft(net, batch.row(begin + offset)));
+                }
+            });
+            start += len;
+        }
+    });
+
+    let mut rows = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for slot in results {
+        let outcome = slot.expect("every row visited")?;
+        rows.push(outcome.adversarial.clone());
+        outcomes.push(outcome);
+    }
+    Ok((
+        Matrix::from_rows(&rows).expect("uniform adversarial rows"),
+        outcomes,
+    ))
+}
+
+/// A reasonable worker count: the number of available CPUs, at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_detector;
+    use crate::Jsma;
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (net, mal, _) = trained_detector(12, 90);
+        let jsma = Jsma::new(0.3, 0.25);
+        let (seq_adv, seq_out) = jsma.craft_batch(&net, &mal).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let (par_adv, par_out) =
+                craft_batch_parallel(&jsma, &net, &mal, threads).unwrap();
+            assert_eq!(par_adv, seq_adv, "threads = {threads}");
+            assert_eq!(par_out, seq_out, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (net, mal, _) = trained_detector(12, 91);
+        let small = mal.select_rows(&[0, 1]);
+        let jsma = Jsma::new(0.3, 0.25);
+        let (adv, outcomes) = craft_batch_parallel(&jsma, &net, &small, 64).unwrap();
+        assert_eq!(adv.rows(), 2);
+        assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (net, _, _) = trained_detector(12, 92);
+        let jsma = Jsma::new(0.3, 0.25);
+        let bad = Matrix::zeros(4, 5); // wrong width
+        assert!(craft_batch_parallel(&jsma, &net, &bad, 2).is_err());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (net, mal, _) = trained_detector(12, 93);
+        let _ = craft_batch_parallel(&Jsma::new(0.1, 0.1), &net, &mal, 0);
+    }
+}

@@ -1,0 +1,155 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError};
+
+use crate::{AttackOutcome, EvasionAttack, CLEAN_CLASS};
+
+/// The paper's control experiment: add `θ` to `⌊γ·M⌋` *randomly chosen*
+/// features instead of saliency-chosen ones.
+///
+/// Figure 3's commentary: "Randomly adding features does not decrease the
+/// detection rates. … The JSMA perturbation is different from random
+/// noise." This baseline makes every security evaluation curve carry its
+/// own control series.
+///
+/// The RNG is derived deterministically from the configured seed and the
+/// sample contents, so crafting is reproducible and batch-order
+/// independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomAddition {
+    /// Perturbation magnitude per modified feature.
+    pub theta: f64,
+    /// Maximum fraction of features to modify.
+    pub gamma: f64,
+    /// Base seed for the per-sample RNG derivation.
+    pub seed: u64,
+}
+
+impl RandomAddition {
+    /// Creates the random-addition baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not positive-finite or `gamma` is not in
+    /// `[0, 1]`.
+    pub fn new(theta: f64, gamma: f64, seed: u64) -> Self {
+        assert!(
+            theta.is_finite() && theta > 0.0,
+            "theta must be positive and finite, got {theta}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma must be in [0, 1], got {gamma}"
+        );
+        RandomAddition { theta, gamma, seed }
+    }
+
+    fn sample_rng(&self, sample: &[f64]) -> ChaCha8Rng {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        for v in sample {
+            v.to_bits().hash(&mut h);
+        }
+        ChaCha8Rng::seed_from_u64(h.finish())
+    }
+}
+
+impl EvasionAttack for RandomAddition {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        // Validate width against the network exactly like the real attacks.
+        if sample.len() != net.input_dim() {
+            return Err(NnError::InputShape {
+                expected: net.input_dim(),
+                actual: sample.len(),
+            });
+        }
+        let mut rng = self.sample_rng(sample);
+        let dim = sample.len();
+        let budget = (self.gamma * dim as f64).floor() as usize;
+        let mut adv = sample.to_vec();
+        let mut chosen = Vec::with_capacity(budget);
+        let mut tried = 0usize;
+        while chosen.len() < budget && tried < dim * 4 {
+            tried += 1;
+            let j = rng.gen_range(0..dim);
+            if chosen.contains(&j) || adv[j] >= 1.0 - 1e-12 {
+                continue; // add-only: skip saturated features
+            }
+            adv[j] = (adv[j] + self.theta).min(1.0);
+            chosen.push(j);
+        }
+        let evaded = net.predict(&Matrix::row_vector(&adv))?[0] == CLEAN_CLASS;
+        Ok(AttackOutcome::new(sample, adv, chosen, evaded, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection_rate;
+    use crate::testutil::trained_detector;
+    use crate::{EvasionAttack, Jsma};
+
+    #[test]
+    fn random_addition_is_much_weaker_than_jsma() {
+        let (net, mal, _) = trained_detector(12, 30);
+        let random = RandomAddition::new(0.5, 0.5, 7);
+        let jsma = Jsma::new(0.5, 0.5);
+        let (adv_r, _) = random.craft_batch(&net, &mal).unwrap();
+        let (adv_j, _) = jsma.craft_batch(&net, &mal).unwrap();
+        let dr_r = detection_rate(&net, &adv_r).unwrap();
+        let dr_j = detection_rate(&net, &adv_j).unwrap();
+        assert!(
+            dr_r > dr_j + 0.2,
+            "random should be far weaker: random {dr_r} vs jsma {dr_j}"
+        );
+    }
+
+    #[test]
+    fn respects_budget_and_box() {
+        let (net, mal, _) = trained_detector(12, 31);
+        let random = RandomAddition::new(0.4, 0.25, 1);
+        let (adv, outcomes) = random.craft_batch(&net, &mal).unwrap();
+        assert!(adv.iter().all(|v| (0.0..=1.0).contains(&v)));
+        for o in outcomes {
+            assert!(o.features_modified() <= 3); // floor(0.25 * 12)
+        }
+    }
+
+    #[test]
+    fn deterministic_per_sample() {
+        let (net, mal, _) = trained_detector(12, 32);
+        let random = RandomAddition::new(0.4, 0.5, 9);
+        let a = random.craft(&net, mal.row(0)).unwrap();
+        let b = random.craft(&net, mal.row(0)).unwrap();
+        assert_eq!(a, b);
+        let c = random.craft(&net, mal.row(1)).unwrap();
+        assert_ne!(a.perturbed_features, c.perturbed_features);
+    }
+
+    #[test]
+    fn add_only_monotone() {
+        let (net, mal, _) = trained_detector(12, 33);
+        let random = RandomAddition::new(0.4, 1.0, 2);
+        let o = random.craft(&net, mal.row(2)).unwrap();
+        for (orig, adv) in mal.row(2).iter().zip(o.adversarial.iter()) {
+            assert!(adv >= orig);
+        }
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let (net, _, _) = trained_detector(12, 34);
+        let random = RandomAddition::new(0.4, 0.5, 3);
+        assert!(random.craft(&net, &[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Security-evaluation-curve sweeps: detection rate as a function of
+//! attack strength (the machinery behind Figures 3 and 4).
+
+use maleva_eval::SecurityCurve;
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError};
+
+use crate::{detection_rate, EvasionAttack, Jsma, RandomAddition};
+
+/// Which attack-strength knob a sweep varies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Vary γ (number of perturbed features) at fixed θ — Figure 3(a) /
+    /// 4(a): `θ = 0.1, γ ∈ [0 : 0.005 : 0.030]`.
+    Gamma {
+        /// Fixed perturbation magnitude.
+        theta: f64,
+        /// γ values to sweep.
+        values: Vec<f64>,
+    },
+    /// Vary θ (perturbation magnitude) at fixed γ — Figure 3(b) / 4(b):
+    /// `γ = 0.025, θ ∈ [0 : 0.0125 : 0.15]`.
+    Theta {
+        /// Fixed feature-budget fraction.
+        gamma: f64,
+        /// θ values to sweep.
+        values: Vec<f64>,
+    },
+}
+
+impl SweepAxis {
+    /// The paper's Figure 3(a) axis: θ = 0.1, γ from 0 to 0.030 in steps
+    /// of 0.005 (adding 0, 2, 4, … 14 features over 491).
+    pub fn paper_gamma() -> Self {
+        SweepAxis::Gamma {
+            theta: 0.1,
+            values: (0..=6).map(|i| i as f64 * 0.005).collect(),
+        }
+    }
+
+    /// The paper's Figure 3(b) axis: γ = 0.025, θ from 0 to 0.15 in steps
+    /// of 0.0125.
+    pub fn paper_theta() -> Self {
+        SweepAxis::Theta {
+            gamma: 0.025,
+            values: (0..=12).map(|i| i as f64 * 0.0125).collect(),
+        }
+    }
+
+    /// The strength values being swept.
+    pub fn values(&self) -> &[f64] {
+        match self {
+            SweepAxis::Gamma { values, .. } | SweepAxis::Theta { values, .. } => values,
+        }
+    }
+
+    /// Axis label for curve rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::Gamma { .. } => "gamma",
+            SweepAxis::Theta { .. } => "theta",
+        }
+    }
+
+    /// The `(theta, gamma)` pair at one sweep point.
+    fn point(&self, i: usize) -> (f64, f64) {
+        match self {
+            SweepAxis::Gamma { theta, values } => (*theta, values[i]),
+            SweepAxis::Theta { gamma, values } => (values[i], *gamma),
+        }
+    }
+}
+
+/// Runs a JSMA security sweep.
+///
+/// Adversarial examples are crafted once per strength point against
+/// `craft_net`, then scored by each named evaluator network. For a
+/// white-box curve pass the same network as crafter and sole evaluator;
+/// for a grey-box curve craft on the substitute and evaluate on both
+/// substitute and target. When `random_seed` is `Some`, a matching
+/// [`RandomAddition`] control series (evaluated on the first evaluator)
+/// is appended — the paper's "random noise" comparison.
+///
+/// # Errors
+///
+/// Returns [`NnError`] if the malware batch width mismatches any network.
+///
+/// # Panics
+///
+/// Panics if `evaluators` is empty or `malware` has no rows.
+pub fn security_sweep(
+    craft_net: &Network,
+    evaluators: &[(&str, &Network)],
+    malware: &Matrix,
+    axis: &SweepAxis,
+    random_seed: Option<u64>,
+) -> Result<SecurityCurve, NnError> {
+    // The default template is the paper-standard JSMA; theta/gamma are
+    // overridden per sweep point.
+    security_sweep_with(
+        &Jsma::new(1.0, 1.0),
+        craft_net,
+        evaluators,
+        malware,
+        axis,
+        random_seed,
+    )
+}
+
+/// Like [`security_sweep`], but crafting with the given [`Jsma`] template
+/// (its `policy`, `add_only` and `stop_on_success` are respected; `theta`
+/// and `gamma` are overridden at each sweep point). Grey-box transfer
+/// curves use a high-confidence template.
+///
+/// # Errors
+///
+/// Returns [`NnError`] if the malware batch width mismatches any network.
+///
+/// # Panics
+///
+/// Panics if `evaluators` is empty or `malware` has no rows.
+pub fn security_sweep_with(
+    template: &Jsma,
+    craft_net: &Network,
+    evaluators: &[(&str, &Network)],
+    malware: &Matrix,
+    axis: &SweepAxis,
+    random_seed: Option<u64>,
+) -> Result<SecurityCurve, NnError> {
+    assert!(!evaluators.is_empty(), "need at least one evaluator");
+    assert!(malware.rows() > 0, "empty malware batch");
+
+    let values = axis.values().to_vec();
+    let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(values.len()); evaluators.len()];
+    let mut random_series: Vec<f64> = Vec::new();
+
+    for i in 0..values.len() {
+        let (theta, gamma) = axis.point(i);
+        let adv = if theta <= 0.0 || gamma <= 0.0 {
+            malware.clone() // strength 0: unperturbed
+        } else {
+            let mut jsma = template.clone();
+            jsma.theta = theta;
+            jsma.gamma = gamma;
+            crate::parallel::craft_batch_parallel(
+                &jsma,
+                craft_net,
+                malware,
+                crate::parallel::default_threads(),
+            )?
+            .0
+        };
+        for (s, (_, net)) in series.iter_mut().zip(evaluators.iter()) {
+            s.push(detection_rate(net, &adv)?);
+        }
+        if let Some(seed) = random_seed {
+            let adv_r = if theta <= 0.0 || gamma <= 0.0 {
+                malware.clone()
+            } else {
+                RandomAddition::new(theta, gamma, seed)
+                    .craft_batch(craft_net, malware)?
+                    .0
+            };
+            random_series.push(detection_rate(evaluators[0].1, &adv_r)?);
+        }
+    }
+
+    let mut curve = SecurityCurve::new(axis.label(), values);
+    for ((name, _), s) in evaluators.iter().zip(series) {
+        curve.push_series(format!("jsma:{name}"), s);
+    }
+    if random_seed.is_some() {
+        curve.push_series(format!("random:{}", evaluators[0].0), random_series);
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_detector;
+
+    #[test]
+    fn paper_axes_match_figure_3() {
+        let g = SweepAxis::paper_gamma();
+        assert_eq!(g.values().len(), 7);
+        assert!((g.values()[6] - 0.030).abs() < 1e-12);
+        let t = SweepAxis::paper_theta();
+        assert_eq!(t.values().len(), 13);
+        assert!((t.values()[12] - 0.15).abs() < 1e-12);
+        assert_eq!(g.label(), "gamma");
+        assert_eq!(t.label(), "theta");
+    }
+
+    #[test]
+    fn whitebox_sweep_decreases_with_gamma_and_random_stays_flat() {
+        let (net, mal, _) = trained_detector(16, 40);
+        let axis = SweepAxis::Gamma {
+            theta: 0.5,
+            values: vec![0.0, 0.125, 0.25, 0.5],
+        };
+        let curve = security_sweep(&net, &[("whitebox", &net)], &mal, &axis, Some(5)).unwrap();
+        let jsma = curve.series_named("jsma:whitebox").unwrap();
+        assert!((jsma.values[0] - 1.0).abs() < 0.05, "strength 0 ≈ clean baseline");
+        assert!(
+            jsma.values[3] < jsma.values[0] - 0.5,
+            "detection must collapse: {:?}",
+            jsma.values
+        );
+        let random = curve.series_named("random:whitebox").unwrap();
+        assert!(
+            random.values[3] > jsma.values[3] + 0.2,
+            "random baseline should stay much higher: random {:?} jsma {:?}",
+            random.values,
+            jsma.values
+        );
+    }
+
+    #[test]
+    fn theta_sweep_strength_zero_is_baseline() {
+        let (net, mal, _) = trained_detector(16, 41);
+        let axis = SweepAxis::Theta {
+            gamma: 0.5,
+            values: vec![0.0, 0.5],
+        };
+        let curve = security_sweep(&net, &[("m", &net)], &mal, &axis, None).unwrap();
+        let s = curve.series_named("jsma:m").unwrap();
+        let baseline = crate::detection_rate(&net, &mal).unwrap();
+        assert!((s.values[0] - baseline).abs() < 1e-12);
+        assert!(s.values[1] < baseline);
+    }
+
+    #[test]
+    fn multiple_evaluators_produce_multiple_series() {
+        let (a, mal, _) = trained_detector(16, 42);
+        let (b, _, _) = trained_detector(16, 43);
+        let axis = SweepAxis::Gamma {
+            theta: 0.5,
+            values: vec![0.0, 0.25],
+        };
+        let curve =
+            security_sweep(&a, &[("substitute", &a), ("target", &b)], &mal, &axis, None).unwrap();
+        assert!(curve.series_named("jsma:substitute").is_some());
+        assert!(curve.series_named("jsma:target").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluator")]
+    fn empty_evaluators_panics() {
+        let (net, mal, _) = trained_detector(8, 44);
+        let _ = security_sweep(
+            &net,
+            &[],
+            &mal,
+            &SweepAxis::Gamma {
+                theta: 0.1,
+                values: vec![0.0],
+            },
+            None,
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the attack implementations: domain
+//! constraints must hold for arbitrary inputs and parameters.
+
+use maleva_attack::{EvasionAttack, Fgsm, Jsma, RandomAddition, SaliencyPolicy};
+use maleva_nn::{Activation, Network, NetworkBuilder};
+use proptest::prelude::*;
+
+const DIM: usize = 12;
+
+fn net(seed: u64) -> Network {
+    NetworkBuilder::new(DIM)
+        .layer(8, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+        .expect("net")
+}
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, DIM)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn jsma_stays_in_box_and_is_monotone(x in sample(),
+                                         theta in 0.01f64..1.0,
+                                         gamma in 0.0f64..1.0,
+                                         seed in 0u64..100,
+                                         hc in any::<bool>()) {
+        let net = net(seed);
+        let mut jsma = Jsma::new(theta, gamma);
+        if hc {
+            jsma = jsma.with_high_confidence();
+        }
+        let o = jsma.craft(&net, &x).expect("craft");
+        prop_assert!(o.adversarial.iter().all(|v| (0.0..=1.0).contains(v)));
+        for (orig, adv) in x.iter().zip(o.adversarial.iter()) {
+            prop_assert!(adv + 1e-12 >= *orig, "add-only violated");
+        }
+        prop_assert!(o.features_modified() <= jsma.max_features(DIM));
+    }
+
+    #[test]
+    fn jsma_budget_is_floor_of_gamma_m(gamma in 0.0f64..1.0) {
+        let jsma = Jsma::new(0.1, gamma);
+        prop_assert_eq!(jsma.max_features(491), (gamma * 491.0).floor() as usize);
+    }
+
+    #[test]
+    fn pairwise_jsma_obeys_constraints(x in sample(), seed in 0u64..50) {
+        let net = net(seed);
+        let jsma = Jsma::new(0.3, 0.5).with_policy(SaliencyPolicy::PairwiseProduct);
+        let o = jsma.craft(&net, &x).expect("craft");
+        prop_assert!(o.adversarial.iter().all(|v| (0.0..=1.0).contains(v)));
+        let mut dedup = o.perturbed_features.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), o.perturbed_features.len(), "duplicate features");
+    }
+
+    #[test]
+    fn fgsm_addonly_is_monotone(x in sample(), eps in 0.01f64..0.8, seed in 0u64..50) {
+        let net = net(seed);
+        let o = Fgsm::new(eps).craft(&net, &x).expect("craft");
+        for (orig, adv) in x.iter().zip(o.adversarial.iter()) {
+            prop_assert!(adv + 1e-12 >= *orig);
+            prop_assert!(adv - orig <= eps + 1e-12, "step exceeds epsilon");
+        }
+    }
+
+    #[test]
+    fn random_addition_is_reproducible_and_bounded(x in sample(),
+                                                   theta in 0.01f64..0.9,
+                                                   gamma in 0.0f64..1.0,
+                                                   seed in 0u64..100) {
+        let net = net(7);
+        let attack = RandomAddition::new(theta, gamma, seed);
+        let a = attack.craft(&net, &x).expect("craft");
+        let b = attack.craft(&net, &x).expect("craft");
+        prop_assert_eq!(&a, &b, "same seed+sample must agree");
+        prop_assert!(a.features_modified() <= (gamma * DIM as f64).floor() as usize);
+        prop_assert!(a.adversarial.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn l2_distance_is_bounded_by_theta_sqrt_k(x in sample(),
+                                              theta in 0.01f64..1.0,
+                                              seed in 0u64..50) {
+        let net = net(seed);
+        let o = Jsma::new(theta, 1.0).with_high_confidence().craft(&net, &x).expect("craft");
+        let bound = theta * (o.features_modified() as f64).sqrt();
+        prop_assert!(o.l2_distance <= bound + 1e-9);
+    }
+
+    #[test]
+    fn evaded_flag_matches_model_prediction(x in sample(), seed in 0u64..50) {
+        let net = net(seed);
+        let o = Jsma::new(0.4, 0.5).craft(&net, &x).expect("craft");
+        let pred = net
+            .predict(&maleva_linalg::Matrix::row_vector(&o.adversarial))
+            .expect("predict")[0];
+        prop_assert_eq!(o.evaded, pred == 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! saliency policy, add-only constraint, feature transformation,
+//! distillation temperature, and PCA K. Each ablation measures the
+//! *cost* of the variant; the corresponding effectiveness numbers are
+//! printed by `repro --exp ablations`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use maleva_attack::{EvasionAttack, Jsma, SaliencyPolicy};
+use maleva_core::models::{self, ModelScale};
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_features::{CountTransform, FeaturePipeline};
+use maleva_nn::{TrainConfig, Trainer};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 300).expect("ctx"))
+}
+
+/// Ablation 1 & 2: saliency policy and add-only constraint.
+fn bench_jsma_variants(c: &mut Criterion) {
+    let ctx = ctx();
+    let batch = ctx.attack_batch();
+    let sample = batch.row(0);
+    let mut group = c.benchmark_group("ablation/jsma_variant");
+    group.sample_size(20);
+    let variants: Vec<(&str, Jsma)> = vec![
+        ("paper_single_addonly", Jsma::new(0.2, 0.05)),
+        (
+            "pairwise_addonly",
+            Jsma::new(0.2, 0.05).with_policy(SaliencyPolicy::PairwiseProduct),
+        ),
+        ("single_unconstrained", Jsma::new(0.2, 0.05).with_add_only(false)),
+        ("single_high_confidence", Jsma::new(0.2, 0.05).with_high_confidence()),
+    ];
+    for (name, jsma) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(jsma.craft(ctx.target(), sample).expect("craft")));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: feature transformation cost (Raw vs Log1p vs Binary).
+fn bench_transform_variants(c: &mut Criterion) {
+    let ctx = ctx();
+    let programs = ctx.dataset.train();
+    let mut group = c.benchmark_group("ablation/feature_transform");
+    for transform in [CountTransform::Raw, CountTransform::Log1p, CountTransform::Binary] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transform:?}")),
+            &transform,
+            |b, &t| {
+                b.iter(|| {
+                    let p = FeaturePipeline::fit(t, programs);
+                    black_box(p.transform_batch(programs))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation 4: distillation temperature (training cost is
+/// temperature-independent; this pins that fact).
+fn bench_temperature_variants(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("ablation/distill_temperature");
+    group.sample_size(10);
+    for t in [1.0, 20.0, 50.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut net = models::target_model(491, ModelScale::Tiny, 7).expect("model");
+                let config = TrainConfig::new()
+                    .epochs(1)
+                    .batch_size(32)
+                    .temperature(t);
+                black_box(
+                    Trainer::new(config)
+                        .fit(&mut net, &ctx.x_train, &ctx.y_train)
+                        .expect("fit"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 5: PCA K sweep (fit + transform cost grows with K).
+fn bench_pca_k_variants(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("ablation/pca_k");
+    group.sample_size(10);
+    for k in [2usize, 10, 19, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let pca = maleva_linalg::Pca::fit(&ctx.x_train, k).expect("fit");
+                black_box(pca.transform(&ctx.x_test).expect("transform"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_jsma_variants,
+    bench_transform_variants,
+    bench_temperature_variants,
+    bench_pca_k_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Attack benchmarks: per-sample adversarial crafting cost against the
+//! real 491-feature detector — the inner loop of Figures 3 and 4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use maleva_attack::{EvasionAttack, Fgsm, Jsma, RandomAddition, SaliencyPolicy};
+use maleva_core::{ExperimentContext, ExperimentScale};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 100).expect("ctx"))
+}
+
+fn bench_jsma_single(c: &mut Criterion) {
+    let ctx = ctx();
+    let batch = ctx.attack_batch();
+    let sample = batch.row(0);
+    let mut group = c.benchmark_group("attack/jsma");
+    group.sample_size(20);
+    group.bench_function("single_max_gradient", |b| {
+        let jsma = Jsma::new(0.2, 0.025);
+        b.iter(|| black_box(jsma.craft(ctx.target(), sample).expect("craft")));
+    });
+    group.bench_function("high_confidence", |b| {
+        let jsma = Jsma::new(0.2, 0.025).with_high_confidence();
+        b.iter(|| black_box(jsma.craft(ctx.target(), sample).expect("craft")));
+    });
+    group.bench_function("pairwise_product", |b| {
+        let jsma = Jsma::new(0.2, 0.025).with_policy(SaliencyPolicy::PairwiseProduct);
+        b.iter(|| black_box(jsma.craft(ctx.target(), sample).expect("craft")));
+    });
+    group.finish();
+}
+
+fn bench_other_attacks(c: &mut Criterion) {
+    let ctx = ctx();
+    let batch = ctx.attack_batch();
+    let sample = batch.row(1);
+    let mut group = c.benchmark_group("attack/baselines");
+    group.sample_size(20);
+    group.bench_function("fgsm", |b| {
+        let fgsm = Fgsm::new(0.1);
+        b.iter(|| black_box(fgsm.craft(ctx.target(), sample).expect("craft")));
+    });
+    group.bench_function("random_addition", |b| {
+        let random = RandomAddition::new(0.2, 0.025, 9);
+        b.iter(|| black_box(random.craft(ctx.target(), sample).expect("craft")));
+    });
+    group.finish();
+}
+
+fn bench_jacobian(c: &mut Criterion) {
+    // The gradient computation at the heart of JSMA (paper Equation 1).
+    let ctx = ctx();
+    let batch = ctx.attack_batch();
+    let sample = batch.row(2).to_vec();
+    let mut group = c.benchmark_group("attack/gradients");
+    group.sample_size(30);
+    group.bench_function("probability_jacobian_491", |b| {
+        b.iter(|| black_box(ctx.target().probability_jacobian(&sample, 1.0).expect("jac")));
+    });
+    group.bench_function("input_jacobian_491", |b| {
+        b.iter(|| black_box(ctx.target().input_jacobian(&sample).expect("jac")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jsma_single, bench_other_attacks, bench_jacobian);
+criterion_main!(benches);

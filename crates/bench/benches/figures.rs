@@ -1,0 +1,177 @@
+//! Per-figure/table regeneration benchmarks: the cost of producing each
+//! of the paper's evaluation artifacts at micro scale. The actual values
+//! are printed by the `repro` binary; these benches track how expensive
+//! each regeneration is.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use maleva_attack::sweep::SweepAxis;
+use maleva_core::{defenses, greybox, live, whitebox, ExperimentContext, ExperimentScale};
+use maleva_nn::Network;
+use std::sync::OnceLock;
+
+fn state() -> &'static (ExperimentContext, Network) {
+    static STATE: OnceLock<(ExperimentContext, Network)> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 200).expect("ctx");
+        let substitute = greybox::train_substitute(&ctx, 200).expect("substitute");
+        (ctx, substitute)
+    })
+}
+
+const MICRO_SAMPLES: usize = 10;
+
+fn micro_gamma_axis() -> SweepAxis {
+    SweepAxis::Gamma {
+        theta: 0.2,
+        values: vec![0.0, 0.02, 0.05],
+    }
+}
+
+fn micro_theta_axis() -> SweepAxis {
+    SweepAxis::Theta {
+        gamma: 0.025,
+        values: vec![0.0, 0.1, 0.2],
+    }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let (ctx, _) = state();
+    let mut group = c.benchmark_group("figure3/whitebox_curve");
+    group.sample_size(10);
+    group.bench_function("fig3a_gamma_sweep", |b| {
+        b.iter(|| {
+            black_box(whitebox::curve(ctx, MICRO_SAMPLES, micro_gamma_axis()).expect("curve"))
+        });
+    });
+    group.bench_function("fig3b_theta_sweep", |b| {
+        b.iter(|| {
+            black_box(whitebox::curve(ctx, MICRO_SAMPLES, micro_theta_axis()).expect("curve"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let (ctx, substitute) = state();
+    let mut group = c.benchmark_group("figure4/greybox_transfer");
+    group.sample_size(10);
+    group.bench_function("fig4a_gamma_sweep", |b| {
+        b.iter(|| {
+            black_box(
+                greybox::transfer_curve(ctx, substitute, MICRO_SAMPLES, micro_gamma_axis())
+                    .expect("curve"),
+            )
+        });
+    });
+    group.bench_function("fig4b_theta_sweep", |b| {
+        b.iter(|| {
+            black_box(
+                greybox::transfer_curve(ctx, substitute, MICRO_SAMPLES, micro_theta_axis())
+                    .expect("curve"),
+            )
+        });
+    });
+    group.bench_function("fig4c_binary_features", |b| {
+        b.iter(|| {
+            black_box(
+                greybox::binary_feature_experiment(ctx, 4, MICRO_SAMPLES, &[0.0, 0.05])
+                    .expect("report"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (ctx, substitute) = state();
+    let mut group = c.benchmark_group("figure5/l2_distances");
+    group.sample_size(10);
+    group.bench_function("fig5a_gamma_sweep", |b| {
+        b.iter(|| {
+            black_box(
+                greybox::l2_curves(ctx, substitute, MICRO_SAMPLES, micro_gamma_axis())
+                    .expect("curve"),
+            )
+        });
+    });
+    group.bench_function("fig5b_theta_sweep", |b| {
+        b.iter(|| {
+            black_box(
+                greybox::l2_curves(ctx, substitute, MICRO_SAMPLES, micro_theta_axis())
+                    .expect("curve"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_live(c: &mut Criterion) {
+    let (ctx, substitute) = state();
+    let mut group = c.benchmark_group("live_greybox");
+    group.sample_size(10);
+    group.bench_function("insert_api_8x", |b| {
+        b.iter(|| black_box(live::live_greybox_test(ctx, substitute, 8).expect("live")));
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let (ctx, _) = state();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    // Table I: dataset regeneration.
+    group.bench_function("table1_dataset_tiny", |b| {
+        b.iter(|| {
+            black_box(
+                ctx.world
+                    .build_dataset(&maleva_apisim::DatasetSpec::tiny(), 9),
+            )
+        });
+    });
+    // Tables V & VI: the full defense comparison (six model trainings).
+    let (ctx2, substitute) = state();
+    let config = defenses::DefenseConfig {
+        theta: 0.5,
+        gamma: 0.1,
+        distill_temperature: 20.0,
+        pca_k: 10,
+        squeeze_fpr: 0.05,
+        advex_train_fraction: 0.5,
+        high_confidence: true,
+    };
+    group.bench_function("table6_defense_comparison", |b| {
+        b.iter(|| {
+            black_box(defenses::compare_defenses(ctx2, substitute, &config).expect("defenses"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_figure2_blackbox(c: &mut Criterion) {
+    let (ctx, _) = state();
+    let mut group = c.benchmark_group("figure2/blackbox");
+    group.sample_size(10);
+    let config = maleva_core::blackbox::BlackboxConfig {
+        seed_corpus: 30,
+        augmentation_rounds: 1,
+        vocab_overlap: 0.6,
+        gamma: 0.05,
+        eval_samples: 10,
+        seed: 5,
+    };
+    group.bench_function("oracle_framework_micro", |b| {
+        b.iter(|| black_box(maleva_core::blackbox::run(ctx, &config).expect("blackbox")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_live,
+    bench_tables,
+    bench_figure2_blackbox
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Kernel benchmarks: the computational primitives every experiment rests
+//! on — matrix products, softmax, PCA (Table VI DimReduct), and the
+//! log-rendering/parsing pipeline (Tables II & III).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use maleva_apisim::{ApiVocab, Class, World, WorldConfig};
+use maleva_features::{CountTransform, FeaturePipeline};
+use maleva_linalg::{Matrix, Pca};
+use maleva_nn::softmax;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/matmul");
+    for &n in &[32usize, 128, 491] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.1);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).expect("matmul")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let logits: Vec<f64> = (0..491).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+    c.bench_function("nn/softmax_491", |b| {
+        b.iter(|| black_box(softmax(&logits, 1.0)));
+    });
+    c.bench_function("nn/softmax_491_t50", |b| {
+        b.iter(|| black_box(softmax(&logits, 50.0)));
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    // The DimReduct defense fits PCA on the training features. Benchmark
+    // fit at a reduced feature count (Jacobi on 64x64) and transform at
+    // full 491 width.
+    let x64 = Matrix::from_fn(256, 64, |i, j| ((i * (j + 3)) % 17) as f64 * 0.05);
+    c.bench_function("pca/fit_256x64_k19", |b| {
+        b.iter(|| black_box(Pca::fit(&x64, 19).expect("fit")));
+    });
+    let x491 = Matrix::from_fn(64, 491, |i, j| ((i * (j + 5)) % 13) as f64 * 0.07);
+    let pca = Pca::fit(&x491, 19).expect("fit 491");
+    c.bench_function("pca/transform_64x491_k19", |b| {
+        b.iter(|| black_box(pca.transform(&x491).expect("transform")));
+    });
+}
+
+fn bench_log_pipeline(c: &mut Criterion) {
+    // Table II / Table III: render a sandbox log and parse it back into
+    // 491 counts.
+    let world = World::new(WorldConfig::default());
+    let mut rng = maleva_apisim::rng(1);
+    let program = world.sample_program(Class::Malware, &mut rng);
+    let vocab = ApiVocab::standard();
+    c.bench_function("log/render", |b| {
+        b.iter(|| black_box(program.render_log(&vocab)));
+    });
+    let text = program.render_log(&vocab);
+    c.bench_function("log/parse", |b| {
+        b.iter(|| black_box(maleva_apisim::log::parse_counts(&text, &vocab)));
+    });
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let world = World::new(WorldConfig::default());
+    let mut rng = maleva_apisim::rng(2);
+    let programs = world.sample_batch(64, 64, &mut rng);
+    for transform in [CountTransform::Raw, CountTransform::Log1p, CountTransform::Binary] {
+        let pipeline = FeaturePipeline::fit(transform, &programs);
+        c.bench_function(&format!("features/transform_128x491_{transform:?}"), |b| {
+            b.iter(|| black_box(pipeline.transform_batch(&programs)));
+        });
+    }
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    // Table I: dataset generation throughput.
+    let world = World::new(WorldConfig::default());
+    c.bench_function("apisim/sample_program", |b| {
+        let mut rng = maleva_apisim::rng(3);
+        b.iter(|| black_box(world.sample_program(Class::Malware, &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax,
+    bench_pca,
+    bench_log_pipeline,
+    bench_featurize,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Training benchmarks: epoch cost of the Table IV architectures and the
+//! defense retraining loops (Tables V & VI).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use maleva_apisim::{Dataset, DatasetSpec, World, WorldConfig};
+use maleva_core::models::{self, ModelScale};
+use maleva_features::{CountTransform, FeaturePipeline};
+use maleva_linalg::Matrix;
+use maleva_nn::{TrainConfig, Trainer};
+use std::sync::OnceLock;
+
+fn data() -> &'static (Matrix, Vec<usize>) {
+    static DATA: OnceLock<(Matrix, Vec<usize>)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let world = World::new(WorldConfig::default());
+        let ds = world.build_dataset(&DatasetSpec::tiny(), 55);
+        let pipeline = FeaturePipeline::fit(CountTransform::Raw, ds.train());
+        (
+            pipeline.transform_batch(ds.train()),
+            Dataset::labels(ds.train()),
+        )
+    })
+}
+
+fn one_epoch() -> TrainConfig {
+    TrainConfig::new().epochs(1).batch_size(32).learning_rate(0.001)
+}
+
+fn bench_target_epoch(c: &mut Criterion) {
+    let (x, y) = data();
+    let mut group = c.benchmark_group("train/target_epoch");
+    group.sample_size(10);
+    group.bench_function("tiny_width", |b| {
+        b.iter(|| {
+            let mut net = models::target_model(491, ModelScale::Tiny, 1).expect("model");
+            black_box(Trainer::new(one_epoch()).fit(&mut net, x, y).expect("fit"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_substitute_epoch(c: &mut Criterion) {
+    let (x, y) = data();
+    let mut group = c.benchmark_group("train/substitute_epoch");
+    group.sample_size(10);
+    group.bench_function("table_iv_tiny_width", |b| {
+        b.iter(|| {
+            let mut net = models::substitute_model(491, ModelScale::Tiny, 2).expect("model");
+            black_box(Trainer::new(one_epoch()).fit(&mut net, x, y).expect("fit"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_distillation_epoch(c: &mut Criterion) {
+    // The student's soft-label epoch (defensive distillation, T = 50).
+    let (x, y) = data();
+    let mut teacher = models::target_model(491, ModelScale::Tiny, 3).expect("teacher");
+    Trainer::new(TrainConfig::new().epochs(5).batch_size(32).temperature(50.0))
+        .fit(&mut teacher, x, y)
+        .expect("teacher fit");
+    let soft = teacher.predict_proba_at(x, 50.0).expect("soft labels");
+    let mut group = c.benchmark_group("train/distill_student_epoch");
+    group.sample_size(10);
+    group.bench_function("t50", |b| {
+        b.iter(|| {
+            let mut student = models::target_model(491, ModelScale::Tiny, 4).expect("student");
+            black_box(
+                Trainer::new(one_epoch().temperature(50.0))
+                    .fit_soft(&mut student, x, &soft)
+                    .expect("student fit"),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_pca_defense_fit(c: &mut Criterion) {
+    // DimReduct (Table VI): PCA(19) + reduced-classifier training.
+    let (x, y) = data();
+    let mut group = c.benchmark_group("train/pca_defense_fit");
+    group.sample_size(10);
+    group.bench_function("k19", |b| {
+        b.iter(|| {
+            let net = models::reduced_model(19, ModelScale::Tiny, 5).expect("reduced");
+            black_box(
+                maleva_defense::PcaDefense::fit(19, net, x, y, one_epoch()).expect("fit"),
+            );
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_target_epoch,
+    bench_substitute_epoch,
+    bench_distillation_epoch,
+    bench_pca_defense_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark harness crate for the maleva reproduction; see the `repro` binary and Criterion benches.

@@ -1,0 +1,231 @@
+//! `maleva` — command-line interface to the adversarial-malware toolkit.
+//!
+//! ```text
+//! maleva train --out detector.json [--scale tiny|quick|paper] [--seed N]
+//! maleva scan  --model detector.json --log sample.log
+//! maleva gen   --out sample.log [--class malware|clean] [--seed N]
+//! maleva attack --model detector.json --log sample.log [--theta T] [--gamma G] [--out evaded.log]
+//! maleva info  --model detector.json
+//! ```
+//!
+//! The model artifact is a single JSON file holding the API vocabulary,
+//! the fitted feature pipeline, and the trained network — everything the
+//! deployed detector of the paper's Figure 2 consists of.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use maleva_apisim::{ApiVocab, Class, World, WorldConfig};
+use maleva_attack::{EvasionAttack, Jsma};
+use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "scan" => cmd_scan(&flags),
+        "gen" => cmd_gen(&flags),
+        "attack" => cmd_attack(&flags),
+        "info" => cmd_info(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+maleva — adversarial-malware toolkit (reproduction of Huang et al., DSN 2019)
+
+usage:
+  maleva train  --out detector.json [--scale tiny|quick|paper] [--seed N]
+  maleva scan   --model detector.json --log sample.log
+  maleva gen    --out sample.log [--class malware|clean] [--seed N]
+  maleva attack --model detector.json --log sample.log
+                [--theta T] [--gamma G] [--out evaded.log]
+  maleva info   --model detector.json";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {key}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
+    flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .unwrap_or(Ok(42))
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<DetectorPipeline, String> {
+    let path = required(flags, "model")?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    DetectorPipeline::from_json(&json).map_err(|e| format!("cannot load model: {e}"))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = required(flags, "out")?;
+    let seed = seed_of(flags)?;
+    let scale = match flags.get("scale").map(String::as_str).unwrap_or("quick") {
+        "tiny" => ExperimentScale::tiny(),
+        "quick" => ExperimentScale::quick(),
+        "paper" => ExperimentScale::paper(),
+        other => return Err(format!("unknown scale: {other}")),
+    };
+    eprintln!("training detector (scale={}, seed={seed}) ...", scale.name);
+    let ctx = ExperimentContext::build(scale, seed).map_err(|e| e.to_string())?;
+    let (tpr, tnr) = ctx.baseline_rates().map_err(|e| e.to_string())?;
+    let json = ctx.detector.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("saved detector to {out} (malware TPR {tpr:.3}, clean TNR {tnr:.3})");
+    Ok(())
+}
+
+fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let detector = load_model(flags)?;
+    let path = required(flags, "log")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let confidence = detector.scan_log(&text).map_err(|e| e.to_string())?;
+    let verdict = if confidence >= 0.5 { "MALWARE" } else { "clean" };
+    println!("{path}: {verdict} (confidence {:.2}%)", confidence * 100.0);
+    Ok(())
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = required(flags, "out")?;
+    let seed = seed_of(flags)?;
+    let class = match flags.get("class").map(String::as_str).unwrap_or("malware") {
+        "malware" => Class::Malware,
+        "clean" => Class::Clean,
+        other => return Err(format!("unknown class: {other}")),
+    };
+    let world = World::new(WorldConfig::default());
+    let mut rng = maleva_apisim::rng(seed);
+    let program = world.sample_program(class, &mut rng);
+    let vocab = ApiVocab::standard();
+    std::fs::write(out, program.render_log(&vocab))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: synthetic {} sample ({} family, {} API calls)",
+        program.class(),
+        program.family(),
+        program.total_calls()
+    );
+    Ok(())
+}
+
+fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let detector = load_model(flags)?;
+    let path = required(flags, "log")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let theta: f64 = flags
+        .get("theta")
+        .map(|s| s.parse().map_err(|e| format!("bad --theta: {e}")))
+        .unwrap_or(Ok(0.25))?;
+    let gamma: f64 = flags
+        .get("gamma")
+        .map(|s| s.parse().map_err(|e| format!("bad --gamma: {e}")))
+        .unwrap_or(Ok(0.05))?;
+
+    let counts = maleva_apisim::log::parse_counts(&text, detector.vocab());
+    let feats = detector.features().transform_counts(&counts);
+    let before = detector.scan_log(&text).map_err(|e| e.to_string())?;
+    println!("original confidence: {:.2}%", before * 100.0);
+
+    let jsma = Jsma::new(theta, gamma).with_high_confidence();
+    let outcome = jsma
+        .craft(detector.network(), &feats)
+        .map_err(|e| e.to_string())?;
+    if outcome.perturbed_features.is_empty() {
+        println!("no admissible perturbation found (already clean or budget 0)");
+        return Ok(());
+    }
+
+    // Translate the feature-space perturbation back into API insertions.
+    println!("suggested API-call insertions (white-box JSMA, theta {theta}, gamma {gamma}):");
+    let mut modified_counts = counts.clone();
+    for &j in &outcome.perturbed_features {
+        let target_value = outcome.adversarial[j];
+        let add = detector.features().calls_needed(j, counts[j], target_value);
+        if add == 0 {
+            continue;
+        }
+        let name = detector.vocab().name(j).unwrap_or("?");
+        println!("  + {add:>3} x {name}");
+        modified_counts[j] = modified_counts[j].saturating_add(add);
+    }
+
+    // Re-render a modified log and re-scan it end-to-end.
+    let program = maleva_apisim::Program::new(
+        maleva_apisim::Family::Dropper, // metadata only; counts drive the scan
+        maleva_apisim::OsVersion::Win10,
+        modified_counts,
+    );
+    let modified_log = program.render_log(detector.vocab());
+    let after = detector
+        .scan_log(&modified_log)
+        .map_err(|e| e.to_string())?;
+    println!("modified confidence: {:.2}%", after * 100.0);
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &modified_log).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote modified log to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let detector = load_model(flags)?;
+    println!("vocabulary : {} APIs", detector.vocab().len());
+    println!(
+        "features   : {:?} transform, {} dims",
+        detector.features().transform_kind(),
+        detector.features().dim()
+    );
+    let dims = detector.network().dims();
+    println!(
+        "network    : {}-layer DNN {:?} ({} parameters)",
+        dims.len(),
+        dims,
+        detector.network().param_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,309 @@
+//! The black-box attack framework of the paper's Figure 2 — proposed as
+//! future work there ("we are building the real-world black-box testing
+//! framework as proposed in Figure 2 using open source data with
+//! different features and models"), implemented here as an extension.
+//!
+//! The attacker has **no** knowledge of the target: not its model, not
+//! its features, not its data. All they can do is submit programs and
+//! observe verdicts (a label oracle). Following Papernot et al.'s
+//! practical black-box attack, the attacker:
+//!
+//! 1. builds a small seed corpus of their own programs and labels it by
+//!    querying the oracle;
+//! 2. featurizes with their **own** representation (binary features over
+//!    their own guessed API vocabulary — "different features");
+//! 3. trains a substitute ("different model": the Table IV architecture,
+//!    which differs from the 4-layer target);
+//! 4. augments the corpus Jacobian-style: for each program, insert the
+//!    API whose substitute gradient most changes the verdict, query the
+//!    oracle for the new label, repeat;
+//! 5. crafts JSMA adversarial examples on the substitute and rebuilds
+//!    them as real programs (API insertions) scanned by the target.
+
+use maleva_apisim::{ApiVocab, Class, Program};
+use maleva_attack::{EvasionAttack, Jsma};
+use maleva_features::CountTransform;
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, Trainer};
+use serde::{Deserialize, Serialize};
+
+use crate::models::substitute_model;
+use crate::ExperimentContext;
+
+/// Configuration of the black-box run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlackboxConfig {
+    /// Size of the attacker's initial seed corpus (half clean / half
+    /// malware by the attacker's own ground truth).
+    pub seed_corpus: usize,
+    /// Jacobian-augmentation rounds.
+    pub augmentation_rounds: usize,
+    /// Fraction of the standard vocabulary the attacker's guessed
+    /// vocabulary covers (see [`ApiVocab::attacker_guess`]).
+    pub vocab_overlap: f64,
+    /// JSMA γ for the final crafting step.
+    pub gamma: f64,
+    /// Number of defender test-malware programs attacked at the end.
+    pub eval_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlackboxConfig {
+    fn default() -> Self {
+        BlackboxConfig {
+            seed_corpus: 200,
+            augmentation_rounds: 2,
+            vocab_overlap: 0.6,
+            gamma: 0.05,
+            eval_samples: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Artifacts of a black-box run.
+#[derive(Debug, Clone)]
+pub struct BlackboxArtifacts {
+    /// The attacker's trained substitute.
+    pub substitute: Network,
+    /// The attacker's feature vocabulary.
+    pub attacker_vocab: ApiVocab,
+    /// Total number of oracle queries spent (labelling + augmentation).
+    pub oracle_queries: usize,
+    /// Substitute agreement with the oracle on a held-out attacker batch.
+    pub oracle_agreement: f64,
+    /// Target detection rate on the rebuilt adversarial programs.
+    pub target_detection: f64,
+    /// `1 − target_detection`.
+    pub transfer_rate: f64,
+    /// Target detection rate on the same programs *before* modification.
+    pub baseline_detection: f64,
+}
+
+/// Runs the Figure 2 black-box framework end-to-end.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training or shape failures.
+///
+/// # Panics
+///
+/// Panics if `config.seed_corpus == 0` or `config.vocab_overlap` is
+/// outside `(0, 1]`.
+pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxArtifacts, NnError> {
+    assert!(config.seed_corpus > 0, "seed corpus must be non-empty");
+    let mut oracle_queries = 0usize;
+    let mut rng = maleva_apisim::rng(config.seed ^ 0xB1AC_B0C5);
+
+    // The attacker's own feature space: binary features over a guessed
+    // vocabulary that only partially overlaps the defender's.
+    let attacker_vocab = ApiVocab::attacker_guess(config.vocab_overlap);
+
+    // 1. Seed corpus, labelled by the oracle (the deployed detector).
+    let half = config.seed_corpus / 2;
+    let mut corpus: Vec<Program> = ctx.world.sample_batch(half, config.seed_corpus - half, &mut rng);
+    let mut labels: Vec<usize> = Vec::with_capacity(corpus.len());
+    for p in &corpus {
+        labels.push(usize::from(ctx.detector.is_malware(p)?));
+        oracle_queries += 1;
+    }
+
+    // 2-4. Train + Jacobian augmentation rounds.
+    let attacker_features = |progs: &[Program]| -> Matrix {
+        let rows: Vec<Vec<f64>> = progs
+            .iter()
+            .map(|p| {
+                let text = p.render_log(ctx.world.vocab());
+                let counts = maleva_apisim::log::parse_counts(&text, &attacker_vocab);
+                counts
+                    .iter()
+                    .map(|&c| CountTransform::Binary.apply(c))
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows).expect("uniform rows")
+    };
+
+    let mut substitute =
+        substitute_model(attacker_vocab.len(), ctx.scale.model_scale, config.seed ^ 0xBB)?;
+    for round in 0..=config.augmentation_rounds {
+        let x = attacker_features(&corpus);
+        substitute =
+            substitute_model(attacker_vocab.len(), ctx.scale.model_scale, config.seed ^ 0xBB)?;
+        Trainer::new(ctx.scale.substitute_trainer(config.seed.wrapping_add(round as u64)))
+            .fit(&mut substitute, &x, &labels)?;
+
+        if round == config.augmentation_rounds {
+            break;
+        }
+        // Augment: for each corpus program, insert the API with the
+        // strongest substitute gradient *toward the oracle's label
+        // boundary*, then ask the oracle for the new sample's label.
+        let mut new_programs = Vec::with_capacity(corpus.len());
+        let mut new_labels = Vec::with_capacity(corpus.len());
+        for (p, &label) in corpus.iter().zip(labels.iter()) {
+            let text = p.render_log(ctx.world.vocab());
+            let counts = maleva_apisim::log::parse_counts(&text, &attacker_vocab);
+            let feats: Vec<f64> = counts
+                .iter()
+                .map(|&c| CountTransform::Binary.apply(c))
+                .collect();
+            let jac = substitute.probability_jacobian(&feats, 1.0)?;
+            // Move across the boundary: increase the feature pushing away
+            // from the current label.
+            let away_class = 1 - label;
+            let mut best = None;
+            for (j, &f) in feats.iter().enumerate() {
+                if f >= 1.0 {
+                    continue;
+                }
+                let s = jac.get(away_class, j);
+                if best.map_or(true, |(_, bv)| s > bv) {
+                    best = Some((j, s));
+                }
+            }
+            let Some((j, _)) = best else { continue };
+            // The attacker's feature j is an API *name* in their own
+            // vocabulary; only names the defender's world also knows can
+            // be inserted into real source code.
+            let Some(api_name) = attacker_vocab.name(j) else {
+                continue;
+            };
+            let Some(world_idx) = ctx.world.vocab().index_of(api_name) else {
+                continue; // fabricated API: cannot exist in a real program
+            };
+            let mut augmented = p.clone();
+            augmented.insert_api_calls(world_idx, 1);
+            new_labels.push(usize::from(ctx.detector.is_malware(&augmented)?));
+            oracle_queries += 1;
+            new_programs.push(augmented);
+        }
+        corpus.extend(new_programs);
+        labels.extend(new_labels);
+    }
+
+    // Substitute-oracle agreement on a fresh attacker batch.
+    let probe = ctx.world.sample_batch(40, 40, &mut rng);
+    let probe_x = attacker_features(&probe);
+    let sub_preds = substitute.predict(&probe_x)?;
+    let mut agree = 0usize;
+    for (p, &sp) in probe.iter().zip(sub_preds.iter()) {
+        let oracle = usize::from(ctx.detector.is_malware(p)?);
+        oracle_queries += 1;
+        if oracle == sp {
+            agree += 1;
+        }
+    }
+    let oracle_agreement = agree as f64 / probe.len() as f64;
+
+    // 5. Craft on the substitute; rebuild as programs; scan with the
+    // target.
+    let mal_programs: Vec<&Program> = ctx
+        .dataset
+        .test()
+        .iter()
+        .filter(|p| p.class() == Class::Malware)
+        .take(config.eval_samples)
+        .collect();
+    let jsma = Jsma::new(1.0, config.gamma);
+    let mut detected = 0usize;
+    let mut baseline_detected = 0usize;
+    for prog in &mal_programs {
+        if ctx.detector.is_malware(prog)? {
+            baseline_detected += 1;
+        }
+        let text = prog.render_log(ctx.world.vocab());
+        let counts = maleva_apisim::log::parse_counts(&text, &attacker_vocab);
+        let feats: Vec<f64> = counts
+            .iter()
+            .map(|&c| CountTransform::Binary.apply(c))
+            .collect();
+        let outcome = jsma.craft(&substitute, &feats)?;
+        let mut modified = (*prog).clone();
+        for (j, (&b, &a)) in feats.iter().zip(outcome.adversarial.iter()).enumerate() {
+            if b == 0.0 && a > 0.0 {
+                if let Some(name) = attacker_vocab.name(j) {
+                    if let Some(world_idx) = ctx.world.vocab().index_of(name) {
+                        modified.insert_api_calls(world_idx, 1);
+                    }
+                }
+            }
+        }
+        if ctx.detector.is_malware(&modified)? {
+            detected += 1;
+        }
+    }
+    let n = mal_programs.len().max(1) as f64;
+    let target_detection = detected as f64 / n;
+    Ok(BlackboxArtifacts {
+        substitute,
+        attacker_vocab,
+        oracle_queries,
+        oracle_agreement,
+        target_detection,
+        transfer_rate: 1.0 - target_detection,
+        baseline_detection: baseline_detected as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentContext, ExperimentScale};
+
+    fn small_config() -> BlackboxConfig {
+        BlackboxConfig {
+            seed_corpus: 60,
+            augmentation_rounds: 1,
+            vocab_overlap: 0.6,
+            gamma: 0.05,
+            eval_samples: 30,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn blackbox_framework_runs_end_to_end() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 41).unwrap();
+        let artifacts = run(&ctx, &small_config()).unwrap();
+        // Oracle spend: seed labels + augmentation + agreement probe.
+        assert!(artifacts.oracle_queries >= 60);
+        // The substitute learned *something* about the oracle.
+        assert!(
+            artifacts.oracle_agreement > 0.6,
+            "agreement {}",
+            artifacts.oracle_agreement
+        );
+        // Rates are consistent.
+        assert!((artifacts.transfer_rate + artifacts.target_detection - 1.0).abs() < 1e-12);
+        assert!(artifacts.baseline_detection >= artifacts.target_detection - 1e-9,
+            "modification should not make detection easier: baseline {} vs {}",
+            artifacts.baseline_detection, artifacts.target_detection);
+    }
+
+    #[test]
+    fn blackbox_is_weakest_threat_model() {
+        // Black-box transfer should not exceed grey-box transfer at a
+        // comparable budget (the paper's knowledge hierarchy).
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 42).unwrap();
+        let bb = run(&ctx, &small_config()).unwrap();
+        let substitute = crate::greybox::train_substitute(&ctx, 42).unwrap();
+        let grey = crate::greybox::operating_point(&ctx, &substitute, 30, 0.4, 0.1).unwrap();
+        assert!(
+            bb.target_detection >= grey.target_detection - 0.2,
+            "black-box ({}) should not be far stronger than grey-box ({})",
+            bb.target_detection,
+            grey.target_detection
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed corpus must be non-empty")]
+    fn rejects_empty_corpus() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 43).unwrap();
+        let mut config = small_config();
+        config.seed_corpus = 0;
+        let _ = run(&ctx, &config);
+    }
+}

@@ -1,0 +1,295 @@
+use maleva_apisim::{Class, Dataset, DatasetSpec, World, WorldConfig};
+use maleva_features::{CountTransform, FeaturePipeline};
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, TrainConfig, Trainer};
+
+use crate::models::{target_model, ModelScale};
+use crate::DetectorPipeline;
+
+/// How big an experiment run is: dataset sizes, model widths, training
+/// epochs, and how many test malware samples the attacks are launched
+/// against.
+///
+/// The paper trains with 1000 epochs on 57 170 samples and attacks all
+/// 28 874 test malware; [`ExperimentScale::paper`] keeps those dataset
+/// sizes and model widths but a laptop-honest epoch count (the comparisons
+/// are all within-run). `quick` is the default for the `repro` binary,
+/// `tiny` for unit tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Preset name (for reports).
+    pub name: &'static str,
+    /// Dataset split sizes (Table I shape).
+    pub dataset: DatasetSpec,
+    /// Model width preset.
+    pub model_scale: ModelScale,
+    /// Epochs for the target model.
+    pub target_epochs: usize,
+    /// Epochs for substitute / defended models.
+    pub substitute_epochs: usize,
+    /// Minibatch size (paper: 256).
+    pub batch_size: usize,
+    /// Learning rate (paper: 0.001, Adam).
+    pub learning_rate: f64,
+    /// Number of test-malware samples attacks are evaluated on.
+    pub attack_samples: usize,
+    /// Pair budget for the Figure 5 cross-population L2 estimates.
+    pub l2_max_pairs: usize,
+    /// Count transformation of the detector's feature pipeline.
+    pub transform: CountTransform,
+}
+
+impl ExperimentScale {
+    /// Paper-sized data and model widths (Table I / Table IV).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            name: "paper",
+            dataset: DatasetSpec::paper(),
+            model_scale: ModelScale::Paper,
+            target_epochs: 30,
+            substitute_epochs: 30,
+            batch_size: 256,
+            learning_rate: 0.001,
+            attack_samples: 2_000,
+            l2_max_pairs: 20_000,
+            transform: CountTransform::Raw,
+        }
+    }
+
+    /// Minutes-scale preset — the default for the `repro` binary.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            name: "quick",
+            dataset: DatasetSpec::quick(),
+            model_scale: ModelScale::Quick,
+            target_epochs: 30,
+            substitute_epochs: 30,
+            batch_size: 256,
+            learning_rate: 0.001,
+            attack_samples: 300,
+            l2_max_pairs: 10_000,
+            transform: CountTransform::Raw,
+        }
+    }
+
+    /// Unit-test preset.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            name: "tiny",
+            dataset: DatasetSpec::tiny(),
+            model_scale: ModelScale::Tiny,
+            target_epochs: 25,
+            substitute_epochs: 25,
+            batch_size: 32,
+            learning_rate: 0.005,
+            attack_samples: 40,
+            l2_max_pairs: 2_000,
+            transform: CountTransform::Raw,
+        }
+    }
+
+    /// The training configuration for the target model.
+    pub fn target_trainer(&self, seed: u64) -> TrainConfig {
+        TrainConfig::new()
+            .epochs(self.target_epochs)
+            .batch_size(self.batch_size)
+            .learning_rate(self.learning_rate)
+            .seed(seed)
+    }
+
+    /// The training configuration for substitute / defended models
+    /// (paper Section III-B: Adam, lr 0.001, batch 256).
+    pub fn substitute_trainer(&self, seed: u64) -> TrainConfig {
+        TrainConfig::new()
+            .epochs(self.substitute_epochs)
+            .batch_size(self.batch_size)
+            .learning_rate(self.learning_rate)
+            .seed(seed)
+    }
+}
+
+/// Shared state for all experiments: the synthetic world, the Table I
+/// dataset, the fitted feature pipeline, and the trained target detector.
+///
+/// Build once per seed and pass to the experiment modules; everything
+/// downstream is deterministic given `(scale, seed)`.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The scale this context was built at.
+    pub scale: ExperimentScale,
+    /// The seed this context was built from.
+    pub seed: u64,
+    /// The generative world (vocabulary + behaviour profiles).
+    pub world: World,
+    /// The generated Table-I-shaped corpus.
+    pub dataset: Dataset,
+    /// The deployed detector (vocab + fitted features + trained target).
+    pub detector: DetectorPipeline,
+    /// Training features (one row per training program).
+    pub x_train: Matrix,
+    /// Training labels.
+    pub y_train: Vec<usize>,
+    /// Test features.
+    pub x_test: Matrix,
+    /// Test labels.
+    pub y_test: Vec<usize>,
+    /// Test features, malware rows only.
+    pub x_test_malware: Matrix,
+    /// Test features, clean rows only.
+    pub x_test_clean: Matrix,
+}
+
+impl ExperimentContext {
+    /// Builds the context: generates the dataset, fits the feature
+    /// pipeline on the training split, trains the target model (with the
+    /// validation split tracked), and assembles the detector.
+    ///
+    /// # Errors
+    ///
+    /// Training/shape errors surface as [`NnError`].
+    pub fn build(scale: ExperimentScale, seed: u64) -> Result<Self, NnError> {
+        let world = World::new(WorldConfig::default());
+        let dataset = world.build_dataset(&scale.dataset, seed);
+
+        let features = FeaturePipeline::fit(scale.transform, dataset.train());
+        let x_train = features.transform_batch(dataset.train());
+        let y_train = Dataset::labels(dataset.train());
+        let x_val = features.transform_batch(dataset.val());
+        let y_val = Dataset::labels(dataset.val());
+        let x_test = features.transform_batch(dataset.test());
+        let y_test = Dataset::labels(dataset.test());
+
+        let mut target = target_model(features.dim(), scale.model_scale, seed ^ 0xA11CE)?;
+        Trainer::new(scale.target_trainer(seed)).fit_labeled(
+            &mut target,
+            &x_train,
+            maleva_nn::LabelSource::Hard(&y_train),
+            Some((&x_val, &y_val)),
+        )?;
+
+        let mal_idx = Dataset::indices_of(dataset.test(), Class::Malware);
+        let clean_idx = Dataset::indices_of(dataset.test(), Class::Clean);
+        let x_test_malware = x_test.select_rows(&mal_idx);
+        let x_test_clean = x_test.select_rows(&clean_idx);
+
+        let detector = DetectorPipeline::new(world.vocab().clone(), features, target)?;
+        Ok(ExperimentContext {
+            scale,
+            seed,
+            world,
+            dataset,
+            detector,
+            x_train,
+            y_train,
+            x_test,
+            y_test,
+            x_test_malware,
+            x_test_clean,
+        })
+    }
+
+    /// The trained target network.
+    pub fn target(&self) -> &Network {
+        self.detector.network()
+    }
+
+    /// The malware batch attacks are launched against: the first
+    /// `min(attack_samples, available)` test-malware rows.
+    pub fn attack_batch(&self) -> Matrix {
+        let n = self.scale.attack_samples.min(self.x_test_malware.rows());
+        let idx: Vec<usize> = (0..n).collect();
+        self.x_test_malware.select_rows(&idx)
+    }
+
+    /// A clean batch of comparable size (for Figure 5 distances and
+    /// squeezer calibration).
+    pub fn clean_batch(&self) -> Matrix {
+        let n = self.scale.attack_samples.min(self.x_test_clean.rows());
+        let idx: Vec<usize> = (0..n).collect();
+        self.x_test_clean.select_rows(&idx)
+    }
+
+    /// Target accuracy on the full test split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on shape mismatch (cannot occur for a
+    /// well-built context).
+    pub fn target_test_accuracy(&self) -> Result<f64, NnError> {
+        let logits = self.target().logits(&self.x_test)?;
+        maleva_nn::loss::accuracy(&logits, &self.y_test)
+    }
+
+    /// ROC AUC of the target's malware score over the full test split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on shape mismatch.
+    pub fn target_auc(&self) -> Result<Option<f64>, NnError> {
+        let p = self.target().predict_proba(&self.x_test)?;
+        let scores: Vec<f64> = (0..p.rows()).map(|r| p.get(r, 1)).collect();
+        Ok(maleva_eval::auc(&scores, &self.y_test))
+    }
+
+    /// Baseline (no-defense) detection rates:
+    /// `(malware TPR, clean TNR)` on the test split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on shape mismatch.
+    pub fn baseline_rates(&self) -> Result<(f64, f64), NnError> {
+        let tpr = maleva_attack::detection_rate(self.target(), &self.x_test_malware)?;
+        let fpr = maleva_attack::detection_rate(self.target(), &self.x_test_clean)?;
+        Ok((tpr, 1.0 - fpr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_context_trains_a_competent_target() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 1).unwrap();
+        let acc = ctx.target_test_accuracy().unwrap();
+        assert!(acc > 0.8, "test accuracy {acc}");
+        let (tpr, tnr) = ctx.baseline_rates().unwrap();
+        assert!(tpr > 0.75, "baseline TPR {tpr}");
+        assert!(tnr > 0.75, "baseline TNR {tnr}");
+        // Neither should be perfect: the world has boundary cases,
+        // matching the paper's 0.883 / 0.964.
+        assert!(tpr < 1.0 || tnr < 1.0, "suspiciously perfect detector");
+    }
+
+    #[test]
+    fn context_is_deterministic() {
+        let a = ExperimentContext::build(ExperimentScale::tiny(), 2).unwrap();
+        let b = ExperimentContext::build(ExperimentScale::tiny(), 2).unwrap();
+        assert_eq!(a.x_train, b.x_train);
+        assert_eq!(
+            a.target().logits(&a.x_test).unwrap(),
+            b.target().logits(&b.x_test).unwrap()
+        );
+    }
+
+    #[test]
+    fn attack_batch_respects_scale() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 3).unwrap();
+        let batch = ctx.attack_batch();
+        assert_eq!(
+            batch.rows(),
+            ctx.scale.attack_samples.min(ctx.x_test_malware.rows())
+        );
+        assert_eq!(batch.cols(), 491);
+    }
+
+    #[test]
+    fn splits_have_expected_sizes() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 4).unwrap();
+        let spec = &ctx.scale.dataset;
+        assert_eq!(ctx.x_train.rows(), spec.train_total());
+        assert_eq!(ctx.x_test.rows(), spec.test_total());
+        assert_eq!(ctx.x_test_malware.rows(), spec.test_malware);
+        assert_eq!(ctx.x_test_clean.rows(), spec.test_clean);
+    }
+}

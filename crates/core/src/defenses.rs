@@ -1,0 +1,420 @@
+//! The defense comparison (paper Section III-C, Tables V & VI).
+//!
+//! Pipeline:
+//!
+//! 1. craft grey-box adversarial examples (the paper uses the substitute
+//!    at θ = 0.1, γ = 0.02) and split them into a training subset (for
+//!    adversarial training) and a held-out evaluation subset;
+//! 2. evaluate the undefended target and each defense on the three
+//!    Table VI slices — Clean Test (TNR), Malware Test (TPR),
+//!    AdvExamples (TPR);
+//! 3. report the adversarial-training data recipe (Table V).
+
+use maleva_defense::{
+    evaluate_detector, evaluate_squeezer, AdversarialTraining, DefenseRow, DefensiveDistillation,
+    EnsembleDefense, PcaDefense, SqueezeDetector, Squeezer,
+};
+use maleva_attack::EvasionAttack;
+use maleva_nn::{Network, NnError};
+use serde::{Deserialize, Serialize};
+
+use crate::models::{reduced_model, target_model};
+use crate::ExperimentContext;
+
+/// Parameters of the defense comparison.
+///
+/// The paper crafts its defense dataset at θ = 0.1, γ = 0.02 against a
+/// production detector that one API call can flip. The simulated detector
+/// is several times more robust, so the *default* operating point here is
+/// θ = 0.25, γ = 0.05 — chosen so the undefended advex TPR lands near the
+/// paper's 0.304 (see EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// θ used to craft the adversarial examples (paper: 0.1).
+    pub theta: f64,
+    /// γ used to craft the adversarial examples (paper: 0.02).
+    pub gamma: f64,
+    /// Distillation temperature (paper: 50).
+    pub distill_temperature: f64,
+    /// PCA components (paper: K = 19).
+    pub pca_k: usize,
+    /// Feature-squeezing false-positive budget used for threshold
+    /// calibration.
+    pub squeeze_fpr: f64,
+    /// Fraction of crafted advex that goes into the adversarial-training
+    /// set (the rest is held out for evaluation).
+    pub advex_train_fraction: f64,
+    /// Craft high-confidence adversarial examples (exhaust the feature
+    /// budget) — recommended, since grey-box advex must actually evade
+    /// for the defense comparison to be meaningful.
+    pub high_confidence: bool,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            theta: 0.25,
+            gamma: 0.05,
+            distill_temperature: 50.0,
+            pca_k: 19,
+            squeeze_fpr: 0.05,
+            advex_train_fraction: 0.5,
+            high_confidence: true,
+        }
+    }
+}
+
+/// Everything the Table V / Table VI reproduction prints.
+#[derive(Debug, Clone)]
+pub struct DefenseComparison {
+    /// Table VI rows for every defense, in the paper's order.
+    pub rows: Vec<DefenseRow>,
+    /// Table V: the augmented adversarial-training set composition.
+    pub advtrain_summary: maleva_defense::AugmentedSetSummary,
+    /// Number of adversarial examples held out for evaluation.
+    pub advex_eval: usize,
+    /// Number of adversarial examples used for adversarial training.
+    pub advex_train: usize,
+    /// The crafting parameters used.
+    pub config: DefenseConfig,
+}
+
+impl DefenseComparison {
+    /// Renders the comparison as the Table VI text table.
+    pub fn render_table_vi(&self) -> String {
+        maleva_defense::render_table_vi(&self.rows)
+    }
+
+    /// Renders the Table V style summary.
+    pub fn render_table_v(&self) -> String {
+        let s = &self.advtrain_summary;
+        let mut out = String::new();
+        out.push_str("Dataset        Number of Samples\n");
+        out.push_str(&format!(
+            "Training Set   {} ({} clean, {} malware and advEx)\n",
+            s.total(),
+            s.clean,
+            s.malware + s.adversarial
+        ));
+        out.push_str(&format!(
+            "Eval AdvEx     {} (held-out adversarial examples)\n",
+            self.advex_eval
+        ));
+        out
+    }
+
+    /// Looks up a `(defense, dataset)` row.
+    pub fn row(&self, defense: &str, dataset: &str) -> Option<&DefenseRow> {
+        self.rows
+            .iter()
+            .find(|r| r.defense == defense && r.dataset == dataset)
+    }
+}
+
+/// Runs the full Table VI comparison: No Defense, AdvTraining,
+/// Distillation, FeaSqueezing, DimReduct, plus the paper-suggested
+/// AdvTraining+DimReduct ensemble.
+///
+/// Adversarial examples are crafted on `substitute` (grey-box, like the
+/// paper's defense dataset); pass the target itself for a white-box
+/// variant.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training or shape failures.
+pub fn compare_defenses(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    config: &DefenseConfig,
+) -> Result<DefenseComparison, NnError> {
+    let malware = ctx.attack_batch();
+    let clean = ctx.clean_batch();
+
+    // 1. Craft the adversarial pool and split train/eval.
+    let mut jsma = maleva_attack::Jsma::new(config.theta, config.gamma);
+    if config.high_confidence {
+        jsma = jsma.with_high_confidence();
+    }
+    let (advex_all, _) = jsma.craft_batch(substitute, &malware)?;
+    let n_train = ((advex_all.rows() as f64) * config.advex_train_fraction) as usize;
+    let train_idx: Vec<usize> = (0..n_train).collect();
+    let eval_idx: Vec<usize> = (n_train..advex_all.rows()).collect();
+    let advex_train = advex_all.select_rows(&train_idx);
+    let advex_eval = advex_all.select_rows(&eval_idx);
+
+    let mut rows: Vec<DefenseRow> = Vec::new();
+
+    // 2a. No Defense.
+    rows.extend(evaluate_detector(
+        "No Defense",
+        ctx.target(),
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    // 2b. Adversarial training (fresh target-architecture model).
+    let seed = ctx.seed;
+    let advtrain = AdversarialTraining::new(ctx.scale.substitute_trainer(seed ^ 0xAD));
+    let fresh = target_model(ctx.x_train.cols(), ctx.scale.model_scale, seed ^ 0xAD1)?;
+    let (defended, advtrain_summary) =
+        advtrain.defend(fresh, &ctx.x_train, &ctx.y_train, &advex_train)?;
+    rows.extend(evaluate_detector(
+        "AdvTraining",
+        &defended,
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    // 2c. Defensive distillation (teacher + student, both target arch).
+    let distill = DefensiveDistillation::new(
+        config.distill_temperature,
+        ctx.scale.substitute_trainer(seed ^ 0xD1),
+        ctx.scale.substitute_trainer(seed ^ 0xD2),
+    );
+    let teacher = target_model(ctx.x_train.cols(), ctx.scale.model_scale, seed ^ 0xD3)?;
+    let student_fresh = target_model(ctx.x_train.cols(), ctx.scale.model_scale, seed ^ 0xD4)?;
+    let (student, _) = distill.defend(teacher, student_fresh, &ctx.x_train, &ctx.y_train)?;
+    rows.extend(evaluate_detector(
+        "Distillation",
+        &student,
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    // 2d. Feature squeezing on the (undefended) target.
+    let legit = ctx.x_train.clone();
+    // TrimLow just above θ erases the attack's low-mass feature
+    // additions while legitimate heavy counts survive.
+    let squeezer = SqueezeDetector::calibrate(
+        ctx.target().clone(),
+        Squeezer::TrimLow {
+            threshold: config.theta + 0.01,
+        },
+        &legit,
+        config.squeeze_fpr,
+    )?;
+    rows.extend(evaluate_squeezer(
+        "FeaSqueezing",
+        &squeezer,
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    // 2e. PCA dimensionality reduction (K = 19).
+    let reduced = reduced_model(config.pca_k, ctx.scale.model_scale, seed ^ 0x9C)?;
+    let pca = PcaDefense::fit(
+        config.pca_k,
+        reduced,
+        &ctx.x_train,
+        &ctx.y_train,
+        ctx.scale.substitute_trainer(seed ^ 0x91),
+    )?;
+    rows.extend(evaluate_detector(
+        "DimReduct",
+        &pca,
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    // 2f. The paper-suggested ensemble.
+    let reduced2 = reduced_model(config.pca_k, ctx.scale.model_scale, seed ^ 0xE1)?;
+    let ensemble = EnsembleDefense::fit(
+        config.pca_k,
+        reduced2,
+        &ctx.x_train,
+        &ctx.y_train,
+        &advex_train,
+        ctx.scale.substitute_trainer(seed ^ 0xE2),
+    )?;
+    rows.extend(evaluate_detector(
+        "AdvTrain+DimReduct",
+        &ensemble,
+        &clean,
+        &malware,
+        &advex_eval,
+    )?);
+
+    Ok(DefenseComparison {
+        rows,
+        advtrain_summary,
+        advex_eval: advex_eval.rows(),
+        advex_train: advex_train.rows(),
+        config: config.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greybox::train_substitute;
+    use crate::{ExperimentContext, ExperimentScale};
+
+    fn comparison() -> DefenseComparison {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 51).unwrap();
+        let substitute = train_substitute(&ctx, 51).unwrap();
+        let config = DefenseConfig {
+            theta: 0.5,
+            gamma: 0.1,
+            distill_temperature: 20.0,
+            pca_k: 10,
+            squeeze_fpr: 0.05,
+            advex_train_fraction: 0.5,
+            high_confidence: true,
+        };
+        compare_defenses(&ctx, &substitute, &config).unwrap()
+    }
+
+    #[test]
+    fn all_defenses_report_three_slices() {
+        let c = comparison();
+        for name in [
+            "No Defense",
+            "AdvTraining",
+            "Distillation",
+            "FeaSqueezing",
+            "DimReduct",
+            "AdvTrain+DimReduct",
+        ] {
+            for slice in ["Clean Test", "Malware Test", "AdvExamples"] {
+                assert!(
+                    c.row(name, slice).is_some(),
+                    "missing row ({name}, {slice})"
+                );
+            }
+        }
+        assert_eq!(c.rows.len(), 18);
+    }
+
+    #[test]
+    fn adversarial_training_beats_no_defense_on_advex() {
+        let c = comparison();
+        let base = c.row("No Defense", "AdvExamples").unwrap().tpr.unwrap();
+        let adv = c.row("AdvTraining", "AdvExamples").unwrap().tpr.unwrap();
+        assert!(
+            adv > base,
+            "adversarial training must raise advex TPR: {base} -> {adv}"
+        );
+        // And keep clean accuracy (the paper's headline property).
+        let tnr = c.row("AdvTraining", "Clean Test").unwrap().tnr.unwrap();
+        assert!(tnr > 0.8, "AdvTraining clean TNR {tnr}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let c = comparison();
+        let t6 = c.render_table_vi();
+        assert!(t6.contains("AdvTraining"));
+        assert!(t6.contains("DimReduct"));
+        let t5 = c.render_table_v();
+        assert!(t5.contains("Training Set"));
+        assert_eq!(c.advex_train + c.advex_eval, 40);
+    }
+}
+
+/// Report of the adaptive-attacker experiment (the paper's closing
+/// challenge: "It is an open challenge to design a defense against a
+/// powerful adaptive attack").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSqueezeReport {
+    /// Squeeze-detector flag rate on *naive* adversarial examples.
+    pub naive_flag_rate: f64,
+    /// Squeeze-detector flag rate on *squeeze-aware* adversarial
+    /// examples.
+    pub adaptive_flag_rate: f64,
+    /// Classifier detection rate on the naive advex.
+    pub naive_detection: f64,
+    /// Classifier detection rate on the adaptive advex.
+    pub adaptive_detection: f64,
+    /// Squeeze-detector false-alarm rate on clean samples (context).
+    pub clean_flag_rate: f64,
+}
+
+/// Runs the adaptive attacker against the feature-squeezing defense:
+/// same JSMA budget, but every planted perturbation is raised above the
+/// squeezer's trim threshold so squeezing cannot revert it. The paper's
+/// prediction — an adaptive attacker blinds the detector — is what this
+/// measures.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training or shape failures.
+pub fn adaptive_squeeze_experiment(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    config: &DefenseConfig,
+) -> Result<AdaptiveSqueezeReport, NnError> {
+    use maleva_attack::{detection_rate, Jsma, SqueezeAwareJsma};
+
+    let malware = ctx.attack_batch();
+    let clean = ctx.clean_batch();
+    let trim = config.theta + 0.01;
+    let detector = SqueezeDetector::calibrate(
+        ctx.target().clone(),
+        Squeezer::TrimLow { threshold: trim },
+        &ctx.x_train,
+        config.squeeze_fpr,
+    )?;
+
+    let mut naive = Jsma::new(config.theta, config.gamma);
+    if config.high_confidence {
+        naive = naive.with_high_confidence();
+    }
+    let adaptive = SqueezeAwareJsma::new(naive.clone(), trim, 0.02);
+
+    let (naive_adv, _) = naive.craft_batch(substitute, &malware)?;
+    let (adaptive_adv, _) = adaptive.craft_batch(substitute, &malware)?;
+
+    let rate = |flags: &[bool]| {
+        flags.iter().filter(|&&f| f).count() as f64 / flags.len().max(1) as f64
+    };
+    Ok(AdaptiveSqueezeReport {
+        naive_flag_rate: rate(&detector.flag_adversarial(&naive_adv)?),
+        adaptive_flag_rate: rate(&detector.flag_adversarial(&adaptive_adv)?),
+        naive_detection: detection_rate(ctx.target(), &naive_adv)?,
+        adaptive_detection: detection_rate(ctx.target(), &adaptive_adv)?,
+        clean_flag_rate: rate(&detector.flag_adversarial(&clean)?),
+    })
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use crate::greybox::train_substitute;
+    use crate::{ExperimentContext, ExperimentScale};
+
+    #[test]
+    fn adaptive_attacker_blinds_the_squeezer() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 92).unwrap();
+        let substitute = train_substitute(&ctx, 92).unwrap();
+        let config = DefenseConfig {
+            theta: 0.5,
+            gamma: 0.1,
+            high_confidence: true,
+            ..DefenseConfig::default()
+        };
+        let report = adaptive_squeeze_experiment(&ctx, &substitute, &config).unwrap();
+        // The adaptive attacker must be flagged at most as often as the
+        // naive one (typically collapsing toward the clean false-alarm
+        // rate), while still evading the classifier comparably.
+        assert!(
+            report.adaptive_flag_rate <= report.naive_flag_rate + 0.05,
+            "adaptive flagged more than naive: {report:?}"
+        );
+        assert!(
+            report.adaptive_detection <= report.naive_detection + 0.2,
+            "adaptive attack lost too much classifier evasion: {report:?}"
+        );
+        for r in [
+            report.naive_flag_rate,
+            report.adaptive_flag_rate,
+            report.clean_flag_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The grey-box attack experiments (paper Section III-B, Figure 4).
+//!
+//! The attacker knows the 491 API features but not the target's training
+//! data or model. Three experiments:
+//!
+//! 1. **Exact features** — train the Table IV substitute on the
+//!    attacker's own corpus (same feature pipeline), craft with JSMA,
+//!    transfer to the target (Figure 4a/4b).
+//! 2. **Binary features** — the attacker knows the API names but not the
+//!    count transformation; their substitute uses presence/absence
+//!    features. Adversarial *programs* (API insertions) are rebuilt from
+//!    the binary perturbation and re-scanned by the real target pipeline
+//!    (Figure 4c).
+//! 3. **Live test** — see [`live`](crate::live).
+
+use maleva_apisim::{Class, Dataset, Program};
+use maleva_attack::sweep::{security_sweep_with, SweepAxis};
+use maleva_attack::{detection_rate, EvasionAttack, Jsma};
+use maleva_eval::SecurityCurve;
+use maleva_features::{CountTransform, FeaturePipeline};
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, Trainer};
+use serde::{Deserialize, Serialize};
+
+use crate::models::substitute_model;
+use crate::ExperimentContext;
+
+/// Trains the attacker's substitute model (Table IV architecture) on the
+/// attacker's *own* balanced corpus — same size as the defender's
+/// training set but sampled independently (the attacker has no access to
+/// the defender's data), featurized with the defender's pipeline (the
+/// grey-box assumption: features are known).
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training failures.
+pub fn train_substitute(ctx: &ExperimentContext, seed: u64) -> Result<Network, NnError> {
+    let spec = &ctx.scale.dataset;
+    let mut rng = maleva_apisim::rng(seed ^ 0x5AB5_717E);
+    let programs = ctx
+        .world
+        .sample_batch(spec.train_clean, spec.train_malware, &mut rng);
+    let x = ctx.detector.features().transform_batch(&programs);
+    let y = Dataset::labels(&programs);
+    let mut net = substitute_model(x.cols(), ctx.scale.model_scale, seed ^ 0x5B5B)?;
+    Trainer::new(ctx.scale.substitute_trainer(seed)).fit(&mut net, &x, &y)?;
+    Ok(net)
+}
+
+/// Figure 4(a): γ sweep at θ = 0.1, crafted on the substitute, scored by
+/// both substitute and target.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn gamma_transfer_curve(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    samples: usize,
+) -> Result<SecurityCurve, NnError> {
+    transfer_curve(ctx, substitute, samples, SweepAxis::paper_gamma())
+}
+
+/// Figure 4(b): θ sweep at γ = 0.005 (two features), crafted on the
+/// substitute, scored by both models.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn theta_transfer_curve(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    samples: usize,
+) -> Result<SecurityCurve, NnError> {
+    let axis = SweepAxis::Theta {
+        gamma: 0.005,
+        values: (0..=12).map(|i| i as f64 * 0.0125).collect(),
+    };
+    transfer_curve(ctx, substitute, samples, axis)
+}
+
+/// Grey-box sweep over an arbitrary axis.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn transfer_curve(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    samples: usize,
+    axis: SweepAxis,
+) -> Result<SecurityCurve, NnError> {
+    let batch = capped(ctx, samples);
+    // Grey-box attackers craft high-confidence adversarial examples
+    // (exhaust the feature budget) to maximize transfer.
+    security_sweep_with(
+        &Jsma::new(1.0, 1.0).with_high_confidence(),
+        substitute,
+        &[("substitute", substitute), ("target", ctx.target())],
+        &batch,
+        &axis,
+        None,
+    )
+}
+
+/// Figure 5 (as published): L2 distances of *grey-box* adversarial
+/// examples (crafted on the substitute with the original features).
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn l2_curves(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    samples: usize,
+    axis: SweepAxis,
+) -> Result<SecurityCurve, NnError> {
+    let malware = capped(ctx, samples);
+    let clean = ctx.clean_batch();
+    maleva_attack::perturbation::l2_sweep(
+        substitute,
+        &malware,
+        &clean,
+        &axis,
+        ctx.scale.l2_max_pairs,
+    )
+}
+
+/// Transfer statistics at one operating point (the paper reports θ = 0.1,
+/// γ = 0.005: target detection 0.147, transfer rate 0.853).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// θ used.
+    pub theta: f64,
+    /// γ used.
+    pub gamma: f64,
+    /// Detection rate of the *substitute* on the adversarial batch.
+    pub substitute_detection: f64,
+    /// Detection rate of the *target* on the adversarial batch.
+    pub target_detection: f64,
+    /// `1 − target_detection`.
+    pub transfer_rate: f64,
+    /// Number of samples attacked.
+    pub attacked: usize,
+}
+
+/// Evaluates one grey-box `(θ, γ)` operating point.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+///
+/// # Panics
+///
+/// Panics if `theta <= 0` or `gamma` is outside `[0, 1]`.
+pub fn operating_point(
+    ctx: &ExperimentContext,
+    substitute: &Network,
+    samples: usize,
+    theta: f64,
+    gamma: f64,
+) -> Result<TransferReport, NnError> {
+    let batch = capped(ctx, samples);
+    let (adv, _) = Jsma::new(theta, gamma).craft_batch(substitute, &batch)?;
+    let substitute_detection = detection_rate(substitute, &adv)?;
+    let target_detection = detection_rate(ctx.target(), &adv)?;
+    Ok(TransferReport {
+        theta,
+        gamma,
+        substitute_detection,
+        target_detection,
+        transfer_rate: 1.0 - target_detection,
+        attacked: batch.rows(),
+    })
+}
+
+/// Result of the binary-features experiment (Figure 4c): the attacker's
+/// substitute sees presence/absence features; adversarial *programs* are
+/// rebuilt by inserting the chosen API calls and re-scanned end-to-end by
+/// the target pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryFeatureReport {
+    /// Detection-rate curve: `jsma:substitute` (binary feature space) and
+    /// `jsma:target` (end-to-end rescan of modified programs) per γ.
+    pub curve: SecurityCurve,
+    /// Target detection rate at the strongest sweep point.
+    pub final_target_detection: f64,
+    /// Transfer rate at the strongest sweep point (paper: 0.3049 — the
+    /// attack largely fails without feature knowledge).
+    pub final_transfer_rate: f64,
+}
+
+/// Runs the binary-features grey-box experiment.
+///
+/// The attacker: (1) builds their own corpus and a **binary** feature
+/// pipeline over the known API names; (2) trains the Table IV substitute
+/// on it; (3) for each sweep γ, JSMA-attacks the binary features of the
+/// defender's test malware; (4) converts each newly-set feature into an
+/// actual API-call insertion in the program source; (5) the defender's
+/// real pipeline rescans the modified program's log.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training or shape failures.
+pub fn binary_feature_experiment(
+    ctx: &ExperimentContext,
+    seed: u64,
+    samples: usize,
+    gammas: &[f64],
+) -> Result<BinaryFeatureReport, NnError> {
+    // Attacker corpus and binary pipeline.
+    let spec = &ctx.scale.dataset;
+    let mut rng = maleva_apisim::rng(seed ^ 0xB1AA);
+    let corpus = ctx
+        .world
+        .sample_batch(spec.train_clean, spec.train_malware, &mut rng);
+    let bin_pipeline = FeaturePipeline::fit(CountTransform::Binary, &corpus);
+    let xb = bin_pipeline.transform_batch(&corpus);
+    let yb = Dataset::labels(&corpus);
+    let mut substitute = substitute_model(xb.cols(), ctx.scale.model_scale, seed ^ 0xB1B1)?;
+    Trainer::new(ctx.scale.substitute_trainer(seed ^ 1)).fit(&mut substitute, &xb, &yb)?;
+
+    // The defender's test malware *programs* (the attack edits source).
+    let mal_programs: Vec<&Program> = ctx
+        .dataset
+        .test()
+        .iter()
+        .filter(|p| p.class() == Class::Malware)
+        .take(samples)
+        .collect();
+
+    let theta = 1.0; // binary features: an added API flips 0 → 1
+    let mut sub_series = Vec::with_capacity(gammas.len());
+    let mut tgt_series = Vec::with_capacity(gammas.len());
+    for &gamma in gammas {
+        let mut sub_hits = 0usize;
+        let mut tgt_hits = 0usize;
+        for prog in &mal_programs {
+            let bin_feats = bin_pipeline.transform_counts(prog.counts());
+            let (adv_feats, evaded) = if gamma > 0.0 {
+                let outcome =
+                    Jsma::new(theta, gamma).craft(&substitute, &bin_feats)?;
+                (outcome.adversarial, outcome.evaded)
+            } else {
+                let m = Matrix::row_vector(&bin_feats);
+                let evaded = substitute.predict(&m)?[0] == 0;
+                (bin_feats.clone(), evaded)
+            };
+            if !evaded {
+                sub_hits += 1;
+            }
+            // Rebuild the program: every feature newly set to 1 becomes an
+            // inserted API call.
+            let mut modified = (*prog).clone();
+            for (api, (&b, &a)) in bin_feats.iter().zip(adv_feats.iter()).enumerate() {
+                if b == 0.0 && a > 0.0 {
+                    modified.insert_api_calls(api, 1);
+                }
+            }
+            if ctx.detector.is_malware(&modified)? {
+                tgt_hits += 1;
+            }
+        }
+        let n = mal_programs.len().max(1) as f64;
+        sub_series.push(sub_hits as f64 / n);
+        tgt_series.push(tgt_hits as f64 / n);
+    }
+
+    let mut curve = SecurityCurve::new("gamma", gammas.to_vec());
+    curve.push_series("jsma:substitute", sub_series);
+    curve.push_series("jsma:target", tgt_series.clone());
+    let final_target_detection = *tgt_series.last().expect("non-empty gammas");
+    Ok(BinaryFeatureReport {
+        curve,
+        final_target_detection,
+        final_transfer_rate: 1.0 - final_target_detection,
+    })
+}
+
+fn capped(ctx: &ExperimentContext, samples: usize) -> Matrix {
+    let full = ctx.attack_batch();
+    let n = samples.min(full.rows()).max(1);
+    let idx: Vec<usize> = (0..n).collect();
+    full.select_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentContext, ExperimentScale};
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::build(ExperimentScale::tiny(), 21).unwrap()
+    }
+
+    #[test]
+    fn substitute_learns_the_task() {
+        let ctx = ctx();
+        let substitute = train_substitute(&ctx, 77).unwrap();
+        let dr = detection_rate(&substitute, &ctx.x_test_malware).unwrap();
+        assert!(dr > 0.75, "substitute malware detection {dr}");
+        let fp = detection_rate(&substitute, &ctx.x_test_clean).unwrap();
+        assert!(fp < 0.25, "substitute clean false positives {fp}");
+    }
+
+    #[test]
+    fn greybox_transfer_weakens_the_target() {
+        let ctx = ctx();
+        let substitute = train_substitute(&ctx, 78).unwrap();
+        // Baseline on the *same* capped batch the attack uses.
+        let full = ctx.attack_batch();
+        let idx: Vec<usize> = (0..30.min(full.rows())).collect();
+        let batch = full.select_rows(&idx);
+        let baseline = detection_rate(ctx.target(), &batch).unwrap();
+        // Tiny-scale models are far more robust than the paper's target,
+        // so probe at a strong operating point; the quantitative
+        // operating points are exercised at quick scale by the repro
+        // binary.
+        let report = operating_point(&ctx, &substitute, 30, 0.8, 0.2).unwrap();
+        assert!(
+            report.target_detection < baseline,
+            "transfer should lower target detection: {} vs baseline {}",
+            report.target_detection,
+            baseline
+        );
+        assert!((report.transfer_rate + report.target_detection - 1.0).abs() < 1e-12);
+        // The attack is stronger on the model it was crafted against.
+        assert!(report.substitute_detection <= report.target_detection + 0.25);
+    }
+
+    #[test]
+    fn transfer_curve_has_both_series() {
+        let ctx = ctx();
+        let substitute = train_substitute(&ctx, 79).unwrap();
+        let axis = SweepAxis::Gamma {
+            theta: 0.4,
+            values: vec![0.0, 0.05],
+        };
+        let curve = transfer_curve(&ctx, &substitute, 20, axis).unwrap();
+        assert!(curve.series_named("jsma:substitute").is_some());
+        assert!(curve.series_named("jsma:target").is_some());
+    }
+
+    #[test]
+    fn binary_experiment_largely_fails_against_the_target() {
+        let ctx = ctx();
+        let report = binary_feature_experiment(&ctx, 80, 25, &[0.0, 0.05, 0.1]).unwrap();
+        // The paper's Figure 4(c) shape: the substitute's own detection
+        // rate collapses as gamma grows...
+        let sub = report.curve.series_named("jsma:substitute").unwrap();
+        assert!(
+            *sub.values.last().unwrap() <= sub.values[0] + 1e-9,
+            "substitute curve should decline: {:?}",
+            sub.values
+        );
+        // ...but the target mostly holds (detection stays well above the
+        // white-box collapse; paper: 0.6951).
+        assert!(
+            report.final_target_detection > 0.5,
+            "target should largely resist the binary-features attack: {}",
+            report.final_target_detection
+        );
+        assert!(
+            (report.final_transfer_rate + report.final_target_detection - 1.0).abs() < 1e-12
+        );
+    }
+}
+
+/// Trains `n` independent substitutes (different corpora and weight
+/// seeds) for the ensemble transfer attack.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training failures.
+pub fn train_substitute_ensemble(
+    ctx: &ExperimentContext,
+    base_seed: u64,
+    n: usize,
+) -> Result<Vec<Network>, NnError> {
+    (0..n)
+        .map(|i| train_substitute(ctx, base_seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Transfer report for the ensemble attack: craft against `members`
+/// jointly (mean saliency, majority vote) and score the target.
+///
+/// This is the transferability booster from the literature the paper
+/// cites; compare with [`operating_point`] (single substitute) to see
+/// how much averaging substitute gradients buys.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on shape mismatches.
+pub fn ensemble_operating_point(
+    ctx: &ExperimentContext,
+    members: &[Network],
+    samples: usize,
+    theta: f64,
+    gamma: f64,
+) -> Result<TransferReport, NnError> {
+    let batch = capped(ctx, samples);
+    let refs: Vec<&Network> = members.iter().collect();
+    let attack = maleva_attack::EnsembleJsma::new(theta, gamma);
+    let (adv, _) = attack.craft_batch(&refs, &batch)?;
+    let substitute_detection = detection_rate(&refs[0], &adv)?;
+    let target_detection = detection_rate(ctx.target(), &adv)?;
+    Ok(TransferReport {
+        theta,
+        gamma,
+        substitute_detection,
+        target_detection,
+        transfer_rate: 1.0 - target_detection,
+        attacked: batch.rows(),
+    })
+}
+
+#[cfg(test)]
+mod ensemble_tests {
+    use super::*;
+    use crate::{ExperimentContext, ExperimentScale};
+
+    #[test]
+    fn ensemble_transfer_is_at_least_as_strong_as_single() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 91).unwrap();
+        let members = train_substitute_ensemble(&ctx, 91, 3).unwrap();
+        let single = operating_point(&ctx, &members[0], 30, 0.6, 0.15).unwrap();
+        let joint = ensemble_operating_point(&ctx, &members, 30, 0.6, 0.15).unwrap();
+        assert!(
+            joint.target_detection <= single.target_detection + 0.15,
+            "ensemble ({}) should not be much weaker than single ({})",
+            joint.target_detection,
+            single.target_detection
+        );
+        assert_eq!(joint.attacked, 30);
+    }
+}

@@ -1,0 +1,52 @@
+//! `maleva-core` — the end-to-end framework reproducing *"Malware Evasion
+//! Attack and Defense"* (Huang et al., DSN 2019).
+//!
+//! This crate ties the substrates together into the paper's experiments:
+//!
+//! | Paper artifact | Entry point |
+//! |---|---|
+//! | Threat models (white/grey/black box, §II-B) | [`ThreatModel`] |
+//! | Detector pipeline (log → features → DNN) | [`DetectorPipeline`] |
+//! | Target & substitute architectures (Table IV) | [`models`] |
+//! | Shared experiment state (Table I data, trained target) | [`ExperimentContext`] |
+//! | White-box attack, Figure 3 | [`whitebox`] |
+//! | Grey-box attacks, Figure 4 + transfer rates | [`greybox`] |
+//! | L2 geometry, Figure 5 | [`whitebox::l2_curves`] |
+//! | Live grey-box source-edit test (§III-B exp. 3) | [`live`] |
+//! | Black-box framework, Figure 2 (paper's future work) | [`blackbox`] |
+//! | Defense comparison, Tables V & VI | [`defenses`] |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use maleva_core::{ExperimentContext, ExperimentScale};
+//!
+//! # fn main() -> Result<(), maleva_nn::NnError> {
+//! // Build the world, the Table-I-shaped dataset, and a trained target.
+//! let ctx = ExperimentContext::build(ExperimentScale::quick(), 42)?;
+//! println!("target test accuracy: {:.3}", ctx.target_test_accuracy()?);
+//!
+//! // Figure 3(a): white-box security evaluation curve.
+//! let curve = maleva_core::whitebox::gamma_curve(&ctx, 200)?;
+//! println!("{}", curve.render());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod pipeline;
+mod threat;
+pub mod blackbox;
+pub mod defenses;
+pub mod drift;
+pub mod greybox;
+pub mod live;
+pub mod models;
+pub mod whitebox;
+
+pub use context::{ExperimentContext, ExperimentScale};
+pub use pipeline::DetectorPipeline;
+pub use threat::ThreatModel;

@@ -1,0 +1,148 @@
+//! The paper's model architectures.
+//!
+//! * **Target model** — "a 4-layer fully connected DNN (The target model
+//!   is proprietary, so we cannot release the detail information.)". Our
+//!   stand-in is 491 → 512 → 256 → 2 at paper scale.
+//! * **Substitute model** — Table IV: 491 → 1200 → 1500 → 1300 → 2,
+//!   trained with Adam, learning rate 0.001, batch size 256.
+//!
+//! Each architecture also has a width-scaled `quick`/`tiny` variant so
+//! experiments run on a laptop; the *depth* (layer count) always matches
+//! the paper, since transferability depends on architectural dissimilarity
+//! between target (4-layer) and substitute (5-layer).
+
+use maleva_nn::{Activation, Network, NetworkBuilder, NnError};
+
+/// Width multiplier presets for the paper architectures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelScale {
+    /// Full paper widths (1200/1500/1300 substitute hidden layers).
+    Paper,
+    /// ~1/12 widths; minutes-scale experiments.
+    Quick,
+    /// ~1/40 widths; unit-test scale.
+    Tiny,
+    /// An explicit width multiplier in `(0, 1]`.
+    Custom(f64),
+}
+
+impl ModelScale {
+    fn factor(self) -> f64 {
+        match self {
+            ModelScale::Paper => 1.0,
+            ModelScale::Quick => 1.0 / 12.0,
+            ModelScale::Tiny => 1.0 / 40.0,
+            ModelScale::Custom(f) => {
+                assert!(f > 0.0 && f <= 1.0, "custom scale must be in (0, 1], got {f}");
+                f
+            }
+        }
+    }
+
+    fn width(self, paper_width: usize) -> usize {
+        ((paper_width as f64 * self.factor()).round() as usize).max(4)
+    }
+}
+
+/// Builds the (simulated-proprietary) 4-layer target model:
+/// `input → 512·s → 256·s → 2`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for a zero input dimension.
+pub fn target_model(input_dim: usize, scale: ModelScale, seed: u64) -> Result<Network, NnError> {
+    NetworkBuilder::new(input_dim)
+        .layer(scale.width(512), Activation::ReLU)
+        .layer(scale.width(256), Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+}
+
+/// Builds the Table IV 5-layer substitute model:
+/// `input → 1200·s → 1500·s → 1300·s → 2`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for a zero input dimension.
+pub fn substitute_model(
+    input_dim: usize,
+    scale: ModelScale,
+    seed: u64,
+) -> Result<Network, NnError> {
+    NetworkBuilder::new(input_dim)
+        .layer(scale.width(1200), Activation::ReLU)
+        .layer(scale.width(1500), Activation::ReLU)
+        .layer(scale.width(1300), Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+}
+
+/// Builds the classifier used over PCA-reduced inputs (dimensionality-
+/// reduction defense, K = 19 in the paper): `k → 64·s → 2`.
+///
+/// A shallower stack than the target — with only K inputs, the paper-size
+/// hidden layers would be grossly overparameterized.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for a zero input dimension.
+pub fn reduced_model(k: usize, scale: ModelScale, seed: u64) -> Result<Network, NnError> {
+    NetworkBuilder::new(k)
+        .layer(scale.width(64).max(8), Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_model_takes_k_inputs() {
+        let net = reduced_model(19, ModelScale::Quick, 0).unwrap();
+        assert_eq!(net.input_dim(), 19);
+        assert_eq!(net.num_classes(), 2);
+    }
+
+    #[test]
+    fn paper_substitute_matches_table_iv() {
+        let net = substitute_model(491, ModelScale::Paper, 0).unwrap();
+        assert_eq!(net.dims(), vec![491, 1200, 1500, 1300, 2]);
+    }
+
+    #[test]
+    fn target_is_four_layers_substitute_is_five() {
+        // Counting layers as the paper does (including input and output
+        // "layers" of the fully-connected stack): target has 3 weight
+        // matrices (4 node layers), substitute has 4 (5 node layers).
+        let t = target_model(491, ModelScale::Quick, 0).unwrap();
+        let s = substitute_model(491, ModelScale::Quick, 0).unwrap();
+        assert_eq!(t.layers().len(), 3);
+        assert_eq!(s.layers().len(), 4);
+    }
+
+    #[test]
+    fn scales_shrink_widths_but_keep_depth() {
+        let paper = substitute_model(491, ModelScale::Paper, 0).unwrap();
+        let quick = substitute_model(491, ModelScale::Quick, 0).unwrap();
+        let tiny = substitute_model(491, ModelScale::Tiny, 0).unwrap();
+        assert_eq!(paper.dims().len(), quick.dims().len());
+        assert_eq!(paper.dims().len(), tiny.dims().len());
+        assert!(quick.param_count() < paper.param_count() / 50);
+        assert!(tiny.param_count() < quick.param_count());
+        // Output layer stays 2-wide at every scale.
+        assert_eq!(quick.num_classes(), 2);
+        assert_eq!(tiny.num_classes(), 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = target_model(32, ModelScale::Tiny, 1).unwrap();
+        let b = target_model(32, ModelScale::Tiny, 2).unwrap();
+        let x = maleva_linalg::Matrix::filled(1, 32, 0.5);
+        assert_ne!(a.logits(&x).unwrap(), b.logits(&x).unwrap());
+    }
+}

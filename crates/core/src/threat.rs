@@ -1,0 +1,70 @@
+use serde::{Deserialize, Serialize};
+
+/// The attacker-knowledge models of the paper's Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreatModel {
+    /// "The attacker has complete knowledge of the system, including
+    /// training data, features, and ML models (i.e. DNN architecture and
+    /// parameters)." Attacks are crafted directly against the target.
+    WhiteBox,
+    /// "The attacker has no knowledge of training data and ML model, but
+    /// knowledge of the features." Attacks are crafted against a
+    /// self-trained substitute and transferred.
+    GreyBox,
+    /// "The attacker has no knowledge of the system." The target is only
+    /// a label oracle; features, data and model are all the attacker's
+    /// own (Figure 2 framework).
+    BlackBox,
+}
+
+impl ThreatModel {
+    /// Whether the attacker can read the target model's parameters.
+    pub fn knows_model(self) -> bool {
+        matches!(self, ThreatModel::WhiteBox)
+    }
+
+    /// Whether the attacker knows the defender's exact feature space.
+    pub fn knows_features(self) -> bool {
+        matches!(self, ThreatModel::WhiteBox | ThreatModel::GreyBox)
+    }
+
+    /// Whether the attacker can see the defender's training data.
+    pub fn knows_training_data(self) -> bool {
+        matches!(self, ThreatModel::WhiteBox)
+    }
+}
+
+impl std::fmt::Display for ThreatModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ThreatModel::WhiteBox => "white-box",
+            ThreatModel::GreyBox => "grey-box",
+            ThreatModel::BlackBox => "black-box",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_lattice_matches_paper() {
+        assert!(ThreatModel::WhiteBox.knows_model());
+        assert!(ThreatModel::WhiteBox.knows_features());
+        assert!(ThreatModel::WhiteBox.knows_training_data());
+
+        assert!(!ThreatModel::GreyBox.knows_model());
+        assert!(ThreatModel::GreyBox.knows_features());
+        assert!(!ThreatModel::GreyBox.knows_training_data());
+
+        assert!(!ThreatModel::BlackBox.knows_model());
+        assert!(!ThreatModel::BlackBox.knows_features());
+        assert!(!ThreatModel::BlackBox.knows_training_data());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ThreatModel::GreyBox.to_string(), "grey-box");
+    }
+}

@@ -1,0 +1,198 @@
+//! The white-box attack experiment (paper Section III-A, Figure 3).
+//!
+//! The attacker knows everything — including the target's parameters — so
+//! adversarial examples are crafted directly against the target model and
+//! scored by it. Each curve carries the paper's random-noise control
+//! series.
+
+use maleva_attack::sweep::{security_sweep, SweepAxis};
+use maleva_attack::{detection_rate, EvasionAttack, Jsma};
+use maleva_eval::SecurityCurve;
+use maleva_linalg::Matrix;
+use maleva_nn::NnError;
+use serde::{Deserialize, Serialize};
+
+use crate::ExperimentContext;
+
+/// Figure 3(a): detection rate vs γ at θ = 0.1, on at most `samples`
+/// test-malware rows, with the random-addition control.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn gamma_curve(ctx: &ExperimentContext, samples: usize) -> Result<SecurityCurve, NnError> {
+    curve(ctx, samples, SweepAxis::paper_gamma())
+}
+
+/// Figure 3(b): detection rate vs θ at γ = 0.025, with the random
+/// control.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn theta_curve(ctx: &ExperimentContext, samples: usize) -> Result<SecurityCurve, NnError> {
+    curve(ctx, samples, SweepAxis::paper_theta())
+}
+
+/// White-box sweep over an arbitrary axis.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn curve(
+    ctx: &ExperimentContext,
+    samples: usize,
+    axis: SweepAxis,
+) -> Result<SecurityCurve, NnError> {
+    let batch = capped_batch(ctx, samples);
+    security_sweep(
+        ctx.target(),
+        &[("target", ctx.target())],
+        &batch,
+        &axis,
+        Some(ctx.seed ^ 0x5EED),
+    )
+}
+
+/// Figure 5 counterpart computed white-box (see
+/// [`greybox`](crate::greybox) for the paper's grey-box variant): mean L2
+/// distances between malware, adversarial examples, and clean samples as
+/// attack strength varies.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+pub fn l2_curves(
+    ctx: &ExperimentContext,
+    samples: usize,
+    axis: SweepAxis,
+) -> Result<SecurityCurve, NnError> {
+    let malware = capped_batch(ctx, samples);
+    let clean = ctx.clean_batch();
+    maleva_attack::perturbation::l2_sweep(
+        ctx.target(),
+        &malware,
+        &clean,
+        &axis,
+        ctx.scale.l2_max_pairs,
+    )
+}
+
+/// The paper's headline white-box operating point: θ = 0.1, γ = 0.025
+/// (adding up to 12 of 491 features), where the detection rate collapsed
+/// to 0.099 and 26 015 of 28 874 malware evaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// θ used.
+    pub theta: f64,
+    /// γ used.
+    pub gamma: f64,
+    /// Detection rate on the adversarial batch.
+    pub detection_rate: f64,
+    /// Number of malware samples that evaded.
+    pub evasions: usize,
+    /// Number attacked.
+    pub attacked: usize,
+    /// Mean number of features actually modified per sample.
+    pub mean_features_modified: f64,
+    /// Mean L2 perturbation.
+    pub mean_l2: f64,
+}
+
+/// Evaluates one `(θ, γ)` operating point white-box.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on internal shape mismatches.
+///
+/// # Panics
+///
+/// Panics if `theta <= 0` or `gamma` is outside `[0, 1]`.
+pub fn operating_point(
+    ctx: &ExperimentContext,
+    samples: usize,
+    theta: f64,
+    gamma: f64,
+) -> Result<OperatingPoint, NnError> {
+    let batch = capped_batch(ctx, samples);
+    let jsma = Jsma::new(theta, gamma);
+    let (adv, outcomes) = jsma.craft_batch(ctx.target(), &batch)?;
+    let dr = detection_rate(ctx.target(), &adv)?;
+    let preds = ctx.target().predict(&adv)?;
+    let evasions = preds.iter().filter(|&&p| p == 0).count();
+    let n = outcomes.len().max(1) as f64;
+    Ok(OperatingPoint {
+        theta,
+        gamma,
+        detection_rate: dr,
+        evasions,
+        attacked: outcomes.len(),
+        mean_features_modified: outcomes
+            .iter()
+            .map(|o| o.features_modified() as f64)
+            .sum::<f64>()
+            / n,
+        mean_l2: outcomes.iter().map(|o| o.l2_distance).sum::<f64>() / n,
+    })
+}
+
+fn capped_batch(ctx: &ExperimentContext, samples: usize) -> Matrix {
+    let full = ctx.attack_batch();
+    let n = samples.min(full.rows()).max(1);
+    let idx: Vec<usize> = (0..n).collect();
+    full.select_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentScale;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::build(ExperimentScale::tiny(), 11).unwrap()
+    }
+
+    #[test]
+    fn gamma_curve_has_jsma_and_random_series() {
+        let ctx = ctx();
+        let curve = gamma_curve(&ctx, 20).unwrap();
+        assert_eq!(curve.strength.len(), 7);
+        assert!(curve.series_named("jsma:target").is_some());
+        assert!(curve.series_named("random:target").is_some());
+        // Strength zero equals the clean baseline for both series.
+        let j = curve.series_named("jsma:target").unwrap();
+        let r = curve.series_named("random:target").unwrap();
+        assert!((j.values[0] - r.values[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operating_point_reports_consistent_counts() {
+        let ctx = ctx();
+        let op = operating_point(&ctx, 20, 0.3, 0.1).unwrap();
+        assert_eq!(op.attacked, 20);
+        assert!((op.detection_rate - (1.0 - op.evasions as f64 / 20.0)).abs() < 1e-12);
+        assert!(op.mean_features_modified <= (0.1f64 * 491.0).floor());
+        assert!(op.mean_l2 >= 0.0);
+    }
+
+    #[test]
+    fn stronger_theta_never_raises_detection_much() {
+        let ctx = ctx();
+        let weak = operating_point(&ctx, 20, 0.05, 0.05).unwrap();
+        let strong = operating_point(&ctx, 20, 0.9, 0.05).unwrap();
+        assert!(strong.detection_rate <= weak.detection_rate + 0.15);
+    }
+
+    #[test]
+    fn l2_curve_has_three_series() {
+        let ctx = ctx();
+        let axis = SweepAxis::Gamma {
+            theta: 0.3,
+            values: vec![0.0, 0.02],
+        };
+        let c = l2_curves(&ctx, 20, axis).unwrap();
+        assert!(c.series_named("mal-adv").is_some());
+        assert!(c.series_named("mal-clean").is_some());
+        assert!(c.series_named("clean-adv").is_some());
+    }
+}

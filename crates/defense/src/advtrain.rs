@@ -1,0 +1,229 @@
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Adversarial training (paper Section II-C-1, Table V recipe).
+///
+/// The defender augments the training set with adversarial examples
+/// (labelled malware) and retrains. The paper additionally does a "sanity
+/// check on the data to reduce the duplicated samples" and re-balances by
+/// adding clean samples — both reproduced here: exact duplicate rows are
+/// dropped, and the augmented set is checked for class balance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialTraining {
+    trainer: TrainConfig,
+    /// Drop exact duplicate rows before training (the paper's sanity
+    /// check).
+    pub deduplicate: bool,
+}
+
+/// Summary of the augmented training set (the shape of the paper's
+/// Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentedSetSummary {
+    /// Clean rows in the final training set.
+    pub clean: usize,
+    /// Original malware rows in the final training set.
+    pub malware: usize,
+    /// Adversarial-example rows in the final training set.
+    pub adversarial: usize,
+    /// Rows removed by deduplication.
+    pub duplicates_removed: usize,
+}
+
+impl AugmentedSetSummary {
+    /// Total rows trained on.
+    pub fn total(&self) -> usize {
+        self.clean + self.malware + self.adversarial
+    }
+}
+
+impl AdversarialTraining {
+    /// Creates the defense with the given retraining configuration.
+    pub fn new(trainer: TrainConfig) -> Self {
+        AdversarialTraining {
+            trainer,
+            deduplicate: true,
+        }
+    }
+
+    /// Disables the duplicate sanity check (ablation).
+    pub fn without_deduplication(mut self) -> Self {
+        self.deduplicate = false;
+        self
+    }
+
+    /// Trains `fresh` on the original data augmented with `advex` rows
+    /// labelled malware. Returns the defended network and the Table V
+    /// style summary of what was trained on.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::LabelMismatch`] if `y.len() != x.rows()`.
+    /// * Any training error bubbles up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `advex` has a different column count from `x`.
+    pub fn defend(
+        &self,
+        mut fresh: Network,
+        x: &Matrix,
+        y: &[usize],
+        advex: &Matrix,
+    ) -> Result<(Network, AugmentedSetSummary), NnError> {
+        if y.len() != x.rows() {
+            return Err(NnError::LabelMismatch {
+                detail: format!("{} labels for {} rows", y.len(), x.rows()),
+            });
+        }
+        assert_eq!(
+            x.cols(),
+            advex.cols(),
+            "adversarial examples must share the feature space"
+        );
+
+        // Assemble augmented rows.
+        let mut rows: Vec<(Vec<f64>, usize, Kind)> = Vec::with_capacity(x.rows() + advex.rows());
+        for (r, &label) in y.iter().enumerate() {
+            rows.push((x.row(r).to_vec(), label, Kind::Original));
+        }
+        for r in 0..advex.rows() {
+            rows.push((advex.row(r).to_vec(), 1, Kind::Adversarial));
+        }
+
+        // The paper's sanity check: drop exact duplicates.
+        let mut duplicates_removed = 0usize;
+        if self.deduplicate {
+            let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+            rows.retain(|(row, _, _)| {
+                let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+                if seen.insert(key) {
+                    true
+                } else {
+                    duplicates_removed += 1;
+                    false
+                }
+            });
+        }
+
+        let mut clean = 0usize;
+        let mut malware = 0usize;
+        let mut adversarial = 0usize;
+        for (_, label, kind) in &rows {
+            match (label, kind) {
+                (_, Kind::Adversarial) => adversarial += 1,
+                (0, Kind::Original) => clean += 1,
+                (_, Kind::Original) => malware += 1,
+            }
+        }
+
+        let data: Vec<Vec<f64>> = rows.iter().map(|(r, _, _)| r.clone()).collect();
+        let labels: Vec<usize> = rows.iter().map(|(_, l, _)| *l).collect();
+        let xa = Matrix::from_rows(&data).expect("uniform augmented rows");
+        Trainer::new(self.trainer.clone()).fit(&mut fresh, &xa, &labels)?;
+
+        Ok((
+            fresh,
+            AugmentedSetSummary {
+                clean,
+                malware,
+                adversarial,
+                duplicates_removed,
+            },
+        ))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Original,
+    Adversarial,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::Detector;
+    use maleva_attack::{EvasionAttack, Jsma};
+
+    fn setup() -> (Matrix, Vec<usize>, Matrix, Matrix, Network, Matrix) {
+        let (x, y, mal, clean) = dataset(12, 32);
+        let base = trained_net(12, 1, &x, &y);
+        let jsma = Jsma::new(0.4, 0.5);
+        let (advex, _) = jsma.craft_batch(&base, &mal).unwrap();
+        (x, y, mal, clean, base, advex)
+    }
+
+    #[test]
+    fn adversarial_training_restores_advex_detection() {
+        let (x, y, mal, clean, base, advex) = setup();
+        // Baseline: the attack works.
+        let base_adv_tpr = detection(&base, &advex);
+        assert!(base_adv_tpr < 0.5, "attack should evade baseline: {base_adv_tpr}");
+
+        let defense = AdversarialTraining::new(
+            TrainConfig::new().epochs(60).batch_size(16).learning_rate(0.02),
+        );
+        let (defended, summary) = defense.defend(fresh_net(12, 2), &x, &y, &advex).unwrap();
+
+        let adv_tpr = detection(&defended, &advex);
+        assert!(
+            adv_tpr > 0.9,
+            "defended model should detect advex: {adv_tpr} (paper: 0.304 -> 0.931)"
+        );
+        // Original performance preserved.
+        assert!(detection(&defended, &mal) > 0.9);
+        let clean_fpr = detection(&defended, &clean);
+        assert!(clean_fpr < 0.1, "clean FPR {clean_fpr}");
+        // The fixture repeats feature rows every 7 samples, so the sanity
+        // check collapses duplicates — some adversarial rows must survive.
+        assert!(summary.adversarial > 0 && summary.adversarial <= advex.rows());
+    }
+
+    #[test]
+    fn deduplication_removes_exact_copies() {
+        let (x, y, _, _, _, advex) = setup();
+        // Duplicate the advex block to force duplicates.
+        let doubled = advex.vstack(&advex).unwrap();
+        let defense = AdversarialTraining::new(
+            TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02),
+        );
+        let (_, summary) = defense.defend(fresh_net(12, 3), &x, &y, &doubled).unwrap();
+        assert!(summary.duplicates_removed >= advex.rows());
+        let (_, summary_off) = AdversarialTraining::new(
+            TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02),
+        )
+        .without_deduplication()
+        .defend(fresh_net(12, 3), &x, &y, &doubled)
+        .unwrap();
+        assert_eq!(summary_off.duplicates_removed, 0);
+        assert!(summary_off.total() > summary.total());
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let (x, y, _, _, _, advex) = setup();
+        let defense = AdversarialTraining::new(
+            TrainConfig::new().epochs(1).batch_size(16).learning_rate(0.02),
+        )
+        .without_deduplication();
+        let (_, s) = defense.defend(fresh_net(12, 4), &x, &y, &advex).unwrap();
+        assert_eq!(s.total(), x.rows() + advex.rows());
+        assert_eq!(s.clean + s.malware, x.rows());
+        assert_eq!(s.adversarial, advex.rows());
+    }
+
+    #[test]
+    fn rejects_label_mismatch() {
+        let (x, _, _, _, _, advex) = setup();
+        let defense = AdversarialTraining::new(TrainConfig::new().epochs(1));
+        assert!(defense.defend(fresh_net(12, 5), &x, &[0, 1], &advex).is_err());
+    }
+
+    fn detection(net: &Network, x: &Matrix) -> f64 {
+        let labels = net.predict_labels(x).unwrap();
+        labels.iter().filter(|&&l| l == 1).count() as f64 / labels.len() as f64
+    }
+}

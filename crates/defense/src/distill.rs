@@ -1,0 +1,138 @@
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Defensive distillation (paper Section II-C-2; Papernot et al. 2016).
+///
+/// Two models: a **teacher** trained normally at softmax temperature `T`,
+/// and a **student** trained on the teacher's temperature-`T` soft labels
+/// ("the additional knowledge in probabilities, compared to hard class
+/// labels"). The student is deployed at `T = 1`, where its elevated
+/// training temperature flattens input gradients and so raises the cost
+/// of gradient-based attacks. The paper uses `T = 50`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefensiveDistillation {
+    /// Distillation temperature (paper: 50).
+    pub temperature: f64,
+    teacher_config: TrainConfig,
+    student_config: TrainConfig,
+}
+
+impl DefensiveDistillation {
+    /// Creates the defense. The temperature is injected into both
+    /// training configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature <= 0`.
+    pub fn new(temperature: f64, teacher: TrainConfig, student: TrainConfig) -> Self {
+        assert!(
+            temperature > 0.0,
+            "distillation temperature must be positive, got {temperature}"
+        );
+        DefensiveDistillation {
+            temperature,
+            teacher_config: teacher.temperature(temperature),
+            student_config: student.temperature(temperature),
+        }
+    }
+
+    /// Runs the two-stage distillation: trains `teacher` on `(x, y)` at
+    /// temperature `T`, extracts its soft labels at `T`, trains `student`
+    /// on those soft labels at `T`, and returns `(student, teacher)`.
+    ///
+    /// The returned student should be *queried at temperature 1* (its
+    /// plain [`Network::predict`] / [`Network::predict_proba`]).
+    ///
+    /// # Errors
+    ///
+    /// Label or shape inconsistencies, via [`NnError`].
+    pub fn defend(
+        &self,
+        mut teacher: Network,
+        mut student: Network,
+        x: &Matrix,
+        y: &[usize],
+    ) -> Result<(Network, Network), NnError> {
+        Trainer::new(self.teacher_config.clone()).fit(&mut teacher, x, y)?;
+        let soft = teacher.predict_proba_at(x, self.temperature)?;
+        Trainer::new(self.student_config.clone()).fit_soft(&mut student, x, &soft)?;
+        Ok((student, teacher))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::Detector;
+    use maleva_attack::{detection_rate, EvasionAttack, Jsma};
+
+    fn configs() -> (TrainConfig, TrainConfig) {
+        (
+            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.05),
+            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.05),
+        )
+    }
+
+    #[test]
+    fn student_learns_the_task() {
+        let (x, y, mal, clean) = dataset(12, 32);
+        let (tc, sc) = configs();
+        let d = DefensiveDistillation::new(20.0, tc, sc);
+        let (student, teacher) = d
+            .defend(fresh_net(12, 10), fresh_net(12, 11), &x, &y)
+            .unwrap();
+        // Teacher and student both classify well at deployment (T = 1).
+        for net in [&student, &teacher] {
+            let mal_labels = net.predict_labels(&mal).unwrap();
+            let tpr =
+                mal_labels.iter().filter(|&&l| l == 1).count() as f64 / mal_labels.len() as f64;
+            assert!(tpr > 0.85, "TPR {tpr}");
+            let clean_labels = net.predict_labels(&clean).unwrap();
+            let fpr = clean_labels.iter().filter(|&&l| l == 1).count() as f64
+                / clean_labels.len() as f64;
+            assert!(fpr < 0.15, "FPR {fpr}");
+        }
+    }
+
+    #[test]
+    fn distilled_student_resists_whitebox_jsma_better_than_baseline() {
+        let (x, y, mal, _) = dataset(12, 32);
+        let baseline = trained_net(12, 12, &x, &y);
+        let (tc, sc) = configs();
+        let d = DefensiveDistillation::new(50.0, tc, sc);
+        let (student, _) = d
+            .defend(fresh_net(12, 13), fresh_net(12, 14), &x, &y)
+            .unwrap();
+
+        // White-box JSMA against each model at a mild strength.
+        let jsma = Jsma::new(0.2, 0.25);
+        let (adv_base, _) = jsma.craft_batch(&baseline, &mal).unwrap();
+        let (adv_student, _) = jsma.craft_batch(&student, &mal).unwrap();
+        let dr_base = detection_rate(&baseline, &adv_base).unwrap();
+        let dr_student = detection_rate(&student, &adv_student).unwrap();
+        assert!(
+            dr_student >= dr_base,
+            "distilled model should resist at least as well: student {dr_student} vs base {dr_base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_bad_temperature() {
+        let (tc, sc) = configs();
+        DefensiveDistillation::new(0.0, tc, sc);
+    }
+
+    #[test]
+    fn errors_propagate_from_training() {
+        let (x, _, _, _) = dataset(12, 8);
+        let (tc, sc) = configs();
+        let d = DefensiveDistillation::new(10.0, tc, sc);
+        // Wrong label count.
+        assert!(d
+            .defend(fresh_net(12, 15), fresh_net(12, 16), &x, &[0])
+            .is_err());
+    }
+}

@@ -1,0 +1,126 @@
+use maleva_linalg::Matrix;
+use maleva_nn::{Network, NnError, TrainConfig};
+
+use crate::{Detector, PcaDefense};
+
+/// The combination the paper's discussion proposes: **adversarial
+/// training + dimensionality reduction** ("The results suggest we may
+/// consider ensemble adversarial training and dimension reduction").
+///
+/// The training set is augmented with adversarial examples (labelled
+/// malware), PCA(k) is fit on the augmented set, and the reduced
+/// classifier is trained on the projected augmented data — aiming for the
+/// advex recall of DimReduct without its clean-TNR collapse.
+#[derive(Debug, Clone)]
+pub struct EnsembleDefense {
+    inner: PcaDefense,
+}
+
+impl EnsembleDefense {
+    /// Fits the ensemble defense.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::InvalidConfig`] if `reduced_net.input_dim() != k`.
+    /// * PCA or training failures bubble up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `advex` has a different column count from `x` or
+    /// `y.len() != x.rows()`.
+    pub fn fit(
+        k: usize,
+        reduced_net: Network,
+        x: &Matrix,
+        y: &[usize],
+        advex: &Matrix,
+        trainer: TrainConfig,
+    ) -> Result<Self, NnError> {
+        assert_eq!(x.cols(), advex.cols(), "feature space mismatch");
+        assert_eq!(y.len(), x.rows(), "label count mismatch");
+        let xa = x.vstack(advex)?;
+        let mut ya = y.to_vec();
+        ya.extend(std::iter::repeat(1).take(advex.rows()));
+        let inner = PcaDefense::fit(k, reduced_net, &xa, &ya, trainer)?;
+        Ok(EnsembleDefense { inner })
+    }
+
+    /// Number of retained principal components.
+    pub fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    /// The underlying PCA-defended model.
+    pub fn inner(&self) -> &PcaDefense {
+        &self.inner
+    }
+}
+
+impl Detector for EnsembleDefense {
+    fn predict_labels(&self, x: &Matrix) -> Result<Vec<usize>, NnError> {
+        self.inner.predict_labels(x)
+    }
+
+    fn malware_scores(&self, x: &Matrix) -> Result<Vec<f64>, NnError> {
+        self.inner.malware_scores(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use maleva_attack::{EvasionAttack, Jsma};
+    use maleva_nn::{Activation, NetworkBuilder};
+
+    #[test]
+    fn ensemble_detects_advex_and_keeps_clean_accuracy() {
+        let (x, y, mal, clean) = dataset(12, 32);
+        let base = trained_net(12, 40, &x, &y);
+        let jsma = Jsma::new(0.3, 0.4);
+        let (advex, _) = jsma.craft_batch(&base, &mal).unwrap();
+
+        let k = 4;
+        let reduced = NetworkBuilder::new(k)
+            .layer(16, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(41)
+            .build()
+            .unwrap();
+        let defense = EnsembleDefense::fit(
+            k,
+            reduced,
+            &x,
+            &y,
+            &advex,
+            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.02),
+        )
+        .unwrap();
+        assert_eq!(defense.k(), k);
+
+        let rate = |labels: &[usize], class: usize| {
+            labels.iter().filter(|&&l| l == class).count() as f64 / labels.len() as f64
+        };
+        let adv_tpr = rate(&defense.predict_labels(&advex).unwrap(), 1);
+        let mal_tpr = rate(&defense.predict_labels(&mal).unwrap(), 1);
+        let clean_tnr = rate(&defense.predict_labels(&clean).unwrap(), 0);
+        assert!(adv_tpr > 0.8, "advex TPR {adv_tpr}");
+        assert!(mal_tpr > 0.85, "malware TPR {mal_tpr}");
+        assert!(clean_tnr > 0.85, "clean TNR {clean_tnr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature space mismatch")]
+    fn rejects_mismatched_advex() {
+        let (x, y, _, _) = dataset(12, 8);
+        let reduced = fresh_net(3, 42);
+        let _ = EnsembleDefense::fit(
+            3,
+            reduced,
+            &x,
+            &y,
+            &Matrix::zeros(2, 5),
+            TrainConfig::new().epochs(1),
+        );
+    }
+}

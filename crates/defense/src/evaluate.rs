@@ -1,0 +1,215 @@
+use maleva_linalg::Matrix;
+use maleva_nn::NnError;
+use serde::{Deserialize, Serialize};
+
+use crate::{Detector, SqueezeDetector};
+
+/// One row of the paper's Table VI: a defense evaluated on one dataset
+/// slice, reporting TPR and/or TNR (the inapplicable rate is `None`,
+/// printed as "nan" like the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseRow {
+    /// Defense name ("No Defense", "AdvTraining", …).
+    pub defense: String,
+    /// Dataset slice name ("Clean Test", "Malware Test", "AdvExamples").
+    pub dataset: String,
+    /// True positive rate on the slice, if defined.
+    pub tpr: Option<f64>,
+    /// True negative rate on the slice, if defined.
+    pub tnr: Option<f64>,
+}
+
+/// Evaluates a label-producing defense on the three Table VI slices:
+///
+/// * **Clean Test** — TNR (clean predicted clean);
+/// * **Malware Test** — TPR (malware predicted malware);
+/// * **AdvExamples** — TPR (adversarial malware still predicted malware).
+///
+/// # Errors
+///
+/// Returns [`NnError`] on batch-width mismatches.
+pub fn evaluate_detector(
+    name: &str,
+    detector: &dyn Detector,
+    clean: &Matrix,
+    malware: &Matrix,
+    advex: &Matrix,
+) -> Result<Vec<DefenseRow>, NnError> {
+    let rate = |labels: &[usize], class: usize| -> Option<f64> {
+        if labels.is_empty() {
+            None
+        } else {
+            Some(labels.iter().filter(|&&l| l == class).count() as f64 / labels.len() as f64)
+        }
+    };
+    let clean_labels = detector.predict_labels(clean)?;
+    let mal_labels = detector.predict_labels(malware)?;
+    let adv_labels = detector.predict_labels(advex)?;
+    Ok(vec![
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "Clean Test".to_string(),
+            tpr: None,
+            tnr: rate(&clean_labels, 0),
+        },
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "Malware Test".to_string(),
+            tpr: rate(&mal_labels, 1),
+            tnr: None,
+        },
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "AdvExamples".to_string(),
+            tpr: rate(&adv_labels, 1),
+            tnr: None,
+        },
+    ])
+}
+
+/// Evaluates the feature-squeezing detector in the same three-slice shape.
+/// The squeezer detects *adversarialness*, not malware, so the slices
+/// read differently (mirroring Table VI's FeaSqueezing block):
+///
+/// * **Clean Test** — TNR: clean samples *not* flagged adversarial;
+/// * **Malware Test** — TNR: genuine malware *not* flagged adversarial;
+/// * **AdvExamples** — TPR: adversarial examples flagged adversarial.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on batch-width mismatches.
+pub fn evaluate_squeezer(
+    name: &str,
+    detector: &SqueezeDetector,
+    clean: &Matrix,
+    malware: &Matrix,
+    advex: &Matrix,
+) -> Result<Vec<DefenseRow>, NnError> {
+    let not_flagged = |flags: &[bool]| -> Option<f64> {
+        if flags.is_empty() {
+            None
+        } else {
+            Some(flags.iter().filter(|&&f| !f).count() as f64 / flags.len() as f64)
+        }
+    };
+    let flagged = |flags: &[bool]| not_flagged(flags).map(|r| 1.0 - r);
+    let clean_flags = detector.flag_adversarial(clean)?;
+    let mal_flags = detector.flag_adversarial(malware)?;
+    let adv_flags = detector.flag_adversarial(advex)?;
+    Ok(vec![
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "Clean Test".to_string(),
+            tpr: None,
+            tnr: not_flagged(&clean_flags),
+        },
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "Malware Test".to_string(),
+            tpr: None,
+            tnr: not_flagged(&mal_flags),
+        },
+        DefenseRow {
+            defense: name.to_string(),
+            dataset: "AdvExamples".to_string(),
+            tpr: flagged(&adv_flags),
+            tnr: None,
+        },
+    ])
+}
+
+/// Renders defense rows as a Table VI style text table.
+pub fn render_table_vi(rows: &[DefenseRow]) -> String {
+    let mut table = maleva_eval::TextTable::new().header(["Dataset Name", "", "TPR", "TNR"]);
+    let mut last = "";
+    for row in rows {
+        let defense = if row.defense == last { "" } else { &row.defense };
+        last = &row.defense;
+        table.row([
+            defense.to_string(),
+            row.dataset.clone(),
+            maleva_eval::fmt_rate(row.tpr),
+            maleva_eval::fmt_rate(row.tnr),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use crate::Squeezer;
+    use maleva_attack::{EvasionAttack, Jsma};
+
+    #[test]
+    fn detector_rows_have_table_vi_shape() {
+        let (x, y, mal, clean) = dataset(12, 24);
+        let net = trained_net(12, 50, &x, &y);
+        let jsma = Jsma::new(0.3, 0.4);
+        let (advex, _) = jsma.craft_batch(&net, &mal).unwrap();
+        let rows = evaluate_detector("No Defense", &net, &clean, &mal, &advex).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].dataset, "Clean Test");
+        assert!(rows[0].tpr.is_none() && rows[0].tnr.is_some());
+        assert!(rows[1].tpr.is_some() && rows[1].tnr.is_none());
+        assert!(rows[2].tpr.is_some());
+        // The attack works, so advex TPR < malware TPR.
+        assert!(rows[2].tpr.unwrap() < rows[1].tpr.unwrap());
+    }
+
+    #[test]
+    fn squeezer_rows_have_table_vi_shape() {
+        let (x, y, mal, clean) = dataset(12, 24);
+        let net = trained_net(12, 51, &x, &y);
+        let jsma = Jsma::new(0.3, 0.4);
+        let (advex, _) = jsma.craft_batch(&net, &mal).unwrap();
+        let legit = clean.vstack(&mal).unwrap();
+        let det = SqueezeDetector::calibrate(
+            net,
+            Squeezer::Binarize { threshold: 0.25 },
+            &legit,
+            0.1,
+        )
+        .unwrap();
+        let rows = evaluate_squeezer("FeaSqueezing", &det, &clean, &mal, &advex).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].tnr.is_some());
+        assert!(rows[1].tnr.is_some());
+        assert!(rows[2].tpr.is_some());
+    }
+
+    #[test]
+    fn table_rendering_includes_nan_cells() {
+        let rows = vec![
+            DefenseRow {
+                defense: "No Defense".into(),
+                dataset: "Clean Test".into(),
+                tpr: None,
+                tnr: Some(0.964),
+            },
+            DefenseRow {
+                defense: "No Defense".into(),
+                dataset: "Malware Test".into(),
+                tpr: Some(0.883),
+                tnr: None,
+            },
+        ];
+        let text = render_table_vi(&rows);
+        assert!(text.contains("nan"));
+        assert!(text.contains("0.964"));
+        assert!(text.contains("0.883"));
+        // Defense name printed once per block.
+        assert_eq!(text.matches("No Defense").count(), 1);
+    }
+
+    #[test]
+    fn empty_slices_produce_none_rates() {
+        let (x, y, mal, _) = dataset(12, 8);
+        let net = trained_net(12, 52, &x, &y);
+        let empty = Matrix::zeros(0, 12);
+        let rows = evaluate_detector("d", &net, &empty, &mal, &empty).unwrap();
+        assert!(rows[0].tnr.is_none());
+        assert!(rows[2].tpr.is_none());
+    }
+}

@@ -1,0 +1,168 @@
+use maleva_linalg::{Matrix, Pca};
+use maleva_nn::{Network, NnError, TrainConfig, Trainer};
+
+use crate::Detector;
+
+/// The dimensionality-reduction defense (paper Section II-C-4; Bhagoji et
+/// al. 2017).
+///
+/// "Instead of training a classifier on the original data, it reduces the
+/// features from the n-dimension to k (k ≪ n), and trains the classifier
+/// on the reduced input. The defense restricts the attacker to the first
+/// k components." The paper selects **K = 19** over the 491 features.
+#[derive(Debug, Clone)]
+pub struct PcaDefense {
+    pca: Pca,
+    net: Network,
+}
+
+impl PcaDefense {
+    /// Fits the defense: PCA(k) on the training batch, then trains
+    /// `reduced_net` — a freshly built network whose input dimension must
+    /// equal `k` — on the projected data.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::InvalidConfig`] if `reduced_net.input_dim() != k`.
+    /// * PCA or training failures bubble up.
+    pub fn fit(
+        k: usize,
+        mut reduced_net: Network,
+        x: &Matrix,
+        y: &[usize],
+        trainer: TrainConfig,
+    ) -> Result<Self, NnError> {
+        if reduced_net.input_dim() != k {
+            return Err(NnError::InvalidConfig {
+                detail: format!(
+                    "reduced network expects {} inputs but k = {k}",
+                    reduced_net.input_dim()
+                ),
+            });
+        }
+        let pca = Pca::fit(x, k)?;
+        let z = pca.transform(x)?;
+        Trainer::new(trainer).fit(&mut reduced_net, &z, y)?;
+        Ok(PcaDefense {
+            pca,
+            net: reduced_net,
+        })
+    }
+
+    /// Number of retained principal components.
+    pub fn k(&self) -> usize {
+        self.pca.n_components()
+    }
+
+    /// The fitted projection.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// The classifier over the reduced space.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Projects a full-dimensional batch into the defense's input space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the batch width differs from the fitted
+    /// feature count.
+    pub fn reduce(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        Ok(self.pca.transform(x)?)
+    }
+}
+
+impl Detector for PcaDefense {
+    fn predict_labels(&self, x: &Matrix) -> Result<Vec<usize>, NnError> {
+        self.net.predict(&self.reduce(x)?)
+    }
+
+    fn malware_scores(&self, x: &Matrix) -> Result<Vec<f64>, NnError> {
+        let p = self.net.predict_proba(&self.reduce(x)?)?;
+        Ok((0..p.rows()).map(|r| p.get(r, 1)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use maleva_attack::{EvasionAttack, Jsma};
+
+    fn fit_defense(k: usize, seed: u64) -> (PcaDefense, Matrix, Vec<usize>, Matrix, Matrix) {
+        let (x, y, mal, clean) = dataset(12, 32);
+        let net = maleva_nn::NetworkBuilder::new(k)
+            .layer(16, maleva_nn::Activation::ReLU)
+            .layer(2, maleva_nn::Activation::Identity)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let defense = PcaDefense::fit(
+            k,
+            net,
+            &x,
+            &y,
+            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.02),
+        )
+        .unwrap();
+        (defense, x, y, mal, clean)
+    }
+
+    #[test]
+    fn reduced_classifier_still_separates_classes() {
+        let (defense, _, _, mal, clean) = fit_defense(3, 30);
+        let mal_labels = defense.predict_labels(&mal).unwrap();
+        let tpr = mal_labels.iter().filter(|&&l| l == 1).count() as f64 / mal_labels.len() as f64;
+        assert!(tpr > 0.9, "TPR {tpr}");
+        let clean_labels = defense.predict_labels(&clean).unwrap();
+        let fpr =
+            clean_labels.iter().filter(|&&l| l == 1).count() as f64 / clean_labels.len() as f64;
+        assert!(fpr < 0.1, "FPR {fpr}");
+    }
+
+    #[test]
+    fn detects_advex_crafted_against_full_model() {
+        // The paper's Table VI: DimReduct detects transferred advex well
+        // (0.913). Craft against the undefended full-dimensional model and
+        // check the reduced model still flags most of them.
+        let (defense, x, y, mal, _) = fit_defense(3, 31);
+        let base = trained_net(12, 32, &x, &y);
+        let jsma = Jsma::new(0.3, 0.4);
+        let (advex, _) = jsma.craft_batch(&base, &mal).unwrap();
+        let adv_labels = defense.predict_labels(&advex).unwrap();
+        let adv_tpr =
+            adv_labels.iter().filter(|&&l| l == 1).count() as f64 / adv_labels.len() as f64;
+        let base_labels = base.predict(&advex).unwrap();
+        let base_tpr =
+            base_labels.iter().filter(|&&l| l == 1).count() as f64 / base_labels.len() as f64;
+        assert!(
+            adv_tpr > base_tpr,
+            "PCA defense should detect transferred advex better: {adv_tpr} vs {base_tpr}"
+        );
+    }
+
+    #[test]
+    fn k_accessor_and_scores() {
+        let (defense, _, _, mal, _) = fit_defense(4, 33);
+        assert_eq!(defense.k(), 4);
+        let scores = defense.malware_scores(&mal).unwrap();
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn rejects_mismatched_network() {
+        let (x, y, _, _) = dataset(12, 8);
+        let net = fresh_net(12, 34); // wrong: expects 12 inputs, not k=3
+        let err = PcaDefense::fit(3, net, &x, &y, TrainConfig::new().epochs(1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reduce_rejects_wrong_width() {
+        let (defense, _, _, _, _) = fit_defense(3, 35);
+        assert!(defense.reduce(&Matrix::zeros(2, 5)).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+use maleva_linalg::{norm, Matrix};
+use maleva_nn::{Network, NnError};
+use serde::{Deserialize, Serialize};
+
+/// An input squeezer: a lossy transform that collapses the attacker's
+/// perturbation space (paper Section II-C-3; Xu et al. 2018).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Squeezer {
+    /// Reduce each feature to `bits` of depth:
+    /// `round(x · (2^bits − 1)) / (2^bits − 1)`.
+    BitDepth {
+        /// Bits of precision to keep (1..=16).
+        bits: u8,
+    },
+    /// Collapse each feature to 0/1 at a threshold — the natural squeezer
+    /// for API-count features (presence/absence).
+    Binarize {
+        /// Values strictly above this become 1.
+        threshold: f64,
+    },
+    /// Zero out features below a threshold, keeping larger values
+    /// unchanged. For count features this *removes* the sparse low-mass
+    /// additions an add-only evasion attack plants, while legitimate
+    /// class evidence (heavier counts) survives — the squeezer that
+    /// actually bites in the malware domain.
+    TrimLow {
+        /// Values strictly below this become 0.
+        threshold: f64,
+    },
+}
+
+impl Squeezer {
+    /// Applies the squeezer to a feature batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `BitDepth` squeezer has `bits` outside `1..=16`.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        match *self {
+            Squeezer::BitDepth { bits } => {
+                assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+                let levels = ((1u32 << bits) - 1) as f64;
+                x.map(|v| (v.clamp(0.0, 1.0) * levels).round() / levels)
+            }
+            Squeezer::Binarize { threshold } => x.map(|v| if v > threshold { 1.0 } else { 0.0 }),
+            Squeezer::TrimLow { threshold } => x.map(|v| if v < threshold { 0.0 } else { v }),
+        }
+    }
+}
+
+/// The feature-squeezing adversarial-example detector.
+///
+/// "We used L1 norm to measure the distance between the model's
+/// prediction on the original sample and the prediction on the sample
+/// after squeezing. If the distance is larger than a threshold, then the
+/// input sample is an adversarial example." (paper Section II-C-3)
+#[derive(Debug, Clone)]
+pub struct SqueezeDetector {
+    net: Network,
+    squeezer: Squeezer,
+    threshold: f64,
+}
+
+impl SqueezeDetector {
+    /// Creates a detector with an explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(net: Network, squeezer: Squeezer, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be non-negative and finite, got {threshold}"
+        );
+        SqueezeDetector {
+            net,
+            squeezer,
+            threshold,
+        }
+    }
+
+    /// Calibrates the threshold on legitimate samples so that roughly
+    /// `false_positive_rate` of them would be flagged: the threshold is
+    /// the `(1 − fpr)` quantile of legitimate L1 scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on batch-width mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legitimate` is empty or `false_positive_rate` is not in
+    /// `(0, 1)`.
+    pub fn calibrate(
+        net: Network,
+        squeezer: Squeezer,
+        legitimate: &Matrix,
+        false_positive_rate: f64,
+    ) -> Result<Self, NnError> {
+        assert!(legitimate.rows() > 0, "need legitimate samples to calibrate");
+        assert!(
+            false_positive_rate > 0.0 && false_positive_rate < 1.0,
+            "false_positive_rate must be in (0, 1)"
+        );
+        let mut scores = scores_for(&net, squeezer, legitimate)?;
+        scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let idx = (((1.0 - false_positive_rate) * scores.len() as f64).ceil() as usize)
+            .min(scores.len() - 1);
+        let threshold = scores[idx];
+        Ok(SqueezeDetector {
+            net,
+            squeezer,
+            threshold,
+        })
+    }
+
+    /// The calibrated L1 threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The underlying model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The squeezer in use.
+    pub fn squeezer(&self) -> Squeezer {
+        self.squeezer
+    }
+
+    /// L1 distance between predictions on raw and squeezed inputs, per
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on batch-width mismatch.
+    pub fn scores(&self, x: &Matrix) -> Result<Vec<f64>, NnError> {
+        scores_for(&self.net, self.squeezer, x)
+    }
+
+    /// Flags each row as adversarial (`true`) when its score exceeds the
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] on batch-width mismatch.
+    pub fn flag_adversarial(&self, x: &Matrix) -> Result<Vec<bool>, NnError> {
+        Ok(self
+            .scores(x)?
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect())
+    }
+}
+
+fn scores_for(net: &Network, squeezer: Squeezer, x: &Matrix) -> Result<Vec<f64>, NnError> {
+    let p_raw = net.predict_proba(x)?;
+    let p_sq = net.predict_proba(&squeezer.apply(x))?;
+    Ok(p_raw
+        .rows_iter()
+        .zip(p_sq.rows_iter())
+        .map(|(a, b)| norm::l1_distance(a, b))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::*;
+    use maleva_attack::{EvasionAttack, Jsma};
+
+    #[test]
+    fn bit_depth_squeezing_quantizes() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.26, 0.74, 1.0]]).unwrap();
+        let sq = Squeezer::BitDepth { bits: 1 }.apply(&x);
+        assert_eq!(sq.row(0), &[0.0, 0.0, 1.0, 1.0]);
+        let sq2 = Squeezer::BitDepth { bits: 2 }.apply(&x);
+        // 3 levels: 0, 1/3, 2/3, 1
+        assert!((sq2.get(0, 1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarize_squeezing_thresholds() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.1, 0.5, 0.9]]).unwrap();
+        let sq = Squeezer::Binarize { threshold: 0.3 }.apply(&x);
+        assert_eq!(sq.row(0), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn squeezing_is_idempotent() {
+        let x = Matrix::from_rows(&[vec![0.13, 0.57, 0.99]]).unwrap();
+        for squeezer in [
+            Squeezer::BitDepth { bits: 3 },
+            Squeezer::Binarize { threshold: 0.5 },
+            Squeezer::TrimLow { threshold: 0.3 },
+        ] {
+            let once = squeezer.apply(&x);
+            let twice = squeezer.apply(&once);
+            assert_eq!(once, twice, "{squeezer:?} not idempotent");
+        }
+    }
+
+    #[test]
+    fn calibrated_detector_flags_advex_more_than_legit() {
+        let (x, y, mal, clean) = dataset(12, 32);
+        let net = trained_net(12, 20, &x, &y);
+        let jsma = Jsma::new(0.3, 0.5);
+        let (advex, _) = jsma.craft_batch(&net, &mal).unwrap();
+
+        let legit = clean.vstack(&mal).unwrap();
+        let det = SqueezeDetector::calibrate(
+            net,
+            Squeezer::Binarize { threshold: 0.25 },
+            &legit,
+            0.1,
+        )
+        .unwrap();
+
+        let legit_flags = det.flag_adversarial(&legit).unwrap();
+        let legit_rate =
+            legit_flags.iter().filter(|&&f| f).count() as f64 / legit_flags.len() as f64;
+        assert!(legit_rate <= 0.2, "legit false alarms {legit_rate}");
+
+        let adv_flags = det.flag_adversarial(&advex).unwrap();
+        let adv_rate = adv_flags.iter().filter(|&&f| f).count() as f64 / adv_flags.len() as f64;
+        assert!(
+            adv_rate > legit_rate,
+            "advex should be flagged more often: {adv_rate} vs {legit_rate}"
+        );
+    }
+
+    #[test]
+    fn threshold_zero_flags_any_difference() {
+        let (x, y, mal, _) = dataset(12, 16);
+        let net = trained_net(12, 21, &x, &y);
+        let det = SqueezeDetector::new(net, Squeezer::Binarize { threshold: 0.25 }, 0.0);
+        // Scores are non-negative; with threshold 0 anything > 0 flags.
+        let scores = det.scores(&mal).unwrap();
+        let flags = det.flag_adversarial(&mal).unwrap();
+        for (s, f) in scores.iter().zip(flags) {
+            assert_eq!(f, *s > 0.0);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let (x, y, _, _) = dataset(12, 8);
+        let net = trained_net(12, 22, &x, &y);
+        let det = SqueezeDetector::new(net, Squeezer::BitDepth { bits: 2 }, 0.5);
+        assert_eq!(det.threshold(), 0.5);
+        assert_eq!(det.squeezer(), Squeezer::BitDepth { bits: 2 });
+        assert_eq!(det.network().input_dim(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=16")]
+    fn bad_bit_depth_panics() {
+        Squeezer::BitDepth { bits: 0 }.apply(&Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "need legitimate samples")]
+    fn calibrate_rejects_empty() {
+        let (x, y, _, _) = dataset(12, 8);
+        let net = trained_net(12, 23, &x, &y);
+        let _ = SqueezeDetector::calibrate(
+            net,
+            Squeezer::Binarize { threshold: 0.5 },
+            &Matrix::zeros(0, 12),
+            0.05,
+        );
+    }
+}
+
+#[cfg(test)]
+mod trim_tests {
+    use super::*;
+
+    #[test]
+    fn trim_low_zeroes_small_values_only() {
+        let x = maleva_linalg::Matrix::from_rows(&[vec![0.0, 0.1, 0.3, 0.9]]).unwrap();
+        let sq = Squeezer::TrimLow { threshold: 0.25 }.apply(&x);
+        assert_eq!(sq.row(0), &[0.0, 0.0, 0.3, 0.9]);
+    }
+
+    #[test]
+    fn trim_low_removes_addonly_perturbation() {
+        // A sparse small addition (the attack) is erased; heavy legit
+        // counts survive.
+        let legit = maleva_linalg::Matrix::from_rows(&[vec![0.8, 0.0, 0.6, 0.0]]).unwrap();
+        let adv = maleva_linalg::Matrix::from_rows(&[vec![0.8, 0.15, 0.6, 0.15]]).unwrap();
+        let sq = Squeezer::TrimLow { threshold: 0.2 };
+        assert_eq!(sq.apply(&adv), sq.apply(&legit));
+    }
+}

@@ -1,0 +1,220 @@
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix with the positive class = malware (label 1).
+///
+/// The paper's Table VI reports TPR (malware detected as malware) and TNR
+/// (clean passed as clean) per dataset slice; this type computes all four
+/// rates plus the usual derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Actual positive, predicted positive.
+    pub tp: usize,
+    /// Actual negative, predicted negative.
+    pub tn: usize,
+    /// Actual negative, predicted positive.
+    pub fp: usize,
+    /// Actual positive, predicted negative.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel label/prediction slices
+    /// (1 = positive/malware, 0 = negative/clean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or contain labels
+    /// other than 0/1.
+    pub fn from_predictions(actual: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "actual and predicted lengths differ"
+        );
+        let mut m = ConfusionMatrix::default();
+        for (&a, &p) in actual.iter().zip(predicted.iter()) {
+            assert!(a <= 1 && p <= 1, "labels must be 0 or 1 (got {a}, {p})");
+            match (a, p) {
+                (1, 1) => m.tp += 1,
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fp += 1,
+                (1, 0) => m.fn_ += 1,
+                _ => unreachable!(),
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// True positive rate (recall / detection rate): `TP / (TP + FN)`.
+    /// `None` when there are no actual positives (the paper prints "nan").
+    pub fn tpr(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// True negative rate: `TN / (TN + FP)`. `None` with no actual
+    /// negatives.
+    pub fn tnr(&self) -> Option<f64> {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// False positive rate: `FP / (FP + TN)`.
+    pub fn fpr(&self) -> Option<f64> {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False negative rate: `FN / (FN + TP)`.
+    pub fn fnr(&self) -> Option<f64> {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Accuracy over all samples; `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Precision: `TP / (TP + FP)`; `None` with no predicted positives.
+    pub fn precision(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// F1 score; `None` when precision or recall is undefined or both are
+    /// zero.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.tpr()?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn ratio(num: usize, den: usize) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn opt(v: Option<f64>) -> String {
+            v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "nan".to_string())
+        }
+        write!(
+            f,
+            "TP={} TN={} FP={} FN={} | TPR={} TNR={} FPR={} FNR={}",
+            self.tp,
+            self.tn,
+            self.fp,
+            self.fn_,
+            opt(self.tpr()),
+            opt(self.tnr()),
+            opt(self.fpr()),
+            opt(self.fnr())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_predictions_counts_cells() {
+        let actual = [1, 1, 0, 0, 1, 0];
+        let predicted = [1, 0, 0, 1, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&actual, &predicted);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn rates() {
+        let m = ConfusionMatrix {
+            tp: 8,
+            fn_: 2,
+            tn: 9,
+            fp: 1,
+        };
+        assert_eq!(m.tpr(), Some(0.8));
+        assert_eq!(m.fnr(), Some(0.2));
+        assert_eq!(m.tnr(), Some(0.9));
+        assert_eq!(m.fpr(), Some(0.1));
+        assert_eq!(m.accuracy(), Some(0.85));
+        assert_eq!(m.precision(), Some(8.0 / 9.0));
+        let f1 = m.f1().unwrap();
+        assert!((f1 - (2.0 * (8.0 / 9.0) * 0.8 / ((8.0 / 9.0) + 0.8))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_rates_are_none_like_the_papers_nan() {
+        // Malware-only slice: TNR is undefined (paper prints "nan").
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 1], &[1, 0, 1]);
+        assert_eq!(m.tnr(), None);
+        assert!((m.tpr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Clean-only slice: TPR undefined.
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 1]);
+        assert_eq!(m.tpr(), None);
+        assert_eq!(m.tnr(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_matrix_is_all_none() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.tpr(), None);
+        assert_eq!(m.accuracy(), None);
+        assert_eq!(m.f1(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.tp, 2);
+        assert_eq!(a.fn_, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        ConfusionMatrix::from_predictions(&[1], &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn non_binary_labels_panic() {
+        ConfusionMatrix::from_predictions(&[2], &[0]);
+    }
+
+    #[test]
+    fn display_prints_nan_for_undefined() {
+        let m = ConfusionMatrix::from_predictions(&[1, 1], &[1, 1]);
+        let s = m.to_string();
+        assert!(s.contains("TPR=1.000"));
+        assert!(s.contains("TNR=nan"));
+    }
+}

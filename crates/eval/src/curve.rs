@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+/// One named series of a security evaluation curve (e.g. "JSMA" vs
+/// "random noise" in Figure 3, or "substitute" vs "target" in Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveSeries {
+    /// Display name of the series.
+    pub name: String,
+    /// Y value (detection rate, or L2 distance for Figure 5) per strength
+    /// point, aligned with the parent curve's `strength` vector.
+    pub values: Vec<f64>,
+}
+
+/// A security evaluation curve: metric values as a function of attack
+/// strength (the paper's Figures 3–5 are all instances of this shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityCurve {
+    /// Name of the strength axis (`"gamma"` or `"theta"`).
+    pub strength_label: String,
+    /// Attack-strength values (x axis).
+    pub strength: Vec<f64>,
+    /// One or more named series (y values).
+    pub series: Vec<CurveSeries>,
+}
+
+impl SecurityCurve {
+    /// Creates an empty curve over the given strength axis.
+    pub fn new(strength_label: impl Into<String>, strength: Vec<f64>) -> Self {
+        SecurityCurve {
+            strength_label: strength_label.into(),
+            strength,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of strength
+    /// points.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.strength.len(),
+            "series length must match strength axis"
+        );
+        self.series.push(CurveSeries {
+            name: name.into(),
+            values,
+        });
+    }
+
+    /// Looks up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&CurveSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the curve as an aligned text table, one row per strength
+    /// point — the form the `repro` binary prints for each figure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>10}", self.strength_label));
+        for s in &self.series {
+            out.push_str(&format!("  {:>18}", truncate(&s.name, 18)));
+        }
+        out.push('\n');
+        for (i, &x) in self.strength.iter().enumerate() {
+            out.push_str(&format!("{x:>10.4}"));
+            for s in &self.series {
+                out.push_str(&format!("  {:>18.4}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the curve as CSV (header row: strength label + series
+    /// names; one data row per strength point) — the export format for
+    /// replotting figures with external tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.strength_label);
+        for s in &self.series {
+            out.push(',');
+            // Escape embedded commas/quotes per RFC 4180.
+            if s.name.contains(',') || s.name.contains('"') {
+                out.push('"');
+                out.push_str(&s.name.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(&s.name);
+            }
+        }
+        out.push('\n');
+        for (i, &x) in self.strength.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push_str(&format!(",{}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether a series is monotonically non-increasing (within `tol`),
+    /// the expected shape of a successful evasion curve.
+    pub fn is_nonincreasing(&self, name: &str, tol: f64) -> Option<bool> {
+        let s = self.series_named(name)?;
+        Some(s.values.windows(2).all(|w| w[1] <= w[0] + tol))
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> SecurityCurve {
+        let mut c = SecurityCurve::new("gamma", vec![0.0, 0.005, 0.01]);
+        c.push_series("jsma", vec![0.9, 0.5, 0.1]);
+        c.push_series("random", vec![0.9, 0.89, 0.9]);
+        c
+    }
+
+    #[test]
+    fn series_lookup() {
+        let c = curve();
+        assert_eq!(c.series_named("jsma").unwrap().values[2], 0.1);
+        assert!(c.series_named("nope").is_none());
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let c = curve();
+        assert_eq!(c.is_nonincreasing("jsma", 0.0), Some(true));
+        assert_eq!(c.is_nonincreasing("random", 0.001), Some(false));
+        assert_eq!(c.is_nonincreasing("random", 0.05), Some(true));
+        assert_eq!(c.is_nonincreasing("nope", 0.0), None);
+    }
+
+    #[test]
+    fn render_contains_all_points() {
+        let text = curve().render();
+        assert!(text.contains("gamma"));
+        assert!(text.contains("jsma"));
+        assert!(text.contains("0.0050"));
+        assert!(text.contains("0.1000"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_export_round_trips_values() {
+        let text = curve().to_csv();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "gamma,jsma,random");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[3].contains("0.1"));
+    }
+
+    #[test]
+    fn csv_escapes_awkward_series_names() {
+        let mut c = SecurityCurve::new("theta", vec![1.0]);
+        c.push_series("a,b", vec![0.5]);
+        let csv = c.to_csv();
+        assert!(csv.starts_with("theta,\"a,b\""), "csv: {csv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match strength axis")]
+    fn mismatched_series_panics() {
+        let mut c = SecurityCurve::new("theta", vec![0.0, 0.1]);
+        c.push_series("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Evaluation metrics for the `maleva` reproduction.
+//!
+//! The paper's metrics (Section II-D):
+//!
+//! * **attack evaluation** — the security evaluation curve (detection rate
+//!   as a function of attack strength), the transfer rate, and L2
+//!   perturbation distance;
+//! * **defense evaluation** — the confusion matrix: TPR, TNR, FPR, FNR.
+//!
+//! This crate provides those plus ROC/AUC and plain-text table rendering
+//! used by the `repro` binary to print every table and figure series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confusion;
+mod curve;
+mod pr;
+mod roc;
+mod table;
+
+pub use confusion::ConfusionMatrix;
+pub use curve::{CurveSeries, SecurityCurve};
+pub use pr::{average_precision, pr_points, PrPoint};
+pub use roc::{auc, roc_points, RocPoint};
+pub use table::{fmt_rate, TextTable};
+
+/// Detection rate: the fraction of (actual) positives predicted positive.
+///
+/// For a batch of malware samples this is the paper's headline number —
+/// e.g. "the detection rate drops to 0.099" in the white-box attack.
+/// Returns `None` for an empty batch.
+pub fn detection_rate(predicted_positive: &[bool]) -> Option<f64> {
+    if predicted_positive.is_empty() {
+        return None;
+    }
+    Some(
+        predicted_positive.iter().filter(|&&p| p).count() as f64
+            / predicted_positive.len() as f64,
+    )
+}
+
+/// Transfer rate of an attack: `1 − detection rate` of the target model on
+/// adversarial examples crafted against a *different* (substitute) model.
+/// Returns `None` for an empty batch.
+pub fn transfer_rate(target_detected: &[bool]) -> Option<f64> {
+    detection_rate(target_detected).map(|d| 1.0 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_rate_counts_positives() {
+        assert_eq!(detection_rate(&[true, true, false, false]), Some(0.5));
+        assert_eq!(detection_rate(&[true]), Some(1.0));
+        assert_eq!(detection_rate(&[]), None);
+    }
+
+    #[test]
+    fn transfer_rate_is_complement() {
+        let detected = [true, false, false, false];
+        assert_eq!(transfer_rate(&detected), Some(0.75));
+        assert_eq!(transfer_rate(&[]), None);
+    }
+}

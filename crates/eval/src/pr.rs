@@ -1,0 +1,134 @@
+//! Precision–recall analysis.
+//!
+//! ROC curves (see [`roc`](crate::roc_points)) can flatter a detector on
+//! imbalanced data; the paper's test set is 64% malware, and deployment
+//! corpora are far more skewed, so precision–recall is the complementary
+//! view a production malware-detection evaluation needs.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point on a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// Recall (true positive rate) at the threshold.
+    pub recall: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+}
+
+/// Computes precision–recall points from scores (higher = more positive)
+/// and binary labels (1 = positive), ordered by increasing recall.
+///
+/// Returns an empty vector when there are no positives.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()` or any score is NaN.
+pub fn pr_points(scores: &[f64], labels: &[usize]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    if pos == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut points = Vec::with_capacity(scores.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0usize;
+    while i < order.len() {
+        let thr = scores[order[i]];
+        while i < order.len() && scores[order[i]] == thr {
+            if labels[order[i]] == 1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(PrPoint {
+            threshold: thr,
+            recall: tp as f64 / pos as f64,
+            precision: tp as f64 / (tp + fp) as f64,
+        });
+    }
+    points
+}
+
+/// Average precision: the area under the PR curve by the step-function
+/// (sklearn-style) sum `Σ (Rᵢ − Rᵢ₋₁) · Pᵢ`. Returns `None` when there
+/// are no positives.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()` or any score is NaN.
+pub fn average_precision(scores: &[f64], labels: &[usize]) -> Option<f64> {
+    let pts = pr_points(scores, labels);
+    if pts.is_empty() {
+        return None;
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &pts {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    Some(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        assert!((average_precision(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_ap() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1, 1, 0, 0];
+        // With both positives ranked last: AP = (0.5-0)*1/3 + (1-0.5)*2/4.
+        let expected = 0.5 * (1.0 / 3.0) + 0.5 * 0.5;
+        assert!((average_precision(&scores, &labels).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_ends_at_full_recall() {
+        let scores = [0.7, 0.3, 0.6, 0.1];
+        let labels = [1, 0, 0, 1];
+        let pts = pr_points(&scores, &labels);
+        assert!((pts.last().unwrap().recall - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].recall >= w[0].recall, "recall must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn all_negative_labels_give_none() {
+        assert_eq!(average_precision(&[0.5, 0.4], &[0, 0]), None);
+        assert!(pr_points(&[0.5], &[0]).is_empty());
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [1, 0, 1];
+        let pts = pr_points(&scores, &labels);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pts[0].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        pr_points(&[0.1], &[1, 0]);
+    }
+}

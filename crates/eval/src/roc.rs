@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// One operating point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// False positive rate at the threshold.
+    pub fpr: f64,
+    /// True positive rate at the threshold.
+    pub tpr: f64,
+}
+
+/// Computes ROC points from scores (higher = more positive) and binary
+/// labels (1 = positive). Points are ordered by increasing FPR.
+///
+/// Returns an empty vector when either class is absent.
+pub fn roc_points(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut points = Vec::with_capacity(scores.len() + 1);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    points.push(RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    });
+    let mut i = 0;
+    while i < order.len() {
+        let thr = scores[order[i]];
+        // Consume all samples tied at this threshold together.
+        while i < order.len() && scores[order[i]] == thr {
+            if labels[order[i]] == 1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: thr,
+            fpr: fp as f64 / neg as f64,
+            tpr: tp as f64 / pos as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve by trapezoidal integration. Returns `None`
+/// when either class is absent.
+pub fn auc(scores: &[f64], labels: &[usize]) -> Option<f64> {
+    let pts = roc_points(scores, labels);
+    if pts.is_empty() {
+        return None;
+    }
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    Some(area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        assert!((auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1, 1, 0, 0];
+        assert!(auc(&scores, &labels).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleaving_has_auc_half() {
+        let scores = [0.4, 0.4, 0.4, 0.4];
+        let labels = [1, 0, 1, 0];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_starts_at_origin_ends_at_one_one() {
+        let scores = [0.7, 0.3, 0.6, 0.1];
+        let labels = [1, 0, 0, 1];
+        let pts = roc_points(&scores, &labels);
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_classes_yield_none() {
+        assert_eq!(auc(&[0.5, 0.6], &[1, 1]), None);
+        assert_eq!(auc(&[0.5, 0.6], &[0, 0]), None);
+        assert!(roc_points(&[0.5], &[1]).is_empty());
+    }
+
+    #[test]
+    fn ties_are_handled_together() {
+        // Two tied scores of opposite class: the ROC should move
+        // diagonally, giving AUC 0.5.
+        let scores = [0.5, 0.5];
+        let labels = [1, 0];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        auc(&[0.1], &[1, 0]);
+    }
+}

@@ -1,0 +1,156 @@
+/// A minimal aligned-text table builder used by the `repro` binary to
+/// print the paper's tables (I, IV, V, VI).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TextTable::default()
+    }
+
+    /// Sets the header row.
+    pub fn header<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a header was set and the row width differs from it.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if !self.header.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.header.len(),
+                "row width {} differs from header width {}",
+                row.len(),
+                self.header.len()
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        if ncols == 0 {
+            return String::new();
+        }
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            render_row(&mut out, &self.header, &widths);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, row: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let cell = row.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{cell:<width$}"));
+    }
+    // Trim trailing padding for clean diffs.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Formats an `Option<f64>` like the paper's Table VI ("nan" when a rate
+/// is undefined for a slice).
+pub fn fmt_rate(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "nan".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new().header(["Name", "TPR", "TNR"]);
+        t.row(["No Defense", "0.883", "nan"]);
+        t.row(["AdvTraining", "0.931", "0.995"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "0.883" and "0.931" start at the same offset.
+        let off2 = lines[2].find("0.883").unwrap();
+        let off3 = lines[3].find("0.931").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn headerless_table_renders_rows_only() {
+        let mut t = TextTable::new();
+        t.row(["a", "b"]);
+        let s = t.render();
+        assert_eq!(s, "a  b\n");
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(TextTable::new().render(), "");
+        assert!(TextTable::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn jagged_row_panics_with_header() {
+        let mut t = TextTable::new().header(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_rate_matches_paper_style() {
+        assert_eq!(fmt_rate(Some(0.8831)), "0.883");
+        assert_eq!(fmt_rate(None), "nan");
+    }
+}

@@ -1,0 +1,461 @@
+//! Feature extraction for the `maleva` reproduction.
+//!
+//! The paper (Section II-A): *"The raw counts of the APIs were applied to
+//! feature transformation and the values were normalized to \[0,1\]."* This
+//! crate implements that pipeline and its variants:
+//!
+//! * [`CountTransform::Log1p`] — the default transformation (`ln(1+c)`),
+//!   compressing heavy-tailed counts before scaling.
+//! * [`CountTransform::Raw`] — no transformation, straight max-scaling.
+//! * [`CountTransform::Binary`] — presence/absence features, the variant
+//!   the second grey-box experiment's substitute model uses ("when the API
+//!   appears, the feature value equals one").
+//!
+//! A [`FeaturePipeline`] is **fit on training data** (per-feature scale
+//! denominators) and then applied to any batch, mirroring how the real
+//! system's normalization constants are part of the (potentially secret)
+//! feature engineering — which is exactly the knowledge gap grey-box
+//! experiment 2 probes.
+//!
+//! # Example
+//!
+//! ```
+//! use maleva_apisim::{World, WorldConfig, Class};
+//! use maleva_features::{CountTransform, FeaturePipeline};
+//!
+//! let world = World::new(WorldConfig::default());
+//! let mut rng = maleva_apisim::rng(7);
+//! let programs = world.sample_batch(20, 20, &mut rng);
+//!
+//! let pipeline = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+//! let x = pipeline.transform_batch(&programs);
+//! assert_eq!(x.shape(), (40, 491));
+//! assert!(x.iter().all(|v| (0.0..=1.0).contains(&v)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use maleva_apisim::{ApiVocab, Program};
+use maleva_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The count transformation applied before `[0,1]` scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CountTransform {
+    /// `ln(1 + count)` — compresses heavy-tailed counts (default).
+    #[default]
+    Log1p,
+    /// Raw counts, max-scaled.
+    Raw,
+    /// `1` if the API appears at all, else `0` (grey-box experiment 2's
+    /// substitute features). Needs no fitted scale.
+    Binary,
+}
+
+impl CountTransform {
+    /// Applies the transformation to one raw count.
+    pub fn apply(self, count: u32) -> f64 {
+        match self {
+            CountTransform::Log1p => (1.0 + count as f64).ln(),
+            CountTransform::Raw => count as f64,
+            CountTransform::Binary => {
+                if count > 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Inverts the transformation, returning the (possibly fractional)
+    /// count that would produce `value`. Binary inverts to 0/1.
+    pub fn invert(self, value: f64) -> f64 {
+        match self {
+            CountTransform::Log1p => value.exp() - 1.0,
+            CountTransform::Raw => value,
+            CountTransform::Binary => {
+                if value > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A fitted feature pipeline: transformation + per-feature scale.
+///
+/// Values are clamped into `[0, 1]`, so test samples exceeding the
+/// training maximum saturate rather than escape the feature box (matching
+/// the attack model, which perturbs within `[0, 1]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeaturePipeline {
+    transform: CountTransform,
+    /// Per-feature denominators (transformed training maxima, floored at
+    /// a small epsilon). `None` for [`CountTransform::Binary`].
+    scale: Option<Vec<f64>>,
+    dim: usize,
+}
+
+/// Minimum denominator so never-seen features do not divide by zero.
+const MIN_SCALE: f64 = 1e-9;
+
+impl FeaturePipeline {
+    /// Fits the pipeline on training programs: records the per-feature
+    /// maximum of the transformed counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or count vectors have differing
+    /// lengths.
+    pub fn fit(transform: CountTransform, programs: &[Program]) -> Self {
+        assert!(!programs.is_empty(), "cannot fit a pipeline on no data");
+        let dim = programs[0].counts().len();
+        let scale = match transform {
+            CountTransform::Binary => None,
+            _ => {
+                let mut maxs = vec![MIN_SCALE; dim];
+                for p in programs {
+                    assert_eq!(
+                        p.counts().len(),
+                        dim,
+                        "inconsistent count vector lengths"
+                    );
+                    for (m, &c) in maxs.iter_mut().zip(p.counts()) {
+                        let v = transform.apply(c);
+                        if v > *m {
+                            *m = v;
+                        }
+                    }
+                }
+                Some(maxs)
+            }
+        };
+        FeaturePipeline {
+            transform,
+            scale,
+            dim,
+        }
+    }
+
+    /// Fits on raw count slices instead of [`Program`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or rows have differing lengths.
+    pub fn fit_counts(transform: CountTransform, counts: &[Vec<u32>]) -> Self {
+        assert!(!counts.is_empty(), "cannot fit a pipeline on no data");
+        let dim = counts[0].len();
+        let scale = match transform {
+            CountTransform::Binary => None,
+            _ => {
+                let mut maxs = vec![MIN_SCALE; dim];
+                for row in counts {
+                    assert_eq!(row.len(), dim, "inconsistent count vector lengths");
+                    for (m, &c) in maxs.iter_mut().zip(row) {
+                        let v = transform.apply(c);
+                        if v > *m {
+                            *m = v;
+                        }
+                    }
+                }
+                Some(maxs)
+            }
+        };
+        FeaturePipeline {
+            transform,
+            scale,
+            dim,
+        }
+    }
+
+    /// The transformation this pipeline applies.
+    pub fn transform_kind(&self) -> CountTransform {
+        self.transform
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Transforms one count vector into a `[0,1]` feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the fitted dimensionality.
+    pub fn transform_counts(&self, counts: &[u32]) -> Vec<f64> {
+        assert_eq!(
+            counts.len(),
+            self.dim,
+            "expected {} counts, got {}",
+            self.dim,
+            counts.len()
+        );
+        match &self.scale {
+            None => counts.iter().map(|&c| self.transform.apply(c)).collect(),
+            Some(scale) => counts
+                .iter()
+                .zip(scale.iter())
+                .map(|(&c, &s)| (self.transform.apply(c) / s).clamp(0.0, 1.0))
+                .collect(),
+        }
+    }
+
+    /// Transforms a batch of programs into a feature matrix (one row per
+    /// program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or has inconsistent count lengths.
+    pub fn transform_batch(&self, programs: &[Program]) -> Matrix {
+        assert!(!programs.is_empty(), "empty batch");
+        let rows: Vec<Vec<f64>> = programs
+            .iter()
+            .map(|p| self.transform_counts(p.counts()))
+            .collect();
+        Matrix::from_rows(&rows).expect("uniform feature rows")
+    }
+
+    /// Cross-vocabulary path: renders each program's log with
+    /// `generating_vocab`, re-parses it against `target_vocab`, and
+    /// transforms the resulting counts. This is how an attacker whose
+    /// feature vocabulary differs from the defender's actually sees the
+    /// data (grey-box experiment 2 / black-box framework).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_vocab.len()` differs from the fitted
+    /// dimensionality.
+    pub fn transform_via_logs(
+        &self,
+        programs: &[Program],
+        generating_vocab: &ApiVocab,
+        target_vocab: &ApiVocab,
+    ) -> Matrix {
+        assert_eq!(
+            target_vocab.len(),
+            self.dim,
+            "pipeline fitted for {} features but target vocabulary has {}",
+            self.dim,
+            target_vocab.len()
+        );
+        let rows: Vec<Vec<f64>> = programs
+            .iter()
+            .map(|p| {
+                let text = p.render_log(generating_vocab);
+                let counts = maleva_apisim::log::parse_counts(&text, target_vocab);
+                self.transform_counts(&counts)
+            })
+            .collect();
+        Matrix::from_rows(&rows).expect("uniform feature rows")
+    }
+
+    /// How many additional raw API calls are needed to move feature `i`
+    /// from its current count to the feature value `target` (clamped to
+    /// `[0,1]`). Returns 0 when the target is at or below the current
+    /// feature value. Binary features need exactly 1 call if currently
+    /// absent.
+    ///
+    /// This is the bridge from a feature-space perturbation (what JSMA
+    /// produces) back to the paper's "add API calls in the source code"
+    /// action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn calls_needed(&self, i: usize, current_count: u32, target: f64) -> u32 {
+        assert!(i < self.dim, "feature index {i} out of range");
+        let target = target.clamp(0.0, 1.0);
+        match &self.scale {
+            None => {
+                if target > 0.0 && current_count == 0 {
+                    1
+                } else {
+                    0
+                }
+            }
+            Some(scale) => {
+                let current = (self.transform.apply(current_count) / scale[i]).clamp(0.0, 1.0);
+                if target <= current {
+                    return 0;
+                }
+                let needed_transformed = target * scale[i];
+                let needed_count = self.transform.invert(needed_transformed).ceil();
+                (needed_count as i64 - current_count as i64).max(0) as u32
+            }
+        }
+    }
+
+    /// Borrows the fitted per-feature scale denominators (`None` for
+    /// binary pipelines).
+    pub fn scale(&self) -> Option<&[f64]> {
+        self.scale.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maleva_apisim::{Class, World, WorldConfig};
+
+    fn sample_programs(n: usize, seed: u64) -> Vec<Program> {
+        let world = World::new(WorldConfig::default());
+        let mut rng = maleva_apisim::rng(seed);
+        world.sample_batch(n / 2, n - n / 2, &mut rng)
+    }
+
+    #[test]
+    fn transforms_apply_and_invert() {
+        assert_eq!(CountTransform::Raw.apply(7), 7.0);
+        assert_eq!(CountTransform::Binary.apply(0), 0.0);
+        assert_eq!(CountTransform::Binary.apply(9), 1.0);
+        assert!((CountTransform::Log1p.apply(0)).abs() < 1e-12);
+        for c in [0u32, 1, 5, 100] {
+            let t = CountTransform::Log1p;
+            assert!((t.invert(t.apply(c)) - c as f64).abs() < 1e-9);
+        }
+        assert_eq!(CountTransform::Binary.invert(1.0), 1.0);
+        assert_eq!(CountTransform::Binary.invert(0.0), 0.0);
+    }
+
+    #[test]
+    fn fitted_pipeline_outputs_unit_interval() {
+        let programs = sample_programs(30, 1);
+        for t in [CountTransform::Log1p, CountTransform::Raw, CountTransform::Binary] {
+            let p = FeaturePipeline::fit(t, &programs);
+            let x = p.transform_batch(&programs);
+            assert!(
+                x.iter().all(|v| (0.0..=1.0).contains(&v)),
+                "{t:?} produced out-of-range values"
+            );
+        }
+    }
+
+    #[test]
+    fn training_max_maps_to_one() {
+        let programs = sample_programs(30, 2);
+        let p = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        let x = p.transform_batch(&programs);
+        // At least one feature hits exactly 1.0 (the max sample).
+        let max = x.iter().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_larger_counts_saturate() {
+        let programs = sample_programs(10, 3);
+        let p = FeaturePipeline::fit(CountTransform::Raw, &programs);
+        let mut huge = programs[0].counts().to_vec();
+        for c in huge.iter_mut() {
+            *c = c.saturating_mul(1000).saturating_add(1000);
+        }
+        let f = p.transform_counts(&huge);
+        assert!(f.iter().all(|&v| v <= 1.0));
+        assert!(f.iter().any(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn binary_pipeline_is_presence_indicator() {
+        let programs = sample_programs(10, 4);
+        let p = FeaturePipeline::fit(CountTransform::Binary, &programs);
+        let f = p.transform_counts(programs[0].counts());
+        for (v, &c) in f.iter().zip(programs[0].counts()) {
+            assert_eq!(*v, if c > 0 { 1.0 } else { 0.0 });
+        }
+        assert!(p.scale().is_none());
+    }
+
+    #[test]
+    fn fit_counts_matches_fit_programs() {
+        let programs = sample_programs(12, 5);
+        let counts: Vec<Vec<u32>> = programs.iter().map(|p| p.counts().to_vec()).collect();
+        let a = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        let b = FeaturePipeline::fit_counts(CountTransform::Log1p, &counts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn via_logs_matches_direct_transform_for_same_vocab() {
+        let world = World::default();
+        let mut rng = maleva_apisim::rng(6);
+        let programs = world.sample_batch(4, 4, &mut rng);
+        let p = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        let direct = p.transform_batch(&programs);
+        let via = p.transform_via_logs(&programs, world.vocab(), world.vocab());
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn via_logs_loses_information_across_vocabularies() {
+        let world = World::default();
+        let mut rng = maleva_apisim::rng(7);
+        let programs = world.sample_batch(3, 3, &mut rng);
+        let attacker_vocab = ApiVocab::attacker_guess(0.5);
+        let counts: Vec<Vec<u32>> = programs
+            .iter()
+            .map(|p| {
+                maleva_apisim::log::parse_counts(&p.render_log(world.vocab()), &attacker_vocab)
+            })
+            .collect();
+        let p = FeaturePipeline::fit_counts(CountTransform::Binary, &counts);
+        let x = p.transform_via_logs(&programs, world.vocab(), &attacker_vocab);
+        assert_eq!(x.cols(), attacker_vocab.len());
+        // Some mass must be lost: attacker features see fewer distinct APIs
+        // than the full vocabulary path.
+        let full = FeaturePipeline::fit(CountTransform::Binary, &programs)
+            .transform_batch(&programs);
+        assert!(x.sum() < full.sum());
+    }
+
+    #[test]
+    fn calls_needed_round_trips_through_transform() {
+        let programs = sample_programs(20, 8);
+        let p = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        let i = 42;
+        let current = 3u32;
+        let target = 0.8;
+        let add = p.calls_needed(i, current, target);
+        if add > 0 {
+            let f = p.transform_counts(&{
+                let mut c = vec![0u32; p.dim()];
+                c[i] = current + add;
+                c
+            });
+            assert!(f[i] >= target - 1e-9, "after adding {add} calls, f = {}", f[i]);
+        }
+    }
+
+    #[test]
+    fn calls_needed_is_zero_when_target_already_met() {
+        let programs = sample_programs(10, 9);
+        let p = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        assert_eq!(p.calls_needed(0, 50, 0.0), 0);
+    }
+
+    #[test]
+    fn calls_needed_binary_semantics() {
+        let programs = sample_programs(10, 10);
+        let p = FeaturePipeline::fit(CountTransform::Binary, &programs);
+        assert_eq!(p.calls_needed(5, 0, 0.7), 1);
+        assert_eq!(p.calls_needed(5, 2, 0.7), 0);
+        assert_eq!(p.calls_needed(5, 0, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn fit_rejects_empty() {
+        FeaturePipeline::fit(CountTransform::Log1p, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn transform_rejects_wrong_width() {
+        let programs = sample_programs(4, 11);
+        let p = FeaturePipeline::fit(CountTransform::Log1p, &programs);
+        p.transform_counts(&[1, 2, 3]);
+    }
+}

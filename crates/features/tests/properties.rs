@@ -1,0 +1,116 @@
+//! Property-based tests for the feature pipeline: range, monotonicity,
+//! and the feature↔API-call bridge.
+
+use maleva_apisim::{Family, OsVersion, Program};
+use maleva_features::{CountTransform, FeaturePipeline};
+use proptest::prelude::*;
+
+const DIM: usize = 16;
+
+fn counts_vec() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..200, DIM)
+}
+
+fn programs(rows: Vec<Vec<u32>>) -> Vec<Program> {
+    rows.into_iter()
+        .map(|c| Program::new(Family::Office, OsVersion::Win10, c))
+        .collect()
+}
+
+fn transforms() -> impl Strategy<Value = CountTransform> {
+    prop::sample::select(vec![
+        CountTransform::Raw,
+        CountTransform::Log1p,
+        CountTransform::Binary,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn output_is_always_in_unit_interval(train in prop::collection::vec(counts_vec(), 1..8),
+                                         probe in counts_vec(),
+                                         t in transforms()) {
+        let pipeline = FeaturePipeline::fit(t, &programs(train));
+        let f = pipeline.transform_counts(&probe);
+        prop_assert!(f.iter().all(|v| (0.0..=1.0).contains(v)), "{t:?}: {f:?}");
+    }
+
+    #[test]
+    fn transform_is_monotone_in_counts(train in prop::collection::vec(counts_vec(), 1..8),
+                                       base in counts_vec(),
+                                       idx in 0usize..DIM,
+                                       add in 1u32..100,
+                                       t in transforms()) {
+        // Adding API calls can never *decrease* any feature — the property
+        // the add-only attack relies on.
+        let pipeline = FeaturePipeline::fit(t, &programs(train));
+        let lo = pipeline.transform_counts(&base);
+        let mut bumped = base.clone();
+        bumped[idx] = bumped[idx].saturating_add(add);
+        let hi = pipeline.transform_counts(&bumped);
+        for (l, h) in lo.iter().zip(hi.iter()) {
+            prop_assert!(h + 1e-12 >= *l);
+        }
+    }
+
+    #[test]
+    fn zero_counts_map_to_zero_features(train in prop::collection::vec(counts_vec(), 1..8),
+                                        t in transforms()) {
+        let pipeline = FeaturePipeline::fit(t, &programs(train));
+        let f = pipeline.transform_counts(&vec![0u32; DIM]);
+        prop_assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn calls_needed_reaches_the_target(train in prop::collection::vec(counts_vec(), 2..8),
+                                       current in 0u32..50,
+                                       idx in 0usize..DIM,
+                                       target in 0.0f64..1.0) {
+        let pipeline = FeaturePipeline::fit(CountTransform::Log1p, &programs(train));
+        let add = pipeline.calls_needed(idx, current, target);
+        let mut counts = vec![0u32; DIM];
+        counts[idx] = current + add;
+        let f = pipeline.transform_counts(&counts);
+        if add > 0 {
+            prop_assert!(
+                f[idx] + 1e-9 >= target.min(1.0),
+                "after {add} calls feature is {} < target {target}",
+                f[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn calls_needed_is_minimal_for_raw(train in prop::collection::vec(counts_vec(), 2..8),
+                                       idx in 0usize..DIM,
+                                       target in 0.05f64..1.0) {
+        let pipeline = FeaturePipeline::fit(CountTransform::Raw, &programs(train));
+        let add = pipeline.calls_needed(idx, 0, target);
+        prop_assume!(add > 1);
+        // One call fewer must miss the target.
+        let mut counts = vec![0u32; DIM];
+        counts[idx] = add - 1;
+        let f = pipeline.transform_counts(&counts);
+        prop_assert!(f[idx] < target, "calls_needed not minimal: {} >= {target} with {add}-1 calls", f[idx]);
+    }
+
+    #[test]
+    fn binary_pipeline_equals_presence(train in prop::collection::vec(counts_vec(), 1..6),
+                                       probe in counts_vec()) {
+        let pipeline = FeaturePipeline::fit(CountTransform::Binary, &programs(train));
+        let f = pipeline.transform_counts(&probe);
+        for (v, &c) in f.iter().zip(probe.iter()) {
+            prop_assert_eq!(*v, if c > 0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn fit_is_order_insensitive(mut rows in prop::collection::vec(counts_vec(), 2..8)) {
+        let a = FeaturePipeline::fit_counts(CountTransform::Log1p, &rows);
+        rows.reverse();
+        let b = FeaturePipeline::fit_counts(CountTransform::Log1p, &rows);
+        prop_assert_eq!(a, b); // max-based scaling ignores sample order
+    }
+}

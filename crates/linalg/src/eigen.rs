@@ -1,0 +1,298 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (the paper's dimensionality-reduction defense, K = 19) needs the
+//! eigenvectors of a feature covariance matrix. The cyclic Jacobi method is
+//! simple, numerically robust for symmetric matrices, and deterministic —
+//! which matters more here than raw speed, since the covariance matrix is
+//! only 491 x 491.
+
+use crate::{LinalgError, Matrix};
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as [`Eigen::values`].
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Convergence threshold on the off-diagonal Frobenius norm.
+const OFF_DIAG_TOL: f64 = 1e-10;
+
+/// Computes the eigendecomposition of a symmetric matrix using cyclic
+/// Jacobi rotations.
+///
+/// Eigenvalues/eigenvectors are returned sorted by descending eigenvalue,
+/// the order PCA wants its principal components in.
+///
+/// # Errors
+///
+/// * [`LinalgError::Empty`] if `a` is 0 x 0.
+/// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+/// * [`LinalgError::MalformedData`] if `a` is not symmetric (tolerance
+///   `1e-9` relative to the largest element).
+/// * [`LinalgError::NoConvergence`] if the sweep budget is exhausted
+///   (practically unreachable for well-formed covariance matrices).
+///
+/// # Example
+///
+/// ```
+/// use maleva_linalg::{Matrix, eigen::symmetric_eigen};
+///
+/// # fn main() -> Result<(), maleva_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]])?;
+/// let e = symmetric_eigen(&a)?;
+/// assert!((e.values[0] - 2.0).abs() < 1e-12);
+/// assert!((e.values[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<Eigen, LinalgError> {
+    let (n, m) = a.shape();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if n != m {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a.get(i, j) - a.get(j, i)).abs() > 1e-9 * scale {
+                return Err(LinalgError::MalformedData {
+                    detail: format!("matrix not symmetric at ({i}, {j})"),
+                });
+            }
+        }
+    }
+
+    let mut d = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&d);
+        if off < OFF_DIAG_TOL * scale {
+            return Ok(sorted_eigen(d, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = d.get(p, q);
+                if apq.abs() <= f64::EPSILON * scale {
+                    continue;
+                }
+                let app = d.get(p, p);
+                let aqq = d.get(q, q);
+                // Classic Jacobi rotation angle selection.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut d, &mut v, p, q, c, s);
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Frobenius norm of the strictly upper triangle (symmetric, so this is
+/// half the off-diagonal mass — adequate as a convergence measure).
+fn off_diagonal_norm(d: &Matrix) -> f64 {
+    let n = d.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = d.get(i, j);
+            sum += v * v;
+        }
+    }
+    sum.sqrt()
+}
+
+/// Applies the rotation `J(p, q, θ)` as `d ← Jᵀ d J`, `v ← v J`.
+fn apply_rotation(d: &mut Matrix, v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = d.rows();
+    for k in 0..n {
+        let dkp = d.get(k, p);
+        let dkq = d.get(k, q);
+        d.set(k, p, c * dkp - s * dkq);
+        d.set(k, q, s * dkp + c * dkq);
+    }
+    for k in 0..n {
+        let dpk = d.get(p, k);
+        let dqk = d.get(q, k);
+        d.set(p, k, c * dpk - s * dqk);
+        d.set(q, k, s * dpk + c * dqk);
+    }
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+/// Extracts eigenvalues from the (now nearly diagonal) matrix and sorts
+/// value/vector pairs by descending eigenvalue.
+fn sorted_eigen(d: Matrix, v: Matrix) -> Eigen {
+    let n = d.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let values: Vec<f64> = (0..n).map(|i| d.get(i, i)).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("NaN eigenvalue"));
+    let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    Eigen {
+        values: sorted_values,
+        vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut lambda = Matrix::zeros(n, n);
+        for (i, &v) in e.values.iter().enumerate() {
+            lambda.set(i, i, v);
+        }
+        e.vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // eigenvector for 3 is (1,1)/sqrt(2)
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[1].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 0.0],
+            vec![1.0, 3.0, 0.2, 0.1],
+            vec![0.5, 0.2, 2.0, 0.3],
+            vec![0.0, 0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let r = reconstruct(&e);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (a.get(i, j) - r.get(i, j)).abs() < 1e-8,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    r.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_fn(5, 5, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv.get(i, j) - expected).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            symmetric_eigen(&a).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a).unwrap_err(),
+            LinalgError::MalformedData { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(
+            symmetric_eigen(&a).unwrap_err(),
+            LinalgError::Empty
+        ));
+    }
+
+    #[test]
+    fn handles_1x1() {
+        let a = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![5.0]);
+        assert_eq!(e.vectors.get(0, 0).abs(), 1.0);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            if i == j {
+                (i + 1) as f64
+            } else {
+                0.1 * ((i + j) as f64)
+            }
+        });
+        // symmetrize
+        let s = a.add_matrix(&a.transpose()).unwrap().scale(0.5);
+        let e = symmetric_eigen(&s).unwrap();
+        let trace: f64 = (0..6).map(|i| s.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+}

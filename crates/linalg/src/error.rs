@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by fallible linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries the two offending `(rows, cols)` shapes.
+    DimensionMismatch {
+        /// Shape of the left-hand operand.
+        left: (usize, usize),
+        /// Shape of the right-hand operand.
+        right: (usize, usize),
+    },
+    /// A matrix constructor was given data whose length does not match the
+    /// requested shape, or rows of unequal length.
+    MalformedData {
+        /// Human-readable description of what was malformed.
+        detail: String,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    Empty,
+    /// An iterative algorithm (e.g. the Jacobi eigensolver) failed to
+    /// converge within its sweep budget.
+    NoConvergence {
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An index was out of bounds for the matrix shape.
+    OutOfBounds {
+        /// The offending index `(row, col)`.
+        index: (usize, usize),
+        /// The matrix shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::MalformedData { detail } => {
+                write!(f, "malformed matrix data: {detail}")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence { iterations: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

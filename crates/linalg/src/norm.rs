@@ -1,0 +1,195 @@
+//! Vector norms and distances.
+//!
+//! The paper uses the **L2 norm** to measure perturbation size (Figure 5)
+//! and the **L1 norm** between prediction vectors for the feature-squeezing
+//! defense's adversarial-example detector. This module provides both plus
+//! the L∞ norm for completeness.
+//!
+//! All functions operate on slices; batch variants live on
+//! [`Matrix`] via [`pairwise_l2_mean`].
+//!
+//! [`Matrix`]: crate::Matrix
+
+use crate::Matrix;
+
+/// L1 norm `Σ|xᵢ|` of a vector.
+///
+/// ```
+/// assert_eq!(maleva_linalg::norm::l1(&[3.0, -4.0]), 7.0);
+/// ```
+pub fn l1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 (Euclidean) norm `sqrt(Σxᵢ²)` of a vector.
+///
+/// ```
+/// assert_eq!(maleva_linalg::norm::l2(&[3.0, -4.0]), 5.0);
+/// ```
+pub fn l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// L∞ norm `max|xᵢ|` of a vector; 0 for an empty slice.
+pub fn linf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// L1 distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// L2 distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L∞ distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "linf_distance length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Mean row-wise L2 distance between two batches of the same shape.
+///
+/// Used for the Figure 5 "malware ↔ adversarial example" distance where
+/// rows correspond (sample i of `a` pairs with sample i of `b`).
+///
+/// Returns `None` if the shapes differ or the batches are empty.
+pub fn rowwise_l2_mean(a: &Matrix, b: &Matrix) -> Option<f64> {
+    if a.shape() != b.shape() || a.rows() == 0 {
+        return None;
+    }
+    let total: f64 = a
+        .rows_iter()
+        .zip(b.rows_iter())
+        .map(|(ra, rb)| l2_distance(ra, rb))
+        .sum();
+    Some(total / a.rows() as f64)
+}
+
+/// Mean L2 distance over all cross pairs of rows from `a` and `b`,
+/// subsampled to at most `max_pairs` pairs in a deterministic stride
+/// pattern.
+///
+/// Used for the Figure 5 "malware ↔ clean" and "clean ↔ adversarial"
+/// distances, where the two batches have no row correspondence. Exact
+/// all-pairs evaluation is quadratic; a deterministic stride subsample keeps
+/// the estimate reproducible without an RNG.
+///
+/// Returns `None` if either batch is empty or the column counts differ.
+pub fn pairwise_l2_mean(a: &Matrix, b: &Matrix, max_pairs: usize) -> Option<f64> {
+    if a.rows() == 0 || b.rows() == 0 || a.cols() != b.cols() || max_pairs == 0 {
+        return None;
+    }
+    let total_pairs = a.rows().saturating_mul(b.rows());
+    let stride = (total_pairs / max_pairs).max(1);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut k = 0usize;
+    while k < total_pairs {
+        let i = k / b.rows();
+        let j = k % b.rows();
+        sum += l2_distance(a.row(i), b.row(j));
+        count += 1;
+        k += stride;
+    }
+    Some(sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_l2_linf_basic() {
+        let v = [1.0, -2.0, 2.0];
+        assert_eq!(l1(&v), 5.0);
+        assert_eq!(l2(&v), 3.0);
+        assert_eq!(linf(&v), 2.0);
+    }
+
+    #[test]
+    fn empty_norms_are_zero() {
+        assert_eq!(l1(&[]), 0.0);
+        assert_eq!(l2(&[]), 0.0);
+        assert_eq!(linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances_basic() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(l1_distance(&a, &b), 7.0);
+        assert_eq!(l2_distance(&a, &b), 5.0);
+        assert_eq!(linf_distance(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [1.5, -2.5, 0.0];
+        assert_eq!(l1_distance(&a, &a), 0.0);
+        assert_eq!(l2_distance(&a, &a), 0.0);
+        assert_eq!(linf_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn l2_distance_length_mismatch_panics() {
+        l2_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rowwise_mean() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(rowwise_l2_mean(&a, &b), Some(2.5));
+        let c = Matrix::zeros(1, 2);
+        assert_eq!(rowwise_l2_mean(&a, &c), None);
+    }
+
+    #[test]
+    fn pairwise_mean_exhaustive_when_budget_large() {
+        let a = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        // pairs: |0-1|=1, |2-1|=1 -> mean 1.0
+        assert_eq!(pairwise_l2_mean(&a, &b, 100), Some(1.0));
+    }
+
+    #[test]
+    fn pairwise_mean_subsampled_is_finite() {
+        let a = Matrix::from_fn(20, 3, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(20, 3, |r, c| (r * c) as f64);
+        let m = pairwise_l2_mean(&a, &b, 10).unwrap();
+        assert!(m.is_finite() && m >= 0.0);
+    }
+
+    #[test]
+    fn pairwise_mean_edge_cases() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert_eq!(pairwise_l2_mean(&a, &b, 10), None);
+        assert_eq!(pairwise_l2_mean(&a, &a, 0), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Principal component analysis.
+//!
+//! The paper's fourth defense (Section II-C-4, Table VI row "DimReduct")
+//! projects the 491-dimensional API feature space onto its first K = 19
+//! principal components and trains the classifier on the reduced input,
+//! restricting the attacker to perturbations expressible in that subspace.
+//!
+//! [`Pca`] is fit on a training batch and can then [`transform`], and
+//! [`inverse_transform`] any batch with the same feature count.
+//!
+//! [`transform`]: Pca::transform
+//! [`inverse_transform`]: Pca::inverse_transform
+
+use serde::{Deserialize, Serialize};
+
+use crate::eigen::symmetric_eigen;
+use crate::{stats, LinalgError, Matrix};
+
+/// A fitted PCA projection.
+///
+/// # Example
+///
+/// ```
+/// use maleva_linalg::{Matrix, Pca};
+///
+/// # fn main() -> Result<(), maleva_linalg::LinalgError> {
+/// // Points on the line y = 2x: one dominant component.
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.0],
+///     vec![1.0, 2.0],
+///     vec![2.0, 4.0],
+///     vec![3.0, 6.0],
+/// ])?;
+/// let pca = Pca::fit(&x, 1)?;
+/// let reduced = pca.transform(&x)?;
+/// assert_eq!(reduced.shape(), (4, 1));
+/// // With one component, reconstruction of collinear data is near-exact.
+/// let restored = pca.inverse_transform(&reduced)?;
+/// assert!((restored.get(3, 1) - 6.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Column means of the training data (subtracted before projection).
+    means: Vec<f64>,
+    /// `n_features x k` matrix whose columns are the top-k principal axes.
+    components: Matrix,
+    /// Eigenvalue (variance) of each retained component, descending.
+    explained_variance: Vec<f64>,
+    /// Total variance across all components (for variance-ratio queries).
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits PCA on a training batch (rows = samples), retaining the top `k`
+    /// principal components.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `x` has no rows or `k == 0`.
+    /// * [`LinalgError::MalformedData`] if `k > x.cols()`.
+    /// * Any eigensolver failure bubbles up.
+    pub fn fit(x: &Matrix, k: usize) -> Result<Self, LinalgError> {
+        if x.rows() == 0 || k == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if k > x.cols() {
+            return Err(LinalgError::MalformedData {
+                detail: format!("k = {k} exceeds feature count {}", x.cols()),
+            });
+        }
+        let cov = stats::covariance(x)?;
+        let eig = symmetric_eigen(&cov)?;
+        let means = stats::column_means(x)?;
+        let n = x.cols();
+        let mut components = Matrix::zeros(n, k);
+        for c in 0..k {
+            for r in 0..n {
+                components.set(r, c, eig.vectors.get(r, c));
+            }
+        }
+        let explained_variance: Vec<f64> =
+            eig.values.iter().take(k).map(|v| v.max(0.0)).collect();
+        let total_variance: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        Ok(Pca {
+            means,
+            components,
+            explained_variance,
+            total_variance,
+        })
+    }
+
+    /// Number of retained components (`k`).
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Number of input features the projection expects.
+    pub fn n_features(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Variance captured by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by the retained components,
+    /// in `[0, 1]`. Returns 1.0 when the training data had zero variance.
+    pub fn explained_variance_ratio(&self) -> f64 {
+        if self.total_variance <= 0.0 {
+            1.0
+        } else {
+            self.explained_variance.iter().sum::<f64>() / self.total_variance
+        }
+    }
+
+    /// Projects a batch into the k-dimensional principal subspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.cols()` differs from
+    /// the fitted feature count.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, LinalgError> {
+        if x.cols() != self.n_features() {
+            return Err(LinalgError::DimensionMismatch {
+                left: x.shape(),
+                right: (self.n_features(), self.n_components()),
+            });
+        }
+        let neg: Vec<f64> = self.means.iter().map(|m| -m).collect();
+        let centered = x.add_row_broadcast(&neg)?;
+        centered.matmul(&self.components)
+    }
+
+    /// Maps a reduced batch back into the original feature space
+    /// (lossy unless `k` equals the original dimensionality).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `z.cols()` differs from
+    /// the number of retained components.
+    pub fn inverse_transform(&self, z: &Matrix) -> Result<Matrix, LinalgError> {
+        if z.cols() != self.n_components() {
+            return Err(LinalgError::DimensionMismatch {
+                left: z.shape(),
+                right: (self.n_components(), self.n_features()),
+            });
+        }
+        let back = z.matmul(&self.components.transpose())?;
+        back.add_row_broadcast(&self.means)
+    }
+
+    /// Convenience: project then immediately reconstruct, i.e. squeeze the
+    /// input onto the principal subspace while keeping the original
+    /// dimensionality. Useful as a "PCA squeezer" for feature squeezing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Pca::transform`].
+    pub fn reconstruct(&self, x: &Matrix) -> Result<Matrix, LinalgError> {
+        self.inverse_transform(&self.transform(x)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Matrix {
+        // y = 3x with slight structure; variance concentrated on 1 axis.
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 3.0],
+            vec![2.0, 6.0],
+            vec![3.0, 9.0],
+            vec![4.0, 12.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_shapes() {
+        let pca = Pca::fit(&line_data(), 2).unwrap();
+        assert_eq!(pca.n_components(), 2);
+        assert_eq!(pca.n_features(), 2);
+        assert_eq!(pca.explained_variance().len(), 2);
+    }
+
+    #[test]
+    fn collinear_data_one_component_captures_everything() {
+        let pca = Pca::fit(&line_data(), 1).unwrap();
+        assert!(pca.explained_variance_ratio() > 0.999999);
+    }
+
+    #[test]
+    fn full_rank_reconstruction_is_exact() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.5],
+            vec![0.0, 2.0, 0.1],
+            vec![0.3, 0.4, 3.0],
+            vec![1.5, 1.0, 0.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&x, 3).unwrap();
+        let r = pca.reconstruct(&x).unwrap();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                assert!((x.get(i, j) - r.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_reconstruction_of_collinear_data_is_exact() {
+        let x = line_data();
+        let pca = Pca::fit(&x, 1).unwrap();
+        let r = pca.reconstruct(&x).unwrap();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                assert!((x.get(i, j) - r.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_reduces_dimension() {
+        let pca = Pca::fit(&line_data(), 1).unwrap();
+        let z = pca.transform(&line_data()).unwrap();
+        assert_eq!(z.shape(), (5, 1));
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(Pca::fit(&line_data(), 0).is_err());
+        assert!(Pca::fit(&line_data(), 3).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_transform() {
+        let pca = Pca::fit(&line_data(), 1).unwrap();
+        let bad = Matrix::zeros(2, 5);
+        assert!(pca.transform(&bad).is_err());
+        let bad_z = Matrix::zeros(2, 2);
+        assert!(pca.inverse_transform(&bad_z).is_err());
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let x = Matrix::from_fn(30, 4, |r, c| ((r * (c + 1)) % 7) as f64 + 0.1 * c as f64);
+        let pca = Pca::fit(&x, 4).unwrap();
+        let ev = pca.explained_variance();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_data_has_ratio_one() {
+        let x = Matrix::filled(4, 3, 2.5);
+        let pca = Pca::fit(&x, 2).unwrap();
+        assert_eq!(pca.explained_variance_ratio(), 1.0);
+    }
+}

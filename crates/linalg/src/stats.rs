@@ -1,0 +1,209 @@
+//! Column statistics: means, variances, min/max, covariance.
+//!
+//! These are the fitting primitives behind the feature-normalization
+//! pipeline (`maleva-features`) and the PCA defense (`maleva-defense`).
+
+use crate::{LinalgError, Matrix};
+
+/// Per-column mean of a sample batch (rows = samples).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn column_means(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let n = x.rows() as f64;
+    Ok(x.sum_rows().into_iter().map(|s| s / n).collect())
+}
+
+/// Per-column population variance (divides by `n`, not `n-1`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn column_variances(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    let means = column_means(x)?;
+    let n = x.rows() as f64;
+    let mut acc = vec![0.0; x.cols()];
+    for row in x.rows_iter() {
+        for ((a, &v), &m) in acc.iter_mut().zip(row.iter()).zip(means.iter()) {
+            let d = v - m;
+            *a += d * d;
+        }
+    }
+    for a in &mut acc {
+        *a /= n;
+    }
+    Ok(acc)
+}
+
+/// Per-column minimum.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn column_mins(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    fold_columns(x, f64::INFINITY, f64::min)
+}
+
+/// Per-column maximum.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn column_maxs(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    fold_columns(x, f64::NEG_INFINITY, f64::max)
+}
+
+fn fold_columns(
+    x: &Matrix,
+    init: f64,
+    f: fn(f64, f64) -> f64,
+) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut acc = vec![init; x.cols()];
+    for row in x.rows_iter() {
+        for (a, &v) in acc.iter_mut().zip(row.iter()) {
+            *a = f(*a, v);
+        }
+    }
+    Ok(acc)
+}
+
+/// Centers each column at zero mean, returning the centered matrix and the
+/// means that were subtracted.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn center_columns(x: &Matrix) -> Result<(Matrix, Vec<f64>), LinalgError> {
+    let means = column_means(x)?;
+    let neg: Vec<f64> = means.iter().map(|m| -m).collect();
+    let centered = x.add_row_broadcast(&neg)?;
+    Ok((centered, means))
+}
+
+/// Sample covariance matrix of a batch (rows = samples), dividing by `n-1`.
+///
+/// For a single sample the covariance is defined as the zero matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the matrix has no rows.
+pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
+    let (centered, _) = center_columns(x)?;
+    if x.rows() == 1 {
+        return Ok(Matrix::zeros(x.cols(), x.cols()));
+    }
+    let xt = centered.transpose();
+    let cov = xt.matmul(&centered)?;
+    Ok(cov.scale(1.0 / (x.rows() as f64 - 1.0)))
+}
+
+/// Mean of a slice; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation of a slice; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn means_and_variances() {
+        let x = sample();
+        assert_eq!(column_means(&x).unwrap(), vec![2.5, 25.0]);
+        assert_eq!(column_variances(&x).unwrap(), vec![1.25, 125.0]);
+    }
+
+    #[test]
+    fn mins_and_maxs() {
+        let x = sample();
+        assert_eq!(column_mins(&x).unwrap(), vec![1.0, 10.0]);
+        assert_eq!(column_maxs(&x).unwrap(), vec![4.0, 40.0]);
+    }
+
+    #[test]
+    fn empty_matrix_errors() {
+        let x = Matrix::zeros(0, 3);
+        assert!(column_means(&x).is_err());
+        assert!(column_variances(&x).is_err());
+        assert!(column_mins(&x).is_err());
+        assert!(covariance(&x).is_err());
+    }
+
+    #[test]
+    fn centering_zeroes_means() {
+        let x = sample();
+        let (centered, means) = center_columns(&x).unwrap();
+        assert_eq!(means, vec![2.5, 25.0]);
+        let new_means = column_means(&centered).unwrap();
+        for m in new_means {
+            assert!(m.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        // col1 = 10 * col0, so cov = [[var, 10 var], [10 var, 100 var]]
+        let x = sample();
+        let c = covariance(&x).unwrap();
+        // sample variance of col0 with n-1: sum d² = 5 over 3 -> 5/3
+        let v = 5.0 / 3.0;
+        assert!((c.get(0, 0) - v).abs() < 1e-12);
+        assert!((c.get(0, 1) - 10.0 * v).abs() < 1e-12);
+        assert!((c.get(1, 0) - 10.0 * v).abs() < 1e-12);
+        assert!((c.get(1, 1) - 100.0 * v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let x = Matrix::from_fn(10, 4, |r, c| ((r * 7 + c * 3) % 5) as f64);
+        let c = covariance(&x).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_covariance_is_zero() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let c = covariance(&x).unwrap();
+        assert!(c.iter().all(|v| v == 0.0));
+    }
+
+    #[test]
+    fn slice_stats() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0, 1.0, 1.0]), Some(0.0));
+        assert!((std_dev(&[0.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use maleva_linalg::{eigen::symmetric_eigen, norm, stats, Matrix, Pca};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with elements in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("shape"))
+}
+
+/// Strategy: small shape triple (n, m, k) for chained matmuls.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution((r, c, _) in dims(), seed in 0u64..1000) {
+        let m = Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + seed as usize) % 13) as f64 - 6.0);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_is_associative(dims in dims()) {
+        let (n, m, k) = dims;
+        let a = Matrix::from_fn(n, m, |i, j| (i as f64 - j as f64) * 0.5);
+        let b = Matrix::from_fn(m, k, |i, j| (i * j) as f64 * 0.25 + 1.0);
+        let c = Matrix::from_fn(k, n, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity((r, c, _) in dims()) {
+        // (A B)^T = B^T A^T
+        let a = Matrix::from_fn(r, c, |i, j| (i as f64 * 1.5 - j as f64) * 0.3);
+        let b = Matrix::from_fn(c, r, |i, j| (j as f64 - i as f64 * 0.5) * 0.7);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn l2_triangle_inequality(a in prop::collection::vec(-5.0f64..5.0, 8),
+                              b in prop::collection::vec(-5.0f64..5.0, 8),
+                              c in prop::collection::vec(-5.0f64..5.0, 8)) {
+        let ab = norm::l2_distance(&a, &b);
+        let bc = norm::l2_distance(&b, &c);
+        let ac = norm::l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn l1_dominates_l2_dominates_linf(v in prop::collection::vec(-5.0f64..5.0, 1..16)) {
+        let l1 = norm::l1(&v);
+        let l2 = norm::l2(&v);
+        let linf = norm::linf(&v);
+        prop_assert!(l1 + 1e-12 >= l2);
+        prop_assert!(l2 + 1e-12 >= linf);
+    }
+
+    #[test]
+    fn norms_scale_homogeneously(v in prop::collection::vec(-5.0f64..5.0, 1..16), k in -3.0f64..3.0) {
+        let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
+        prop_assert!((norm::l2(&scaled) - k.abs() * norm::l2(&v)).abs() < 1e-9);
+        prop_assert!((norm::l1(&scaled) - k.abs() * norm::l1(&v)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_diagonal_is_nonnegative(m in matrix(6, 4)) {
+        let cov = stats::covariance(&m).unwrap();
+        for i in 0..4 {
+            prop_assert!(cov.get(i, i) >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn centered_columns_have_zero_mean(m in matrix(8, 3)) {
+        let (centered, _) = stats::center_columns(&m).unwrap();
+        for mean in stats::column_means(&centered).unwrap() {
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_input(seed in 0u64..500) {
+        let base = Matrix::from_fn(4, 4, |i, j| {
+            (((i * 7 + j * 13 + seed as usize * 29) % 11) as f64 - 5.0) * 0.4
+        });
+        let sym = base.add_matrix(&base.transpose()).unwrap().scale(0.5);
+        let e = symmetric_eigen(&sym).unwrap();
+        let n = e.values.len();
+        let mut lambda = Matrix::zeros(n, n);
+        for (i, &v) in e.values.iter().enumerate() {
+            lambda.set(i, i, v);
+        }
+        let rec = e.vectors.matmul(&lambda).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        for (x, y) in sym.iter().zip(rec.iter()) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pca_full_rank_round_trips(m in matrix(10, 4)) {
+        let pca = Pca::fit(&m, 4).unwrap();
+        let rec = pca.reconstruct(&m).unwrap();
+        for (x, y) in m.iter().zip(rec.iter()) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pca_reconstruction_error_nonincreasing_in_k(m in matrix(12, 5)) {
+        let mut prev_err = f64::INFINITY;
+        for k in 1..=5 {
+            let pca = Pca::fit(&m, k).unwrap();
+            let rec = pca.reconstruct(&m).unwrap();
+            let err: f64 = m
+                .iter()
+                .zip(rec.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            prop_assert!(err <= prev_err + 1e-7, "error rose at k={}: {} > {}", k, err, prev_err);
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn pca_explained_variance_ratio_in_unit_interval(m in matrix(8, 3), k in 1usize..4) {
+        let pca = Pca::fit(&m, k).unwrap();
+        let r = pca.explained_variance_ratio();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(m in matrix(5, 4)) {
+        let sums = m.sum_rows();
+        for c in 0..4 {
+            let manual: f64 = (0..5).map(|r| m.get(r, c)).sum();
+            prop_assert!((sums[c] - manual).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in matrix(6, 3), idx in prop::collection::vec(0usize..6, 1..10)) {
+        let sel = m.select_rows(&idx);
+        prop_assert_eq!(sel.rows(), idx.len());
+        for (out_r, &src_r) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(out_r), m.row(src_r));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+use serde::{Deserialize, Serialize};
+
+/// Elementwise nonlinearity applied after a dense layer's affine transform.
+///
+/// The paper's DNNs use ReLU hidden layers with a softmax head; the head is
+/// modelled as an [`Activation::Identity`] layer whose logits are passed to
+/// [`softmax()`](crate::softmax()) so that the attack code can access raw
+/// logits and temperature-scaled probabilities separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's hidden-layer nonlinearity.
+    #[default]
+    ReLU,
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op; used for logit (output) layers.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    ///
+    /// ```
+    /// use maleva_nn::Activation;
+    /// assert_eq!(Activation::ReLU.apply(-3.0), 0.0);
+    /// assert_eq!(Activation::ReLU.apply(2.0), 2.0);
+    /// ```
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation, expressed in terms of the
+    /// *pre-activation* input `x`.
+    ///
+    /// For ReLU the derivative at exactly 0 is defined as 0 (the common
+    /// subgradient choice).
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Activation::ReLU => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(Activation::ReLU.apply(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(0.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(3.5), 3.5);
+        assert_eq!(Activation::ReLU.derivative(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.derivative(0.0), 0.0);
+        assert_eq!(Activation::ReLU.derivative(2.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        // derivative peaks at 0 with value 0.25
+        assert!((s.derivative(0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tanh_behaviour() {
+        let t = Activation::Tanh;
+        assert_eq!(t.apply(0.0), 0.0);
+        assert!((t.derivative(0.0) - 1.0).abs() < 1e-12);
+        assert!(t.derivative(3.0) < 0.01);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+        assert_eq!(Activation::Identity.derivative(123.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::ReLU.to_string(), "relu");
+        assert_eq!(Activation::Identity.to_string(), "identity");
+    }
+
+    #[test]
+    fn default_is_relu() {
+        assert_eq!(Activation::default(), Activation::ReLU);
+    }
+}

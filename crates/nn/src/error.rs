@@ -1,0 +1,97 @@
+use std::error::Error;
+use std::fmt;
+
+use maleva_linalg::LinalgError;
+
+/// Error type for network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A numeric operation failed (almost always a shape mismatch).
+    Linalg(LinalgError),
+    /// The network or trainer was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description of the bad configuration.
+        detail: String,
+    },
+    /// Input batch shape does not match the network's expected input size.
+    InputShape {
+        /// Features the network expects.
+        expected: usize,
+        /// Features the caller supplied.
+        actual: usize,
+    },
+    /// Labels do not match the batch (wrong count or class out of range).
+    LabelMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// (De)serialization of a model failed.
+    Serialization {
+        /// Underlying serde error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            NnError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            NnError::InputShape { expected, actual } => write!(
+                f,
+                "input has {actual} features but the network expects {expected}"
+            ),
+            NnError::LabelMismatch { detail } => write!(f, "label mismatch: {detail}"),
+            NnError::Serialization { detail } => write!(f, "serialization error: {detail}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for NnError {
+    fn from(e: LinalgError) -> Self {
+        NnError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::InputShape {
+            expected: 491,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("491"));
+        let e = NnError::from(LinalgError::Empty);
+        assert!(e.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn source_chains_linalg() {
+        use std::error::Error as _;
+        let e = NnError::from(LinalgError::Empty);
+        assert!(e.source().is_some());
+        let e = NnError::InvalidConfig {
+            detail: "x".into(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Seeded weight initialization.
+//!
+//! Every experiment in the reproduction must be exactly repeatable, so all
+//! randomness flows through a caller-supplied seed and a ChaCha8 stream
+//! (stable across `rand` versions, unlike `StdRng`).
+
+use maleva_linalg::Matrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the crate's canonical deterministic RNG from a seed.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// He (Kaiming) uniform initialization for a `fan_in x fan_out` weight
+/// matrix: `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`.
+///
+/// Suited to ReLU layers, which is what the paper's DNNs use.
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +...)`. Suited to tanh/sigmoid layers.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = he_uniform(4, 3, &mut rng(42));
+        let b = he_uniform(4, 3, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = he_uniform(4, 3, &mut rng(1));
+        let b = he_uniform(4, 3, &mut rng(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn he_respects_bound() {
+        let m = he_uniform(24, 8, &mut rng(7));
+        let bound = (6.0 / 24.0f64).sqrt();
+        assert!(m.iter().all(|v| v.abs() <= bound));
+        // and isn't degenerate
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier_uniform(10, 6, &mut rng(7));
+        let bound = (6.0 / 16.0f64).sqrt();
+        assert!(m.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn shapes_are_fan_in_by_fan_out() {
+        assert_eq!(he_uniform(5, 2, &mut rng(0)).shape(), (5, 2));
+        assert_eq!(xavier_uniform(3, 9, &mut rng(0)).shape(), (3, 9));
+    }
+}

@@ -1,0 +1,264 @@
+//! Cross-entropy losses on hard and soft labels.
+//!
+//! Hard-label cross-entropy is the standard detector training objective.
+//! Soft-label cross-entropy (targets are probability vectors rather than
+//! class indices) is what the *distilled* student model of the defensive
+//! distillation defense trains against — the teacher's temperature-softened
+//! output probabilities carry the "dark knowledge" the defense relies on.
+//!
+//! Both losses are fused with softmax for the gradient: the derivative of
+//! `CE(softmax(z/T), y)` with respect to the logits `z` is the well-known
+//! `(softmax(z/T) - y) / T`, averaged over the batch here.
+
+use maleva_linalg::Matrix;
+
+use crate::softmax::softmax;
+use crate::NnError;
+
+/// Mean cross-entropy of logits against hard class labels, at softmax
+/// temperature `t`.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if `labels.len() != logits.rows()`
+/// or any label is out of class range.
+pub fn cross_entropy(logits: &Matrix, labels: &[usize], t: f64) -> Result<f64, NnError> {
+    validate_hard_labels(logits, labels)?;
+    let mut total = 0.0;
+    for (row, &label) in logits.rows_iter().zip(labels.iter()) {
+        let lp = crate::softmax::log_softmax(row, t);
+        total -= lp[label];
+    }
+    Ok(total / labels.len() as f64)
+}
+
+/// Mean cross-entropy of logits against soft label distributions
+/// (one probability row per sample), at softmax temperature `t`.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if the shapes differ.
+pub fn soft_cross_entropy(logits: &Matrix, soft: &Matrix, t: f64) -> Result<f64, NnError> {
+    if logits.shape() != soft.shape() {
+        return Err(NnError::LabelMismatch {
+            detail: format!(
+                "logits are {:?} but soft labels are {:?}",
+                logits.shape(),
+                soft.shape()
+            ),
+        });
+    }
+    if logits.rows() == 0 {
+        return Err(NnError::LabelMismatch {
+            detail: "empty batch".to_string(),
+        });
+    }
+    let mut total = 0.0;
+    for (zrow, prow) in logits.rows_iter().zip(soft.rows_iter()) {
+        let lp = crate::softmax::log_softmax(zrow, t);
+        for (&p, &l) in prow.iter().zip(lp.iter()) {
+            total -= p * l;
+        }
+    }
+    Ok(total / logits.rows() as f64)
+}
+
+/// Gradient of mean softmax-cross-entropy with respect to the logits, for
+/// hard labels: `(softmax(z/T) - onehot(y)) / (T * n)` per row.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] on label/batch inconsistencies.
+pub fn cross_entropy_grad(
+    logits: &Matrix,
+    labels: &[usize],
+    t: f64,
+) -> Result<Matrix, NnError> {
+    validate_hard_labels(logits, labels)?;
+    let n = labels.len() as f64;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for (i, (row, &label)) in logits.rows_iter().zip(labels.iter()).enumerate() {
+        let p = softmax(row, t);
+        for (j, &pj) in p.iter().enumerate() {
+            let target = if j == label { 1.0 } else { 0.0 };
+            grad.set(i, j, (pj - target) / (t * n));
+        }
+    }
+    Ok(grad)
+}
+
+/// Gradient of mean softmax-cross-entropy with respect to the logits, for
+/// soft labels: `(softmax(z/T) - p) / (T * n)` per row.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if shapes differ or the batch is empty.
+pub fn soft_cross_entropy_grad(
+    logits: &Matrix,
+    soft: &Matrix,
+    t: f64,
+) -> Result<Matrix, NnError> {
+    if logits.shape() != soft.shape() || logits.rows() == 0 {
+        return Err(NnError::LabelMismatch {
+            detail: format!(
+                "logits are {:?} but soft labels are {:?}",
+                logits.shape(),
+                soft.shape()
+            ),
+        });
+    }
+    let n = logits.rows() as f64;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for (i, (zrow, prow)) in logits.rows_iter().zip(soft.rows_iter()).enumerate() {
+        let p = softmax(zrow, t);
+        for (j, (&pj, &target)) in p.iter().zip(prow.iter()).enumerate() {
+            grad.set(i, j, (pj - target) / (t * n));
+        }
+    }
+    Ok(grad)
+}
+
+/// Fraction of rows whose argmax equals the label, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] on label/batch inconsistencies.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> Result<f64, NnError> {
+    validate_hard_labels(logits, labels)?;
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+fn validate_hard_labels(logits: &Matrix, labels: &[usize]) -> Result<(), NnError> {
+    if labels.is_empty() || labels.len() != logits.rows() {
+        return Err(NnError::LabelMismatch {
+            detail: format!(
+                "{} labels for a batch of {} rows",
+                labels.len(),
+                logits.rows()
+            ),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= logits.cols()) {
+        return Err(NnError::LabelMismatch {
+            detail: format!("label {bad} out of range for {} classes", logits.cols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Matrix::from_rows(&[vec![10.0, -10.0], vec![-10.0, 10.0]]).unwrap();
+        let loss = cross_entropy(&logits, &[0, 1], 1.0).unwrap();
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_ln_k() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let loss = cross_entropy(&logits, &[0], 1.0).unwrap();
+        assert!((loss - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_prediction_has_high_loss() {
+        let logits = Matrix::from_rows(&[vec![10.0, -10.0]]).unwrap();
+        let loss = cross_entropy(&logits, &[1], 1.0).unwrap();
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn soft_matches_hard_for_onehot_targets() {
+        let logits = Matrix::from_rows(&[vec![1.0, -0.5], vec![0.2, 0.9]]).unwrap();
+        let hard = cross_entropy(&logits, &[0, 1], 2.0).unwrap();
+        let onehot = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let soft = soft_cross_entropy(&logits, &onehot, 2.0).unwrap();
+        assert!((hard - soft).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference_hard() {
+        let logits = Matrix::from_rows(&[vec![0.3, -0.7], vec![1.1, 0.4]]).unwrap();
+        let labels = [1usize, 0];
+        let t = 1.5;
+        let grad = cross_entropy_grad(&logits, &labels, t).unwrap();
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut plus = logits.clone();
+                plus.set(i, j, logits.get(i, j) + eps);
+                let mut minus = logits.clone();
+                minus.set(i, j, logits.get(i, j) - eps);
+                let numeric = (cross_entropy(&plus, &labels, t).unwrap()
+                    - cross_entropy(&minus, &labels, t).unwrap())
+                    / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(i, j)).abs() < 1e-6,
+                    "grad mismatch at ({i},{j}): {numeric} vs {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference_soft() {
+        let logits = Matrix::from_rows(&[vec![0.5, 0.1, -0.2]]).unwrap();
+        let soft = Matrix::from_rows(&[vec![0.2, 0.5, 0.3]]).unwrap();
+        let t = 3.0;
+        let grad = soft_cross_entropy_grad(&logits, &soft, t).unwrap();
+        let eps = 1e-6;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, j, logits.get(0, j) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, j, logits.get(0, j) - eps);
+            let numeric = (soft_cross_entropy(&plus, &soft, t).unwrap()
+                - soft_cross_entropy(&minus, &soft, t).unwrap())
+                / (2.0 * eps);
+            assert!((numeric - grad.get(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // softmax gradient rows always sum to 0 (prob simplex constraint)
+        let logits = Matrix::from_rows(&[vec![0.3, -0.7, 1.0]]).unwrap();
+        let grad = cross_entropy_grad(&logits, &[2], 1.0).unwrap();
+        let s: f64 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        assert!(cross_entropy(&logits, &[], 1.0).is_err());
+        assert!(cross_entropy(&logits, &[2], 1.0).is_err());
+        assert!(cross_entropy(&logits, &[0, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_soft() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let soft = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        assert!(soft_cross_entropy(&logits, &soft, 1.0).is_err());
+        assert!(soft_cross_entropy_grad(&logits, &soft, 1.0).is_err());
+    }
+}

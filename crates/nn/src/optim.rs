@@ -1,0 +1,326 @@
+//! Gradient-descent optimizers: SGD (with momentum and weight decay) and
+//! Adam.
+//!
+//! The paper trains its substitute model with **Adam, learning rate 0.001,
+//! batch size 256** (Section III-B); weight decay is mentioned as one of
+//! the traditional robustness techniques that does *not* defend against
+//! adversarial examples, so it is available here for the corresponding
+//! ablation.
+
+use maleva_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A parameter-update rule applied to one tensor (weights or biases are
+/// both flattened through the same interface).
+pub trait Optimizer {
+    /// Updates `param` in place given its gradient.
+    ///
+    /// `slot` identifies the tensor so stateful optimizers (momentum, Adam)
+    /// can keep per-tensor accumulators; callers must use a stable, unique
+    /// slot index per tensor.
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]);
+
+    /// The base learning rate this optimizer was configured with.
+    fn learning_rate(&self) -> f64;
+
+    /// Advances the optimizer's shared timestep, if it has one. Call once
+    /// per optimization step, before updating that step's tensors. The
+    /// default implementation is a no-op (SGD is stateless in time).
+    fn tick(&mut self) {}
+}
+
+/// Plain stochastic gradient descent with optional momentum and decoupled
+/// L2 weight decay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no momentum/decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient (`0.0` disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    fn velocity_for(&mut self, slot: usize, len: usize) -> &mut Vec<f64> {
+        while self.velocity.len() <= slot {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != len {
+            *v = vec![0.0; len];
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        if momentum > 0.0 {
+            let v = self.velocity_for(slot, param.len());
+            for ((p, &g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+                let g = g + wd * *p;
+                *vi = momentum * *vi + g;
+                *p -= lr * *vi;
+            }
+        } else {
+            for (p, &g) in param.iter_mut().zip(grad) {
+                let g = g + wd * *p;
+                *p -= lr * g;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015), the paper's training choice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and standard defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    fn slot_for(store: &mut Vec<Vec<f64>>, slot: usize, len: usize) -> &mut Vec<f64> {
+        while store.len() <= slot {
+            store.push(Vec::new());
+        }
+        let s = &mut store[slot];
+        if s.len() != len {
+            *s = vec![0.0; len];
+        }
+        s
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        if self.t == 0 {
+            // Defensive: callers should tick() first; treat as step 1.
+            self.t = 1;
+        }
+        let t = self.t as f64;
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        // Split borrows of m and v.
+        Self::slot_for(&mut self.m, slot, param.len());
+        Self::slot_for(&mut self.v, slot, param.len());
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        for (((p, &g), mi), vi) in param.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+        {
+            let g = g + wd * *p;
+            *mi = b1 * *mi + (1.0 - b1) * g;
+            *vi = b2 * *vi + (1.0 - b2) * g * g;
+            let m_hat = *mi / bias1;
+            let v_hat = *vi / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Advances the shared timestep so all tensors updated in one
+    /// optimization step share a single bias-correction factor.
+    fn tick(&mut self) {
+        self.t += 1;
+    }
+}
+
+/// Convenience: apply an optimizer step to a whole [`Matrix`] parameter.
+pub fn step_matrix(opt: &mut dyn Optimizer, slot: usize, param: &mut Matrix, grad: &Matrix) {
+    debug_assert_eq!(param.shape(), grad.shape());
+    opt.step(slot, param.as_mut_slice(), grad.as_slice());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with gradient 2(x - 3).
+    fn quadratic_grad(x: f64) -> f64 {
+        2.0 * (x - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = [0.0f64];
+        for _ in 0..200 {
+            let g = [quadratic_grad(x[0])];
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges_faster() {
+        let run = |momentum: f64| {
+            let mut opt = Sgd::new(0.02).with_momentum(momentum);
+            let mut x = [0.0f64];
+            let mut steps = 0;
+            while (x[0] - 3.0).abs() > 1e-4 && steps < 10_000 {
+                let g = [quadratic_grad(x[0])];
+                opt.step(0, &mut x, &g);
+                steps += 1;
+            }
+            steps
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut x = [0.0f64];
+        for _ in 0..1000 {
+            opt.tick();
+            let g = [quadratic_grad(x[0])];
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_at_optimum() {
+        // At the loss optimum (grad 0), decay should still pull weights to 0.
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut x = [10.0f64];
+        for _ in 0..100 {
+            opt.step(0, &mut x, &[0.0]);
+        }
+        assert!(x[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn separate_slots_have_separate_state() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f64];
+        let mut b = [0.0f64];
+        for _ in 0..50 {
+            opt.tick();
+            let ga = [quadratic_grad(a[0])];
+            opt.step(0, &mut a, &ga);
+            // slot 1 gets a different objective: min (x + 1)²
+            let gb = [2.0 * (b[0] + 1.0)];
+            opt.step(1, &mut b, &gb);
+        }
+        assert!(a[0] > 0.5, "slot 0 should move toward 3");
+        assert!(b[0] < -0.1, "slot 1 should move toward -1");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grad() {
+        Sgd::new(0.1).step(0, &mut [0.0, 0.0], &[1.0]);
+    }
+
+    #[test]
+    fn step_matrix_updates_in_place() {
+        let mut opt = Sgd::new(1.0);
+        let mut p = Matrix::filled(2, 2, 1.0);
+        let g = Matrix::filled(2, 2, 0.25);
+        step_matrix(&mut opt, 0, &mut p, &g);
+        assert!(p.iter().all(|v| (v - 0.75).abs() < 1e-12));
+    }
+
+    #[test]
+    fn adam_without_tick_still_works() {
+        let mut opt = Adam::new(0.05);
+        let mut x = [0.0f64];
+        // no tick() — defensive path treats this as t = 1
+        let g = [quadratic_grad(x[0])];
+        opt.step(0, &mut x, &g);
+        assert!(x[0] != 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Numerically stable softmax with temperature.
+//!
+//! Defensive distillation (paper Section II-C-2) trains the teacher and
+//! student networks at an elevated softmax temperature `T` (the paper uses
+//! `T = 50`), then deploys the student at `T = 1`. High temperature smooths
+//! the output distribution, which is the mechanism distillation relies on —
+//! so temperature is a first-class parameter here rather than a wrapper.
+
+/// Softmax of a logit vector at temperature `t`.
+///
+/// Uses the max-subtraction trick for numerical stability. A temperature of
+/// 1.0 is the ordinary softmax; higher temperatures flatten the
+/// distribution, lower temperatures sharpen it.
+///
+/// # Panics
+///
+/// Panics if `t <= 0` or `logits` is empty.
+///
+/// # Example
+///
+/// ```
+/// use maleva_nn::softmax;
+/// let p = softmax(&[2.0, 0.0], 1.0);
+/// assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+/// assert!(p[0] > p[1]);
+///
+/// // High temperature flattens:
+/// let p_hot = softmax(&[2.0, 0.0], 50.0);
+/// assert!(p_hot[0] - p_hot[1] < p[0] - p[1]);
+/// ```
+pub fn softmax(logits: &[f64], t: f64) -> Vec<f64> {
+    assert!(t > 0.0, "softmax temperature must be positive, got {t}");
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| ((z - max) / t).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Log-softmax of a logit vector at temperature `t`.
+///
+/// More accurate than `softmax(...).map(ln)` for extreme logits; used by
+/// the cross-entropy losses.
+///
+/// # Panics
+///
+/// Panics if `t <= 0` or `logits` is empty.
+pub fn log_softmax(logits: &[f64], t: f64) -> Vec<f64> {
+    assert!(t > 0.0, "softmax temperature must be positive, got {t}");
+    assert!(!logits.is_empty(), "log_softmax of empty logits");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let log_sum: f64 = logits
+        .iter()
+        .map(|&z| ((z - max) / t).exp())
+        .sum::<f64>()
+        .ln();
+    logits
+        .iter()
+        .map(|&z| (z - max) / t - log_sum)
+        .collect()
+}
+
+/// Applies [`softmax`] independently to every row of a logit matrix.
+///
+/// # Panics
+///
+/// Panics if `t <= 0` or the matrix has zero columns.
+pub fn softmax_rows(logits: &maleva_linalg::Matrix, t: f64) -> maleva_linalg::Matrix {
+    let rows: Vec<Vec<f64>> = logits.rows_iter().map(|r| softmax(r, t)).collect();
+    maleva_linalg::Matrix::from_rows(&rows).expect("softmax_rows preserves shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maleva_linalg::Matrix;
+
+    #[test]
+    fn sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0], 1.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let p = softmax(&[3.0, 1.0, 2.0], 1.0);
+        assert!(p[0] > p[2] && p[2] > p[1]);
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let p = softmax(&[5.0, 5.0, 5.0, 5.0], 1.0);
+        for v in p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn temperature_flattens() {
+        let cold = softmax(&[4.0, 0.0], 0.5);
+        let warm = softmax(&[4.0, 0.0], 1.0);
+        let hot = softmax(&[4.0, 0.0], 50.0);
+        assert!(cold[0] > warm[0]);
+        assert!(warm[0] > hot[0]);
+        assert!((hot[0] - 0.5).abs() < 0.05, "T=50 should be near-uniform");
+    }
+
+    #[test]
+    fn stable_for_huge_logits() {
+        let p = softmax(&[1000.0, 0.0], 1.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|v| v.is_finite()));
+        let p = softmax(&[-1000.0, -1000.0], 1.0);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let logits = [0.5, -1.5, 2.0];
+        let p = softmax(&logits, 2.0);
+        let lp = log_softmax(&logits, 2.0);
+        for (pi, lpi) in p.iter().zip(lp.iter()) {
+            assert!((pi.ln() - lpi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_softmax_stable_for_huge_logits() {
+        let lp = log_softmax(&[1000.0, 0.0], 1.0);
+        assert!(lp.iter().all(|v| v.is_finite()));
+        assert!(lp[0] > -1e-9 && lp[0] <= 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_applies_per_row() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![10.0, 0.0]]).unwrap();
+        let p = softmax_rows(&m, 1.0);
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!(p.get(1, 0) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_nonpositive_temperature() {
+        softmax(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_logits() {
+        softmax(&[], 1.0);
+    }
+}

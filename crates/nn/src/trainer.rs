@@ -1,0 +1,650 @@
+use maleva_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::optim::{Adam, Optimizer, Sgd};
+use crate::{init, loss, Network, NnError};
+
+/// Which optimizer the trainer instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Adam with the configured learning rate (the paper's choice).
+    Adam,
+    /// SGD with the configured learning rate and this momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f64,
+    },
+}
+
+/// Training hyperparameters.
+///
+/// Defaults mirror the paper's substitute-model recipe where practical:
+/// Adam, learning rate 0.001, batch size 256 (Section III-B; the paper's
+/// 1000 epochs are impractical on a laptop reproduction — configure
+/// `epochs` per experiment).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    epochs: usize,
+    batch_size: usize,
+    learning_rate: f64,
+    temperature: f64,
+    optimizer: OptimizerKind,
+    weight_decay: f64,
+    seed: u64,
+    early_stop_patience: Option<usize>,
+}
+
+impl TrainConfig {
+    /// Creates the default configuration (Adam, lr 0.001, batch 256,
+    /// 10 epochs, T = 1, no weight decay, seed 0).
+    pub fn new() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 256,
+            learning_rate: 0.001,
+            temperature: 1.0,
+            optimizer: OptimizerKind::Adam,
+            weight_decay: 0.0,
+            seed: 0,
+            early_stop_patience: None,
+        }
+    }
+
+    /// Sets the number of passes over the training data.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the optimizer learning rate.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the softmax temperature used in the training loss. Defensive
+    /// distillation trains teacher and student at T ≫ 1 (the paper uses
+    /// T = 50).
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Selects the optimizer.
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.optimizer = kind;
+        self
+    }
+
+    /// Sets L2 weight decay.
+    pub fn weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets the RNG seed governing shuffling and dropout.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables early stopping: training ends once the validation loss has
+    /// not improved by at least `1e-4` for `patience` consecutive epochs.
+    /// Requires a validation set to be passed to
+    /// [`Trainer::fit_labeled`]; without one the setting is ignored.
+    pub fn early_stop_patience(mut self, patience: usize) -> Self {
+        self.early_stop_patience = Some(patience);
+        self
+    }
+
+    /// The configured temperature.
+    pub fn temperature_value(&self) -> f64 {
+        self.temperature
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if self.epochs == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: "epochs must be positive".to_string(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(NnError::InvalidConfig {
+                detail: "batch size must be positive".to_string(),
+            });
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.temperature <= 0.0 {
+            return Err(NnError::InvalidConfig {
+                detail: format!("temperature must be positive, got {}", self.temperature),
+            });
+        }
+        if let OptimizerKind::Sgd { momentum } = self.optimizer {
+            if !(0.0..1.0).contains(&momentum) {
+                return Err(NnError::InvalidConfig {
+                    detail: format!("momentum must be in [0, 1), got {momentum}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Labels for one training run: hard class indices or soft probability
+/// rows (the distillation student trains on the teacher's soft labels).
+#[derive(Debug, Clone, Copy)]
+pub enum LabelSource<'a> {
+    /// One class index per sample.
+    Hard(&'a [usize]),
+    /// One probability row per sample (`n x num_classes`).
+    Soft(&'a Matrix),
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index, starting at 0.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Training accuracy over the epoch (argmax vs hard labels;
+    /// `None` when training on soft labels).
+    pub train_accuracy: Option<f64>,
+    /// Validation loss, if a validation set was supplied.
+    pub val_loss: Option<f64>,
+    /// Validation accuracy, if a validation set was supplied.
+    pub val_accuracy: Option<f64>,
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Statistics for each epoch in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// The final epoch's training loss.
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f64::NAN)
+    }
+
+    /// The final epoch's training accuracy, if tracked.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.epochs.last().and_then(|e| e.train_accuracy)
+    }
+}
+
+/// Seeded minibatch trainer for [`Network`].
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains on hard labels. Convenience for
+    /// [`Trainer::fit_labeled`] with [`LabelSource::Hard`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::fit_labeled`].
+    pub fn fit(
+        &self,
+        net: &mut Network,
+        x: &Matrix,
+        labels: &[usize],
+    ) -> Result<TrainReport, NnError> {
+        self.fit_labeled(net, x, LabelSource::Hard(labels), None)
+    }
+
+    /// Trains on soft labels (distillation).
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::fit_labeled`].
+    pub fn fit_soft(
+        &self,
+        net: &mut Network,
+        x: &Matrix,
+        soft: &Matrix,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_labeled(net, x, LabelSource::Soft(soft), None)
+    }
+
+    /// Trains with full control: hard or soft labels, plus an optional
+    /// hard-labelled validation set evaluated after every epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::InvalidConfig`] for degenerate hyperparameters.
+    /// * [`NnError::LabelMismatch`] if labels do not match the batch.
+    /// * [`NnError::InputShape`] if the feature width is wrong.
+    pub fn fit_labeled(
+        &self,
+        net: &mut Network,
+        x: &Matrix,
+        labels: LabelSource<'_>,
+        validation: Option<(&Matrix, &[usize])>,
+    ) -> Result<TrainReport, NnError> {
+        self.config.validate()?;
+        let n = x.rows();
+        if n == 0 {
+            return Err(NnError::LabelMismatch {
+                detail: "empty training set".to_string(),
+            });
+        }
+        match labels {
+            LabelSource::Hard(l) => {
+                if l.len() != n {
+                    return Err(NnError::LabelMismatch {
+                        detail: format!("{} labels for {} samples", l.len(), n),
+                    });
+                }
+                if let Some(&bad) = l.iter().find(|&&c| c >= net.num_classes()) {
+                    return Err(NnError::LabelMismatch {
+                        detail: format!(
+                            "label {bad} out of range for {} classes",
+                            net.num_classes()
+                        ),
+                    });
+                }
+            }
+            LabelSource::Soft(s) => {
+                if s.shape() != (n, net.num_classes()) {
+                    return Err(NnError::LabelMismatch {
+                        detail: format!(
+                            "soft labels are {:?}, expected ({n}, {})",
+                            s.shape(),
+                            net.num_classes()
+                        ),
+                    });
+                }
+            }
+        }
+
+        let mut rng = init::rng(self.config.seed);
+        let t = self.config.temperature;
+        let mut adam;
+        let mut sgd;
+        let opt: &mut dyn Optimizer = match self.config.optimizer {
+            OptimizerKind::Adam => {
+                adam = Adam::new(self.config.learning_rate)
+                    .with_weight_decay(self.config.weight_decay);
+                &mut adam
+            }
+            OptimizerKind::Sgd { momentum } => {
+                sgd = Sgd::new(self.config.learning_rate)
+                    .with_momentum(momentum)
+                    .with_weight_decay(self.config.weight_decay);
+                &mut sgd
+            }
+        };
+
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut report = TrainReport { epochs: Vec::new() };
+        let mut best_val_loss = f64::INFINITY;
+        let mut epochs_since_best = 0usize;
+
+        for epoch in 0..self.config.epochs {
+            shuffle(&mut indices, &mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            let mut correct = 0usize;
+
+            for chunk in indices.chunks(self.config.batch_size) {
+                let xb = x.select_rows(chunk);
+                let (logits, caches) = net.forward_train(&xb, &mut rng)?;
+                let (batch_loss, grad) = match labels {
+                    LabelSource::Hard(l) => {
+                        let lb: Vec<usize> = chunk.iter().map(|&i| l[i]).collect();
+                        let loss_val = loss::cross_entropy(&logits, &lb, t)?;
+                        let g = loss::cross_entropy_grad(&logits, &lb, t)?;
+                        let preds = logits.argmax_rows();
+                        correct += preds.iter().zip(lb.iter()).filter(|(p, y)| p == y).count();
+                        (loss_val, g)
+                    }
+                    LabelSource::Soft(s) => {
+                        let sb = s.select_rows(chunk);
+                        let loss_val = loss::soft_cross_entropy(&logits, &sb, t)?;
+                        let g = loss::soft_cross_entropy_grad(&logits, &sb, t)?;
+                        (loss_val, g)
+                    }
+                };
+                epoch_loss += batch_loss;
+                batches += 1;
+
+                let grads = net.backward(&caches, &grad)?;
+                opt.tick();
+                for (i, ((gw, gb), layer)) in grads
+                    .layers
+                    .iter()
+                    .zip(net.layers_mut().iter_mut())
+                    .enumerate()
+                {
+                    opt.step(2 * i, layer.weights_mut().as_mut_slice(), gw.as_slice());
+                    opt.step(2 * i + 1, layer.bias_mut(), gb);
+                }
+            }
+
+            let train_accuracy = match labels {
+                LabelSource::Hard(_) => Some(correct as f64 / n as f64),
+                LabelSource::Soft(_) => None,
+            };
+            let (val_loss, val_accuracy) = match validation {
+                Some((vx, vy)) => {
+                    let logits = net.logits(vx)?;
+                    (
+                        Some(loss::cross_entropy(&logits, vy, t)?),
+                        Some(loss::accuracy(&logits, vy)?),
+                    )
+                }
+                None => (None, None),
+            };
+            report.epochs.push(EpochStats {
+                epoch,
+                train_loss: epoch_loss / batches.max(1) as f64,
+                train_accuracy,
+                val_loss,
+                val_accuracy,
+            });
+            if let (Some(patience), Some(vl)) = (self.config.early_stop_patience, val_loss) {
+                // Improvements smaller than min_delta do not reset the
+                // counter — cross-entropy keeps creeping down forever on
+                // separable data, which is exactly when stopping should
+                // fire.
+                const MIN_DELTA: f64 = 1e-4;
+                if vl + MIN_DELTA < best_val_loss {
+                    best_val_loss = vl;
+                    epochs_since_best = 0;
+                } else {
+                    epochs_since_best += 1;
+                    if epochs_since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Fisher–Yates shuffle with the crate's deterministic RNG.
+fn shuffle(indices: &mut [usize], rng: &mut impl rand::Rng) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, NetworkBuilder};
+
+    fn blob_data(n_per_class: usize) -> (Matrix, Vec<usize>) {
+        // Two well-separated Gaussian-ish blobs on a 4-D grid (deterministic).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            let jitter = (i % 7) as f64 * 0.02;
+            rows.push(vec![0.1 + jitter, 0.2, 0.1, 0.15 + jitter]);
+            labels.push(0);
+            rows.push(vec![0.9 - jitter, 0.8, 0.85, 0.9 - jitter]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn small_net(seed: u64) -> Network {
+        NetworkBuilder::new(4)
+            .layer(8, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let (x, y) = blob_data(32);
+        let mut net = small_net(1);
+        let report = Trainer::new(
+            TrainConfig::new()
+                .epochs(30)
+                .batch_size(16)
+                .learning_rate(0.01),
+        )
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        assert!(report.epochs.len() == 30);
+        assert!(report.final_loss() < report.epochs[0].train_loss);
+        assert!(report.final_accuracy().unwrap() > 0.95);
+    }
+
+    #[test]
+    fn sgd_also_trains() {
+        let (x, y) = blob_data(32);
+        let mut net = small_net(2);
+        let report = Trainer::new(
+            TrainConfig::new()
+                .epochs(50)
+                .batch_size(16)
+                .learning_rate(0.1)
+                .optimizer(OptimizerKind::Sgd { momentum: 0.9 }),
+        )
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        assert!(report.final_accuracy().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (x, y) = blob_data(16);
+        let cfg = TrainConfig::new().epochs(5).batch_size(8).seed(99);
+        let mut a = small_net(7);
+        let mut b = small_net(7);
+        let ra = Trainer::new(cfg.clone()).fit(&mut a, &x, &y).unwrap();
+        let rb = Trainer::new(cfg).fit(&mut b, &x, &y).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.logits(&x).unwrap(), b.logits(&x).unwrap());
+    }
+
+    #[test]
+    fn validation_stats_are_reported() {
+        let (x, y) = blob_data(16);
+        let (vx, vy) = blob_data(4);
+        let mut net = small_net(3);
+        let report = Trainer::new(TrainConfig::new().epochs(3).batch_size(8))
+            .fit_labeled(&mut net, &x, LabelSource::Hard(&y), Some((&vx, &vy)))
+            .unwrap();
+        for e in &report.epochs {
+            assert!(e.val_loss.is_some());
+            assert!(e.val_accuracy.is_some());
+        }
+    }
+
+    #[test]
+    fn soft_label_training_matches_teacher_distribution() {
+        let (x, y) = blob_data(32);
+        // Teacher: train normally.
+        let mut teacher = small_net(4);
+        Trainer::new(TrainConfig::new().epochs(30).batch_size(16).learning_rate(0.01))
+            .fit(&mut teacher, &x, &y)
+            .unwrap();
+        let soft = teacher.predict_proba(&x).unwrap();
+        // Student: train on teacher's soft labels only.
+        let mut student = small_net(5);
+        let report = Trainer::new(
+            TrainConfig::new().epochs(30).batch_size(16).learning_rate(0.01),
+        )
+        .fit_soft(&mut student, &x, &soft)
+        .unwrap();
+        assert!(report.epochs.iter().all(|e| e.train_accuracy.is_none()));
+        // The student should agree with the teacher on most samples.
+        let tp = teacher.predict(&x).unwrap();
+        let sp = student.predict(&x).unwrap();
+        let agree = tp.iter().zip(sp.iter()).filter(|(a, b)| a == b).count();
+        assert!(agree as f64 / tp.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn dropout_training_still_converges() {
+        let (x, y) = blob_data(32);
+        let mut net = NetworkBuilder::new(4)
+            .layer(16, Activation::ReLU)
+            .dropout(0.3)
+            .layer(2, Activation::Identity)
+            .seed(6)
+            .build()
+            .unwrap();
+        let report = Trainer::new(
+            TrainConfig::new().epochs(40).batch_size(16).learning_rate(0.01),
+        )
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        assert!(report.final_accuracy().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (x, y) = blob_data(4);
+        let mut net = small_net(0);
+        for cfg in [
+            TrainConfig::new().epochs(0),
+            TrainConfig::new().batch_size(0),
+            TrainConfig::new().learning_rate(0.0),
+            TrainConfig::new().temperature(0.0),
+            TrainConfig::new().optimizer(OptimizerKind::Sgd { momentum: 1.5 }),
+        ] {
+            assert!(Trainer::new(cfg).fit(&mut net, &x, &y).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_label_mismatches() {
+        let (x, _) = blob_data(4);
+        let mut net = small_net(0);
+        let trainer = Trainer::new(TrainConfig::new().epochs(1));
+        assert!(trainer.fit(&mut net, &x, &[0, 1]).is_err()); // too few
+        let bad: Vec<usize> = vec![5; x.rows()]; // out of range
+        assert!(trainer.fit(&mut net, &x, &bad).is_err());
+        let soft = Matrix::zeros(3, 2); // wrong rows
+        assert!(trainer.fit_soft(&mut net, &x, &soft).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let mut net = small_net(0);
+        let x = Matrix::zeros(0, 4);
+        assert!(Trainer::new(TrainConfig::new()).fit(&mut net, &x, &[]).is_err());
+    }
+
+    #[test]
+    fn high_temperature_training_converges() {
+        // Distillation-style: train at T = 50 like the paper.
+        let (x, y) = blob_data(32);
+        let mut net = small_net(8);
+        let report = Trainer::new(
+            TrainConfig::new()
+                .epochs(60)
+                .batch_size(16)
+                .learning_rate(0.05)
+                .temperature(50.0),
+        )
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        assert!(report.final_accuracy().unwrap() > 0.9);
+    }
+}
+
+#[cfg(test)]
+mod early_stop_tests {
+    use super::*;
+    use crate::{Activation, NetworkBuilder};
+    use maleva_linalg::Matrix;
+
+    fn blobs(n: usize) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let j = (i % 7) as f64 * 0.02;
+            rows.push(vec![0.1 + j, 0.2, 0.1, 0.15]);
+            labels.push(0);
+            rows.push(vec![0.9 - j, 0.8, 0.85, 0.9]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn early_stopping_cuts_training_short() {
+        let (x, y) = blobs(24);
+        let (vx, vy) = blobs(6);
+        let mut net = NetworkBuilder::new(4)
+            .layer(8, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(5)
+            .build()
+            .unwrap();
+        // This problem converges in a handful of epochs; with patience 3
+        // the 200-epoch budget must not be exhausted.
+        let report = Trainer::new(
+            TrainConfig::new()
+                .epochs(200)
+                .batch_size(16)
+                .learning_rate(0.05)
+                .early_stop_patience(3),
+        )
+        .fit_labeled(&mut net, &x, LabelSource::Hard(&y), Some((&vx, &vy)))
+        .unwrap();
+        assert!(
+            report.epochs.len() < 200,
+            "early stopping never fired ({} epochs)",
+            report.epochs.len()
+        );
+        assert!(report.final_accuracy().unwrap() > 0.95);
+    }
+
+    #[test]
+    fn early_stopping_without_validation_is_ignored() {
+        let (x, y) = blobs(8);
+        let mut net = NetworkBuilder::new(4)
+            .layer(4, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(6)
+            .build()
+            .unwrap();
+        let report = Trainer::new(
+            TrainConfig::new()
+                .epochs(7)
+                .batch_size(8)
+                .early_stop_patience(1),
+        )
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        assert_eq!(report.epochs.len(), 7, "no validation set: run all epochs");
+    }
+}

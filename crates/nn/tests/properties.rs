@@ -1,0 +1,144 @@
+//! Property-based tests for the neural-network substrate: gradient
+//! correctness over random architectures, softmax laws, and training
+//! determinism.
+
+use maleva_linalg::Matrix;
+use maleva_nn::{
+    loss, softmax, Activation, Network, NetworkBuilder, TrainConfig, Trainer,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random small architecture (input dim, hidden widths,
+/// activation) plus a weight seed.
+fn arch() -> impl Strategy<Value = (usize, Vec<usize>, Activation, u64)> {
+    (
+        2usize..6,
+        prop::collection::vec(2usize..8, 1..3),
+        prop::sample::select(vec![
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ]),
+        0u64..1_000,
+    )
+}
+
+fn build(input: usize, hidden: &[usize], act: Activation, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new(input);
+    for &h in hidden {
+        b = b.layer(h, act);
+    }
+    b.layer(2, Activation::Identity).seed(seed).build().expect("net")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn input_jacobian_matches_finite_differences((input, hidden, act, seed) in arch(),
+                                                 raw in prop::collection::vec(-1.0f64..1.0, 8)) {
+        let net = build(input, &hidden, act, seed);
+        let sample: Vec<f64> = raw.into_iter().take(input).collect();
+        prop_assume!(sample.len() == input);
+        let jac = net.input_jacobian(&sample).expect("jacobian");
+        let eps = 1e-6;
+        for j in 0..input {
+            let mut plus = sample.clone();
+            plus[j] += eps;
+            let mut minus = sample.clone();
+            minus[j] -= eps;
+            let zp = net.logits(&Matrix::row_vector(&plus)).expect("logits");
+            let zm = net.logits(&Matrix::row_vector(&minus)).expect("logits");
+            for c in 0..2 {
+                let numeric = (zp.get(0, c) - zm.get(0, c)) / (2.0 * eps);
+                // ReLU kinks can make individual checks off; allow a loose
+                // tolerance plus an absolute floor.
+                prop_assert!(
+                    (numeric - jac.get(c, j)).abs() < 1e-4 + 1e-3 * numeric.abs(),
+                    "J({c},{j}) numeric {numeric} vs analytic {}",
+                    jac.get(c, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(logits in prop::collection::vec(-20.0f64..20.0, 2..8),
+                                  shift in -50.0f64..50.0,
+                                  t in 0.5f64..10.0) {
+        let shifted: Vec<f64> = logits.iter().map(|z| z + shift).collect();
+        let a = softmax(&logits, t);
+        let b = softmax(&shifted, t);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_stays_positive(logits in prop::collection::vec(-100.0f64..100.0, 1..10),
+                                              t in 0.1f64..100.0) {
+        let p = softmax(&logits, t);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(seed in 0u64..500) {
+        let net = build(3, &[4], Activation::ReLU, seed);
+        let x = Matrix::from_fn(6, 3, |i, j| ((i * 5 + j * 3 + seed as usize) % 9) as f64 * 0.1);
+        let logits = net.logits(&x).expect("logits");
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let l = loss::cross_entropy(&logits, &labels, 1.0).expect("loss");
+        prop_assert!(l >= 0.0);
+    }
+
+    #[test]
+    fn loss_gradient_is_zero_at_soft_target(seed in 0u64..200) {
+        // When the soft target equals the model's own softmax output, the
+        // gradient of soft cross-entropy w.r.t. logits vanishes.
+        let net = build(3, &[4], Activation::Tanh, seed);
+        let x = Matrix::from_fn(4, 3, |i, j| ((i + 2 * j + seed as usize) % 7) as f64 * 0.1);
+        let logits = net.logits(&x).expect("logits");
+        let soft = maleva_nn::softmax_rows(&logits, 1.0);
+        let grad = loss::soft_cross_entropy_grad(&logits, &soft, 1.0).expect("grad");
+        prop_assert!(grad.iter().all(|g| g.abs() < 1e-12));
+    }
+
+    #[test]
+    fn training_is_deterministic_for_any_seed(data_seed in 0u64..100, train_seed in 0u64..100) {
+        let x = Matrix::from_fn(16, 4, |i, j| ((i * 7 + j * 13 + data_seed as usize) % 10) as f64 * 0.1);
+        let y: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let run = || {
+            let mut net = build(4, &[6], Activation::ReLU, 3);
+            Trainer::new(
+                TrainConfig::new().epochs(3).batch_size(8).seed(train_seed),
+            )
+            .fit(&mut net, &x, &y)
+            .expect("fit");
+            net.logits(&x).expect("logits")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact(seed in 0u64..300) {
+        let net = build(4, &[5, 3], Activation::Sigmoid, seed);
+        let restored = Network::from_json(&net.to_json().expect("ser")).expect("de");
+        let x = Matrix::from_fn(3, 4, |i, j| (i as f64 - j as f64) * 0.25);
+        prop_assert_eq!(
+            net.logits(&x).expect("a"),
+            restored.logits(&x).expect("b")
+        );
+    }
+
+    #[test]
+    fn probability_jacobian_columns_sum_to_zero((input, hidden, act, seed) in arch()) {
+        let net = build(input, &hidden, act, seed);
+        let sample: Vec<f64> = (0..input).map(|i| (i as f64 * 0.3).sin() * 0.5).collect();
+        let jac = net.probability_jacobian(&sample, 1.0).expect("jacobian");
+        for j in 0..input {
+            let col: f64 = (0..2).map(|c| jac.get(c, j)).sum();
+            prop_assert!(col.abs() < 1e-10, "column {j} sums to {col}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The Table VI defense comparison: No Defense, adversarial training,
+//! defensive distillation, feature squeezing, PCA dimensionality
+//! reduction, and the paper-suggested adversarial-training + PCA
+//! ensemble — all evaluated on clean / malware / adversarial slices.
+//!
+//! ```text
+//! cargo run --release --example defense_comparison
+//! ```
+
+use maleva_core::{defenses, greybox, ExperimentContext, ExperimentScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 17)?;
+    let substitute = greybox::train_substitute(&ctx, 17)?;
+
+    // Craft grey-box advex for the defenses at a strength that actually
+    // evades the tiny-scale detector, then fit and evaluate every defense.
+    let config = defenses::DefenseConfig {
+        theta: 0.5,
+        gamma: 0.1,
+        distill_temperature: 50.0,
+        pca_k: 10,
+        squeeze_fpr: 0.05,
+        advex_train_fraction: 0.5,
+        high_confidence: true,
+    };
+    println!("fitting five defenses + ensemble (this trains six models) ...\n");
+    let cmp = defenses::compare_defenses(&ctx, &substitute, &config)?;
+
+    println!("Table V — adversarial-training data:\n{}", cmp.render_table_v());
+    println!("Table VI — defense testing results:\n{}", cmp.render_table_vi());
+    println!(
+        "paper reference: AdvTraining raises advex TPR 0.304 -> 0.931 while keeping clean \
+         TNR; DimReduct detects advex well but clean TNR drops to 0.674."
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Grey-box transfer attack: the attacker knows the 491 API features but
+//! not the target model or its training data. They train the paper's
+//! Table IV substitute on their own corpus, craft adversarial examples
+//! against it, and deploy them to the target (paper Section III-B).
+//!
+//! ```text
+//! cargo run --release --example greybox_transfer
+//! ```
+
+use maleva_attack::sweep::SweepAxis;
+use maleva_core::{greybox, ExperimentContext, ExperimentScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 11)?;
+    println!("training the Table IV substitute on the attacker's own corpus ...");
+    let substitute = greybox::train_substitute(&ctx, 99)?;
+
+    // Experiment 1: exact features. Sweep attack strength; score both the
+    // substitute (white-box view) and the target (transfer view).
+    let axis = SweepAxis::Gamma {
+        theta: 0.3,
+        values: vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
+    };
+    let curve = greybox::transfer_curve(&ctx, &substitute, 40, axis)?;
+    println!("\nexact-features transfer (Figure 4a shape):\n{}", curve.render());
+
+    let report = greybox::operating_point(&ctx, &substitute, 40, 0.3, 0.1)?;
+    println!(
+        "operating point theta 0.3 / gamma 0.1: substitute detection {:.3}, \
+         target detection {:.3}, transfer rate {:.3}",
+        report.substitute_detection, report.target_detection, report.transfer_rate
+    );
+
+    // Experiment 2: the attacker only knows the API *names*, not the
+    // count transformation — their substitute uses binary features, and
+    // adversarial programs are rebuilt by inserting real API calls.
+    let binary = greybox::binary_feature_experiment(&ctx, 99, 40, &[0.0, 0.05, 0.1])?;
+    println!("\nbinary-features attack (Figure 4c shape):\n{}", binary.curve.render());
+    println!(
+        "final target detection {:.3} — the attack largely fails without feature knowledge \
+         (paper: 0.6951)",
+        binary.final_target_detection
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build the world, train the detector, scan programs, and
+//! evade the detector with JSMA — in under a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use maleva_attack::{detection_rate, EvasionAttack, Jsma};
+use maleva_core::{ExperimentContext, ExperimentScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build everything: synthetic corpus (Table I shape), fitted
+    //    feature pipeline (491 API-count features), trained target DNN.
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 7)?;
+    let (tpr, tnr) = ctx.baseline_rates()?;
+    println!("detector trained: malware TPR {tpr:.3}, clean TNR {tnr:.3}");
+
+    // 2. Scan one program end-to-end through its sandbox log.
+    let program = &ctx.dataset.test()[0];
+    let confidence = ctx.detector.scan(program)?;
+    println!(
+        "sample #{:>3} ({}, {} API calls): malware confidence {:.2}%",
+        0,
+        program.family(),
+        program.total_calls(),
+        confidence * 100.0
+    );
+
+    // 3. White-box JSMA: add-only perturbations, theta = 0.3 per feature,
+    //    at most 5% of the 491 features.
+    let malware = ctx.attack_batch();
+    let before = detection_rate(ctx.target(), &malware)?;
+    let jsma = Jsma::new(0.3, 0.05);
+    let (adversarial, outcomes) = jsma.craft_batch(ctx.target(), &malware)?;
+    let after = detection_rate(ctx.target(), &adversarial)?;
+    let evaded = outcomes.iter().filter(|o| o.evaded).count();
+    println!(
+        "JSMA (theta 0.3, gamma 0.05): detection {before:.3} -> {after:.3}, {evaded}/{} evaded",
+        outcomes.len()
+    );
+
+    // 4. Inspect one adversarial example: which API calls were added?
+    if let Some(outcome) = outcomes.iter().find(|o| o.evaded) {
+        let names: Vec<&str> = outcome
+            .perturbed_features
+            .iter()
+            .filter_map(|&i| ctx.world.vocab().name(i))
+            .collect();
+        println!(
+            "one evasion added {} API calls: {names:?} (L2 = {:.3})",
+            names.len(),
+            outcome.l2_distance
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the Table V / Table VI defense comparison.
+
+use std::sync::OnceLock;
+
+use maleva_core::{defenses, greybox, ExperimentContext, ExperimentScale};
+use maleva_nn::Network;
+
+fn setup() -> &'static (ExperimentContext, Network, defenses::DefenseComparison) {
+    static STATE: OnceLock<(ExperimentContext, Network, defenses::DefenseComparison)> =
+        OnceLock::new();
+    STATE.get_or_init(|| {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 2024).expect("context");
+        let substitute = greybox::train_substitute(&ctx, 2024).expect("substitute");
+        let config = defenses::DefenseConfig {
+            theta: 0.5,
+            gamma: 0.1,
+            distill_temperature: 50.0,
+            pca_k: 10,
+            squeeze_fpr: 0.05,
+            advex_train_fraction: 0.5,
+            high_confidence: true,
+        };
+        let cmp = defenses::compare_defenses(&ctx, &substitute, &config).expect("defenses");
+        (ctx, substitute, cmp)
+    })
+}
+
+#[test]
+fn comparison_covers_all_defenses_and_slices() {
+    let (_, _, cmp) = setup();
+    let defenses = [
+        "No Defense",
+        "AdvTraining",
+        "Distillation",
+        "FeaSqueezing",
+        "DimReduct",
+        "AdvTrain+DimReduct",
+    ];
+    for d in defenses {
+        for slice in ["Clean Test", "Malware Test", "AdvExamples"] {
+            let row = cmp.row(d, slice);
+            assert!(row.is_some(), "missing ({d}, {slice})");
+            let row = row.unwrap();
+            assert!(
+                row.tpr.is_some() || row.tnr.is_some(),
+                "({d}, {slice}) has neither rate"
+            );
+        }
+    }
+    assert_eq!(cmp.rows.len(), defenses.len() * 3);
+}
+
+#[test]
+fn attack_succeeds_against_the_undefended_model() {
+    // Table VI's premise: No Defense advex TPR is far below malware TPR
+    // (paper: 0.304 vs 0.883).
+    let (_, _, cmp) = setup();
+    let mal = cmp.row("No Defense", "Malware Test").unwrap().tpr.unwrap();
+    let adv = cmp.row("No Defense", "AdvExamples").unwrap().tpr.unwrap();
+    assert!(
+        adv < mal - 0.2,
+        "advex must evade the undefended model: malware {mal} vs advex {adv}"
+    );
+}
+
+#[test]
+fn adversarial_training_restores_advex_detection() {
+    // The paper's headline defense result: 0.304 -> 0.931 with clean TNR
+    // preserved.
+    let (_, _, cmp) = setup();
+    let base = cmp.row("No Defense", "AdvExamples").unwrap().tpr.unwrap();
+    let defended = cmp.row("AdvTraining", "AdvExamples").unwrap().tpr.unwrap();
+    assert!(
+        defended > base + 0.2,
+        "adversarial training must improve advex TPR: {base} -> {defended}"
+    );
+    let clean = cmp.row("AdvTraining", "Clean Test").unwrap().tnr.unwrap();
+    assert!(clean > 0.75, "clean TNR must be preserved: {clean}");
+    let mal = cmp.row("AdvTraining", "Malware Test").unwrap().tpr.unwrap();
+    assert!(mal > 0.75, "malware TPR must be preserved: {mal}");
+}
+
+#[test]
+fn all_reported_rates_are_valid_probabilities() {
+    let (_, _, cmp) = setup();
+    for row in &cmp.rows {
+        for rate in [row.tpr, row.tnr].into_iter().flatten() {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "rate out of range in {row:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_v_accounts_for_every_sample() {
+    let (ctx, _, cmp) = setup();
+    let s = &cmp.advtrain_summary;
+    // Everything trained on = original training set + advex-train minus
+    // removed duplicates.
+    assert_eq!(
+        s.total() + s.duplicates_removed,
+        ctx.x_train.rows() + cmp.advex_train
+    );
+    assert!(cmp.advex_eval > 0);
+    let rendered = cmp.render_table_v();
+    assert!(rendered.contains("Training Set"));
+}
+
+#[test]
+fn table_vi_renders_every_defense_block() {
+    let (_, _, cmp) = setup();
+    let text = cmp.render_table_vi();
+    for d in [
+        "No Defense",
+        "AdvTraining",
+        "Distillation",
+        "FeaSqueezing",
+        "DimReduct",
+    ] {
+        assert!(text.contains(d), "missing {d} in rendered table:\n{text}");
+    }
+    assert!(text.contains("nan"), "undefined rates print as nan");
+}
+
+#[test]
+fn squeezer_detects_advex_above_its_false_alarm_rate() {
+    let (_, _, cmp) = setup();
+    let clean_tnr = cmp.row("FeaSqueezing", "Clean Test").unwrap().tnr.unwrap();
+    let adv_tpr = cmp.row("FeaSqueezing", "AdvExamples").unwrap().tpr.unwrap();
+    // Detection of advex must exceed the false-alarm rate on clean
+    // (otherwise the detector carries no signal).
+    let false_alarm = 1.0 - clean_tnr;
+    assert!(
+        adv_tpr > false_alarm,
+        "squeezer signal-free: advex {adv_tpr} vs false alarms {false_alarm}"
+    );
+}

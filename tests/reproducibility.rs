@@ -1,0 +1,92 @@
+//! Reproducibility guarantees: every experiment is a pure function of
+//! `(scale, seed)`, and trained models survive serialization.
+
+use maleva_attack::{EvasionAttack, Jsma};
+use maleva_core::{greybox, whitebox, ExperimentContext, ExperimentScale};
+use maleva_nn::Network;
+
+#[test]
+fn contexts_are_bit_identical_for_equal_seeds() {
+    let a = ExperimentContext::build(ExperimentScale::tiny(), 5).expect("a");
+    let b = ExperimentContext::build(ExperimentScale::tiny(), 5).expect("b");
+    assert_eq!(a.x_train, b.x_train);
+    assert_eq!(a.y_train, b.y_train);
+    assert_eq!(a.x_test, b.x_test);
+    assert_eq!(
+        a.target().logits(&a.x_test).expect("logits"),
+        b.target().logits(&b.x_test).expect("logits"),
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_worlds_and_models() {
+    let a = ExperimentContext::build(ExperimentScale::tiny(), 5).expect("a");
+    let b = ExperimentContext::build(ExperimentScale::tiny(), 6).expect("b");
+    assert_ne!(a.x_train, b.x_train);
+    // Different weights too: same input, different logits.
+    let x = a.attack_batch();
+    assert_ne!(
+        a.target().logits(&x).expect("logits"),
+        b.target().logits(&x).expect("logits"),
+    );
+}
+
+#[test]
+fn attack_outcomes_are_deterministic() {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 7).expect("ctx");
+    let batch = ctx.attack_batch();
+    let jsma = Jsma::new(0.3, 0.05);
+    let (adv1, o1) = jsma.craft_batch(ctx.target(), &batch).expect("craft");
+    let (adv2, o2) = jsma.craft_batch(ctx.target(), &batch).expect("craft");
+    assert_eq!(adv1, adv2);
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn curves_are_deterministic() {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 8).expect("ctx");
+    let c1 = whitebox::gamma_curve(&ctx, 20).expect("c1");
+    let c2 = whitebox::gamma_curve(&ctx, 20).expect("c2");
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn substitute_training_is_deterministic() {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 9).expect("ctx");
+    let s1 = greybox::train_substitute(&ctx, 42).expect("s1");
+    let s2 = greybox::train_substitute(&ctx, 42).expect("s2");
+    let x = ctx.attack_batch();
+    assert_eq!(s1.logits(&x).expect("l1"), s2.logits(&x).expect("l2"));
+    // And a different attacker seed gives a different substitute.
+    let s3 = greybox::train_substitute(&ctx, 43).expect("s3");
+    assert_ne!(s1.logits(&x).expect("l1"), s3.logits(&x).expect("l3"));
+}
+
+#[test]
+fn trained_target_round_trips_through_json() {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 10).expect("ctx");
+    let json = ctx.target().to_json().expect("serialize");
+    let restored = Network::from_json(&json).expect("deserialize");
+    let x = ctx.attack_batch();
+    assert_eq!(
+        ctx.target().logits(&x).expect("orig"),
+        restored.logits(&x).expect("restored"),
+    );
+    // The restored model is attackable identically.
+    let jsma = Jsma::new(0.3, 0.04);
+    let (a1, _) = jsma.craft_batch(ctx.target(), &x).expect("craft");
+    let (a2, _) = jsma.craft_batch(&restored, &x).expect("craft");
+    assert_eq!(a1, a2);
+}
+
+#[test]
+fn log_rendering_is_stable_across_calls() {
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 11).expect("ctx");
+    let prog = &ctx.dataset.test()[3];
+    let v = ctx.world.vocab();
+    assert_eq!(prog.render_log(v), prog.render_log(v));
+    // Scanning is idempotent (no hidden state in the pipeline).
+    let c1 = ctx.detector.scan(prog).expect("scan");
+    let c2 = ctx.detector.scan(prog).expect("scan");
+    assert_eq!(c1, c2);
+}

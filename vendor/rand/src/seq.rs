@@ -1,0 +1,55 @@
+//! Sequence helpers, mirroring the bits of `rand::seq` maleva uses.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices: random choice and in-place shuffling.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1, 2, 3, 4];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut w = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        w.shuffle(&mut rng);
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline vendored subset of `rand_distr`.
+//!
+//! Provides the distributions maleva's API-call simulator draws from:
+//! [`Normal`], [`LogNormal`] (log-normal API-count intensities), and
+//! [`Poisson`] (per-API call counts). Sampling algorithms are textbook
+//! (Box–Muller, inversion/Knuth) rather than upstream's ziggurat tables,
+//! so streams differ from upstream but are deterministic per seed.
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform draw in `[0, 1)` that works through unsized `R`.
+fn u01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws a standard normal via Box–Muller (two uniforms per value; no
+/// cached spare, so sampling stays stateless and checkpoint-friendly).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1 = u01(rng);
+        if u1 > 0.0 {
+            let u2 = u01(rng);
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(std_dev >= 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+            return Err(Error {
+                what: "Normal requires finite mean and std_dev >= 0",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma).map_err(|_| Error {
+                what: "LogNormal requires finite mu and sigma >= 0",
+            })?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// The Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Errors unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(Error {
+                what: "Poisson requires finite lambda > 0",
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let threshold = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= u01(rng);
+                if p <= threshold {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the simulator's burst intensities and avoids O(lambda) loops.
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4000;
+        let mut sum_log = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0);
+            sum_log += x.ln();
+        }
+        assert!((sum_log / n as f64).abs() < 0.05, "log-mean should be ~0");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        for lambda in [0.5, 4.0, 60.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+}

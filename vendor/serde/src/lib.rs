@@ -1,0 +1,554 @@
+//! Offline vendored `serde` stand-in.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! workspace vendors the subset of serde's surface maleva uses. Instead of
+//! upstream's visitor-based zero-copy data model, everything funnels
+//! through a concrete [`Content`] tree (the same trick serde itself uses
+//! internally for untagged enums):
+//!
+//! * [`Serialize`] renders a value *to* a [`Content`] tree;
+//! * [`Deserializer`] is anything that can produce a [`Content`] tree;
+//! * [`Deserialize`] builds a value *from* a [`Deserializer`].
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the vendored
+//! `serde_derive` proc macro and supports plain structs (with
+//! `#[serde(skip)]` / `#[serde(default)]` fields) and enums with unit,
+//! tuple, and struct variants in serde's externally-tagged layout.
+//! Manual impls written against real serde's `Deserializer<'de>` +
+//! `D::Error` idiom keep working because those names and bounds exist here
+//! with compatible shapes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::de::Error as _;
+
+/// A self-describing value tree: the data model every (de)serializer in
+/// this vendored stack speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / a missing optional.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization support types, mirroring `serde::de`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The error trait every [`crate::Deserializer`] error must implement.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Serialization support types, mirroring `serde::ser`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The error trait serializer errors implement.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A value that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A source of one [`Content`] tree (what upstream serde calls a
+/// `Deserializer`). The lifetime mirrors upstream's signature so manual
+/// impls port over unchanged.
+pub trait Deserializer<'de> {
+    /// Error type produced when the underlying input is malformed.
+    type Error: de::Error;
+
+    /// Consumes the deserializer, yielding its [`Content`] tree.
+    fn content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be rebuilt from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error if the input does not describe a
+    /// valid `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserialization alias used by generic bounds like
+/// `T: DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A [`Deserializer`] over an in-memory [`Content`] tree with a caller-
+/// chosen error type. Derive-generated code uses this to recurse into
+/// fields and sequence elements.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Support helpers for derive-generated and vendored-crate code. Not part
+/// of the public API contract (mirrors `serde::__private`).
+pub mod __private {
+    use super::*;
+
+    /// Deserializes a `T` out of a content tree with error type `E`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `T`'s deserialization error.
+    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(
+        content: Content,
+    ) -> Result<T, E> {
+        T::deserialize(ContentDeserializer::<E>::new(content))
+    }
+
+    /// Removes field `name` from a map's entries and deserializes it.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the field is missing or malformed.
+    pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+        entries: &mut Vec<(String, Content)>,
+        name: &str,
+    ) -> Result<T, E> {
+        match entries.iter().position(|(k, _)| k == name) {
+            Some(i) => from_content(entries.remove(i).1),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Like [`take_field`] but falls back to `Default` when absent
+    /// (`#[serde(default)]` / `Option` fields).
+    ///
+    /// # Errors
+    ///
+    /// Errors only if the field is present but malformed.
+    pub fn take_field_or_default<'de, T: Deserialize<'de> + Default, E: de::Error>(
+        entries: &mut Vec<(String, Content)>,
+        name: &str,
+    ) -> Result<T, E> {
+        match entries.iter().position(|(k, _)| k == name) {
+            Some(i) => from_content(entries.remove(i).1),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident),+)),*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                let ($($name,)+) = self;
+                Content::Seq(vec![$($name.to_content()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// A map key: anything that renders to / parses from a map-key string.
+pub trait MapKey: Sized {
+    /// Renders the key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back; `None` on malformed input.
+    fn from_key(key: &str) -> Option<Self>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Option<Self> {
+        Some(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_num {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Option<Self> { key.parse().ok() }
+        }
+    )*};
+}
+impl_map_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: sort entries by rendered key so serialized
+        // checkpoints are byte-stable across runs.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn type_error<E: de::Error>(expected: &str, got: &Content) -> E {
+    let kind = match got {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::U64(_) | Content::I64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    };
+    E::custom(format!("expected {expected}, found {kind}"))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    other => Err(type_error(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v: i64 = match d.content()? {
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range")))?,
+                    Content::I64(v) => v,
+                    other => return Err(type_error(stringify!($t), &other)),
+                };
+                <$t>::try_from(v).map_err(|_| de::Error::custom(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(type_error("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Null => Ok(None),
+            other => __private::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| __private::from_content(item))
+                .collect(),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected array of {N}, found {len}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal, $($name:ident : $idx:tt),+)),*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            __private::from_content::<$name, __D::Error>(
+                                it.next().expect("length checked"),
+                            )?
+                        },)+))
+                    }
+                    Content::Seq(items) => Err(__D::Error::custom(format!(
+                        "expected tuple of {}, found sequence of {}", $len, items.len()
+                    ))),
+                    other => Err(type_error("tuple sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple!(
+    (1, A: 0),
+    (2, A: 0, B: 1),
+    (3, A: 0, B: 1, C: 2),
+    (4, A: 0, B: 1, C: 2, D: 3),
+    (5, A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+impl<'de, K: MapKey + Eq + Hash, V: Deserialize<'de>, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k)
+                        .ok_or_else(|| D::Error::custom(format!("bad map key `{k}`")))?;
+                    Ok((key, __private::from_content(v)?))
+                })
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k)
+                        .ok_or_else(|| D::Error::custom(format!("bad map key `{k}`")))?;
+                    Ok((key, __private::from_content(v)?))
+                })
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Null => write!(f, "null"),
+            Content::Bool(b) => write!(f, "{b}"),
+            Content::U64(v) => write!(f, "{v}"),
+            Content::I64(v) => write!(f, "{v}"),
+            Content::F64(v) => write!(f, "{v}"),
+            Content::Str(s) => write!(f, "{s:?}"),
+            Content::Seq(items) => write!(f, "[{} items]", items.len()),
+            Content::Map(entries) => write!(f, "{{{} fields}}", entries.len()),
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! No syn/quote in this container, so parsing walks the raw
+//! [`proc_macro::TokenStream`] directly and code generation renders Rust
+//! source as strings. Supported shapes — the ones the maleva workspace
+//! actually derives on:
+//!
+//! * structs with named fields (incl. `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(rename = "...")]`);
+//! * tuple structs (newtype structs serialize transparently, like serde);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics and unrecognized `#[serde(...)]` options produce a
+//! `compile_error!` instead of silently wrong data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    source
+        .parse()
+        .unwrap_or_else(|e| format!("compile_error!(\"serde_derive codegen: {e}\");").parse().unwrap())
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    ident: String,
+    /// Name used in the serialized map (after `rename`).
+    key: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Lifetime-only generics like `<'a>`, rendered verbatim; type
+    /// generics are rejected at parse time.
+    lifetimes: Vec<String>,
+    body: Body,
+}
+
+impl Item {
+    /// `Name<'a, 'b>` or just `Name`.
+    fn self_ty(&self) -> String {
+        if self.lifetimes.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.lifetimes.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct SerdeOpts {
+    skip: bool,
+    default: bool,
+    rename: Option<String>,
+}
+
+/// Consumes leading attributes from `tokens` (an iterator position `i`),
+/// returning accumulated serde options.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<SerdeOpts, String> {
+    let mut opts = SerdeOpts {
+        skip: false,
+        default: false,
+        rename: None,
+    };
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        let group = match &tokens[*i + 1] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => g,
+            _ => break,
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                let args = match inner.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        g.stream().into_iter().collect::<Vec<_>>()
+                    }
+                    _ => return Err("malformed #[serde(...)] attribute".to_string()),
+                };
+                parse_serde_args(&args, &mut opts)?;
+            }
+        }
+        *i += 2;
+    }
+    Ok(opts)
+}
+
+fn parse_serde_args(args: &[TokenTree], opts: &mut SerdeOpts) -> Result<(), String> {
+    let mut j = 0;
+    while j < args.len() {
+        let word = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return Err("unsupported #[serde] syntax".to_string()),
+        };
+        match word.as_str() {
+            "skip" => {
+                opts.skip = true;
+                j += 1;
+            }
+            "default" => {
+                opts.default = true;
+                j += 1;
+            }
+            "rename" => {
+                let eq = matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let lit = match args.get(j + 2) {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    _ => String::new(),
+                };
+                if !eq || !lit.starts_with('"') {
+                    return Err("expected #[serde(rename = \"...\")]".to_string());
+                }
+                opts.rename = Some(lit.trim_matches('"').to_string());
+                j += 3;
+            }
+            other => {
+                return Err(format!(
+                    "vendored serde_derive does not support #[serde({other})]"
+                ))
+            }
+        }
+        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    parse_attrs(&tokens, &mut i)?;
+    skip_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct or enum".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+
+    let mut lifetimes = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        // Accept lifetime parameters only: `'a`, `'a, 'b`, ...
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    i += 1;
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    let lt = match tokens.get(i + 1) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return Err("malformed lifetime parameter".to_string()),
+                    };
+                    lifetimes.push(format!("'{lt}"));
+                    i += 2;
+                    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        i += 1;
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "vendored serde_derive does not support type-generic `{name}`"
+                    ))
+                }
+            }
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                lifetimes,
+                body: Body::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                    .into_iter()
+                    .filter(|part| !part.is_empty())
+                    .count();
+                Ok(Item {
+                    name,
+                    lifetimes,
+                    body: Body::TupleStruct(arity),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                lifetimes,
+                body: Body::UnitStruct,
+            }),
+            _ => Err("unsupported struct body".to_string()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                lifetimes,
+                body: Body::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err("expected enum body".to_string()),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+/// Splits a token list on commas not nested inside `<...>` pairs.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty").push(tok.clone());
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(&tokens) {
+        if part.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        let opts = parse_attrs(&part, &mut i)?;
+        skip_vis(&part, &mut i);
+        let ident = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected field name".to_string()),
+        };
+        let key = opts.rename.clone().unwrap_or_else(|| ident.clone());
+        fields.push(Field {
+            ident,
+            key,
+            skip: opts.skip,
+            default: opts.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(&tokens) {
+        if part.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        parse_attrs(&part, &mut i)?;
+        let ident = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected variant name".to_string()),
+        };
+        i += 1;
+        match part.get(i) {
+            None => variants.push(Variant::Unit(ident)),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: serialized by name, so ignore it.
+                variants.push(Variant::Unit(ident));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .count();
+                variants.push(Variant::Tuple(ident, arity));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(ident, parse_named_fields(g.stream())?));
+            }
+            _ => return Err(format!("unsupported body for variant `{ident}`")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__entries.push(({key:?}.to_string(), \
+                     ::serde::Serialize::to_content(&self.{ident})));\n",
+                    key = f.key,
+                    ident = f.ident,
+                ));
+            }
+            format!(
+                "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                 = ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(__entries)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Body::UnitStruct => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binders = (0..*arity)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Content::Seq(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binders}) => ::serde::Content::Map(vec![\
+                             ({vn:?}.to_string(), {payload})]),\n"
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.ident.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({key:?}.to_string(), ::serde::Serialize::to_content({id}))",
+                                    key = f.key,
+                                    id = f.ident
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::Content::Map(vec![\
+                             ({vn:?}.to_string(), ::serde::Content::Map(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let generics = if item.lifetimes.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.lifetimes.join(", "))
+    };
+    let self_ty = item.self_ty();
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {self_ty} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_named_struct_ctor(path: &str, fields: &[Field], map_var: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default(),", f.ident)
+            } else if f.default {
+                format!(
+                    "{id}: ::serde::__private::take_field_or_default::<_, __D::Error>\
+                     (&mut {map_var}, {key:?})?,",
+                    id = f.ident,
+                    key = f.key
+                )
+            } else {
+                format!(
+                    "{id}: ::serde::__private::take_field::<_, __D::Error>\
+                     (&mut {map_var}, {key:?})?,",
+                    id = f.ident,
+                    key = f.key
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("{path} {{\n{inits}\n}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let ctor = gen_named_struct_ctor(name, fields, "__map");
+            format!(
+                "let mut __map = match __content {{\n\
+                     ::serde::Content::Map(__m) => __m,\n\
+                     _ => return Err(<__D::Error as ::serde::de::Error>::custom(\
+                          concat!(\"expected map for struct \", stringify!({name})))),\n\
+                 }};\n\
+                 Ok({ctor})"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "Ok({name}(::serde::__private::from_content::<_, __D::Error>(__content)?))"
+        ),
+        Body::TupleStruct(arity) => {
+            let fields = (0..*arity)
+                .map(|_| {
+                    "::serde::__private::from_content::<_, __D::Error>(\
+                     __items.next().expect(\"length checked\"))?"
+                        .to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Seq(__seq) if __seq.len() == {arity} => {{\n\
+                         let mut __items = __seq.into_iter();\n\
+                         Ok({name}({fields}))\n\
+                     }}\n\
+                     _ => Err(<__D::Error as ::serde::de::Error>::custom(\
+                          concat!(\"expected sequence for tuple struct \", stringify!({name})))),\n\
+                 }}"
+            )
+        }
+        Body::UnitStruct => format!("let _ = __content; Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "{vn:?} => return Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => data_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(\
+                         ::serde::__private::from_content::<_, __D::Error>(__payload)?)),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let fields = (0..*arity)
+                            .map(|_| {
+                                "::serde::__private::from_content::<_, __D::Error>(\
+                                 __items.next().expect(\"length checked\"))?"
+                                    .to_string()
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "{vn:?} => match __payload {{\n\
+                                 ::serde::Content::Seq(__seq) if __seq.len() == {arity} => {{\n\
+                                     let mut __items = __seq.into_iter();\n\
+                                     Ok({name}::{vn}({fields}))\n\
+                                 }}\n\
+                                 _ => Err(<__D::Error as ::serde::de::Error>::custom(\
+                                      \"wrong payload arity for enum variant\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let ctor =
+                            gen_named_struct_ctor(&format!("{name}::{vn}"), fields, "__vmap");
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let mut __vmap = match __payload {{\n\
+                                     ::serde::Content::Map(__m) => __m,\n\
+                                     _ => return Err(<__D::Error as ::serde::de::Error>::custom(\
+                                          \"expected map payload for struct variant\")),\n\
+                                 }};\n\
+                                 Ok({ctor})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Str(ref __s) => {{\n\
+                         match __s.as_str() {{\n{unit_arms}\
+                             __other => Err(<__D::Error as ::serde::de::Error>::custom(\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = __m.into_iter().next().expect(\"len 1\");\n\
+                         match __tag.as_str() {{\n{data_arms}\
+                             __other => Err(<__D::Error as ::serde::de::Error>::custom(\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(<__D::Error as ::serde::de::Error>::custom(\
+                          concat!(\"expected variant for enum \", stringify!({name})))),\n\
+                 }}"
+            )
+        }
+    };
+    let extra_lts = item
+        .lifetimes
+        .iter()
+        .map(|lt| format!(", {lt}"))
+        .collect::<String>();
+    let self_ty = item.self_ty();
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de{extra_lts}> ::serde::Deserialize<'de> for {self_ty} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __content = ::serde::Deserializer::content(__d)?;\n\
+         {body}\n}}\n}}\n"
+    )
+}

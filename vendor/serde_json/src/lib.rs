@@ -1,0 +1,488 @@
+//! Offline vendored `serde_json` stand-in.
+//!
+//! Renders and parses JSON through the vendored serde [`Content`] tree.
+//! Floats print with Rust's shortest-round-trip `Display`, so
+//! `to_string` → `from_str` reproduces every finite `f64` bit-exactly —
+//! the property maleva's model checkpoints and reproducibility tests rely
+//! on (the upstream crate's `float_roundtrip` feature).
+//!
+//! Non-finite floats serialize as `null`, like upstream serde_json.
+
+use std::fmt;
+
+use serde::{Content, ContentDeserializer, Deserialize, Serialize};
+
+/// Error produced when JSON text is malformed or does not match the
+/// target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content_pretty(&value.to_content(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Errors if the text is not valid JSON or does not describe a `T`.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error {
+            msg: format!("trailing characters at byte {}", parser.pos),
+        });
+    }
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep a trailing ".0" so integral floats parse back as floats.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_content(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_content_pretty(c: &Content, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth + 1);
+    let close_pad = "  ".repeat(depth);
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_content_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_content_pretty(v, out, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_content(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(&b) => Err(self.err(&format!("unexpected byte `{}`", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: must be followed by \uXXXX low.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // parse_hex4 leaves pos past the 4 digits; undo
+                            // the unconditional +1 below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&"a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+        let v: bool = from_str("true").unwrap();
+        assert!(v);
+        let s: String = from_str(r#""hié\n""#).unwrap();
+        assert_eq!(s, "hié\n");
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.5,
+            3.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+            std::f64::consts::PI,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "value {x} via {json}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        let back: f64 = from_str("3.0").unwrap();
+        assert_eq!(back, 3.0);
+    }
+
+    #[test]
+    fn vec_and_map_round_trip() {
+        let v = vec![1.25f64, -2.5, 1e-3];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert("alpha".to_string(), 1usize);
+        m.insert("beta".to_string(), 2usize);
+        let json = to_string(&m).unwrap();
+        let back: HashMap<String, usize> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        let x: Option<u32> = from_str("null").unwrap();
+        assert_eq!(x, None);
+        let y: Option<u32> = from_str("3").unwrap();
+        assert_eq!(y, Some(3));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u8>>("[1,2").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u8, 2], vec![3]];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Vec<Vec<u8>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -76,7 +76,7 @@ pub fn render(program: &Program, vocab: &ApiVocab) -> String {
 /// handle and a quoted symbol, as in Table II's `GetProcAddress` line.
 fn pseudo_args(base: u64, api: usize, call_no: u64, vocab: &ApiVocab) -> String {
     let h = base ^ ((api as u64) << 32) ^ call_no.wrapping_mul(0x517C_C1B7_2722_0A95);
-    if h % 5 == 0 {
+    if h.is_multiple_of(5) {
         let handle = 0x7000_0000u64 + (h % 0x00FF_FFFF);
         let sym_idx = (h >> 8) as usize % vocab.len();
         let sym = vocab.name(sym_idx).unwrap_or("Unknown");
@@ -86,32 +86,59 @@ fn pseudo_args(base: u64, api: usize, call_no: u64, vocab: &ApiVocab) -> String 
     }
 }
 
-/// Parses a log back into per-API counts against `vocab`.
+/// What [`parse_counts_with_unknown`] saw while scanning a log: the
+/// per-API counts plus tallies of the lines that did *not* contribute.
 ///
-/// Lines whose API name is not in the vocabulary are counted in the
-/// returned `unknown` total by [`parse_counts_with_unknown`]; this
-/// function discards that total. Malformed lines (no `:` separator) are
-/// skipped.
-pub fn parse_counts(text: &str, vocab: &ApiVocab) -> Vec<u32> {
-    parse_counts_with_unknown(text, vocab).0
+/// Real sandbox logs are messy — truncated writes, interleaved stderr,
+/// foreign tooling — and a parser that silently drops bad lines hides
+/// corrupted inputs from the experiment harness. The tallies make the
+/// drop rate observable without changing the counting behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogParse {
+    /// Per-API call counts against the vocabulary.
+    pub counts: Vec<u32>,
+    /// Well-formed lines naming an API outside the vocabulary (the
+    /// "different features" situation of grey-box experiment 2).
+    pub unknown: u64,
+    /// Lines that could not be parsed at all: no `:` separator or an
+    /// empty API name. Blank lines are not counted.
+    pub malformed: u64,
 }
 
-/// Like [`parse_counts`], also returning how many calls named APIs outside
-/// the vocabulary (the "different features" situation of grey-box
-/// experiment 2).
-pub fn parse_counts_with_unknown(text: &str, vocab: &ApiVocab) -> (Vec<u32>, u64) {
+impl LogParse {
+    /// True when every non-blank line parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.malformed == 0
+    }
+}
+
+/// Parses a log back into per-API counts against `vocab`.
+///
+/// Lines whose API name is not in the vocabulary, and malformed lines
+/// (no `:` separator or empty name), are tallied by
+/// [`parse_counts_with_unknown`]; this function discards those tallies.
+pub fn parse_counts(text: &str, vocab: &ApiVocab) -> Vec<u32> {
+    parse_counts_with_unknown(text, vocab).counts
+}
+
+/// Like [`parse_counts`], also reporting how many lines named APIs
+/// outside the vocabulary and how many were malformed (see [`LogParse`]).
+pub fn parse_counts_with_unknown(text: &str, vocab: &ApiVocab) -> LogParse {
     let mut counts = vec![0u32; vocab.len()];
     let mut unknown = 0u64;
+    let mut malformed = 0u64;
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         let Some(colon) = line.find(':') else {
+            malformed += 1;
             continue;
         };
         let name = &line[..colon];
         if name.is_empty() {
+            malformed += 1;
             continue;
         }
         match vocab.index_of(name) {
@@ -119,7 +146,11 @@ pub fn parse_counts_with_unknown(text: &str, vocab: &ApiVocab) -> (Vec<u32>, u64
             None => unknown += 1,
         }
     }
-    (counts, unknown)
+    LogParse {
+        counts,
+        unknown,
+        malformed,
+    }
 }
 
 #[cfg(test)]
@@ -192,18 +223,33 @@ mod tests {
     fn parser_counts_unknown_apis() {
         let v = vocab();
         let text = "notanapi:123 ()\"1\"\ngetprocaddress:456 ()\"1\"\n";
-        let (counts, unknown) = parse_counts_with_unknown(text, &v);
-        assert_eq!(unknown, 1);
-        assert_eq!(counts[v.index_of("getprocaddress").unwrap()], 1);
+        let parse = parse_counts_with_unknown(text, &v);
+        assert_eq!(parse.unknown, 1);
+        assert_eq!(parse.malformed, 0);
+        assert!(parse.is_clean());
+        assert_eq!(parse.counts[v.index_of("getprocaddress").unwrap()], 1);
     }
 
     #[test]
-    fn parser_skips_malformed_lines() {
+    fn parser_skips_and_tallies_malformed_lines() {
         let v = vocab();
+        // Two malformed lines (no separator; empty name), blank lines
+        // are not counted as malformed.
         let text = "garbage line with no separator\n\n   \n:empty name\n";
-        let (counts, unknown) = parse_counts_with_unknown(text, &v);
-        assert!(counts.iter().all(|&c| c == 0));
-        assert_eq!(unknown, 0);
+        let parse = parse_counts_with_unknown(text, &v);
+        assert!(parse.counts.iter().all(|&c| c == 0));
+        assert_eq!(parse.unknown, 0);
+        assert_eq!(parse.malformed, 2);
+        assert!(!parse.is_clean());
+    }
+
+    #[test]
+    fn malformed_tally_does_not_disturb_good_lines() {
+        let v = vocab();
+        let text = "getprocaddress:7FEF ()\"1\"\n%%corrupted%%\ngetprocaddress:7FF0 ()\"1\"\n";
+        let parse = parse_counts_with_unknown(text, &v);
+        assert_eq!(parse.counts[v.index_of("getprocaddress").unwrap()], 2);
+        assert_eq!(parse.malformed, 1);
     }
 
     #[test]

@@ -251,14 +251,12 @@ mod tests {
 
     #[test]
     fn boundary_fraction_controls_boundary_cases() {
-        let mut config = WorldConfig::default();
-        config.boundary_fraction = 0.0;
+        let config = WorldConfig { boundary_fraction: 0.0, ..Default::default() };
         let world = World::new(config);
         let mut r = rng(4);
         assert!((0..50).all(|_| !world.sample_program(Class::Clean, &mut r).is_boundary_case()));
 
-        let mut config = WorldConfig::default();
-        config.boundary_fraction = 1.0;
+        let config = WorldConfig { boundary_fraction: 1.0, ..Default::default() };
         let world = World::new(config);
         let mut r = rng(4);
         assert!((0..50).all(|_| world.sample_program(Class::Clean, &mut r).is_boundary_case()));
@@ -266,8 +264,7 @@ mod tests {
 
     #[test]
     fn os_mix_respected_in_the_extreme() {
-        let mut config = WorldConfig::default();
-        config.os_mix = [0.0, 0.0, 0.0, 1.0];
+        let config = WorldConfig { os_mix: [0.0, 0.0, 0.0, 1.0], ..Default::default() };
         let world = World::new(config);
         let mut r = rng(5);
         for _ in 0..20 {
@@ -287,8 +284,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "boundary_fraction")]
     fn invalid_config_panics() {
-        let mut config = WorldConfig::default();
-        config.boundary_fraction = 1.5;
+        let config = WorldConfig { boundary_fraction: 1.5, ..Default::default() };
         World::new(config);
     }
 }

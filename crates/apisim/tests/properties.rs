@@ -69,10 +69,13 @@ proptest! {
     #[test]
     fn parser_ignores_arbitrary_garbage_lines(garbage in "[a-z0-9 ]{0,40}") {
         let v = vocab();
-        // Garbage without a colon parses to nothing; with unknown name it
-        // counts as unknown — never panics, never miscounts known APIs.
-        let (counts, _) = maleva_apisim::log::parse_counts_with_unknown(&garbage, &v);
-        prop_assert!(counts.iter().all(|&c| c == 0) || garbage.contains(':'));
+        // Garbage without a colon is tallied as malformed (unless blank)
+        // and parses to nothing — never panics, never miscounts known
+        // APIs.
+        let parse = maleva_apisim::log::parse_counts_with_unknown(&garbage, &v);
+        prop_assert!(parse.counts.iter().all(|&c| c == 0) || garbage.contains(':'));
+        let blank = garbage.trim().is_empty();
+        prop_assert_eq!(parse.malformed > 0, !blank);
     }
 
     #[test]

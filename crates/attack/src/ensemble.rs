@@ -120,7 +120,7 @@ impl EnsembleJsma {
                 if perturbed[j] || x[j] >= 1.0 - 1e-12 {
                     continue;
                 }
-                if s > 0.0 && best.map_or(true, |(_, bv)| s > bv) {
+                if s > 0.0 && best.is_none_or(|(_, bv)| s > bv) {
                     best = Some((j, s));
                 }
             }

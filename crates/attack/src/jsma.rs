@@ -135,11 +135,10 @@ impl Jsma {
                         continue;
                     }
                     let s = toward(j);
-                    if s > 0.0 && away(j) <= 0.0 {
-                        if best.map_or(true, |(_, bv)| s > bv) {
+                    if s > 0.0 && away(j) <= 0.0
+                        && best.is_none_or(|(_, bv)| s > bv) {
                             best = Some((j, s));
                         }
-                    }
                 }
                 Ok(best.map(|(j, _)| vec![j]).unwrap_or_default())
             }
@@ -158,7 +157,7 @@ impl Jsma {
                         let o = away(a) + away(b);
                         if t > 0.0 && o <= 0.0 {
                             let s = t * o.abs().max(f64::MIN_POSITIVE);
-                            if best.map_or(true, |(_, bv)| s > bv) {
+                            if best.is_none_or(|(_, bv)| s > bv) {
                                 best = Some(((a, b), s));
                             }
                         }

@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod adaptive;
 mod cw;
@@ -66,6 +67,10 @@ pub use ensemble::EnsembleJsma;
 pub use fgsm::Fgsm;
 pub use jsma::{Jsma, SaliencyPolicy};
 pub use outcome::AttackOutcome;
+pub use parallel::{
+    craft_batch_parallel, craft_batch_parallel_with, BatchPolicy, BatchReport, FailureBudget,
+    RowOutcome,
+};
 pub use random::RandomAddition;
 
 use maleva_linalg::Matrix;

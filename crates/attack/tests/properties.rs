@@ -1,8 +1,12 @@
 //! Property-based tests for the attack implementations: domain
 //! constraints must hold for arbitrary inputs and parameters.
 
-use maleva_attack::{EvasionAttack, Fgsm, Jsma, RandomAddition, SaliencyPolicy};
-use maleva_nn::{Activation, Network, NetworkBuilder};
+use maleva_attack::{
+    craft_batch_parallel_with, AttackOutcome, BatchPolicy, EvasionAttack, FailureBudget, Fgsm,
+    Jsma, RandomAddition, RowOutcome, SaliencyPolicy,
+};
+use maleva_linalg::Matrix;
+use maleva_nn::{Activation, Network, NetworkBuilder, NnError};
 use proptest::prelude::*;
 
 const DIM: usize = 12;
@@ -18,6 +22,35 @@ fn net(seed: u64) -> Network {
 
 fn sample() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1.0, DIM)
+}
+
+/// Sentinel values in column 0, outside the `sample()` range, that make
+/// [`Sabotaged`] misbehave on exactly that row.
+const PANIC_MARK: f64 = 2.0;
+const ERR_MARK: f64 = 3.0;
+
+/// A JSMA wrapper that panics or errors on marked rows and behaves
+/// exactly like plain JSMA on everything else.
+struct Sabotaged {
+    inner: Jsma,
+}
+
+impl EvasionAttack for Sabotaged {
+    fn name(&self) -> &str {
+        "sabotaged-jsma"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        if sample[0] == PANIC_MARK {
+            panic!("sabotaged row");
+        }
+        if sample[0] == ERR_MARK {
+            return Err(NnError::InvalidConfig {
+                detail: "sabotaged row".into(),
+            });
+        }
+        self.inner.craft(net, sample)
+    }
 }
 
 proptest! {
@@ -92,6 +125,62 @@ proptest! {
         let o = Jsma::new(theta, 1.0).with_high_confidence().craft(&net, &x).expect("craft");
         let bound = theta * (o.features_modified() as f64).sqrt();
         prop_assert!(o.l2_distance <= bound + 1e-9);
+    }
+
+    #[test]
+    fn faulty_rows_are_isolated_and_healthy_rows_match_sequential(
+        rows in prop::collection::vec(sample(), 2..7),
+        faults in prop::collection::vec(0u8..3, 2..7),
+        threads in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        // A row whose attack panics or errors must be reported as exactly
+        // that, degrade to the unperturbed input, and leave every other
+        // row bit-identical to a sequential single-row craft.
+        let net = net(seed);
+        let jsma = Jsma::new(0.3, 0.5);
+        let mut marked = rows.clone();
+        for (row, &f) in marked.iter_mut().zip(faults.iter()) {
+            match f {
+                1 => row[0] = PANIC_MARK,
+                2 => row[0] = ERR_MARK,
+                _ => {}
+            }
+        }
+        let batch = Matrix::from_rows(&marked).expect("batch");
+        let policy = BatchPolicy::new()
+            .threads(threads)
+            .failure_budget(FailureBudget::Degrade);
+        let report = craft_batch_parallel_with(&Sabotaged { inner: jsma.clone() }, &net, &batch, &policy)
+            .expect("degrade policy never aborts");
+
+        prop_assert_eq!(report.rows.len(), marked.len());
+        for (r, outcome) in report.rows.iter().enumerate() {
+            match faults.get(r).copied().unwrap_or(0) {
+                1 => {
+                    prop_assert!(
+                        matches!(outcome, RowOutcome::Panicked { .. }),
+                        "row {r} should be Panicked, got {outcome:?}"
+                    );
+                    prop_assert_eq!(batch.row(r), report.adversarial.row(r));
+                }
+                2 => {
+                    prop_assert!(
+                        matches!(outcome, RowOutcome::Err(_)),
+                        "row {r} should be Err, got {outcome:?}"
+                    );
+                    prop_assert_eq!(batch.row(r), report.adversarial.row(r));
+                }
+                _ => {
+                    let reference = jsma.craft(&net, batch.row(r)).expect("sequential");
+                    match outcome {
+                        RowOutcome::Ok(o) => prop_assert_eq!(o, &reference),
+                        other => prop_assert!(false, "row {r} should be Ok, got {other:?}"),
+                    }
+                    prop_assert_eq!(report.adversarial.row(r), reference.adversarial.as_slice());
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! repro [--scale tiny|quick|paper] [--seed N] [--exp ID]
+//!       [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
 //!
 //! IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b
 //!      fig4a fig4b fig4c fig5a fig5b live table5 table6 all
 //! ```
+//!
+//! With `--checkpoint-dir` the target-model training snapshots its full
+//! state every K epochs (default 1); re-running with `--resume` after an
+//! interruption continues from the snapshot and produces bit-identical
+//! results to an uninterrupted run.
 //!
 //! Absolute numbers will not match the paper (the substrate is a
 //! simulator, not McAfee's production corpus); the printed paper values
@@ -16,7 +22,7 @@ use std::process::ExitCode;
 
 use maleva_attack::sweep::SweepAxis;
 use maleva_core::{blackbox, defenses, greybox, live, whitebox};
-use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_core::{CheckpointPlan, ExperimentContext, ExperimentScale};
 use maleva_nn::Network;
 
 struct Args {
@@ -24,6 +30,9 @@ struct Args {
     seed: u64,
     exp: String,
     csv_dir: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +40,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut exp = "all".to_string();
     let mut csv_dir = None;
+    let mut checkpoint_dir = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -56,9 +68,26 @@ fn parse_args() -> Result<Args, String> {
             "--csv-dir" => {
                 csv_dir = Some(argv.next().ok_or("--csv-dir needs a value")?);
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(argv.next().ok_or("--checkpoint-dir needs a value")?);
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = argv
+                    .next()
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".to_string());
+                }
+            }
+            "--resume" => {
+                resume = true;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale tiny|quick|paper] [--seed N] [--exp ID] [--csv-dir DIR]\n\
+                     \x20           [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]\n\
                      IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b\n\
                      \x20     fig4a fig4b fig4c fig5a fig5b live table5 table6 all"
                 );
@@ -67,11 +96,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if checkpoint_dir.is_none() && resume {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
     Ok(Args {
         scale,
         seed,
         exp,
         csv_dir,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
     })
 }
 
@@ -90,7 +125,18 @@ impl Session {
             args.scale.name, args.seed
         );
         let t = std::time::Instant::now();
-        let ctx = ExperimentContext::build(args.scale.clone(), args.seed)
+        let plan = match &args.checkpoint_dir {
+            Some(dir) => {
+                eprintln!(
+                    "[repro] checkpointing target training into {dir} every {} epoch(s){}",
+                    args.checkpoint_every,
+                    if args.resume { ", resuming if possible" } else { "" }
+                );
+                CheckpointPlan::new(dir, args.checkpoint_every, args.resume)
+            }
+            None => CheckpointPlan::none(),
+        };
+        let ctx = ExperimentContext::build_with_checkpoints(args.scale.clone(), args.seed, plan)
             .expect("context construction");
         eprintln!("[repro] context ready in {:.1?}", t.elapsed());
         let samples = ctx.scale.attack_samples;

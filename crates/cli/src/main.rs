@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! maleva train --out detector.json [--scale tiny|quick|paper] [--seed N]
+//!              [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
 //! maleva scan  --model detector.json --log sample.log
 //! maleva gen   --out sample.log [--class malware|clean] [--seed N]
 //! maleva attack --model detector.json --log sample.log [--theta T] [--gamma G] [--out evaded.log]
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 
 use maleva_apisim::{ApiVocab, Class, World, WorldConfig};
 use maleva_attack::{EvasionAttack, Jsma};
-use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
+use maleva_core::{CheckpointPlan, DetectorPipeline, ExperimentContext, ExperimentScale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,11 +59,15 @@ maleva — adversarial-malware toolkit (reproduction of Huang et al., DSN 2019)
 
 usage:
   maleva train  --out detector.json [--scale tiny|quick|paper] [--seed N]
+                [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
   maleva scan   --model detector.json --log sample.log
   maleva gen    --out sample.log [--class malware|clean] [--seed N]
   maleva attack --model detector.json --log sample.log
                 [--theta T] [--gamma G] [--out evaded.log]
   maleva info   --model detector.json";
+
+/// Flags that take no value; parsed as `"true"`.
+const BOOLEAN_FLAGS: &[&str] = &["resume"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -71,6 +76,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {key}"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} needs a value"))?;
@@ -109,8 +118,27 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         "paper" => ExperimentScale::paper(),
         other => return Err(format!("unknown scale: {other}")),
     };
+    let plan = match flags.get("checkpoint-dir") {
+        Some(dir) => {
+            let every: usize = flags
+                .get("checkpoint-every")
+                .map(|s| s.parse().map_err(|e| format!("bad --checkpoint-every: {e}")))
+                .unwrap_or(Ok(1))?;
+            if every == 0 {
+                return Err("--checkpoint-every must be positive".to_string());
+            }
+            CheckpointPlan::new(dir, every, flags.contains_key("resume"))
+        }
+        None => {
+            if flags.contains_key("resume") {
+                return Err("--resume requires --checkpoint-dir".to_string());
+            }
+            CheckpointPlan::none()
+        }
+    };
     eprintln!("training detector (scale={}, seed={seed}) ...", scale.name);
-    let ctx = ExperimentContext::build(scale, seed).map_err(|e| e.to_string())?;
+    let ctx =
+        ExperimentContext::build_with_checkpoints(scale, seed, plan).map_err(|e| e.to_string())?;
     let (tpr, tnr) = ctx.baseline_rates().map_err(|e| e.to_string())?;
     let json = ctx.detector.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;

@@ -159,7 +159,7 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
                     continue;
                 }
                 let s = jac.get(away_class, j);
-                if best.map_or(true, |(_, bv)| s > bv) {
+                if best.is_none_or(|(_, bv)| s > bv) {
                     best = Some((j, s));
                 }
             }

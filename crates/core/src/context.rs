@@ -1,3 +1,5 @@
+use std::path::PathBuf;
+
 use maleva_apisim::{Class, Dataset, DatasetSpec, World, WorldConfig};
 use maleva_features::{CountTransform, FeaturePipeline};
 use maleva_linalg::Matrix;
@@ -108,6 +110,39 @@ impl ExperimentScale {
     }
 }
 
+/// Where (and whether) a context build checkpoints its target training.
+///
+/// The plan is deliberately tiny: a directory, a cadence, and a resume
+/// flag — the trainer does the heavy lifting (see
+/// [`maleva_nn::TrainCheckpoint`]). The target model's snapshots live
+/// under `<dir>/target` so future checkpointed models can share the root.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Checkpoint root directory; `None` disables checkpointing.
+    pub dir: Option<PathBuf>,
+    /// Write a snapshot every this many completed epochs.
+    pub every: usize,
+    /// Resume from an existing snapshot when one is present.
+    pub resume: bool,
+}
+
+impl CheckpointPlan {
+    /// No checkpointing (what [`ExperimentContext::build`] uses).
+    pub fn none() -> Self {
+        CheckpointPlan::default()
+    }
+
+    /// Checkpoint into `dir` every `every` epochs, resuming if `resume`
+    /// is set and a snapshot exists.
+    pub fn new(dir: impl Into<PathBuf>, every: usize, resume: bool) -> Self {
+        CheckpointPlan {
+            dir: Some(dir.into()),
+            every: every.max(1),
+            resume,
+        }
+    }
+}
+
 /// Shared state for all experiments: the synthetic world, the Table I
 /// dataset, the fitted feature pipeline, and the trained target detector.
 ///
@@ -148,6 +183,25 @@ impl ExperimentContext {
     ///
     /// Training/shape errors surface as [`NnError`].
     pub fn build(scale: ExperimentScale, seed: u64) -> Result<Self, NnError> {
+        Self::build_with_checkpoints(scale, seed, CheckpointPlan::none())
+    }
+
+    /// Like [`ExperimentContext::build`], but with fault-tolerant target
+    /// training: a [`CheckpointPlan`] names a directory where the trainer
+    /// snapshots its state every K epochs, and whether to resume from an
+    /// existing snapshot. Everything generated from the seed (world,
+    /// dataset, features) is cheap and deterministic, so only the
+    /// training loop is checkpointed; a resumed build is bit-identical
+    /// to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Training/shape/checkpoint errors surface as [`NnError`].
+    pub fn build_with_checkpoints(
+        scale: ExperimentScale,
+        seed: u64,
+        plan: CheckpointPlan,
+    ) -> Result<Self, NnError> {
         let world = World::new(WorldConfig::default());
         let dataset = world.build_dataset(&scale.dataset, seed);
 
@@ -160,7 +214,14 @@ impl ExperimentContext {
         let y_test = Dataset::labels(dataset.test());
 
         let mut target = target_model(features.dim(), scale.model_scale, seed ^ 0xA11CE)?;
-        Trainer::new(scale.target_trainer(seed)).fit_labeled(
+        let mut train_cfg = scale.target_trainer(seed);
+        if let Some(dir) = &plan.dir {
+            train_cfg = train_cfg
+                .checkpoint_dir(dir.join("target"))
+                .checkpoint_every(plan.every)
+                .resume(plan.resume);
+        }
+        Trainer::new(train_cfg).fit_labeled(
             &mut target,
             &x_train,
             maleva_nn::LabelSource::Hard(&y_train),
@@ -224,11 +285,14 @@ impl ExperimentContext {
     ///
     /// # Errors
     ///
-    /// Returns [`NnError`] on shape mismatch.
+    /// Returns [`NnError`] on shape mismatch or non-finite scores (a
+    /// diverged model producing NaN probabilities).
     pub fn target_auc(&self) -> Result<Option<f64>, NnError> {
         let p = self.target().predict_proba(&self.x_test)?;
         let scores: Vec<f64> = (0..p.rows()).map(|r| p.get(r, 1)).collect();
-        Ok(maleva_eval::auc(&scores, &self.y_test))
+        maleva_eval::auc(&scores, &self.y_test).map_err(|e| NnError::InvalidConfig {
+            detail: format!("AUC over test scores: {e}"),
+        })
     }
 
     /// Baseline (no-defense) detection rates:
@@ -281,6 +345,31 @@ mod tests {
             ctx.scale.attack_samples.min(ctx.x_test_malware.rows())
         );
         assert_eq!(batch.cols(), 491);
+    }
+
+    #[test]
+    fn checkpointed_build_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("maleva-ctx-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: an uninterrupted build.
+        let reference = ExperimentContext::build(ExperimentScale::tiny(), 6).unwrap();
+
+        // "Interrupted" build: train only a prefix of the epochs, leaving
+        // a checkpoint behind, then rebuild with the full budget resuming
+        // from it.
+        let mut partial_scale = ExperimentScale::tiny();
+        partial_scale.target_epochs = 10;
+        let plan = CheckpointPlan::new(&dir, 1, true);
+        ExperimentContext::build_with_checkpoints(partial_scale, 6, plan.clone()).unwrap();
+        let resumed =
+            ExperimentContext::build_with_checkpoints(ExperimentScale::tiny(), 6, plan).unwrap();
+
+        assert_eq!(
+            reference.target().logits(&reference.x_test).unwrap(),
+            resumed.target().logits(&resumed.x_test).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -403,7 +403,7 @@ pub fn ensemble_operating_point(
     let refs: Vec<&Network> = members.iter().collect();
     let attack = maleva_attack::EnsembleJsma::new(theta, gamma);
     let (adv, _) = attack.craft_batch(&refs, &batch)?;
-    let substitute_detection = detection_rate(&refs[0], &adv)?;
+    let substitute_detection = detection_rate(refs[0], &adv)?;
     let target_detection = detection_rate(ctx.target(), &adv)?;
     Ok(TransferReport {
         theta,

@@ -47,6 +47,6 @@ pub mod live;
 pub mod models;
 pub mod whitebox;
 
-pub use context::{ExperimentContext, ExperimentScale};
+pub use context::{CheckpointPlan, ExperimentContext, ExperimentScale};
 pub use pipeline::DetectorPipeline;
 pub use threat::ThreatModel;

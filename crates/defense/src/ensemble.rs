@@ -40,7 +40,7 @@ impl EnsembleDefense {
         assert_eq!(y.len(), x.rows(), "label count mismatch");
         let xa = x.vstack(advex)?;
         let mut ya = y.to_vec();
-        ya.extend(std::iter::repeat(1).take(advex.rows()));
+        ya.extend(std::iter::repeat_n(1, advex.rows()));
         let inner = PcaDefense::fit(k, reduced_net, &xa, &ya, trainer)?;
         Ok(EnsembleDefense { inner })
     }

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for metric computation over scores and labels.
+///
+/// The metric functions used to `assert!`/`expect` on these conditions;
+/// a NaN score coming out of a diverged model would abort the whole
+/// experiment sweep instead of failing the one evaluation that saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// `scores` and `labels` have different lengths.
+    LengthMismatch {
+        /// Number of scores supplied.
+        scores: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A score is NaN, so no total order over thresholds exists.
+    NanScore {
+        /// Index of the first NaN score.
+        index: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch { scores, labels } => {
+                write!(f, "{scores} scores but {labels} labels")
+            }
+            EvalError::NanScore { index } => write!(f, "score at index {index} is NaN"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Validates a scores/labels pair for metric computation: equal lengths
+/// and no NaN scores.
+pub(crate) fn validate_inputs(scores: &[f64], labels: &[usize]) -> Result<(), EvalError> {
+    if scores.len() != labels.len() {
+        return Err(EvalError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+        return Err(EvalError::NanScore { index });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = EvalError::LengthMismatch { scores: 3, labels: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = EvalError::NanScore { index: 7 };
+        assert!(e.to_string().contains("index 7"));
+    }
+
+    #[test]
+    fn validation_finds_the_first_nan() {
+        assert_eq!(validate_inputs(&[0.1, 0.2], &[0, 1]), Ok(()));
+        assert_eq!(
+            validate_inputs(&[0.1], &[0, 1]),
+            Err(EvalError::LengthMismatch { scores: 1, labels: 2 })
+        );
+        assert_eq!(
+            validate_inputs(&[0.1, f64::NAN, f64::NAN], &[0, 1, 1]),
+            Err(EvalError::NanScore { index: 1 })
+        );
+    }
+}

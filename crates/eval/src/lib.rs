@@ -15,12 +15,14 @@
 
 mod confusion;
 mod curve;
+mod error;
 mod pr;
 mod roc;
 mod table;
 
 pub use confusion::ConfusionMatrix;
 pub use curve::{CurveSeries, SecurityCurve};
+pub use error::EvalError;
 pub use pr::{average_precision, pr_points, PrPoint};
 pub use roc::{auc, roc_points, RocPoint};
 pub use table::{fmt_rate, TextTable};

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{validate_inputs, EvalError};
+
 /// One operating point on a precision–recall curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrPoint {
@@ -23,17 +25,23 @@ pub struct PrPoint {
 ///
 /// Returns an empty vector when there are no positives.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `scores.len() != labels.len()` or any score is NaN.
-pub fn pr_points(scores: &[f64], labels: &[usize]) -> Vec<PrPoint> {
-    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+/// [`EvalError::LengthMismatch`] when scores and labels differ in
+/// length, [`EvalError::NanScore`] when any score is NaN.
+pub fn pr_points(scores: &[f64], labels: &[usize]) -> Result<Vec<PrPoint>, EvalError> {
+    validate_inputs(scores, labels)?;
     let pos = labels.iter().filter(|&&l| l == 1).count();
     if pos == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    // NaN was ruled out above, so the comparison is total.
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut points = Vec::with_capacity(scores.len());
     let mut tp = 0usize;
@@ -55,20 +63,21 @@ pub fn pr_points(scores: &[f64], labels: &[usize]) -> Vec<PrPoint> {
             precision: tp as f64 / (tp + fp) as f64,
         });
     }
-    points
+    Ok(points)
 }
 
 /// Average precision: the area under the PR curve by the step-function
-/// (sklearn-style) sum `Σ (Rᵢ − Rᵢ₋₁) · Pᵢ`. Returns `None` when there
-/// are no positives.
+/// (sklearn-style) sum `Σ (Rᵢ − Rᵢ₋₁) · Pᵢ`. Returns `Ok(None)` when
+/// there are no positives.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `scores.len() != labels.len()` or any score is NaN.
-pub fn average_precision(scores: &[f64], labels: &[usize]) -> Option<f64> {
-    let pts = pr_points(scores, labels);
+/// [`EvalError::LengthMismatch`] when scores and labels differ in
+/// length, [`EvalError::NanScore`] when any score is NaN.
+pub fn average_precision(scores: &[f64], labels: &[usize]) -> Result<Option<f64>, EvalError> {
+    let pts = pr_points(scores, labels)?;
     if pts.is_empty() {
-        return None;
+        return Ok(None);
     }
     let mut ap = 0.0;
     let mut prev_recall = 0.0;
@@ -76,7 +85,7 @@ pub fn average_precision(scores: &[f64], labels: &[usize]) -> Option<f64> {
         ap += (p.recall - prev_recall) * p.precision;
         prev_recall = p.recall;
     }
-    Some(ap)
+    Ok(Some(ap))
 }
 
 #[cfg(test)]
@@ -87,7 +96,7 @@ mod tests {
     fn perfect_ranking_has_ap_one() {
         let scores = [0.9, 0.8, 0.2, 0.1];
         let labels = [1, 1, 0, 0];
-        assert!((average_precision(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &labels).unwrap().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -96,14 +105,15 @@ mod tests {
         let labels = [1, 1, 0, 0];
         // With both positives ranked last: AP = (0.5-0)*1/3 + (1-0.5)*2/4.
         let expected = 0.5 * (1.0 / 3.0) + 0.5 * 0.5;
-        assert!((average_precision(&scores, &labels).unwrap() - expected).abs() < 1e-12);
+        let ap = average_precision(&scores, &labels).unwrap().unwrap();
+        assert!((ap - expected).abs() < 1e-12);
     }
 
     #[test]
     fn curve_ends_at_full_recall() {
         let scores = [0.7, 0.3, 0.6, 0.1];
         let labels = [1, 0, 0, 1];
-        let pts = pr_points(&scores, &labels);
+        let pts = pr_points(&scores, &labels).unwrap();
         assert!((pts.last().unwrap().recall - 1.0).abs() < 1e-12);
         for w in pts.windows(2) {
             assert!(w[1].recall >= w[0].recall, "recall must be nondecreasing");
@@ -112,23 +122,33 @@ mod tests {
 
     #[test]
     fn all_negative_labels_give_none() {
-        assert_eq!(average_precision(&[0.5, 0.4], &[0, 0]), None);
-        assert!(pr_points(&[0.5], &[0]).is_empty());
+        assert_eq!(average_precision(&[0.5, 0.4], &[0, 0]), Ok(None));
+        assert!(pr_points(&[0.5], &[0]).unwrap().is_empty());
     }
 
     #[test]
     fn ties_are_grouped() {
         let scores = [0.5, 0.5, 0.5];
         let labels = [1, 0, 1];
-        let pts = pr_points(&scores, &labels);
+        let pts = pr_points(&scores, &labels).unwrap();
         assert_eq!(pts.len(), 1);
         assert!((pts[0].precision - 2.0 / 3.0).abs() < 1e-12);
         assert!((pts[0].recall - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn mismatched_inputs_panic() {
-        pr_points(&[0.1], &[1, 0]);
+    fn mismatched_inputs_are_a_typed_error() {
+        assert_eq!(
+            pr_points(&[0.1], &[1, 0]),
+            Err(EvalError::LengthMismatch { scores: 1, labels: 2 })
+        );
+    }
+
+    #[test]
+    fn nan_scores_are_a_typed_error() {
+        assert_eq!(
+            average_precision(&[f64::NAN, 0.2], &[1, 0]),
+            Err(EvalError::NanScore { index: 0 })
+        );
     }
 }

@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use crate::error::{validate_inputs, EvalError};
+
 /// One operating point on a ROC curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RocPoint {
@@ -15,15 +17,25 @@ pub struct RocPoint {
 /// labels (1 = positive). Points are ordered by increasing FPR.
 ///
 /// Returns an empty vector when either class is absent.
-pub fn roc_points(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
-    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+///
+/// # Errors
+///
+/// [`EvalError::LengthMismatch`] when scores and labels differ in
+/// length, [`EvalError::NanScore`] when any score is NaN.
+pub fn roc_points(scores: &[f64], labels: &[usize]) -> Result<Vec<RocPoint>, EvalError> {
+    validate_inputs(scores, labels)?;
     let pos = labels.iter().filter(|&&l| l == 1).count();
     let neg = labels.len() - pos;
     if pos == 0 || neg == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    // NaN was ruled out above, so the comparison is total.
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut points = Vec::with_capacity(scores.len() + 1);
     let mut tp = 0usize;
@@ -51,21 +63,26 @@ pub fn roc_points(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
             tpr: tp as f64 / pos as f64,
         });
     }
-    points
+    Ok(points)
 }
 
-/// Area under the ROC curve by trapezoidal integration. Returns `None`
-/// when either class is absent.
-pub fn auc(scores: &[f64], labels: &[usize]) -> Option<f64> {
-    let pts = roc_points(scores, labels);
+/// Area under the ROC curve by trapezoidal integration. Returns
+/// `Ok(None)` when either class is absent.
+///
+/// # Errors
+///
+/// [`EvalError::LengthMismatch`] when scores and labels differ in
+/// length, [`EvalError::NanScore`] when any score is NaN.
+pub fn auc(scores: &[f64], labels: &[usize]) -> Result<Option<f64>, EvalError> {
+    let pts = roc_points(scores, labels)?;
     if pts.is_empty() {
-        return None;
+        return Ok(None);
     }
     let mut area = 0.0;
     for w in pts.windows(2) {
         area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
     }
-    Some(area)
+    Ok(Some(area))
 }
 
 #[cfg(test)]
@@ -76,28 +93,28 @@ mod tests {
     fn perfect_separation_has_auc_one() {
         let scores = [0.9, 0.8, 0.2, 0.1];
         let labels = [1, 1, 0, 0];
-        assert!((auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+        assert!((auc(&scores, &labels).unwrap().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn inverted_scores_have_auc_zero() {
         let scores = [0.1, 0.2, 0.8, 0.9];
         let labels = [1, 1, 0, 0];
-        assert!(auc(&scores, &labels).unwrap() < 1e-12);
+        assert!(auc(&scores, &labels).unwrap().unwrap() < 1e-12);
     }
 
     #[test]
     fn random_interleaving_has_auc_half() {
         let scores = [0.4, 0.4, 0.4, 0.4];
         let labels = [1, 0, 1, 0];
-        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+        assert!((auc(&scores, &labels).unwrap().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn roc_starts_at_origin_ends_at_one_one() {
         let scores = [0.7, 0.3, 0.6, 0.1];
         let labels = [1, 0, 0, 1];
-        let pts = roc_points(&scores, &labels);
+        let pts = roc_points(&scores, &labels).unwrap();
         let first = pts.first().unwrap();
         let last = pts.last().unwrap();
         assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
@@ -106,9 +123,9 @@ mod tests {
 
     #[test]
     fn degenerate_classes_yield_none() {
-        assert_eq!(auc(&[0.5, 0.6], &[1, 1]), None);
-        assert_eq!(auc(&[0.5, 0.6], &[0, 0]), None);
-        assert!(roc_points(&[0.5], &[1]).is_empty());
+        assert_eq!(auc(&[0.5, 0.6], &[1, 1]), Ok(None));
+        assert_eq!(auc(&[0.5, 0.6], &[0, 0]), Ok(None));
+        assert!(roc_points(&[0.5], &[1]).unwrap().is_empty());
     }
 
     #[test]
@@ -117,12 +134,26 @@ mod tests {
         // diagonally, giving AUC 0.5.
         let scores = [0.5, 0.5];
         let labels = [1, 0];
-        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+        assert!((auc(&scores, &labels).unwrap().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn mismatched_inputs_panic() {
-        auc(&[0.1], &[1, 0]);
+    fn mismatched_inputs_are_a_typed_error() {
+        assert_eq!(
+            auc(&[0.1], &[1, 0]),
+            Err(EvalError::LengthMismatch { scores: 1, labels: 2 })
+        );
+    }
+
+    #[test]
+    fn nan_scores_are_a_typed_error() {
+        assert_eq!(
+            auc(&[0.3, f64::NAN, 0.2], &[1, 0, 1]),
+            Err(EvalError::NanScore { index: 1 })
+        );
+        assert_eq!(
+            roc_points(&[f64::NAN], &[1]),
+            Err(EvalError::NanScore { index: 0 })
+        );
     }
 }

@@ -300,7 +300,7 @@ impl FeaturePipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maleva_apisim::{Class, World, WorldConfig};
+    use maleva_apisim::{World, WorldConfig};
 
     fn sample_programs(n: usize, seed: u64) -> Vec<Program> {
         let world = World::new(WorldConfig::default());

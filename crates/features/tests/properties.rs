@@ -59,7 +59,7 @@ proptest! {
     fn zero_counts_map_to_zero_features(train in prop::collection::vec(counts_vec(), 1..8),
                                         t in transforms()) {
         let pipeline = FeaturePipeline::fit(t, &programs(train));
-        let f = pipeline.transform_counts(&vec![0u32; DIM]);
+        let f = pipeline.transform_counts(&[0u32; DIM]);
         prop_assert!(f.iter().all(|&v| v == 0.0));
     }
 

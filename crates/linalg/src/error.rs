@@ -35,6 +35,16 @@ pub enum LinalgError {
         /// The matrix shape `(rows, cols)`.
         shape: (usize, usize),
     },
+    /// A value that must be finite was NaN or ±Inf.
+    NonFinite {
+        /// What was being checked ("loss", "gradient", "weights", ...).
+        label: String,
+        /// Flat index of the first offending element.
+        index: usize,
+        /// The offending value, rendered as a string (NaN/inf survive
+        /// formatting but not JSON).
+        value: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -57,6 +67,11 @@ impl fmt::Display for LinalgError {
                 "index ({}, {}) out of bounds for {}x{} matrix",
                 index.0, index.1, shape.0, shape.1
             ),
+            LinalgError::NonFinite {
+                label,
+                index,
+                value,
+            } => write!(f, "non-finite value {value} in {label} at index {index}"),
         }
     }
 }

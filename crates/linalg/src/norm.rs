@@ -35,6 +35,17 @@ pub fn linf(x: &[f64]) -> f64 {
     x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
 }
 
+/// True iff every element is finite (no NaN, no ±Inf). True for an
+/// empty slice.
+///
+/// ```
+/// assert!(maleva_linalg::norm::all_finite(&[0.0, -1.5]));
+/// assert!(!maleva_linalg::norm::all_finite(&[0.0, f64::NAN]));
+/// ```
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
 /// L1 distance between two equal-length vectors.
 ///
 /// # Panics

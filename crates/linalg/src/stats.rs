@@ -104,6 +104,35 @@ pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
     Ok(cov.scale(1.0 / (x.rows() as f64 - 1.0)))
 }
 
+/// Checks that every element of a slice is finite, naming the first
+/// offender in the error. The numeric-stability guard behind the
+/// trainer's divergence detection.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NonFinite`] carrying `label`, the flat index
+/// of the first NaN/±Inf element, and its value.
+pub fn check_finite(label: &str, xs: &[f64]) -> Result<(), LinalgError> {
+    match xs.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(LinalgError::NonFinite {
+            label: label.to_string(),
+            index,
+            value: format!("{}", xs[index]),
+        }),
+    }
+}
+
+/// [`check_finite`] over a matrix's backing storage (row-major flat
+/// index in the error).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NonFinite`] for the first NaN/±Inf element.
+pub fn check_matrix_finite(label: &str, x: &Matrix) -> Result<(), LinalgError> {
+    check_finite(label, x.as_slice())
+}
+
 /// Mean of a slice; `None` for an empty slice.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -197,6 +226,25 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
         let c = covariance(&x).unwrap();
         assert!(c.iter().all(|v| v == 0.0));
+    }
+
+    #[test]
+    fn check_finite_names_the_first_offender() {
+        assert!(check_finite("loss", &[1.0, -2.0]).is_ok());
+        assert!(check_finite("loss", &[]).is_ok());
+        let err = check_finite("loss", &[0.0, f64::NAN, f64::INFINITY]).unwrap_err();
+        match err {
+            LinalgError::NonFinite { label, index, value } => {
+                assert_eq!(label, "loss");
+                assert_eq!(index, 1);
+                assert_eq!(value, "NaN");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![f64::NEG_INFINITY, 2.0]]).unwrap();
+        let err = check_matrix_finite("weights", &m).unwrap_err();
+        assert!(err.to_string().contains("weights"));
+        assert!(err.to_string().contains("index 2"));
     }
 
     #[test]

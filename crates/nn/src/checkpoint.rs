@@ -1,0 +1,198 @@
+//! Training checkpoints: serialize-everything snapshots of a run in
+//! progress, written every K epochs so a killed experiment resumes
+//! instead of restarting.
+//!
+//! A checkpoint captures *all* state the training loop threads from one
+//! epoch to the next — network parameters, optimizer accumulators, the
+//! RNG mid-stream, per-epoch statistics, and the early-stopping
+//! counters — so a resumed run is **bit-identical** to one that was
+//! never interrupted. The JSON codec round-trips `f64` exactly, which
+//! is what makes the bit-identity guarantee hold.
+//!
+//! Checkpoints are written atomically (temp file + rename) so a crash
+//! mid-write leaves the previous checkpoint intact.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::optim::OptimizerState;
+use crate::{Network, NnError, TrainReport};
+
+/// Format version; bump on incompatible layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File name used inside a checkpoint directory.
+const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// A full snapshot of a training run after some number of completed
+/// epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The first epoch still to run (i.e. `next_epoch` epochs completed).
+    pub next_epoch: usize,
+    /// Network parameters after `next_epoch` epochs.
+    pub network: Network,
+    /// Optimizer with all accumulator state.
+    pub optimizer: OptimizerState,
+    /// The trainer's RNG, mid-stream.
+    pub rng: ChaCha8Rng,
+    /// The shuffle permutation after the last completed epoch. The
+    /// Fisher–Yates shuffle permutes the *previous* epoch's order, so
+    /// the permutation itself is loop-carried state: without it a
+    /// resumed run would see different minibatches.
+    pub indices: Vec<usize>,
+    /// Per-epoch statistics so far.
+    pub report: TrainReport,
+    /// Best validation loss seen (early stopping); `None` encodes "none
+    /// yet" (+∞), which JSON cannot represent directly.
+    pub best_val_loss: Option<f64>,
+    /// Early-stopping counter: epochs since `best_val_loss` improved.
+    pub epochs_since_best: usize,
+    /// How many times the divergence policy has halved the learning rate.
+    pub lr_halvings: usize,
+}
+
+impl TrainCheckpoint {
+    /// The checkpoint file path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(CHECKPOINT_FILE)
+    }
+
+    /// Serializes the checkpoint into `dir` (created if missing),
+    /// atomically replacing any previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Checkpoint`] on I/O failure, [`NnError::Serialization`]
+    /// if encoding fails.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, NnError> {
+        fs::create_dir_all(dir).map_err(|e| NnError::Checkpoint {
+            detail: format!("creating {}: {e}", dir.display()),
+        })?;
+        let json = serde_json::to_string(self).map_err(|e| NnError::Serialization {
+            detail: e.to_string(),
+        })?;
+        let path = Self::path_in(dir);
+        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        fs::write(&tmp, json).map_err(|e| NnError::Checkpoint {
+            detail: format!("writing {}: {e}", tmp.display()),
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| NnError::Checkpoint {
+            detail: format!("renaming into {}: {e}", path.display()),
+        })?;
+        Ok(path)
+    }
+
+    /// Loads the checkpoint from `dir`, returning `Ok(None)` when no
+    /// checkpoint file exists (a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Checkpoint`] when the file exists but cannot be read,
+    /// parsed, or has an unsupported version.
+    pub fn load(dir: &Path) -> Result<Option<Self>, NnError> {
+        let path = Self::path_in(dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let json = fs::read_to_string(&path).map_err(|e| NnError::Checkpoint {
+            detail: format!("reading {}: {e}", path.display()),
+        })?;
+        let cp: TrainCheckpoint =
+            serde_json::from_str(&json).map_err(|e| NnError::Checkpoint {
+                detail: format!("parsing {}: {e}", path.display()),
+            })?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(NnError::Checkpoint {
+                detail: format!(
+                    "unsupported checkpoint version {} in {} (expected {CHECKPOINT_VERSION})",
+                    cp.version,
+                    path.display()
+                ),
+            });
+        }
+        Ok(Some(cp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use crate::{init, Activation, NetworkBuilder};
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        let network = NetworkBuilder::new(3)
+            .layer(4, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut rng = init::rng(5);
+        // Advance the stream so the serialized RNG is mid-sequence.
+        use rand::Rng as _;
+        for _ in 0..17 {
+            let _: f64 = rng.gen();
+        }
+        TrainCheckpoint {
+            version: CHECKPOINT_VERSION,
+            next_epoch: 3,
+            network,
+            optimizer: OptimizerState::Adam(Adam::new(0.004)),
+            rng,
+            indices: vec![2, 0, 1, 3],
+            report: TrainReport { epochs: Vec::new() },
+            best_val_loss: Some(0.123456789012345),
+            epochs_since_best: 1,
+            lr_halvings: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly_through_disk() {
+        let dir = std::env::temp_dir().join("maleva-ckpt-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let cp = sample_checkpoint();
+        let path = cp.save(&dir).unwrap();
+        assert!(path.exists());
+        let loaded = TrainCheckpoint::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, cp);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = std::env::temp_dir().join("maleva-ckpt-missing");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(TrainCheckpoint::load(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let dir = std::env::temp_dir().join("maleva-ckpt-version");
+        let _ = fs::remove_dir_all(&dir);
+        let mut cp = sample_checkpoint();
+        cp.version = 999;
+        cp.save(&dir).unwrap();
+        let err = TrainCheckpoint::load(&dir).unwrap_err();
+        assert!(matches!(err, NnError::Checkpoint { .. }), "{err:?}");
+        assert!(err.to_string().contains("version"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("maleva-ckpt-corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(TrainCheckpoint::path_in(&dir), "{not json").unwrap();
+        let err = TrainCheckpoint::load(&dir).unwrap_err();
+        assert!(matches!(err, NnError::Checkpoint { .. }), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,32 @@ pub enum NnError {
         /// Underlying serde error message.
         detail: String,
     },
+    /// Training produced a non-finite loss, gradient or weight — the run
+    /// has numerically diverged (exploding gradients, too-large learning
+    /// rate, degenerate data).
+    NumericDivergence {
+        /// Epoch (0-based) in which the divergence was detected.
+        epoch: usize,
+        /// Minibatch index (0-based) within the epoch.
+        batch: usize,
+        /// What diverged and where ("loss is NaN", "gradient ...").
+        detail: String,
+    },
+    /// A batch operation exceeded its failure budget: too many rows
+    /// failed for the result to be trusted.
+    BatchFailure {
+        /// Number of rows that failed (errors + panics).
+        failed: usize,
+        /// Total rows in the batch.
+        total: usize,
+        /// Policy description and first failure, for diagnostics.
+        detail: String,
+    },
+    /// Saving or loading a training checkpoint failed (I/O or parse).
+    Checkpoint {
+        /// Path and underlying error message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -44,7 +70,36 @@ impl fmt::Display for NnError {
             ),
             NnError::LabelMismatch { detail } => write!(f, "label mismatch: {detail}"),
             NnError::Serialization { detail } => write!(f, "serialization error: {detail}"),
+            NnError::NumericDivergence {
+                epoch,
+                batch,
+                detail,
+            } => write!(
+                f,
+                "numeric divergence at epoch {epoch}, batch {batch}: {detail}"
+            ),
+            NnError::BatchFailure {
+                failed,
+                total,
+                detail,
+            } => write!(f, "batch failure: {failed}/{total} rows failed ({detail})"),
+            NnError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
+    }
+}
+
+impl NnError {
+    /// Whether retrying the same operation could plausibly succeed.
+    ///
+    /// Numeric failures ([`NnError::NumericDivergence`] and non-finite
+    /// linalg values) are retryable — a different starting point,
+    /// learning rate or input often avoids them. Shape/config errors are
+    /// deterministic and are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NnError::NumericDivergence { .. } | NnError::Linalg(LinalgError::NonFinite { .. })
+        )
     }
 }
 
@@ -87,6 +142,36 @@ mod tests {
             detail: "x".into(),
         };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn new_variants_display_and_retryability() {
+        let e = NnError::NumericDivergence {
+            epoch: 3,
+            batch: 7,
+            detail: "loss is NaN".into(),
+        };
+        assert!(e.to_string().contains("epoch 3"));
+        assert!(e.is_retryable());
+        let e = NnError::BatchFailure {
+            failed: 2,
+            total: 10,
+            detail: "budget 0.1".into(),
+        };
+        assert!(e.to_string().contains("2/10"));
+        assert!(!e.is_retryable());
+        let e = NnError::Checkpoint {
+            detail: "no such file".into(),
+        };
+        assert!(e.to_string().contains("checkpoint"));
+        assert!(!e.is_retryable());
+        let e = NnError::Linalg(LinalgError::NonFinite {
+            label: "loss".into(),
+            index: 0,
+            value: "NaN".into(),
+        });
+        assert!(e.is_retryable());
+        assert!(!NnError::from(LinalgError::Empty).is_retryable());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::{Activation, NnError};
 ///
 /// Weights are stored `in_dim x out_dim` so a batch (rows = samples)
 /// multiplies on the left.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dense {
     weights: Matrix,
     bias: Vec<f64>,
@@ -276,13 +276,13 @@ mod tests {
             }
         }
         // bias
-        for j in 0..2 {
+        for (j, g) in gb.iter().enumerate().take(2) {
             let mut lp = l.clone();
             lp.bias_mut()[j] += eps;
             let mut lm = l.clone();
             lm.bias_mut()[j] -= eps;
             let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
-            assert!((numeric - gb[j]).abs() < 1e-5);
+            assert!((numeric - g).abs() < 1e-5);
         }
         // input
         for r in 0..2 {

@@ -53,20 +53,26 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod activation;
 mod error;
 mod layer;
 mod network;
 mod trainer;
+pub mod checkpoint;
 pub mod init;
 pub mod loss;
 pub mod optim;
 pub mod softmax;
 
 pub use activation::Activation;
+pub use checkpoint::TrainCheckpoint;
 pub use error::NnError;
 pub use layer::Dense;
 pub use network::{Gradients, Network, NetworkBuilder};
+pub use optim::OptimizerState;
 pub use softmax::{log_softmax, softmax, softmax_rows};
-pub use trainer::{EpochStats, LabelSource, TrainConfig, TrainReport, Trainer};
+pub use trainer::{
+    DivergencePolicy, EpochStats, LabelSource, TrainConfig, TrainReport, Trainer,
+};

@@ -17,7 +17,7 @@ use crate::{init, Activation, Dense, NnError};
 /// * substitute model — Table IV: 491 → 1200 → 1500 → 1300 → 2.
 ///
 /// Construct networks with [`NetworkBuilder`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
     layers: Vec<Dense>,
 }

@@ -31,7 +31,7 @@ pub trait Optimizer {
 
 /// Plain stochastic gradient descent with optional momentum and decoupled
 /// L2 weight decay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sgd {
     lr: f64,
     momentum: f64,
@@ -117,7 +117,7 @@ impl Optimizer for Sgd {
 }
 
 /// The Adam optimizer (Kingma & Ba, 2015), the paper's training choice.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Adam {
     lr: f64,
     beta1: f64,
@@ -217,6 +217,55 @@ pub fn step_matrix(opt: &mut dyn Optimizer, slot: usize, param: &mut Matrix, gra
     opt.step(slot, param.as_mut_slice(), grad.as_slice());
 }
 
+/// A concrete, serializable optimizer — one of the kinds the trainer can
+/// instantiate, with all accumulator state. This is what training
+/// checkpoints snapshot; resuming from it continues the *exact* update
+/// sequence (momentum buffers, Adam moments and timestep included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerState {
+    /// Adam with its first/second-moment accumulators and timestep.
+    Adam(Adam),
+    /// SGD with its momentum velocity buffers.
+    Sgd(Sgd),
+}
+
+impl OptimizerState {
+    /// The optimizer as a trait object for the update loop.
+    pub fn as_optimizer(&mut self) -> &mut dyn Optimizer {
+        match self {
+            OptimizerState::Adam(a) => a,
+            OptimizerState::Sgd(s) => s,
+        }
+    }
+
+    /// The current base learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        match self {
+            OptimizerState::Adam(a) => a.learning_rate(),
+            OptimizerState::Sgd(s) => s.learning_rate(),
+        }
+    }
+
+    /// Multiplies the learning rate by `factor` (used by the trainer's
+    /// halve-and-retry divergence policy). Accumulator state is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting learning rate is not positive and finite.
+    pub fn scale_learning_rate(&mut self, factor: f64) {
+        let lr = match self {
+            OptimizerState::Adam(a) => &mut a.lr,
+            OptimizerState::Sgd(s) => &mut s.lr,
+        };
+        let next = *lr * factor;
+        assert!(
+            next > 0.0 && next.is_finite(),
+            "scaled learning rate must be positive and finite, got {next}"
+        );
+        *lr = next;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +273,28 @@ mod tests {
     /// Minimize f(x) = (x - 3)² with gradient 2(x - 3).
     fn quadratic_grad(x: f64) -> f64 {
         2.0 * (x - 3.0)
+    }
+
+    #[test]
+    fn optimizer_state_dispatches_and_scales_lr() {
+        let mut st = OptimizerState::Adam(Adam::new(0.1));
+        assert_eq!(st.learning_rate(), 0.1);
+        st.scale_learning_rate(0.5);
+        assert_eq!(st.learning_rate(), 0.05);
+        let mut x = [0.0f64];
+        st.as_optimizer().tick();
+        st.as_optimizer().step(0, &mut x, &[quadratic_grad(0.0)]);
+        assert!(x[0] != 0.0);
+        let mut st = OptimizerState::Sgd(Sgd::new(1.0));
+        st.scale_learning_rate(0.25);
+        assert_eq!(st.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn optimizer_state_rejects_degenerate_scale() {
+        let mut st = OptimizerState::Sgd(Sgd::new(0.1));
+        st.scale_learning_rate(0.0);
     }
 
     #[test]

@@ -132,6 +132,44 @@ proptest! {
     }
 
     #[test]
+    fn checkpoint_resume_is_bit_identical(data_seed in 0u64..40,
+                                          train_seed in 0u64..40,
+                                          epochs in 2usize..7,
+                                          cut in 1usize..6) {
+        // Interrupting a checkpointed run at *any* epoch and resuming it
+        // must reproduce the uninterrupted run exactly — same per-epoch
+        // stats, same final parameters.
+        let cut = cut.min(epochs - 1);
+        let x = Matrix::from_fn(16, 4, |i, j| ((i * 7 + j * 13 + data_seed as usize) % 10) as f64 * 0.1);
+        let y: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let cfg = |n: usize| {
+            TrainConfig::new().epochs(n).batch_size(8).seed(train_seed)
+        };
+
+        let mut reference = build(4, &[6], Activation::ReLU, 3);
+        let ref_report = Trainer::new(cfg(epochs)).fit(&mut reference, &x, &y).expect("reference");
+
+        let dir = std::env::temp_dir().join(format!(
+            "maleva-prop-ckpt-{data_seed}-{train_seed}-{epochs}-{cut}"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // "Interrupted": run only the first `cut` epochs, checkpointing.
+        let mut partial = build(4, &[6], Activation::ReLU, 3);
+        Trainer::new(cfg(cut).checkpoint_dir(&dir))
+            .fit(&mut partial, &x, &y)
+            .expect("partial");
+        // Resume with the full budget on a fresh network.
+        let mut resumed = build(4, &[6], Activation::ReLU, 3);
+        let resumed_report = Trainer::new(cfg(epochs).checkpoint_dir(&dir).resume(true))
+            .fit(&mut resumed, &x, &y)
+            .expect("resumed");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(ref_report, resumed_report);
+        prop_assert_eq!(reference, resumed);
+    }
+
+    #[test]
     fn probability_jacobian_columns_sum_to_zero((input, hidden, act, seed) in arch()) {
         let net = build(input, &hidden, act, seed);
         let sample: Vec<f64> = (0..input).map(|i| (i as f64 * 0.3).sin() * 0.5).collect();

@@ -1,0 +1,149 @@
+//! Cross-crate fault-tolerance guarantees at the full 491-feature
+//! dimension: a panicking or erroring attack on one sample must not
+//! poison the rest of the batch, and the failure-budget policy must
+//! abort loudly when too many rows fail.
+
+use std::sync::OnceLock;
+
+use maleva_attack::{
+    craft_batch_parallel_with, AttackOutcome, BatchPolicy, EvasionAttack, FailureBudget, Jsma,
+    RowOutcome,
+};
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_nn::{Network, NnError};
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 777).expect("context"))
+}
+
+/// Wraps JSMA but panics or errors on a fixed set of row indices,
+/// identified by pointer-free means: the crafting order is not
+/// guaranteed, so rows are marked by content (an out-of-domain value in
+/// column 0 — real features live in [0, 1]).
+struct Sabotaged {
+    inner: Jsma,
+    panic_mark: f64,
+    err_mark: f64,
+}
+
+impl EvasionAttack for Sabotaged {
+    fn name(&self) -> &str {
+        "sabotaged-jsma"
+    }
+
+    fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        if sample[0] == self.panic_mark {
+            panic!("injected fault");
+        }
+        if sample[0] == self.err_mark {
+            return Err(NnError::InvalidConfig {
+                detail: "injected fault".into(),
+            });
+        }
+        self.inner.craft(net, sample)
+    }
+}
+
+const PANIC_MARK: f64 = 2.0;
+const ERR_MARK: f64 = 3.0;
+
+fn sabotaged() -> Sabotaged {
+    Sabotaged {
+        inner: Jsma::new(0.2, 0.05),
+        panic_mark: PANIC_MARK,
+        err_mark: ERR_MARK,
+    }
+}
+
+/// The acceptance scenario: one sample's attack panics mid-batch. The
+/// report must call out exactly that row as `Panicked`, degrade it to
+/// the unperturbed input, and leave every other row bit-identical to a
+/// sequential single-row craft.
+#[test]
+fn panicked_sample_is_isolated_from_the_rest_of_the_batch() {
+    let ctx = ctx();
+    let mut batch = ctx.attack_batch();
+    let victim = 1;
+    batch.set(victim, 0, PANIC_MARK);
+
+    let jsma = Jsma::new(0.2, 0.05);
+    let policy = BatchPolicy::new()
+        .threads(4)
+        .failure_budget(FailureBudget::Degrade);
+    let report = craft_batch_parallel_with(&sabotaged(), ctx.target(), &batch, &policy)
+        .expect("degrade policy tolerates the fault");
+
+    assert_eq!(report.rows.len(), batch.rows());
+    assert_eq!(report.panicked_count(), 1);
+    for (r, outcome) in report.rows.iter().enumerate() {
+        if r == victim {
+            match outcome {
+                RowOutcome::Panicked { message } => {
+                    assert!(message.contains("injected fault"), "payload: {message}");
+                }
+                other => panic!("victim row should be Panicked, got {other:?}"),
+            }
+            assert_eq!(report.adversarial.row(r), batch.row(r), "victim must degrade");
+        } else {
+            let reference = jsma.craft(ctx.target(), batch.row(r)).expect("sequential");
+            match outcome {
+                RowOutcome::Ok(o) => assert_eq!(o, &reference, "row {r} diverged"),
+                other => panic!("row {r} should be Ok, got {other:?}"),
+            }
+            assert_eq!(
+                report.adversarial.row(r),
+                reference.adversarial.as_slice(),
+                "row {r} adversarial bytes diverged"
+            );
+        }
+    }
+}
+
+/// An erroring row (as opposed to a panicking one) carries the typed
+/// error and likewise degrades without disturbing its neighbours.
+#[test]
+fn erroring_sample_carries_the_typed_error() {
+    let ctx = ctx();
+    let mut batch = ctx.attack_batch();
+    batch.set(0, 0, ERR_MARK);
+
+    let policy = BatchPolicy::new()
+        .threads(2)
+        .failure_budget(FailureBudget::Degrade);
+    let report = craft_batch_parallel_with(&sabotaged(), ctx.target(), &batch, &policy)
+        .expect("degrade policy tolerates the fault");
+
+    assert_eq!(report.err_count(), 1);
+    match &report.rows[0] {
+        RowOutcome::Err(NnError::InvalidConfig { detail }) => {
+            assert_eq!(detail, "injected fault");
+        }
+        other => panic!("row 0 should carry the typed error, got {other:?}"),
+    }
+    assert_eq!(report.adversarial.row(0), batch.row(0));
+    assert!(report.rows[1..].iter().all(RowOutcome::is_ok));
+}
+
+/// A strict failure budget aborts the whole batch with a `BatchFailure`
+/// naming the damage, instead of silently degrading.
+#[test]
+fn exceeded_failure_budget_aborts_the_batch() {
+    let ctx = ctx();
+    let mut batch = ctx.attack_batch();
+    batch.set(0, 0, PANIC_MARK);
+    batch.set(1, 0, ERR_MARK);
+
+    let policy = BatchPolicy::new()
+        .threads(3)
+        .failure_budget(FailureBudget::AbortAbove { fraction: 0.02 });
+    let err = craft_batch_parallel_with(&sabotaged(), ctx.target(), &batch, &policy)
+        .expect_err("two faults exceed a 2% budget");
+    match err {
+        NnError::BatchFailure { failed, total, .. } => {
+            assert_eq!(failed, 2);
+            assert_eq!(total, batch.rows());
+        }
+        other => panic!("expected BatchFailure, got {other:?}"),
+    }
+}

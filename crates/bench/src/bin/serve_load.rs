@@ -1,0 +1,424 @@
+//! `serve_load` — load-test baseline for the `maleva-serve` scoring
+//! service, written as `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]
+//!            [--clients C] [--max-batch B] [--keyspace K] [--out PATH]
+//! ```
+//!
+//! Two measurements:
+//!
+//! 1. **In-process forward comparison** — the same feature rows scored
+//!    per-row ([`maleva_serve::score_rows_sequential`]) vs in batched
+//!    chunks ([`maleva_serve::score_rows`]), with a bitwise equality
+//!    check: batching must be a pure throughput optimization.
+//! 2. **End-to-end phases** — client threads hammer an in-process
+//!    server over TCP for `--seconds / 3` each:
+//!    `unbatched` (max batch 1, cache off), `batched` (max batch B,
+//!    cache off), and `cached` (max batch B, cache on, keyspace-limited
+//!    request pool so repeats hit).
+//!
+//! The headline number is `batched_vs_unbatched_speedup` — end-to-end
+//! throughput of the batched phase over the unbatched one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
+use maleva_serve::{score_rows, score_rows_sequential, spawn, ServeConfig};
+use serde::Serialize;
+
+struct Args {
+    scale: ExperimentScale,
+    seed: u64,
+    seconds: f64,
+    clients: usize,
+    max_batch: usize,
+    keyspace: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: ExperimentScale::tiny(),
+        seed: 42,
+        seconds: 6.0,
+        clients: 8,
+        max_batch: 32,
+        keyspace: 64,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = match value("scale")?.as_str() {
+                    "tiny" => ExperimentScale::tiny(),
+                    "quick" => ExperimentScale::quick(),
+                    "paper" => ExperimentScale::paper(),
+                    other => return Err(format!("unknown scale: {other}")),
+                };
+            }
+            "--seed" => args.seed = value("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seconds" => {
+                args.seconds =
+                    value("seconds")?.parse().map_err(|e| format!("bad --seconds: {e}"))?;
+            }
+            "--clients" => {
+                args.clients =
+                    value("clients")?.parse().map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--max-batch" => {
+                args.max_batch =
+                    value("max-batch")?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
+            }
+            "--keyspace" => {
+                args.keyspace =
+                    value("keyspace")?.parse().map_err(|e| format!("bad --keyspace: {e}"))?;
+            }
+            "--out" => args.out = value("out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]\n\
+                     \x20                 [--clients C] [--max-batch B] [--keyspace K] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.seconds <= 0.0 || args.clients == 0 || args.max_batch == 0 || args.keyspace == 0 {
+        return Err("--seconds, --clients, --max-batch, and --keyspace must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Per-batch-size result of the in-process forward comparison.
+#[derive(Serialize)]
+struct ForwardResult {
+    batch: usize,
+    rows: usize,
+    sequential_ns_per_row: f64,
+    batched_ns_per_row: f64,
+    speedup: f64,
+}
+
+/// One end-to-end server phase.
+#[derive(Serialize)]
+struct PhaseResult {
+    name: &'static str,
+    max_batch: usize,
+    cache_capacity: usize,
+    seconds: f64,
+    requests_ok: u64,
+    requests_err: u64,
+    throughput_rps: f64,
+    mean_batch_size: f64,
+    cache_hit_rate: f64,
+    p50_latency_us: u64,
+    p99_latency_us: u64,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    scale: String,
+    seed: u64,
+    clients: usize,
+    keyspace: usize,
+    max_batch: usize,
+    feature_dim: usize,
+    bit_identical: bool,
+    /// Best per-row-vs-batched forward speedup at batch size >= 8 — the
+    /// headline "batching beats per-row scoring" number.
+    batched_forward_speedup: f64,
+    forward: Vec<ForwardResult>,
+    phases: Vec<PhaseResult>,
+    batched_vs_unbatched_speedup: f64,
+    cached_vs_unbatched_speedup: f64,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[serve_load] building context (scale={}, seed={}) ...",
+        args.scale.name, args.seed
+    );
+    let t = Instant::now();
+    let ctx = ExperimentContext::build(args.scale.clone(), args.seed).expect("context");
+    eprintln!("[serve_load] context ready in {:.1?}", t.elapsed());
+
+    // Request pool: `keyspace` distinct test-set count vectors, each
+    // pre-rendered as a protocol line. The cached phase replays these,
+    // so a keyspace smaller than the request volume guarantees hits.
+    let test = ctx.dataset.test();
+    assert!(!test.is_empty(), "test split is empty");
+    let pool_counts: Vec<Vec<u32>> = (0..args.keyspace)
+        .map(|i| test[i % test.len()].counts().to_vec())
+        .collect();
+    let lines: Arc<Vec<String>> = Arc::new(pool_counts.iter().map(|c| render_line(c)).collect());
+
+    let (forward, bit_identical) = forward_comparison(&ctx.detector, &pool_counts, args.max_batch);
+    for f in &forward {
+        println!(
+            "forward batch {:>3}: {:>8.0} ns/row sequential, {:>8.0} ns/row batched, speedup {:.2}x",
+            f.batch, f.sequential_ns_per_row, f.batched_ns_per_row, f.speedup
+        );
+    }
+    println!("bit_identical: {bit_identical}");
+
+    let phase_secs = args.seconds / 3.0;
+    let specs: [(&'static str, usize, usize); 3] = [
+        ("unbatched", 1, 0),
+        ("batched", args.max_batch, 0),
+        ("cached", args.max_batch, 4096),
+    ];
+    let mut phases = Vec::new();
+    for (name, max_batch, cache_capacity) in specs {
+        eprintln!("[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...", args.clients);
+        let phase = run_phase(
+            name,
+            ctx.detector.clone(),
+            &lines,
+            args.clients,
+            phase_secs,
+            max_batch,
+            cache_capacity,
+        );
+        println!(
+            "phase {:<9} {:>8.0} req/s  p50 {:>5} us  p99 {:>6} us  mean batch {:>4.1}  \
+             cache hits {:>5.1}%  errors {}",
+            phase.name,
+            phase.throughput_rps,
+            phase.p50_latency_us,
+            phase.p99_latency_us,
+            phase.mean_batch_size,
+            phase.cache_hit_rate * 100.0,
+            phase.requests_err
+        );
+        phases.push(phase);
+    }
+
+    let speedup = |num: &PhaseResult, den: &PhaseResult| {
+        if den.throughput_rps > 0.0 {
+            num.throughput_rps / den.throughput_rps
+        } else {
+            0.0
+        }
+    };
+    let batched_forward_speedup = forward
+        .iter()
+        .filter(|f| f.batch >= 8)
+        .map(|f| f.speedup)
+        .fold(0.0, f64::max);
+    let report = BenchReport {
+        bench: "serve_load",
+        scale: args.scale.name.to_string(),
+        seed: args.seed,
+        clients: args.clients,
+        keyspace: args.keyspace,
+        max_batch: args.max_batch,
+        feature_dim: ctx.detector.features().dim(),
+        bit_identical,
+        batched_forward_speedup,
+        batched_vs_unbatched_speedup: speedup(&phases[1], &phases[0]),
+        cached_vs_unbatched_speedup: speedup(&phases[2], &phases[0]),
+        forward,
+        phases,
+    };
+    println!(
+        "batched forward speedup (batch >= 8): {:.2}x | end-to-end batched vs unbatched: \
+         {:.2}x | cached vs unbatched: {:.2}x",
+        report.batched_forward_speedup,
+        report.batched_vs_unbatched_speedup,
+        report.cached_vs_unbatched_speedup
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("encode report");
+    std::fs::write(&args.out, json + "\n").expect("write report");
+    println!("wrote {}", args.out);
+
+    if !bit_identical {
+        eprintln!("error: batched scores diverged from sequential scores");
+        return ExitCode::FAILURE;
+    }
+    if batched_forward_speedup <= 1.0 {
+        eprintln!(
+            "error: batched forward did not beat per-row scoring \
+             ({batched_forward_speedup:.2}x at batch >= 8)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders one `{"features": [...]}` request line (no newline).
+fn render_line(counts: &[u32]) -> String {
+    let mut line = String::with_capacity(counts.len() * 4 + 16);
+    line.push_str("{\"features\":[");
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&c.to_string());
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Times the batched forward against per-row scoring on the same rows
+/// and verifies bitwise equality of every score.
+fn forward_comparison(
+    detector: &DetectorPipeline,
+    pool: &[Vec<u32>],
+    max_batch: usize,
+) -> (Vec<ForwardResult>, bool) {
+    const ROWS: usize = 256;
+    const REPS: usize = 3;
+    let rows: Vec<Vec<f64>> = (0..ROWS)
+        .map(|i| detector.features().transform_counts(&pool[i % pool.len()]))
+        .collect();
+    let network = detector.network();
+
+    let reference = score_rows_sequential(network, &rows).expect("sequential scores");
+    let best_ns = |f: &dyn Fn() -> Vec<f64>| {
+        (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                let out = f();
+                let ns = t.elapsed().as_nanos() as f64;
+                assert_eq!(out.len(), ROWS);
+                ns
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let seq_ns = best_ns(&|| score_rows_sequential(network, &rows).expect("sequential"));
+
+    let mut sizes = vec![1, 8, 32, max_batch];
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut bit_identical = true;
+    let results = sizes
+        .into_iter()
+        .map(|batch| {
+            let run = || -> Vec<f64> {
+                rows.chunks(batch)
+                    .flat_map(|chunk| score_rows(network, chunk).expect("batched"))
+                    .collect()
+            };
+            let scores = run();
+            bit_identical &= scores
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            let batched_ns = best_ns(&run);
+            ForwardResult {
+                batch,
+                rows: ROWS,
+                sequential_ns_per_row: seq_ns / ROWS as f64,
+                batched_ns_per_row: batched_ns / ROWS as f64,
+                speedup: seq_ns / batched_ns,
+            }
+        })
+        .collect();
+    (results, bit_identical)
+}
+
+/// Runs one end-to-end phase: spawns a fresh server, hammers it with
+/// `clients` threads for `seconds`, then shuts it down and reads the
+/// final metrics.
+fn run_phase(
+    name: &'static str,
+    detector: DetectorPipeline,
+    lines: &Arc<Vec<String>>,
+    clients: usize,
+    seconds: f64,
+    max_batch: usize,
+    cache_capacity: usize,
+) -> PhaseResult {
+    let config = ServeConfig {
+        max_batch,
+        cache_capacity,
+        // Opportunistic batching: drain whatever queued while the
+        // previous batch was scoring, never stall waiting for
+        // stragglers. Keeps every phase work-conserving so the
+        // batched-vs-unbatched comparison isolates the forward-pass
+        // amortization.
+        batch_timeout: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(detector, config).expect("spawn server");
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let lines = Arc::clone(lines);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> (u64, u64) {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let (mut ok, mut err) = (0u64, 0u64);
+                let mut resp = String::new();
+                // Per-client offset so clients do not move in lockstep.
+                let mut i = c * lines.len() / clients.max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    let line = &lines[i % lines.len()];
+                    i += 1;
+                    if writer.write_all(line.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                    {
+                        break;
+                    }
+                    resp.clear();
+                    match reader.read_line(&mut resp) {
+                        Ok(n) if n > 0 && resp.starts_with("{\"score\"") => ok += 1,
+                        Ok(n) if n > 0 => err += 1,
+                        _ => break,
+                    }
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let (mut ok, mut err) = (0u64, 0u64);
+    for w in workers {
+        let (o, e) = w.join().expect("client thread");
+        ok += o;
+        err += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let snap = handle.shutdown();
+
+    PhaseResult {
+        name,
+        max_batch,
+        cache_capacity,
+        seconds: elapsed,
+        requests_ok: ok,
+        requests_err: err,
+        throughput_rps: ok as f64 / elapsed,
+        mean_batch_size: snap.mean_batch_size,
+        cache_hit_rate: snap.cache_hit_rate,
+        p50_latency_us: snap.p50_latency_us,
+        p99_latency_us: snap.p99_latency_us,
+    }
+}

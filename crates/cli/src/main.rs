@@ -7,6 +7,8 @@
 //! maleva gen   --out sample.log [--class malware|clean] [--seed N]
 //! maleva attack --model detector.json --log sample.log [--theta T] [--gamma G] [--out evaded.log]
 //! maleva info  --model detector.json
+//! maleva serve --model detector.json [--addr HOST:PORT] [--max-batch N]
+//!              [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
 //! ```
 //!
 //! The model artifact is a single JSON file holding the API vocabulary,
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "attack" => cmd_attack(&flags),
         "info" => cmd_info(&flags),
+        "serve" => cmd_serve(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -64,7 +67,9 @@ usage:
   maleva gen    --out sample.log [--class malware|clean] [--seed N]
   maleva attack --model detector.json --log sample.log
                 [--theta T] [--gamma G] [--out evaded.log]
-  maleva info   --model detector.json";
+  maleva info   --model detector.json
+  maleva serve  --model detector.json [--addr HOST:PORT] [--max-batch N]
+                [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]";
 
 /// Flags that take no value; parsed as `"true"`.
 const BOOLEAN_FLAGS: &[&str] = &["resume"];
@@ -237,6 +242,47 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(out, &modified_log).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("wrote modified log to {out}");
     }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let detector = load_model(flags)?;
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    let defaults = maleva_serve::ServeConfig::default();
+    let config = maleva_serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        max_batch: parse_usize("max-batch", defaults.max_batch)?,
+        batch_timeout: std::time::Duration::from_millis(
+            parse_usize("batch-timeout-ms", defaults.batch_timeout.as_millis() as usize)? as u64,
+        ),
+        queue_capacity: parse_usize("queue-cap", defaults.queue_capacity)?,
+        cache_capacity: parse_usize("cache-cap", defaults.cache_capacity)?,
+        max_line_bytes: defaults.max_line_bytes,
+    };
+    let max_batch = config.max_batch;
+    let handle =
+        maleva_serve::spawn(detector, config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "maleva-serve listening on {} (max batch {max_batch}); \
+         send {{\"cmd\":\"shutdown\"}} to stop",
+        handle.addr()
+    );
+    let stats = handle.join();
+    println!(
+        "served {} requests in {} batches (mean batch {:.1}, cache hit rate {:.1}%)",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch_size,
+        stats.cache_hit_rate * 100.0
+    );
     Ok(())
 }
 

@@ -109,8 +109,15 @@ impl Network {
     /// Returns [`NnError::InputShape`] if the batch width is wrong.
     pub fn logits(&self, x: &Matrix) -> Result<Matrix, NnError> {
         self.check_input(x)?;
-        let mut h = x.clone();
-        for layer in &self.layers {
+        // Feed the first layer from `x` directly: cloning the input
+        // would cost a batch-sized allocation per forward pass, which
+        // dominates serving-path latency at large batches.
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return Ok(x.clone());
+        };
+        let mut h = first.forward(x)?;
+        for layer in layers {
             h = layer.forward(&h)?;
         }
         Ok(h)
@@ -146,6 +153,35 @@ impl Network {
     /// Returns [`NnError::InputShape`] if the batch width is wrong.
     pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>, NnError> {
         Ok(self.logits(x)?.argmax_rows())
+    }
+
+    /// Batched inference over loose feature rows: packs `rows` into one
+    /// `Matrix` and runs a single forward pass (one matmul per layer
+    /// instead of one per row). This is the serving hot path's entry
+    /// point — `maleva-serve` drains its micro-batch queue into this.
+    ///
+    /// The result is **bit-identical** to calling
+    /// [`Network::predict_proba`] on each row individually: every output
+    /// row of a matmul is an independent dot-product accumulation over
+    /// that row alone, so batching changes neither operation order nor
+    /// rounding (`maleva-serve`'s proptests pin this invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if `rows` is empty or any row's
+    /// width differs from `input_dim()`.
+    pub fn predict_proba_rows(&self, rows: &[Vec<f64>]) -> Result<Matrix, NnError> {
+        if let Some(bad) = rows.iter().find(|r| r.len() != self.input_dim()) {
+            return Err(NnError::InputShape {
+                expected: self.input_dim(),
+                actual: bad.len(),
+            });
+        }
+        let x = Matrix::from_rows(rows).map_err(|_| NnError::InputShape {
+            expected: self.input_dim(),
+            actual: 0,
+        })?;
+        self.predict_proba(&x)
     }
 
     /// Training forward pass with dropout; returns logits and the caches
@@ -567,6 +603,36 @@ mod tests {
             let col_sum: f64 = (0..2).map(|c| jac.get(c, j)).sum();
             assert!(col_sum.abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn predict_proba_rows_is_bit_identical_to_per_row() {
+        let net = tiny_net(21);
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                vec![t.sin(), (t * 1.7).cos(), t.tanh() - 0.5]
+            })
+            .collect();
+        let batched = net.predict_proba_rows(&rows).unwrap();
+        assert_eq!(batched.shape(), (17, 2));
+        for (i, row) in rows.iter().enumerate() {
+            let single = net.predict_proba(&Matrix::row_vector(row)).unwrap();
+            for c in 0..2 {
+                // Exact bitwise equality, not approximate: batching must
+                // not perturb the serving scores at all.
+                assert_eq!(batched.get(i, c).to_bits(), single.get(0, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_rejects_bad_shapes() {
+        let net = tiny_net(22);
+        assert!(net.predict_proba_rows(&[]).is_err());
+        assert!(net
+            .predict_proba_rows(&[vec![0.0; 3], vec![0.0; 4]])
+            .is_err());
     }
 
     #[test]

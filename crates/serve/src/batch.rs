@@ -1,0 +1,168 @@
+//! The micro-batching core: job types and the pure batched scorer.
+//!
+//! Acceptor threads enqueue [`ScoreJob`]s into a bounded channel; the
+//! scorer thread drains up to `max_batch` jobs (or until the batch
+//! deadline) and runs **one** batched forward pass via
+//! [`score_rows`]. The contract — pinned by this crate's proptests —
+//! is that batched scores are bit-identical to scoring each row alone,
+//! so batching is purely a throughput optimization, never a semantic
+//! one.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use maleva_nn::{Network, NnError};
+
+/// One pending scoring request travelling from a connection thread to
+/// the scorer thread.
+pub struct ScoreJob {
+    /// Transformed feature row (already through the feature pipeline).
+    pub features: Vec<f64>,
+    /// Quantized cache key for post-scoring insertion.
+    pub cache_key: Vec<i64>,
+    /// Where the scorer sends the result.
+    pub reply: mpsc::Sender<ScoredReply>,
+}
+
+/// The scorer's answer to one [`ScoreJob`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredReply {
+    /// Malware confidence in `[0, 1]`.
+    pub score: f64,
+    /// Number of rows in the batch this job was scored with.
+    pub batch_size: usize,
+}
+
+/// Scores `rows` (transformed features) in one batched forward pass,
+/// returning the malware confidence (class-1 probability) per row.
+///
+/// Bit-identical to calling the network on each row individually — see
+/// [`maleva_nn::Network::predict_proba_rows`].
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] if `rows` is empty or any row's
+/// width differs from the network's input dimensionality.
+pub fn score_rows(network: &Network, rows: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
+    let proba = network.predict_proba_rows(rows)?;
+    Ok((0..proba.rows()).map(|r| proba.get(r, 1)).collect())
+}
+
+/// Reference implementation: scores each row with its own forward pass.
+/// Exists so tests can assert the batched path bit-identically matches.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputShape`] on row-width mismatch.
+pub fn score_rows_sequential(network: &Network, rows: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
+    rows.iter()
+        .map(|row| {
+            let proba = network.predict_proba_rows(std::slice::from_ref(row))?;
+            Ok(proba.get(0, 1))
+        })
+        .collect()
+}
+
+/// Drains one micro-batch from `rx`: blocks for the first job, then
+/// keeps collecting until `max_batch` jobs are gathered or
+/// `batch_timeout` elapses since the first arrival. Returns `None` once
+/// the channel is disconnected and empty (drain complete).
+pub fn collect_batch(
+    rx: &mpsc::Receiver<ScoreJob>,
+    max_batch: usize,
+    batch_timeout: Duration,
+) -> Option<Vec<ScoreJob>> {
+    let first = rx.recv().ok()?;
+    let mut jobs = vec![first];
+    let deadline = Instant::now() + batch_timeout;
+    while jobs.len() < max_batch {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // Deadline passed: take whatever is already queued, but do
+            // not wait for stragglers.
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(remaining) {
+                Ok(job) => jobs.push(job),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    Some(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maleva_nn::{Activation, NetworkBuilder};
+
+    fn net() -> Network {
+        NetworkBuilder::new(4)
+            .layer(6, Activation::ReLU)
+            .layer(2, Activation::Identity)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_equals_sequential_bitwise() {
+        let net = net();
+        let rows: Vec<Vec<f64>> = (0..13)
+            .map(|i| (0..4).map(|j| ((i * 7 + j) as f64 * 0.13).sin().abs()).collect())
+            .collect();
+        let batched = score_rows(&net, &rows).unwrap();
+        let sequential = score_rows_sequential(&net, &rows).unwrap();
+        assert_eq!(batched.len(), 13);
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn collect_batch_honors_max_batch() {
+        let (tx, rx) = mpsc::sync_channel::<ScoreJob>(16);
+        let (reply, _keep) = mpsc::channel();
+        for _ in 0..5 {
+            tx.try_send(ScoreJob {
+                features: vec![0.0; 4],
+                cache_key: vec![],
+                reply: reply.clone(),
+            })
+            .unwrap();
+        }
+        let batch = collect_batch(&rx, 3, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch.len(), 3);
+        let batch = collect_batch(&rx, 3, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn collect_batch_returns_none_when_disconnected() {
+        let (tx, rx) = mpsc::sync_channel::<ScoreJob>(4);
+        drop(tx);
+        assert!(collect_batch(&rx, 8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn collect_batch_drains_leftovers_after_disconnect() {
+        let (tx, rx) = mpsc::sync_channel::<ScoreJob>(4);
+        let (reply, _keep) = mpsc::channel();
+        for _ in 0..2 {
+            tx.try_send(ScoreJob {
+                features: vec![],
+                cache_key: vec![],
+                reply: reply.clone(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        let batch = collect_batch(&rx, 8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(collect_batch(&rx, 8, Duration::from_millis(1)).is_none());
+    }
+}

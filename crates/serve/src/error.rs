@@ -1,0 +1,133 @@
+use std::error::Error;
+use std::fmt;
+
+/// Typed protocol/service errors, each of which maps to one `error`
+/// response on the wire (see [`crate::protocol`]).
+///
+/// Like `maleva-eval`'s `EvalError`, every variant names the condition
+/// precisely so clients can branch on `kind` without parsing prose; a
+/// malformed request must never panic the server or hang the
+/// connection.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request line is not valid JSON.
+    MalformedJson {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The request JSON parsed but is not a known request shape.
+    UnknownCommand {
+        /// The offending `cmd` value (or a shape description).
+        command: String,
+    },
+    /// `features` has the wrong number of entries.
+    WrongDimension {
+        /// The detector's feature dimensionality.
+        expected: usize,
+        /// What the request supplied.
+        actual: usize,
+    },
+    /// A feature count is NaN, infinite, negative, fractional, or too
+    /// large to be an API-call count.
+    InvalidFeature {
+        /// Index of the first offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The request line exceeds the server's line-length limit.
+    LineTooLong {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The scoring queue is full; the client should back off and retry.
+    Overloaded {
+        /// The queue's bounded capacity.
+        capacity: usize,
+    },
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The scorer failed internally (should not happen for validated
+    /// input; surfaced instead of hanging the connection).
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// A stable machine-readable tag for the error (the wire `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::MalformedJson { .. } => "malformed_json",
+            ServeError::UnknownCommand { .. } => "unknown_command",
+            ServeError::WrongDimension { .. } => "wrong_dimension",
+            ServeError::InvalidFeature { .. } => "invalid_feature",
+            ServeError::LineTooLong { .. } => "line_too_long",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether the client may retry the identical request later
+    /// (transient service conditions, as opposed to malformed input).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::MalformedJson { detail } => write!(f, "malformed JSON: {detail}"),
+            ServeError::UnknownCommand { command } => write!(f, "unknown command: {command}"),
+            ServeError::WrongDimension { expected, actual } => {
+                write!(f, "expected {expected} features, got {actual}")
+            }
+            ServeError::InvalidFeature { index, value } => {
+                write!(f, "feature {index} is not a valid API-call count: {value}")
+            }
+            ServeError::LineTooLong { limit } => {
+                write!(f, "request line exceeds the {limit}-byte limit")
+            }
+            ServeError::Overloaded { capacity } => {
+                write!(f, "scoring queue full ({capacity} pending); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let all = [
+            ServeError::MalformedJson { detail: "x".into() },
+            ServeError::UnknownCommand { command: "x".into() },
+            ServeError::WrongDimension { expected: 1, actual: 2 },
+            ServeError::InvalidFeature { index: 0, value: -1.0 },
+            ServeError::LineTooLong { limit: 8 },
+            ServeError::Overloaded { capacity: 4 },
+            ServeError::ShuttingDown,
+            ServeError::Internal { detail: "x".into() },
+        ];
+        let kinds: std::collections::HashSet<&str> = all.iter().map(ServeError::kind).collect();
+        assert_eq!(kinds.len(), all.len());
+        assert!(all.iter().all(|e| !e.to_string().is_empty()));
+    }
+
+    #[test]
+    fn only_overload_is_retryable() {
+        assert!(ServeError::Overloaded { capacity: 1 }.is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::MalformedJson { detail: String::new() }.is_retryable());
+    }
+}

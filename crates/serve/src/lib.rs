@@ -1,0 +1,50 @@
+//! `maleva-serve` — a batched TCP scoring service for the maleva
+//! detector.
+//!
+//! The paper's detector is an operational product: a fleet of clients
+//! submits PE samples and gets verdicts back. This crate is that
+//! serving hot path for the reproduction — a multi-threaded
+//! `std::net` server speaking newline-delimited JSON
+//! (see [`protocol`]) with the structure production scorers use:
+//!
+//! * **micro-batching** ([`batch`]) — requests queue into a bounded
+//!   channel; the scorer thread drains up to `max_batch` rows and runs
+//!   one batched forward pass, with batched scores **bit-identical**
+//!   to per-row scoring (batching is a throughput optimization, never
+//!   a semantic change);
+//! * **LRU score cache** ([`cache`]) — keyed by the quantized feature
+//!   vector, answering repeats without touching the network;
+//! * **backpressure** — a full queue yields a typed
+//!   [`ServeError::Overloaded`] response instead of blocking, and
+//!   shutdown drains in-flight work before stopping;
+//! * **metrics** ([`metrics`]) — lock-free counters and a fixed-bucket
+//!   latency histogram, exposed via `{"cmd": "stats"}`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use maleva_core::{ExperimentContext, ExperimentScale};
+//! use maleva_serve::{spawn, ServeConfig};
+//!
+//! let ctx = ExperimentContext::build(ExperimentScale::tiny(), 42).unwrap();
+//! let handle = spawn(ctx.detector, ServeConfig::default()).unwrap();
+//! println!("scoring on {}", handle.addr());
+//! handle.join(); // until a client sends {"cmd": "shutdown"}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+mod error;
+pub mod metrics;
+pub mod protocol;
+mod server;
+
+pub use batch::{score_rows, score_rows_sequential};
+pub use cache::LruCache;
+pub use error::ServeError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{parse_request, Request, ScoreResponse};
+pub use server::{spawn, ServeConfig, ServerHandle};

@@ -1,0 +1,215 @@
+//! Lock-free service metrics: atomic counters plus a fixed-bucket
+//! latency histogram.
+//!
+//! Every counter is a relaxed `AtomicU64` — the snapshot is advisory
+//! monitoring data, not a synchronization point, so the hot path pays
+//! one uncontended atomic add per event. Latencies land in power-of-two
+//! microsecond buckets; percentiles are read off the cumulative bucket
+//! counts (upper-bound estimate, ≤ 2x resolution error — plenty for
+//! p50/p99 monitoring).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds sub-microsecond), so
+/// the top bucket covers everything ≥ ~34 minutes.
+const BUCKETS: usize = 32;
+
+/// Shared, lock-free metrics for one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Score requests received (valid enough to reach scoring or cache).
+    pub requests: AtomicU64,
+    /// Batches executed by the scorer thread.
+    pub batches: AtomicU64,
+    /// Rows scored through batches (misses that ran the network).
+    pub rows_scored: AtomicU64,
+    /// Cache hits.
+    pub cache_hits: AtomicU64,
+    /// Cache misses.
+    pub cache_misses: AtomicU64,
+    /// Typed error responses sent (malformed input, overload, ...).
+    pub errors: AtomicU64,
+    /// Requests rejected with `overloaded` (also counted in `errors`).
+    pub overloaded: AtomicU64,
+    latency_buckets: LatencyBuckets,
+}
+
+#[derive(Debug)]
+struct LatencyBuckets([AtomicU64; BUCKETS]);
+
+impl Default for LatencyBuckets {
+    fn default() -> Self {
+        LatencyBuckets(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one (relaxed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter (relaxed).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one request latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.latency_buckets.0[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q`
+    /// (`0 < q <= 1`), or 0 when no latencies were recorded.
+    fn latency_quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .0
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i spans [2^(i-1), 2^i) µs; report the upper bound.
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self, cache_entries: usize) -> MetricsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let rows_scored = self.rows_scored.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = cache_hits + cache_misses;
+        MetricsSnapshot {
+            requests,
+            batches,
+            rows_scored,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            cache_entries,
+            errors: self.errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                rows_scored as f64 / batches as f64
+            },
+            p50_latency_us: self.latency_quantile_us(0.50),
+            p99_latency_us: self.latency_quantile_us(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters — the body of the
+/// `{"cmd": "stats"}` response and of `BENCH_serve.json` entries.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Score requests received.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Rows scored by the network (cache misses).
+    pub rows_scored: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
+    pub cache_hit_rate: f64,
+    /// Live entries in the cache at snapshot time.
+    pub cache_entries: usize,
+    /// Typed error responses sent.
+    pub errors: u64,
+    /// Overload rejections (subset of `errors`).
+    pub overloaded: u64,
+    /// `rows_scored / batches`, 0 when no batches ran.
+    pub mean_batch_size: f64,
+    /// Median request latency, µs (bucket upper bound).
+    pub p50_latency_us: u64,
+    /// 99th-percentile request latency, µs (bucket upper bound).
+    pub p99_latency_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot(0);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_track_the_distribution() {
+        let m = Metrics::new();
+        // 90 fast samples (~8µs) and 10 slow (~1000µs): p50 sits in the
+        // fast bucket, p99 in the slow one.
+        for _ in 0..90 {
+            m.record_latency(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            m.record_latency(Duration::from_micros(1000));
+        }
+        let s = m.snapshot(0);
+        assert!(s.p50_latency_us <= 16, "p50 {}", s.p50_latency_us);
+        assert!(s.p99_latency_us >= 512, "p99 {}", s.p99_latency_us);
+    }
+
+    #[test]
+    fn derived_rates_compute() {
+        let m = Metrics::new();
+        Metrics::add(&m.cache_hits, 3);
+        Metrics::add(&m.cache_misses, 1);
+        Metrics::add(&m.batches, 2);
+        Metrics::add(&m.rows_scored, 12);
+        let s = m.snapshot(5);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert!((s.mean_batch_size - 6.0).abs() < 1e-12);
+        assert_eq!(s.cache_entries, 5);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_land_in_bucket_zero() {
+        let m = Metrics::new();
+        m.record_latency(Duration::from_nanos(10));
+        let s = m.snapshot(0);
+        assert_eq!(s.p50_latency_us, 1);
+    }
+}

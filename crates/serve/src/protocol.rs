@@ -1,0 +1,317 @@
+//! The wire protocol: newline-delimited JSON, one request and one
+//! response per line.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"features": [c0, c1, ..., c490]}   score one sample (raw API-call counts)
+//! {"cmd": "stats"}                    metrics snapshot
+//! {"cmd": "shutdown"}                 graceful drain + stop
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"score": 0.97, "verdict": "malware", "cached": false, "batch_size": 12}
+//! {"stats": {...}}                    see `MetricsSnapshot`
+//! {"ok": "shutting down"}
+//! {"error": {"kind": "overloaded", "detail": "...", "retryable": true}}
+//! ```
+//!
+//! Counts are validated strictly — finite, non-negative, integral, and
+//! at most `u32::MAX` — because the features are API-call counts; any
+//! violation yields a typed [`ServeError`], never a panic.
+
+use serde::{Content, Serialize};
+
+use crate::error::ServeError;
+use crate::metrics::MetricsSnapshot;
+
+/// Newtype that deserializes into the raw [`Content`] tree, giving the
+/// request parser full structural control (the vendored `serde_json`
+/// has no `Value` type).
+struct JsonValue(Content);
+
+impl<'de> serde::Deserialize<'de> for JsonValue {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.content().map(JsonValue)
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Score one sample given its raw API-call counts.
+    Score {
+        /// Raw per-API call counts, `dim` entries.
+        counts: Vec<u32>,
+    },
+    /// Return a metrics snapshot.
+    Stats,
+    /// Drain in-flight work and stop the server.
+    Shutdown,
+}
+
+/// Parses one request line against the detector's feature
+/// dimensionality.
+///
+/// # Errors
+///
+/// Returns the [`ServeError`] that should be sent back on the wire:
+/// [`ServeError::MalformedJson`], [`ServeError::UnknownCommand`],
+/// [`ServeError::WrongDimension`], or [`ServeError::InvalidFeature`].
+pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
+    let JsonValue(value) =
+        serde_json::from_str(line).map_err(|e| ServeError::MalformedJson {
+            detail: e.to_string(),
+        })?;
+    let Content::Map(entries) = value else {
+        return Err(ServeError::UnknownCommand {
+            command: format!("non-object request ({})", type_name(&value)),
+        });
+    };
+    if let Some((_, cmd)) = entries.iter().find(|(k, _)| k == "cmd") {
+        return match cmd {
+            Content::Str(s) if s == "stats" => Ok(Request::Stats),
+            Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
+            Content::Str(other) => Err(ServeError::UnknownCommand {
+                command: other.clone(),
+            }),
+            other => Err(ServeError::UnknownCommand {
+                command: format!("non-string cmd ({})", type_name(other)),
+            }),
+        };
+    }
+    let Some((_, features)) = entries.iter().find(|(k, _)| k == "features") else {
+        return Err(ServeError::UnknownCommand {
+            command: "object with neither \"features\" nor \"cmd\"".to_string(),
+        });
+    };
+    let Content::Seq(values) = features else {
+        return Err(ServeError::UnknownCommand {
+            command: format!("non-array features ({})", type_name(features)),
+        });
+    };
+    if values.len() != dim {
+        return Err(ServeError::WrongDimension {
+            expected: dim,
+            actual: values.len(),
+        });
+    }
+    let mut counts = Vec::with_capacity(dim);
+    for (index, entry) in values.iter().enumerate() {
+        counts.push(parse_count(index, entry)?);
+    }
+    Ok(Request::Score { counts })
+}
+
+/// Validates one `features` entry as an API-call count.
+fn parse_count(index: usize, entry: &Content) -> Result<u32, ServeError> {
+    match *entry {
+        Content::U64(v) if v <= u32::MAX as u64 => Ok(v as u32),
+        Content::U64(v) => Err(ServeError::InvalidFeature {
+            index,
+            value: v as f64,
+        }),
+        Content::I64(v) => Err(ServeError::InvalidFeature {
+            index,
+            value: v as f64,
+        }),
+        Content::F64(v) => {
+            if v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= u32::MAX as f64 {
+                Ok(v as u32)
+            } else {
+                Err(ServeError::InvalidFeature { index, value: v })
+            }
+        }
+        ref other => Err(ServeError::InvalidFeature {
+            index,
+            value: match other {
+                Content::Bool(true) => 1.0,
+                _ => f64::NAN,
+            },
+        }),
+    }
+}
+
+fn type_name(v: &Content) -> &'static str {
+    match v {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "array",
+        Content::Map(_) => "object",
+    }
+}
+
+/// The score response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScoreResponse {
+    /// Malware confidence in `[0, 1]`.
+    pub score: f64,
+    /// `"malware"` (score ≥ 0.5) or `"clean"`.
+    pub verdict: &'static str,
+    /// Whether the score came from the cache (no forward pass ran).
+    pub cached: bool,
+    /// Rows in the batch that produced this score; `0` for cache hits.
+    pub batch_size: usize,
+}
+
+impl ScoreResponse {
+    /// Builds a response from a score, deriving the verdict.
+    pub fn new(score: f64, cached: bool, batch_size: usize) -> Self {
+        ScoreResponse {
+            score,
+            verdict: if score >= 0.5 { "malware" } else { "clean" },
+            cached,
+            batch_size,
+        }
+    }
+}
+
+/// Encodes a score response line (no trailing newline).
+pub fn encode_score(resp: &ScoreResponse) -> String {
+    serde_json::to_string(resp).unwrap_or_else(|_| encode_internal_error("score encoding"))
+}
+
+/// Encodes a stats response line.
+pub fn encode_stats(snapshot: &MetricsSnapshot) -> String {
+    #[derive(Serialize)]
+    struct Wrapper<'a> {
+        stats: &'a MetricsSnapshot,
+    }
+    serde_json::to_string(&Wrapper { stats: snapshot })
+        .unwrap_or_else(|_| encode_internal_error("stats encoding"))
+}
+
+/// Encodes the shutdown acknowledgement line.
+pub fn encode_shutdown_ack() -> String {
+    "{\"ok\":\"shutting down\"}".to_string()
+}
+
+/// Encodes an error response line.
+pub fn encode_error(err: &ServeError) -> String {
+    #[derive(Serialize)]
+    struct Body<'a> {
+        kind: &'static str,
+        detail: &'a str,
+        retryable: bool,
+    }
+    #[derive(Serialize)]
+    struct Wrapper<'a> {
+        error: Body<'a>,
+    }
+    let detail = err.to_string();
+    serde_json::to_string(&Wrapper {
+        error: Body {
+            kind: err.kind(),
+            detail: &detail,
+            retryable: err.is_retryable(),
+        },
+    })
+    .unwrap_or_else(|_| encode_internal_error("error encoding"))
+}
+
+fn encode_internal_error(what: &str) -> String {
+    format!("{{\"error\":{{\"kind\":\"internal\",\"detail\":\"{what} failed\",\"retryable\":false}}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_score_request() {
+        let req = parse_request("{\"features\": [0, 3, 12]}", 3).unwrap();
+        assert_eq!(req, Request::Score { counts: vec![0, 3, 12] });
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_request("{\"cmd\": \"stats\"}", 3).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"cmd\": \"shutdown\"}", 3).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        let err = parse_request("{oops", 3).unwrap_err();
+        assert_eq!(err.kind(), "malformed_json");
+        // Literal NaN is not valid JSON either.
+        let err = parse_request("{\"features\": [NaN, 0, 0]}", 3).unwrap_err();
+        assert_eq!(err.kind(), "malformed_json");
+    }
+
+    #[test]
+    fn rejects_unknown_shapes() {
+        for line in [
+            "42",
+            "[1,2,3]",
+            "{\"cmd\": \"reboot\"}",
+            "{\"cmd\": 7}",
+            "{\"featurez\": [1]}",
+            "{\"features\": \"yes\"}",
+        ] {
+            assert_eq!(parse_request(line, 3).unwrap_err().kind(), "unknown_command", "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        assert_eq!(
+            parse_request("{\"features\": [1, 2]}", 3).unwrap_err(),
+            ServeError::WrongDimension { expected: 3, actual: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_counts() {
+        for line in [
+            "{\"features\": [1, -2, 3]}",
+            "{\"features\": [1, 2.5, 3]}",
+            "{\"features\": [1, 1e300, 3]}",
+            "{\"features\": [1, null, 3]}",
+            "{\"features\": [1, \"7\", 3]}",
+        ] {
+            let err = parse_request(line, 3).unwrap_err();
+            assert_eq!(err.kind(), "invalid_feature", "{line}");
+            assert_eq!(
+                match err {
+                    ServeError::InvalidFeature { index, .. } => index,
+                    other => panic!("unexpected {other:?}"),
+                },
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn score_response_derives_verdict() {
+        let r = ScoreResponse::new(0.73, false, 4);
+        assert_eq!(r.verdict, "malware");
+        let r = ScoreResponse::new(0.21, true, 0);
+        assert_eq!(r.verdict, "clean");
+        let line = encode_score(&ScoreResponse::new(0.5, false, 1));
+        assert!(line.contains("\"verdict\":\"malware\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn error_encoding_round_trips_kind() {
+        let line = encode_error(&ServeError::Overloaded { capacity: 64 });
+        let JsonValue(v) = serde_json::from_str(&line).unwrap();
+        let Content::Map(top) = v else { panic!("not an object") };
+        let Some((_, Content::Map(body))) = top.iter().find(|(k, _)| k == "error") else {
+            panic!("no error body");
+        };
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "kind" && *v == Content::Str("overloaded".into())));
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "retryable" && *v == Content::Bool(true)));
+    }
+}

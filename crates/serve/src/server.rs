@@ -1,0 +1,436 @@
+//! The multi-threaded TCP scoring server.
+//!
+//! Thread layout:
+//!
+//! * **acceptor** — owns the `TcpListener`, spawns one connection
+//!   thread per client, reaps finished ones, and on shutdown joins them
+//!   all before dropping the master queue sender;
+//! * **connection threads** — read newline-delimited requests (with a
+//!   bounded line length and a short read timeout so shutdown is always
+//!   observed), answer cache hits directly, and push misses into the
+//!   bounded scoring queue ([`ServeError::Overloaded`] when full);
+//! * **scorer** — drains micro-batches from the queue
+//!   ([`crate::batch::collect_batch`]) and runs one batched forward
+//!   pass per batch, then fans replies back out.
+//!
+//! Shutdown (`{"cmd": "shutdown"}` or [`ServerHandle::shutdown`]) is a
+//! drain, not an abort: the acceptor stops accepting, connection
+//! threads finish their current request, and the scorer keeps scoring
+//! until the queue is empty and disconnected, so every enqueued request
+//! still receives its response.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use maleva_core::DetectorPipeline;
+
+use crate::batch::{collect_batch, score_rows, ScoreJob, ScoredReply};
+use crate::cache::{quantize, LruCache};
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{self, Request, ScoreResponse};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Maximum rows per batched forward pass.
+    pub max_batch: usize,
+    /// How long the scorer waits for a batch to fill after the first
+    /// job arrives.
+    pub batch_timeout: Duration,
+    /// Bounded scoring-queue capacity; a full queue yields
+    /// [`ServeError::Overloaded`] instead of blocking the client.
+    pub queue_capacity: usize,
+    /// LRU score-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Maximum request-line length in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 32,
+            batch_timeout: Duration::from_millis(2),
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// How often blocked reads wake up to observe the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+struct Shared {
+    pipeline: DetectorPipeline,
+    config: ServeConfig,
+    metrics: Metrics,
+    cache: Mutex<LruCache<Vec<i64>, f64>>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            // Unblock the acceptor with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        }
+    }
+}
+
+/// A running server: its address, metrics access, and shutdown control.
+///
+/// Dropping the handle shuts the server down (best effort, joining all
+/// threads); call [`ServerHandle::join`] to instead block until a
+/// client sends `{"cmd": "shutdown"}`.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    scorer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Whether a shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful drain and waits for all threads to finish.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+        snapshot(&self.shared)
+    }
+
+    /// Blocks until the server shuts down (e.g. a client sent
+    /// `{"cmd": "shutdown"}`), then returns the final metrics.
+    pub fn join(mut self) -> MetricsSnapshot {
+        self.join_threads();
+        snapshot(&self.shared)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scorer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.scorer.is_some() {
+            self.shared.trigger_shutdown();
+            self.join_threads();
+        }
+    }
+}
+
+fn snapshot(shared: &Shared) -> MetricsSnapshot {
+    let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
+    shared.metrics.snapshot(entries)
+}
+
+/// Binds the listener and spawns the acceptor + scorer threads.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache_capacity = config.cache_capacity;
+    let max_batch = config.max_batch.max(1);
+    let batch_timeout = config.batch_timeout;
+    let queue_capacity = config.queue_capacity.max(1);
+
+    let shared = Arc::new(Shared {
+        pipeline,
+        config,
+        metrics: Metrics::new(),
+        cache: Mutex::new(LruCache::new(cache_capacity)),
+        shutting_down: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::sync_channel::<ScoreJob>(queue_capacity);
+
+    let scorer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("maleva-serve-scorer".to_string())
+            .spawn(move || scorer_loop(&shared, &rx, max_batch, batch_timeout))?
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("maleva-serve-acceptor".to_string())
+            .spawn(move || acceptor_loop(&shared, &listener, tx))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        scorer: Some(scorer),
+    })
+}
+
+fn scorer_loop(
+    shared: &Shared,
+    rx: &mpsc::Receiver<ScoreJob>,
+    max_batch: usize,
+    batch_timeout: Duration,
+) {
+    while let Some(jobs) = collect_batch(rx, max_batch, batch_timeout) {
+        let rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features.clone()).collect();
+        match score_rows(shared.pipeline.network(), &rows) {
+            Ok(scores) => {
+                let n = jobs.len();
+                Metrics::bump(&shared.metrics.batches);
+                Metrics::add(&shared.metrics.rows_scored, n as u64);
+                if let Ok(mut cache) = shared.cache.lock() {
+                    for (job, &score) in jobs.iter().zip(&scores) {
+                        cache.insert(job.cache_key.clone(), score);
+                    }
+                }
+                for (job, score) in jobs.into_iter().zip(scores) {
+                    // A send error means the connection died; the score
+                    // is already cached, so the work is not wasted.
+                    let _ = job.reply.send(ScoredReply { score, batch_size: n });
+                }
+            }
+            Err(e) => {
+                // Cannot happen for dimension-validated rows; dropping
+                // the replies surfaces `internal` errors client-side
+                // instead of hanging connections.
+                eprintln!("[maleva-serve] scorer error on a {}-row batch: {e}", rows.len());
+            }
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: SyncSender<ScoreJob>) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        workers.retain(|h| !h.is_finished());
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name("maleva-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(&shared, stream, &tx);
+            });
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => eprintln!("[maleva-serve] cannot spawn connection thread: {e}"),
+        }
+    }
+    // Drain: wait for every live connection to finish its in-flight
+    // request, then drop the master sender so the scorer can exit.
+    for handle in workers {
+        let _ = handle.join();
+    }
+    drop(tx);
+}
+
+enum LineStatus {
+    /// A complete line is in the buffer (newline stripped by caller).
+    Line,
+    /// The peer closed the connection.
+    Eof,
+    /// Shutdown was observed between requests.
+    Closing,
+    /// The line exceeded the configured limit.
+    TooLong,
+}
+
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    limit: usize,
+    shutting_down: &AtomicBool,
+) -> std::io::Result<LineStatus> {
+    loop {
+        if shutting_down.load(Ordering::SeqCst) {
+            return Ok(LineStatus::Closing);
+        }
+        if buf.len() > limit {
+            return Ok(LineStatus::TooLong);
+        }
+        // Cap each read so an oversized line is detected at `limit + 1`
+        // bytes instead of buffering the whole thing.
+        let budget = (limit + 1 - buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', buf) {
+            Ok(0) => {
+                return Ok(if buf.is_empty() { LineStatus::Eof } else { LineStatus::Line });
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return Ok(LineStatus::Line);
+                }
+                // No newline yet: either the budget ran out (checked at
+                // the top of the loop) or more bytes are coming.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    tx: &SyncSender<ScoreJob>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let limit = shared.config.max_line_bytes;
+
+    loop {
+        buf.clear();
+        match read_line_bounded(&mut reader, &mut buf, limit, &shared.shutting_down)? {
+            LineStatus::Eof | LineStatus::Closing => return Ok(()),
+            LineStatus::TooLong => {
+                // Typed error, then close: the stream is out of sync.
+                respond_error(shared, &mut writer, &ServeError::LineTooLong { limit })?;
+                return Ok(());
+            }
+            LineStatus::Line => {}
+        }
+        let line = String::from_utf8_lossy(&buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line, shared.pipeline.features().dim()) {
+            Err(e) => respond_error(shared, &mut writer, &e)?,
+            Ok(Request::Stats) => {
+                write_line(&mut writer, &protocol::encode_stats(&snapshot(shared)))?;
+            }
+            Ok(Request::Shutdown) => {
+                write_line(&mut writer, &protocol::encode_shutdown_ack())?;
+                shared.trigger_shutdown();
+                return Ok(());
+            }
+            Ok(Request::Score { counts }) => handle_score(shared, &mut writer, tx, &counts)?,
+        }
+    }
+}
+
+fn handle_score(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    tx: &SyncSender<ScoreJob>,
+    counts: &[u32],
+) -> std::io::Result<()> {
+    let start = Instant::now();
+    Metrics::bump(&shared.metrics.requests);
+
+    let features = shared.pipeline.features().transform_counts(counts);
+    let cache_key = quantize(&features);
+
+    let cached = shared
+        .cache
+        .lock()
+        .ok()
+        .and_then(|mut cache| cache.get(&cache_key));
+    if let Some(score) = cached {
+        Metrics::bump(&shared.metrics.cache_hits);
+        shared.metrics.record_latency(start.elapsed());
+        return write_line(writer, &protocol::encode_score(&ScoreResponse::new(score, true, 0)));
+    }
+    Metrics::bump(&shared.metrics.cache_misses);
+
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return respond_error(shared, writer, &ServeError::ShuttingDown);
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = ScoreJob {
+        features,
+        cache_key,
+        reply: reply_tx,
+    };
+    match tx.try_send(job) {
+        Err(TrySendError::Full(_)) => {
+            Metrics::bump(&shared.metrics.overloaded);
+            respond_error(
+                shared,
+                writer,
+                &ServeError::Overloaded {
+                    capacity: shared.config.queue_capacity,
+                },
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => respond_error(shared, writer, &ServeError::ShuttingDown),
+        Ok(()) => match reply_rx.recv() {
+            Ok(reply) => {
+                shared.metrics.record_latency(start.elapsed());
+                write_line(
+                    writer,
+                    &protocol::encode_score(&ScoreResponse::new(
+                        reply.score,
+                        false,
+                        reply.batch_size,
+                    )),
+                )
+            }
+            Err(_) => respond_error(
+                shared,
+                writer,
+                &ServeError::Internal {
+                    detail: "scorer dropped the reply".to_string(),
+                },
+            ),
+        },
+    }
+}
+
+fn respond_error(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    err: &ServeError,
+) -> std::io::Result<()> {
+    Metrics::bump(&shared.metrics.errors);
+    write_line(writer, &protocol::encode_error(err))
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -1,0 +1,103 @@
+//! Property tests pinning the serving contract of the paper's detector:
+//! scoring a batch of feature rows in **one** forward pass is
+//! bit-identical to scoring each row alone — for any matrix shape, any
+//! micro-batch size, and any network width. Batching must be purely a
+//! throughput optimization, never a semantic change.
+
+use maleva_nn::{Activation, Network, NetworkBuilder};
+use maleva_serve::{score_rows, score_rows_sequential};
+use proptest::prelude::*;
+
+fn net(input_dim: usize, hidden: usize, seed: u64) -> Network {
+    NetworkBuilder::new(input_dim)
+        .layer(hidden, Activation::ReLU)
+        .layer(hidden.div_ceil(2).max(2), Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+        .expect("valid architecture")
+}
+
+/// Strategy: a random feature matrix as (width, rows) with every row
+/// exactly `width` wide. Values mix sparse zeros (the common case for
+/// API-call counts) with arbitrary magnitudes.
+fn matrix() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..14, 1usize..22).prop_flat_map(|(width, n_rows)| {
+        (
+            Just(width),
+            prop::collection::vec(
+                prop::collection::vec(
+                    prop::sample::select(vec![0.0f64, 0.25, 1.0, -3.5, 7.0, 1e-3, 42.0]),
+                    width,
+                ),
+                n_rows,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant: one batched forward over all rows equals
+    /// per-row forwards, bitwise.
+    #[test]
+    fn batched_scores_are_bit_identical_to_sequential(
+        (width, rows) in matrix(),
+        hidden in 2usize..12,
+        seed in 0u64..32,
+    ) {
+        let net = net(width, hidden, seed);
+        let batched = score_rows(&net, &rows).expect("batched");
+        let sequential = score_rows_sequential(&net, &rows).expect("sequential");
+        prop_assert_eq!(batched.len(), rows.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            prop_assert_eq!(b.to_bits(), s.to_bits(), "row {} diverged: {} vs {}", i, b, s);
+        }
+    }
+
+    /// Chunking invariance: splitting the same rows into micro-batches
+    /// of ANY size (the scorer's `max_batch` is load-dependent) yields
+    /// the same bits as one big batch and as per-row scoring.
+    #[test]
+    fn any_chunking_yields_the_same_bits(
+        (width, rows) in matrix(),
+        max_batch in 1usize..40,
+        seed in 0u64..32,
+    ) {
+        let net = net(width, 6, seed);
+        let reference = score_rows_sequential(&net, &rows).expect("sequential");
+        let chunked: Vec<f64> = rows
+            .chunks(max_batch)
+            .flat_map(|chunk| score_rows(&net, chunk).expect("chunk"))
+            .collect();
+        prop_assert_eq!(chunked.len(), reference.len());
+        for (c, r) in chunked.iter().zip(&reference) {
+            prop_assert_eq!(c.to_bits(), r.to_bits());
+        }
+    }
+
+    /// Scores are probabilities regardless of batch composition.
+    #[test]
+    fn scores_are_valid_probabilities((width, rows) in matrix(), seed in 0u64..32) {
+        let net = net(width, 5, seed);
+        for score in score_rows(&net, &rows).expect("batched") {
+            prop_assert!((0.0..=1.0).contains(&score), "score {} out of range", score);
+        }
+    }
+
+    /// A row's score does not depend on which other rows share its
+    /// batch: scoring `[row]` alone equals scoring it inside any batch.
+    #[test]
+    fn neighbors_cannot_influence_a_row(
+        (width, rows) in matrix(),
+        pick in 0usize..64,
+        seed in 0u64..32,
+    ) {
+        let net = net(width, 7, seed);
+        let i = pick % rows.len();
+        let alone = score_rows(&net, &rows[i..=i]).expect("alone")[0];
+        let together = score_rows(&net, &rows).expect("together")[i];
+        prop_assert_eq!(alone.to_bits(), together.to_bits());
+    }
+}

@@ -1,0 +1,242 @@
+//! Protocol fuzz test against a live server: malformed JSON, wrong
+//! feature counts, NaN / negative / fractional values, unknown
+//! commands, binary garbage, and oversized lines must all produce a
+//! **typed** error response — never a panic, a hang, or a dropped
+//! connection (except `line_too_long`, which closes after responding
+//! because the stream is out of sync).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_serve::{spawn, ServeConfig, ServerHandle};
+
+/// Small line limit so the oversized-line case is cheap to trigger.
+const LINE_LIMIT: usize = 8 * 1024;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context")
+    })
+}
+
+fn spawn_server() -> ServerHandle {
+    spawn(
+        ctx().detector.clone(),
+        ServeConfig {
+            max_line_bytes: LINE_LIMIT,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn server")
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).ok();
+        // A test-side guard: if the server ever hangs instead of
+        // responding, reads fail loudly instead of wedging the suite.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Client {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send_raw(line.as_bytes());
+        self.send_raw(b"\n");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> String {
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        resp.trim_end().to_string()
+    }
+
+    /// Asserts the connection is closed: either a clean EOF or a reset
+    /// (the server closes with our excess bytes still unread, which
+    /// surfaces as RST on many platforms).
+    fn expect_eof(&mut self) {
+        let mut resp = String::new();
+        match self.reader.read_line(&mut resp) {
+            Ok(0) => {}
+            Ok(_) => panic!("expected a closed connection, got: {resp}"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ),
+                "expected a closed connection, got error: {e}"
+            ),
+        }
+    }
+}
+
+fn error_kind(resp: &str) -> &str {
+    assert!(
+        resp.starts_with("{\"error\":{\"kind\":\""),
+        "expected a typed error, got: {resp}"
+    );
+    let rest = &resp["{\"error\":{\"kind\":\"".len()..];
+    &rest[..rest.find('"').expect("closing quote")]
+}
+
+fn valid_line(dim: usize) -> String {
+    format!(
+        "{{\"features\":[{}]}}",
+        vec!["1"; dim].join(",")
+    )
+}
+
+#[test]
+fn malformed_inputs_get_typed_errors_and_the_connection_survives() {
+    let handle = spawn_server();
+    let dim = ctx().detector.features().dim();
+    let mut client = Client::connect(&handle);
+
+    let cases: Vec<(String, &str)> = vec![
+        // Broken JSON.
+        ("{oops".to_string(), "malformed_json"),
+        ("}{".to_string(), "malformed_json"),
+        ("{\"features\": [1, 2,".to_string(), "malformed_json"),
+        // JSON NaN/Infinity literals are not valid JSON at all.
+        (format!("{{\"features\":[NaN{}]}}", ",0".repeat(dim - 1)), "malformed_json"),
+        (format!("{{\"features\":[Infinity{}]}}", ",0".repeat(dim - 1)), "malformed_json"),
+        // Valid JSON, wrong shape.
+        ("42".to_string(), "unknown_command"),
+        ("[1,2,3]".to_string(), "unknown_command"),
+        ("{\"cmd\":\"reboot\"}".to_string(), "unknown_command"),
+        ("{\"cmd\":7}".to_string(), "unknown_command"),
+        ("{\"featurez\":[1]}".to_string(), "unknown_command"),
+        ("{\"features\":\"many\"}".to_string(), "unknown_command"),
+        // Right key, wrong arity.
+        ("{\"features\":[1,2,3]}".to_string(), "wrong_dimension"),
+        ("{\"features\":[]}".to_string(), "wrong_dimension"),
+        (
+            format!("{{\"features\":[{},0]}}", vec!["0"; dim].join(",")),
+            "wrong_dimension",
+        ),
+        // Right arity, invalid counts.
+        (
+            format!("{{\"features\":[-1{}]}}", ",0".repeat(dim - 1)),
+            "invalid_feature",
+        ),
+        (
+            format!("{{\"features\":[2.5{}]}}", ",0".repeat(dim - 1)),
+            "invalid_feature",
+        ),
+        (
+            format!("{{\"features\":[1e300{}]}}", ",0".repeat(dim - 1)),
+            "invalid_feature",
+        ),
+        (
+            format!("{{\"features\":[null{}]}}", ",0".repeat(dim - 1)),
+            "invalid_feature",
+        ),
+        (
+            format!("{{\"features\":[\"3\"{}]}}", ",0".repeat(dim - 1)),
+            "invalid_feature",
+        ),
+    ];
+
+    for (line, want_kind) in &cases {
+        let resp = client.roundtrip(line);
+        assert_eq!(
+            error_kind(&resp),
+            *want_kind,
+            "request {line:.60} got: {resp:.120}"
+        );
+        assert!(resp.contains("\"retryable\":false"), "{resp}");
+    }
+
+    // After all that abuse the same connection still scores.
+    let resp = client.roundtrip(&valid_line(dim));
+    assert!(resp.starts_with("{\"score\":"), "connection still works: {resp}");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.errors, cases.len() as u64);
+    assert_eq!(stats.requests, 1, "only the final valid request reached scoring");
+}
+
+#[test]
+fn binary_garbage_is_rejected_without_panicking() {
+    let handle = spawn_server();
+    let mut client = Client::connect(&handle);
+    client.send_raw(&[0xff, 0xfe, 0x00, 0x80, b'\n']);
+    let resp = client.read_response();
+    assert_eq!(error_kind(&resp), "malformed_json");
+
+    // Blank and whitespace-only lines are skipped, not answered.
+    client.send_raw(b"\n\r\n   \n");
+    let dim = ctx().detector.features().dim();
+    let resp = client.roundtrip(&valid_line(dim));
+    assert!(resp.starts_with("{\"score\":"), "{resp}");
+}
+
+#[test]
+fn oversized_line_gets_a_typed_error_then_the_connection_closes() {
+    let handle = spawn_server();
+    let mut client = Client::connect(&handle);
+
+    // One giant line, well past the limit, sent in chunks with no
+    // newline until the very end.
+    let blob = "a".repeat(LINE_LIMIT * 2);
+    client.send_raw(blob.as_bytes());
+    client.send_raw(b"\n");
+    let resp = client.read_response();
+    assert_eq!(error_kind(&resp), "line_too_long");
+    assert!(resp.contains(&LINE_LIMIT.to_string()), "{resp}");
+    client.expect_eof();
+
+    // The server is still healthy for new connections.
+    let dim = ctx().detector.features().dim();
+    let mut fresh = Client::connect(&handle);
+    let resp = fresh.roundtrip(&valid_line(dim));
+    assert!(resp.starts_with("{\"score\":"), "{resp}");
+}
+
+#[test]
+fn oversized_line_without_newline_is_still_detected() {
+    let handle = spawn_server();
+    let mut client = Client::connect(&handle);
+    // Never send a newline: the bounded reader must detect the overrun
+    // at limit + 1 bytes rather than buffering forever.
+    let blob = "x".repeat(LINE_LIMIT + 64);
+    client.send_raw(blob.as_bytes());
+    let resp = client.read_response();
+    assert_eq!(error_kind(&resp), "line_too_long");
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn crlf_line_endings_are_accepted() {
+    let handle = spawn_server();
+    let dim = ctx().detector.features().dim();
+    let mut client = Client::connect(&handle);
+    client.send_raw(valid_line(dim).as_bytes());
+    client.send_raw(b"\r\n");
+    let resp = client.read_response();
+    assert!(resp.starts_with("{\"score\":"), "{resp}");
+    handle.shutdown();
+}

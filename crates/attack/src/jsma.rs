@@ -177,6 +177,7 @@ impl EvasionAttack for Jsma {
     }
 
     fn craft(&self, net: &Network, sample: &[f64]) -> Result<AttackOutcome, NnError> {
+        let mut span = maleva_obs::Span::enter("jsma.craft");
         let mut x = sample.to_vec();
         let dim = x.len();
         let budget = self.max_features(dim);
@@ -207,7 +208,12 @@ impl EvasionAttack for Jsma {
             }
             evaded = classify(net, &x)? == CLEAN_CLASS;
         }
-        Ok(AttackOutcome::new(sample, x, order, evaded, iterations))
+        let outcome = AttackOutcome::new(sample, x, order, evaded, iterations);
+        span.record("iterations", outcome.iterations as u64);
+        span.record("features_modified", outcome.features_modified() as u64);
+        span.record("l2_distance", outcome.l2_distance);
+        span.record("evaded", outcome.evaded);
+        Ok(outcome)
     }
 }
 

@@ -26,8 +26,27 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use maleva_linalg::Matrix;
 use maleva_nn::{Network, NnError};
+use maleva_obs::trace::Span;
 
 use crate::{AttackOutcome, EvasionAttack};
+
+/// Process-wide attack counters in the shared `maleva-obs` registry.
+fn attack_counters() -> &'static (
+    std::sync::Arc<maleva_obs::Counter>,
+    std::sync::Arc<maleva_obs::Counter>,
+) {
+    static COUNTERS: std::sync::OnceLock<(
+        std::sync::Arc<maleva_obs::Counter>,
+        std::sync::Arc<maleva_obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = maleva_obs::metrics::global();
+        (
+            registry.counter("attack_rows_total", "Adversarial rows attempted."),
+            registry.counter("attack_rows_evaded_total", "Rows that evaded the detector."),
+        )
+    })
+}
 
 /// What happened to one row of a fault-tolerant batch run.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,18 +240,42 @@ impl BatchReport {
 
 /// Crafts one row under `catch_unwind`, retrying retryable errors up to
 /// `max_retries` extra times.
-fn craft_row<A>(attack: &A, net: &Network, sample: &[f64], max_retries: usize) -> RowOutcome
+fn craft_row<A>(
+    attack: &A,
+    net: &Network,
+    row_index: usize,
+    sample: &[f64],
+    max_retries: usize,
+) -> RowOutcome
 where
     A: EvasionAttack + Sync,
 {
+    let mut span = Span::enter("attack.row");
+    span.record("row", row_index as u64);
     let mut attempt = 0;
     loop {
         match catch_unwind(AssertUnwindSafe(|| attack.craft(net, sample))) {
-            Ok(Ok(outcome)) => return RowOutcome::Ok(outcome),
+            Ok(Ok(outcome)) => {
+                if span.is_active() {
+                    let (rows_total, rows_evaded) = attack_counters();
+                    rows_total.inc();
+                    if outcome.evaded {
+                        rows_evaded.inc();
+                    }
+                    span.record("outcome", "ok");
+                    span.record("evaded", outcome.evaded);
+                    span.record("retries", attempt as u64);
+                }
+                return RowOutcome::Ok(outcome);
+            }
             Ok(Err(e)) => {
                 if e.is_retryable() && attempt < max_retries {
                     attempt += 1;
                     continue;
+                }
+                if span.is_active() {
+                    attack_counters().0.inc();
+                    span.record("outcome", "err");
                 }
                 return RowOutcome::Err(e);
             }
@@ -242,6 +285,10 @@ where
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic>".to_string());
+                if span.is_active() {
+                    attack_counters().0.inc();
+                    span.record("outcome", "panicked");
+                }
                 return RowOutcome::Panicked { message };
             }
         }
@@ -271,12 +318,17 @@ where
     let n = batch.rows();
     let threads = policy.threads.min(n.max(1));
 
+    let mut batch_span = Span::enter("attack.batch");
+    batch_span.record("attack", attack.name().to_string());
+    batch_span.record("rows", n as u64);
+    batch_span.record("threads", threads as u64);
+
     let mut results: Vec<Option<RowOutcome>> = Vec::new();
     results.resize_with(n, || None);
 
     if threads <= 1 {
         for (r, slot) in results.iter_mut().enumerate() {
-            *slot = Some(craft_row(attack, net, batch.row(r), policy.max_retries));
+            *slot = Some(craft_row(attack, net, r, batch.row(r), policy.max_retries));
         }
     } else {
         let chunk = n.div_ceil(threads);
@@ -293,6 +345,7 @@ where
                         *slot = Some(craft_row(
                             attack,
                             net,
+                            begin + offset,
                             batch.row(begin + offset),
                             policy.max_retries,
                         ));
@@ -307,6 +360,23 @@ where
         .into_iter()
         .map(|slot| slot.expect("every row visited"))
         .collect();
+
+    if batch_span.is_active() {
+        let ok = rows.iter().filter(|r| r.is_ok()).count();
+        let panicked = rows
+            .iter()
+            .filter(|r| matches!(r, RowOutcome::Panicked { .. }))
+            .count();
+        let evaded = rows
+            .iter()
+            .filter_map(|r| r.outcome())
+            .filter(|o| o.evaded)
+            .count();
+        batch_span.record("ok", ok as u64);
+        batch_span.record("err", (rows.len() - ok - panicked) as u64);
+        batch_span.record("panicked", panicked as u64);
+        batch_span.record("evaded", evaded as u64);
+    }
 
     let failed = rows.iter().filter(|r| !r.is_ok()).count();
     if let FailureBudget::AbortAbove { fraction } = policy.failure_budget {

@@ -134,8 +134,12 @@ pub fn security_sweep_with(
     let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(values.len()); evaluators.len()];
     let mut random_series: Vec<f64> = Vec::new();
 
-    for i in 0..values.len() {
+    for (i, &value) in values.iter().enumerate() {
         let (theta, gamma) = axis.point(i);
+        let mut span = maleva_obs::Span::enter("sweep.point");
+        span.record(axis.label(), value);
+        span.record("theta", theta);
+        span.record("gamma", gamma);
         let adv = if theta <= 0.0 || gamma <= 0.0 {
             malware.clone() // strength 0: unperturbed
         } else {
@@ -152,6 +156,9 @@ pub fn security_sweep_with(
         };
         for (s, (_, net)) in series.iter_mut().zip(evaluators.iter()) {
             s.push(detection_rate(net, &adv)?);
+        }
+        if let Some(&rate) = series.first().and_then(|s| s.last()) {
+            span.record("detection_rate", rate);
         }
         if let Some(seed) = random_seed {
             let adv_r = if theta <= 0.0 || gamma <= 0.0 {

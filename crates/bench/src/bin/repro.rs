@@ -4,10 +4,16 @@
 //! ```text
 //! repro [--scale tiny|quick|paper] [--seed N] [--exp ID]
 //!       [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
+//!       [--trace-out FILE] [--manifest-out FILE]
 //!
 //! IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b
 //!      fig4a fig4b fig4c fig5a fig5b live table5 table6 all
 //! ```
+//!
+//! `--trace-out FILE` streams structured JSONL spans (pipeline stages,
+//! training epochs, attack batches) to FILE, or to stderr with `-`.
+//! Every run writes a provenance manifest (seed, config hash, per-phase
+//! wall-clock) to `--manifest-out` (default `manifest.json`).
 //!
 //! With `--checkpoint-dir` the target-model training snapshots its full
 //! state every K epochs (default 1); re-running with `--resume` after an
@@ -24,6 +30,7 @@ use maleva_attack::sweep::SweepAxis;
 use maleva_core::{blackbox, defenses, greybox, live, whitebox};
 use maleva_core::{CheckpointPlan, ExperimentContext, ExperimentScale};
 use maleva_nn::Network;
+use maleva_obs::trace;
 
 struct Args {
     scale: ExperimentScale,
@@ -33,6 +40,8 @@ struct Args {
     checkpoint_dir: Option<String>,
     checkpoint_every: usize,
     resume: bool,
+    trace_out: Option<String>,
+    manifest_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
     let mut checkpoint_dir = None;
     let mut checkpoint_every = 1usize;
     let mut resume = false;
+    let mut trace_out = None;
+    let mut manifest_out = "manifest.json".to_string();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -84,10 +95,17 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => {
                 resume = true;
             }
+            "--trace-out" => {
+                trace_out = Some(argv.next().ok_or("--trace-out needs a value")?);
+            }
+            "--manifest-out" => {
+                manifest_out = argv.next().ok_or("--manifest-out needs a value")?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale tiny|quick|paper] [--seed N] [--exp ID] [--csv-dir DIR]\n\
                      \x20           [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]\n\
+                     \x20           [--trace-out FILE] [--manifest-out FILE]\n\
                      IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b\n\
                      \x20     fig4a fig4b fig4c fig5a fig5b live table5 table6 all"
                 );
@@ -107,6 +125,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir,
         checkpoint_every,
         resume,
+        trace_out,
+        manifest_out,
     })
 }
 
@@ -194,7 +214,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    if let Some(path) = &args.trace_out {
+        let sink = if path == "-" {
+            trace::Sink::Stderr
+        } else {
+            trace::Sink::File(path.into())
+        };
+        if let Err(e) = trace::install(sink) {
+            eprintln!("error: cannot open --trace-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let build_start = std::time::Instant::now();
     let mut session = Session::new(&args);
+    let mut manifest = maleva_obs::ManifestBuilder::new("repro")
+        .seed(args.seed)
+        .scale(args.scale.name)
+        .config(&format!(
+            "repro scale={} seed={} exp={}",
+            args.scale.name, args.seed, args.exp
+        ))
+        .crate_version("maleva-bench", env!("CARGO_PKG_VERSION"))
+        .phase("build_context", build_start.elapsed());
     let (tpr, tnr) = session.ctx.baseline_rates().expect("baseline");
     println!("=== maleva repro | scale={} seed={} ===", args.scale.name, args.seed);
     let auc = session
@@ -209,9 +251,23 @@ fn main() -> ExitCode {
 
     for exp in selected {
         let t = std::time::Instant::now();
+        let mut span = maleva_obs::Span::enter("repro.experiment");
+        span.record("exp", exp);
         run_experiment(exp, &mut session);
-        eprintln!("[repro] {exp} finished in {:.1?}\n", t.elapsed());
+        drop(span);
+        let elapsed = t.elapsed();
+        manifest = manifest.phase(exp, elapsed);
+        eprintln!("[repro] {exp} finished in {elapsed:.1?}\n");
     }
+
+    match manifest.build().write_to(std::path::Path::new(&args.manifest_out)) {
+        Ok(()) => eprintln!("[repro] wrote provenance manifest to {}", args.manifest_out),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", args.manifest_out);
+            return ExitCode::FAILURE;
+        }
+    }
+    trace::flush();
     ExitCode::SUCCESS
 }
 

@@ -122,6 +122,11 @@ struct PhaseResult {
     cache_hit_rate: f64,
     p50_latency_us: u64,
     p99_latency_us: u64,
+    /// Power-of-two request-latency histogram (bucket i counts
+    /// latencies in `[2^(i-1), 2^i)` microseconds; bucket 0 is zeros).
+    latency_buckets_us: Vec<u64>,
+    /// Power-of-two scored-batch-size histogram, same bucketing.
+    batch_size_buckets: Vec<u64>,
 }
 
 /// The whole `BENCH_serve.json` document.
@@ -420,5 +425,7 @@ fn run_phase(
         cache_hit_rate: snap.cache_hit_rate,
         p50_latency_us: snap.p50_latency_us,
         p99_latency_us: snap.p99_latency_us,
+        latency_buckets_us: snap.latency_buckets_us,
+        batch_size_buckets: snap.batch_size_buckets,
     }
 }

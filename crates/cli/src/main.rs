@@ -21,6 +21,7 @@ use std::process::ExitCode;
 use maleva_apisim::{ApiVocab, Class, World, WorldConfig};
 use maleva_attack::{EvasionAttack, Jsma};
 use maleva_core::{CheckpointPlan, DetectorPipeline, ExperimentContext, ExperimentScale};
+use maleva_obs::trace;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +36,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = flags.get("trace-out") {
+        let sink = if path == "-" {
+            trace::Sink::Stderr
+        } else {
+            trace::Sink::File(path.into())
+        };
+        if let Err(e) = trace::install(sink) {
+            eprintln!("error: cannot open trace output {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "train" => cmd_train(&flags),
         "scan" => cmd_scan(&flags),
@@ -48,6 +60,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command: {other}")),
     };
+    trace::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -69,7 +82,11 @@ usage:
                 [--theta T] [--gamma G] [--out evaded.log]
   maleva info   --model detector.json
   maleva serve  --model detector.json [--addr HOST:PORT] [--max-batch N]
-                [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]";
+                [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
+
+every command accepts --trace-out FILE (or '-' for stderr) to write
+newline-delimited JSON spans; train also writes manifest.json next to
+its --out artifact";
 
 /// Flags that take no value; parsed as `"true"`.
 const BOOLEAN_FLAGS: &[&str] = &["resume"];
@@ -142,12 +159,31 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     eprintln!("training detector (scale={}, seed={seed}) ...", scale.name);
+    let scale_name = scale.name;
+    let build_start = std::time::Instant::now();
     let ctx =
         ExperimentContext::build_with_checkpoints(scale, seed, plan).map_err(|e| e.to_string())?;
+    let build_elapsed = build_start.elapsed();
     let (tpr, tnr) = ctx.baseline_rates().map_err(|e| e.to_string())?;
     let json = ctx.detector.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    // Provenance manifest next to the model artifact.
+    let manifest = maleva_obs::ManifestBuilder::new("maleva train")
+        .seed(seed)
+        .scale(scale_name)
+        .config(&format!("train scale={scale_name} seed={seed}"))
+        .crate_version("maleva-cli", env!("CARGO_PKG_VERSION"))
+        .phase("build", build_elapsed)
+        .extra("out", out)
+        .build();
+    let manifest_path = std::path::Path::new(out).with_file_name("manifest.json");
+    manifest
+        .write_to(&manifest_path)
+        .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+
     println!("saved detector to {out} (malware TPR {tpr:.3}, clean TNR {tnr:.3})");
+    println!("wrote provenance manifest to {}", manifest_path.display());
     Ok(())
 }
 

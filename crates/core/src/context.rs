@@ -202,16 +202,30 @@ impl ExperimentContext {
         seed: u64,
         plan: CheckpointPlan,
     ) -> Result<Self, NnError> {
-        let world = World::new(WorldConfig::default());
-        let dataset = world.build_dataset(&scale.dataset, seed);
+        let mut build_span = maleva_obs::Span::enter("pipeline.build");
+        build_span.record("seed", seed);
 
-        let features = FeaturePipeline::fit(scale.transform, dataset.train());
-        let x_train = features.transform_batch(dataset.train());
-        let y_train = Dataset::labels(dataset.train());
-        let x_val = features.transform_batch(dataset.val());
-        let y_val = Dataset::labels(dataset.val());
-        let x_test = features.transform_batch(dataset.test());
-        let y_test = Dataset::labels(dataset.test());
+        let (world, dataset) = {
+            let mut span = maleva_obs::Span::enter("pipeline.dataset");
+            let world = World::new(WorldConfig::default());
+            let dataset = world.build_dataset(&scale.dataset, seed);
+            span.record("train_rows", dataset.train().len() as u64);
+            span.record("test_rows", dataset.test().len() as u64);
+            (world, dataset)
+        };
+
+        let (features, x_train, y_train, x_val, y_val, x_test, y_test) = {
+            let mut span = maleva_obs::Span::enter("pipeline.features");
+            let features = FeaturePipeline::fit(scale.transform, dataset.train());
+            span.record("dim", features.dim() as u64);
+            let x_train = features.transform_batch(dataset.train());
+            let y_train = Dataset::labels(dataset.train());
+            let x_val = features.transform_batch(dataset.val());
+            let y_val = Dataset::labels(dataset.val());
+            let x_test = features.transform_batch(dataset.test());
+            let y_test = Dataset::labels(dataset.test());
+            (features, x_train, y_train, x_val, y_val, x_test, y_test)
+        };
 
         let mut target = target_model(features.dim(), scale.model_scale, seed ^ 0xA11CE)?;
         let mut train_cfg = scale.target_trainer(seed);
@@ -221,12 +235,15 @@ impl ExperimentContext {
                 .checkpoint_every(plan.every)
                 .resume(plan.resume);
         }
-        Trainer::new(train_cfg).fit_labeled(
-            &mut target,
-            &x_train,
-            maleva_nn::LabelSource::Hard(&y_train),
-            Some((&x_val, &y_val)),
-        )?;
+        {
+            let _span = maleva_obs::Span::enter("pipeline.train_target");
+            Trainer::new(train_cfg).fit_labeled(
+                &mut target,
+                &x_train,
+                maleva_nn::LabelSource::Hard(&y_train),
+                Some((&x_val, &y_val)),
+            )?;
+        }
 
         let mal_idx = Dataset::indices_of(dataset.test(), Class::Malware);
         let clean_idx = Dataset::indices_of(dataset.test(), Class::Clean);

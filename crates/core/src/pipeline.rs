@@ -97,10 +97,23 @@ impl DetectorPipeline {
     ///
     /// Returns [`NnError`] on internal shape mismatches.
     pub fn scan_log(&self, log_text: &str) -> Result<f64, NnError> {
+        let mut span = maleva_obs::Span::enter("pipeline.scan");
+        // Stage timers are pure diagnostics; the clock is only read when
+        // a trace sink is installed.
+        let t0 = span.is_active().then(std::time::Instant::now);
         let counts = maleva_apisim::log::parse_counts(log_text, &self.vocab);
+        let t1 = span.is_active().then(std::time::Instant::now);
         let feats = self.features.transform_counts(&counts);
+        let t2 = span.is_active().then(std::time::Instant::now);
         let p = self.network.predict_proba(&Matrix::row_vector(&feats))?;
-        Ok(p.get(0, 1))
+        let score = p.get(0, 1);
+        if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+            span.record("parse_us", t1.duration_since(t0).as_micros() as u64);
+            span.record("featurize_us", t2.duration_since(t1).as_micros() as u64);
+            span.record("classify_us", t2.elapsed().as_micros() as u64);
+            span.record("score", score);
+        }
+        Ok(score)
     }
 
     /// Hard verdict for a program: `true` = malware.

@@ -1,11 +1,30 @@
 use std::path::PathBuf;
 
 use maleva_linalg::{stats, Matrix};
+use maleva_obs::trace::{self, Span};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{TrainCheckpoint, CHECKPOINT_VERSION};
 use crate::optim::{Adam, OptimizerState, Sgd};
 use crate::{init, loss, Gradients, Network, NnError};
+
+/// Process-wide training counters in the shared `maleva-obs` registry.
+fn train_counters() -> &'static (
+    std::sync::Arc<maleva_obs::Counter>,
+    std::sync::Arc<maleva_obs::Counter>,
+) {
+    static COUNTERS: std::sync::OnceLock<(
+        std::sync::Arc<maleva_obs::Counter>,
+        std::sync::Arc<maleva_obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = maleva_obs::metrics::global();
+        (
+            registry.counter("train_epochs_total", "Training epochs completed."),
+            registry.counter("train_batches_total", "Minibatch updates applied."),
+        )
+    })
+}
 
 /// What the trainer does when an epoch numerically diverges (non-finite
 /// loss, gradient or weight — see [`NnError::NumericDivergence`]).
@@ -416,6 +435,11 @@ impl Trainer {
             }
         }
 
+        let mut fit_span = Span::enter("train.fit");
+        fit_span.record("samples", n as u64);
+        fit_span.record("target_epochs", self.config.epochs as u64);
+        fit_span.record("resume_epoch", epoch as u64);
+
         while epoch < self.config.epochs {
             // Pre-epoch snapshot for the restoring divergence policies;
             // Abort skips the clone cost.
@@ -513,6 +537,11 @@ impl Trainer {
                 Err(e) => return Err(e),
             }
         }
+        fit_span.record("epochs_run", report.epochs.len() as u64);
+        fit_span.record("lr_halvings", lr_halvings as u64);
+        if let Some(last) = report.epochs.last() {
+            fit_span.record("final_loss", last.train_loss);
+        }
         Ok(report)
     }
 
@@ -530,12 +559,18 @@ impl Trainer {
         opt: &mut OptimizerState,
         epoch: usize,
     ) -> Result<EpochStats, NnError> {
+        let mut span = Span::enter("train.epoch");
+        span.record("epoch", epoch as u64);
         let n = x.rows();
         let t = self.config.temperature;
         shuffle(indices, rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         let mut correct = 0usize;
+        // Gradient-norm telemetry is computed only when tracing is on:
+        // the extra O(params) pass is pure diagnostics and must not
+        // change timing-insensitive results (it never touches values).
+        let mut grad_sq_sum = 0.0;
 
         for chunk in indices.chunks(self.config.batch_size) {
             let xb = x.select_rows(chunk);
@@ -567,6 +602,9 @@ impl Trainer {
 
             let mut grads = net.backward(&caches, &grad)?;
             check_gradients_finite(&grads, epoch, batches)?;
+            if trace::enabled() {
+                grad_sq_sum += grad_sq_norm(&grads);
+            }
             if let Some(max_norm) = self.config.grad_clip {
                 clip_gradients(&mut grads, max_norm);
             }
@@ -615,14 +653,50 @@ impl Trainer {
             }
             None => (None, None),
         };
-        Ok(EpochStats {
+        let stats = EpochStats {
             epoch,
             train_loss: epoch_loss / batches.max(1) as f64,
             train_accuracy,
             val_loss,
             val_accuracy,
-        })
+        };
+        if trace::enabled() {
+            let (epochs_total, batches_total) = train_counters();
+            epochs_total.inc();
+            batches_total.add(batches as u64);
+            let grad_norm_mean = (grad_sq_sum / batches.max(1) as f64).sqrt();
+            trace::event(
+                "train.epoch_stats",
+                &[
+                    ("epoch", (epoch as u64).into()),
+                    ("loss", stats.train_loss.into()),
+                    ("accuracy", stats.train_accuracy.unwrap_or(f64::NAN).into()),
+                    ("val_loss", stats.val_loss.unwrap_or(f64::NAN).into()),
+                    ("grad_norm_mean", grad_norm_mean.into()),
+                ],
+            );
+            span.record("batches", batches as u64);
+            span.record("loss", stats.train_loss);
+            if let Some(acc) = stats.train_accuracy {
+                span.record("accuracy", acc);
+            }
+            if let Some(vl) = stats.val_loss {
+                span.record("val_loss", vl);
+            }
+            span.record("grad_norm_mean", grad_norm_mean);
+        }
+        Ok(stats)
     }
+}
+
+/// Squared global L2 norm of the gradient (all layers, weights + biases).
+fn grad_sq_norm(grads: &Gradients) -> f64 {
+    let mut sq = 0.0;
+    for (gw, gb) in &grads.layers {
+        sq += gw.as_slice().iter().map(|g| g * g).sum::<f64>();
+        sq += gb.iter().map(|g| g * g).sum::<f64>();
+    }
+    sq
 }
 
 /// Fails with [`NnError::NumericDivergence`] if any gradient element is
@@ -643,12 +717,7 @@ fn check_gradients_finite(grads: &Gradients, epoch: usize, batch: usize) -> Resu
 /// Rescales the whole gradient (all layers, weights + biases) to at most
 /// `max_norm` in global L2 norm.
 fn clip_gradients(grads: &mut Gradients, max_norm: f64) {
-    let mut sq = 0.0;
-    for (gw, gb) in &grads.layers {
-        sq += gw.as_slice().iter().map(|g| g * g).sum::<f64>();
-        sq += gb.iter().map(|g| g * g).sum::<f64>();
-    }
-    let norm = sq.sqrt();
+    let norm = grad_sq_norm(grads).sqrt();
     if norm > max_norm {
         let scale = max_norm / norm;
         for (gw, gb) in &mut grads.layers {

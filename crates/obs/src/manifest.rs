@@ -1,0 +1,325 @@
+//! Run-provenance manifests: what ran, with which seed, scale, and
+//! configuration, and how long each phase took.
+//!
+//! A manifest is written as `manifest.json` next to `repro`/`train`
+//! outputs. Serialization is hand-rolled (the crate is zero-dependency)
+//! with a fixed field order and one scalar per line, so two manifests
+//! from identical configurations are byte-identical except for the
+//! `created_unix` timestamp and the `seconds` phase durations — the
+//! golden tests normalize exactly those lines.
+
+use std::io;
+use std::path::Path;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// FNV-1a 64-bit hash, used to fingerprint a canonical configuration
+/// string. Stable across platforms and releases.
+pub fn fnv1a_64(data: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Wall-clock record for one named phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    /// Phase name, e.g. `"context"` or `"fig3a"`.
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A completed provenance manifest. Build with [`ManifestBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Tool that produced the run (e.g. `"repro"`, `"maleva train"`).
+    pub tool: String,
+    /// Workspace version of the tool crate.
+    pub version: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Experiment scale label (`"paper"`, `"quick"`, `"tiny"`, …).
+    pub scale: String,
+    /// FNV-1a 64-bit hash of the canonical configuration string,
+    /// rendered as 16 lowercase hex digits.
+    pub config_hash: String,
+    /// Unix timestamp (seconds) when the manifest was created.
+    pub created_unix: u64,
+    /// Crate name → version pairs, sorted by name.
+    pub crates: Vec<(String, String)>,
+    /// Per-phase wall-clock, in run order.
+    pub phases: Vec<PhaseRecord>,
+    /// Free-form key/value pairs (sorted by key), e.g. experiment
+    /// selection or output paths.
+    pub extra: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Renders the manifest as pretty-printed JSON with a fixed field
+    /// order and one scalar per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"tool\": {},\n", json_str(&self.tool)));
+        out.push_str(&format!("  \"version\": {},\n", json_str(&self.version)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
+        out.push_str(&format!(
+            "  \"config_hash\": {},\n",
+            json_str(&self.config_hash)
+        ));
+        out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
+        out.push_str("  \"crates\": {\n");
+        for (i, (name, version)) in self.crates.iter().enumerate() {
+            let comma = if i + 1 < self.crates.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {}: {}{comma}\n",
+                json_str(name),
+                json_str(version)
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"seconds\": {:.6} }}{comma}\n",
+                json_str(&phase.name),
+                phase.seconds
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"extra\": {\n");
+        for (i, (k, v)) in self.extra.iter().enumerate() {
+            let comma = if i + 1 < self.extra.len() { "," } else { "" };
+            out.push_str(&format!("    {}: {}{comma}\n", json_str(k), json_str(v)));
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `to_json()` to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The manifest JSON with `created_unix` and phase `seconds`
+    /// values zeroed, for byte-stability comparisons modulo
+    /// timestamps.
+    pub fn to_json_normalized(&self) -> String {
+        let mut normalized = self.clone();
+        normalized.created_unix = 0;
+        for phase in &mut normalized.phases {
+            phase.seconds = 0.0;
+        }
+        normalized.to_json()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builder for [`Manifest`]. Captures `created_unix` at build time.
+#[derive(Debug, Clone)]
+pub struct ManifestBuilder {
+    tool: String,
+    version: String,
+    seed: u64,
+    scale: String,
+    config_hash: String,
+    crates: Vec<(String, String)>,
+    phases: Vec<PhaseRecord>,
+    extra: Vec<(String, String)>,
+}
+
+impl ManifestBuilder {
+    /// Starts a manifest for `tool`. The version defaults to this
+    /// crate's package version, which is the unified workspace version.
+    pub fn new(tool: &str) -> Self {
+        ManifestBuilder {
+            tool: tool.to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: 0,
+            scale: String::new(),
+            config_hash: format!("{:016x}", fnv1a_64("")),
+            crates: vec![(
+                "maleva-obs".to_string(),
+                env!("CARGO_PKG_VERSION").to_string(),
+            )],
+            phases: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scale label.
+    #[must_use]
+    pub fn scale(mut self, scale: &str) -> Self {
+        self.scale = scale.to_string();
+        self
+    }
+
+    /// Hashes the canonical configuration string with [`fnv1a_64`].
+    /// Callers should build the string deterministically (fixed key
+    /// order) so equal configurations hash equally.
+    #[must_use]
+    pub fn config(mut self, canonical: &str) -> Self {
+        self.config_hash = format!("{:016x}", fnv1a_64(canonical));
+        self
+    }
+
+    /// Records a crate version (sorted into place at build time).
+    #[must_use]
+    pub fn crate_version(mut self, name: &str, version: &str) -> Self {
+        self.crates.push((name.to_string(), version.to_string()));
+        self
+    }
+
+    /// Appends a phase wall-clock record.
+    #[must_use]
+    pub fn phase(mut self, name: &str, elapsed: Duration) -> Self {
+        self.phases.push(PhaseRecord {
+            name: name.to_string(),
+            seconds: elapsed.as_secs_f64(),
+        });
+        self
+    }
+
+    /// Appends a phase record from raw seconds.
+    #[must_use]
+    pub fn phase_secs(mut self, name: &str, seconds: f64) -> Self {
+        self.phases.push(PhaseRecord {
+            name: name.to_string(),
+            seconds,
+        });
+        self
+    }
+
+    /// Adds a free-form key/value pair (sorted into place at build
+    /// time).
+    #[must_use]
+    pub fn extra(mut self, key: &str, value: &str) -> Self {
+        self.extra.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Finalizes the manifest, stamping `created_unix` and sorting
+    /// `crates` and `extra` for deterministic output.
+    pub fn build(mut self) -> Manifest {
+        self.crates.sort();
+        self.crates.dedup();
+        self.extra.sort();
+        let created_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Manifest {
+            tool: self.tool,
+            version: self.version,
+            seed: self.seed,
+            scale: self.scale,
+            config_hash: self.config_hash,
+            created_unix,
+            crates: self.crates,
+            phases: self.phases,
+            extra: self.extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64("foobar"), 0x85944171f73967e8);
+    }
+
+    fn sample() -> Manifest {
+        ManifestBuilder::new("repro")
+            .seed(42)
+            .scale("quick")
+            .config("scale=quick seed=42 exp=all")
+            .crate_version("maleva-core", "0.1.0")
+            .phase_secs("context", 1.25)
+            .phase_secs("fig3a", 10.5)
+            .extra("exp", "all")
+            .build()
+    }
+
+    #[test]
+    fn json_has_fixed_field_order() {
+        let json = sample().to_json();
+        let tool_pos = json.find("\"tool\"").expect("tool");
+        let seed_pos = json.find("\"seed\"").expect("seed");
+        let phases_pos = json.find("\"phases\"").expect("phases");
+        assert!(tool_pos < seed_pos && seed_pos < phases_pos);
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("{ \"name\": \"fig3a\", \"seconds\": 10.500000 }"));
+    }
+
+    #[test]
+    fn normalized_json_is_byte_stable() {
+        let a = sample();
+        std::thread::sleep(Duration::from_millis(5));
+        let mut b = sample();
+        // Simulate different wall-clock readings.
+        b.phases[0].seconds = 2.75;
+        assert_eq!(a.to_json_normalized(), b.to_json_normalized());
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn config_hash_is_deterministic_and_sensitive() {
+        let a = ManifestBuilder::new("t").config("seed=42").build();
+        let b = ManifestBuilder::new("t").config("seed=42").build();
+        let c = ManifestBuilder::new("t").config("seed=43").build();
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_ne!(a.config_hash, c.config_hash);
+        assert_eq!(a.config_hash.len(), 16);
+    }
+
+    #[test]
+    fn write_to_roundtrip() {
+        let path = std::env::temp_dir().join("maleva-obs-manifest-test.json");
+        let m = sample();
+        m.write_to(&path).expect("write manifest");
+        let text = std::fs::read_to_string(&path).expect("read manifest");
+        assert_eq!(text, m.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

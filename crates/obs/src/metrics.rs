@@ -1,0 +1,450 @@
+//! Counters, gauges, and power-of-two histograms behind a named
+//! registry with a Prometheus text-exposition renderer.
+//!
+//! All primitives are lock-free on the record path (relaxed atomics);
+//! the registry only takes a lock on registration and rendering. The
+//! histogram layout is shared with `serve::metrics`: bucket `i` counts
+//! samples in `[2^(i-1), 2^i)` (bucket 0 holds zeros), and samples at
+//! or above the top bucket bound saturate into the last bucket rather
+//! than being dropped.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps a sample to its power-of-two bucket. Zero lands in bucket 0;
+/// samples at or above `2^(HISTOGRAM_BUCKETS-1)` saturate into the
+/// last bucket.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A fixed-size power-of-two histogram with total count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (in whatever unit the caller uses
+    /// consistently — the serving layer records microseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds.
+    #[inline]
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, i.e. `2^i`. The last
+    /// bucket is unbounded in practice (saturation), so its reported
+    /// bound is a cap, not a maximum observed value.
+    pub fn bucket_upper(i: usize) -> u64 {
+        1u64 << i.min(63)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket at which the cumulative count reaches
+    /// `q * count`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.snapshot_buckets();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= threshold {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// A copy of the per-bucket counts.
+    pub fn snapshot_buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The kind and handle of a registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics that renders to Prometheus text
+/// exposition format. Registration is idempotent: registering the same
+/// name and kind twice returns the existing handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new())), |m| {
+            match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            }
+        })
+        .unwrap_or_else(|| Arc::new(Counter::new()))
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new())), |m| {
+            match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            }
+        })
+        .unwrap_or_else(|| Arc::new(Gauge::new()))
+    }
+
+    /// Registers (or fetches) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+        .unwrap_or_else(|| Arc::new(Histogram::new()))
+    }
+
+    /// Shared lookup-or-insert. On a name collision with a different
+    /// kind the caller gets a detached metric (registered nothing) so
+    /// instrumentation never panics; the mismatch is a programming
+    /// error surfaced by the returned handle not appearing in renders.
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+        downcast: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Option<Arc<T>> {
+        let name = sanitize_name(name);
+        let mut entries = match self.entries.lock() {
+            Ok(e) => e,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return downcast(&entry.metric);
+        }
+        let metric = make();
+        let handle = downcast(&metric);
+        entries.push(Entry {
+            name,
+            help: help.to_string(),
+            metric,
+        });
+        handle
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format (`# HELP` / `# TYPE` headers, cumulative histogram
+    /// buckets with `le` labels, `_sum` and `_count` series).
+    pub fn render_prometheus(&self) -> String {
+        let entries = match self.entries.lock() {
+            Ok(e) => e,
+            Err(p) => p.into_inner(),
+        };
+        let mut out = String::new();
+        for entry in entries.iter() {
+            let name = &entry.name;
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    render_header(&mut out, name, &entry.help, "counter");
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    render_header(&mut out, name, &entry.help, "gauge");
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    render_header(&mut out, name, &entry.help, "histogram");
+                    let buckets = h.snapshot_buckets();
+                    let mut cumulative = 0u64;
+                    for (i, c) in buckets.iter().enumerate() {
+                        cumulative += c;
+                        // Skip leading all-zero buckets to keep output
+                        // compact, but always render at least the
+                        // occupied range and the +Inf bucket.
+                        if cumulative == 0 && i < HISTOGRAM_BUCKETS - 1 {
+                            continue;
+                        }
+                        if i == HISTOGRAM_BUCKETS - 1 {
+                            break;
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            Histogram::bucket_upper(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    if !help.is_empty() {
+        out.push_str(&format!("# HELP {name} {help}\n"));
+    }
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+/// Replaces characters outside `[a-zA-Z0-9_:]` with `_` so any
+/// dotted/hyphenated internal name is a valid Prometheus metric name.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The process-wide registry used by trainer and attack
+/// instrumentation. Per-server metrics in `maleva-serve` use their own
+/// [`Registry`] instance so concurrent servers in one process do not
+/// collide.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_saturation() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1, 2)
+        h.record(8); // bucket 4: [8, 16)
+        h.record(u64::MAX); // saturates into last bucket
+        let buckets = h.snapshot_buckets();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[4], 1);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_pin_both_extremes() {
+        let h = Histogram::new();
+        // All samples tiny: every quantile is the smallest occupied bound.
+        for _ in 0..100 {
+            h.record(1);
+        }
+        assert_eq!(h.quantile(0.0), 2);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 2);
+        // Add huge saturating samples: the high quantiles move to the cap.
+        for _ in 0..100 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(
+            h.quantile(1.0),
+            Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1)
+        );
+        assert_eq!(h.count(), 200);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shares_handles() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "Total requests.");
+        let b = r.counter("requests_total", "Total requests.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("reqs_total", "Requests.").add(3);
+        r.gauge("cache_entries", "Entries.").set(12);
+        let h = r.histogram("latency_us", "Latency.");
+        h.record(5);
+        h.record(u64::MAX);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"), "{text}");
+        assert!(text.contains("reqs_total 3"), "{text}");
+        assert!(text.contains("# TYPE cache_entries gauge"), "{text}");
+        assert!(text.contains("cache_entries 12"), "{text}");
+        assert!(text.contains("# TYPE latency_us histogram"), "{text}");
+        assert!(text.contains("latency_us_bucket{le=\"8\"} 1"), "{text}");
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("latency_us_count 2"), "{text}");
+    }
+
+    #[test]
+    fn names_are_sanitized_for_prometheus() {
+        let r = Registry::new();
+        r.counter("jsma.rows-total", "Rows.").inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("jsma_rows_total 1"), "{text}");
+    }
+}

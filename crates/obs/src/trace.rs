@@ -1,0 +1,521 @@
+//! Span-based structured tracing with newline-delimited JSON output.
+//!
+//! The tracer is built around one global, pluggable [`Sink`]. By default
+//! the sink is [`Sink::Disabled`] and every instrumentation point costs a
+//! single relaxed atomic load — cheap enough for per-row attack loops and
+//! per-request serving paths. When a sink is installed, [`Span::enter`]
+//! and [`event`] write one JSON object per line:
+//!
+//! ```text
+//! {"ev":"enter","span":3,"parent":2,"name":"jsma.craft","thread":1,"t_ns":81250}
+//! {"ev":"event","span":3,"name":"jsma.progress","thread":1,"t_ns":90010,"fields":{"iter":4}}
+//! {"ev":"exit","span":3,"name":"jsma.craft","thread":1,"t_ns":99604,"dur_ns":18354,"fields":{"evaded":true}}
+//! ```
+//!
+//! * `span` ids are process-unique and monotonically increasing;
+//! * `parent` is the innermost open span *on the same thread* (0 = root);
+//! * `thread` is a small per-thread ordinal (not the OS thread id);
+//! * `t_ns` is monotonic nanoseconds since the first trace call of the
+//!   process — timestamps never go backwards.
+//!
+//! Tracing never changes results: instrumented code must not branch on
+//! the tracer beyond `if trace::enabled()` guards around *extra*
+//! diagnostics (e.g. gradient norms) that are otherwise unobservable.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Fast-path gate: one relaxed load per instrumentation point.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Process-unique span id allocator (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Small per-thread ordinals for the `thread` field.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+/// The installed sink.
+static WRITER: Mutex<Writer> = Mutex::new(Writer::Disabled);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide monotonic epoch: the instant of the first trace call.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// Where trace lines go. Install with [`install`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sink {
+    /// Tracing off (the default): instrumentation points cost one
+    /// relaxed atomic load and emit nothing.
+    Disabled,
+    /// Tracing on, output discarded after formatting. Used to measure
+    /// tracer overhead and as a safe stand-in when no output is wanted.
+    Null,
+    /// One JSON line per record to standard error.
+    Stderr,
+    /// One JSON line per record appended to this file (created or
+    /// truncated at install time, buffered; call [`flush`] at exit).
+    File(PathBuf),
+}
+
+enum Writer {
+    Disabled,
+    Null,
+    Stderr,
+    File(BufWriter<File>),
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+impl Writer {
+    fn write_line(&mut self, line: &str) {
+        match self {
+            Writer::Disabled | Writer::Null => {}
+            Writer::Stderr => {
+                let mut err = io::stderr().lock();
+                let _ = err.write_all(line.as_bytes());
+                let _ = err.write_all(b"\n");
+            }
+            Writer::File(w) => {
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+            Writer::Memory(buf) => {
+                if let Ok(mut lines) = buf.lock() {
+                    lines.push(line.to_string());
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Writer::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Installs a sink, replacing (and flushing) the previous one.
+///
+/// # Errors
+///
+/// Returns the I/O error if a [`Sink::File`] cannot be created.
+pub fn install(sink: Sink) -> io::Result<()> {
+    let writer = match sink {
+        Sink::Disabled => Writer::Disabled,
+        Sink::Null => Writer::Null,
+        Sink::Stderr => Writer::Stderr,
+        Sink::File(path) => Writer::File(BufWriter::new(File::create(path)?)),
+    };
+    replace_writer(writer);
+    Ok(())
+}
+
+/// Installs an in-memory sink (for tests) and returns a handle to the
+/// captured lines.
+pub fn install_memory_sink() -> MemoryHandle {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    replace_writer(Writer::Memory(Arc::clone(&buf)));
+    MemoryHandle { buf }
+}
+
+fn replace_writer(writer: Writer) {
+    let enabled = !matches!(writer, Writer::Disabled);
+    if let Ok(mut w) = WRITER.lock() {
+        w.flush();
+        *w = writer;
+    }
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether a sink is installed. Use to gate *extra* diagnostics whose
+/// computation would otherwise be wasted (never to change results).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flushes buffered output (relevant for [`Sink::File`]). Call before
+/// process exit.
+pub fn flush() {
+    if let Ok(mut w) = WRITER.lock() {
+        w.flush();
+    }
+}
+
+/// Handle to the lines captured by [`install_memory_sink`].
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    buf: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemoryHandle {
+    /// A copy of the captured lines, in emission order.
+    pub fn lines(&self) -> Vec<String> {
+        self.buf.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+
+    /// Drops all captured lines.
+    pub fn clear(&self) {
+        if let Ok(mut l) = self.buf.lock() {
+            l.clear();
+        }
+    }
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values serialize as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on output).
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($t:ty => $v:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$v(v as $conv) }
+        })*
+    };
+}
+value_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_value(buf: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => buf.push_str(&n.to_string()),
+        Value::I64(n) => buf.push_str(&n.to_string()),
+        Value::F64(f) if f.is_finite() => buf.push_str(&format!("{f}")),
+        Value::F64(_) => buf.push_str("null"),
+        Value::Bool(b) => buf.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => push_json_str(buf, s),
+    }
+}
+
+fn push_fields(buf: &mut String, fields: &[(&'static str, Value)]) {
+    if fields.is_empty() {
+        return;
+    }
+    buf.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        push_json_str(buf, k);
+        buf.push(':');
+        push_value(buf, v);
+    }
+    buf.push('}');
+}
+
+fn emit(line: &str) {
+    if let Ok(mut w) = WRITER.lock() {
+        w.write_line(line);
+    }
+}
+
+/// Emits a point event attached to the innermost open span on this
+/// thread. No-op when tracing is disabled.
+pub fn event(name: &str, fields: &[(&'static str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    let span = SPAN_STACK.with(|s| s.borrow().last().copied()).unwrap_or(0);
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ev\":\"event\",\"span\":");
+    line.push_str(&span.to_string());
+    line.push_str(",\"name\":");
+    push_json_str(&mut line, name);
+    line.push_str(",\"thread\":");
+    line.push_str(&thread_ordinal().to_string());
+    line.push_str(",\"t_ns\":");
+    line.push_str(&now_ns().to_string());
+    push_fields(&mut line, fields);
+    line.push('}');
+    emit(&line);
+}
+
+/// An RAII span: [`Span::enter`] emits an `enter` record, dropping the
+/// guard emits the matching `exit` with the duration and any recorded
+/// fields. When tracing is disabled the guard is inert.
+#[derive(Debug)]
+pub struct Span {
+    active: bool,
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    /// Opens a span. Nesting is tracked per thread: the parent is the
+    /// innermost span currently open on the calling thread.
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span {
+                active: false,
+                id: 0,
+                name,
+                start_ns: 0,
+                fields: Vec::new(),
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        let start_ns = now_ns();
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ev\":\"enter\",\"span\":");
+        line.push_str(&id.to_string());
+        line.push_str(",\"parent\":");
+        line.push_str(&parent.to_string());
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, name);
+        line.push_str(",\"thread\":");
+        line.push_str(&thread_ordinal().to_string());
+        line.push_str(",\"t_ns\":");
+        line.push_str(&start_ns.to_string());
+        line.push('}');
+        emit(&line);
+        Span {
+            active: true,
+            id,
+            name,
+            start_ns,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a key/value field, emitted with the `exit` record.
+    /// No-op on an inert span.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.active {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// Whether this span is live (a sink was installed when it opened).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let t = now_ns();
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"ev\":\"exit\",\"span\":");
+        line.push_str(&self.id.to_string());
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, self.name);
+        line.push_str(",\"thread\":");
+        line.push_str(&thread_ordinal().to_string());
+        line.push_str(",\"t_ns\":");
+        line.push_str(&t.to_string());
+        line.push_str(",\"dur_ns\":");
+        line.push_str(&t.saturating_sub(self.start_ns).to_string());
+        push_fields(&mut line, &self.fields);
+        line.push('}');
+        emit(&line);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_spans_are_inert() {
+        let _guard = test_lock();
+        install(Sink::Disabled).expect("install");
+        let mut span = Span::enter("quiet");
+        span.record("x", 1u64);
+        assert!(!span.is_active());
+        drop(span);
+        event("ignored", &[("k", 1u64.into())]);
+        // Installing a memory sink afterwards captures nothing from the past.
+        let captured = install_memory_sink();
+        assert!(captured.lines().is_empty());
+        install(Sink::Disabled).expect("install");
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _guard = test_lock();
+        let captured = install_memory_sink();
+        {
+            let mut outer = Span::enter("outer");
+            outer.record("rows", 3u64);
+            {
+                let _inner = Span::enter("inner");
+                event("tick", &[("i", 0u64.into())]);
+            }
+        }
+        install(Sink::Disabled).expect("install");
+        let lines = captured.lines();
+        assert_eq!(lines.len(), 5, "{lines:#?}");
+        assert!(lines[0].contains("\"ev\":\"enter\"") && lines[0].contains("\"name\":\"outer\""));
+        assert!(lines[1].contains("\"name\":\"inner\""));
+        assert!(lines[2].contains("\"ev\":\"event\"") && lines[2].contains("\"name\":\"tick\""));
+        assert!(lines[3].contains("\"ev\":\"exit\"") && lines[3].contains("\"name\":\"inner\""));
+        assert!(lines[4].contains("\"ev\":\"exit\"") && lines[4].contains("\"fields\":{\"rows\":3}"));
+        // The inner span's parent is the outer span's id.
+        let outer_id: u64 = extract(&lines[0], "\"span\":");
+        let inner_parent: u64 = extract(&lines[1], "\"parent\":");
+        assert_eq!(outer_id, inner_parent);
+        // The event is attached to the inner span.
+        let inner_id: u64 = extract(&lines[1], "\"span\":");
+        assert_eq!(extract::<u64>(&lines[2], "\"span\":"), inner_id);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let _guard = test_lock();
+        let captured = install_memory_sink();
+        for _ in 0..10 {
+            let _span = Span::enter("tick");
+        }
+        install(Sink::Disabled).expect("install");
+        let ts: Vec<u64> = captured.lines().iter().map(|l| extract(l, "\"t_ns\":")).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn strings_are_json_escaped() {
+        let _guard = test_lock();
+        let captured = install_memory_sink();
+        event("escape", &[("msg", "a\"b\\c\nd".into())]);
+        install(Sink::Disabled).expect("install");
+        let line = captured.lines().remove(0);
+        assert!(line.contains(r#""msg":"a\"b\\c\nd""#), "{line}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let _guard = test_lock();
+        let captured = install_memory_sink();
+        event("nan", &[("loss", f64::NAN.into()), ("ok", 0.5f64.into())]);
+        install(Sink::Disabled).expect("install");
+        let line = captured.lines().remove(0);
+        assert!(line.contains("\"loss\":null"), "{line}");
+        assert!(line.contains("\"ok\":0.5"), "{line}");
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let _guard = test_lock();
+        let path = std::env::temp_dir().join("maleva-obs-trace-test.jsonl");
+        install(Sink::File(path.clone())).expect("install file sink");
+        {
+            let mut span = Span::enter("file.span");
+            span.record("n", 7u64);
+        }
+        install(Sink::Disabled).expect("install");
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"n\":7"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn null_sink_accepts_events_silently() {
+        let _guard = test_lock();
+        install(Sink::Null).expect("install");
+        assert!(enabled());
+        let mut span = Span::enter("null.span");
+        span.record("x", true);
+        drop(span);
+        install(Sink::Disabled).expect("install");
+        assert!(!enabled());
+    }
+
+    fn extract<T: std::str::FromStr>(line: &str, key: &str) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        let start = line.find(key).expect("key present") + key.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().expect("numeric field")
+    }
+}

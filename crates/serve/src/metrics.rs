@@ -1,111 +1,116 @@
-//! Lock-free service metrics: atomic counters plus a fixed-bucket
-//! latency histogram.
+//! Service metrics built on the shared `maleva-obs` primitives: lock-free
+//! counters plus power-of-two histograms for request latency and batch
+//! size, registered in a per-server [`Registry`] that renders to
+//! Prometheus text exposition for the `{"cmd": "metrics"}` command.
 //!
-//! Every counter is a relaxed `AtomicU64` — the snapshot is advisory
+//! Every counter is a relaxed atomic — the snapshot is advisory
 //! monitoring data, not a synchronization point, so the hot path pays
 //! one uncontended atomic add per event. Latencies land in power-of-two
 //! microsecond buckets; percentiles are read off the cumulative bucket
 //! counts (upper-bound estimate, ≤ 2x resolution error — plenty for
-//! p50/p99 monitoring).
+//! p50/p99 monitoring). Samples at or above the top bucket bound
+//! saturate into the last bucket rather than being dropped, so extreme
+//! outliers still move the high percentiles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use maleva_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use serde::Serialize;
 
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds sub-microsecond), so
-/// the top bucket covers everything ≥ ~34 minutes.
-const BUCKETS: usize = 32;
-
-/// Shared, lock-free metrics for one server instance.
-#[derive(Debug, Default)]
+/// Shared metrics for one server instance. Each server owns its own
+/// [`Registry`] so concurrent servers in one process never collide.
+#[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     /// Score requests received (valid enough to reach scoring or cache).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Batches executed by the scorer thread.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Rows scored through batches (misses that ran the network).
-    pub rows_scored: AtomicU64,
+    pub rows_scored: Arc<Counter>,
     /// Cache hits.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Cache misses.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Typed error responses sent (malformed input, overload, ...).
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Requests rejected with `overloaded` (also counted in `errors`).
-    pub overloaded: AtomicU64,
-    latency_buckets: LatencyBuckets,
+    pub overloaded: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    latency_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
 }
 
-#[derive(Debug)]
-struct LatencyBuckets([AtomicU64; BUCKETS]);
-
-impl Default for LatencyBuckets {
+impl Default for Metrics {
     fn default() -> Self {
-        LatencyBuckets(std::array::from_fn(|_| AtomicU64::new(0)))
+        Metrics::new()
     }
 }
 
 impl Metrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics registered in a fresh registry.
     pub fn new() -> Self {
-        Metrics::default()
+        let registry = Registry::new();
+        let requests = registry.counter("serve_requests_total", "Score requests received.");
+        let batches = registry.counter("serve_batches_total", "Batches executed by the scorer.");
+        let rows_scored =
+            registry.counter("serve_rows_scored_total", "Rows scored through batches.");
+        let cache_hits = registry.counter("serve_cache_hits_total", "Score cache hits.");
+        let cache_misses = registry.counter("serve_cache_misses_total", "Score cache misses.");
+        let errors = registry.counter("serve_errors_total", "Typed error responses sent.");
+        let overloaded =
+            registry.counter("serve_overloaded_total", "Requests rejected as overloaded.");
+        let cache_entries = registry.gauge("serve_cache_entries", "Live score cache entries.");
+        let latency_us = registry.histogram(
+            "serve_request_latency_us",
+            "End-to-end score request latency in microseconds.",
+        );
+        let batch_size = registry.histogram(
+            "serve_batch_size",
+            "Rows per executed scoring batch.",
+        );
+        Metrics {
+            registry,
+            requests,
+            batches,
+            rows_scored,
+            cache_hits,
+            cache_misses,
+            errors,
+            overloaded,
+            cache_entries,
+            latency_us,
+            batch_size,
+        }
     }
 
-    /// Bumps a counter by one (relaxed).
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n` to a counter (relaxed).
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Records one request latency.
+    /// Records one request latency (microsecond resolution; values at
+    /// or above the top bucket bound saturate into the last bucket).
     pub fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = if us == 0 {
-            0
-        } else {
-            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
-        };
-        self.latency_buckets.0[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record_duration_us(elapsed);
     }
 
-    /// The upper bound (µs) of the bucket containing quantile `q`
-    /// (`0 < q <= 1`), or 0 when no latencies were recorded.
-    fn latency_quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .latency_buckets
-            .0
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Bucket i spans [2^(i-1), 2^i) µs; report the upper bound.
-                return 1u64 << i;
-            }
-        }
-        1u64 << (BUCKETS - 1)
+    /// Records the row count of one executed batch.
+    pub fn record_batch_size(&self, rows: u64) {
+        self.batch_size.record(rows);
+    }
+
+    /// Renders every metric in Prometheus text exposition format,
+    /// refreshing the cache-entries gauge first.
+    pub fn render_prometheus(&self, cache_entries: usize) -> String {
+        self.cache_entries
+            .set(cache_entries.min(i64::MAX as usize) as i64);
+        self.registry.render_prometheus()
     }
 
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self, cache_entries: usize) -> MetricsSnapshot {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let rows_scored = self.rows_scored.load(Ordering::Relaxed);
-        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
-        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let requests = self.requests.get();
+        let batches = self.batches.get();
+        let rows_scored = self.rows_scored.get();
+        let cache_hits = self.cache_hits.get();
+        let cache_misses = self.cache_misses.get();
         let lookups = cache_hits + cache_misses;
         MetricsSnapshot {
             requests,
@@ -119,15 +124,17 @@ impl Metrics {
                 cache_hits as f64 / lookups as f64
             },
             cache_entries,
-            errors: self.errors.load(Ordering::Relaxed),
-            overloaded: self.overloaded.load(Ordering::Relaxed),
+            errors: self.errors.get(),
+            overloaded: self.overloaded.get(),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 rows_scored as f64 / batches as f64
             },
-            p50_latency_us: self.latency_quantile_us(0.50),
-            p99_latency_us: self.latency_quantile_us(0.99),
+            p50_latency_us: self.latency_us.quantile(0.50),
+            p99_latency_us: self.latency_us.quantile(0.99),
+            latency_buckets_us: self.latency_us.snapshot_buckets(),
+            batch_size_buckets: self.batch_size.snapshot_buckets(),
         }
     }
 }
@@ -160,11 +167,17 @@ pub struct MetricsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile request latency, µs (bucket upper bound).
     pub p99_latency_us: u64,
+    /// Power-of-two latency buckets: entry `i` counts requests in
+    /// `[2^(i-1), 2^i)` µs; the last bucket absorbs everything above.
+    pub latency_buckets_us: Vec<u64>,
+    /// Power-of-two batch-size buckets, same layout as latencies.
+    pub batch_size_buckets: Vec<u64>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use maleva_obs::metrics::HISTOGRAM_BUCKETS;
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
@@ -174,6 +187,7 @@ mod tests {
         assert_eq!(s.p50_latency_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert_eq!(s.mean_batch_size, 0.0);
+        assert!(s.latency_buckets_us.iter().all(|&c| c == 0));
     }
 
     #[test]
@@ -195,10 +209,10 @@ mod tests {
     #[test]
     fn derived_rates_compute() {
         let m = Metrics::new();
-        Metrics::add(&m.cache_hits, 3);
-        Metrics::add(&m.cache_misses, 1);
-        Metrics::add(&m.batches, 2);
-        Metrics::add(&m.rows_scored, 12);
+        m.cache_hits.add(3);
+        m.cache_misses.add(1);
+        m.batches.add(2);
+        m.rows_scored.add(12);
         let s = m.snapshot(5);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
         assert!((s.mean_batch_size - 6.0).abs() < 1e-12);
@@ -211,5 +225,67 @@ mod tests {
         m.record_latency(Duration::from_nanos(10));
         let s = m.snapshot(0);
         assert_eq!(s.p50_latency_us, 1);
+        assert_eq!(s.latency_buckets_us[0], 1);
+    }
+
+    #[test]
+    fn extreme_latencies_saturate_into_the_top_bucket() {
+        let m = Metrics::new();
+        // ~2^41 µs — far past the top bucket bound of 2^31 µs. The
+        // sample must land in the last bucket, not be dropped.
+        m.record_latency(Duration::from_secs(40 * 24 * 3600));
+        let s = m.snapshot(0);
+        assert_eq!(s.latency_buckets_us[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(
+            s.p99_latency_us,
+            maleva_obs::metrics::Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1)
+        );
+        assert_eq!(s.latency_buckets_us.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn percentiles_pin_both_extremes_of_a_mixed_distribution() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record_latency(Duration::from_nanos(1)); // bucket 0
+        }
+        m.record_latency(Duration::from_secs(u32::MAX as u64)); // saturates
+        let s = m.snapshot(0);
+        assert_eq!(s.p50_latency_us, 1); // bucket 0 upper bound
+        assert_eq!(
+            s.p99_latency_us,
+            1 // 99th of 100 samples still in bucket 0
+        );
+        // The max (p100) lives in the saturated top bucket.
+        assert_eq!(s.latency_buckets_us[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn batch_size_distribution_is_tracked() {
+        let m = Metrics::new();
+        m.record_batch_size(1);
+        m.record_batch_size(8);
+        m.record_batch_size(8);
+        let s = m.snapshot(0);
+        assert_eq!(s.batch_size_buckets[1], 1); // [1, 2)
+        assert_eq!(s.batch_size_buckets[4], 2); // [8, 16)
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_all_series() {
+        let m = Metrics::new();
+        m.requests.add(7);
+        m.record_latency(Duration::from_micros(100));
+        m.record_batch_size(4);
+        let text = m.render_prometheus(3);
+        assert!(text.contains("# TYPE serve_requests_total counter"), "{text}");
+        assert!(text.contains("serve_requests_total 7"), "{text}");
+        assert!(text.contains("serve_cache_entries 3"), "{text}");
+        assert!(
+            text.contains("serve_request_latency_us_bucket{le=\"128\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("serve_request_latency_us_count 1"), "{text}");
+        assert!(text.contains("serve_batch_size_count 1"), "{text}");
     }
 }

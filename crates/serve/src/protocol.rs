@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! {"features": [c0, c1, ..., c490]}   score one sample (raw API-call counts)
-//! {"cmd": "stats"}                    metrics snapshot
+//! {"cmd": "stats"}                    metrics snapshot (JSON)
+//! {"cmd": "metrics"}                  Prometheus text exposition, multi-line,
+//!                                     terminated by a "# EOF" marker line
 //! {"cmd": "shutdown"}                 graceful drain + stop
 //! ```
 //!
@@ -46,8 +48,10 @@ pub enum Request {
         /// Raw per-API call counts, `dim` entries.
         counts: Vec<u32>,
     },
-    /// Return a metrics snapshot.
+    /// Return a metrics snapshot as JSON.
     Stats,
+    /// Return Prometheus text exposition (multi-line, `# EOF`-terminated).
+    Metrics,
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -73,6 +77,7 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
     if let Some((_, cmd)) = entries.iter().find(|(k, _)| k == "cmd") {
         return match cmd {
             Content::Str(s) if s == "stats" => Ok(Request::Stats),
+            Content::Str(s) if s == "metrics" => Ok(Request::Metrics),
             Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
             Content::Str(other) => Err(ServeError::UnknownCommand {
                 command: other.clone(),
@@ -230,6 +235,10 @@ mod tests {
     #[test]
     fn parses_commands() {
         assert_eq!(parse_request("{\"cmd\": \"stats\"}", 3).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"cmd\": \"metrics\"}", 3).unwrap(),
+            Request::Metrics
+        );
         assert_eq!(
             parse_request("{\"cmd\": \"shutdown\"}", 3).unwrap(),
             Request::Shutdown

@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use maleva_core::DetectorPipeline;
+use maleva_obs::trace::Span;
 
 use crate::batch::{collect_batch, score_rows, ScoreJob, ScoredReply};
 use crate::cache::{quantize, LruCache};
@@ -204,12 +205,15 @@ fn scorer_loop(
     batch_timeout: Duration,
 ) {
     while let Some(jobs) = collect_batch(rx, max_batch, batch_timeout) {
+        let mut span = Span::enter("serve.batch");
         let rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features.clone()).collect();
+        span.record("rows", rows.len() as u64);
         match score_rows(shared.pipeline.network(), &rows) {
             Ok(scores) => {
                 let n = jobs.len();
-                Metrics::bump(&shared.metrics.batches);
-                Metrics::add(&shared.metrics.rows_scored, n as u64);
+                shared.metrics.batches.inc();
+                shared.metrics.rows_scored.add(n as u64);
+                shared.metrics.record_batch_size(n as u64);
                 if let Ok(mut cache) = shared.cache.lock() {
                     for (job, &score) in jobs.iter().zip(&scores) {
                         cache.insert(job.cache_key.clone(), score);
@@ -225,6 +229,7 @@ fn scorer_loop(
                 // Cannot happen for dimension-validated rows; dropping
                 // the replies surfaces `internal` errors client-side
                 // instead of hanging connections.
+                span.record("error", true);
                 eprintln!("[maleva-serve] scorer error on a {}-row batch: {e}", rows.len());
             }
         }
@@ -337,19 +342,46 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let mut span = Span::enter("serve.request");
         match protocol::parse_request(&line, shared.pipeline.features().dim()) {
-            Err(e) => respond_error(shared, &mut writer, &e)?,
+            Err(e) => {
+                span.record("cmd", "invalid");
+                respond_error(shared, &mut writer, &e)?;
+            }
             Ok(Request::Stats) => {
+                span.record("cmd", "stats");
                 write_line(&mut writer, &protocol::encode_stats(&snapshot(shared)))?;
             }
+            Ok(Request::Metrics) => {
+                span.record("cmd", "metrics");
+                let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
+                let text = shared.metrics.render_prometheus(entries);
+                write_metrics_block(&mut writer, &text)?;
+            }
             Ok(Request::Shutdown) => {
+                span.record("cmd", "shutdown");
                 write_line(&mut writer, &protocol::encode_shutdown_ack())?;
                 shared.trigger_shutdown();
                 return Ok(());
             }
-            Ok(Request::Score { counts }) => handle_score(shared, &mut writer, tx, &counts)?,
+            Ok(Request::Score { counts }) => {
+                span.record("cmd", "score");
+                handle_score(shared, &mut writer, tx, &counts, &mut span)?;
+            }
         }
     }
+}
+
+/// Writes a multi-line Prometheus exposition block over the otherwise
+/// line-oriented protocol, terminated by a `# EOF` marker line
+/// (OpenMetrics convention) so clients know where the block ends.
+fn write_metrics_block(writer: &mut TcpStream, text: &str) -> std::io::Result<()> {
+    writer.write_all(text.as_bytes())?;
+    if !text.ends_with('\n') {
+        writer.write_all(b"\n")?;
+    }
+    writer.write_all(b"# EOF\n")?;
+    writer.flush()
 }
 
 fn handle_score(
@@ -357,9 +389,10 @@ fn handle_score(
     writer: &mut TcpStream,
     tx: &SyncSender<ScoreJob>,
     counts: &[u32],
+    span: &mut Span,
 ) -> std::io::Result<()> {
     let start = Instant::now();
-    Metrics::bump(&shared.metrics.requests);
+    shared.metrics.requests.inc();
 
     let features = shared.pipeline.features().transform_counts(counts);
     let cache_key = quantize(&features);
@@ -370,11 +403,13 @@ fn handle_score(
         .ok()
         .and_then(|mut cache| cache.get(&cache_key));
     if let Some(score) = cached {
-        Metrics::bump(&shared.metrics.cache_hits);
+        shared.metrics.cache_hits.inc();
         shared.metrics.record_latency(start.elapsed());
+        span.record("cached", true);
         return write_line(writer, &protocol::encode_score(&ScoreResponse::new(score, true, 0)));
     }
-    Metrics::bump(&shared.metrics.cache_misses);
+    shared.metrics.cache_misses.inc();
+    span.record("cached", false);
 
     if shared.shutting_down.load(Ordering::SeqCst) {
         return respond_error(shared, writer, &ServeError::ShuttingDown);
@@ -387,7 +422,8 @@ fn handle_score(
     };
     match tx.try_send(job) {
         Err(TrySendError::Full(_)) => {
-            Metrics::bump(&shared.metrics.overloaded);
+            shared.metrics.overloaded.inc();
+            span.record("overloaded", true);
             respond_error(
                 shared,
                 writer,
@@ -400,6 +436,7 @@ fn handle_score(
         Ok(()) => match reply_rx.recv() {
             Ok(reply) => {
                 shared.metrics.record_latency(start.elapsed());
+                span.record("batch_size", reply.batch_size as u64);
                 write_line(
                     writer,
                     &protocol::encode_score(&ScoreResponse::new(
@@ -425,7 +462,7 @@ fn respond_error(
     writer: &mut TcpStream,
     err: &ServeError,
 ) -> std::io::Result<()> {
-    Metrics::bump(&shared.metrics.errors);
+    shared.metrics.errors.inc();
     write_line(writer, &protocol::encode_error(err))
 }
 

@@ -207,6 +207,27 @@ fn graceful_shutdown_over_the_wire_drains_and_acknowledges() {
     assert!(resp.starts_with("{\"stats\":{"), "stats response: {resp}");
     assert!(resp.contains("\"requests\":1"), "stats counts the request: {resp}");
 
+    // Prometheus exposition over the wire: multi-line, "# EOF"-terminated.
+    writer.write_all(b"{\"cmd\":\"metrics\"}\n").expect("write metrics");
+    let mut exposition = String::new();
+    loop {
+        resp.clear();
+        reader.read_line(&mut resp).expect("read metrics line");
+        if resp.trim_end() == "# EOF" {
+            break;
+        }
+        exposition.push_str(&resp);
+    }
+    assert!(
+        exposition.contains("# TYPE serve_requests_total counter"),
+        "metrics exposition: {exposition}"
+    );
+    assert!(exposition.contains("serve_requests_total 1"), "{exposition}");
+    assert!(
+        exposition.contains("serve_request_latency_us_count 1"),
+        "{exposition}"
+    );
+
     writer.write_all(b"{\"cmd\":\"shutdown\"}\n").expect("write shutdown");
     resp.clear();
     reader.read_line(&mut resp).expect("read ack");

@@ -1,0 +1,156 @@
+//! Cross-crate observability tests: the instrumented pipeline emits
+//! well-formed, balanced spans; tracing never changes numeric results;
+//! and provenance manifests are byte-stable modulo timestamps.
+//!
+//! The trace sink is process-global, so every test that installs one
+//! holds `sink_lock()` for its whole body.
+
+use std::sync::{Mutex, MutexGuard};
+
+use maleva_attack::parallel::craft_batch_parallel;
+use maleva_attack::Jsma;
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_obs::manifest::fnv1a_64;
+use maleva_obs::{trace, ManifestBuilder};
+
+fn sink_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Number of lines with `"ev":"<kind>"`, optionally restricted to one
+/// span name.
+fn count(lines: &[String], kind: &str, name: Option<&str>) -> usize {
+    lines
+        .iter()
+        .filter(|l| l.contains(&format!("\"ev\":\"{kind}\"")))
+        .filter(|l| name.is_none_or(|n| l.contains(&format!("\"name\":\"{n}\""))))
+        .count()
+}
+
+#[test]
+fn context_build_emits_balanced_pipeline_and_training_spans() {
+    let _guard = sink_lock();
+    let captured = trace::install_memory_sink();
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 7).expect("context");
+    trace::install(trace::Sink::Disabled).expect("uninstall");
+    drop(ctx);
+
+    let lines = captured.lines();
+    assert!(!lines.is_empty(), "context build emitted no trace records");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "malformed record: {line}"
+        );
+    }
+    // Every phase of the build shows up, and the training loop emits
+    // one span per epoch plus the per-epoch stats event.
+    for name in [
+        "pipeline.build",
+        "pipeline.dataset",
+        "pipeline.features",
+        "pipeline.train_target",
+        "train.fit",
+        "train.epoch",
+    ] {
+        assert!(
+            count(&lines, "enter", Some(name)) > 0,
+            "no '{name}' span in the build trace"
+        );
+    }
+    assert!(count(&lines, "event", Some("train.epoch_stats")) > 0);
+    assert_eq!(
+        count(&lines, "enter", None),
+        count(&lines, "exit", None),
+        "span enters and exits must balance"
+    );
+    assert_eq!(
+        count(&lines, "enter", Some("train.epoch")),
+        count(&lines, "event", Some("train.epoch_stats")),
+        "one stats event per epoch"
+    );
+}
+
+#[test]
+fn attack_batch_emits_one_span_per_row() {
+    let _guard = sink_lock();
+    // Build untraced so only attack records are captured.
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 11).expect("context");
+    let batch = {
+        let full = ctx.attack_batch();
+        let idx: Vec<usize> = (0..full.rows().min(12)).collect();
+        full.select_rows(&idx)
+    };
+
+    let captured = trace::install_memory_sink();
+    let (_, outcomes) =
+        craft_batch_parallel(&Jsma::new(0.15, 0.025), ctx.target(), &batch, 2).expect("craft");
+    trace::install(trace::Sink::Disabled).expect("uninstall");
+
+    let lines = captured.lines();
+    assert_eq!(count(&lines, "enter", Some("attack.batch")), 1);
+    assert_eq!(count(&lines, "enter", Some("attack.row")), batch.rows());
+    assert_eq!(outcomes.len(), batch.rows());
+    // Each row runs at least one JSMA craft inside its row span.
+    assert!(count(&lines, "enter", Some("jsma.craft")) >= batch.rows());
+    assert_eq!(count(&lines, "enter", None), count(&lines, "exit", None));
+}
+
+#[test]
+fn tracing_is_a_pure_observer_of_scan_scores() {
+    let _guard = sink_lock();
+    let ctx = ExperimentContext::build(ExperimentScale::tiny(), 13).expect("context");
+    let prog = &ctx.dataset.test()[0];
+    let log = prog.render_log(ctx.world.vocab());
+
+    trace::install(trace::Sink::Disabled).expect("disable");
+    let quiet = ctx.detector.scan_log(&log).expect("scan untraced");
+
+    let captured = trace::install_memory_sink();
+    let traced = ctx.detector.scan_log(&log).expect("scan traced");
+    trace::install(trace::Sink::Disabled).expect("uninstall");
+
+    assert_eq!(
+        quiet.to_bits(),
+        traced.to_bits(),
+        "tracing changed the scan score: {quiet} vs {traced}"
+    );
+    let lines = captured.lines();
+    assert_eq!(count(&lines, "enter", Some("pipeline.scan")), 1);
+    let exit = lines
+        .iter()
+        .find(|l| l.contains("\"ev\":\"exit\"") && l.contains("\"name\":\"pipeline.scan\""))
+        .expect("pipeline.scan exit record");
+    assert!(exit.contains("\"score\":"), "scan exit lacks the score field: {exit}");
+}
+
+#[test]
+fn quick_scale_manifest_is_byte_stable_modulo_timestamps() {
+    let config = "repro scale=quick seed=42 exp=all";
+    let build = || {
+        ManifestBuilder::new("repro")
+            .seed(42)
+            .scale("quick")
+            .config(config)
+            .phase_secs("build_context", 1.5)
+            .build()
+    };
+    let a = build();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let mut b = build();
+    b.phases[0].seconds = 9.75; // simulate a different wall-clock reading
+    assert_eq!(a.to_json_normalized(), b.to_json_normalized());
+
+    // Golden shape: fixed field order, one scalar per line, zeroed
+    // timestamps. The version comes from the unified workspace version.
+    let expected = format!(
+        "{{\n  \"tool\": \"repro\",\n  \"version\": \"{v}\",\n  \"seed\": 42,\n  \
+         \"scale\": \"quick\",\n  \"config_hash\": \"{h:016x}\",\n  \"created_unix\": 0,\n  \
+         \"crates\": {{\n    \"maleva-obs\": \"{v}\"\n  }},\n  \"phases\": [\n    \
+         {{ \"name\": \"build_context\", \"seconds\": 0.000000 }}\n  ],\n  \"extra\": {{\n  }}\n}}\n",
+        v = env!("CARGO_PKG_VERSION"),
+        h = fnv1a_64(config),
+    );
+    assert_eq!(a.to_json_normalized(), expected);
+}

@@ -50,11 +50,11 @@
 
 mod dataset;
 mod family;
+pub mod log;
+pub mod profile;
 mod program;
 mod vocab;
 mod world;
-pub mod log;
-pub mod profile;
 
 pub use dataset::{Dataset, DatasetSpec};
 pub use family::{Class, Family, OsVersion};

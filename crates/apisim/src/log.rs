@@ -197,7 +197,10 @@ mod tests {
         assert!(line.contains('(') && line.contains(')'), "line: {line}");
         assert!(line.ends_with('"'), "line: {line}");
         let tid_part = line.rsplit('"').nth(1).unwrap();
-        assert!(tid_part.parse::<u64>().is_ok(), "tid not numeric: {tid_part}");
+        assert!(
+            tid_part.parse::<u64>().is_ok(),
+            "tid not numeric: {tid_part}"
+        );
     }
 
     #[test]

@@ -475,7 +475,11 @@ impl BehaviorProfile {
     /// Panics if the profiles have different lengths or `w` is outside
     /// `[0, 1]`.
     pub fn blend_toward(&mut self, other: &BehaviorProfile, w: f64) {
-        assert_eq!(self.rates.len(), other.rates.len(), "profile length mismatch");
+        assert_eq!(
+            self.rates.len(),
+            other.rates.len(),
+            "profile length mismatch"
+        );
         assert!((0.0..=1.0).contains(&w), "blend weight must be in [0, 1]");
         for (a, &b) in self.rates.iter_mut().zip(other.rates.iter()) {
             *a = (1.0 - w) * *a + w * b;
@@ -501,9 +505,7 @@ impl BehaviorProfile {
                 if lambda <= 0.0 {
                     0
                 } else {
-                    Poisson::new(lambda)
-                        .expect("positive lambda")
-                        .sample(rng) as u32
+                    Poisson::new(lambda).expect("positive lambda").sample(rng) as u32
                 }
             })
             .collect()
@@ -523,7 +525,9 @@ pub fn sample_intensity(sigma: f64, rng: &mut impl Rng) -> f64 {
     if sigma == 0.0 {
         return 1.0;
     }
-    LogNormal::new(0.0, sigma).expect("valid lognormal").sample(rng)
+    LogNormal::new(0.0, sigma)
+        .expect("valid lognormal")
+        .sample(rng)
 }
 
 #[cfg(test)]
@@ -587,10 +591,20 @@ mod tests {
         let p = BehaviorProfile::for_family(Family::Office, &vocab);
         let mut rng = rng(2);
         let total_small: u64 = (0..50)
-            .map(|_| p.sample_counts(0.5, &mut rng).iter().map(|&c| c as u64).sum::<u64>())
+            .map(|_| {
+                p.sample_counts(0.5, &mut rng)
+                    .iter()
+                    .map(|&c| c as u64)
+                    .sum::<u64>()
+            })
             .sum();
         let total_big: u64 = (0..50)
-            .map(|_| p.sample_counts(2.0, &mut rng).iter().map(|&c| c as u64).sum::<u64>())
+            .map(|_| {
+                p.sample_counts(2.0, &mut rng)
+                    .iter()
+                    .map(|&c| c as u64)
+                    .sum::<u64>()
+            })
             .sum();
         assert!(total_big > total_small * 2);
     }
@@ -620,7 +634,9 @@ mod tests {
     #[test]
     fn intensity_sampler_median_near_one() {
         let mut rng = rng(3);
-        let mut vals: Vec<f64> = (0..1001).map(|_| sample_intensity(0.45, &mut rng)).collect();
+        let mut vals: Vec<f64> = (0..1001)
+            .map(|_| sample_intensity(0.45, &mut rng))
+            .collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = vals[500];
         assert!((median - 1.0).abs() < 0.15, "median {median}");

@@ -162,166 +162,538 @@ pub(crate) const PAPER_APIS: &[&str] = &[
 /// behaviour profiles reference many of these by name.
 const CURATED_APIS: &[&str] = &[
     // process / injection
-    "createprocessa", "createprocessw", "openprocess", "terminateprocess",
-    "createremotethread", "virtualalloc", "virtualallocex", "virtualprotect",
-    "virtualfree", "readprocessmemory", "ntunmapviewofsection", "queueuserapc",
-    "setthreadcontext", "getthreadcontext", "suspendthread", "resumethread",
-    "createthread", "exitthread", "getcurrentprocess", "getcurrentthread",
-    "getexitcodeprocess", "waitforsingleobject", "waitformultipleobjects",
-    "openthread", "ntqueryinformationprocess", "iswow64process",
+    "createprocessa",
+    "createprocessw",
+    "openprocess",
+    "terminateprocess",
+    "createremotethread",
+    "virtualalloc",
+    "virtualallocex",
+    "virtualprotect",
+    "virtualfree",
+    "readprocessmemory",
+    "ntunmapviewofsection",
+    "queueuserapc",
+    "setthreadcontext",
+    "getthreadcontext",
+    "suspendthread",
+    "resumethread",
+    "createthread",
+    "exitthread",
+    "getcurrentprocess",
+    "getcurrentthread",
+    "getexitcodeprocess",
+    "waitforsingleobject",
+    "waitformultipleobjects",
+    "openthread",
+    "ntqueryinformationprocess",
+    "iswow64process",
     // modules / loading
-    "loadlibrarya", "loadlibraryw", "loadlibraryexa", "loadlibraryexw",
-    "freelibrary", "getmodulehandlea", "getmodulefilenamea", "getmodulefilenamew",
-    "ldrloaddll", "getprocessheap", "heapalloc", "heapfree", "heapcreate",
-    "heapdestroy", "heaprealloc", "heapsize", "localalloc", "localfree",
-    "globalalloc", "globalfree", "globallock", "globalunlock",
+    "loadlibrarya",
+    "loadlibraryw",
+    "loadlibraryexa",
+    "loadlibraryexw",
+    "freelibrary",
+    "getmodulehandlea",
+    "getmodulefilenamea",
+    "getmodulefilenamew",
+    "ldrloaddll",
+    "getprocessheap",
+    "heapalloc",
+    "heapfree",
+    "heapcreate",
+    "heapdestroy",
+    "heaprealloc",
+    "heapsize",
+    "localalloc",
+    "localfree",
+    "globalalloc",
+    "globalfree",
+    "globallock",
+    "globalunlock",
     // files
-    "createfilea", "createfilew", "readfile", "writefileex", "deletefilea",
-    "deletefilew", "copyfilea", "copyfilew", "movefilea", "movefilew",
-    "movefileexa", "movefileexw", "getfilesize", "getfilesizeex",
-    "setfilepointer", "setfilepointerex", "setendoffile", "flushfilebuffers",
-    "findfirstfilea", "findfirstfilew", "findnextfilea", "findnextfilew",
-    "findclose", "getfileattributesa", "getfileattributesw",
-    "setfileattributesa", "setfileattributesw", "gettempfilenamea",
-    "gettempfilenamew", "gettemppatha", "gettemppathw", "createdirectorya",
-    "createdirectoryw", "removedirectorya", "removedirectoryw",
-    "getcurrentdirectorya", "getcurrentdirectoryw", "setcurrentdirectorya",
-    "setcurrentdirectoryw", "getfullpathnamea", "getfullpathnamew",
-    "getlongpathnamea", "getlongpathnamew", "getshortpathnamea",
-    "getdrivetypea", "getdrivetypew", "getlogicaldrives", "getdiskfreespacea",
-    "getdiskfreespaceexa", "lockfile", "unlockfile", "createfilemappinga",
-    "createfilemappingw", "mapviewoffile", "unmapviewoffile", "openfilemappinga",
+    "createfilea",
+    "createfilew",
+    "readfile",
+    "writefileex",
+    "deletefilea",
+    "deletefilew",
+    "copyfilea",
+    "copyfilew",
+    "movefilea",
+    "movefilew",
+    "movefileexa",
+    "movefileexw",
+    "getfilesize",
+    "getfilesizeex",
+    "setfilepointer",
+    "setfilepointerex",
+    "setendoffile",
+    "flushfilebuffers",
+    "findfirstfilea",
+    "findfirstfilew",
+    "findnextfilea",
+    "findnextfilew",
+    "findclose",
+    "getfileattributesa",
+    "getfileattributesw",
+    "setfileattributesa",
+    "setfileattributesw",
+    "gettempfilenamea",
+    "gettempfilenamew",
+    "gettemppatha",
+    "gettemppathw",
+    "createdirectorya",
+    "createdirectoryw",
+    "removedirectorya",
+    "removedirectoryw",
+    "getcurrentdirectorya",
+    "getcurrentdirectoryw",
+    "setcurrentdirectorya",
+    "setcurrentdirectoryw",
+    "getfullpathnamea",
+    "getfullpathnamew",
+    "getlongpathnamea",
+    "getlongpathnamew",
+    "getshortpathnamea",
+    "getdrivetypea",
+    "getdrivetypew",
+    "getlogicaldrives",
+    "getdiskfreespacea",
+    "getdiskfreespaceexa",
+    "lockfile",
+    "unlockfile",
+    "createfilemappinga",
+    "createfilemappingw",
+    "mapviewoffile",
+    "unmapviewoffile",
+    "openfilemappinga",
     // registry
-    "regopenkeya", "regopenkeyw", "regopenkeyexa", "regopenkeyexw",
-    "regcreatekeya", "regcreatekeyw", "regcreatekeyexa", "regcreatekeyexw",
-    "regclosekey", "regqueryvaluea", "regqueryvaluew", "regqueryvalueexa",
-    "regqueryvalueexw", "regsetvaluea", "regsetvaluew", "regsetvalueexa",
-    "regsetvalueexw", "regdeletekeya", "regdeletekeyw", "regdeletevaluea",
-    "regdeletevaluew", "regenumkeya", "regenumkeyw", "regenumkeyexa",
-    "regenumkeyexw", "regenumvaluea", "regenumvaluew", "regflushkey",
+    "regopenkeya",
+    "regopenkeyw",
+    "regopenkeyexa",
+    "regopenkeyexw",
+    "regcreatekeya",
+    "regcreatekeyw",
+    "regcreatekeyexa",
+    "regcreatekeyexw",
+    "regclosekey",
+    "regqueryvaluea",
+    "regqueryvaluew",
+    "regqueryvalueexa",
+    "regqueryvalueexw",
+    "regsetvaluea",
+    "regsetvaluew",
+    "regsetvalueexa",
+    "regsetvalueexw",
+    "regdeletekeya",
+    "regdeletekeyw",
+    "regdeletevaluea",
+    "regdeletevaluew",
+    "regenumkeya",
+    "regenumkeyw",
+    "regenumkeyexa",
+    "regenumkeyexw",
+    "regenumvaluea",
+    "regenumvaluew",
+    "regflushkey",
     // network
-    "socket", "connect", "bind", "listen", "accept", "send", "recv",
-    "sendto", "recvfrom", "closesocket", "gethostbyname", "gethostname",
-    "getaddrinfo", "inet_addr", "inet_ntoa", "htons", "ntohs", "wsastartup",
-    "wsacleanup", "wsasocketa", "wsasocketw", "wsaconnect", "wsasend",
-    "wsarecv", "internetopena", "internetopenw", "internetopenurla",
-    "internetopenurlw", "internetconnecta", "internetconnectw",
-    "internetreadfile", "internetwritefile", "internetclosehandle",
-    "httpopenrequesta", "httpopenrequestw", "httpsendrequesta",
-    "httpsendrequestw", "urldownloadtofilea", "urldownloadtofilew",
-    "winhttpopen", "winhttpconnect", "winhttpsendrequest",
-    "winhttpreceiveresponse", "winhttpreaddata", "winhttpclosehandle",
+    "socket",
+    "connect",
+    "bind",
+    "listen",
+    "accept",
+    "send",
+    "recv",
+    "sendto",
+    "recvfrom",
+    "closesocket",
+    "gethostbyname",
+    "gethostname",
+    "getaddrinfo",
+    "inet_addr",
+    "inet_ntoa",
+    "htons",
+    "ntohs",
+    "wsastartup",
+    "wsacleanup",
+    "wsasocketa",
+    "wsasocketw",
+    "wsaconnect",
+    "wsasend",
+    "wsarecv",
+    "internetopena",
+    "internetopenw",
+    "internetopenurla",
+    "internetopenurlw",
+    "internetconnecta",
+    "internetconnectw",
+    "internetreadfile",
+    "internetwritefile",
+    "internetclosehandle",
+    "httpopenrequesta",
+    "httpopenrequestw",
+    "httpsendrequesta",
+    "httpsendrequestw",
+    "urldownloadtofilea",
+    "urldownloadtofilew",
+    "winhttpopen",
+    "winhttpconnect",
+    "winhttpsendrequest",
+    "winhttpreceiveresponse",
+    "winhttpreaddata",
+    "winhttpclosehandle",
     // crypto
-    "cryptacquirecontexta", "cryptacquirecontextw", "cryptreleasecontext",
-    "cryptcreatehash", "crypthashdata", "cryptdestroyhash", "cryptgenkey",
-    "cryptderivekey", "cryptdestroykey", "cryptencrypt", "cryptdecrypt",
-    "cryptgenrandom", "cryptimportkey", "cryptexportkey",
+    "cryptacquirecontexta",
+    "cryptacquirecontextw",
+    "cryptreleasecontext",
+    "cryptcreatehash",
+    "crypthashdata",
+    "cryptdestroyhash",
+    "cryptgenkey",
+    "cryptderivekey",
+    "cryptdestroykey",
+    "cryptencrypt",
+    "cryptdecrypt",
+    "cryptgenrandom",
+    "cryptimportkey",
+    "cryptexportkey",
     // ui / window
-    "createwindowexa", "createwindowexw", "destroywindow", "showwindow",
-    "updatewindow", "findwindowa", "findwindoww", "findwindowexa",
-    "getforegroundwindow", "setforegroundwindow", "getwindowtexta",
-    "getwindowtextw", "setwindowtexta", "setwindowtextw", "getwindowrect",
-    "getclientrect", "getdc", "releasedc", "begingpaint", "endpaint",
-    "messageboxa", "messageboxw", "defwindowproca", "defwindowprocw",
-    "registerclassa", "registerclassw", "registerclassexa", "registerclassexw",
-    "postmessagea", "postmessagew", "sendmessagea", "sendmessagew",
-    "getmessagea", "getmessagew", "peekmessagea", "peekmessagew",
-    "translatemessage", "dispatchmessagea", "dispatchmessagew",
-    "postquitmessage", "loadicona", "loadiconw", "loadcursora", "loadcursorw",
-    "loadimagea", "loadimagew", "loadbitmapa", "loadbitmapw", "createicon",
-    "drawicon", "drawiconex", "destroycursor", "setcursor", "getcursorpos",
-    "setcursorpos", "showcursor", "clipcursor",
+    "createwindowexa",
+    "createwindowexw",
+    "destroywindow",
+    "showwindow",
+    "updatewindow",
+    "findwindowa",
+    "findwindoww",
+    "findwindowexa",
+    "getforegroundwindow",
+    "setforegroundwindow",
+    "getwindowtexta",
+    "getwindowtextw",
+    "setwindowtexta",
+    "setwindowtextw",
+    "getwindowrect",
+    "getclientrect",
+    "getdc",
+    "releasedc",
+    "begingpaint",
+    "endpaint",
+    "messageboxa",
+    "messageboxw",
+    "defwindowproca",
+    "defwindowprocw",
+    "registerclassa",
+    "registerclassw",
+    "registerclassexa",
+    "registerclassexw",
+    "postmessagea",
+    "postmessagew",
+    "sendmessagea",
+    "sendmessagew",
+    "getmessagea",
+    "getmessagew",
+    "peekmessagea",
+    "peekmessagew",
+    "translatemessage",
+    "dispatchmessagea",
+    "dispatchmessagew",
+    "postquitmessage",
+    "loadicona",
+    "loadiconw",
+    "loadcursora",
+    "loadcursorw",
+    "loadimagea",
+    "loadimagew",
+    "loadbitmapa",
+    "loadbitmapw",
+    "createicon",
+    "drawicon",
+    "drawiconex",
+    "destroycursor",
+    "setcursor",
+    "getcursorpos",
+    "setcursorpos",
+    "showcursor",
+    "clipcursor",
     // hooks / input capture (keylogger signatures)
-    "setwindowshookexa", "setwindowshookexw", "unhookwindowshookex",
-    "callnexthookex", "getasynckeystate", "getkeystate", "getkeyboardstate",
-    "mapvirtualkeya", "mapvirtualkeyw", "keybd_event", "mouse_event",
-    "attachthreadinput", "getrawinputdata", "registerrawinputdevices",
+    "setwindowshookexa",
+    "setwindowshookexw",
+    "unhookwindowshookex",
+    "callnexthookex",
+    "getasynckeystate",
+    "getkeystate",
+    "getkeyboardstate",
+    "mapvirtualkeya",
+    "mapvirtualkeyw",
+    "keybd_event",
+    "mouse_event",
+    "attachthreadinput",
+    "getrawinputdata",
+    "registerrawinputdevices",
     // services
-    "openscmanagera", "openscmanagerw", "openservicea", "openservicew",
-    "createservicea", "createservicew", "startservicea", "startservicew",
-    "controlservice", "deleteservice", "closeservicehandle",
-    "queryserviceconfiga", "queryservicestatus", "changeserviceconfiga",
+    "openscmanagera",
+    "openscmanagerw",
+    "openservicea",
+    "openservicew",
+    "createservicea",
+    "createservicew",
+    "startservicea",
+    "startservicew",
+    "controlservice",
+    "deleteservice",
+    "closeservicehandle",
+    "queryserviceconfiga",
+    "queryservicestatus",
+    "changeserviceconfiga",
     // tokens / privileges
-    "openprocesstoken", "openthreadtoken", "adjusttokenprivileges",
-    "lookupprivilegevaluea", "lookupprivilegevaluew", "gettokeninformation",
-    "duplicatetoken", "duplicatetokenex", "impersonateloggedonuser",
-    "reverttoself", "logonusera", "logonuserw", "createprocessasusera",
+    "openprocesstoken",
+    "openthreadtoken",
+    "adjusttokenprivileges",
+    "lookupprivilegevaluea",
+    "lookupprivilegevaluew",
+    "gettokeninformation",
+    "duplicatetoken",
+    "duplicatetokenex",
+    "impersonateloggedonuser",
+    "reverttoself",
+    "logonusera",
+    "logonuserw",
+    "createprocessasusera",
     // system info
-    "getsysteminfo", "getnativesysteminfo", "getversion", "getversionexa",
-    "getversionexw", "getcomputernamea", "getcomputernamew", "getusernamea",
-    "getusernamew", "getsystemdirectorya", "getsystemdirectoryw",
-    "getwindowsdirectorya", "getwindowsdirectoryw", "getsystemtime",
-    "getlocaltime", "getsystemtimeasfiletime", "gettickcount",
-    "gettickcount64", "queryperformancecounter", "queryperformancefrequency",
-    "getsystemmetrics", "globalmemorystatus", "globalmemorystatusex",
-    "getenvironmentvariablea", "getenvironmentvariablew",
-    "setenvironmentvariablea", "setenvironmentvariablew",
-    "getenvironmentstrings", "getenvironmentstringsw",
-    "expandenvironmentstringsa", "expandenvironmentstringsw",
-    "getcommandlinea", "getcommandlinew", "getstartupinfoa",
+    "getsysteminfo",
+    "getnativesysteminfo",
+    "getversion",
+    "getversionexa",
+    "getversionexw",
+    "getcomputernamea",
+    "getcomputernamew",
+    "getusernamea",
+    "getusernamew",
+    "getsystemdirectorya",
+    "getsystemdirectoryw",
+    "getwindowsdirectorya",
+    "getwindowsdirectoryw",
+    "getsystemtime",
+    "getlocaltime",
+    "getsystemtimeasfiletime",
+    "gettickcount",
+    "gettickcount64",
+    "queryperformancecounter",
+    "queryperformancefrequency",
+    "getsystemmetrics",
+    "globalmemorystatus",
+    "globalmemorystatusex",
+    "getenvironmentvariablea",
+    "getenvironmentvariablew",
+    "setenvironmentvariablea",
+    "setenvironmentvariablew",
+    "getenvironmentstrings",
+    "getenvironmentstringsw",
+    "expandenvironmentstringsa",
+    "expandenvironmentstringsw",
+    "getcommandlinea",
+    "getcommandlinew",
+    "getstartupinfoa",
     // processes enumeration / debugging (evasion signatures)
-    "createtoolhelp32snapshot", "process32first", "process32next",
-    "module32first", "module32next", "thread32first", "thread32next",
-    "enumprocesses", "enumprocessmodules", "getmodulebasenamea",
-    "isdebuggerpresent", "checkremotedebuggerpresent", "outputdebugstringa",
-    "outputdebugstringw", "debugactiveprocess", "debugbreak",
-    "setunhandledexceptionfilter", "unhandledexceptionfilter",
+    "createtoolhelp32snapshot",
+    "process32first",
+    "process32next",
+    "module32first",
+    "module32next",
+    "thread32first",
+    "thread32next",
+    "enumprocesses",
+    "enumprocessmodules",
+    "getmodulebasenamea",
+    "isdebuggerpresent",
+    "checkremotedebuggerpresent",
+    "outputdebugstringa",
+    "outputdebugstringw",
+    "debugactiveprocess",
+    "debugbreak",
+    "setunhandledexceptionfilter",
+    "unhandledexceptionfilter",
     // shell
-    "shellexecutea", "shellexecutew", "shellexecuteexa", "shellexecuteexw",
-    "shgetfolderpatha", "shgetfolderpathw", "shgetspecialfolderpatha",
-    "shfileoperationa", "shfileoperationw", "shgetknownfolderpath",
+    "shellexecutea",
+    "shellexecutew",
+    "shellexecuteexa",
+    "shellexecuteexw",
+    "shgetfolderpatha",
+    "shgetfolderpathw",
+    "shgetspecialfolderpatha",
+    "shfileoperationa",
+    "shfileoperationw",
+    "shgetknownfolderpath",
     // string / locale
-    "lstrlena", "lstrlenw", "lstrcpya", "lstrcpyw", "lstrcata", "lstrcatw",
-    "lstrcmpa", "lstrcmpw", "lstrcmpia", "lstrcmpiw", "multibytetowidechar",
-    "widechartomultibyte", "comparestringa", "comparestringw",
-    "getlocaleinfoa", "getlocaleinfow", "getacp", "getoemcp",
-    "getuserdefaultlcid", "getsystemdefaultlangid", "charuppera", "charupperw",
-    "charlowera", "charlowerw", "isvalidcodepage", "getstringtypea",
-    "getstringtypew", "foldstringa", "foldstringw",
+    "lstrlena",
+    "lstrlenw",
+    "lstrcpya",
+    "lstrcpyw",
+    "lstrcata",
+    "lstrcatw",
+    "lstrcmpa",
+    "lstrcmpw",
+    "lstrcmpia",
+    "lstrcmpiw",
+    "multibytetowidechar",
+    "widechartomultibyte",
+    "comparestringa",
+    "comparestringw",
+    "getlocaleinfoa",
+    "getlocaleinfow",
+    "getacp",
+    "getoemcp",
+    "getuserdefaultlcid",
+    "getsystemdefaultlangid",
+    "charuppera",
+    "charupperw",
+    "charlowera",
+    "charlowerw",
+    "isvalidcodepage",
+    "getstringtypea",
+    "getstringtypew",
+    "foldstringa",
+    "foldstringw",
     // console / std
-    "allocconsole", "freeconsole", "getconsolewindow", "setconsoletitlea",
-    "setconsoletitlew", "readconsolea", "readconsolew", "getconsolemode",
-    "setconsolemode", "setstdhandle", "getconsolecp", "getconsoleoutputcp",
+    "allocconsole",
+    "freeconsole",
+    "getconsolewindow",
+    "setconsoletitlea",
+    "setconsoletitlew",
+    "readconsolea",
+    "readconsolew",
+    "getconsolemode",
+    "setconsolemode",
+    "setstdhandle",
+    "getconsolecp",
+    "getconsoleoutputcp",
     // time / sync
-    "sleep", "sleepex", "createeventa", "createeventw", "setevent",
-    "resetevent", "createmutexa", "createmutexw", "releasemutex",
-    "opensemaphorea", "createsemaphorea", "createsemaphorew",
-    "releasesemaphore", "entercriticalsection", "leavecriticalsection",
-    "initializecriticalsection", "deletecriticalsection",
-    "createwaitabletimera", "setwaitabletimer", "cancelwaitabletimer",
-    "settimer", "killtimer", "timegettime", "getmessagetime",
+    "sleep",
+    "sleepex",
+    "createeventa",
+    "createeventw",
+    "setevent",
+    "resetevent",
+    "createmutexa",
+    "createmutexw",
+    "releasemutex",
+    "opensemaphorea",
+    "createsemaphorea",
+    "createsemaphorew",
+    "releasesemaphore",
+    "entercriticalsection",
+    "leavecriticalsection",
+    "initializecriticalsection",
+    "deletecriticalsection",
+    "createwaitabletimera",
+    "setwaitabletimer",
+    "cancelwaitabletimer",
+    "settimer",
+    "killtimer",
+    "timegettime",
+    "getmessagetime",
     // misc runtime (Table II common calls)
-    "flsalloc", "flsfree", "flsgetvalue", "flssetvalue", "tlsalloc",
-    "tlsfree", "tlsgetvalue", "tlssetvalue", "getlasterror", "setlasterror",
-    "raiseexception", "rtlunwind", "interlockedincrement",
-    "interlockeddecrement", "interlockedexchange", "interlockedcompareexchange",
-    "exitprocess", "fatalappexita", "fatalappexitw",
-    "freeenvironmentstringsa", "getcpinfoexa", "getcpinfoexw",
+    "flsalloc",
+    "flsfree",
+    "flsgetvalue",
+    "flssetvalue",
+    "tlsalloc",
+    "tlsfree",
+    "tlsgetvalue",
+    "tlssetvalue",
+    "getlasterror",
+    "setlasterror",
+    "raiseexception",
+    "rtlunwind",
+    "interlockedincrement",
+    "interlockeddecrement",
+    "interlockedexchange",
+    "interlockedcompareexchange",
+    "exitprocess",
+    "fatalappexita",
+    "fatalappexitw",
+    "freeenvironmentstringsa",
+    "getcpinfoexa",
+    "getcpinfoexw",
     // clipboard / misc ui
-    "openclipboard", "closeclipboard", "getclipboarddata", "setclipboarddata",
-    "emptyclipboard", "isclipboardformatavailable", "registerclipboardformata",
+    "openclipboard",
+    "closeclipboard",
+    "getclipboarddata",
+    "setclipboarddata",
+    "emptyclipboard",
+    "isclipboardformatavailable",
+    "registerclipboardformata",
     // gdi
-    "bitblt", "stretchblt", "createcompatibledc", "createcompatiblebitmap",
-    "selectobject", "deleteobject", "deletedc", "getdibits", "setdibits",
-    "getpixel", "setpixel", "textouta", "textoutw", "settextcolor",
-    "setbkcolor", "createfonta", "createfontw", "createfontindirecta",
-    "getstockobject", "createsolidbrush", "createpen", "rectangle",
-    "ellipse", "polygon", "polyline", "lineto", "moveto", "movetoex",
+    "bitblt",
+    "stretchblt",
+    "createcompatibledc",
+    "createcompatiblebitmap",
+    "selectobject",
+    "deleteobject",
+    "deletedc",
+    "getdibits",
+    "setdibits",
+    "getpixel",
+    "setpixel",
+    "textouta",
+    "textoutw",
+    "settextcolor",
+    "setbkcolor",
+    "createfonta",
+    "createfontw",
+    "createfontindirecta",
+    "getstockobject",
+    "createsolidbrush",
+    "createpen",
+    "rectangle",
+    "ellipse",
+    "polygon",
+    "polyline",
+    "lineto",
+    "moveto",
+    "movetoex",
     // profile strings (paper's w-block neighbourhood)
-    "getprivateprofilestringa", "getprivateprofilestringw",
-    "getprivateprofileinta", "getprivateprofileintw", "getprofilestringa",
-    "getprofilestringw", "getprofileinta", "getprofileintw",
-    "writeprivateprofilesectiona", "writeprivateprofilesectionw",
+    "getprivateprofilestringa",
+    "getprivateprofilestringw",
+    "getprivateprofileinta",
+    "getprivateprofileintw",
+    "getprofilestringa",
+    "getprofilestringw",
+    "getprofileinta",
+    "getprofileintw",
+    "writeprivateprofilesectiona",
+    "writeprivateprofilesectionw",
     // ole / com
-    "coinitialize", "coinitializeex", "couninitialize", "cocreateinstance",
-    "cocreateguid", "cotaskmemalloc", "cotaskmemfree", "olerun",
-    "variantinit", "variantclear", "sysallocstring", "sysfreestring",
+    "coinitialize",
+    "coinitializeex",
+    "couninitialize",
+    "cocreateinstance",
+    "cocreateguid",
+    "cotaskmemalloc",
+    "cotaskmemfree",
+    "olerun",
+    "variantinit",
+    "variantclear",
+    "sysallocstring",
+    "sysfreestring",
     // verification / resources
-    "getfileversioninfoa", "getfileversioninfow", "getfileversioninfosizea",
-    "verqueryvaluea", "verqueryvaluew", "findresourcea", "findresourcew",
-    "loadresource", "lockresource", "sizeofresource", "freeresource",
-    "enumresourcetypesa", "enumresourcenamesa", "updateresourcea",
-    "beginupdateresourcea", "endupdateresourcea",
+    "getfileversioninfoa",
+    "getfileversioninfow",
+    "getfileversioninfosizea",
+    "verqueryvaluea",
+    "verqueryvaluew",
+    "findresourcea",
+    "findresourcew",
+    "loadresource",
+    "lockresource",
+    "sizeofresource",
+    "freeresource",
+    "enumresourcetypesa",
+    "enumresourcenamesa",
+    "updateresourcea",
+    "beginupdateresourcea",
+    "endupdateresourcea",
 ];
 
 /// Builds the canonical 491-name vocabulary: paper names + curated names,
@@ -426,10 +798,7 @@ mod tests {
     #[test]
     fn index_of_is_case_insensitive() {
         let v = ApiVocab::standard();
-        assert_eq!(
-            v.index_of("GetProcAddress"),
-            v.index_of("getprocaddress")
-        );
+        assert_eq!(v.index_of("GetProcAddress"), v.index_of("getprocaddress"));
     }
 
     #[test]
@@ -479,7 +848,10 @@ mod serde_tests {
         let back: ApiVocab = serde_json::from_str(&json).unwrap();
         assert_eq!(back, v);
         // The regression this guards: index must be rebuilt, not empty.
-        assert_eq!(back.index_of("getprocaddress"), v.index_of("getprocaddress"));
+        assert_eq!(
+            back.index_of("getprocaddress"),
+            v.index_of("getprocaddress")
+        );
         assert!(back.index_of("getprocaddress").is_some());
     }
 

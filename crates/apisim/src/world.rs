@@ -217,7 +217,10 @@ mod tests {
         let world = World::default();
         let mut r = rng(1);
         for _ in 0..20 {
-            assert_eq!(world.sample_program(Class::Clean, &mut r).class(), Class::Clean);
+            assert_eq!(
+                world.sample_program(Class::Clean, &mut r).class(),
+                Class::Clean
+            );
             assert_eq!(
                 world.sample_program(Class::Malware, &mut r).class(),
                 Class::Malware
@@ -246,29 +249,48 @@ mod tests {
         let clean_total: u64 = (0..60)
             .map(|_| world.sample_program(Class::Clean, &mut r).counts()[wpm] as u64)
             .sum();
-        assert!(mal_total > clean_total * 3, "mal {mal_total} clean {clean_total}");
+        assert!(
+            mal_total > clean_total * 3,
+            "mal {mal_total} clean {clean_total}"
+        );
     }
 
     #[test]
     fn boundary_fraction_controls_boundary_cases() {
-        let config = WorldConfig { boundary_fraction: 0.0, ..Default::default() };
+        let config = WorldConfig {
+            boundary_fraction: 0.0,
+            ..Default::default()
+        };
         let world = World::new(config);
         let mut r = rng(4);
-        assert!((0..50).all(|_| !world.sample_program(Class::Clean, &mut r).is_boundary_case()));
+        assert!((0..50).all(|_| !world
+            .sample_program(Class::Clean, &mut r)
+            .is_boundary_case()));
 
-        let config = WorldConfig { boundary_fraction: 1.0, ..Default::default() };
+        let config = WorldConfig {
+            boundary_fraction: 1.0,
+            ..Default::default()
+        };
         let world = World::new(config);
         let mut r = rng(4);
-        assert!((0..50).all(|_| world.sample_program(Class::Clean, &mut r).is_boundary_case()));
+        assert!((0..50).all(|_| world
+            .sample_program(Class::Clean, &mut r)
+            .is_boundary_case()));
     }
 
     #[test]
     fn os_mix_respected_in_the_extreme() {
-        let config = WorldConfig { os_mix: [0.0, 0.0, 0.0, 1.0], ..Default::default() };
+        let config = WorldConfig {
+            os_mix: [0.0, 0.0, 0.0, 1.0],
+            ..Default::default()
+        };
         let world = World::new(config);
         let mut r = rng(5);
         for _ in 0..20 {
-            assert_eq!(world.sample_program(Class::Clean, &mut r).os(), OsVersion::Win10);
+            assert_eq!(
+                world.sample_program(Class::Clean, &mut r).os(),
+                OsVersion::Win10
+            );
         }
     }
 
@@ -284,7 +306,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "boundary_fraction")]
     fn invalid_config_panics() {
-        let config = WorldConfig { boundary_fraction: 1.5, ..Default::default() };
+        let config = WorldConfig {
+            boundary_fraction: 1.5,
+            ..Default::default()
+        };
         World::new(config);
     }
 }

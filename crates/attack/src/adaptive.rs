@@ -74,9 +74,8 @@ impl EvasionAttack for SqueezeAwareJsma {
                 adversarial[j] = level;
             }
         }
-        let evaded = net
-            .predict(&maleva_linalg::Matrix::row_vector(&adversarial))?[0]
-            == crate::CLEAN_CLASS;
+        let evaded =
+            net.predict(&maleva_linalg::Matrix::row_vector(&adversarial))?[0] == crate::CLEAN_CLASS;
         Ok(AttackOutcome::new(
             sample,
             adversarial,

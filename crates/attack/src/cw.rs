@@ -43,7 +43,10 @@ impl CarliniWagnerL2 {
     ///
     /// Panics if `c` is not positive and finite.
     pub fn new(c: f64) -> Self {
-        assert!(c.is_finite() && c > 0.0, "c must be positive and finite, got {c}");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "c must be positive and finite, got {c}"
+        );
         CarliniWagnerL2 {
             c,
             kappa: 0.0,
@@ -229,8 +232,12 @@ mod tests {
     #[test]
     fn higher_kappa_gives_higher_confidence() {
         let (net, mal, _) = trained_detector(12, 63);
-        let low = CarliniWagnerL2::new(5.0).with_kappa(0.0).with_budget(150, 0.05);
-        let high = CarliniWagnerL2::new(5.0).with_kappa(2.0).with_budget(150, 0.05);
+        let low = CarliniWagnerL2::new(5.0)
+            .with_kappa(0.0)
+            .with_budget(150, 0.05);
+        let high = CarliniWagnerL2::new(5.0)
+            .with_kappa(2.0)
+            .with_budget(150, 0.05);
         let sample = mal.row(0);
         let lo = low.craft(&net, sample).unwrap();
         let hi = high.craft(&net, sample).unwrap();

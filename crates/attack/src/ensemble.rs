@@ -68,11 +68,7 @@ impl EnsembleJsma {
     /// # Panics
     ///
     /// Panics if `members` is empty.
-    pub fn craft(
-        &self,
-        members: &[&Network],
-        sample: &[f64],
-    ) -> Result<AttackOutcome, NnError> {
+    pub fn craft(&self, members: &[&Network], sample: &[f64]) -> Result<AttackOutcome, NnError> {
         assert!(!members.is_empty(), "ensemble needs at least one member");
         let dim = sample.len();
         for m in members {

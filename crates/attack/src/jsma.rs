@@ -114,9 +114,7 @@ impl Jsma {
     ) -> Result<Vec<usize>, NnError> {
         let jac = net.probability_jacobian(x, self.temperature)?;
         let dim = x.len();
-        let eligible = |j: usize| {
-            !perturbed[j] && (!self.add_only || x[j] < 1.0 - 1e-12)
-        };
+        let eligible = |j: usize| !perturbed[j] && (!self.add_only || x[j] < 1.0 - 1e-12);
         // With clean as the target class: saliency is the gradient of
         // F_clean; the "other classes decrease" condition of full JSMA is
         // automatic for 2 classes (∂F1 = −∂F0) and enforced generally here.
@@ -135,10 +133,9 @@ impl Jsma {
                         continue;
                     }
                     let s = toward(j);
-                    if s > 0.0 && away(j) <= 0.0
-                        && best.is_none_or(|(_, bv)| s > bv) {
-                            best = Some((j, s));
-                        }
+                    if s > 0.0 && away(j) <= 0.0 && best.is_none_or(|(_, bv)| s > bv) {
+                        best = Some((j, s));
+                    }
                 }
                 Ok(best.map(|(j, _)| vec![j]).unwrap_or_default())
             }
@@ -147,9 +144,8 @@ impl Jsma {
                 // Restrict the pair search to the top candidates by
                 // |gradient| to stay O(k²) instead of O(dim²).
                 let mut candidates: Vec<usize> = (0..dim).filter(|&j| eligible(j)).collect();
-                candidates.sort_by(|&a, &b| {
-                    toward(b).partial_cmp(&toward(a)).expect("NaN saliency")
-                });
+                candidates
+                    .sort_by(|&a, &b| toward(b).partial_cmp(&toward(a)).expect("NaN saliency"));
                 candidates.truncate(32);
                 for (ai, &a) in candidates.iter().enumerate() {
                     for &b in candidates.iter().skip(ai + 1) {
@@ -163,9 +159,7 @@ impl Jsma {
                         }
                     }
                 }
-                Ok(best
-                    .map(|((a, b), _)| vec![a, b])
-                    .unwrap_or_default())
+                Ok(best.map(|((a, b), _)| vec![a, b]).unwrap_or_default())
             }
         }
     }
@@ -220,8 +214,8 @@ impl EvasionAttack for Jsma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::trained_detector;
     use crate::detection_rate;
+    use crate::testutil::trained_detector;
     use maleva_linalg::Matrix;
 
     #[test]
@@ -287,7 +281,10 @@ mod tests {
         let outcome = jsma.craft(&net, &saturated).unwrap();
         // The unconstrained attack is allowed to go below the original,
         // but regardless must stay inside the box.
-        assert!(outcome.adversarial.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(outcome
+            .adversarial
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

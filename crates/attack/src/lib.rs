@@ -56,9 +56,9 @@ mod ensemble;
 mod fgsm;
 mod jsma;
 mod outcome;
-mod random;
 pub mod parallel;
 pub mod perturbation;
+mod random;
 pub mod sweep;
 
 pub use adaptive::SqueezeAwareJsma;

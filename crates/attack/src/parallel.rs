@@ -505,8 +505,7 @@ mod tests {
         let jsma = Jsma::new(0.3, 0.25);
         let (seq_adv, seq_out) = jsma.craft_batch(&net, &mal).unwrap();
         for threads in [1, 2, 3, 8] {
-            let (par_adv, par_out) =
-                craft_batch_parallel(&jsma, &net, &mal, threads).unwrap();
+            let (par_adv, par_out) = craft_batch_parallel(&jsma, &net, &mal, threads).unwrap();
             assert_eq!(par_adv, seq_adv, "threads = {threads}");
             assert_eq!(par_out, seq_out, "threads = {threads}");
         }
@@ -541,18 +540,15 @@ mod tests {
         let err = craft_batch_parallel(&Jsma::new(0.1, 0.1), &net, &mal, 0).unwrap_err();
         assert!(matches!(err, NnError::InvalidConfig { .. }), "{err:?}");
         let policy = BatchPolicy::new().threads(0);
-        let err =
-            craft_batch_parallel_with(&Jsma::new(0.1, 0.1), &net, &mal, &policy).unwrap_err();
+        let err = craft_batch_parallel_with(&Jsma::new(0.1, 0.1), &net, &mal, &policy).unwrap_err();
         assert!(matches!(err, NnError::InvalidConfig { .. }), "{err:?}");
     }
 
     #[test]
     fn out_of_range_budget_is_invalid_config() {
         let (net, mal, _) = trained_detector(12, 93);
-        let policy = BatchPolicy::new()
-            .failure_budget(FailureBudget::AbortAbove { fraction: 1.5 });
-        let err =
-            craft_batch_parallel_with(&Jsma::new(0.1, 0.1), &net, &mal, &policy).unwrap_err();
+        let policy = BatchPolicy::new().failure_budget(FailureBudget::AbortAbove { fraction: 1.5 });
+        let err = craft_batch_parallel_with(&Jsma::new(0.1, 0.1), &net, &mal, &policy).unwrap_err();
         assert!(matches!(err, NnError::InvalidConfig { .. }), "{err:?}");
     }
 
@@ -670,13 +666,9 @@ mod tests {
     fn empty_batch_reports_empty() {
         let (net, mal, _) = trained_detector(12, 97);
         let empty = mal.select_rows(&[]);
-        let report = craft_batch_parallel_with(
-            &Jsma::new(0.3, 0.25),
-            &net,
-            &empty,
-            &BatchPolicy::new(),
-        )
-        .unwrap();
+        let report =
+            craft_batch_parallel_with(&Jsma::new(0.3, 0.25), &net, &empty, &BatchPolicy::new())
+                .unwrap();
         assert_eq!(report.rows.len(), 0);
         assert_eq!(report.failure_fraction(), 0.0);
     }

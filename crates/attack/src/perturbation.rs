@@ -89,8 +89,7 @@ pub fn l2_sweep(
         } else {
             Jsma::new(theta, gamma).craft_batch(craft_net, malware)?.0
         };
-        let stats =
-            l2_stats(malware, &adv, clean, max_pairs).expect("batches validated non-empty");
+        let stats = l2_stats(malware, &adv, clean, max_pairs).expect("batches validated non-empty");
         mal_adv.push(stats.malware_to_adversarial);
         mal_clean.push(stats.malware_to_clean);
         clean_adv.push(stats.clean_to_adversarial);
@@ -114,8 +113,7 @@ mod tests {
         // malware along a dimension orthogonal to the malware-clean axis,
         // so they are near malware and *far* from clean.
         let malware = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.9, 0.1, 0.0]]).unwrap();
-        let adversarial =
-            Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.9, 0.1, 0.5]]).unwrap();
+        let adversarial = Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.9, 0.1, 0.5]]).unwrap();
         let clean = Matrix::from_rows(&[vec![0.0, 1.0, 0.0], vec![0.1, 0.9, 0.0]]).unwrap();
         let s = l2_stats(&malware, &adversarial, &clean, 100).unwrap();
         assert!((s.malware_to_adversarial - 0.5).abs() < 1e-9);

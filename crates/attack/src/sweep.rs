@@ -208,7 +208,10 @@ mod tests {
         };
         let curve = security_sweep(&net, &[("whitebox", &net)], &mal, &axis, Some(5)).unwrap();
         let jsma = curve.series_named("jsma:whitebox").unwrap();
-        assert!((jsma.values[0] - 1.0).abs() < 0.05, "strength 0 ≈ clean baseline");
+        assert!(
+            (jsma.values[0] - 1.0).abs() < 0.05,
+            "strength 0 ≈ clean baseline"
+        );
         assert!(
             jsma.values[3] < jsma.values[0] - 0.5,
             "detection must collapse: {:?}",

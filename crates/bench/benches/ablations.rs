@@ -30,8 +30,14 @@ fn bench_jsma_variants(c: &mut Criterion) {
             "pairwise_addonly",
             Jsma::new(0.2, 0.05).with_policy(SaliencyPolicy::PairwiseProduct),
         ),
-        ("single_unconstrained", Jsma::new(0.2, 0.05).with_add_only(false)),
-        ("single_high_confidence", Jsma::new(0.2, 0.05).with_high_confidence()),
+        (
+            "single_unconstrained",
+            Jsma::new(0.2, 0.05).with_add_only(false),
+        ),
+        (
+            "single_high_confidence",
+            Jsma::new(0.2, 0.05).with_high_confidence(),
+        ),
     ];
     for (name, jsma) in variants {
         group.bench_function(name, |b| {
@@ -46,7 +52,11 @@ fn bench_transform_variants(c: &mut Criterion) {
     let ctx = ctx();
     let programs = ctx.dataset.train();
     let mut group = c.benchmark_group("ablation/feature_transform");
-    for transform in [CountTransform::Raw, CountTransform::Log1p, CountTransform::Binary] {
+    for transform in [
+        CountTransform::Raw,
+        CountTransform::Log1p,
+        CountTransform::Binary,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{transform:?}")),
             &transform,
@@ -71,10 +81,7 @@ fn bench_temperature_variants(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
             b.iter(|| {
                 let mut net = models::target_model(491, ModelScale::Tiny, 7).expect("model");
-                let config = TrainConfig::new()
-                    .epochs(1)
-                    .batch_size(32)
-                    .temperature(t);
+                let config = TrainConfig::new().epochs(1).batch_size(32).temperature(t);
                 black_box(
                     Trainer::new(config)
                         .fit(&mut net, &ctx.x_train, &ctx.y_train)

@@ -57,7 +57,13 @@ fn bench_jacobian(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack/gradients");
     group.sample_size(30);
     group.bench_function("probability_jacobian_491", |b| {
-        b.iter(|| black_box(ctx.target().probability_jacobian(&sample, 1.0).expect("jac")));
+        b.iter(|| {
+            black_box(
+                ctx.target()
+                    .probability_jacobian(&sample, 1.0)
+                    .expect("jac"),
+            )
+        });
     });
     group.bench_function("input_jacobian_491", |b| {
         b.iter(|| black_box(ctx.target().input_jacobian(&sample).expect("jac")));
@@ -65,5 +71,10 @@ fn bench_jacobian(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_jsma_single, bench_other_attacks, bench_jacobian);
+criterion_group!(
+    benches,
+    bench_jsma_single,
+    bench_other_attacks,
+    bench_jacobian
+);
 criterion_main!(benches);

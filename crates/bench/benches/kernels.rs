@@ -65,7 +65,11 @@ fn bench_featurize(c: &mut Criterion) {
     let world = World::new(WorldConfig::default());
     let mut rng = maleva_apisim::rng(2);
     let programs = world.sample_batch(64, 64, &mut rng);
-    for transform in [CountTransform::Raw, CountTransform::Log1p, CountTransform::Binary] {
+    for transform in [
+        CountTransform::Raw,
+        CountTransform::Log1p,
+        CountTransform::Binary,
+    ] {
         let pipeline = FeaturePipeline::fit(transform, &programs);
         c.bench_function(&format!("features/transform_128x491_{transform:?}"), |b| {
             b.iter(|| black_box(pipeline.transform_batch(&programs)));

@@ -23,7 +23,10 @@ fn data() -> &'static (Matrix, Vec<usize>) {
 }
 
 fn one_epoch() -> TrainConfig {
-    TrainConfig::new().epochs(1).batch_size(32).learning_rate(0.001)
+    TrainConfig::new()
+        .epochs(1)
+        .batch_size(32)
+        .learning_rate(0.001)
 }
 
 fn bench_target_epoch(c: &mut Criterion) {
@@ -56,9 +59,14 @@ fn bench_distillation_epoch(c: &mut Criterion) {
     // The student's soft-label epoch (defensive distillation, T = 50).
     let (x, y) = data();
     let mut teacher = models::target_model(491, ModelScale::Tiny, 3).expect("teacher");
-    Trainer::new(TrainConfig::new().epochs(5).batch_size(32).temperature(50.0))
-        .fit(&mut teacher, x, y)
-        .expect("teacher fit");
+    Trainer::new(
+        TrainConfig::new()
+            .epochs(5)
+            .batch_size(32)
+            .temperature(50.0),
+    )
+    .fit(&mut teacher, x, y)
+    .expect("teacher fit");
     let soft = teacher.predict_proba_at(x, 50.0).expect("soft labels");
     let mut group = c.benchmark_group("train/distill_student_epoch");
     group.sample_size(10);
@@ -83,9 +91,7 @@ fn bench_pca_defense_fit(c: &mut Criterion) {
     group.bench_function("k19", |b| {
         b.iter(|| {
             let net = models::reduced_model(19, ModelScale::Tiny, 5).expect("reduced");
-            black_box(
-                maleva_defense::PcaDefense::fit(19, net, x, y, one_epoch()).expect("fit"),
-            );
+            black_box(maleva_defense::PcaDefense::fit(19, net, x, y, one_epoch()).expect("fit"));
         });
     });
     group.finish();

@@ -1,0 +1,320 @@
+//! `bench_gate` — the CI performance-regression gate.
+//!
+//! ```text
+//! bench_gate [--in-dir DIR] [--baseline-dir DIR] [--max-regression F]
+//! ```
+//!
+//! Compares freshly produced bench reports (`BENCH_linalg.json`,
+//! `BENCH_serve.json`, `BENCH_obs.json` in `--in-dir`, default `.`)
+//! against the committed baselines in `--baseline-dir` (default
+//! `bench_baselines/`) and exits non-zero if any gated metric regressed
+//! by more than `--max-regression` (default 0.20, i.e. 20%).
+//!
+//! Only **ratio metrics** (speedups, overhead fractions) are gated:
+//! ratios compare a kernel against another kernel *on the same
+//! hardware*, so the gate is meaningful on any CI runner, unlike raw
+//! GFLOP/s or wall-clock numbers, which the reports still carry for
+//! human eyes. Correctness booleans (`bit_identical`) are enforced
+//! unconditionally — a baseline cannot excuse a wrong answer.
+
+use std::process::ExitCode;
+
+use serde::{Content, Deserialize, Deserializer};
+
+/// A parsed JSON document. The vendored `serde_json` has no `Value`
+/// type, but every vendored deserializer speaks the [`Content`] tree —
+/// this newtype just captures it whole.
+struct Doc(Content);
+
+impl<'de> Deserialize<'de> for Doc {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Doc(deserializer.content()?))
+    }
+}
+
+impl Doc {
+    fn field(&self, key: &str) -> Option<&Content> {
+        match &self.0 {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Option<bool> {
+        match self.field(key)? {
+            Content::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a bigger metric value is better or worse.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// One gated metric: where it lives and how to judge it.
+struct MetricSpec {
+    file: &'static str,
+    key: &'static str,
+    direction: Direction,
+    /// Absolute slack added on top of the relative threshold — keeps
+    /// near-zero noise-dominated metrics (overhead fractions) from
+    /// tripping the gate on measurement jitter.
+    abs_slack: f64,
+}
+
+const METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        file: "BENCH_linalg.json",
+        key: "speedup_batch64",
+        direction: Direction::HigherIsBetter,
+        abs_slack: 0.0,
+    },
+    MetricSpec {
+        file: "BENCH_linalg.json",
+        key: "blocked_speedup_batch64",
+        direction: Direction::HigherIsBetter,
+        abs_slack: 0.0,
+    },
+    MetricSpec {
+        file: "BENCH_serve.json",
+        key: "batched_forward_speedup",
+        direction: Direction::HigherIsBetter,
+        abs_slack: 0.0,
+    },
+    MetricSpec {
+        file: "BENCH_serve.json",
+        key: "batched_vs_unbatched_speedup",
+        direction: Direction::HigherIsBetter,
+        abs_slack: 0.0,
+    },
+    MetricSpec {
+        file: "BENCH_obs.json",
+        key: "null_overhead_frac",
+        direction: Direction::LowerIsBetter,
+        abs_slack: 0.01,
+    },
+];
+
+/// Files carrying a `bit_identical` flag that must be `true`.
+const CORRECTNESS_FLAGS: &[(&str, &str)] = &[
+    ("BENCH_linalg.json", "bit_identical"),
+    ("BENCH_serve.json", "bit_identical"),
+];
+
+/// Verdict for one gated metric.
+struct Verdict {
+    file: &'static str,
+    key: &'static str,
+    baseline: f64,
+    candidate: f64,
+    passed: bool,
+}
+
+/// Pure regression rule, split out for unit testing: does `candidate`
+/// regress more than `max_regression` (plus `abs_slack`) vs `baseline`?
+fn regressed(
+    baseline: f64,
+    candidate: f64,
+    direction: Direction,
+    max_regression: f64,
+    abs_slack: f64,
+) -> bool {
+    match direction {
+        Direction::HigherIsBetter => candidate < baseline * (1.0 - max_regression) - abs_slack,
+        Direction::LowerIsBetter => candidate > baseline * (1.0 + max_regression) + abs_slack,
+    }
+}
+
+fn load_json(dir: &str, file: &str) -> Result<Doc, String> {
+    let path = format!("{}/{}", dir.trim_end_matches('/'), file);
+    let raw = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn get_f64(doc: &Doc, file: &str, key: &str) -> Result<f64, String> {
+    doc.f64_field(key)
+        .ok_or_else(|| format!("{file} has no numeric field `{key}`"))
+}
+
+struct Args {
+    in_dir: String,
+    baseline_dir: String,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        in_dir: ".".to_string(),
+        baseline_dir: "bench_baselines".to_string(),
+        max_regression: 0.20,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--in-dir" => args.in_dir = value("in-dir")?,
+            "--baseline-dir" => args.baseline_dir = value("baseline-dir")?,
+            "--max-regression" => {
+                args.max_regression = value("max-regression")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression: {e}"))?;
+                if !(0.0..1.0).contains(&args.max_regression) {
+                    return Err("--max-regression must be in [0, 1)".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate [--in-dir DIR] [--baseline-dir DIR] [--max-regression F]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+
+    // Correctness flags: unconditional.
+    for &(file, key) in CORRECTNESS_FLAGS {
+        match load_json(&args.in_dir, file).and_then(|doc| {
+            doc.bool_field(key)
+                .ok_or_else(|| format!("{file} has no boolean field `{key}`"))
+        }) {
+            Ok(true) => println!("OK    {file:<18} {key} = true"),
+            Ok(false) => {
+                println!("FAIL  {file:<18} {key} = false (bit-exactness violated)");
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAIL  {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Ratio metrics vs baselines.
+    let mut verdicts = Vec::new();
+    for spec in METRICS {
+        let pair = load_json(&args.in_dir, spec.file).and_then(|cand| {
+            let base = load_json(&args.baseline_dir, spec.file)?;
+            Ok((
+                get_f64(&base, spec.file, spec.key)?,
+                get_f64(&cand, spec.file, spec.key)?,
+            ))
+        });
+        match pair {
+            Ok((baseline, candidate)) => {
+                let passed = !regressed(
+                    baseline,
+                    candidate,
+                    spec.direction,
+                    args.max_regression,
+                    spec.abs_slack,
+                );
+                verdicts.push(Verdict {
+                    file: spec.file,
+                    key: spec.key,
+                    baseline,
+                    candidate,
+                    passed,
+                });
+            }
+            Err(e) => {
+                println!("FAIL  {e}");
+                failures += 1;
+            }
+        }
+    }
+    for v in &verdicts {
+        println!(
+            "{}  {:<18} {:<30} baseline {:>7.3}  candidate {:>7.3}",
+            if v.passed { "OK  " } else { "FAIL" },
+            v.file,
+            v.key,
+            v.baseline,
+            v.candidate
+        );
+        if !v.passed {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} metric(s) regressed more than {:.0}% (or failed correctness)",
+            args.max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: all {} metrics within {:.0}% of baseline",
+        verdicts.len() + CORRECTNESS_FLAGS.len(),
+        args.max_regression * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_is_better_trips_past_20_percent() {
+        // 21% drop: fail. 19% drop: pass.
+        assert!(regressed(2.0, 1.58, Direction::HigherIsBetter, 0.20, 0.0));
+        assert!(!regressed(2.0, 1.62, Direction::HigherIsBetter, 0.20, 0.0));
+        // Improvements always pass.
+        assert!(!regressed(2.0, 2.4, Direction::HigherIsBetter, 0.20, 0.0));
+    }
+
+    #[test]
+    fn lower_is_better_trips_past_20_percent_plus_slack() {
+        // Overhead fraction: baseline 0.01, slack 0.01 → limit 0.022.
+        assert!(regressed(0.01, 0.03, Direction::LowerIsBetter, 0.20, 0.01));
+        assert!(!regressed(0.01, 0.02, Direction::LowerIsBetter, 0.20, 0.01));
+        // Noise-level baselines do not trip on jitter.
+        assert!(!regressed(
+            0.001,
+            0.009,
+            Direction::LowerIsBetter,
+            0.20,
+            0.01
+        ));
+    }
+
+    #[test]
+    fn gated_metric_table_is_ratio_only() {
+        // Guard against accidentally gating hardware-dependent absolutes.
+        for spec in METRICS {
+            assert!(
+                spec.key.contains("speedup") || spec.key.contains("frac"),
+                "{} is not a ratio metric",
+                spec.key
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! `linalg_bench` — kernel-level throughput baseline for the
+//! cache-blocked matmul stack, written as `BENCH_linalg.json`.
+//!
+//! ```text
+//! linalg_bench [--threads N] [--reps-scale X] [--out PATH] [--out-dir DIR]
+//! ```
+//!
+//! Three kernels are timed at the paper's real shapes — the 4-layer
+//! target model's 491→128-style layers at batch 1/8/64/512 and the
+//! Table IV substitute model's 491→1200→1500→1300 layers at training
+//! batch sizes — plus two end-to-end probes (one training epoch of the
+//! target architecture; one JSMA-style per-row probability Jacobian):
+//!
+//! * `scalar` — the original i-k-j reference kernel;
+//! * `blocked` — the cache-blocked single-threaded kernel;
+//! * `pooled` — the blocked kernel partitioned over the worker pool
+//!   (`--threads`, `MALEVA_THREADS`, or hardware default).
+//!
+//! The run **fails** unless every blocked/pooled result is bit-identical
+//! to the scalar kernel and the best speedup at batch >= 64 reaches
+//! 1.5x — the floor the CI perf gate then defends against regression
+//! (see `bench_gate`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use maleva_linalg::{kernels, pool, Matrix};
+use maleva_nn::{Activation, NetworkBuilder, TrainConfig, Trainer};
+use serde::Serialize;
+
+struct Args {
+    threads: usize,
+    reps_scale: f64,
+    out: String,
+    out_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        reps_scale: 1.0,
+        out: "BENCH_linalg.json".to_string(),
+        out_dir: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => {
+                args.threads = value("threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--reps-scale" => {
+                args.reps_scale = value("reps-scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps-scale: {e}"))?;
+                if args.reps_scale <= 0.0 {
+                    return Err("--reps-scale must be positive".into());
+                }
+            }
+            "--out" => args.out = value("out")?,
+            "--out-dir" => args.out_dir = Some(value("out-dir")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: linalg_bench [--threads N] [--reps-scale X] [--out PATH] [--out-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One benchmarked GEMM shape: `(batch x k) * (k x n)`.
+#[derive(Serialize)]
+struct ShapeResult {
+    name: String,
+    batch: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    scalar_gflops: f64,
+    blocked_gflops: f64,
+    pooled_gflops: f64,
+    blocked_speedup: f64,
+    pooled_speedup: f64,
+    bit_identical: bool,
+}
+
+/// The whole `BENCH_linalg.json` document.
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    threads: usize,
+    bit_identical: bool,
+    /// Headline gate metric: best speedup over the scalar kernel
+    /// (blocked or pooled) across shapes with batch >= 64.
+    speedup_batch64: f64,
+    /// Best blocked-only (single-thread) speedup at batch >= 64 —
+    /// isolates cache blocking from parallelism.
+    blocked_speedup_batch64: f64,
+    shapes: Vec<ShapeResult>,
+    /// One seeded training epoch of the target architecture
+    /// (491 -> 512 -> 256 -> 2, batch 256, 512 samples).
+    epoch_ms: f64,
+    /// One JSMA-style per-row probability Jacobian on the same
+    /// architecture (the per-iteration attack cost).
+    jsma_row_jacobian_us: f64,
+}
+
+/// Deterministic pseudo-random matrix with ~15% exact zeros, matching
+/// the ReLU-sparsified activations the kernels see in training.
+fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    Matrix::from_fn(rows, cols, |_, _| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (s >> 33) as f64 / (1u64 << 31) as f64;
+        if u < 0.15 {
+            0.0
+        } else {
+            u - 0.5
+        }
+    })
+}
+
+fn best_secs(reps: usize, mut f: impl FnMut() -> Matrix) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = f();
+        let el = t.elapsed().as_secs_f64();
+        assert!(!out.is_empty());
+        best = best.min(el);
+    }
+    best
+}
+
+fn bit_identical(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bench_shape(
+    name: &str,
+    batch: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    threads: usize,
+) -> ShapeResult {
+    let a = test_matrix(batch, k, (batch * 1_000_000 + k * 1000 + n) as u64);
+    let b = test_matrix(k, n, (k * 1_000_000 + n) as u64);
+
+    let reference = kernels::matmul_scalar(&a, &b).expect("scalar kernel");
+    let blocked = kernels::matmul_blocked(&a, &b).expect("blocked kernel");
+    let pooled = kernels::matmul_pooled(&a, &b, threads).expect("pooled kernel");
+    let identical = bit_identical(&reference, &blocked) && bit_identical(&reference, &pooled);
+
+    let scalar_s = best_secs(reps, || kernels::matmul_scalar(&a, &b).expect("scalar"));
+    let blocked_s = best_secs(reps, || kernels::matmul_blocked(&a, &b).expect("blocked"));
+    let pooled_s = best_secs(reps, || {
+        kernels::matmul_pooled(&a, &b, threads).expect("pooled")
+    });
+
+    let gflops = |secs: f64| 2.0 * (batch * k * n) as f64 / secs / 1e9;
+    ShapeResult {
+        name: name.to_string(),
+        batch,
+        k,
+        n,
+        reps,
+        scalar_gflops: gflops(scalar_s),
+        blocked_gflops: gflops(blocked_s),
+        pooled_gflops: gflops(pooled_s),
+        blocked_speedup: scalar_s / blocked_s,
+        pooled_speedup: scalar_s / pooled_s,
+        bit_identical: identical,
+    }
+}
+
+/// One seeded epoch of the target architecture on synthetic data.
+fn epoch_probe() -> f64 {
+    let samples = 512;
+    let x = test_matrix(samples, 491, 77);
+    let labels: Vec<usize> = (0..samples).map(|i| i % 2).collect();
+    let mut net = NetworkBuilder::new(491)
+        .layer(512, Activation::ReLU)
+        .layer(256, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(42)
+        .build()
+        .expect("target-architecture network");
+    let config = TrainConfig::new()
+        .epochs(1)
+        .batch_size(256)
+        .learning_rate(0.01)
+        .seed(42);
+    let t = Instant::now();
+    Trainer::new(config)
+        .fit(&mut net, &x, &labels)
+        .expect("one training epoch");
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The per-iteration JSMA cost: one probability Jacobian of a 491-dim
+/// sample against the target architecture.
+fn jsma_row_probe() -> f64 {
+    let net = NetworkBuilder::new(491)
+        .layer(512, Activation::ReLU)
+        .layer(256, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(7)
+        .build()
+        .expect("target-architecture network");
+    let sample: Vec<f64> = (0..491).map(|i| ((i * 37) % 11) as f64 / 11.0).collect();
+    let reps = 20;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let jac = net
+            .probability_jacobian(&sample, 1.0)
+            .expect("probability jacobian");
+        let el = t.elapsed().as_secs_f64();
+        assert_eq!(jac.shape(), (2, 491));
+        best = best.min(el);
+    }
+    best * 1e6
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.threads > 0 {
+        pool::set_threads(args.threads);
+    }
+    let threads = pool::effective_threads();
+    eprintln!("[linalg_bench] timing kernels with {threads} thread(s) ...");
+
+    // The paper's shapes: the 4-layer target model's layer products at
+    // serving/training batch sizes, then the Table IV substitute model
+    // (491 -> 1200 -> 1500 -> 1300 -> 2) at attack/training batches.
+    let scale = |r: usize| ((r as f64 * args.reps_scale).round() as usize).max(1);
+    let specs: [(&str, usize, usize, usize, usize); 10] = [
+        ("target_in", 1, 491, 128, scale(9)),
+        ("target_in", 8, 491, 128, scale(9)),
+        ("target_in", 64, 491, 128, scale(7)),
+        ("target_in", 512, 491, 128, scale(5)),
+        ("target_hidden", 64, 128, 128, scale(9)),
+        ("target_hidden", 512, 128, 128, scale(7)),
+        ("substitute_l1", 64, 491, 1200, scale(3)),
+        ("substitute_l2", 64, 1200, 1500, scale(3)),
+        ("substitute_l2", 256, 1200, 1500, scale(2)),
+        ("substitute_l3", 64, 1500, 1300, scale(3)),
+    ];
+    let mut shapes = Vec::with_capacity(specs.len());
+    for (name, batch, k, n, reps) in specs {
+        let r = bench_shape(name, batch, k, n, reps, threads);
+        println!(
+            "{:>14} m={:<4} k={:<5} n={:<5} scalar {:>5.2} GF/s  blocked {:>5.2} GF/s ({:>4.2}x)  \
+             pooled {:>5.2} GF/s ({:>4.2}x)  bitident={}",
+            r.name,
+            r.batch,
+            r.k,
+            r.n,
+            r.scalar_gflops,
+            r.blocked_gflops,
+            r.blocked_speedup,
+            r.pooled_gflops,
+            r.pooled_speedup,
+            r.bit_identical
+        );
+        shapes.push(r);
+    }
+
+    let bit_ok = shapes.iter().all(|s| s.bit_identical);
+    let speedup_batch64 = shapes
+        .iter()
+        .filter(|s| s.batch >= 64)
+        .map(|s| s.blocked_speedup.max(s.pooled_speedup))
+        .fold(0.0, f64::max);
+    let blocked_speedup_batch64 = shapes
+        .iter()
+        .filter(|s| s.batch >= 64)
+        .map(|s| s.blocked_speedup)
+        .fold(0.0, f64::max);
+
+    eprintln!("[linalg_bench] end-to-end probes ...");
+    let epoch_ms = epoch_probe();
+    let jsma_row_jacobian_us = jsma_row_probe();
+    println!(
+        "epoch (491->512->256->2, 512 samples): {epoch_ms:.1} ms | \
+         JSMA row Jacobian: {jsma_row_jacobian_us:.0} us"
+    );
+    println!(
+        "bit_identical: {bit_ok} | best speedup at batch >= 64: {speedup_batch64:.2}x \
+         (blocked-only {blocked_speedup_batch64:.2}x)"
+    );
+
+    let report = BenchReport {
+        bench: "linalg_bench",
+        threads,
+        bit_identical: bit_ok,
+        speedup_batch64,
+        blocked_speedup_batch64,
+        shapes,
+        epoch_ms,
+        jsma_row_jacobian_us,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("encode report");
+    let out_path = match &args.out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create --out-dir");
+            format!("{}/{}", dir.trim_end_matches('/'), args.out)
+        }
+        None => args.out.clone(),
+    };
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+
+    if !bit_ok {
+        eprintln!("error: blocked/pooled kernels diverged from the scalar reference");
+        return ExitCode::FAILURE;
+    }
+    if speedup_batch64 < 1.5 {
+        eprintln!("error: best batch>=64 speedup {speedup_batch64:.2}x is below the 1.5x floor");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! `BENCH_obs.json`.
 //!
 //! ```text
-//! obs_overhead [--seed N] [--reps R] [--out PATH] [--trace-file PATH]
+//! obs_overhead [--seed N] [--reps R] [--out PATH] [--trace-file PATH] [--out-dir DIR]
 //! ```
 //!
 //! Runs the two instrumented workloads — a JSMA batch attack
@@ -41,6 +41,7 @@ struct Args {
     reps: usize,
     out: String,
     trace_file: String,
+    out_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,17 +50,30 @@ fn parse_args() -> Result<Args, String> {
         reps: 5,
         out: "BENCH_obs.json".to_string(),
         trace_file: "obs_overhead_trace.jsonl".to_string(),
+        out_dir: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("--{name} needs a value"));
         match arg.as_str() {
-            "--seed" => args.seed = value("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            "--reps" => args.reps = value("reps")?.parse().map_err(|e| format!("bad --reps: {e}"))?,
+            "--seed" => {
+                args.seed = value("seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--reps" => {
+                args.reps = value("reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?
+            }
             "--out" => args.out = value("out")?,
             "--trace-file" => args.trace_file = value("trace-file")?,
+            "--out-dir" => args.out_dir = Some(value("out-dir")?),
             "--help" | "-h" => {
-                println!("usage: obs_overhead [--seed N] [--reps R] [--out PATH] [--trace-file PATH]");
+                println!(
+                    "usage: obs_overhead [--seed N] [--reps R] [--out PATH] \
+                     [--trace-file PATH] [--out-dir DIR]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -67,6 +81,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.reps == 0 {
         return Err("--reps must be positive".into());
+    }
+    // Route both artifacts (report + trace scratch file) through
+    // --out-dir so local runs do not litter the repo root.
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create --out-dir {dir}: {e}"))?;
+        let dir = dir.trim_end_matches('/');
+        args.out = format!("{dir}/{}", args.out);
+        args.trace_file = format!("{dir}/{}", args.trace_file);
     }
     Ok(args)
 }
@@ -189,7 +211,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("[obs_overhead] building tiny context (seed={}) ...", args.seed);
+    eprintln!(
+        "[obs_overhead] building tiny context (seed={}) ...",
+        args.seed
+    );
     let ctx = ExperimentContext::build(ExperimentScale::tiny(), args.seed).expect("context");
     let batch = {
         let full = ctx.attack_batch();
@@ -210,7 +235,10 @@ fn main() -> ExitCode {
 
     // Train workload: the instrumented trainer (train.fit + per-epoch
     // train.epoch spans and the train.epoch_stats event).
-    let train_cfg = TrainConfig::new().epochs(24).batch_size(64).learning_rate(0.005);
+    let train_cfg = TrainConfig::new()
+        .epochs(24)
+        .batch_size(64)
+        .learning_rate(0.005);
     let x = &ctx.x_train;
     let y: &[usize] = &ctx.y_train;
     let probe = {
@@ -221,12 +249,19 @@ fn main() -> ExitCode {
     let scale = ctx.scale.model_scale;
     let train_workload = move || {
         let mut net = target_model(x.cols(), scale, seed ^ 0xB0).expect("model");
-        let report = Trainer::new(train_cfg.clone()).fit(&mut net, x, y).expect("fit");
+        let report = Trainer::new(train_cfg.clone())
+            .fit(&mut net, x, y)
+            .expect("fit");
         fold_bits(network_fingerprint(&net, &probe), report.final_loss())
     };
 
     let workloads = vec![
-        measure("attack_jsma_batch", args.reps, &args.trace_file, &attack_workload),
+        measure(
+            "attack_jsma_batch",
+            args.reps,
+            &args.trace_file,
+            &attack_workload,
+        ),
         measure("train_epochs", args.reps, &args.trace_file, &train_workload),
     ];
     let trace_records_written = std::fs::read_to_string(&args.trace_file)

@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--scale tiny|quick|paper] [--seed N] [--exp ID]
 //!       [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
-//!       [--trace-out FILE] [--manifest-out FILE]
+//!       [--trace-out FILE] [--manifest-out FILE] [--threads N]
 //!
 //! IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b
 //!      fig4a fig4b fig4c fig5a fig5b live table5 table6 all
@@ -101,11 +101,22 @@ fn parse_args() -> Result<Args, String> {
             "--manifest-out" => {
                 manifest_out = argv.next().ok_or("--manifest-out needs a value")?;
             }
+            "--threads" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+                maleva_linalg::pool::set_threads(n);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale tiny|quick|paper] [--seed N] [--exp ID] [--csv-dir DIR]\n\
                      \x20           [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]\n\
-                     \x20           [--trace-out FILE] [--manifest-out FILE]\n\
+                     \x20           [--trace-out FILE] [--manifest-out FILE] [--threads N]\n\
                      IDs: table1 table2 table3 table4 figure1 figure2 fig3a fig3b\n\
                      \x20     fig4a fig4b fig4c fig5a fig5b live table5 table6 all"
                 );
@@ -150,7 +161,11 @@ impl Session {
                 eprintln!(
                     "[repro] checkpointing target training into {dir} every {} epoch(s){}",
                     args.checkpoint_every,
-                    if args.resume { ", resuming if possible" } else { "" }
+                    if args.resume {
+                        ", resuming if possible"
+                    } else {
+                        ""
+                    }
                 );
                 CheckpointPlan::new(dir, args.checkpoint_every, args.resume)
             }
@@ -184,8 +199,9 @@ impl Session {
         if self.substitute.is_none() {
             eprintln!("[repro] training substitute model (Table IV) ...");
             let t = std::time::Instant::now();
-            self.substitute =
-                Some(greybox::train_substitute(&self.ctx, self.ctx.seed ^ 0x5B).expect("substitute"));
+            self.substitute = Some(
+                greybox::train_substitute(&self.ctx, self.ctx.seed ^ 0x5B).expect("substitute"),
+            );
             eprintln!("[repro] substitute ready in {:.1?}", t.elapsed());
         }
         self.substitute.as_ref().expect("just built")
@@ -238,7 +254,10 @@ fn main() -> ExitCode {
         .crate_version("maleva-bench", env!("CARGO_PKG_VERSION"))
         .phase("build_context", build_start.elapsed());
     let (tpr, tnr) = session.ctx.baseline_rates().expect("baseline");
-    println!("=== maleva repro | scale={} seed={} ===", args.scale.name, args.seed);
+    println!(
+        "=== maleva repro | scale={} seed={} ===",
+        args.scale.name, args.seed
+    );
     let auc = session
         .ctx
         .target_auc()
@@ -260,7 +279,10 @@ fn main() -> ExitCode {
         eprintln!("[repro] {exp} finished in {elapsed:.1?}\n");
     }
 
-    match manifest.build().write_to(std::path::Path::new(&args.manifest_out)) {
+    match manifest
+        .build()
+        .write_to(std::path::Path::new(&args.manifest_out))
+    {
         Ok(()) => eprintln!("[repro] wrote provenance manifest to {}", args.manifest_out),
         Err(e) => {
             eprintln!("error: cannot write {}: {e}", args.manifest_out);
@@ -439,9 +461,8 @@ fn fig4c(s: &mut Session) {
     println!("--- Figure 4(c): grey-box with binary features (end-to-end rescan) ---");
     let gammas: Vec<f64> = (0..=6).map(|i| i as f64 * 0.005).collect();
     let samples = s.samples.min(150);
-    let report =
-        greybox::binary_feature_experiment(&s.ctx, s.ctx.seed ^ 0x4C, samples, &gammas)
-            .expect("fig4c");
+    let report = greybox::binary_feature_experiment(&s.ctx, s.ctx.seed ^ 0x4C, samples, &gammas)
+        .expect("fig4c");
     s.emit_csv("fig4c", &report.curve);
     println!("{}", report.curve.render());
     println!(
@@ -512,9 +533,18 @@ fn figure2(s: &mut Session) {
     };
     let artifacts = blackbox::run(&s.ctx, &config).expect("blackbox");
     println!("oracle queries spent     : {}", artifacts.oracle_queries);
-    println!("substitute-oracle agree  : {:.3}", artifacts.oracle_agreement);
-    println!("baseline detection       : {:.3}", artifacts.baseline_detection);
-    println!("post-attack detection    : {:.3}", artifacts.target_detection);
+    println!(
+        "substitute-oracle agree  : {:.3}",
+        artifacts.oracle_agreement
+    );
+    println!(
+        "baseline detection       : {:.3}",
+        artifacts.baseline_detection
+    );
+    println!(
+        "post-attack detection    : {:.3}",
+        artifacts.target_detection
+    );
     println!("transfer (evasion) rate  : {:.3}", artifacts.transfer_rate);
     println!("(black-box should be the weakest threat model)\n");
 }
@@ -544,13 +574,22 @@ fn ablations(s: &mut Session) {
             "pairwise+add-only",
             Jsma::new(0.15, 0.025).with_policy(SaliencyPolicy::PairwiseProduct),
         ),
-        ("single, unconstrained", Jsma::new(0.15, 0.025).with_add_only(false)),
-        ("single, high-confidence", Jsma::new(0.15, 0.025).with_high_confidence()),
+        (
+            "single, unconstrained",
+            Jsma::new(0.15, 0.025).with_add_only(false),
+        ),
+        (
+            "single, high-confidence",
+            Jsma::new(0.15, 0.025).with_high_confidence(),
+        ),
     ];
     for (name, jsma) in variants {
         let (adv, outcomes) = jsma.craft_batch(ctx.target(), &batch).expect("craft");
         let dr = detection_rate(ctx.target(), &adv).expect("rate");
-        let mean_feat: f64 = outcomes.iter().map(|o| o.features_modified() as f64).sum::<f64>()
+        let mean_feat: f64 = outcomes
+            .iter()
+            .map(|o| o.features_modified() as f64)
+            .sum::<f64>()
             / outcomes.len() as f64;
         println!("{name:<28} detection {dr:.3}  mean features {mean_feat:.1}");
     }
@@ -616,8 +655,7 @@ fn ensemble_transfer(s: &mut Session) {
     println!("--- Extension: ensemble-substitute transfer attack ---");
     let ctx = s.ctx.clone();
     let single = s.substitute().clone();
-    let members =
-        greybox::train_substitute_ensemble(&ctx, ctx.seed ^ 0xE5, 3).expect("ensemble");
+    let members = greybox::train_substitute_ensemble(&ctx, ctx.seed ^ 0xE5, 3).expect("ensemble");
     let samples = s.samples.min(200);
     let batch = {
         let full = ctx.attack_batch();
@@ -650,13 +688,27 @@ fn adaptive_squeeze(s: &mut Session) {
     let ctx = s.ctx.clone();
     let sub = s.substitute().clone();
     let config = defenses::DefenseConfig::default();
-    let report =
-        defenses::adaptive_squeeze_experiment(&ctx, &sub, &config).expect("adaptive");
-    println!("squeezer false alarms on clean      : {:.3}", report.clean_flag_rate);
-    println!("squeezer flags naive advex          : {:.3}", report.naive_flag_rate);
-    println!("squeezer flags squeeze-aware advex  : {:.3}", report.adaptive_flag_rate);
-    println!("classifier detects naive advex      : {:.3}", report.naive_detection);
-    println!("classifier detects adaptive advex   : {:.3}", report.adaptive_detection);
+    let report = defenses::adaptive_squeeze_experiment(&ctx, &sub, &config).expect("adaptive");
+    println!(
+        "squeezer false alarms on clean      : {:.3}",
+        report.clean_flag_rate
+    );
+    println!(
+        "squeezer flags naive advex          : {:.3}",
+        report.naive_flag_rate
+    );
+    println!(
+        "squeezer flags squeeze-aware advex  : {:.3}",
+        report.adaptive_flag_rate
+    );
+    println!(
+        "classifier detects naive advex      : {:.3}",
+        report.naive_detection
+    );
+    println!(
+        "classifier detects adaptive advex   : {:.3}",
+        report.adaptive_detection
+    );
     println!(
         "(the paper's conclusion: defenses must anticipate adaptive attacks — a \
          squeeze-aware attacker plants perturbations above the trim threshold and \
@@ -669,9 +721,18 @@ fn adaptive_squeeze(s: &mut Session) {
 fn os_shift(s: &mut Session) {
     println!("--- Extension: OS distribution shift ---");
     let report = maleva_core::drift::os_shift_for(&s.ctx).expect("os shift");
-    println!("legacy-trained on legacy-OS test : {:.3}", report.legacy_on_legacy);
-    println!("legacy-trained on modern-OS test : {:.3}", report.legacy_on_modern);
-    println!("mixed-trained  on modern-OS test : {:.3}", report.mixed_on_modern);
+    println!(
+        "legacy-trained on legacy-OS test : {:.3}",
+        report.legacy_on_legacy
+    );
+    println!(
+        "legacy-trained on modern-OS test : {:.3}",
+        report.legacy_on_modern
+    );
+    println!(
+        "mixed-trained  on modern-OS test : {:.3}",
+        report.mixed_on_modern
+    );
     println!(
         "shift penalty {:.3}, recovered by mixed training {:.3}\n",
         report.shift_penalty(),

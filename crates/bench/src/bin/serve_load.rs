@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]
-//!            [--clients C] [--max-batch B] [--keyspace K] [--out PATH]
+//!            [--clients C] [--max-batch B] [--keyspace K]
+//!            [--out PATH] [--out-dir DIR]
 //! ```
 //!
 //! Two measurements:
@@ -40,6 +41,7 @@ struct Args {
     max_batch: usize,
     keyspace: usize,
     out: String,
+    out_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         max_batch: 32,
         keyspace: 64,
         out: "BENCH_serve.json".to_string(),
+        out_dir: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -64,28 +67,38 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown scale: {other}")),
                 };
             }
-            "--seed" => args.seed = value("seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
             "--seconds" => {
-                args.seconds =
-                    value("seconds")?.parse().map_err(|e| format!("bad --seconds: {e}"))?;
+                args.seconds = value("seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seconds: {e}"))?;
             }
             "--clients" => {
-                args.clients =
-                    value("clients")?.parse().map_err(|e| format!("bad --clients: {e}"))?;
+                args.clients = value("clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
             }
             "--max-batch" => {
-                args.max_batch =
-                    value("max-batch")?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
+                args.max_batch = value("max-batch")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-batch: {e}"))?;
             }
             "--keyspace" => {
-                args.keyspace =
-                    value("keyspace")?.parse().map_err(|e| format!("bad --keyspace: {e}"))?;
+                args.keyspace = value("keyspace")?
+                    .parse()
+                    .map_err(|e| format!("bad --keyspace: {e}"))?;
             }
             "--out" => args.out = value("out")?,
+            "--out-dir" => args.out_dir = Some(value("out-dir")?),
             "--help" | "-h" => {
                 println!(
                     "usage: serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]\n\
-                     \x20                 [--clients C] [--max-batch B] [--keyspace K] [--out PATH]"
+                     \x20                 [--clients C] [--max-batch B] [--keyspace K]\n\
+                     \x20                 [--out PATH] [--out-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -192,7 +205,10 @@ fn main() -> ExitCode {
     ];
     let mut phases = Vec::new();
     for (name, max_batch, cache_capacity) in specs {
-        eprintln!("[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...", args.clients);
+        eprintln!(
+            "[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...",
+            args.clients
+        );
         let phase = run_phase(
             name,
             ctx.detector.clone(),
@@ -252,8 +268,15 @@ fn main() -> ExitCode {
     );
 
     let json = serde_json::to_string_pretty(&report).expect("encode report");
-    std::fs::write(&args.out, json + "\n").expect("write report");
-    println!("wrote {}", args.out);
+    let out_path = match &args.out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create --out-dir");
+            format!("{}/{}", dir.trim_end_matches('/'), args.out)
+        }
+        None => args.out.clone(),
+    };
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
 
     if !bit_identical {
         eprintln!("error: batched scores diverged from sequential scores");

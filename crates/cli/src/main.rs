@@ -36,6 +36,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(t) = flags.get("threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n > 0 => maleva_linalg::pool::set_threads(n),
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got {t}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(path) = flags.get("trace-out") {
         let sink = if path == "-" {
             trace::Sink::Stderr
@@ -85,7 +94,8 @@ usage:
                 [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
 
 every command accepts --trace-out FILE (or '-' for stderr) to write
-newline-delimited JSON spans; train also writes manifest.json next to
+newline-delimited JSON spans, and --threads N (or MALEVA_THREADS) to
+size the linalg worker pool; train also writes manifest.json next to
 its --out artifact";
 
 /// Flags that take no value; parsed as `"true"`.
@@ -102,9 +112,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -126,8 +134,7 @@ fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
 
 fn load_model(flags: &HashMap<String, String>) -> Result<DetectorPipeline, String> {
     let path = required(flags, "model")?;
-    let json =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     DetectorPipeline::from_json(&json).map_err(|e| format!("cannot load model: {e}"))
 }
 
@@ -144,7 +151,10 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(dir) => {
             let every: usize = flags
                 .get("checkpoint-every")
-                .map(|s| s.parse().map_err(|e| format!("bad --checkpoint-every: {e}")))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|e| format!("bad --checkpoint-every: {e}"))
+                })
                 .unwrap_or(Ok(1))?;
             if every == 0 {
                 return Err("--checkpoint-every must be positive".to_string());
@@ -190,10 +200,13 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
     let detector = load_model(flags)?;
     let path = required(flags, "log")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let confidence = detector.scan_log(&text).map_err(|e| e.to_string())?;
-    let verdict = if confidence >= 0.5 { "MALWARE" } else { "clean" };
+    let verdict = if confidence >= 0.5 {
+        "MALWARE"
+    } else {
+        "clean"
+    };
     println!("{path}: {verdict} (confidence {:.2}%)", confidence * 100.0);
     Ok(())
 }
@@ -224,8 +237,7 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     let detector = load_model(flags)?;
     let path = required(flags, "log")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let theta: f64 = flags
         .get("theta")
         .map(|s| s.parse().map_err(|e| format!("bad --theta: {e}")))
@@ -296,9 +308,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
         max_batch: parse_usize("max-batch", defaults.max_batch)?,
-        batch_timeout: std::time::Duration::from_millis(
-            parse_usize("batch-timeout-ms", defaults.batch_timeout.as_millis() as usize)? as u64,
-        ),
+        batch_timeout: std::time::Duration::from_millis(parse_usize(
+            "batch-timeout-ms",
+            defaults.batch_timeout.as_millis() as usize,
+        )? as u64),
         queue_capacity: parse_usize("queue-cap", defaults.queue_capacity)?,
         cache_capacity: parse_usize("cache-cap", defaults.cache_capacity)?,
         max_line_bytes: defaults.max_line_bytes,

@@ -1,19 +1,35 @@
+use maleva_attack::{detection_rate, EvasionAttack, Jsma};
 use maleva_core::*;
-use maleva_attack::{EvasionAttack, Jsma, detection_rate};
 use maleva_defense::{SqueezeDetector, Squeezer};
 fn main() {
     let ctx = ExperimentContext::build(ExperimentScale::quick(), 42).unwrap();
     let sub = greybox::train_substitute(&ctx, ctx.seed ^ 0x5B).unwrap();
     let batch = ctx.attack_batch();
-    let (adv, _) = Jsma::new(0.25, 0.05).with_high_confidence().craft_batch(&sub, &batch).unwrap();
-    println!("advex target detection: {:.3}", detection_rate(ctx.target(), &adv).unwrap());
+    let (adv, _) = Jsma::new(0.25, 0.05)
+        .with_high_confidence()
+        .craft_batch(&sub, &batch)
+        .unwrap();
+    println!(
+        "advex target detection: {:.3}",
+        detection_rate(ctx.target(), &adv).unwrap()
+    );
     let clean = ctx.clean_batch();
-    for sq in [Squeezer::TrimLow{threshold: 0.15}, Squeezer::TrimLow{threshold: 0.26}, Squeezer::TrimLow{threshold: 0.35}] {
+    for sq in [
+        Squeezer::TrimLow { threshold: 0.15 },
+        Squeezer::TrimLow { threshold: 0.26 },
+        Squeezer::TrimLow { threshold: 0.35 },
+    ] {
         let det = SqueezeDetector::calibrate(ctx.target().clone(), sq, &ctx.x_train, 0.05).unwrap();
         let f = |x: &maleva_linalg::Matrix| {
             let fl = det.flag_adversarial(x).unwrap();
             fl.iter().filter(|&&b| b).count() as f64 / fl.len() as f64
         };
-        println!("{sq:?}: thr={:.4} flag clean={:.3} malware={:.3} advex={:.3}", det.threshold(), f(&clean), f(&batch), f(&adv));
+        println!(
+            "{sq:?}: thr={:.4} flag clean={:.3} malware={:.3} advex={:.3}",
+            det.threshold(),
+            f(&clean),
+            f(&batch),
+            f(&adv)
+        );
     }
 }

@@ -102,7 +102,9 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
 
     // 1. Seed corpus, labelled by the oracle (the deployed detector).
     let half = config.seed_corpus / 2;
-    let mut corpus: Vec<Program> = ctx.world.sample_batch(half, config.seed_corpus - half, &mut rng);
+    let mut corpus: Vec<Program> =
+        ctx.world
+            .sample_batch(half, config.seed_corpus - half, &mut rng);
     let mut labels: Vec<usize> = Vec::with_capacity(corpus.len());
     for p in &corpus {
         labels.push(usize::from(ctx.detector.is_malware(p)?));
@@ -125,14 +127,23 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
         Matrix::from_rows(&rows).expect("uniform rows")
     };
 
-    let mut substitute =
-        substitute_model(attacker_vocab.len(), ctx.scale.model_scale, config.seed ^ 0xBB)?;
+    let mut substitute = substitute_model(
+        attacker_vocab.len(),
+        ctx.scale.model_scale,
+        config.seed ^ 0xBB,
+    )?;
     for round in 0..=config.augmentation_rounds {
         let x = attacker_features(&corpus);
-        substitute =
-            substitute_model(attacker_vocab.len(), ctx.scale.model_scale, config.seed ^ 0xBB)?;
-        Trainer::new(ctx.scale.substitute_trainer(config.seed.wrapping_add(round as u64)))
-            .fit(&mut substitute, &x, &labels)?;
+        substitute = substitute_model(
+            attacker_vocab.len(),
+            ctx.scale.model_scale,
+            config.seed ^ 0xBB,
+        )?;
+        Trainer::new(
+            ctx.scale
+                .substitute_trainer(config.seed.wrapping_add(round as u64)),
+        )
+        .fit(&mut substitute, &x, &labels)?;
 
         if round == config.augmentation_rounds {
             break;
@@ -277,9 +288,12 @@ mod tests {
         );
         // Rates are consistent.
         assert!((artifacts.transfer_rate + artifacts.target_detection - 1.0).abs() < 1e-12);
-        assert!(artifacts.baseline_detection >= artifacts.target_detection - 1e-9,
+        assert!(
+            artifacts.baseline_detection >= artifacts.target_detection - 1e-9,
             "modification should not make detection easier: baseline {} vs {}",
-            artifacts.baseline_detection, artifacts.target_detection);
+            artifacts.baseline_detection,
+            artifacts.target_detection
+        );
     }
 
     #[test]

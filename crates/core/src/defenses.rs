@@ -10,11 +10,11 @@
 //!    AdvExamples (TPR);
 //! 3. report the adversarial-training data recipe (Table V).
 
+use maleva_attack::EvasionAttack;
 use maleva_defense::{
     evaluate_detector, evaluate_squeezer, AdversarialTraining, DefenseRow, DefensiveDistillation,
     EnsembleDefense, PcaDefense, SqueezeDetector, Squeezer,
 };
-use maleva_attack::EvasionAttack;
 use maleva_nn::{Network, NnError};
 use serde::{Deserialize, Serialize};
 
@@ -369,9 +369,8 @@ pub fn adaptive_squeeze_experiment(
     let (naive_adv, _) = naive.craft_batch(substitute, &malware)?;
     let (adaptive_adv, _) = adaptive.craft_batch(substitute, &malware)?;
 
-    let rate = |flags: &[bool]| {
-        flags.iter().filter(|&&f| f).count() as f64 / flags.len().max(1) as f64
-    };
+    let rate =
+        |flags: &[bool]| flags.iter().filter(|&&f| f).count() as f64 / flags.len().max(1) as f64;
     Ok(AdaptiveSqueezeReport {
         naive_flag_rate: rate(&detector.flag_adversarial(&naive_adv)?),
         adaptive_flag_rate: rate(&detector.flag_adversarial(&adaptive_adv)?),

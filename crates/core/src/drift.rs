@@ -62,7 +62,10 @@ pub fn os_shift_experiment(scale: &ExperimentScale, seed: u64) -> Result<OsShift
     let modern_data = modern_world.build_dataset(&scale.dataset, seed ^ 0xD1F7);
     let mixed_data = mixed_world.build_dataset(&scale.dataset, seed ^ 0xD1F8);
 
-    let accuracy = |train: &Dataset, test: &[maleva_apisim::Program], model_seed: u64| -> Result<f64, NnError> {
+    let accuracy = |train: &Dataset,
+                    test: &[maleva_apisim::Program],
+                    model_seed: u64|
+     -> Result<f64, NnError> {
         let pipeline = FeaturePipeline::fit(scale.transform, train.train());
         let x = pipeline.transform_batch(train.train());
         let y = Dataset::labels(train.train());
@@ -112,7 +115,10 @@ mod tests {
             report.legacy_on_modern,
             report.mixed_on_modern,
         ] {
-            assert!((0.0..=1.0).contains(&acc), "accuracy out of range: {report:?}");
+            assert!(
+                (0.0..=1.0).contains(&acc),
+                "accuracy out of range: {report:?}"
+            );
             assert!(acc > 0.5, "detector should beat chance: {report:?}");
         }
         // Mixed training should be at least competitive under shift.

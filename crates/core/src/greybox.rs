@@ -238,8 +238,7 @@ pub fn binary_feature_experiment(
         for prog in &mal_programs {
             let bin_feats = bin_pipeline.transform_counts(prog.counts());
             let (adv_feats, evaded) = if gamma > 0.0 {
-                let outcome =
-                    Jsma::new(theta, gamma).craft(&substitute, &bin_feats)?;
+                let outcome = Jsma::new(theta, gamma).craft(&substitute, &bin_feats)?;
                 (outcome.adversarial, outcome.evaded)
             } else {
                 let m = Matrix::row_vector(&bin_feats);
@@ -360,9 +359,7 @@ mod tests {
             "target should largely resist the binary-features attack: {}",
             report.final_target_detection
         );
-        assert!(
-            (report.final_transfer_rate + report.final_target_detection - 1.0).abs() < 1e-12
-        );
+        assert!((report.final_transfer_rate + report.final_target_detection - 1.0).abs() < 1e-12);
     }
 }
 

@@ -36,15 +36,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod context;
-mod pipeline;
-mod threat;
 pub mod blackbox;
+mod context;
 pub mod defenses;
 pub mod drift;
 pub mod greybox;
 pub mod live;
 pub mod models;
+mod pipeline;
+mod threat;
 pub mod whitebox;
 
 pub use context::{CheckpointPlan, ExperimentContext, ExperimentScale};

@@ -73,7 +73,12 @@ pub fn live_greybox_test(
     // malware by proximity to the decision boundary and report the run
     // with the largest confidence collapse.
     let mut detected: Vec<(&Program, f64)> = Vec::new();
-    for prog in ctx.dataset.test().iter().filter(|p| p.class() == Class::Malware) {
+    for prog in ctx
+        .dataset
+        .test()
+        .iter()
+        .filter(|p| p.class() == Class::Malware)
+    {
         let conf = ctx.detector.scan(prog)?;
         if conf >= 0.5 {
             detected.push((prog, conf));
@@ -91,7 +96,8 @@ pub fn live_greybox_test(
             None => true,
             Some(b) => {
                 let b_drop = b.initial_confidence() - b.final_confidence();
-                (evades && b.evaded_at.is_none()) || (evades == b.evaded_at.is_some() && drop > b_drop)
+                (evades && b.evaded_at.is_none())
+                    || (evades == b.evaded_at.is_some() && drop > b_drop)
             }
         };
         if better {

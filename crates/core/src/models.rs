@@ -33,7 +33,10 @@ impl ModelScale {
             ModelScale::Quick => 1.0 / 12.0,
             ModelScale::Tiny => 1.0 / 40.0,
             ModelScale::Custom(f) => {
-                assert!(f > 0.0 && f <= 1.0, "custom scale must be in (0, 1], got {f}");
+                assert!(
+                    f > 0.0 && f <= 1.0,
+                    "custom scale must be in (0, 1], got {f}"
+                );
                 f
             }
         }

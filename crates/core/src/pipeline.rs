@@ -192,7 +192,10 @@ mod tests {
         let y = Dataset::labels(ds.train());
         let mut net = target_model(features.dim(), ModelScale::Tiny, 7).unwrap();
         Trainer::new(
-            TrainConfig::new().epochs(25).batch_size(32).learning_rate(0.005),
+            TrainConfig::new()
+                .epochs(25)
+                .batch_size(32)
+                .learning_rate(0.005),
         )
         .fit(&mut net, &x, &y)
         .unwrap();
@@ -231,12 +234,10 @@ mod tests {
     fn rejects_mismatched_components() {
         let (pipeline, world, ds) = trained_pipeline();
         let bad_net = target_model(32, ModelScale::Tiny, 0).unwrap();
-        assert!(DetectorPipeline::new(
-            world.vocab().clone(),
-            pipeline.features().clone(),
-            bad_net
-        )
-        .is_err());
+        assert!(
+            DetectorPipeline::new(world.vocab().clone(), pipeline.features().clone(), bad_net)
+                .is_err()
+        );
         let bad_vocab = maleva_apisim::ApiVocab::attacker_guess(0.3);
         let features = FeaturePipeline::fit(CountTransform::Log1p, ds.train());
         let net = target_model(features.dim(), ModelScale::Tiny, 0).unwrap();

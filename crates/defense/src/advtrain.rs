@@ -161,10 +161,16 @@ mod tests {
         let (x, y, mal, clean, base, advex) = setup();
         // Baseline: the attack works.
         let base_adv_tpr = detection(&base, &advex);
-        assert!(base_adv_tpr < 0.5, "attack should evade baseline: {base_adv_tpr}");
+        assert!(
+            base_adv_tpr < 0.5,
+            "attack should evade baseline: {base_adv_tpr}"
+        );
 
         let defense = AdversarialTraining::new(
-            TrainConfig::new().epochs(60).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(60)
+                .batch_size(16)
+                .learning_rate(0.02),
         );
         let (defended, summary) = defense.defend(fresh_net(12, 2), &x, &y, &advex).unwrap();
 
@@ -188,12 +194,18 @@ mod tests {
         // Duplicate the advex block to force duplicates.
         let doubled = advex.vstack(&advex).unwrap();
         let defense = AdversarialTraining::new(
-            TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(2)
+                .batch_size(16)
+                .learning_rate(0.02),
         );
         let (_, summary) = defense.defend(fresh_net(12, 3), &x, &y, &doubled).unwrap();
         assert!(summary.duplicates_removed >= advex.rows());
         let (_, summary_off) = AdversarialTraining::new(
-            TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(2)
+                .batch_size(16)
+                .learning_rate(0.02),
         )
         .without_deduplication()
         .defend(fresh_net(12, 3), &x, &y, &doubled)
@@ -206,7 +218,10 @@ mod tests {
     fn summary_counts_add_up() {
         let (x, y, _, _, _, advex) = setup();
         let defense = AdversarialTraining::new(
-            TrainConfig::new().epochs(1).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(1)
+                .batch_size(16)
+                .learning_rate(0.02),
         )
         .without_deduplication();
         let (_, s) = defense.defend(fresh_net(12, 4), &x, &y, &advex).unwrap();
@@ -219,7 +234,9 @@ mod tests {
     fn rejects_label_mismatch() {
         let (x, _, _, _, _, advex) = setup();
         let defense = AdversarialTraining::new(TrainConfig::new().epochs(1));
-        assert!(defense.defend(fresh_net(12, 5), &x, &[0, 1], &advex).is_err());
+        assert!(defense
+            .defend(fresh_net(12, 5), &x, &[0, 1], &advex)
+            .is_err());
     }
 
     fn detection(net: &Network, x: &Matrix) -> f64 {

@@ -70,8 +70,14 @@ mod tests {
 
     fn configs() -> (TrainConfig, TrainConfig) {
         (
-            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.05),
-            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.05),
+            TrainConfig::new()
+                .epochs(80)
+                .batch_size(16)
+                .learning_rate(0.05),
+            TrainConfig::new()
+                .epochs(80)
+                .batch_size(16)
+                .learning_rate(0.05),
         )
     }
 
@@ -90,8 +96,8 @@ mod tests {
                 mal_labels.iter().filter(|&&l| l == 1).count() as f64 / mal_labels.len() as f64;
             assert!(tpr > 0.85, "TPR {tpr}");
             let clean_labels = net.predict_labels(&clean).unwrap();
-            let fpr = clean_labels.iter().filter(|&&l| l == 1).count() as f64
-                / clean_labels.len() as f64;
+            let fpr =
+                clean_labels.iter().filter(|&&l| l == 1).count() as f64 / clean_labels.len() as f64;
             assert!(fpr < 0.15, "FPR {fpr}");
         }
     }

@@ -93,7 +93,10 @@ mod tests {
             &x,
             &y,
             &advex,
-            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(80)
+                .batch_size(16)
+                .learning_rate(0.02),
         )
         .unwrap();
         assert_eq!(defense.k(), k);

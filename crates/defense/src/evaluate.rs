@@ -123,7 +123,11 @@ pub fn render_table_vi(rows: &[DefenseRow]) -> String {
     let mut table = maleva_eval::TextTable::new().header(["Dataset Name", "", "TPR", "TNR"]);
     let mut last = "";
     for row in rows {
-        let defense = if row.defense == last { "" } else { &row.defense };
+        let defense = if row.defense == last {
+            ""
+        } else {
+            &row.defense
+        };
         last = &row.defense;
         table.row([
             defense.to_string(),
@@ -165,13 +169,9 @@ mod tests {
         let jsma = Jsma::new(0.3, 0.4);
         let (advex, _) = jsma.craft_batch(&net, &mal).unwrap();
         let legit = clean.vstack(&mal).unwrap();
-        let det = SqueezeDetector::calibrate(
-            net,
-            Squeezer::Binarize { threshold: 0.25 },
-            &legit,
-            0.1,
-        )
-        .unwrap();
+        let det =
+            SqueezeDetector::calibrate(net, Squeezer::Binarize { threshold: 0.25 }, &legit, 0.1)
+                .unwrap();
         let rows = evaluate_squeezer("FeaSqueezing", &det, &clean, &mal, &advex).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[0].tnr.is_some());

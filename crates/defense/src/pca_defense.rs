@@ -105,7 +105,10 @@ mod tests {
             net,
             &x,
             &y,
-            TrainConfig::new().epochs(80).batch_size(16).learning_rate(0.02),
+            TrainConfig::new()
+                .epochs(80)
+                .batch_size(16)
+                .learning_rate(0.02),
         )
         .unwrap();
         (defense, x, y, mal, clean)
@@ -134,9 +137,14 @@ mod tests {
         // still detect them.
         let (defense, x, y, mal, _) = fit_defense(3, 31);
         let mut base = fresh_net(12, 99);
-        Trainer::new(TrainConfig::new().epochs(2).batch_size(16).learning_rate(0.02))
-            .fit(&mut base, &x, &y)
-            .unwrap();
+        Trainer::new(
+            TrainConfig::new()
+                .epochs(2)
+                .batch_size(16)
+                .learning_rate(0.02),
+        )
+        .fit(&mut base, &x, &y)
+        .unwrap();
         let jsma = Jsma::new(0.3, 0.4);
         let (advex, _) = jsma.craft_batch(&base, &mal).unwrap();
         let adv_labels = defense.predict_labels(&advex).unwrap();

@@ -38,7 +38,10 @@ impl Squeezer {
     pub fn apply(&self, x: &Matrix) -> Matrix {
         match *self {
             Squeezer::BitDepth { bits } => {
-                assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+                assert!(
+                    (1..=16).contains(&bits),
+                    "bits must be in 1..=16, got {bits}"
+                );
                 let levels = ((1u32 << bits) - 1) as f64;
                 x.map(|v| (v.clamp(0.0, 1.0) * levels).round() / levels)
             }
@@ -97,7 +100,10 @@ impl SqueezeDetector {
         legitimate: &Matrix,
         false_positive_rate: f64,
     ) -> Result<Self, NnError> {
-        assert!(legitimate.rows() > 0, "need legitimate samples to calibrate");
+        assert!(
+            legitimate.rows() > 0,
+            "need legitimate samples to calibrate"
+        );
         assert!(
             false_positive_rate > 0.0 && false_positive_rate < 1.0,
             "false_positive_rate must be in (0, 1)"
@@ -209,13 +215,9 @@ mod tests {
         let (advex, _) = jsma.craft_batch(&net, &mal).unwrap();
 
         let legit = clean.vstack(&mal).unwrap();
-        let det = SqueezeDetector::calibrate(
-            net,
-            Squeezer::Binarize { threshold: 0.25 },
-            &legit,
-            0.1,
-        )
-        .unwrap();
+        let det =
+            SqueezeDetector::calibrate(net, Squeezer::Binarize { threshold: 0.25 }, &legit, 0.1)
+                .unwrap();
 
         let legit_flags = det.flag_adversarial(&legit).unwrap();
         let legit_rate =

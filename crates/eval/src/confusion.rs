@@ -114,7 +114,8 @@ fn ratio(num: usize, den: usize) -> Option<f64> {
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fn opt(v: Option<f64>) -> String {
-            v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "nan".to_string())
+            v.map(|x| format!("{x:.3}"))
+                .unwrap_or_else(|| "nan".to_string())
         }
         write!(
             f,

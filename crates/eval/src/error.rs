@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_names_the_problem() {
-        let e = EvalError::LengthMismatch { scores: 3, labels: 5 };
+        let e = EvalError::LengthMismatch {
+            scores: 3,
+            labels: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
         let e = EvalError::NanScore { index: 7 };
         assert!(e.to_string().contains("index 7"));
@@ -68,7 +71,10 @@ mod tests {
         assert_eq!(validate_inputs(&[0.1, 0.2], &[0, 1]), Ok(()));
         assert_eq!(
             validate_inputs(&[0.1], &[0, 1]),
-            Err(EvalError::LengthMismatch { scores: 1, labels: 2 })
+            Err(EvalError::LengthMismatch {
+                scores: 1,
+                labels: 2
+            })
         );
         assert_eq!(
             validate_inputs(&[0.1, f64::NAN, f64::NAN], &[0, 1, 1]),

@@ -36,10 +36,7 @@ pub fn detection_rate(predicted_positive: &[bool]) -> Option<f64> {
     if predicted_positive.is_empty() {
         return None;
     }
-    Some(
-        predicted_positive.iter().filter(|&&p| p).count() as f64
-            / predicted_positive.len() as f64,
-    )
+    Some(predicted_positive.iter().filter(|&&p| p).count() as f64 / predicted_positive.len() as f64)
 }
 
 /// Transfer rate of an attack: `1 − detection rate` of the target model on

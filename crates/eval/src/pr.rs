@@ -140,7 +140,10 @@ mod tests {
     fn mismatched_inputs_are_a_typed_error() {
         assert_eq!(
             pr_points(&[0.1], &[1, 0]),
-            Err(EvalError::LengthMismatch { scores: 1, labels: 2 })
+            Err(EvalError::LengthMismatch {
+                scores: 1,
+                labels: 2
+            })
         );
     }
 

@@ -104,7 +104,8 @@ fn render_row(out: &mut String, row: &[String], widths: &[usize]) {
 /// Formats an `Option<f64>` like the paper's Table VI ("nan" when a rate
 /// is undefined for a slice).
 pub fn fmt_rate(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "nan".to_string())
+    v.map(|x| format!("{x:.3}"))
+        .unwrap_or_else(|| "nan".to_string())
 }
 
 #[cfg(test)]

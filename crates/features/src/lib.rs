@@ -119,11 +119,7 @@ impl FeaturePipeline {
             _ => {
                 let mut maxs = vec![MIN_SCALE; dim];
                 for p in programs {
-                    assert_eq!(
-                        p.counts().len(),
-                        dim,
-                        "inconsistent count vector lengths"
-                    );
+                    assert_eq!(p.counts().len(), dim, "inconsistent count vector lengths");
                     for (m, &c) in maxs.iter_mut().zip(p.counts()) {
                         let v = transform.apply(c);
                         if v > *m {
@@ -325,7 +321,11 @@ mod tests {
     #[test]
     fn fitted_pipeline_outputs_unit_interval() {
         let programs = sample_programs(30, 1);
-        for t in [CountTransform::Log1p, CountTransform::Raw, CountTransform::Binary] {
+        for t in [
+            CountTransform::Log1p,
+            CountTransform::Raw,
+            CountTransform::Binary,
+        ] {
             let p = FeaturePipeline::fit(t, &programs);
             let x = p.transform_batch(&programs);
             assert!(
@@ -406,8 +406,8 @@ mod tests {
         assert_eq!(x.cols(), attacker_vocab.len());
         // Some mass must be lost: attacker features see fewer distinct APIs
         // than the full vocabulary path.
-        let full = FeaturePipeline::fit(CountTransform::Binary, &programs)
-            .transform_batch(&programs);
+        let full =
+            FeaturePipeline::fit(CountTransform::Binary, &programs).transform_batch(&programs);
         assert!(x.sum() < full.sum());
     }
 
@@ -425,7 +425,11 @@ mod tests {
                 c[i] = current + add;
                 c
             });
-            assert!(f[i] >= target - 1e-9, "after adding {add} calls, f = {}", f[i]);
+            assert!(
+                f[i] >= target - 1e-9,
+                "after adding {add} calls, f = {}",
+                f[i]
+            );
         }
     }
 

@@ -10,6 +10,11 @@
 //! * [`Matrix`] — a row-major dense `f64` matrix with the arithmetic needed
 //!   by a feed-forward neural network (matmul, transpose, broadcasting row
 //!   ops, elementwise maps).
+//! * [`kernels`] — cache-blocked matmul/GEMV kernels (plus the scalar
+//!   reference they are proven bit-identical to) behind [`Matrix::matmul`],
+//!   [`Matrix::matmul_tn`], [`Matrix::matmul_nt`] and [`Matrix::gemv`].
+//! * [`pool`] — the shared worker pool large products are partitioned
+//!   over, sized by `MALEVA_THREADS` / [`pool::set_threads`].
 //! * [`norm`] — L1/L2/L∞ norms and distances used by attack-strength and
 //!   feature-squeezing measurements.
 //! * [`stats`] — column means, variances, covariance matrices.
@@ -34,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
-mod matrix;
 pub mod eigen;
+mod error;
+pub mod kernels;
+mod matrix;
 pub mod norm;
 pub mod pca;
+pub mod pool;
 pub mod stats;
 
 pub use error::LinalgError;

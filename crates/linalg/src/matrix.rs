@@ -266,75 +266,116 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop order, and splits the output rows
-    /// across threads when the product is large. Row-wise partitioning
-    /// keeps the per-row summation order fixed, so results are
-    /// **bit-identical** regardless of thread count.
+    /// Dispatches to the cache-blocked kernel in [`crate::kernels`], and
+    /// when the product is large enough
+    /// ([`kernels::PARALLEL_WORK_THRESHOLD`](crate::kernels::PARALLEL_WORK_THRESHOLD))
+    /// partitions output rows across the shared worker pool
+    /// ([`crate::pool`], sized by `MALEVA_THREADS` /
+    /// [`pool::set_threads`](crate::pool::set_threads)). Row-wise
+    /// partitioning and cache blocking keep each output element's
+    /// summation order fixed (ascending `k`, zero-skip), so results are
+    /// **bit-identical** to the scalar reference kernel regardless of
+    /// blocking or thread count.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.cols != rhs.rows {
+        let start = std::time::Instant::now();
+        // Rough flop count decides whether pooled dispatch pays for its
+        // input copies.
+        let work = self.rows * self.cols * rhs.cols;
+        let out = if work >= crate::kernels::PARALLEL_WORK_THRESHOLD {
+            crate::kernels::matmul_pooled(self, rhs, crate::pool::effective_threads())?
+        } else {
+            crate::kernels::matmul_blocked(self, rhs)?
+        };
+        crate::kernels::record_gemm_call(start);
+        Ok(out)
+    }
+
+    /// Transposed-left product `selfᵀ * rhs` without materializing the
+    /// transpose (the backprop weight-gradient and covariance shape).
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 left: self.shape(),
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // Rough flop count decides whether threading pays for itself.
-        let work = self.rows * self.cols * rhs.cols;
-        let threads = if work >= 4_000_000 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(self.rows)
-        } else {
-            1
-        };
-        if threads <= 1 {
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                Self::row_product(a_row, rhs, out_row);
-            }
-        } else {
-            let chunk_rows = self.rows.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let mut rest: &mut [f64] = &mut out.data;
-                let mut row0 = 0usize;
-                while row0 < self.rows {
-                    let rows_here = chunk_rows.min(self.rows - row0);
-                    let (head, tail) = rest.split_at_mut(rows_here * rhs.cols);
-                    rest = tail;
-                    let begin = row0;
-                    scope.spawn(move || {
-                        for (r, out_row) in head.chunks_exact_mut(rhs.cols).enumerate() {
-                            let i = begin + r;
-                            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                            Self::row_product(a_row, rhs, out_row);
-                        }
-                    });
-                    row0 += rows_here;
-                }
-            });
-        }
+        let start = std::time::Instant::now();
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        crate::kernels::matmul_tn_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        crate::kernels::record_gemm_call(start);
         Ok(out)
     }
 
-    /// One output row of the product: `out_row += a_row · rhs`.
-    #[inline]
-    fn row_product(a_row: &[f64], rhs: &Matrix, out_row: &mut [f64]) {
-        for (k, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ik * b_kj;
-            }
+    /// Transposed-right product `self * rhsᵀ` without materializing the
+    /// transpose (the backprop input-gradient shape).
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
         }
+        let start = std::time::Instant::now();
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        crate::kernels::matmul_nt_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.rows,
+            &mut out.data,
+        );
+        crate::kernels::record_gemm_call(start);
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// Bit-identical to `self.matmul(&Matrix::col_vector(x))` flattened
+    /// to a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `x.len() != self.cols()`.
+    pub fn gemv(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let start = std::time::Instant::now();
+        let mut out = vec![0.0; self.rows];
+        crate::kernels::gemv_into(&self.data, self.rows, self.cols, x, &mut out);
+        crate::kernels::record_gemm_call(start);
+        Ok(out)
     }
 
     /// Returns the transpose of the matrix.
@@ -579,7 +620,8 @@ impl Add for &Matrix {
     /// Panics on shape mismatch; use [`Matrix::add_matrix`] for a fallible
     /// version.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 
@@ -798,16 +840,15 @@ mod parallel_matmul_tests {
     use super::*;
 
     #[test]
-    fn large_product_matches_small_path_exactly() {
-        // 200x200x200 = 8M work units: crosses the threading threshold.
+    fn large_product_matches_scalar_reference_exactly() {
+        // 200x200x200 = 8M work units: crosses the pooled-dispatch
+        // threshold, so this exercises worker-pool assembly.
         let a = Matrix::from_fn(200, 200, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.1 - 0.6);
         let b = Matrix::from_fn(200, 200, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1 - 0.5);
         let big = a.matmul(&b).unwrap();
-        // Reference: compute row by row with the scalar kernel.
-        for i in (0..200).step_by(37) {
-            let mut reference = vec![0.0; 200];
-            Matrix::row_product(a.row(i), &b, &mut reference);
-            assert_eq!(big.row(i), &reference[..], "row {i} differs");
+        let reference = crate::kernels::matmul_scalar(&a, &b).unwrap();
+        for (x, y) in big.iter().zip(reference.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
@@ -820,5 +861,32 @@ mod parallel_matmul_tests {
         // Spot-check one entry against a manual dot product.
         let manual: f64 = (0..64).map(|k| a.get(123, k) * b.get(k, 200)).sum();
         assert_eq!(c.get(123, 200), manual);
+    }
+
+    #[test]
+    fn transpose_free_products_match_explicit_transposes() {
+        let a = Matrix::from_fn(40, 23, |i, j| ((i * 13 + j * 7) % 9) as f64 * 0.2 - 0.8);
+        let b = Matrix::from_fn(40, 31, |i, j| ((i * 5 + j * 11) % 7) as f64 * 0.25 - 0.7);
+        let tn = a.matmul_tn(&b).unwrap();
+        let tn_ref = a.transpose().matmul(&b).unwrap();
+        assert_eq!(tn, tn_ref);
+
+        let c = Matrix::from_fn(12, 23, |i, j| (i as f64 - j as f64) * 0.05);
+        let nt = c.matmul_nt(&a).unwrap();
+        let nt_ref = c.matmul(&a.transpose()).unwrap();
+        assert_eq!(nt, nt_ref);
+
+        assert!(a.matmul_tn(&c).is_err());
+        assert!(a.matmul_nt(&b).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_column_matmul() {
+        let a = Matrix::from_fn(9, 14, |i, j| ((i * 3 + j) % 5) as f64 * 0.3 - 0.6);
+        let x: Vec<f64> = (0..14).map(|i| (i as f64 * 0.41).cos()).collect();
+        let y = a.gemv(&x).unwrap();
+        let reference = a.matmul(&Matrix::col_vector(&x)).unwrap();
+        assert_eq!(y, reference.into_vec());
+        assert!(a.gemv(&[1.0]).is_err());
     }
 }

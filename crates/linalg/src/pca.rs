@@ -80,8 +80,7 @@ impl Pca {
                 components.set(r, c, eig.vectors.get(r, c));
             }
         }
-        let explained_variance: Vec<f64> =
-            eig.values.iter().take(k).map(|v| v.max(0.0)).collect();
+        let explained_variance: Vec<f64> = eig.values.iter().take(k).map(|v| v.max(0.0)).collect();
         let total_variance: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
         Ok(Pca {
             means,
@@ -148,7 +147,7 @@ impl Pca {
                 right: (self.n_components(), self.n_features()),
             });
         }
-        let back = z.matmul(&self.components.transpose())?;
+        let back = z.matmul_nt(&self.components)?;
         back.add_row_broadcast(&self.means)
     }
 

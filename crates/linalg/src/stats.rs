@@ -57,11 +57,7 @@ pub fn column_maxs(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
     fold_columns(x, f64::NEG_INFINITY, f64::max)
 }
 
-fn fold_columns(
-    x: &Matrix,
-    init: f64,
-    f: fn(f64, f64) -> f64,
-) -> Result<Vec<f64>, LinalgError> {
+fn fold_columns(x: &Matrix, init: f64, f: fn(f64, f64) -> f64) -> Result<Vec<f64>, LinalgError> {
     if x.rows() == 0 {
         return Err(LinalgError::Empty);
     }
@@ -99,8 +95,8 @@ pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
     if x.rows() == 1 {
         return Ok(Matrix::zeros(x.cols(), x.cols()));
     }
-    let xt = centered.transpose();
-    let cov = xt.matmul(&centered)?;
+    // Transpose-free Xᵀ·X (bit-identical to transposing first).
+    let cov = centered.matmul_tn(&centered)?;
     Ok(cov.scale(1.0 / (x.rows() as f64 - 1.0)))
 }
 
@@ -234,7 +230,11 @@ mod tests {
         assert!(check_finite("loss", &[]).is_ok());
         let err = check_finite("loss", &[0.0, f64::NAN, f64::INFINITY]).unwrap_err();
         match err {
-            LinalgError::NonFinite { label, index, value } => {
+            LinalgError::NonFinite {
+                label,
+                index,
+                value,
+            } => {
                 assert_eq!(label, "loss");
                 assert_eq!(index, 1);
                 assert_eq!(value, "NaN");

@@ -1,0 +1,107 @@
+//! Property tests pinning the cache-blocked and pooled kernels to the
+//! scalar reference kernel — **bit-identical**, not approximately equal.
+//!
+//! The blocked/pooled paths are only allowed to repartition the loop
+//! nest; every output element must accumulate the same products in the
+//! same ascending-`k` order (skipping terms whose left operand is an
+//! exact `0.0`) as the naive scalar kernel. These properties are what
+//! make `MALEVA_THREADS` a pure performance knob: any thread count, any
+//! shape, same bits.
+//!
+//! Elements are drawn with a deliberate mass at exactly `0.0` so the
+//! zero-skip fast path and its fallback are both exercised, and shapes
+//! start at 0 so degenerate `0xN` products are covered alongside the
+//! block-boundary sizes.
+
+use maleva_linalg::{kernels, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: one element, with ~30% exact zeros to hit the skip path.
+fn element() -> impl Strategy<Value = f64> {
+    (0u32..10, -10.0f64..10.0).prop_map(|(z, v)| if z < 3 { 0.0 } else { v })
+}
+
+/// Strategy: a `rows x cols` matrix of [`element`]s (either dim may be 0).
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(element(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("shape"))
+}
+
+/// Strategy: a conformable `(m x k, k x n)` matmul operand pair. `m`
+/// ranges past `MR = 4` row-block tails and up past the `MC = 64` panel
+/// boundary; 0-sized and 1x1 products are in range.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..70, 0usize..24, 0usize..24).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+/// Raw bit patterns — equality here is exact f64 identity, `-0.0 != 0.0`.
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_scalar((a, b) in matmul_pair()) {
+        let reference = kernels::matmul_scalar(&a, &b).unwrap();
+        let blocked = kernels::matmul_blocked(&a, &b).unwrap();
+        prop_assert_eq!(bits(&blocked), bits(&reference));
+    }
+
+    #[test]
+    fn pooled_matmul_is_bit_identical_to_scalar((a, b) in matmul_pair(),
+                                                threads in 1usize..9) {
+        let reference = kernels::matmul_scalar(&a, &b).unwrap();
+        let pooled = kernels::matmul_pooled(&a, &b, threads).unwrap();
+        prop_assert_eq!(bits(&pooled), bits(&reference));
+    }
+
+    #[test]
+    fn gemv_is_bit_identical_to_column_matmul(
+        (a, x) in (0usize..70, 0usize..24)
+            .prop_flat_map(|(m, k)| (matrix(m, k), prop::collection::vec(element(), k)))
+    ) {
+        let col = Matrix::from_vec(x.len(), 1, x.clone()).expect("column vector");
+        let reference = kernels::matmul_scalar(&a, &col).unwrap();
+        let y = a.gemv(&x).unwrap();
+        let y_bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(y_bits, bits(&reference));
+    }
+
+    #[test]
+    fn transpose_left_matmul_is_bit_identical_to_explicit_transpose(
+        (a, b) in (0usize..24, 0usize..70, 0usize..24)
+            .prop_flat_map(|(m, k, n)| (matrix(k, m), matrix(k, n)))
+    ) {
+        // A^T * B without materializing A^T must match transpose-then-scalar.
+        let reference = kernels::matmul_scalar(&a.transpose(), &b).unwrap();
+        let tn = a.matmul_tn(&b).unwrap();
+        prop_assert_eq!(bits(&tn), bits(&reference));
+    }
+
+    #[test]
+    fn transpose_right_matmul_is_bit_identical_to_explicit_transpose(
+        (a, b) in (0usize..70, 0usize..24, 0usize..70)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(n, k)))
+    ) {
+        // A * B^T without materializing B^T must match transpose-then-scalar.
+        let reference = kernels::matmul_scalar(&a, &b.transpose()).unwrap();
+        let nt = a.matmul_nt(&b).unwrap();
+        prop_assert_eq!(bits(&nt), bits(&reference));
+    }
+}
+
+/// Degenerate shapes pinned deterministically (proptest *can* reach
+/// them, but only by luck of the draw).
+#[test]
+fn degenerate_and_unit_shapes_are_bit_identical() {
+    let cases = [(0, 5, 3), (4, 0, 3), (4, 5, 0), (0, 0, 0), (1, 1, 1)];
+    for (m, k, n) in cases {
+        let a = Matrix::from_fn(m, k, |i, j| (i as f64 - j as f64) * 0.75);
+        let b = Matrix::from_fn(k, n, |i, j| (i * 3 + j) as f64 * 0.5 - 1.0);
+        let reference = kernels::matmul_scalar(&a, &b).unwrap();
+        let blocked = kernels::matmul_blocked(&a, &b).unwrap();
+        let pooled = kernels::matmul_pooled(&a, &b, 8).unwrap();
+        assert_eq!(bits(&blocked), bits(&reference), "blocked {m}x{k}x{n}");
+        assert_eq!(bits(&pooled), bits(&reference), "pooled {m}x{k}x{n}");
+    }
+}

@@ -103,10 +103,9 @@ impl TrainCheckpoint {
         let json = fs::read_to_string(&path).map_err(|e| NnError::Checkpoint {
             detail: format!("reading {}: {e}", path.display()),
         })?;
-        let cp: TrainCheckpoint =
-            serde_json::from_str(&json).map_err(|e| NnError::Checkpoint {
-                detail: format!("parsing {}: {e}", path.display()),
-            })?;
+        let cp: TrainCheckpoint = serde_json::from_str(&json).map_err(|e| NnError::Checkpoint {
+            detail: format!("parsing {}: {e}", path.display()),
+        })?;
         if cp.version != CHECKPOINT_VERSION {
             return Err(NnError::Checkpoint {
                 detail: format!(

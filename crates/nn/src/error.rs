@@ -138,9 +138,7 @@ mod tests {
         use std::error::Error as _;
         let e = NnError::from(LinalgError::Empty);
         assert!(e.source().is_some());
-        let e = NnError::InvalidConfig {
-            detail: "x".into(),
-        };
+        let e = NnError::InvalidConfig { detail: "x".into() };
         assert!(e.source().is_none());
     }
 

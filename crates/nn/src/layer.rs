@@ -166,10 +166,28 @@ impl Dense {
         // Through the activation: delta = grad_act ∘ act'(preact).
         let act = self.activation;
         let delta = grad_act.zip_with(&cache.preact, |g, z| g * act.derivative(z))?;
-        let grad_w = cache.input.transpose().matmul(&delta)?;
+        // Transpose-free products: bit-identical to the explicit
+        // `transpose().matmul()` forms but without materializing the
+        // transposed operand on every minibatch.
+        let grad_w = cache.input.matmul_tn(&delta)?;
         let grad_b = delta.sum_rows();
-        let grad_in = delta.matmul(&self.weights.transpose())?;
+        let grad_in = delta.matmul_nt(&self.weights)?;
         Ok((grad_w, grad_b, grad_in))
+    }
+
+    /// Input-gradient-only backward pass for attack-side gradients:
+    /// propagates `grad_out` to dL/d(layer input) without computing the
+    /// weight/bias gradients (which attackers discard). Needs only the
+    /// pre-activations, not the cached input. Dropout is assumed
+    /// inactive (`mask` handling lives in the full [`Dense::backward`]).
+    pub(crate) fn backward_input_only(
+        &self,
+        preact: &Matrix,
+        grad_out: &Matrix,
+    ) -> Result<Matrix, NnError> {
+        let act = self.activation;
+        let delta = grad_out.zip_with(preact, |g, z| g * act.derivative(z))?;
+        Ok(delta.matmul_nt(&self.weights)?)
     }
 }
 
@@ -239,7 +257,10 @@ mod tests {
         let zeros = mask.iter().filter(|&v| v == 0.0).count();
         let scaled = mask.iter().filter(|&v| (v - 2.0).abs() < 1e-12).count();
         assert_eq!(zeros + scaled, 256, "mask values must be 0 or 1/(1-p)");
-        assert!(zeros > 50 && zeros < 200, "roughly half dropped, got {zeros}");
+        assert!(
+            zeros > 50 && zeros < 200,
+            "roughly half dropped, got {zeros}"
+        );
         // expectation preserved: mean of out ≈ 1
         let mean = out.sum() / out.len() as f64;
         assert!((mean - 1.0).abs() < 0.25);

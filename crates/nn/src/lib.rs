@@ -56,15 +56,15 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod activation;
-mod error;
-mod layer;
-mod network;
-mod trainer;
 pub mod checkpoint;
+mod error;
 pub mod init;
+mod layer;
 pub mod loss;
+mod network;
 pub mod optim;
 pub mod softmax;
+mod trainer;
 
 pub use activation::Activation;
 pub use checkpoint::TrainCheckpoint;
@@ -73,6 +73,4 @@ pub use layer::Dense;
 pub use network::{Gradients, Network, NetworkBuilder};
 pub use optim::OptimizerState;
 pub use softmax::{log_softmax, softmax, softmax_rows};
-pub use trainer::{
-    DivergencePolicy, EpochStats, LabelSource, TrainConfig, TrainReport, Trainer,
-};
+pub use trainer::{DivergencePolicy, EpochStats, LabelSource, TrainConfig, TrainReport, Trainer};

@@ -69,11 +69,7 @@ pub fn soft_cross_entropy(logits: &Matrix, soft: &Matrix, t: f64) -> Result<f64,
 /// # Errors
 ///
 /// Returns [`NnError::LabelMismatch`] on label/batch inconsistencies.
-pub fn cross_entropy_grad(
-    logits: &Matrix,
-    labels: &[usize],
-    t: f64,
-) -> Result<Matrix, NnError> {
+pub fn cross_entropy_grad(logits: &Matrix, labels: &[usize], t: f64) -> Result<Matrix, NnError> {
     validate_hard_labels(logits, labels)?;
     let n = labels.len() as f64;
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
@@ -93,11 +89,7 @@ pub fn cross_entropy_grad(
 /// # Errors
 ///
 /// Returns [`NnError::LabelMismatch`] if shapes differ or the batch is empty.
-pub fn soft_cross_entropy_grad(
-    logits: &Matrix,
-    soft: &Matrix,
-    t: f64,
-) -> Result<Matrix, NnError> {
+pub fn soft_cross_entropy_grad(logits: &Matrix, soft: &Matrix, t: f64) -> Result<Matrix, NnError> {
     if logits.shape() != soft.shape() || logits.rows() == 0 {
         return Err(NnError::LabelMismatch {
             detail: format!(
@@ -241,8 +233,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let logits = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
     }
 

@@ -245,25 +245,28 @@ impl Network {
                 ),
             });
         }
-        // Inference-mode caches: rerun forward without dropout by
-        // temporarily using forward() activations. We rebuild caches with
-        // no masks so backward() sees dropout-free state.
-        let mut h = x.clone();
-        let mut caches = Vec::with_capacity(self.layers.len());
+        // Inference-mode forward keeping only pre-activations: the
+        // attacker-side backward pass needs neither dropout masks nor the
+        // per-layer inputs (those only feed weight gradients, which this
+        // path never computes).
+        let mut preacts = Vec::with_capacity(self.layers.len());
+        let mut h: Option<Matrix> = None;
         for layer in &self.layers {
-            let preact = h
+            let input = h.as_ref().unwrap_or(x);
+            let preact = input
                 .matmul(layer.weights())?
                 .add_row_broadcast(layer.bias())?;
             let act = layer.activation();
-            let out = preact.map(|v| act.apply(v));
-            caches.push(LayerCache {
-                input: h,
-                preact,
-                mask: None,
-            });
-            h = out;
+            h = Some(preact.map(|v| act.apply(v)));
+            preacts.push(preact);
         }
-        Ok(self.backward(&caches, grad_logits)?.input)
+        // Input-only backward: propagate dL/dlogits to dL/dx skipping
+        // the (discarded) parameter gradients.
+        let mut grad = grad_logits.clone();
+        for (layer, preact) in self.layers.iter().zip(preacts.iter()).rev() {
+            grad = layer.backward_input_only(preact, &grad)?;
+        }
+        Ok(grad)
     }
 
     /// The Jacobian of the **logits** with respect to a single input
@@ -281,16 +284,21 @@ impl Network {
                 actual: sample.len(),
             });
         }
-        let x = Matrix::row_vector(sample);
+        // All `num_classes` rows of the Jacobian come from ONE batched
+        // forward/backward: replicate the sample once per class and seed
+        // the backward pass with the identity (row `c` asks for
+        // d logit_c / dx). Every kernel on this path treats batch rows
+        // independently, so the result is bit-identical to looping over
+        // classes with per-row passes — at a fraction of the cost, which
+        // is what makes per-iteration JSMA saliency maps affordable.
         let c = self.num_classes();
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(c);
-        for class in 0..c {
-            let mut seed = Matrix::zeros(1, c);
-            seed.set(0, class, 1.0);
-            let grad = self.input_gradient(&x, &seed)?;
-            rows.push(grad.row(0).to_vec());
+        let mut replicated = Vec::with_capacity(c * sample.len());
+        for _ in 0..c {
+            replicated.extend_from_slice(sample);
         }
-        Ok(Matrix::from_rows(&rows).expect("jacobian rows are uniform"))
+        let x = Matrix::from_vec(c, sample.len(), replicated)
+            .expect("replicated sample rows are uniform");
+        self.input_gradient(&x, &Matrix::identity(c))
     }
 
     /// The Jacobian of the **softmax probabilities** (at temperature `t`)
@@ -470,9 +478,15 @@ mod tests {
 
     #[test]
     fn builder_rejects_degenerate_configs() {
-        assert!(NetworkBuilder::new(0).layer(2, Activation::ReLU).build().is_err());
+        assert!(NetworkBuilder::new(0)
+            .layer(2, Activation::ReLU)
+            .build()
+            .is_err());
         assert!(NetworkBuilder::new(3).build().is_err());
-        assert!(NetworkBuilder::new(3).layer(0, Activation::ReLU).build().is_err());
+        assert!(NetworkBuilder::new(3)
+            .layer(0, Activation::ReLU)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -497,7 +511,10 @@ mod tests {
         let bad = Matrix::zeros(4, 7);
         assert!(matches!(
             net.logits(&bad).unwrap_err(),
-            NnError::InputShape { expected: 3, actual: 7 }
+            NnError::InputShape {
+                expected: 3,
+                actual: 7
+            }
         ));
     }
 
@@ -576,9 +593,7 @@ mod tests {
             plus[j] += eps;
             let mut minus = sample;
             minus[j] -= eps;
-            let pp = net
-                .predict_proba_at(&Matrix::row_vector(&plus), t)
-                .unwrap();
+            let pp = net.predict_proba_at(&Matrix::row_vector(&plus), t).unwrap();
             let pm = net
                 .predict_proba_at(&Matrix::row_vector(&minus), t)
                 .unwrap();

@@ -189,7 +189,11 @@ impl Optimizer for Adam {
         Self::slot_for(&mut self.v, slot, param.len());
         let m = &mut self.m[slot];
         let v = &mut self.v[slot];
-        for (((p, &g), mi), vi) in param.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+        for (((p, &g), mi), vi) in param
+            .iter_mut()
+            .zip(grad)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
         {
             let g = g + wd * *p;
             *mi = b1 * *mi + (1.0 - b1) * g;

@@ -54,10 +54,7 @@ pub fn log_softmax(logits: &[f64], t: f64) -> Vec<f64> {
         .map(|&z| ((z - max) / t).exp())
         .sum::<f64>()
         .ln();
-    logits
-        .iter()
-        .map(|&z| (z - max) / t - log_sum)
-        .collect()
+    logits.iter().map(|&z| (z - max) / t - log_sum).collect()
 }
 
 /// Applies [`softmax`] independently to every row of a logit matrix.

@@ -463,8 +463,7 @@ impl Trainer {
                     let val_loss = epoch_stats.val_loss;
                     report.epochs.push(epoch_stats);
                     let mut stop = false;
-                    if let (Some(patience), Some(vl)) =
-                        (self.config.early_stop_patience, val_loss)
+                    if let (Some(patience), Some(vl)) = (self.config.early_stop_patience, val_loss)
                     {
                         // Improvements smaller than min_delta do not reset the
                         // counter — cross-entropy keeps creeping down forever on
@@ -493,9 +492,7 @@ impl Trainer {
                                 rng: rng.clone(),
                                 indices: indices.clone(),
                                 report: report.clone(),
-                                best_val_loss: best_val_loss
-                                    .is_finite()
-                                    .then_some(best_val_loss),
+                                best_val_loss: best_val_loss.is_finite().then_some(best_val_loss),
                                 epochs_since_best,
                                 lr_halvings,
                             }
@@ -507,8 +504,7 @@ impl Trainer {
                     }
                 }
                 Err(e)
-                    if e.is_retryable()
-                        && self.config.on_divergence != DivergencePolicy::Abort =>
+                    if e.is_retryable() && self.config.on_divergence != DivergencePolicy::Abort =>
                 {
                     let (net0, opt0, rng0, idx0) =
                         snapshot.expect("snapshot taken for non-abort policies");
@@ -831,14 +827,22 @@ mod tests {
         let (x, y) = blob_data(32);
         // Teacher: train normally.
         let mut teacher = small_net(4);
-        Trainer::new(TrainConfig::new().epochs(30).batch_size(16).learning_rate(0.01))
-            .fit(&mut teacher, &x, &y)
-            .unwrap();
+        Trainer::new(
+            TrainConfig::new()
+                .epochs(30)
+                .batch_size(16)
+                .learning_rate(0.01),
+        )
+        .fit(&mut teacher, &x, &y)
+        .unwrap();
         let soft = teacher.predict_proba(&x).unwrap();
         // Student: train on teacher's soft labels only.
         let mut student = small_net(5);
         let report = Trainer::new(
-            TrainConfig::new().epochs(30).batch_size(16).learning_rate(0.01),
+            TrainConfig::new()
+                .epochs(30)
+                .batch_size(16)
+                .learning_rate(0.01),
         )
         .fit_soft(&mut student, &x, &soft)
         .unwrap();
@@ -861,7 +865,10 @@ mod tests {
             .build()
             .unwrap();
         let report = Trainer::new(
-            TrainConfig::new().epochs(40).batch_size(16).learning_rate(0.01),
+            TrainConfig::new()
+                .epochs(40)
+                .batch_size(16)
+                .learning_rate(0.01),
         )
         .fit(&mut net, &x, &y)
         .unwrap();
@@ -899,7 +906,9 @@ mod tests {
     fn empty_training_set_errors() {
         let mut net = small_net(0);
         let x = Matrix::zeros(0, 4);
-        assert!(Trainer::new(TrainConfig::new()).fit(&mut net, &x, &[]).is_err());
+        assert!(Trainer::new(TrainConfig::new())
+            .fit(&mut net, &x, &[])
+            .is_err());
     }
 
     /// A deep *linear* net: with no saturating activation in the way,
@@ -1195,7 +1204,10 @@ mod checkpoint_tests {
     fn resume_rejects_mismatched_training_set() {
         let (x, y) = blob_data(8);
         let dir = scratch_dir("mismatch");
-        let cfg = TrainConfig::new().epochs(2).batch_size(8).checkpoint_dir(&dir);
+        let cfg = TrainConfig::new()
+            .epochs(2)
+            .batch_size(8)
+            .checkpoint_dir(&dir);
         let mut net = small_net(24);
         Trainer::new(cfg.clone()).fit(&mut net, &x, &y).unwrap();
         // Resuming against a differently-sized training set must fail

@@ -3,9 +3,7 @@
 //! determinism.
 
 use maleva_linalg::Matrix;
-use maleva_nn::{
-    loss, softmax, Activation, Network, NetworkBuilder, TrainConfig, Trainer,
-};
+use maleva_nn::{loss, softmax, Activation, Network, NetworkBuilder, TrainConfig, Trainer};
 use proptest::prelude::*;
 
 /// Strategy: a random small architecture (input dim, hidden widths,
@@ -28,7 +26,10 @@ fn build(input: usize, hidden: &[usize], act: Activation, seed: u64) -> Network 
     for &h in hidden {
         b = b.layer(h, act);
     }
-    b.layer(2, Activation::Identity).seed(seed).build().expect("net")
+    b.layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+        .expect("net")
 }
 
 proptest! {

@@ -207,23 +207,29 @@ impl Registry {
 
     /// Registers (or fetches) a counter.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
-        self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new())), |m| {
-            match m {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
                 Metric::Counter(c) => Some(Arc::clone(c)),
                 _ => None,
-            }
-        })
+            },
+        )
         .unwrap_or_else(|| Arc::new(Counter::new()))
     }
 
     /// Registers (or fetches) a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
-        self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new())), |m| {
-            match m {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
                 Metric::Gauge(g) => Some(Arc::clone(g)),
                 _ => None,
-            }
-        })
+            },
+        )
         .unwrap_or_else(|| Arc::new(Gauge::new()))
     }
 

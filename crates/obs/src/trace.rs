@@ -435,7 +435,9 @@ mod tests {
         assert!(lines[1].contains("\"name\":\"inner\""));
         assert!(lines[2].contains("\"ev\":\"event\"") && lines[2].contains("\"name\":\"tick\""));
         assert!(lines[3].contains("\"ev\":\"exit\"") && lines[3].contains("\"name\":\"inner\""));
-        assert!(lines[4].contains("\"ev\":\"exit\"") && lines[4].contains("\"fields\":{\"rows\":3}"));
+        assert!(
+            lines[4].contains("\"ev\":\"exit\"") && lines[4].contains("\"fields\":{\"rows\":3}")
+        );
         // The inner span's parent is the outer span's id.
         let outer_id: u64 = extract(&lines[0], "\"span\":");
         let inner_parent: u64 = extract(&lines[1], "\"parent\":");
@@ -453,7 +455,11 @@ mod tests {
             let _span = Span::enter("tick");
         }
         install(Sink::Disabled).expect("install");
-        let ts: Vec<u64> = captured.lines().iter().map(|l| extract(l, "\"t_ns\":")).collect();
+        let ts: Vec<u64> = captured
+            .lines()
+            .iter()
+            .map(|l| extract(l, "\"t_ns\":"))
+            .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
     }
 

@@ -62,7 +62,10 @@ fn parse_record(line: &str) -> ParsedRecord {
         assert!(parent.is_some(), "enter without parent: {line:?}");
     }
     if ev == "exit" {
-        assert!(get_u64(&map, "dur_ns").is_some(), "exit without dur_ns: {line:?}");
+        assert!(
+            get_u64(&map, "dur_ns").is_some(),
+            "exit without dur_ns: {line:?}"
+        );
     }
     ParsedRecord {
         ev,
@@ -109,7 +112,11 @@ fn check_stream(lines: &[String]) {
         // Per-thread timestamps never go backwards (emission is in
         // program order within a thread).
         let prev = last_t.entry(rec.thread).or_insert(0);
-        assert!(rec.t_ns >= *prev, "time went backwards on thread {}", rec.thread);
+        assert!(
+            rec.t_ns >= *prev,
+            "time went backwards on thread {}",
+            rec.thread
+        );
         *prev = rec.t_ns;
         let stack = stacks.entry(rec.thread).or_default();
         match rec.ev.as_str() {
@@ -126,9 +133,9 @@ fn check_stream(lines: &[String]) {
                 stack.push(rec.span);
             }
             "exit" => {
-                let top = stack.pop().unwrap_or_else(|| {
-                    panic!("exit without matching enter: {rec:?}")
-                });
+                let top = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("exit without matching enter: {rec:?}"));
                 assert_eq!(top, rec.span, "unbalanced exit: {rec:?}");
             }
             "event" => {
@@ -140,7 +147,10 @@ fn check_stream(lines: &[String]) {
         }
     }
     for (thread, stack) in &stacks {
-        assert!(stack.is_empty(), "unclosed spans on thread {thread}: {stack:?}");
+        assert!(
+            stack.is_empty(),
+            "unclosed spans on thread {thread}: {stack:?}"
+        );
     }
 }
 

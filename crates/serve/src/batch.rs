@@ -113,7 +113,11 @@ mod tests {
     fn batched_equals_sequential_bitwise() {
         let net = net();
         let rows: Vec<Vec<f64>> = (0..13)
-            .map(|i| (0..4).map(|j| ((i * 7 + j) as f64 * 0.13).sin().abs()).collect())
+            .map(|i| {
+                (0..4)
+                    .map(|j| ((i * 7 + j) as f64 * 0.13).sin().abs())
+                    .collect()
+            })
             .collect();
         let batched = score_rows(&net, &rows).unwrap();
         let sequential = score_rows_sequential(&net, &rows).unwrap();

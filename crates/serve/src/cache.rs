@@ -217,7 +217,9 @@ mod tests {
         let mut model: Vec<(u64, u64)> = Vec::new();
         let mut state = 0x12345u64;
         for _ in 0..4000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 33) % 20;
             if state.is_multiple_of(3) {
                 let got = c.get(&key);

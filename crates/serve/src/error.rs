@@ -111,9 +111,17 @@ mod tests {
     fn kinds_are_distinct_and_stable() {
         let all = [
             ServeError::MalformedJson { detail: "x".into() },
-            ServeError::UnknownCommand { command: "x".into() },
-            ServeError::WrongDimension { expected: 1, actual: 2 },
-            ServeError::InvalidFeature { index: 0, value: -1.0 },
+            ServeError::UnknownCommand {
+                command: "x".into(),
+            },
+            ServeError::WrongDimension {
+                expected: 1,
+                actual: 2,
+            },
+            ServeError::InvalidFeature {
+                index: 0,
+                value: -1.0,
+            },
             ServeError::LineTooLong { limit: 8 },
             ServeError::Overloaded { capacity: 4 },
             ServeError::ShuttingDown,
@@ -128,6 +136,9 @@ mod tests {
     fn only_overload_is_retryable() {
         assert!(ServeError::Overloaded { capacity: 1 }.is_retryable());
         assert!(!ServeError::ShuttingDown.is_retryable());
-        assert!(!ServeError::MalformedJson { detail: String::new() }.is_retryable());
+        assert!(!ServeError::MalformedJson {
+            detail: String::new()
+        }
+        .is_retryable());
     }
 }

@@ -66,10 +66,7 @@ impl Metrics {
             "serve_request_latency_us",
             "End-to-end score request latency in microseconds.",
         );
-        let batch_size = registry.histogram(
-            "serve_batch_size",
-            "Rows per executed scoring batch.",
-        );
+        let batch_size = registry.histogram("serve_batch_size", "Rows per executed scoring batch.");
         Metrics {
             registry,
             requests,
@@ -278,7 +275,10 @@ mod tests {
         m.record_latency(Duration::from_micros(100));
         m.record_batch_size(4);
         let text = m.render_prometheus(3);
-        assert!(text.contains("# TYPE serve_requests_total counter"), "{text}");
+        assert!(
+            text.contains("# TYPE serve_requests_total counter"),
+            "{text}"
+        );
         assert!(text.contains("serve_requests_total 7"), "{text}");
         assert!(text.contains("serve_cache_entries 3"), "{text}");
         assert!(

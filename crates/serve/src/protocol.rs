@@ -65,10 +65,9 @@ pub enum Request {
 /// [`ServeError::MalformedJson`], [`ServeError::UnknownCommand`],
 /// [`ServeError::WrongDimension`], or [`ServeError::InvalidFeature`].
 pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
-    let JsonValue(value) =
-        serde_json::from_str(line).map_err(|e| ServeError::MalformedJson {
-            detail: e.to_string(),
-        })?;
+    let JsonValue(value) = serde_json::from_str(line).map_err(|e| ServeError::MalformedJson {
+        detail: e.to_string(),
+    })?;
     let Content::Map(entries) = value else {
         return Err(ServeError::UnknownCommand {
             command: format!("non-object request ({})", type_name(&value)),
@@ -219,7 +218,9 @@ pub fn encode_error(err: &ServeError) -> String {
 }
 
 fn encode_internal_error(what: &str) -> String {
-    format!("{{\"error\":{{\"kind\":\"internal\",\"detail\":\"{what} failed\",\"retryable\":false}}}}")
+    format!(
+        "{{\"error\":{{\"kind\":\"internal\",\"detail\":\"{what} failed\",\"retryable\":false}}}}"
+    )
 }
 
 #[cfg(test)]
@@ -229,12 +230,20 @@ mod tests {
     #[test]
     fn parses_a_well_formed_score_request() {
         let req = parse_request("{\"features\": [0, 3, 12]}", 3).unwrap();
-        assert_eq!(req, Request::Score { counts: vec![0, 3, 12] });
+        assert_eq!(
+            req,
+            Request::Score {
+                counts: vec![0, 3, 12]
+            }
+        );
     }
 
     #[test]
     fn parses_commands() {
-        assert_eq!(parse_request("{\"cmd\": \"stats\"}", 3).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"cmd\": \"stats\"}", 3).unwrap(),
+            Request::Stats
+        );
         assert_eq!(
             parse_request("{\"cmd\": \"metrics\"}", 3).unwrap(),
             Request::Metrics
@@ -264,7 +273,11 @@ mod tests {
             "{\"featurez\": [1]}",
             "{\"features\": \"yes\"}",
         ] {
-            assert_eq!(parse_request(line, 3).unwrap_err().kind(), "unknown_command", "{line}");
+            assert_eq!(
+                parse_request(line, 3).unwrap_err().kind(),
+                "unknown_command",
+                "{line}"
+            );
         }
     }
 
@@ -272,7 +285,10 @@ mod tests {
     fn rejects_wrong_dimension() {
         assert_eq!(
             parse_request("{\"features\": [1, 2]}", 3).unwrap_err(),
-            ServeError::WrongDimension { expected: 3, actual: 2 }
+            ServeError::WrongDimension {
+                expected: 3,
+                actual: 2
+            }
         );
     }
 
@@ -312,7 +328,9 @@ mod tests {
     fn error_encoding_round_trips_kind() {
         let line = encode_error(&ServeError::Overloaded { capacity: 64 });
         let JsonValue(v) = serde_json::from_str(&line).unwrap();
-        let Content::Map(top) = v else { panic!("not an object") };
+        let Content::Map(top) = v else {
+            panic!("not an object")
+        };
         let Some((_, Content::Map(body))) = top.iter().find(|(k, _)| k == "error") else {
             panic!("no error body");
         };

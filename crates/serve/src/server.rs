@@ -222,7 +222,10 @@ fn scorer_loop(
                 for (job, score) in jobs.into_iter().zip(scores) {
                     // A send error means the connection died; the score
                     // is already cached, so the work is not wasted.
-                    let _ = job.reply.send(ScoredReply { score, batch_size: n });
+                    let _ = job.reply.send(ScoredReply {
+                        score,
+                        batch_size: n,
+                    });
                 }
             }
             Err(e) => {
@@ -230,7 +233,10 @@ fn scorer_loop(
                 // the replies surfaces `internal` errors client-side
                 // instead of hanging connections.
                 span.record("error", true);
-                eprintln!("[maleva-serve] scorer error on a {}-row batch: {e}", rows.len());
+                eprintln!(
+                    "[maleva-serve] scorer error on a {}-row batch: {e}",
+                    rows.len()
+                );
             }
         }
     }
@@ -293,7 +299,11 @@ fn read_line_bounded(
         let budget = (limit + 1 - buf.len()) as u64;
         match reader.by_ref().take(budget).read_until(b'\n', buf) {
             Ok(0) => {
-                return Ok(if buf.is_empty() { LineStatus::Eof } else { LineStatus::Line });
+                return Ok(if buf.is_empty() {
+                    LineStatus::Eof
+                } else {
+                    LineStatus::Line
+                });
             }
             Ok(_) => {
                 if buf.last() == Some(&b'\n') {
@@ -406,7 +416,10 @@ fn handle_score(
         shared.metrics.cache_hits.inc();
         shared.metrics.record_latency(start.elapsed());
         span.record("cached", true);
-        return write_line(writer, &protocol::encode_score(&ScoreResponse::new(score, true, 0)));
+        return write_line(
+            writer,
+            &protocol::encode_score(&ScoreResponse::new(score, true, 0)),
+        );
     }
     shared.metrics.cache_misses.inc();
     span.record("cached", false);
@@ -432,7 +445,9 @@ fn handle_score(
                 },
             )
         }
-        Err(TrySendError::Disconnected(_)) => respond_error(shared, writer, &ServeError::ShuttingDown),
+        Err(TrySendError::Disconnected(_)) => {
+            respond_error(shared, writer, &ServeError::ShuttingDown)
+        }
         Ok(()) => match reply_rx.recv() {
             Ok(reply) => {
                 shared.metrics.record_latency(start.elapsed());
@@ -457,11 +472,7 @@ fn handle_score(
     }
 }
 
-fn respond_error(
-    shared: &Shared,
-    writer: &mut TcpStream,
-    err: &ServeError,
-) -> std::io::Result<()> {
+fn respond_error(shared: &Shared, writer: &mut TcpStream, err: &ServeError) -> std::io::Result<()> {
     shared.metrics.errors.inc();
     write_line(writer, &protocol::encode_error(err))
 }

@@ -18,9 +18,7 @@ const LINE_LIMIT: usize = 8 * 1024;
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| {
-        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context")
-    })
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context"))
 }
 
 fn spawn_server() -> ServerHandle {
@@ -102,10 +100,7 @@ fn error_kind(resp: &str) -> &str {
 }
 
 fn valid_line(dim: usize) -> String {
-    format!(
-        "{{\"features\":[{}]}}",
-        vec!["1"; dim].join(",")
-    )
+    format!("{{\"features\":[{}]}}", vec!["1"; dim].join(","))
 }
 
 #[test]
@@ -120,8 +115,14 @@ fn malformed_inputs_get_typed_errors_and_the_connection_survives() {
         ("}{".to_string(), "malformed_json"),
         ("{\"features\": [1, 2,".to_string(), "malformed_json"),
         // JSON NaN/Infinity literals are not valid JSON at all.
-        (format!("{{\"features\":[NaN{}]}}", ",0".repeat(dim - 1)), "malformed_json"),
-        (format!("{{\"features\":[Infinity{}]}}", ",0".repeat(dim - 1)), "malformed_json"),
+        (
+            format!("{{\"features\":[NaN{}]}}", ",0".repeat(dim - 1)),
+            "malformed_json",
+        ),
+        (
+            format!("{{\"features\":[Infinity{}]}}", ",0".repeat(dim - 1)),
+            "malformed_json",
+        ),
         // Valid JSON, wrong shape.
         ("42".to_string(), "unknown_command"),
         ("[1,2,3]".to_string(), "unknown_command"),
@@ -171,11 +172,17 @@ fn malformed_inputs_get_typed_errors_and_the_connection_survives() {
 
     // After all that abuse the same connection still scores.
     let resp = client.roundtrip(&valid_line(dim));
-    assert!(resp.starts_with("{\"score\":"), "connection still works: {resp}");
+    assert!(
+        resp.starts_with("{\"score\":"),
+        "connection still works: {resp}"
+    );
 
     let stats = handle.shutdown();
     assert_eq!(stats.errors, cases.len() as u64);
-    assert_eq!(stats.requests, 1, "only the final valid request reached scoring");
+    assert_eq!(
+        stats.requests, 1,
+        "only the final valid request reached scoring"
+    );
 }
 
 #[test]

@@ -20,9 +20,7 @@ const KEYSPACE: usize = 16;
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| {
-        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context")
-    })
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context"))
 }
 
 fn spawn_server(max_batch: usize, cache_capacity: usize) -> ServerHandle {
@@ -109,7 +107,10 @@ fn soak_every_response_matches_the_oracle_and_counters_sum() {
         })
         .collect();
 
-    let total: u64 = workers.into_iter().map(|w| w.join().expect("client thread")).sum();
+    let total: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .sum();
     // One response per request: nothing dropped, nothing duplicated.
     assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
 
@@ -128,7 +129,10 @@ fn soak_every_response_matches_the_oracle_and_counters_sum() {
     assert_eq!(stats.overloaded, 0, "queue never overflowed");
     // KEYSPACE distinct vectors over CLIENTS*REQUESTS requests: repeats
     // must have hit the cache, and the cache can't exceed the keyspace.
-    assert!(stats.cache_hits > 0, "repeated requests should hit the cache");
+    assert!(
+        stats.cache_hits > 0,
+        "repeated requests should hit the cache"
+    );
     assert!(stats.cache_entries <= KEYSPACE);
 }
 
@@ -172,7 +176,10 @@ fn soak_without_cache_scores_every_request_and_batches_under_load() {
     let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
     assert_eq!(stats.requests, total);
     assert_eq!(stats.cache_hits, 0, "cache disabled");
-    assert_eq!(stats.rows_scored, total, "every request reaches the network");
+    assert_eq!(
+        stats.rows_scored, total,
+        "every request reaches the network"
+    );
     assert_eq!(stats.errors, 0);
     // 8 concurrent clients against one scorer: at least some batches
     // must have coalesced more than one row.
@@ -199,16 +206,26 @@ fn graceful_shutdown_over_the_wire_drains_and_acknowledges() {
         .expect("write score request");
     let mut resp = String::new();
     reader.read_line(&mut resp).expect("read score");
-    assert_eq!(parse_score(resp.trim_end()).to_bits(), oracle_score(counts).to_bits());
+    assert_eq!(
+        parse_score(resp.trim_end()).to_bits(),
+        oracle_score(counts).to_bits()
+    );
 
-    writer.write_all(b"{\"cmd\":\"stats\"}\n").expect("write stats");
+    writer
+        .write_all(b"{\"cmd\":\"stats\"}\n")
+        .expect("write stats");
     resp.clear();
     reader.read_line(&mut resp).expect("read stats");
     assert!(resp.starts_with("{\"stats\":{"), "stats response: {resp}");
-    assert!(resp.contains("\"requests\":1"), "stats counts the request: {resp}");
+    assert!(
+        resp.contains("\"requests\":1"),
+        "stats counts the request: {resp}"
+    );
 
     // Prometheus exposition over the wire: multi-line, "# EOF"-terminated.
-    writer.write_all(b"{\"cmd\":\"metrics\"}\n").expect("write metrics");
+    writer
+        .write_all(b"{\"cmd\":\"metrics\"}\n")
+        .expect("write metrics");
     let mut exposition = String::new();
     loop {
         resp.clear();
@@ -222,13 +239,18 @@ fn graceful_shutdown_over_the_wire_drains_and_acknowledges() {
         exposition.contains("# TYPE serve_requests_total counter"),
         "metrics exposition: {exposition}"
     );
-    assert!(exposition.contains("serve_requests_total 1"), "{exposition}");
+    assert!(
+        exposition.contains("serve_requests_total 1"),
+        "{exposition}"
+    );
     assert!(
         exposition.contains("serve_request_latency_us_count 1"),
         "{exposition}"
     );
 
-    writer.write_all(b"{\"cmd\":\"shutdown\"}\n").expect("write shutdown");
+    writer
+        .write_all(b"{\"cmd\":\"shutdown\"}\n")
+        .expect("write shutdown");
     resp.clear();
     reader.read_line(&mut resp).expect("read ack");
     assert_eq!(resp.trim_end(), "{\"ok\":\"shutting down\"}");

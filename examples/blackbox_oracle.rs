@@ -30,10 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let artifacts = blackbox::run(&ctx, &config)?;
 
     println!("oracle queries spent     : {}", artifacts.oracle_queries);
-    println!("attacker vocabulary size : {}", artifacts.attacker_vocab.len());
-    println!("substitute-oracle agree  : {:.3}", artifacts.oracle_agreement);
-    println!("baseline detection       : {:.3}", artifacts.baseline_detection);
-    println!("post-attack detection    : {:.3}", artifacts.target_detection);
+    println!(
+        "attacker vocabulary size : {}",
+        artifacts.attacker_vocab.len()
+    );
+    println!(
+        "substitute-oracle agree  : {:.3}",
+        artifacts.oracle_agreement
+    );
+    println!(
+        "baseline detection       : {:.3}",
+        artifacts.baseline_detection
+    );
+    println!(
+        "post-attack detection    : {:.3}",
+        artifacts.target_detection
+    );
     println!("transfer (evasion) rate  : {:.3}", artifacts.transfer_rate);
     println!(
         "\nas the paper's threat hierarchy predicts, black-box is the weakest setting: \

@@ -27,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fitting five defenses + ensemble (this trains six models) ...\n");
     let cmp = defenses::compare_defenses(&ctx, &substitute, &config)?;
 
-    println!("Table V — adversarial-training data:\n{}", cmp.render_table_v());
-    println!("Table VI — defense testing results:\n{}", cmp.render_table_vi());
+    println!(
+        "Table V — adversarial-training data:\n{}",
+        cmp.render_table_v()
+    );
+    println!(
+        "Table VI — defense testing results:\n{}",
+        cmp.render_table_vi()
+    );
     println!(
         "paper reference: AdvTraining raises advex TPR 0.304 -> 0.931 while keeping clean \
          TNR; DimReduct detects advex well but clean TNR drops to 0.674."

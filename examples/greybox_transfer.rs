@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         values: vec![0.0, 0.01, 0.02, 0.05, 0.1, 0.2],
     };
     let curve = greybox::transfer_curve(&ctx, &substitute, 40, axis)?;
-    println!("\nexact-features transfer (Figure 4a shape):\n{}", curve.render());
+    println!(
+        "\nexact-features transfer (Figure 4a shape):\n{}",
+        curve.render()
+    );
 
     let report = greybox::operating_point(&ctx, &substitute, 40, 0.3, 0.1)?;
     println!(
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // count transformation — their substitute uses binary features, and
     // adversarial programs are rebuilt by inserting real API calls.
     let binary = greybox::binary_feature_experiment(&ctx, 99, 40, &[0.0, 0.05, 0.1])?;
-    println!("\nbinary-features attack (Figure 4c shape):\n{}", binary.curve.render());
+    println!(
+        "\nbinary-features attack (Figure 4c shape):\n{}",
+        binary.curve.render()
+    );
     println!(
         "final target detection {:.3} — the attack largely fails without feature knowledge \
          (paper: 0.6951)",

@@ -85,10 +85,7 @@ fn all_reported_rates_are_valid_probabilities() {
     let (_, _, cmp) = setup();
     for row in &cmp.rows {
         for rate in [row.tpr, row.tnr].into_iter().flatten() {
-            assert!(
-                (0.0..=1.0).contains(&rate),
-                "rate out of range in {row:?}"
-            );
+            assert!((0.0..=1.0).contains(&rate), "rate out of range in {row:?}");
         }
     }
 }

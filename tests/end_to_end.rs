@@ -9,9 +9,7 @@ use maleva_core::{greybox, live, whitebox, ExperimentContext, ExperimentScale};
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| {
-        ExperimentContext::build(ExperimentScale::tiny(), 1234).expect("context")
-    })
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 1234).expect("context"))
 }
 
 #[test]
@@ -92,8 +90,7 @@ fn l2_geometry_matches_figure_5_at_full_dimension() {
     let clean = ctx.clean_batch();
     let jsma = Jsma::new(0.2, 0.03);
     let (adv, _) = jsma.craft_batch(ctx.target(), &malware).expect("craft");
-    let stats = maleva_attack::perturbation::l2_stats(&malware, &adv, &clean, 3000)
-        .expect("stats");
+    let stats = maleva_attack::perturbation::l2_stats(&malware, &adv, &clean, 3000).expect("stats");
     assert!(
         stats.malware_to_adversarial < stats.malware_to_clean,
         "adv examples must stay near their malware: {stats:?}"
@@ -116,10 +113,7 @@ fn live_greybox_loop_cuts_confidence_through_the_log_path() {
         report.confidences
     );
     // Confidence values all valid probabilities.
-    assert!(report
-        .confidences
-        .iter()
-        .all(|c| (0.0..=1.0).contains(c)));
+    assert!(report.confidences.iter().all(|c| (0.0..=1.0).contains(c)));
 }
 
 #[test]
@@ -128,7 +122,10 @@ fn binary_feature_attack_fails_where_exact_features_succeed() {
     let report = greybox::binary_feature_experiment(ctx, 5, 30, &[0.0, 0.05, 0.1])
         .expect("binary experiment");
     // Substitute is evaded in its own (binary) space...
-    let sub = report.curve.series_named("jsma:substitute").expect("series");
+    let sub = report
+        .curve
+        .series_named("jsma:substitute")
+        .expect("series");
     assert!(sub.values.last().unwrap() < &sub.values[0]);
     // ...but the target holds up much better (paper: 0.6951 detection).
     assert!(

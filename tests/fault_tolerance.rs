@@ -84,7 +84,11 @@ fn panicked_sample_is_isolated_from_the_rest_of_the_batch() {
                 }
                 other => panic!("victim row should be Panicked, got {other:?}"),
             }
-            assert_eq!(report.adversarial.row(r), batch.row(r), "victim must degrade");
+            assert_eq!(
+                report.adversarial.row(r),
+                batch.row(r),
+                "victim must degrade"
+            );
         } else {
             let reference = jsma.craft(ctx.target(), batch.row(r)).expect("sequential");
             match outcome {

@@ -15,9 +15,7 @@ use maleva_core::{defenses, greybox, whitebox, ExperimentContext, ExperimentScal
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| {
-        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context")
-    })
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context"))
 }
 
 fn fmt(x: f64) -> String {
@@ -67,7 +65,10 @@ fn harvest_golden_values() {
 fn figure3a_gamma_curve_is_pinned() {
     let curve = gamma_curve();
     let gammas: Vec<String> = curve.strength.iter().map(|&g| format!("{g:.3}")).collect();
-    assert_eq!(gammas, ["0.000", "0.005", "0.010", "0.015", "0.020", "0.025", "0.030"]);
+    assert_eq!(
+        gammas,
+        ["0.000", "0.005", "0.010", "0.015", "0.020", "0.025", "0.030"]
+    );
 
     // The paper's qualitative shape: JSMA collapses detection as γ
     // grows, the random control stays flat. These exact rates are the
@@ -76,9 +77,7 @@ fn figure3a_gamma_curve_is_pinned() {
     let got: Vec<String> = jsma.values.iter().map(|&v| fmt(v)).collect();
     assert_eq!(
         got,
-        [
-            "0.900000", "0.900000", "0.900000", "0.875000", "0.875000", "0.800000", "0.750000"
-        ],
+        ["0.900000", "0.900000", "0.900000", "0.875000", "0.875000", "0.800000", "0.750000"],
         "Figure 3(a) jsma:target detection rates moved"
     );
 
@@ -86,9 +85,7 @@ fn figure3a_gamma_curve_is_pinned() {
     let got: Vec<String> = random.values.iter().map(|&v| fmt(v)).collect();
     assert_eq!(
         got,
-        [
-            "0.900000", "0.900000", "0.900000", "0.900000", "0.900000", "0.900000", "0.900000"
-        ],
+        ["0.900000", "0.900000", "0.900000", "0.900000", "0.900000", "0.900000", "0.900000"],
         "Figure 3(a) random:target detection rates moved"
     );
 }

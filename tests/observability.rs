@@ -122,7 +122,10 @@ fn tracing_is_a_pure_observer_of_scan_scores() {
         .iter()
         .find(|l| l.contains("\"ev\":\"exit\"") && l.contains("\"name\":\"pipeline.scan\""))
         .expect("pipeline.scan exit record");
-    assert!(exit.contains("\"score\":"), "scan exit lacks the score field: {exit}");
+    assert!(
+        exit.contains("\"score\":"),
+        "scan exit lacks the score field: {exit}"
+    );
 }
 
 #[test]

@@ -1,0 +1,52 @@
+//! Thread-count determinism: the full seed-42 quick-scale Figure 3(a)
+//! pipeline — dataset synthesis, target training, JSMA γ sweep — must
+//! produce **byte-identical** results whether the linalg pool partitions
+//! its matmuls across 1, 2, or 8 threads.
+//!
+//! This is the end-to-end companion to the per-kernel bit-identity
+//! proptests in `crates/linalg/tests/kernel_bitident.rs`: it pins the
+//! invariant that `MALEVA_THREADS` (and `--threads`) is a pure
+//! performance knob. The thread count controls how output rows are
+//! *partitioned*, not what each element accumulates, so the comparison
+//! holds on any machine regardless of how many cores actually exist.
+
+use maleva_core::{whitebox, ExperimentContext, ExperimentScale};
+use maleva_linalg::pool;
+
+/// Runs the whole fig3a pipeline under a forced thread count and folds
+/// every curve value's raw f64 bits (order-sensitive) into a byte string.
+fn fig3a_bytes(threads: usize) -> Vec<u8> {
+    pool::set_threads(threads);
+    let ctx = ExperimentContext::build(ExperimentScale::quick(), 42).expect("quick context");
+    let curve = whitebox::gamma_curve(&ctx, ctx.scale.attack_samples).expect("fig3a curve");
+    let mut bytes = Vec::new();
+    for &s in &curve.strength {
+        bytes.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    for series in &curve.series {
+        bytes.extend_from_slice(series.name.as_bytes());
+        bytes.push(0);
+        for &v in &series.values {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    bytes
+}
+
+/// One test (not three) so the global thread override is never raced by
+/// the harness running sibling tests concurrently.
+#[test]
+fn fig3a_is_byte_identical_across_thread_counts() {
+    let baseline = fig3a_bytes(1);
+    assert!(!baseline.is_empty(), "fig3a produced an empty curve");
+    for threads in [2, 8] {
+        let run = fig3a_bytes(threads);
+        assert_eq!(
+            run, baseline,
+            "fig3a bytes diverged between 1 thread and {threads} threads"
+        );
+    }
+    // Clear the override so this binary's state does not suggest the
+    // knob is sticky beyond the test.
+    pool::set_threads(0);
+}

@@ -145,7 +145,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected {MAX_REJECTS} candidates", self.whence);
+        panic!(
+            "prop_filter `{}` rejected {MAX_REJECTS} candidates",
+            self.whence
+        );
     }
 }
 
@@ -602,7 +605,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             __l != __r,
             "{} != {} (both: {:?})",
-            stringify!($left), stringify!($right), __l
+            stringify!($left),
+            stringify!($right),
+            __l
         );
     }};
 }
@@ -619,13 +624,13 @@ macro_rules! prop_assume {
 
 /// Everything tests usually import.
 pub mod prelude {
+    /// Upstream re-exports `prop_oneof!` etc. here; the vendored subset
+    /// exposes the strategy alias type for signatures.
+    pub use crate::BoxedStrategy;
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
         ProptestConfig, Strategy,
     };
-    /// Upstream re-exports `prop_oneof!` etc. here; the vendored subset
-    /// exposes the strategy alias type for signatures.
-    pub use crate::BoxedStrategy;
 }
 
 #[cfg(test)]

@@ -139,9 +139,7 @@ pub mod __private {
     /// # Errors
     ///
     /// Propagates `T`'s deserialization error.
-    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(
-        content: Content,
-    ) -> Result<T, E> {
+    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
         T::deserialize(ContentDeserializer::<E>::new(content))
     }
 

@@ -43,9 +43,11 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
         },
         Err(msg) => format!("compile_error!({msg:?});"),
     };
-    source
-        .parse()
-        .unwrap_or_else(|e| format!("compile_error!(\"serde_derive codegen: {e}\");").parse().unwrap())
+    source.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive codegen: {e}\");")
+            .parse()
+            .unwrap()
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -500,9 +502,9 @@ fn gen_deserialize(item: &Item) -> String {
                  Ok({ctor})"
             )
         }
-        Body::TupleStruct(1) => format!(
-            "Ok({name}(::serde::__private::from_content::<_, __D::Error>(__content)?))"
-        ),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::__private::from_content::<_, __D::Error>(__content)?))")
+        }
         Body::TupleStruct(arity) => {
             let fields = (0..*arity)
                 .map(|_| {
@@ -529,9 +531,9 @@ fn gen_deserialize(item: &Item) -> String {
             let mut data_arms = String::new();
             for v in variants {
                 match v {
-                    Variant::Unit(vn) => unit_arms.push_str(&format!(
-                        "{vn:?} => return Ok({name}::{vn}),\n"
-                    )),
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"))
+                    }
                     Variant::Tuple(vn, 1) => data_arms.push_str(&format!(
                         "{vn:?} => Ok({name}::{vn}(\
                          ::serde::__private::from_content::<_, __D::Error>(__payload)?)),\n"

@@ -308,13 +308,11 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                             // parse_hex4 leaves pos past the 4 digits; undo

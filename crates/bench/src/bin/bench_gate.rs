@@ -101,6 +101,17 @@ const METRICS: &[MetricSpec] = &[
         abs_slack: 0.0,
     },
     MetricSpec {
+        file: "BENCH_serve.json",
+        // Throughput retained under fault injection (degraded phase /
+        // batched phase). A resilience regression — e.g. the server
+        // stalling instead of shedding, or a panic taking the scorer
+        // down — collapses this ratio. Chaos makes it noisier than the
+        // clean-phase ratios, hence the absolute slack.
+        key: "degraded_vs_batched_speedup",
+        direction: Direction::HigherIsBetter,
+        abs_slack: 0.05,
+    },
+    MetricSpec {
         file: "BENCH_obs.json",
         key: "null_overhead_frac",
         direction: Direction::LowerIsBetter,

@@ -14,13 +14,19 @@
 //!    chunks ([`maleva_serve::score_rows`]), with a bitwise equality
 //!    check: batching must be a pure throughput optimization.
 //! 2. **End-to-end phases** — client threads hammer an in-process
-//!    server over TCP for `--seconds / 3` each:
+//!    server over TCP for `--seconds / 4` each:
 //!    `unbatched` (max batch 1, cache off), `batched` (max batch B,
-//!    cache off), and `cached` (max batch B, cache on, keyspace-limited
-//!    request pool so repeats hit).
+//!    cache off), `cached` (max batch B, cache on, keyspace-limited
+//!    request pool so repeats hit), and `degraded` (the batched setup
+//!    with deterministic fault injection active — slow reads/writes,
+//!    dropped replies, scorer panics, artificial latency — and clients
+//!    that reconnect on error).
 //!
-//! The headline number is `batched_vs_unbatched_speedup` — end-to-end
-//! throughput of the batched phase over the unbatched one.
+//! The headline numbers are `batched_vs_unbatched_speedup` — end-to-end
+//! throughput of the batched phase over the unbatched one — and
+//! `degraded_vs_batched_speedup`, the fraction of batched throughput
+//! the server retains while under fault injection (its p99 quantifies
+//! tail latency in degraded mode).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -30,7 +36,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
-use maleva_serve::{score_rows, score_rows_sequential, spawn, ServeConfig};
+use maleva_serve::{
+    score_rows, score_rows_sequential, spawn, FaultAction, FaultPlan, FaultSite, ServeConfig,
+};
 use serde::Serialize;
 
 struct Args {
@@ -160,6 +168,31 @@ struct BenchReport {
     phases: Vec<PhaseResult>,
     batched_vs_unbatched_speedup: f64,
     cached_vs_unbatched_speedup: f64,
+    /// Fraction of batched-phase throughput retained while every fault
+    /// site is firing (degraded throughput / batched throughput).
+    degraded_vs_batched_speedup: f64,
+}
+
+/// Swallows the panics the degraded phase *injects* (payloads marked
+/// "injected fault") so the bench output stays readable; real panics
+/// still reach the default hook.
+fn quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected fault"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected fault"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            previous(info);
+        }
+    }));
 }
 
 fn main() -> ExitCode {
@@ -170,6 +203,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    quiet_injected_panics();
     eprintln!(
         "[serve_load] building context (scale={}, seed={}) ...",
         args.scale.name, args.seed
@@ -197,14 +231,26 @@ fn main() -> ExitCode {
     }
     println!("bit_identical: {bit_identical}");
 
-    let phase_secs = args.seconds / 3.0;
-    let specs: [(&'static str, usize, usize); 3] = [
-        ("unbatched", 1, 0),
-        ("batched", args.max_batch, 0),
-        ("cached", args.max_batch, 4096),
+    // The degraded phase keeps the batched setup but turns every
+    // scorer- and wire-level fault site on at a steady rate; the gate
+    // then tracks how much throughput survives the chaos.
+    let degraded_faults = FaultPlan::disabled()
+        .with_seed(args.seed)
+        .with(FaultSite::SlowRead, FaultAction::EveryNth(40))
+        .with(FaultSite::SlowWrite, FaultAction::EveryNth(40))
+        .with(FaultSite::WriteReset, FaultAction::EveryNth(60))
+        .with(FaultSite::BatchPanic, FaultAction::EveryNth(50))
+        .with(FaultSite::ScoreDelay, FaultAction::EveryNth(25))
+        .with_delay(Duration::from_millis(1));
+    let phase_secs = args.seconds / 4.0;
+    let specs: [(&'static str, usize, usize, FaultPlan); 4] = [
+        ("unbatched", 1, 0, FaultPlan::disabled()),
+        ("batched", args.max_batch, 0, FaultPlan::disabled()),
+        ("cached", args.max_batch, 4096, FaultPlan::disabled()),
+        ("degraded", args.max_batch, 0, degraded_faults),
     ];
     let mut phases = Vec::new();
-    for (name, max_batch, cache_capacity) in specs {
+    for (name, max_batch, cache_capacity, faults) in specs {
         eprintln!(
             "[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...",
             args.clients
@@ -217,6 +263,7 @@ fn main() -> ExitCode {
             phase_secs,
             max_batch,
             cache_capacity,
+            faults,
         );
         println!(
             "phase {:<9} {:>8.0} req/s  p50 {:>5} us  p99 {:>6} us  mean batch {:>4.1}  \
@@ -256,15 +303,17 @@ fn main() -> ExitCode {
         batched_forward_speedup,
         batched_vs_unbatched_speedup: speedup(&phases[1], &phases[0]),
         cached_vs_unbatched_speedup: speedup(&phases[2], &phases[0]),
+        degraded_vs_batched_speedup: speedup(&phases[3], &phases[1]),
         forward,
         phases,
     };
     println!(
         "batched forward speedup (batch >= 8): {:.2}x | end-to-end batched vs unbatched: \
-         {:.2}x | cached vs unbatched: {:.2}x",
+         {:.2}x | cached vs unbatched: {:.2}x | throughput retained under faults: {:.2}x",
         report.batched_forward_speedup,
         report.batched_vs_unbatched_speedup,
-        report.cached_vs_unbatched_speedup
+        report.cached_vs_unbatched_speedup,
+        report.degraded_vs_batched_speedup
     );
 
     let json = serde_json::to_string_pretty(&report).expect("encode report");
@@ -366,7 +415,10 @@ fn forward_comparison(
 
 /// Runs one end-to-end phase: spawns a fresh server, hammers it with
 /// `clients` threads for `seconds`, then shuts it down and reads the
-/// final metrics.
+/// final metrics. When the phase injects faults, clients count each
+/// failure and reconnect instead of giving up — a dropped connection is
+/// part of the workload there, not the end of it.
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     name: &'static str,
     detector: DetectorPipeline,
@@ -375,7 +427,9 @@ fn run_phase(
     seconds: f64,
     max_batch: usize,
     cache_capacity: usize,
+    faults: FaultPlan,
 ) -> PhaseResult {
+    let resilient = faults.is_enabled();
     let config = ServeConfig {
         max_batch,
         cache_capacity,
@@ -385,6 +439,7 @@ fn run_phase(
         // batched-vs-unbatched comparison isolates the forward-pass
         // amortization.
         batch_timeout: Duration::ZERO,
+        faults,
         ..ServeConfig::default()
     };
     let handle = spawn(detector, config).expect("spawn server");
@@ -397,27 +452,48 @@ fn run_phase(
             let lines = Arc::clone(lines);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || -> (u64, u64) {
-                let stream = TcpStream::connect(addr).expect("connect");
-                stream.set_nodelay(true).ok();
-                let mut writer = stream.try_clone().expect("clone stream");
-                let mut reader = BufReader::new(stream);
                 let (mut ok, mut err) = (0u64, 0u64);
                 let mut resp = String::new();
                 // Per-client offset so clients do not move in lockstep.
                 let mut i = c * lines.len() / clients.max(1);
-                while !stop.load(Ordering::Relaxed) {
-                    let line = &lines[i % lines.len()];
-                    i += 1;
-                    if writer.write_all(line.as_bytes()).is_err()
-                        || writer.write_all(b"\n").is_err()
-                    {
+                'conn: while !stop.load(Ordering::Relaxed) {
+                    let Ok(stream) = TcpStream::connect(addr) else {
+                        if !resilient {
+                            break;
+                        }
+                        err += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    };
+                    stream.set_nodelay(true).ok();
+                    let Ok(mut writer) = stream.try_clone() else {
                         break;
-                    }
-                    resp.clear();
-                    match reader.read_line(&mut resp) {
-                        Ok(n) if n > 0 && resp.starts_with("{\"score\"") => ok += 1,
-                        Ok(n) if n > 0 => err += 1,
-                        _ => break,
+                    };
+                    let mut reader = BufReader::new(stream);
+                    while !stop.load(Ordering::Relaxed) {
+                        let line = &lines[i % lines.len()];
+                        i += 1;
+                        if writer.write_all(line.as_bytes()).is_err()
+                            || writer.write_all(b"\n").is_err()
+                        {
+                            if resilient {
+                                err += 1;
+                                continue 'conn;
+                            }
+                            break 'conn;
+                        }
+                        resp.clear();
+                        match reader.read_line(&mut resp) {
+                            Ok(n) if n > 0 && resp.starts_with("{\"score\"") => ok += 1,
+                            Ok(n) if n > 0 => err += 1,
+                            _ => {
+                                if resilient {
+                                    err += 1;
+                                    continue 'conn;
+                                }
+                                break 'conn;
+                            }
+                        }
                     }
                 }
                 (ok, err)

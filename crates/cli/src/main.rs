@@ -4,11 +4,13 @@
 //! maleva train --out detector.json [--scale tiny|quick|paper] [--seed N]
 //!              [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
 //! maleva scan  --model detector.json --log sample.log
+//! maleva score --remote HOST:PORT --log sample.log [--attempts N] [--deadline-ms T]
 //! maleva gen   --out sample.log [--class malware|clean] [--seed N]
 //! maleva attack --model detector.json --log sample.log [--theta T] [--gamma G] [--out evaded.log]
 //! maleva info  --model detector.json
 //! maleva serve --model detector.json [--addr HOST:PORT] [--max-batch N]
 //!              [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
+//!              [--deadline-ms T] [--shed-depth N] [--faults SPEC]
 //! ```
 //!
 //! The model artifact is a single JSON file holding the API vocabulary,
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "train" => cmd_train(&flags),
         "scan" => cmd_scan(&flags),
+        "score" => cmd_score(&flags),
         "gen" => cmd_gen(&flags),
         "attack" => cmd_attack(&flags),
         "info" => cmd_info(&flags),
@@ -86,12 +89,20 @@ usage:
   maleva train  --out detector.json [--scale tiny|quick|paper] [--seed N]
                 [--checkpoint-dir DIR [--checkpoint-every K] [--resume]]
   maleva scan   --model detector.json --log sample.log
+  maleva score  --remote HOST:PORT --log sample.log
+                [--attempts N] [--deadline-ms T]
   maleva gen    --out sample.log [--class malware|clean] [--seed N]
   maleva attack --model detector.json --log sample.log
                 [--theta T] [--gamma G] [--out evaded.log]
   maleva info   --model detector.json
   maleva serve  --model detector.json [--addr HOST:PORT] [--max-batch N]
                 [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
+                [--deadline-ms T] [--shed-depth N] [--faults SPEC]
+
+serve injects deterministic faults when --faults (or MALEVA_FAULTS) is
+set, e.g. 'seed=7,write_reset=p0.02,batch_panic=@50,delay_ms=2';
+score talks to a running serve instance with retries, backoff, and a
+circuit breaker instead of loading a model locally
 
 every command accepts --trace-out FILE (or '-' for stderr) to write
 newline-delimited JSON spans, and --threads N (or MALEVA_THREADS) to
@@ -211,6 +222,55 @@ fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Scores a log against a remote `maleva serve` instance through the
+/// resilient client: retries with jittered backoff, honors the server's
+/// `retry_after_ms` hints, and trips a circuit breaker when the server
+/// is down — instead of loading a model artifact locally.
+fn cmd_score(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = required(flags, "remote")?;
+    let path = required(flags, "log")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let vocab = ApiVocab::standard();
+    let counts = maleva_apisim::log::parse_counts(&text, &vocab);
+
+    let defaults = maleva_client::ClientConfig::default();
+    let max_attempts: u32 = flags
+        .get("attempts")
+        .map(|s| s.parse().map_err(|e| format!("bad --attempts: {e}")))
+        .unwrap_or(Ok(defaults.max_attempts))?;
+    let call_deadline = flags
+        .get("deadline-ms")
+        .map(|s| {
+            s.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|e| format!("bad --deadline-ms: {e}"))
+        })
+        .unwrap_or(Ok(defaults.call_deadline))?;
+    let mut client = maleva_client::ScoreClient::new(maleva_client::ClientConfig {
+        addr: addr.to_string(),
+        max_attempts,
+        call_deadline,
+        ..defaults
+    });
+    let outcome = client
+        .score_counts(&counts)
+        .map_err(|e| format!("remote scoring failed: {e}"))?;
+    let verdict = if outcome.verdict == "malware" {
+        "MALWARE"
+    } else {
+        "clean"
+    };
+    println!(
+        "{path}: {verdict} (confidence {:.2}%, {} attempt{}, batch of {}{})",
+        outcome.score * 100.0,
+        outcome.attempts,
+        if outcome.attempts == 1 { "" } else { "s" },
+        outcome.batch_size,
+        if outcome.cached { ", cached" } else { "" },
+    );
+    Ok(())
+}
+
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = required(flags, "out")?;
     let seed = seed_of(flags)?;
@@ -301,6 +361,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
             .unwrap_or(Ok(default))
     };
+    // --faults wins over the MALEVA_FAULTS environment variable.
+    let faults = match flags.get("faults") {
+        Some(spec) => {
+            maleva_serve::FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?
+        }
+        None => {
+            maleva_serve::FaultPlan::from_env().map_err(|e| format!("bad MALEVA_FAULTS: {e}"))?
+        }
+    };
     let defaults = maleva_serve::ServeConfig::default();
     let config = maleva_serve::ServeConfig {
         addr: flags
@@ -315,7 +384,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         queue_capacity: parse_usize("queue-cap", defaults.queue_capacity)?,
         cache_capacity: parse_usize("cache-cap", defaults.cache_capacity)?,
         max_line_bytes: defaults.max_line_bytes,
+        request_deadline: std::time::Duration::from_millis(parse_usize(
+            "deadline-ms",
+            defaults.request_deadline.as_millis() as usize,
+        )? as u64),
+        shed_queue_depth: parse_usize("shed-depth", defaults.shed_queue_depth)?,
+        faults,
     };
+    if config.faults.is_enabled() {
+        eprintln!(
+            "warning: fault injection is ACTIVE (seed {})",
+            config.faults.seed
+        );
+    }
     let max_batch = config.max_batch;
     let handle =
         maleva_serve::spawn(detector, config).map_err(|e| format!("cannot start server: {e}"))?;

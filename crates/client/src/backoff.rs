@@ -1,0 +1,116 @@
+//! Jittered exponential backoff with a deterministic, seedable jitter
+//! stream.
+//!
+//! The schedule is a pure function of `(policy, attempt)`: the nominal
+//! delay doubles per attempt up to a cap, and the jitter multiplier is
+//! drawn from a SplitMix64 hash of `(seed, attempt)` — two clients with
+//! the same seed back off identically (handy for reproducing a chaos
+//! run), while different seeds decorrelate, avoiding retry stampedes.
+
+use std::time::Duration;
+
+/// SplitMix64 mixer — same construction as the server-side fault
+/// injector, so schedules are reproducible across the workspace.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic jittered-exponential backoff schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffPolicy {
+    /// Nominal delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on the nominal delay (pre-jitter).
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: the actual delay is the nominal
+    /// one scaled by a uniform multiplier in `[1 - j, 1 + j]`.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            jitter_frac: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The un-jittered delay for retry `attempt` (0-based):
+    /// `min(cap, base * 2^attempt)`. Monotone non-decreasing in
+    /// `attempt` and never above `cap`.
+    pub fn nominal(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(20);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// The jittered delay for retry `attempt`: `nominal` scaled by a
+    /// seed-deterministic uniform multiplier in
+    /// `[1 - jitter_frac, 1 + jitter_frac]`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let nominal = self.nominal(attempt);
+        let j = self.jitter_frac.clamp(0.0, 1.0);
+        if j == 0.0 {
+            return nominal;
+        }
+        let draw = splitmix64(self.seed ^ 0x5bd1_e995_0000_0000 ^ u64::from(attempt));
+        // Top 53 bits -> uniform f64 in [0, 1).
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        let mult = 1.0 - j + 2.0 * j * unit;
+        nominal.mul_f64(mult.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_doubles_then_caps() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.nominal(0), Duration::from_millis(10));
+        assert_eq!(p.nominal(1), Duration::from_millis(20));
+        assert_eq!(p.nominal(3), Duration::from_millis(80));
+        assert_eq!(p.nominal(4), Duration::from_millis(100));
+        assert_eq!(p.nominal(40), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let p = BackoffPolicy {
+            jitter_frac: 0.0,
+            ..BackoffPolicy::default()
+        };
+        for attempt in 0..10 {
+            assert_eq!(p.delay(attempt), p.nominal(attempt));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let p = BackoffPolicy {
+            seed: 99,
+            ..BackoffPolicy::default()
+        };
+        let q = p.clone();
+        for attempt in 0..16 {
+            assert_eq!(p.delay(attempt), q.delay(attempt));
+            let nominal = p.nominal(attempt).as_secs_f64();
+            let d = p.delay(attempt).as_secs_f64();
+            assert!(d >= nominal * 0.5 - 1e-9 && d <= nominal * 1.5 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A half-open circuit breaker with an explicit millisecond clock.
+//!
+//! The breaker trips open after a run of consecutive failures, rejects
+//! calls for a cooldown, then admits a bounded number of half-open
+//! probes. Two design points keep it deadlock-free:
+//!
+//! * time is an argument (`now_ms`), not a syscall — the state machine
+//!   is a pure function of its inputs, so property tests can drive the
+//!   clock arbitrarily and every test run is reproducible;
+//! * a half-open probe that never reports back (a crashed caller)
+//!   cannot wedge the breaker: once `probe_timeout_ms` elapses the
+//!   probe slots are forfeited and [`CircuitBreaker::try_acquire`]
+//!   admits fresh probes.
+
+use std::sync::Mutex;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting probes.
+    pub cooldown_ms: u64,
+    /// Concurrent probes allowed while half-open.
+    pub half_open_probes: u32,
+    /// Half-open probes older than this are presumed lost; their slots
+    /// are recycled so an unreported probe can never wedge the breaker.
+    pub probe_timeout_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 500,
+            half_open_probes: 1,
+            probe_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are being counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// A bounded number of probes is testing the backend.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Inner {
+    Closed { failures: u32 },
+    Open { opened_at_ms: u64 },
+    HalfOpen { since_ms: u64, in_flight: u32 },
+}
+
+/// A thread-safe circuit breaker; see the module docs for semantics.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config (thresholds are clamped
+    /// to at least 1 so the state machine always makes progress).
+    pub fn new(config: BreakerConfig) -> Self {
+        let config = BreakerConfig {
+            failure_threshold: config.failure_threshold.max(1),
+            half_open_probes: config.half_open_probes.max(1),
+            probe_timeout_ms: config.probe_timeout_ms.max(1),
+            ..config
+        };
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner::Closed { failures: 0 }),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        match *self.lock() {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks to make a call at `now_ms`. `Ok(())` admits the call (the
+    /// caller must later report [`CircuitBreaker::on_success`] or
+    /// [`CircuitBreaker::on_failure`]); `Err(retry_in_ms)` rejects it
+    /// with a bound on the wait until a call can be admitted.
+    ///
+    /// For any state and any `now_ms`, calling again at
+    /// `now_ms + retry_in_ms` (with no interleaving reports) is
+    /// admitted — the breaker can never deadlock.
+    pub fn try_acquire(&self, now_ms: u64) -> Result<(), u64> {
+        let mut inner = self.lock();
+        match *inner {
+            Inner::Closed { .. } => Ok(()),
+            Inner::Open { opened_at_ms } => {
+                let reopen_at = opened_at_ms.saturating_add(self.config.cooldown_ms);
+                if now_ms >= reopen_at {
+                    *inner = Inner::HalfOpen {
+                        since_ms: now_ms,
+                        in_flight: 1,
+                    };
+                    Ok(())
+                } else {
+                    Err(reopen_at - now_ms)
+                }
+            }
+            Inner::HalfOpen {
+                since_ms,
+                in_flight,
+            } => {
+                if in_flight < self.config.half_open_probes {
+                    *inner = Inner::HalfOpen {
+                        since_ms,
+                        in_flight: in_flight + 1,
+                    };
+                    return Ok(());
+                }
+                let expires_at = since_ms.saturating_add(self.config.probe_timeout_ms);
+                if now_ms >= expires_at {
+                    // The outstanding probes never reported: presume
+                    // them lost and start a fresh probe window.
+                    *inner = Inner::HalfOpen {
+                        since_ms: now_ms,
+                        in_flight: 1,
+                    };
+                    Ok(())
+                } else {
+                    Err(expires_at - now_ms)
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the breaker and clears the
+    /// failure run.
+    pub fn on_success(&self) {
+        *self.lock() = Inner::Closed { failures: 0 };
+    }
+
+    /// Reports a failed call at `now_ms`. Returns `true` when this
+    /// report tripped the breaker open (for a trip counter).
+    pub fn on_failure(&self, now_ms: u64) -> bool {
+        let mut inner = self.lock();
+        match *inner {
+            Inner::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *inner = Inner::Open {
+                        opened_at_ms: now_ms,
+                    };
+                    true
+                } else {
+                    *inner = Inner::Closed { failures };
+                    false
+                }
+            }
+            Inner::HalfOpen { .. } => {
+                // A failed probe re-opens for a fresh cooldown.
+                *inner = Inner::Open {
+                    opened_at_ms: now_ms,
+                };
+                true
+            }
+            // A stale failure report while already open: keep the
+            // original cooldown so late reports cannot extend it
+            // forever.
+            Inner::Open { .. } => false,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The breaker holds no caller state, so a poisoned lock (a
+        // panic under the guard) leaves a still-valid state machine.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+            half_open_probes: 1,
+            probe_timeout_ms: 50,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_and_cools_down() {
+        let b = breaker();
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(1));
+        assert!(b.on_failure(2));
+        assert_eq!(b.state(), BreakerState::Open);
+        let wait = b.try_acquire(10).unwrap_err();
+        assert_eq!(wait, 92); // opened at 2, cooldown 100
+        assert!(b.try_acquire(102).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn successful_probe_closes_failed_probe_reopens() {
+        let b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.try_acquire(200).is_ok());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        for t in 300..303 {
+            b.on_failure(t);
+        }
+        assert!(b.try_acquire(500).is_ok());
+        assert!(b.on_failure(500));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn lost_probe_slots_are_recycled() {
+        let b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.try_acquire(200).is_ok()); // probe admitted, never reports
+        let wait = b.try_acquire(210).unwrap_err();
+        assert_eq!(wait, 40); // probe window started at 200, timeout 50
+        assert!(b.try_acquire(250).is_ok()); // recycled
+    }
+
+    #[test]
+    fn rejection_hint_admits_when_honored() {
+        let b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        let mut now = 5;
+        for _ in 0..10 {
+            match b.try_acquire(now) {
+                Ok(()) => return,
+                Err(wait) => now += wait,
+            }
+        }
+        panic!("breaker never admitted a call");
+    }
+}

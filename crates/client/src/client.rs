@@ -1,0 +1,689 @@
+//! The resilient scoring client: lazy connections, per-call deadlines,
+//! jittered retries gated by a retry budget and a circuit breaker, and
+//! a metric for every decision the resilience machinery makes.
+//!
+//! The retry loop only retries what the server says is transient: a
+//! typed error with `"retryable": true` (or a transport failure) is
+//! retried with backoff — honoring the server's `retry_after_ms` hint
+//! when present — while a non-retryable refusal is surfaced
+//! immediately. Transport failures feed the breaker; a typed error
+//! counts as breaker *success* because the server demonstrably
+//! answered.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use maleva_obs::metrics::{Counter, Registry};
+use serde::{Content, Serialize};
+use std::sync::Arc;
+
+use crate::backoff::BackoffPolicy;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::error::ClientError;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read/write socket timeout; a read that exceeds it drops the
+    /// connection (the stream may be desynchronized mid-line).
+    pub io_timeout: Duration,
+    /// End-to-end deadline for one [`ScoreClient::score_counts`] call,
+    /// including every retry and backoff sleep.
+    pub call_deadline: Duration,
+    /// Maximum attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff schedule between attempts.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker configuration.
+    pub breaker: BreakerConfig,
+    /// Retry-budget token cap: at most this many retries can be saved
+    /// up across calls.
+    pub retry_budget_cap: f64,
+    /// Tokens deposited per fresh call; `deposit/1.0` bounds the
+    /// steady-state retry ratio (0.2 ≈ at most 20% extra load).
+    pub retry_budget_deposit: f64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+            call_deadline: Duration::from_secs(10),
+            max_attempts: 4,
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerConfig::default(),
+            retry_budget_cap: 10.0,
+            retry_budget_deposit: 0.5,
+        }
+    }
+}
+
+/// Finagle-style retry budget: fresh calls deposit a fraction of a
+/// token, each retry withdraws a whole one, so retries are bounded to a
+/// fraction of real traffic and cannot amplify an outage.
+#[derive(Debug)]
+pub(crate) struct RetryBudget {
+    tokens: Mutex<f64>,
+    cap: f64,
+    deposit: f64,
+}
+
+impl RetryBudget {
+    pub(crate) fn new(cap: f64, deposit: f64) -> Self {
+        let cap = cap.max(0.0);
+        RetryBudget {
+            // Start full: a fresh client may retry immediately; only
+            // *sustained* retrying is throttled to the deposit rate.
+            tokens: Mutex::new(cap),
+            cap,
+            deposit: deposit.max(0.0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, f64> {
+        self.tokens.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn on_call(&self) {
+        let mut t = self.lock();
+        *t = (*t + self.deposit).min(self.cap);
+    }
+
+    pub(crate) fn try_withdraw(&self) -> bool {
+        let mut t = self.lock();
+        if *t >= 1.0 {
+            *t -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Counters for every resilience decision, in the client's own
+/// [`Registry`].
+#[derive(Debug)]
+pub struct ClientMetrics {
+    registry: Registry,
+    /// `score_counts` calls started.
+    pub requests: Arc<Counter>,
+    /// Retry attempts sent (excludes each call's first attempt).
+    pub retries: Arc<Counter>,
+    /// Transport failures (connect/read/write, including timeouts).
+    pub io_errors: Arc<Counter>,
+    /// Unparseable response lines.
+    pub protocol_errors: Arc<Counter>,
+    /// Typed error bodies received from the server.
+    pub server_errors: Arc<Counter>,
+    /// Times the breaker tripped open.
+    pub breaker_trips: Arc<Counter>,
+    /// Calls rejected by the open breaker without touching the wire.
+    pub breaker_rejections: Arc<Counter>,
+    /// Calls abandoned because the retry budget was empty.
+    pub budget_exhausted: Arc<Counter>,
+    /// Calls abandoned at the client-side deadline.
+    pub deadline_exceeded: Arc<Counter>,
+    /// Fresh TCP connections established.
+    pub connects: Arc<Counter>,
+}
+
+impl Default for ClientMetrics {
+    fn default() -> Self {
+        ClientMetrics::new()
+    }
+}
+
+impl ClientMetrics {
+    /// Zeroed metrics in a fresh registry.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter("client_requests_total", "Score calls started.");
+        let retries = registry.counter("client_retries_total", "Retry attempts sent.");
+        let io_errors = registry.counter("client_io_errors_total", "Transport failures.");
+        let protocol_errors =
+            registry.counter("client_protocol_errors_total", "Unparseable responses.");
+        let server_errors =
+            registry.counter("client_server_errors_total", "Typed server error bodies.");
+        let breaker_trips =
+            registry.counter("client_breaker_trips_total", "Circuit breaker trips.");
+        let breaker_rejections = registry.counter(
+            "client_breaker_rejections_total",
+            "Calls rejected by the open breaker.",
+        );
+        let budget_exhausted = registry.counter(
+            "client_budget_exhausted_total",
+            "Calls abandoned on an empty retry budget.",
+        );
+        let deadline_exceeded = registry.counter(
+            "client_deadline_exceeded_total",
+            "Calls abandoned at the client deadline.",
+        );
+        let connects = registry.counter("client_connects_total", "TCP connections established.");
+        ClientMetrics {
+            registry,
+            requests,
+            retries,
+            io_errors,
+            protocol_errors,
+            server_errors,
+            breaker_trips,
+            breaker_rejections,
+            budget_exhausted,
+            deadline_exceeded,
+            connects,
+        }
+    }
+
+    /// Prometheus text exposition of every client counter.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ClientMetricsSnapshot {
+        ClientMetricsSnapshot {
+            requests: self.requests.get(),
+            retries: self.retries.get(),
+            io_errors: self.io_errors.get(),
+            protocol_errors: self.protocol_errors.get(),
+            server_errors: self.server_errors.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_rejections: self.breaker_rejections.get(),
+            budget_exhausted: self.budget_exhausted.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            connects: self.connects.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ClientMetrics`] (serializable for chaos
+/// artifacts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ClientMetricsSnapshot {
+    /// Score calls started.
+    pub requests: u64,
+    /// Retry attempts sent.
+    pub retries: u64,
+    /// Transport failures.
+    pub io_errors: u64,
+    /// Unparseable responses.
+    pub protocol_errors: u64,
+    /// Typed server error bodies.
+    pub server_errors: u64,
+    /// Circuit breaker trips.
+    pub breaker_trips: u64,
+    /// Calls rejected by the open breaker.
+    pub breaker_rejections: u64,
+    /// Calls abandoned on an empty retry budget.
+    pub budget_exhausted: u64,
+    /// Calls abandoned at the client deadline.
+    pub deadline_exceeded: u64,
+    /// TCP connections established.
+    pub connects: u64,
+}
+
+/// A successful score, with how hard the client had to work for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreOutcome {
+    /// Malware confidence in `[0, 1]`.
+    pub score: f64,
+    /// `"malware"` or `"clean"`.
+    pub verdict: String,
+    /// Whether the server answered from its cache.
+    pub cached: bool,
+    /// Server-side batch size that produced the score (0 for hits).
+    pub batch_size: u64,
+    /// Attempts this call needed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Newtype that deserializes into the raw [`Content`] tree (the
+/// vendored `serde_json` has no `Value` type).
+struct JsonValue(Content);
+
+impl<'de> serde::Deserialize<'de> for JsonValue {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.content().map(JsonValue)
+    }
+}
+
+enum Parsed {
+    Score {
+        score: f64,
+        verdict: String,
+        cached: bool,
+        batch_size: u64,
+    },
+    ServerError {
+        kind: String,
+        detail: String,
+        retryable: bool,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+/// The resilient scoring client; see the module docs for the retry
+/// policy.
+pub struct ScoreClient {
+    config: ClientConfig,
+    conn: Option<Conn>,
+    breaker: CircuitBreaker,
+    budget: RetryBudget,
+    metrics: ClientMetrics,
+    epoch: Instant,
+}
+
+impl ScoreClient {
+    /// A disconnected client (connections are opened lazily per call).
+    pub fn new(config: ClientConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker.clone());
+        let budget = RetryBudget::new(config.retry_budget_cap, config.retry_budget_deposit);
+        ScoreClient {
+            config,
+            conn: None,
+            breaker,
+            budget,
+            metrics: ClientMetrics::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A client for `addr` with default resilience settings.
+    pub fn connect_to(addr: &str) -> Self {
+        ScoreClient::new(ClientConfig {
+            addr: addr.to_string(),
+            ..ClientConfig::default()
+        })
+    }
+
+    /// The client's resilience metrics.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Scores one sample (raw API-call counts), retrying transient
+    /// failures within the configured deadline, attempt count, retry
+    /// budget, and circuit breaker.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for a non-retryable refusal;
+    /// [`ClientError::DeadlineExceeded`], [`ClientError::RetriesExhausted`],
+    /// or [`ClientError::BudgetExhausted`] when the call gives up.
+    pub fn score_counts(&mut self, counts: &[u32]) -> Result<ScoreOutcome, ClientError> {
+        let start = Instant::now();
+        self.metrics.requests.inc();
+        self.budget.on_call();
+
+        let line = encode_score_request(counts);
+        let mut attempts = 0u32;
+        let mut last_err;
+        loop {
+            // Breaker gate: a rejection costs no attempt and no budget,
+            // only (deadline-bounded) waiting.
+            if let Err(retry_in_ms) = self.breaker.try_acquire(self.now_ms()) {
+                self.metrics.breaker_rejections.inc();
+                let wait = Duration::from_millis(retry_in_ms);
+                let remaining = self.config.call_deadline.saturating_sub(start.elapsed());
+                if wait >= remaining {
+                    // Waiting out the breaker would cross the deadline:
+                    // surface the breaker, not a generic timeout.
+                    return Err(ClientError::CircuitOpen { retry_in_ms });
+                }
+                std::thread::sleep(wait);
+                continue;
+            }
+
+            attempts += 1;
+            match self.attempt(&line) {
+                Ok(Parsed::Score {
+                    score,
+                    verdict,
+                    cached,
+                    batch_size,
+                }) => {
+                    self.breaker.on_success();
+                    return Ok(ScoreOutcome {
+                        score,
+                        verdict,
+                        cached,
+                        batch_size,
+                        attempts,
+                    });
+                }
+                Ok(Parsed::ServerError {
+                    kind,
+                    detail,
+                    retryable,
+                    retry_after_ms,
+                }) => {
+                    // The server answered: that is breaker success even
+                    // though the call failed.
+                    self.breaker.on_success();
+                    self.metrics.server_errors.inc();
+                    let err = ClientError::Server {
+                        kind,
+                        detail,
+                        retryable,
+                        retry_after_ms,
+                    };
+                    if !retryable {
+                        return Err(err);
+                    }
+                    last_err = err;
+                }
+                Err(err) => {
+                    if self.breaker.on_failure(self.now_ms()) {
+                        self.metrics.breaker_trips.inc();
+                    }
+                    match &err {
+                        ClientError::Protocol { .. } => self.metrics.protocol_errors.inc(),
+                        _ => self.metrics.io_errors.inc(),
+                    }
+                    last_err = err;
+                }
+            }
+
+            if attempts >= self.config.max_attempts.max(1) {
+                return Err(ClientError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(last_err),
+                });
+            }
+            if !self.budget.try_withdraw() {
+                self.metrics.budget_exhausted.inc();
+                return Err(ClientError::BudgetExhausted {
+                    last: Box::new(last_err),
+                });
+            }
+            self.metrics.retries.inc();
+
+            // Back off before the retry, honoring the server's hint
+            // when it is larger than our own schedule.
+            let mut wait = self.config.backoff.delay(attempts - 1);
+            if let ClientError::Server {
+                retry_after_ms: Some(ms),
+                ..
+            } = &last_err
+            {
+                wait = wait.max(Duration::from_millis(*ms));
+            }
+            self.sleep_within_deadline(wait, start)?;
+        }
+    }
+
+    /// Sends one `{"cmd": ...}` command (e.g. `stats`, `health`,
+    /// `shutdown`) and returns the raw single-line response. No retries
+    /// — commands are diagnostics, not scoring traffic. Not for
+    /// `metrics`, whose response spans multiple lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure.
+    pub fn command(&mut self, cmd: &str) -> Result<String, ClientError> {
+        self.roundtrip(&format!("{{\"cmd\":\"{cmd}\"}}"))
+    }
+
+    /// Sleeps `wait`, unless that would cross the call deadline — then
+    /// fails the call with [`ClientError::DeadlineExceeded`].
+    fn sleep_within_deadline(&self, wait: Duration, start: Instant) -> Result<(), ClientError> {
+        let remaining = self.config.call_deadline.saturating_sub(start.elapsed());
+        if wait >= remaining {
+            self.metrics.deadline_exceeded.inc();
+            return Err(ClientError::DeadlineExceeded {
+                deadline_ms: self.config.call_deadline.as_millis() as u64,
+            });
+        }
+        std::thread::sleep(wait);
+        Ok(())
+    }
+
+    /// One wire attempt: write the request line, read one response
+    /// line, parse it. Any transport or parse failure drops the
+    /// connection (the stream may be desynchronized).
+    fn attempt(&mut self, line: &str) -> Result<Parsed, ClientError> {
+        let resp = self.roundtrip(line)?;
+        match parse_response(&resp) {
+            Ok(parsed) => Ok(parsed),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.try_roundtrip(line) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(ClientError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+
+    fn try_roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        if self.conn.is_none() {
+            self.conn = Some(self.open_conn()?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        let mut resp = String::new();
+        let n = conn.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+
+    fn open_conn(&self) -> std::io::Result<Conn> {
+        let addr = resolve(&self.config.addr)?;
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        self.metrics.connects.inc();
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("`{addr}` resolved to no address"),
+        )
+    })
+}
+
+/// Encodes a score request line for raw API-call counts.
+pub fn encode_score_request(counts: &[u32]) -> String {
+    let mut line = String::with_capacity(16 + counts.len() * 3);
+    line.push_str("{\"features\":[");
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&c.to_string());
+    }
+    line.push_str("]}");
+    line
+}
+
+fn number(content: &Content) -> Option<f64> {
+    match *content {
+        Content::U64(v) => Some(v as f64),
+        Content::I64(v) => Some(v as f64),
+        Content::F64(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn parse_response(line: &str) -> Result<Parsed, ClientError> {
+    let protocol = |detail: String| ClientError::Protocol { detail };
+    let JsonValue(value) = serde_json::from_str(line)
+        .map_err(|e| protocol(format!("response is not JSON: {e} (line: {line:?})")))?;
+    let Content::Map(entries) = value else {
+        return Err(protocol(format!("response is not an object: {line:?}")));
+    };
+    if let Some((_, body)) = entries.iter().find(|(k, _)| k == "error") {
+        let Content::Map(body) = body else {
+            return Err(protocol("error body is not an object".to_string()));
+        };
+        let field = |name: &str| body.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let kind = match field("kind") {
+            Some(Content::Str(s)) => s.clone(),
+            _ => return Err(protocol("error body lacks a string `kind`".to_string())),
+        };
+        let detail = match field("detail") {
+            Some(Content::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let retryable = matches!(field("retryable"), Some(Content::Bool(true)));
+        let retry_after_ms = field("retry_after_ms").and_then(number).map(|v| v as u64);
+        return Ok(Parsed::ServerError {
+            kind,
+            detail,
+            retryable,
+            retry_after_ms,
+        });
+    }
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let Some(score) = field("score").and_then(number) else {
+        return Err(protocol(format!(
+            "response has neither `score` nor `error`: {line:?}"
+        )));
+    };
+    let verdict = match field("verdict") {
+        Some(Content::Str(s)) => s.clone(),
+        _ => return Err(protocol("score response lacks a `verdict`".to_string())),
+    };
+    let cached = matches!(field("cached"), Some(Content::Bool(true)));
+    let batch_size = field("batch_size").and_then(number).unwrap_or(0.0) as u64;
+    Ok(Parsed::Score {
+        score,
+        verdict,
+        cached,
+        batch_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_score_requests_compactly() {
+        assert_eq!(encode_score_request(&[]), "{\"features\":[]}");
+        assert_eq!(encode_score_request(&[1, 0, 42]), "{\"features\":[1,0,42]}");
+    }
+
+    #[test]
+    fn parses_score_responses() {
+        let line = "{\"score\":0.97,\"verdict\":\"malware\",\"cached\":false,\"batch_size\":12}";
+        match parse_response(line).unwrap() {
+            Parsed::Score {
+                score,
+                verdict,
+                cached,
+                batch_size,
+            } => {
+                assert!((score - 0.97).abs() < 1e-12);
+                assert_eq!(verdict, "malware");
+                assert!(!cached);
+                assert_eq!(batch_size, 12);
+            }
+            Parsed::ServerError { .. } => panic!("parsed as error"),
+        }
+    }
+
+    #[test]
+    fn parses_error_responses_with_and_without_hint() {
+        let line = "{\"error\":{\"kind\":\"overloaded\",\"detail\":\"q\",\
+                    \"retryable\":true,\"retry_after_ms\":12}}";
+        match parse_response(line).unwrap() {
+            Parsed::ServerError {
+                kind,
+                retryable,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(kind, "overloaded");
+                assert!(retryable);
+                assert_eq!(retry_after_ms, Some(12));
+            }
+            Parsed::Score { .. } => panic!("parsed as score"),
+        }
+        let line =
+            "{\"error\":{\"kind\":\"wrong_dimension\",\"detail\":\"d\",\"retryable\":false}}";
+        match parse_response(line).unwrap() {
+            Parsed::ServerError {
+                kind,
+                retryable,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(kind, "wrong_dimension");
+                assert!(!retryable);
+                assert_eq!(retry_after_ms, None);
+            }
+            Parsed::Score { .. } => panic!("parsed as score"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_responses() {
+        for line in ["", "not json", "[1,2]", "{\"weird\":1}"] {
+            assert!(
+                matches!(parse_response(line), Err(ClientError::Protocol { .. })),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_bounds_retries() {
+        let b = RetryBudget::new(2.0, 0.5);
+        assert!(b.try_withdraw()); // starts full (2 tokens)
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw()); // drained: sustained retries throttled
+        b.on_call();
+        b.on_call(); // 2 * 0.5 = 1.0 token earned back
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+        for _ in 0..100 {
+            b.on_call(); // deposits cap at 2.0, not 50
+        }
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed client-side errors, separating transport failures from typed
+//! server refusals so callers (and the retry loop) can branch precisely.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything a [`crate::ScoreClient`] call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// A transport-level failure (connect, read, or write).
+    Io {
+        /// The io error, stringified (keeps the type `Clone`/`PartialEq`).
+        detail: String,
+    },
+    /// The server replied with something that is not a valid response.
+    Protocol {
+        /// What was wrong with the line.
+        detail: String,
+    },
+    /// The server replied with a typed error body.
+    Server {
+        /// The wire `kind` (e.g. `overloaded`, `deadline_exceeded`).
+        kind: String,
+        /// Human-readable detail from the server.
+        detail: String,
+        /// The server's own retryability verdict.
+        retryable: bool,
+        /// Server-suggested wait before retrying (only `overloaded`).
+        retry_after_ms: Option<u64>,
+    },
+    /// The circuit breaker rejected the call without sending anything.
+    CircuitOpen {
+        /// Bound on the wait until the breaker admits a call.
+        retry_in_ms: u64,
+    },
+    /// The whole call (including retries) exceeded the client deadline.
+    DeadlineExceeded {
+        /// The configured call deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The retry budget was empty — retrying further would amplify an
+    /// outage, so the last error is surfaced instead.
+    BudgetExhausted {
+        /// The error from the final attempt.
+        last: Box<ClientError>,
+    },
+    /// Every allowed attempt failed.
+    RetriesExhausted {
+        /// How many attempts ran.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether the retry loop may try again after this error.
+    /// Terminal wrappers (`RetriesExhausted`, `BudgetExhausted`,
+    /// `DeadlineExceeded`) and non-retryable server refusals are final.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io { .. } | ClientError::Protocol { .. } => true,
+            ClientError::CircuitOpen { .. } => true,
+            ClientError::Server { retryable, .. } => *retryable,
+            ClientError::DeadlineExceeded { .. }
+            | ClientError::BudgetExhausted { .. }
+            | ClientError::RetriesExhausted { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io { detail } => write!(f, "io error: {detail}"),
+            ClientError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ClientError::Server { kind, detail, .. } => {
+                write!(f, "server error ({kind}): {detail}")
+            }
+            ClientError::CircuitOpen { retry_in_ms } => {
+                write!(f, "circuit breaker open; retry in {retry_in_ms} ms")
+            }
+            ClientError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "call exceeded the {deadline_ms} ms client deadline")
+            }
+            ClientError::BudgetExhausted { last } => {
+                write!(f, "retry budget exhausted; last error: {last}")
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_the_error_class() {
+        assert!(ClientError::Io { detail: "x".into() }.is_retryable());
+        assert!(ClientError::CircuitOpen { retry_in_ms: 5 }.is_retryable());
+        assert!(ClientError::Server {
+            kind: "overloaded".into(),
+            detail: String::new(),
+            retryable: true,
+            retry_after_ms: Some(3),
+        }
+        .is_retryable());
+        assert!(!ClientError::Server {
+            kind: "wrong_dimension".into(),
+            detail: String::new(),
+            retryable: false,
+            retry_after_ms: None,
+        }
+        .is_retryable());
+        assert!(!ClientError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ClientError::Io { detail: "x".into() }),
+        }
+        .is_retryable());
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end client behavior against scripted fake servers.
+//!
+//! `maleva-client` deliberately does not depend on `maleva-serve`, so
+//! these tests stand up tiny scripted TCP listeners that misbehave in
+//! controlled ways — close on accept, reply with typed errors, then
+//! recover — and assert the retry loop, breaker, and metrics react per
+//! contract. (The full-stack chaos soak against the real server lives
+//! in `maleva-serve`'s test suite.)
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use maleva_client::{BackoffPolicy, BreakerConfig, ClientConfig, ClientError, ScoreClient};
+
+const SCORE_LINE: &str =
+    "{\"score\":0.75,\"verdict\":\"malware\",\"cached\":false,\"batch_size\":3}";
+const OVERLOADED_LINE: &str = "{\"error\":{\"kind\":\"overloaded\",\"detail\":\"queue full\",\
+                               \"retryable\":true,\"retry_after_ms\":5}}";
+const BAD_DIM_LINE: &str = "{\"error\":{\"kind\":\"wrong_dimension\",\
+                            \"detail\":\"expected 3\",\"retryable\":false}}";
+
+/// What a scripted server does with one accepted connection.
+enum Script {
+    /// Accept, then drop the socket without reading or writing.
+    CloseImmediately,
+    /// Serve one response line per entry (reading a request line before
+    /// each), then close.
+    Respond(Vec<&'static str>),
+}
+
+/// Runs one script per accepted connection, in order, then exits.
+fn fake_server(scripts: Vec<Script>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        for script in scripts {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            match script {
+                Script::CloseImmediately => drop(stream),
+                Script::Respond(lines) => {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for line in lines {
+                        let mut req = String::new();
+                        if reader.read_line(&mut req).unwrap_or(0) == 0 {
+                            break;
+                        }
+                        let _ = stream.write_all(line.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        let _ = stream.flush();
+                    }
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+fn fast_config(addr: SocketAddr) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_string(),
+        connect_timeout: Duration::from_secs(2),
+        io_timeout: Duration::from_secs(2),
+        call_deadline: Duration::from_secs(5),
+        max_attempts: 4,
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            jitter_frac: 0.0,
+            seed: 0,
+        },
+        ..ClientConfig::default()
+    }
+}
+
+#[test]
+fn scores_on_the_first_attempt() {
+    let (addr, server) = fake_server(vec![Script::Respond(vec![SCORE_LINE])]);
+    let mut client = ScoreClient::new(fast_config(addr));
+    let outcome = client.score_counts(&[1, 2, 3]).expect("score");
+    assert_eq!(outcome.attempts, 1);
+    assert_eq!(outcome.verdict, "malware");
+    assert_eq!(outcome.batch_size, 3);
+    assert!((outcome.score - 0.75).abs() < 1e-12);
+    let m = client.metrics().snapshot();
+    assert_eq!((m.requests, m.retries, m.io_errors), (1, 0, 0));
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn reconnects_and_retries_after_a_connection_reset() {
+    let (addr, server) = fake_server(vec![
+        Script::CloseImmediately,
+        Script::Respond(vec![SCORE_LINE]),
+    ]);
+    let mut client = ScoreClient::new(fast_config(addr));
+    let outcome = client.score_counts(&[1, 2, 3]).expect("score");
+    assert_eq!(outcome.attempts, 2);
+    let m = client.metrics().snapshot();
+    assert_eq!(m.retries, 1);
+    assert_eq!(m.io_errors, 1);
+    assert_eq!(m.connects, 2);
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn honors_the_servers_retry_after_hint() {
+    let (addr, server) = fake_server(vec![Script::Respond(vec![OVERLOADED_LINE, SCORE_LINE])]);
+    let mut client = ScoreClient::new(fast_config(addr));
+    let start = Instant::now();
+    let outcome = client.score_counts(&[1, 2, 3]).expect("score");
+    assert_eq!(outcome.attempts, 2);
+    // The hint (5 ms) dominates the 1 ms backoff.
+    assert!(start.elapsed() >= Duration::from_millis(5));
+    let m = client.metrics().snapshot();
+    assert_eq!(m.server_errors, 1);
+    assert_eq!(m.retries, 1);
+    assert_eq!(m.connects, 1, "typed errors must not drop the connection");
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn does_not_retry_non_retryable_refusals() {
+    let (addr, server) = fake_server(vec![Script::Respond(vec![BAD_DIM_LINE])]);
+    let mut client = ScoreClient::new(fast_config(addr));
+    let err = client.score_counts(&[1, 2]).expect_err("refused");
+    match &err {
+        ClientError::Server {
+            kind, retryable, ..
+        } => {
+            assert_eq!(kind, "wrong_dimension");
+            assert!(!retryable);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert!(!err.is_retryable());
+    let m = client.metrics().snapshot();
+    assert_eq!(m.retries, 0);
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn gives_up_after_max_attempts_against_a_dead_server() {
+    let scripts = (0..4).map(|_| Script::CloseImmediately).collect();
+    let (addr, server) = fake_server(scripts);
+    let mut client = ScoreClient::new(ClientConfig {
+        // Breaker too lax to interfere: this test pins attempt budgets.
+        breaker: BreakerConfig {
+            failure_threshold: 100,
+            ..BreakerConfig::default()
+        },
+        ..fast_config(addr)
+    });
+    let err = client.score_counts(&[1, 2, 3]).expect_err("dead server");
+    match err {
+        ClientError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 4);
+            assert!(matches!(*last, ClientError::Io { .. }));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    let m = client.metrics().snapshot();
+    assert_eq!(m.io_errors, 4);
+    assert_eq!(m.retries, 3);
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn breaker_trips_and_rejects_without_touching_the_wire() {
+    let scripts = (0..2).map(|_| Script::CloseImmediately).collect();
+    let (addr, server) = fake_server(scripts);
+    let mut client = ScoreClient::new(ClientConfig {
+        max_attempts: 10,
+        call_deadline: Duration::from_millis(300),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 60_000, // far beyond the call deadline
+            half_open_probes: 1,
+            probe_timeout_ms: 1_000,
+        },
+        ..fast_config(addr)
+    });
+    let err = client.score_counts(&[1, 2, 3]).expect_err("tripped");
+    assert!(
+        matches!(err, ClientError::CircuitOpen { retry_in_ms } if retry_in_ms > 0),
+        "unexpected error {err:?}"
+    );
+    let m = client.metrics().snapshot();
+    assert_eq!(m.breaker_trips, 1);
+    assert_eq!(m.breaker_rejections, 1);
+    assert_eq!(m.io_errors, 2);
+    assert_eq!(m.connects, 2, "no connection after the trip");
+    drop(client);
+    server.join().unwrap();
+}

@@ -1,0 +1,150 @@
+//! Property tests for the client's resilience machinery.
+//!
+//! * The backoff schedule is a pure function of `(policy, attempt)`:
+//!   deterministic per seed, monotone in its nominal component, and
+//!   bounded by `cap * (1 + jitter)`.
+//! * The circuit breaker never deadlocks: after ANY sequence of
+//!   acquisitions, reports, and clock advances, honoring at most a few
+//!   rejection hints always reaches an admitted call — including from
+//!   half-open with probes that never report back.
+
+use std::time::Duration;
+
+use maleva_client::{BackoffPolicy, BreakerConfig, CircuitBreaker};
+use proptest::prelude::*;
+
+fn policy() -> impl Strategy<Value = BackoffPolicy> {
+    (1u64..100, 1u64..1_000, 0u32..=100, any::<u64>()).prop_map(|(base, extra, jitter, seed)| {
+        BackoffPolicy {
+            base: Duration::from_millis(base),
+            cap: Duration::from_millis(base + extra),
+            jitter_frac: f64::from(jitter) / 100.0,
+            seed,
+        }
+    })
+}
+
+/// One step of a random breaker workload. Acquired calls report back
+/// success/failure only when the step says so — unreported probes are
+/// exactly the hangs the breaker must survive.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Acquire { report: Option<bool>, advance: u64 },
+    Failure { advance: u64 },
+    Success { advance: u64 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        0u8..6,
+        prop::sample::select(vec![None, Some(true), Some(false)]),
+        0u64..700,
+    )
+        .prop_map(|(kind, report, advance)| match kind {
+            0..=2 => Step::Acquire { report, advance },
+            3 | 4 => Step::Failure { advance },
+            _ => Step::Success { advance },
+        })
+}
+
+fn config() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..6, 1u64..500, 1u32..4, 1u64..500).prop_map(
+        |(failure_threshold, cooldown_ms, half_open_probes, probe_timeout_ms)| BreakerConfig {
+            failure_threshold,
+            cooldown_ms,
+            half_open_probes,
+            probe_timeout_ms,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same policy => same schedule, attempt by attempt.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed(p in policy()) {
+        let q = p.clone();
+        for attempt in 0..24u32 {
+            prop_assert_eq!(p.delay(attempt), q.delay(attempt));
+        }
+    }
+
+    /// The nominal schedule is monotone non-decreasing and capped; the
+    /// jittered delay stays inside the `[1-j, 1+j]` envelope of it.
+    #[test]
+    fn backoff_schedule_is_monotone_and_bounded(p in policy()) {
+        let mut prev = Duration::ZERO;
+        for attempt in 0..24u32 {
+            let nominal = p.nominal(attempt);
+            prop_assert!(nominal >= prev, "nominal not monotone at {}", attempt);
+            prop_assert!(nominal <= p.cap);
+            prev = nominal;
+
+            let d = p.delay(attempt).as_secs_f64();
+            let n = nominal.as_secs_f64();
+            let j = p.jitter_frac;
+            prop_assert!(d >= n * (1.0 - j) - 1e-9, "delay {} below envelope {}", d, n);
+            prop_assert!(d <= n * (1.0 + j) + 1e-9, "delay {} above envelope {}", d, n);
+        }
+    }
+
+    /// A different seed decorrelates at least one attempt of a jittered
+    /// schedule (no retry stampedes from identically-configured
+    /// clients).
+    #[test]
+    fn backoff_seeds_decorrelate(base in 1u64..50, s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let make = |seed| BackoffPolicy {
+            base: Duration::from_millis(base),
+            cap: Duration::from_millis(base * 1024),
+            jitter_frac: 0.5,
+            seed,
+        };
+        let (a, b) = (make(s1), make(s2));
+        let differs = (0..16u32).any(|i| a.delay(i) != b.delay(i));
+        prop_assert!(differs, "seeds {} and {} produced identical schedules", s1, s2);
+    }
+
+    /// No-deadlock liveness: drive the breaker through an arbitrary
+    /// workload (including probes that never report), then honor its
+    /// rejection hints — an admitted call must arrive within a few
+    /// bounded waits, never an unbounded lockout.
+    #[test]
+    fn breaker_always_recovers(cfg in config(), steps in prop::collection::vec(step(), 0..40)) {
+        let breaker = CircuitBreaker::new(cfg.clone());
+        let mut now: u64 = 0;
+        let hint_bound = cfg.cooldown_ms.max(cfg.probe_timeout_ms);
+
+        for s in steps {
+            match s {
+                Step::Acquire { report, advance } => {
+                    if let Err(wait) = breaker.try_acquire(now) {
+                        prop_assert!(wait > 0, "zero-wait rejection spins");
+                        prop_assert!(wait <= hint_bound, "hint {} exceeds bound {}", wait, hint_bound);
+                    } else if let Some(ok) = report {
+                        if ok { breaker.on_success(); } else { breaker.on_failure(now); }
+                    }
+                    now += advance;
+                }
+                Step::Failure { advance } => { breaker.on_failure(now); now += advance; }
+                Step::Success { advance } => { breaker.on_success(); now += advance; }
+            }
+        }
+
+        // From whatever state the workload left behind, honoring the
+        // hints must admit a call: one wait to leave Open, at most one
+        // more to recycle a saturated half-open probe window.
+        let mut admitted = false;
+        for _ in 0..3 {
+            match breaker.try_acquire(now) {
+                Ok(()) => { admitted = true; break; }
+                Err(wait) => {
+                    prop_assert!(wait > 0 && wait <= hint_bound);
+                    now += wait;
+                }
+            }
+        }
+        prop_assert!(admitted, "breaker deadlocked in state {:?}", breaker.state());
+    }
+}

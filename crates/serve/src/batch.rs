@@ -1,4 +1,5 @@
-//! The micro-batching core: job types and the pure batched scorer.
+//! The micro-batching core: job types, the pure batched scorer, and
+//! its panic-isolated wrapper.
 //!
 //! Acceptor threads enqueue [`ScoreJob`]s into a bounded channel; the
 //! scorer thread drains up to `max_batch` jobs (or until the batch
@@ -7,11 +8,22 @@
 //! is that batched scores are bit-identical to scoring each row alone,
 //! so batching is purely a throughput optimization, never a semantic
 //! one.
+//!
+//! [`score_rows_isolated`] hardens that hot path: the batched forward
+//! runs under `catch_unwind`, and if it panics (or errors) every row is
+//! re-scored alone, each under its own `catch_unwind`, so a poisoned
+//! row fails by itself with a typed `internal` error while its
+//! batchmates still get their bit-exact scores — one bad request can
+//! never kill the scorer loop or starve the batch.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use maleva_nn::{Network, NnError};
+
+use crate::error::ServeError;
+use crate::fault::{FaultInjector, FaultSite};
 
 /// One pending scoring request travelling from a connection thread to
 /// the scorer thread.
@@ -20,8 +32,9 @@ pub struct ScoreJob {
     pub features: Vec<f64>,
     /// Quantized cache key for post-scoring insertion.
     pub cache_key: Vec<i64>,
-    /// Where the scorer sends the result.
-    pub reply: mpsc::Sender<ScoredReply>,
+    /// Where the scorer sends the result: the score, or the typed
+    /// error for a row that failed in isolation.
+    pub reply: mpsc::Sender<Result<ScoredReply, ServeError>>,
 }
 
 /// The scorer's answer to one [`ScoreJob`].
@@ -63,6 +76,89 @@ pub fn score_rows_sequential(network: &Network, rows: &[Vec<f64>]) -> Result<Vec
         .collect()
 }
 
+/// Outcome of scoring one batch with panic isolation
+/// ([`score_rows_isolated`]).
+pub struct BatchOutcome {
+    /// Per-row result, index-aligned with the input rows: the score,
+    /// or the failure message for a row that failed alone.
+    pub scores: Vec<Result<f64, String>>,
+    /// Whether the batched forward panicked or errored and the batch
+    /// fell back to per-row scoring.
+    pub batch_failed: bool,
+    /// Rows that failed even in isolation (the `Err` entries).
+    pub row_failures: u64,
+}
+
+/// Extracts a printable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scorer panicked (non-string payload)".to_string()
+    }
+}
+
+/// Scores `rows` with panic isolation: one batched forward pass under
+/// `catch_unwind`; if it panics or errors, each row is re-scored alone
+/// under its own `catch_unwind`, so a poisoned row fails by itself
+/// while the rest of the batch still gets bit-exact scores.
+///
+/// `faults` drives the injectable failure points
+/// ([`FaultSite::BatchPanic`] fires inside the batched pass,
+/// [`FaultSite::RowPanic`] inside the per-row fallback); pass a
+/// disabled injector in production.
+pub fn score_rows_isolated(
+    network: &Network,
+    rows: &[Vec<f64>],
+    faults: &FaultInjector,
+) -> BatchOutcome {
+    let batched = catch_unwind(AssertUnwindSafe(|| {
+        if faults.should_fire(FaultSite::BatchPanic) {
+            panic!("injected fault: scorer batch panic");
+        }
+        score_rows(network, rows)
+    }));
+    if let Ok(Ok(scores)) = batched {
+        return BatchOutcome {
+            scores: scores.into_iter().map(Ok).collect(),
+            batch_failed: false,
+            row_failures: 0,
+        };
+    }
+    // The batch panicked or errored: isolate the poison by scoring
+    // every row alone, each under its own catch_unwind.
+    let mut row_failures = 0u64;
+    let scores = rows
+        .iter()
+        .map(|row| {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if faults.should_fire(FaultSite::RowPanic) {
+                    panic!("injected fault: scorer row panic");
+                }
+                score_rows(network, std::slice::from_ref(row)).map(|scores| scores[0])
+            }));
+            match attempt {
+                Ok(Ok(score)) => Ok(score),
+                Ok(Err(e)) => {
+                    row_failures += 1;
+                    Err(e.to_string())
+                }
+                Err(payload) => {
+                    row_failures += 1;
+                    Err(panic_message(payload))
+                }
+            }
+        })
+        .collect();
+    BatchOutcome {
+        scores,
+        batch_failed: true,
+        row_failures,
+    }
+}
+
 /// Drains one micro-batch from `rx`: blocks for the first job, then
 /// keeps collecting until `max_batch` jobs are gathered or
 /// `batch_timeout` elapses since the first arrival. Returns `None` once
@@ -98,7 +194,28 @@ pub fn collect_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultAction, FaultPlan};
     use maleva_nn::{Activation, NetworkBuilder};
+
+    /// Silences the default panic hook for intentionally injected
+    /// panics (they are caught by `catch_unwind`; the hook would still
+    /// spam stderr). Installed once per test binary; everything else
+    /// still reaches the previous hook.
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
 
     fn net() -> Network {
         NetworkBuilder::new(4)
@@ -125,6 +242,74 @@ mod tests {
         for (b, s) in batched.iter().zip(&sequential) {
             assert_eq!(b.to_bits(), s.to_bits());
         }
+    }
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..4)
+                    .map(|j| ((i * 5 + j) as f64 * 0.21).cos().abs())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolated_scoring_without_faults_is_bit_identical() {
+        let net = net();
+        let rows = rows(9);
+        let reference = score_rows(&net, &rows).unwrap();
+        let outcome = score_rows_isolated(&net, &rows, &FaultInjector::new(FaultPlan::disabled()));
+        assert!(!outcome.batch_failed);
+        assert_eq!(outcome.row_failures, 0);
+        for (got, want) in outcome.scores.iter().zip(&reference) {
+            assert_eq!(got.as_ref().unwrap().to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_panic_falls_back_to_per_row_with_identical_bits() {
+        quiet_injected_panics();
+        let net = net();
+        let rows = rows(7);
+        let reference = score_rows(&net, &rows).unwrap();
+        // Every batched attempt panics; the per-row fallback is clean.
+        let plan = FaultPlan::disabled().with(FaultSite::BatchPanic, FaultAction::EveryNth(1));
+        let injector = FaultInjector::new(plan);
+        let outcome = score_rows_isolated(&net, &rows, &injector);
+        assert!(outcome.batch_failed);
+        assert_eq!(outcome.row_failures, 0);
+        assert_eq!(injector.fired(FaultSite::BatchPanic), 1);
+        for (got, want) in outcome.scores.iter().zip(&reference) {
+            assert_eq!(got.as_ref().unwrap().to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn poisoned_row_fails_alone_and_neighbors_survive() {
+        quiet_injected_panics();
+        let net = net();
+        let rows = rows(6);
+        let reference = score_rows(&net, &rows).unwrap();
+        // The batch panics, then exactly one of the six fallback rows
+        // panics too — that row alone must carry the error.
+        let plan = FaultPlan::disabled()
+            .with(FaultSite::BatchPanic, FaultAction::EveryNth(1))
+            .with(FaultSite::RowPanic, FaultAction::EveryNth(6));
+        let outcome = score_rows_isolated(&net, &rows, &FaultInjector::new(plan));
+        assert!(outcome.batch_failed);
+        assert_eq!(outcome.row_failures, 1);
+        let mut failed = 0;
+        for (got, want) in outcome.scores.iter().zip(&reference) {
+            match got {
+                Ok(score) => assert_eq!(score.to_bits(), want.to_bits()),
+                Err(msg) => {
+                    failed += 1;
+                    assert!(msg.contains("injected fault"), "{msg}");
+                }
+            }
+        }
+        assert_eq!(failed, 1);
     }
 
     #[test]

@@ -41,10 +41,21 @@ pub enum ServeError {
         /// The configured limit in bytes.
         limit: usize,
     },
-    /// The scoring queue is full; the client should back off and retry.
+    /// The scoring queue is full (or admission control shed the
+    /// request); the client should back off and retry.
     Overloaded {
         /// The queue's bounded capacity.
         capacity: usize,
+        /// Server-suggested wait before retrying, in milliseconds,
+        /// scaled to the current queue depth.
+        retry_after_ms: u64,
+    },
+    /// The request could not be scored within the server's per-request
+    /// deadline; the reply channel was abandoned and the connection
+    /// stays usable.
+    DeadlineExceeded {
+        /// The configured per-request deadline, in milliseconds.
+        deadline_ms: u64,
     },
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
@@ -66,6 +77,7 @@ impl ServeError {
             ServeError::InvalidFeature { .. } => "invalid_feature",
             ServeError::LineTooLong { .. } => "line_too_long",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Internal { .. } => "internal",
         }
@@ -74,7 +86,19 @@ impl ServeError {
     /// Whether the client may retry the identical request later
     /// (transient service conditions, as opposed to malformed input).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ServeError::Overloaded { .. })
+        matches!(
+            self,
+            ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Server-suggested retry delay in milliseconds, when the error
+    /// carries one (only `overloaded` does).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 }
 
@@ -92,8 +116,17 @@ impl fmt::Display for ServeError {
             ServeError::LineTooLong { limit } => {
                 write!(f, "request line exceeds the {limit}-byte limit")
             }
-            ServeError::Overloaded { capacity } => {
-                write!(f, "scoring queue full ({capacity} pending); retry later")
+            ServeError::Overloaded {
+                capacity,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "scoring queue full ({capacity} pending); retry in {retry_after_ms} ms"
+                )
+            }
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "request not scored within the {deadline_ms} ms deadline")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
@@ -123,7 +156,11 @@ mod tests {
                 value: -1.0,
             },
             ServeError::LineTooLong { limit: 8 },
-            ServeError::Overloaded { capacity: 4 },
+            ServeError::Overloaded {
+                capacity: 4,
+                retry_after_ms: 5,
+            },
+            ServeError::DeadlineExceeded { deadline_ms: 100 },
             ServeError::ShuttingDown,
             ServeError::Internal { detail: "x".into() },
         ];
@@ -133,8 +170,16 @@ mod tests {
     }
 
     #[test]
-    fn only_overload_is_retryable() {
-        assert!(ServeError::Overloaded { capacity: 1 }.is_retryable());
+    fn only_transient_conditions_are_retryable() {
+        let overloaded = ServeError::Overloaded {
+            capacity: 1,
+            retry_after_ms: 7,
+        };
+        assert!(overloaded.is_retryable());
+        assert_eq!(overloaded.retry_after_ms(), Some(7));
+        let deadline = ServeError::DeadlineExceeded { deadline_ms: 50 };
+        assert!(deadline.is_retryable());
+        assert_eq!(deadline.retry_after_ms(), None);
         assert!(!ServeError::ShuttingDown.is_retryable());
         assert!(!ServeError::MalformedJson {
             detail: String::new()

@@ -17,6 +17,12 @@
 //! * **backpressure** — a full queue yields a typed
 //!   [`ServeError::Overloaded`] response instead of blocking, and
 //!   shutdown drains in-flight work before stopping;
+//! * **resilience** ([`fault`]) — per-request deadlines
+//!   (`deadline_exceeded`), admission control that sheds load by queue
+//!   depth with a `retry_after_ms` hint, a panic-isolated scorer loop
+//!   ([`batch::score_rows_isolated`]), a `{"cmd": "health"}` endpoint,
+//!   and a deterministic seedable fault injector (`MALEVA_FAULTS`)
+//!   driving the chaos soak tests;
 //! * **metrics** ([`metrics`]) — lock-free counters and a fixed-bucket
 //!   latency histogram, exposed via `{"cmd": "stats"}`.
 //!
@@ -38,13 +44,15 @@
 pub mod batch;
 pub mod cache;
 mod error;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 mod server;
 
-pub use batch::{score_rows, score_rows_sequential};
+pub use batch::{score_rows, score_rows_isolated, score_rows_sequential, BatchOutcome};
 pub use cache::LruCache;
 pub use error::ServeError;
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use protocol::{parse_request, Request, ScoreResponse};
+pub use protocol::{parse_request, HealthReport, Request, ScoreResponse};
 pub use server::{spawn, ServeConfig, ServerHandle};

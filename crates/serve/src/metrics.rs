@@ -37,6 +37,21 @@ pub struct Metrics {
     pub errors: Arc<Counter>,
     /// Requests rejected with `overloaded` (also counted in `errors`).
     pub overloaded: Arc<Counter>,
+    /// Overload rejections made by admission control *before* the
+    /// queue was full (subset of `overloaded`).
+    pub shed: Arc<Counter>,
+    /// Requests answered with `deadline_exceeded` (also in `errors`).
+    pub deadline_exceeded: Arc<Counter>,
+    /// Batches whose forward pass panicked (or errored) and fell back
+    /// to per-row scoring — the scorer loop survived each one.
+    pub scorer_panics: Arc<Counter>,
+    /// Rows that failed even the per-row fallback and were answered
+    /// with a typed `internal` error.
+    pub row_failures: Arc<Counter>,
+    /// Faults fired by the injector (0 unless fault injection is on).
+    pub faults_injected: Arc<Counter>,
+    /// Jobs currently waiting in the scoring queue.
+    pub queue_depth: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     batch_size: Arc<Histogram>,
@@ -61,6 +76,27 @@ impl Metrics {
         let errors = registry.counter("serve_errors_total", "Typed error responses sent.");
         let overloaded =
             registry.counter("serve_overloaded_total", "Requests rejected as overloaded.");
+        let shed = registry.counter(
+            "serve_shed_total",
+            "Requests shed by admission control before the queue filled.",
+        );
+        let deadline_exceeded = registry.counter(
+            "serve_deadline_exceeded_total",
+            "Requests answered with deadline_exceeded.",
+        );
+        let scorer_panics = registry.counter(
+            "serve_scorer_panics_total",
+            "Batched forward passes that panicked and fell back to per-row scoring.",
+        );
+        let row_failures = registry.counter(
+            "serve_row_failures_total",
+            "Rows that failed even in per-row isolation.",
+        );
+        let faults_injected = registry.counter(
+            "serve_faults_injected_total",
+            "Faults fired by the fault injector.",
+        );
+        let queue_depth = registry.gauge("serve_queue_depth", "Jobs waiting in the scoring queue.");
         let cache_entries = registry.gauge("serve_cache_entries", "Live score cache entries.");
         let latency_us = registry.histogram(
             "serve_request_latency_us",
@@ -76,6 +112,12 @@ impl Metrics {
             cache_misses,
             errors,
             overloaded,
+            shed,
+            deadline_exceeded,
+            scorer_panics,
+            row_failures,
+            faults_injected,
+            queue_depth,
             cache_entries,
             latency_us,
             batch_size,
@@ -123,6 +165,12 @@ impl Metrics {
             cache_entries,
             errors: self.errors.get(),
             overloaded: self.overloaded.get(),
+            shed: self.shed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            scorer_panics: self.scorer_panics.get(),
+            row_failures: self.row_failures.get(),
+            faults_injected: self.faults_injected.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -158,6 +206,19 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Overload rejections (subset of `errors`).
     pub overloaded: u64,
+    /// Admission-control rejections before the queue filled (subset of
+    /// `overloaded`).
+    pub shed: u64,
+    /// Requests answered with `deadline_exceeded` (subset of `errors`).
+    pub deadline_exceeded: u64,
+    /// Batches that panicked and fell back to per-row scoring.
+    pub scorer_panics: u64,
+    /// Rows that failed even in per-row isolation.
+    pub row_failures: u64,
+    /// Faults fired by the injector.
+    pub faults_injected: u64,
+    /// Jobs waiting in the scoring queue at snapshot time.
+    pub queue_depth: u64,
     /// `rows_scored / batches`, 0 when no batches ran.
     pub mean_batch_size: f64,
     /// Median request latency, µs (bucket upper bound).

@@ -8,6 +8,7 @@
 //! {"cmd": "stats"}                    metrics snapshot (JSON)
 //! {"cmd": "metrics"}                  Prometheus text exposition, multi-line,
 //!                                     terminated by a "# EOF" marker line
+//! {"cmd": "health"}                   queue depth, drain state, fault counters
 //! {"cmd": "shutdown"}                 graceful drain + stop
 //! ```
 //!
@@ -16,9 +17,15 @@
 //! ```text
 //! {"score": 0.97, "verdict": "malware", "cached": false, "batch_size": 12}
 //! {"stats": {...}}                    see `MetricsSnapshot`
+//! {"health": {"status": "ok", "queue_depth": 3, ...}}
 //! {"ok": "shutting down"}
-//! {"error": {"kind": "overloaded", "detail": "...", "retryable": true}}
+//! {"error": {"kind": "overloaded", "detail": "...", "retryable": true,
+//!            "retry_after_ms": 12}}
 //! ```
+//!
+//! `retry_after_ms` appears only on `overloaded` errors; every other
+//! error body carries exactly `kind`, `detail`, and `retryable` (the
+//! full contract table lives in DESIGN.md §11).
 //!
 //! Counts are validated strictly — finite, non-negative, integral, and
 //! at most `u32::MAX` — because the features are API-call counts; any
@@ -52,6 +59,8 @@ pub enum Request {
     Stats,
     /// Return Prometheus text exposition (multi-line, `# EOF`-terminated).
     Metrics,
+    /// Return queue depth, drain state, and fault counters as JSON.
+    Health,
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -77,6 +86,7 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
         return match cmd {
             Content::Str(s) if s == "stats" => Ok(Request::Stats),
             Content::Str(s) if s == "metrics" => Ok(Request::Metrics),
+            Content::Str(s) if s == "health" => Ok(Request::Health),
             Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
             Content::Str(other) => Err(ServeError::UnknownCommand {
                 command: other.clone(),
@@ -194,13 +204,63 @@ pub fn encode_shutdown_ack() -> String {
     "{\"ok\":\"shutting down\"}".to_string()
 }
 
-/// Encodes an error response line.
-pub fn encode_error(err: &ServeError) -> String {
+/// The body of a `{"cmd": "health"}` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthReport {
+    /// `"ok"` when accepting work, `"draining"` during shutdown.
+    pub status: &'static str,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+    /// Jobs currently waiting in the scoring queue.
+    pub queue_depth: u64,
+    /// Queue depth at which admission control starts shedding.
+    pub shed_depth: u64,
+    /// The per-request deadline, in milliseconds.
+    pub deadline_ms: u64,
+    /// Batches whose forward pass panicked and were re-scored per row.
+    pub scorer_panics: u64,
+    /// Rows that failed even the per-row fallback (`internal` replies).
+    pub row_failures: u64,
+    /// Requests shed or rejected with `overloaded`.
+    pub overloaded: u64,
+    /// Requests answered with `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Per-site injected-fault counters, `(site, fired)` in stable
+    /// order; empty when fault injection is disabled.
+    pub faults: Vec<(String, u64)>,
+}
+
+/// Encodes a health response line.
+pub fn encode_health(report: &HealthReport) -> String {
     #[derive(Serialize)]
+    struct Wrapper<'a> {
+        health: &'a HealthReport,
+    }
+    serde_json::to_string(&Wrapper { health: report })
+        .unwrap_or_else(|_| encode_internal_error("health encoding"))
+}
+
+/// Encodes an error response line. `retry_after_ms` is included only
+/// when the error carries a hint (`overloaded`).
+pub fn encode_error(err: &ServeError) -> String {
     struct Body<'a> {
         kind: &'static str,
         detail: &'a str,
         retryable: bool,
+        retry_after_ms: Option<u64>,
+    }
+    impl serde::Serialize for Body<'_> {
+        fn to_content(&self) -> Content {
+            let mut fields = vec![
+                ("kind".to_string(), Content::Str(self.kind.to_string())),
+                ("detail".to_string(), Content::Str(self.detail.to_string())),
+                ("retryable".to_string(), Content::Bool(self.retryable)),
+            ];
+            if let Some(ms) = self.retry_after_ms {
+                fields.push(("retry_after_ms".to_string(), Content::U64(ms)));
+            }
+            Content::Map(fields)
+        }
     }
     #[derive(Serialize)]
     struct Wrapper<'a> {
@@ -212,6 +272,7 @@ pub fn encode_error(err: &ServeError) -> String {
             kind: err.kind(),
             detail: &detail,
             retryable: err.is_retryable(),
+            retry_after_ms: err.retry_after_ms(),
         },
     })
     .unwrap_or_else(|_| encode_internal_error("error encoding"))
@@ -247,6 +308,10 @@ mod tests {
         assert_eq!(
             parse_request("{\"cmd\": \"metrics\"}", 3).unwrap(),
             Request::Metrics
+        );
+        assert_eq!(
+            parse_request("{\"cmd\": \"health\"}", 3).unwrap(),
+            Request::Health
         );
         assert_eq!(
             parse_request("{\"cmd\": \"shutdown\"}", 3).unwrap(),
@@ -324,21 +389,70 @@ mod tests {
         assert!(!line.contains('\n'));
     }
 
-    #[test]
-    fn error_encoding_round_trips_kind() {
-        let line = encode_error(&ServeError::Overloaded { capacity: 64 });
-        let JsonValue(v) = serde_json::from_str(&line).unwrap();
+    fn error_body(line: &str) -> Vec<(String, Content)> {
+        let JsonValue(v) = serde_json::from_str(line).unwrap();
         let Content::Map(top) = v else {
             panic!("not an object")
         };
-        let Some((_, Content::Map(body))) = top.iter().find(|(k, _)| k == "error") else {
+        let Some((_, Content::Map(body))) = top.into_iter().find(|(k, _)| k == "error") else {
             panic!("no error body");
         };
+        body
+    }
+
+    #[test]
+    fn error_encoding_round_trips_kind_and_retry_hint() {
+        let line = encode_error(&ServeError::Overloaded {
+            capacity: 64,
+            retry_after_ms: 12,
+        });
+        let body = error_body(&line);
         assert!(body
             .iter()
             .any(|(k, v)| k == "kind" && *v == Content::Str("overloaded".into())));
         assert!(body
             .iter()
             .any(|(k, v)| k == "retryable" && *v == Content::Bool(true)));
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "retry_after_ms" && *v == Content::U64(12)));
+    }
+
+    #[test]
+    fn only_overloaded_carries_retry_after_ms() {
+        for err in [
+            ServeError::DeadlineExceeded { deadline_ms: 100 },
+            ServeError::ShuttingDown,
+            ServeError::MalformedJson { detail: "x".into() },
+        ] {
+            let body = error_body(&encode_error(&err));
+            assert!(
+                !body.iter().any(|(k, _)| k == "retry_after_ms"),
+                "{} should not carry retry_after_ms",
+                err.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn health_encoding_includes_queue_and_fault_state() {
+        let line = encode_health(&HealthReport {
+            status: "ok",
+            draining: false,
+            queue_depth: 3,
+            shed_depth: 48,
+            deadline_ms: 30_000,
+            scorer_panics: 1,
+            row_failures: 0,
+            overloaded: 2,
+            deadline_exceeded: 0,
+            faults: vec![("batch_panic".to_string(), 1)],
+        });
+        assert!(line.starts_with("{\"health\":{"), "{line}");
+        assert!(line.contains("\"queue_depth\":3"), "{line}");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert!(line.contains("\"scorer_panics\":1"), "{line}");
+        assert!(line.contains("batch_panic"), "{line}");
+        assert!(!line.contains('\n'));
     }
 }

@@ -29,11 +29,12 @@ use std::time::{Duration, Instant};
 use maleva_core::DetectorPipeline;
 use maleva_obs::trace::Span;
 
-use crate::batch::{collect_batch, score_rows, ScoreJob, ScoredReply};
+use crate::batch::{collect_batch, score_rows_isolated, ScoreJob, ScoredReply};
 use crate::cache::{quantize, LruCache};
 use crate::error::ServeError;
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::protocol::{self, Request, ScoreResponse};
+use crate::protocol::{self, HealthReport, Request, ScoreResponse};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -52,6 +53,17 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Maximum request-line length in bytes.
     pub max_line_bytes: usize,
+    /// Per-request deadline: a score request not answered within this
+    /// budget gets a typed `deadline_exceeded` error instead of a
+    /// connection that hangs on a slow or wedged scorer.
+    pub request_deadline: Duration,
+    /// Admission-control threshold: when the scoring queue already
+    /// holds at least this many jobs, new misses are shed with
+    /// `overloaded` (plus a `retry_after_ms` hint) *before* the queue
+    /// fills. Defaults to `queue_capacity` (shed only when full).
+    pub shed_queue_depth: usize,
+    /// Deterministic fault-injection plan; disabled by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -63,8 +75,25 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             cache_capacity: 4096,
             max_line_bytes: 1 << 20,
+            request_deadline: Duration::from_secs(30),
+            shed_queue_depth: 1024,
+            faults: FaultPlan::disabled(),
         }
     }
+}
+
+/// Suggested client wait before retrying after an overload rejection:
+/// roughly how long the queued work ahead of the request will take to
+/// drain (batches ahead x batch timeout), capped at one second so the
+/// hint never parks clients for long.
+pub(crate) fn suggested_retry_after_ms(
+    queue_depth: u64,
+    max_batch: usize,
+    batch_timeout: Duration,
+) -> u64 {
+    let batches_ahead = queue_depth / max_batch.max(1) as u64 + 1;
+    let per_batch_ms = (batch_timeout.as_millis() as u64).max(1);
+    (batches_ahead * per_batch_ms).min(1_000)
 }
 
 /// How often blocked reads wake up to observe the shutdown flag.
@@ -77,9 +106,19 @@ struct Shared {
     cache: Mutex<LruCache<Vec<i64>, f64>>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    injector: FaultInjector,
 }
 
 impl Shared {
+    /// [`FaultInjector::should_fire`] plus the faults-injected metric.
+    fn fire(&self, site: FaultSite) -> bool {
+        let fired = self.injector.should_fire(site);
+        if fired {
+            self.metrics.faults_injected.inc();
+        }
+        fired
+    }
+
     fn trigger_shutdown(&self) {
         if !self.shutting_down.swap(true, Ordering::SeqCst) {
             // Unblock the acceptor with a throwaway connection.
@@ -108,6 +147,17 @@ impl ServerHandle {
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         snapshot(&self.shared)
+    }
+
+    /// Per-site injected-fault counters, `(site, fired)` in stable
+    /// order (all zero when injection is disabled).
+    pub fn fault_counts(&self) -> Vec<(&'static str, u64)> {
+        self.shared.injector.fired_counts()
+    }
+
+    /// The same health report served to `{"cmd": "health"}` clients.
+    pub fn health(&self) -> HealthReport {
+        health_report(&self.shared)
     }
 
     /// Whether a shutdown has been initiated.
@@ -166,6 +216,7 @@ pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result
     let batch_timeout = config.batch_timeout;
     let queue_capacity = config.queue_capacity.max(1);
 
+    let injector = FaultInjector::new(config.faults.clone());
     let shared = Arc::new(Shared {
         pipeline,
         config,
@@ -173,6 +224,7 @@ pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result
         cache: Mutex::new(LruCache::new(cache_capacity)),
         shutting_down: AtomicBool::new(false),
         addr,
+        injector,
     });
 
     let (tx, rx) = mpsc::sync_channel::<ScoreJob>(queue_capacity);
@@ -206,38 +258,56 @@ fn scorer_loop(
 ) {
     while let Some(jobs) = collect_batch(rx, max_batch, batch_timeout) {
         let mut span = Span::enter("serve.batch");
+        shared.metrics.queue_depth.add(-(jobs.len() as i64));
+        if shared.fire(FaultSite::ScoreDelay) {
+            std::thread::sleep(shared.injector.delay());
+        }
         let rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features.clone()).collect();
         span.record("rows", rows.len() as u64);
-        match score_rows(shared.pipeline.network(), &rows) {
-            Ok(scores) => {
-                let n = jobs.len();
-                shared.metrics.batches.inc();
-                shared.metrics.rows_scored.add(n as u64);
-                shared.metrics.record_batch_size(n as u64);
-                if let Ok(mut cache) = shared.cache.lock() {
-                    for (job, &score) in jobs.iter().zip(&scores) {
-                        cache.insert(job.cache_key.clone(), score);
-                    }
-                }
-                for (job, score) in jobs.into_iter().zip(scores) {
-                    // A send error means the connection died; the score
-                    // is already cached, so the work is not wasted.
-                    let _ = job.reply.send(ScoredReply {
-                        score,
-                        batch_size: n,
-                    });
+
+        // BatchPanic/RowPanic fire inside the isolated scorer; only this
+        // thread consumes those sites, so the delta is race-free.
+        let scorer_faults = |shared: &Shared| {
+            shared.injector.fired(FaultSite::BatchPanic)
+                + shared.injector.fired(FaultSite::RowPanic)
+        };
+        let faults_before = scorer_faults(shared);
+        let outcome = score_rows_isolated(shared.pipeline.network(), &rows, &shared.injector);
+        shared
+            .metrics
+            .faults_injected
+            .add(scorer_faults(shared) - faults_before);
+
+        let n = jobs.len();
+        shared.metrics.batches.inc();
+        shared.metrics.record_batch_size(n as u64);
+        if outcome.batch_failed {
+            shared.metrics.scorer_panics.inc();
+            span.record("batch_failed", true);
+        }
+        shared.metrics.row_failures.add(outcome.row_failures);
+        let ok_rows = outcome.scores.iter().filter(|s| s.is_ok()).count() as u64;
+        shared.metrics.rows_scored.add(ok_rows);
+
+        if let Ok(mut cache) = shared.cache.lock() {
+            for (job, score) in jobs.iter().zip(&outcome.scores) {
+                if let Ok(score) = score {
+                    cache.insert(job.cache_key.clone(), *score);
                 }
             }
-            Err(e) => {
-                // Cannot happen for dimension-validated rows; dropping
-                // the replies surfaces `internal` errors client-side
-                // instead of hanging connections.
-                span.record("error", true);
-                eprintln!(
-                    "[maleva-serve] scorer error on a {}-row batch: {e}",
-                    rows.len()
-                );
-            }
+        }
+        for (job, score) in jobs.into_iter().zip(outcome.scores) {
+            // A send error means the connection died or gave up on its
+            // deadline; successful scores are already cached, so the
+            // work is not wasted either way.
+            let reply = match score {
+                Ok(score) => Ok(ScoredReply {
+                    score,
+                    batch_size: n,
+                }),
+                Err(detail) => Err(ServeError::Internal { detail }),
+            };
+            let _ = job.reply.send(reply);
         }
     }
 }
@@ -249,6 +319,12 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: SyncSender<Sc
             break;
         }
         let Ok(stream) = stream else { continue };
+        if shared.fire(FaultSite::AcceptReset) {
+            // Close the connection right after accepting it: the client
+            // sees an immediate EOF and must reconnect.
+            drop(stream);
+            continue;
+        }
         workers.retain(|h| !h.is_finished());
         let shared = Arc::clone(shared);
         let tx = tx.clone();
@@ -339,6 +415,9 @@ fn handle_connection(
 
     loop {
         buf.clear();
+        if shared.fire(FaultSite::SlowRead) {
+            std::thread::sleep(shared.injector.delay());
+        }
         match read_line_bounded(&mut reader, &mut buf, limit, &shared.shutting_down)? {
             LineStatus::Eof | LineStatus::Closing => return Ok(()),
             LineStatus::TooLong => {
@@ -367,6 +446,13 @@ fn handle_connection(
                 let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
                 let text = shared.metrics.render_prometheus(entries);
                 write_metrics_block(&mut writer, &text)?;
+            }
+            Ok(Request::Health) => {
+                span.record("cmd", "health");
+                write_line(
+                    &mut writer,
+                    &protocol::encode_health(&health_report(shared)),
+                )?;
             }
             Ok(Request::Shutdown) => {
                 span.record("cmd", "shutdown");
@@ -427,6 +513,27 @@ fn handle_score(
     if shared.shutting_down.load(Ordering::SeqCst) {
         return respond_error(shared, writer, &ServeError::ShuttingDown);
     }
+
+    let overloaded = |depth: u64| ServeError::Overloaded {
+        capacity: shared.config.queue_capacity,
+        retry_after_ms: suggested_retry_after_ms(
+            depth,
+            shared.config.max_batch,
+            shared.config.batch_timeout,
+        ),
+    };
+
+    // Admission control: shed by observed queue depth *before* pushing,
+    // so a saturated scorer rejects cheaply instead of queueing work it
+    // cannot finish in time.
+    let depth = shared.metrics.queue_depth.get().max(0) as u64;
+    if depth >= shared.config.shed_queue_depth.max(1) as u64 {
+        shared.metrics.shed.inc();
+        shared.metrics.overloaded.inc();
+        span.record("shed", true);
+        return respond_error(shared, writer, &overloaded(depth));
+    }
+
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = ScoreJob {
         features,
@@ -440,41 +547,105 @@ fn handle_score(
             respond_error(
                 shared,
                 writer,
-                &ServeError::Overloaded {
-                    capacity: shared.config.queue_capacity,
-                },
+                &overloaded(shared.config.queue_capacity as u64),
             )
         }
         Err(TrySendError::Disconnected(_)) => {
             respond_error(shared, writer, &ServeError::ShuttingDown)
         }
-        Ok(()) => match reply_rx.recv() {
-            Ok(reply) => {
-                shared.metrics.record_latency(start.elapsed());
-                span.record("batch_size", reply.batch_size as u64);
-                write_line(
+        Ok(()) => {
+            shared.metrics.queue_depth.add(1);
+            let deadline = shared.config.request_deadline;
+            match reply_rx.recv_timeout(deadline) {
+                Ok(Ok(reply)) => {
+                    shared.metrics.record_latency(start.elapsed());
+                    span.record("batch_size", reply.batch_size as u64);
+                    write_line_faulted(
+                        shared,
+                        writer,
+                        &protocol::encode_score(&ScoreResponse::new(
+                            reply.score,
+                            false,
+                            reply.batch_size,
+                        )),
+                    )
+                }
+                Ok(Err(e)) => respond_error(shared, writer, &e),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Abandon the reply channel: the scorer's eventual
+                    // send fails harmlessly and the connection stays in
+                    // sync instead of hanging on a wedged scorer.
+                    shared.metrics.deadline_exceeded.inc();
+                    span.record("deadline_exceeded", true);
+                    respond_error(
+                        shared,
+                        writer,
+                        &ServeError::DeadlineExceeded {
+                            deadline_ms: deadline.as_millis() as u64,
+                        },
+                    )
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => respond_error(
+                    shared,
                     writer,
-                    &protocol::encode_score(&ScoreResponse::new(
-                        reply.score,
-                        false,
-                        reply.batch_size,
-                    )),
-                )
+                    &ServeError::Internal {
+                        detail: "scorer dropped the reply".to_string(),
+                    },
+                ),
             }
-            Err(_) => respond_error(
-                shared,
-                writer,
-                &ServeError::Internal {
-                    detail: "scorer dropped the reply".to_string(),
-                },
-            ),
-        },
+        }
     }
 }
 
 fn respond_error(shared: &Shared, writer: &mut TcpStream, err: &ServeError) -> std::io::Result<()> {
     shared.metrics.errors.inc();
-    write_line(writer, &protocol::encode_error(err))
+    write_line_faulted(shared, writer, &protocol::encode_error(err))
+}
+
+fn health_report(shared: &Shared) -> HealthReport {
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    let m = &shared.metrics;
+    HealthReport {
+        status: if draining { "draining" } else { "ok" },
+        draining,
+        queue_depth: m.queue_depth.get().max(0) as u64,
+        shed_depth: shared.config.shed_queue_depth as u64,
+        deadline_ms: shared.config.request_deadline.as_millis() as u64,
+        scorer_panics: m.scorer_panics.get(),
+        row_failures: m.row_failures.get(),
+        overloaded: m.overloaded.get(),
+        deadline_exceeded: m.deadline_exceeded.get(),
+        faults: shared
+            .injector
+            .fired_counts()
+            .into_iter()
+            .map(|(name, fired)| (name.to_string(), fired))
+            .collect(),
+    }
+}
+
+/// Writes a response line on the score path, subject to write faults:
+/// [`FaultSite::WriteReset`] drops the connection instead of writing
+/// (the io error unwinds the connection thread), [`FaultSite::SlowWrite`]
+/// splits the line into two flushed chunks with a pause between them.
+fn write_line_faulted(shared: &Shared, writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    if shared.fire(FaultSite::WriteReset) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected fault: write reset",
+        ));
+    }
+    if shared.fire(FaultSite::SlowWrite) {
+        let bytes = line.as_bytes();
+        let mid = bytes.len() / 2;
+        writer.write_all(&bytes[..mid])?;
+        writer.flush()?;
+        std::thread::sleep(shared.injector.delay());
+        writer.write_all(&bytes[mid..])?;
+        writer.write_all(b"\n")?;
+        return writer.flush();
+    }
+    write_line(writer, line)
 }
 
 fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {

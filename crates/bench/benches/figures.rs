@@ -157,6 +157,7 @@ fn bench_figure2_blackbox(c: &mut Criterion) {
         vocab_overlap: 0.6,
         gamma: 0.05,
         eval_samples: 10,
+        query_budget: 0,
         seed: 5,
     };
     group.bench_function("oracle_framework_micro", |b| {

@@ -529,6 +529,7 @@ fn figure2(s: &mut Session) {
         vocab_overlap: 0.6,
         gamma: 0.05,
         eval_samples: s.samples.min(150),
+        query_budget: 0,
         seed: s.ctx.seed ^ 0xF2,
     };
     let artifacts = blackbox::run(&s.ctx, &config).expect("blackbox");

@@ -14,19 +14,25 @@
 //!    chunks ([`maleva_serve::score_rows`]), with a bitwise equality
 //!    check: batching must be a pure throughput optimization.
 //! 2. **End-to-end phases** — client threads hammer an in-process
-//!    server over TCP for `--seconds / 4` each:
+//!    server over TCP for `--seconds / 5` each:
 //!    `unbatched` (max batch 1, cache off), `batched` (max batch B,
 //!    cache off), `cached` (max batch B, cache on, keyspace-limited
-//!    request pool so repeats hit), and `degraded` (the batched setup
+//!    request pool so repeats hit), `degraded` (the batched setup
 //!    with deterministic fault injection active — slow reads/writes,
 //!    dropped replies, scorer panics, artificial latency — and clients
-//!    that reconnect on error).
+//!    that reconnect on error), and `sentinel_idle` (the batched setup
+//!    with the extraction sentinel enabled but never flagging: the
+//!    replayed keyspace is exact repeats, which the near-duplicate
+//!    detector deliberately ignores, so the phase isolates the
+//!    sentinel's per-request bookkeeping cost).
 //!
 //! The headline numbers are `batched_vs_unbatched_speedup` — end-to-end
-//! throughput of the batched phase over the unbatched one — and
+//! throughput of the batched phase over the unbatched one —
 //! `degraded_vs_batched_speedup`, the fraction of batched throughput
 //! the server retains while under fault injection (its p99 quantifies
-//! tail latency in degraded mode).
+//! tail latency in degraded mode), and `sentinel_idle_p99_ratio`, the
+//! sentinel-on p99 over the batched p99 (the gate that an idle defense
+//! does not tax the scoring tail).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -37,7 +43,8 @@ use std::time::{Duration, Instant};
 
 use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
 use maleva_serve::{
-    score_rows, score_rows_sequential, spawn, FaultAction, FaultPlan, FaultSite, ServeConfig,
+    score_rows, score_rows_sequential, spawn, FaultAction, FaultPlan, FaultSite, SentinelConfig,
+    ServeConfig,
 };
 use serde::Serialize;
 
@@ -171,6 +178,12 @@ struct BenchReport {
     /// Fraction of batched-phase throughput retained while every fault
     /// site is firing (degraded throughput / batched throughput).
     degraded_vs_batched_speedup: f64,
+    /// Fraction of batched-phase throughput retained with the sentinel
+    /// enabled but idle (sentinel_idle throughput / batched throughput).
+    sentinel_vs_batched_speedup: f64,
+    /// Sentinel-idle p99 latency over batched p99: near 1.0 when the
+    /// enabled-but-idle sentinel leaves the scoring tail alone.
+    sentinel_idle_p99_ratio: f64,
 }
 
 /// Swallows the panics the degraded phase *injects* (payloads marked
@@ -242,15 +255,32 @@ fn main() -> ExitCode {
         .with(FaultSite::BatchPanic, FaultAction::EveryNth(50))
         .with(FaultSite::ScoreDelay, FaultAction::EveryNth(25))
         .with_delay(Duration::from_millis(1));
-    let phase_secs = args.seconds / 4.0;
-    let specs: [(&'static str, usize, usize, FaultPlan); 4] = [
-        ("unbatched", 1, 0, FaultPlan::disabled()),
-        ("batched", args.max_batch, 0, FaultPlan::disabled()),
-        ("cached", args.max_batch, 4096, FaultPlan::disabled()),
-        ("degraded", args.max_batch, 0, degraded_faults),
+    // The sentinel phase keeps the defense fully enabled; the request
+    // pool replays exact keyspace repeats, which the near-duplicate
+    // detector deliberately ignores, so nothing flags and the phase
+    // measures pure bookkeeping overhead.
+    let idle_sentinel = SentinelConfig {
+        enabled: true,
+        seed: args.seed,
+        ..SentinelConfig::default()
+    };
+    let phase_secs = args.seconds / 5.0;
+    let off = SentinelConfig::default;
+    let specs: [(&'static str, usize, usize, FaultPlan, SentinelConfig); 5] = [
+        ("unbatched", 1, 0, FaultPlan::disabled(), off()),
+        ("batched", args.max_batch, 0, FaultPlan::disabled(), off()),
+        ("cached", args.max_batch, 4096, FaultPlan::disabled(), off()),
+        ("degraded", args.max_batch, 0, degraded_faults, off()),
+        (
+            "sentinel_idle",
+            args.max_batch,
+            0,
+            FaultPlan::disabled(),
+            idle_sentinel,
+        ),
     ];
     let mut phases = Vec::new();
-    for (name, max_batch, cache_capacity, faults) in specs {
+    for (name, max_batch, cache_capacity, faults, sentinel) in specs {
         eprintln!(
             "[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...",
             args.clients
@@ -264,6 +294,7 @@ fn main() -> ExitCode {
             max_batch,
             cache_capacity,
             faults,
+            sentinel,
         );
         println!(
             "phase {:<9} {:>8.0} req/s  p50 {:>5} us  p99 {:>6} us  mean batch {:>4.1}  \
@@ -304,16 +335,25 @@ fn main() -> ExitCode {
         batched_vs_unbatched_speedup: speedup(&phases[1], &phases[0]),
         cached_vs_unbatched_speedup: speedup(&phases[2], &phases[0]),
         degraded_vs_batched_speedup: speedup(&phases[3], &phases[1]),
+        sentinel_vs_batched_speedup: speedup(&phases[4], &phases[1]),
+        sentinel_idle_p99_ratio: if phases[1].p99_latency_us > 0 {
+            phases[4].p99_latency_us as f64 / phases[1].p99_latency_us as f64
+        } else {
+            0.0
+        },
         forward,
         phases,
     };
     println!(
         "batched forward speedup (batch >= 8): {:.2}x | end-to-end batched vs unbatched: \
-         {:.2}x | cached vs unbatched: {:.2}x | throughput retained under faults: {:.2}x",
+         {:.2}x | cached vs unbatched: {:.2}x | throughput retained under faults: {:.2}x | \
+         idle sentinel: {:.2}x throughput, p99 ratio {:.2}",
         report.batched_forward_speedup,
         report.batched_vs_unbatched_speedup,
         report.cached_vs_unbatched_speedup,
-        report.degraded_vs_batched_speedup
+        report.degraded_vs_batched_speedup,
+        report.sentinel_vs_batched_speedup,
+        report.sentinel_idle_p99_ratio
     );
 
     let json = serde_json::to_string_pretty(&report).expect("encode report");
@@ -428,6 +468,7 @@ fn run_phase(
     max_batch: usize,
     cache_capacity: usize,
     faults: FaultPlan,
+    sentinel: SentinelConfig,
 ) -> PhaseResult {
     let resilient = faults.is_enabled();
     let config = ServeConfig {
@@ -440,6 +481,7 @@ fn run_phase(
         // amortization.
         batch_timeout: Duration::ZERO,
         faults,
+        sentinel,
         ..ServeConfig::default()
     };
     let handle = spawn(detector, config).expect("spawn server");

@@ -1,0 +1,127 @@
+//! Concurrent benign traffic riding alongside a campaign.
+//!
+//! Real scoring services are not idle while an attacker probes them:
+//! ordinary clients keep submitting ordinary programs. The pool spawns
+//! worker threads, each with its own `client_id` and its own seeded
+//! sample stream from the world, so the sentinel sees realistic mixed
+//! traffic — and the campaign report can assert that none of it was
+//! throttled (the false-positive side of the defense).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use maleva_apisim::World;
+use maleva_client::{BackoffPolicy, ClientConfig, ClientError, ScoreClient};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What one benign worker saw over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenignWorkerReport {
+    /// The worker's `client_id` on the wire (`benign-<i>`).
+    pub client_id: String,
+    /// Score requests attempted.
+    pub requests: u64,
+    /// Requests answered with a score.
+    pub ok: u64,
+    /// Requests refused with the sentinel's `throttled` error — the
+    /// defense's false positives; a healthy campaign reports zero.
+    pub throttled: u64,
+    /// Any other failure (transport, overload, deadline).
+    pub other_errors: u64,
+}
+
+/// A pool of benign-traffic worker threads.
+pub struct BenignPool {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<BenignWorkerReport>>,
+}
+
+impl BenignPool {
+    /// Spawns `workers` threads against `addr`, each sampling fresh
+    /// programs from its own clone of `world` (seeded per worker, so a
+    /// rerun replays the same benign submissions) and scoring them with
+    /// `gap` pauses in between. Zero workers yields an empty pool.
+    pub fn spawn(addr: &str, world: &World, workers: usize, gap: Duration, seed: u64) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                let world = world.clone();
+                let addr = addr.to_string();
+                std::thread::spawn(move || run_worker(&addr, &world, i, gap, seed, &stop))
+            })
+            .collect();
+        BenignPool { stop, handles }
+    }
+
+    /// Signals every worker to stop and joins them, returning their
+    /// reports in worker order.
+    pub fn stop(self) -> Vec<BenignWorkerReport> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    }
+}
+
+fn run_worker(
+    addr: &str,
+    world: &World,
+    index: usize,
+    gap: Duration,
+    seed: u64,
+    stop: &AtomicBool,
+) -> BenignWorkerReport {
+    let client_id = format!("benign-{index}");
+    let mut client = ScoreClient::new(ClientConfig {
+        addr: addr.to_string(),
+        client_id: Some(client_id.clone()),
+        // Benign clients are polite: one attempt, short deadline, move on.
+        max_attempts: 1,
+        call_deadline: Duration::from_secs(2),
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            jitter_frac: 0.0,
+            seed: seed ^ index as u64,
+        },
+        ..ClientConfig::default()
+    });
+    let mut rng = maleva_apisim::rng(seed.wrapping_add(0xBE9 + index as u64));
+    let mut report = BenignWorkerReport {
+        client_id,
+        ..BenignWorkerReport::default()
+    };
+    while !stop.load(Ordering::SeqCst) {
+        // Ordinary traffic is mostly clean with the occasional malware
+        // submission, each a fresh sample — never the micro-perturbed
+        // probing pattern the sentinel hunts for.
+        let malware = rng.gen_bool(0.25);
+        let batch = world.sample_batch(usize::from(!malware), usize::from(malware), &mut rng);
+        let counts = batch[0].counts().to_vec();
+        report.requests += 1;
+        match client.score_counts(&counts) {
+            Ok(_) => report.ok += 1,
+            Err(err) if is_throttled(&err) => report.throttled += 1,
+            Err(_) => report.other_errors += 1,
+        }
+        std::thread::sleep(gap);
+    }
+    report
+}
+
+/// Whether the sentinel's `throttled` refusal is anywhere in the error
+/// chain (it is retryable, so it can hide inside retry wrappers).
+fn is_throttled(err: &ClientError) -> bool {
+    match err {
+        ClientError::Server { kind, .. } => kind == "throttled",
+        ClientError::RetriesExhausted { last, .. } | ClientError::BudgetExhausted { last } => {
+            is_throttled(last)
+        }
+        _ => false,
+    }
+}

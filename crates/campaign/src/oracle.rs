@@ -1,0 +1,108 @@
+//! The live label oracle: `core::blackbox`'s [`LabelOracle`] answered
+//! by a running `maleva-serve` instance over TCP.
+//!
+//! The attacker "submits a program" exactly the way the offline
+//! pipeline scans one — render its API-call log with the world
+//! vocabulary, parse the counts back — and ships the counts over the
+//! wire. Serving is bit-identical to local scanning (the serve crate's
+//! property tests), so for the same seed the live attacker sees the
+//! same verdicts as the offline one; the whole live run replays the
+//! offline run until a defense interferes.
+
+use maleva_apisim::{log::parse_counts, ApiVocab, Program};
+use maleva_client::{ClientError, ScoreClient};
+use maleva_core::blackbox::LabelOracle;
+use maleva_nn::NnError;
+
+/// Why the oracle stopped answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocked {
+    /// The deepest server error kind behind the refusal (e.g.
+    /// `"throttled"`), or a transport description.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Oracle queries answered before the refusal.
+    pub after_queries: usize,
+}
+
+impl Blocked {
+    /// Whether the sentinel's throttle stopped the campaign.
+    pub fn throttled(&self) -> bool {
+        self.kind == "throttled"
+    }
+}
+
+/// Digs the server `kind` out of a client error, unwrapping the retry
+/// wrappers (`RetriesExhausted`/`BudgetExhausted` carry the last
+/// underlying error).
+fn root_kind(err: &ClientError) -> (String, String) {
+    match err {
+        ClientError::Server { kind, detail, .. } => (kind.clone(), detail.clone()),
+        ClientError::RetriesExhausted { last, .. } | ClientError::BudgetExhausted { last } => {
+            root_kind(last)
+        }
+        other => ("transport".to_string(), other.to_string()),
+    }
+}
+
+/// A [`LabelOracle`] that queries a live scoring service.
+pub struct LiveOracle<'a> {
+    client: ScoreClient,
+    vocab: &'a ApiVocab,
+    queries: usize,
+    blocked: Option<Blocked>,
+}
+
+impl<'a> LiveOracle<'a> {
+    /// Wraps a connected client; `vocab` is the world vocabulary used
+    /// to render program logs (the defender's feature space on the
+    /// wire).
+    pub fn new(client: ScoreClient, vocab: &'a ApiVocab) -> Self {
+        LiveOracle {
+            client,
+            vocab,
+            queries: 0,
+            blocked: None,
+        }
+    }
+
+    /// Oracle queries successfully answered so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// The refusal that stopped the campaign, if any.
+    pub fn blocked(&self) -> Option<&Blocked> {
+        self.blocked.as_ref()
+    }
+
+    /// The client's resilience metrics, for the campaign report.
+    pub fn client(&self) -> &ScoreClient {
+        &self.client
+    }
+}
+
+impl LabelOracle for LiveOracle<'_> {
+    fn label(&mut self, program: &Program) -> Result<bool, NnError> {
+        let text = program.render_log(self.vocab);
+        let counts = parse_counts(&text, self.vocab);
+        match self.client.score_counts(&counts) {
+            Ok(outcome) => {
+                self.queries += 1;
+                Ok(outcome.score >= 0.5)
+            }
+            Err(err) => {
+                let (kind, detail) = root_kind(&err);
+                self.blocked = Some(Blocked {
+                    kind: kind.clone(),
+                    detail,
+                    after_queries: self.queries,
+                });
+                Err(NnError::InvalidConfig {
+                    detail: format!("live oracle refused ({kind}): {err}"),
+                })
+            }
+        }
+    }
+}

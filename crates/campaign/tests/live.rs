@@ -1,0 +1,159 @@
+//! End-to-end campaigns against a live server: the controlled
+//! experiment the crate exists for.
+//!
+//! One tiny seed-42 context, three campaigns:
+//!
+//! * sentinel **off** — the live attack must replay the offline oracle
+//!   run exactly (same agreement, same ledger, same evasions), proving
+//!   the wire adds nothing but transport;
+//! * sentinel **on (throttle)** — the same attacker must be flagged by
+//!   its query pattern and cut off before its budget, with zero benign
+//!   clients throttled;
+//! * sentinel **on (poison)** — the attacker is never refused, but the
+//!   answers it extracts after flagging are deterministic noise.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use maleva_campaign::{run_campaign, CampaignConfig};
+use maleva_core::blackbox::{self, BlackboxConfig};
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_serve::{SentinelAction, SentinelConfig};
+
+static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+
+fn ctx() -> &'static ExperimentContext {
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny ctx"))
+}
+
+/// The reference attacker (see `tests/blackbox_regression.rs`): seed 13
+/// lands 4 evasions offline, so the sentinel-off campaign has real
+/// evasions to replay and the sentinel-on campaign has something to
+/// prevent.
+fn attack_config() -> BlackboxConfig {
+    BlackboxConfig {
+        seed_corpus: 60,
+        augmentation_rounds: 1,
+        vocab_overlap: 0.6,
+        gamma: 0.05,
+        eval_samples: 30,
+        query_budget: 400,
+        seed: 13,
+    }
+}
+
+fn campaign_config(sentinel: SentinelConfig) -> CampaignConfig {
+    CampaignConfig {
+        blackbox: attack_config(),
+        sentinel,
+        benign_workers: 2,
+        benign_gap: Duration::from_millis(1),
+        ..CampaignConfig::default()
+    }
+}
+
+fn sentinel_on(action: SentinelAction) -> SentinelConfig {
+    SentinelConfig {
+        enabled: true,
+        action,
+        seed: 42,
+        ..SentinelConfig::default()
+    }
+}
+
+#[test]
+fn sentinel_off_campaign_replays_the_offline_attack() {
+    let offline = blackbox::run(ctx(), &attack_config()).expect("offline run");
+    let report = run_campaign(ctx(), &campaign_config(SentinelConfig::default()))
+        .expect("sentinel-off campaign");
+
+    assert!(report.completed, "blocked: {:?}", report.blocked);
+    assert!(!report.sentinel_enabled);
+    let attack = report.attack.as_ref().expect("attack summary");
+
+    // The wire is transparent: the live oracle answered with the exact
+    // verdicts of the offline detector, so the whole pipeline replays.
+    assert_eq!(attack.ledger, offline.ledger);
+    assert_eq!(attack.oracle_agreement, offline.oracle_agreement);
+    assert_eq!(attack.evasions, offline.evasions);
+    assert_eq!(
+        attack.queries_to_first_evasion,
+        offline.queries_to_first_evasion.unwrap_or(0)
+    );
+    assert!(attack.evasions >= 1, "reference attacker must evade");
+    assert_eq!(report.oracle_queries_answered, offline.ledger.total());
+    let expected_asr = offline.evasions as f64 / offline.attacked as f64;
+    assert!((report.attack_success_rate - expected_asr).abs() < 1e-12);
+
+    // An idle sentinel neither tracks nor flags anyone.
+    assert!(!report.attacker_flagged);
+    assert_eq!(report.sentinel.tracked_clients, 0);
+
+    // Benign traffic flowed and was never throttled.
+    assert_eq!(report.benign.workers.len(), 2);
+    assert!(report.benign.requests > 0, "benign workers never ran");
+    assert_eq!(report.benign.throttled, 0);
+    assert_eq!(report.server_stats.sentinel_throttled, 0);
+}
+
+#[test]
+fn sentinel_throttle_flags_and_stops_the_attacker_before_its_budget() {
+    let offline = blackbox::run(ctx(), &attack_config()).expect("offline run");
+    let report = run_campaign(
+        ctx(),
+        &campaign_config(sentinel_on(SentinelAction::Throttle)),
+    )
+    .expect("sentinel-on campaign");
+
+    // The attacker was flagged by its probing pattern and refused.
+    assert!(report.attacker_flagged, "sentinel: {:?}", report.sentinel);
+    assert!(!report.completed, "defense failed to interrupt the attack");
+    let blocked = report.blocked.as_ref().expect("blocked record");
+    assert!(blocked.throttled, "blocked by {:?} instead", blocked.kind);
+
+    // Flagged strictly before the attack budget — and in fact before
+    // the offline run would have landed its first evasion, so the
+    // evasion was prevented outright (queries-to-evasion diverges).
+    let budget = attack_config().query_budget;
+    assert!((report.attacker_flagged_at_query as usize) < budget);
+    assert!(report.oracle_queries_answered < offline.ledger.total());
+    assert!(
+        report.oracle_queries_answered < offline.queries_to_first_evasion.unwrap(),
+        "attacker reached {} answered queries; offline first evasion at {:?}",
+        report.oracle_queries_answered,
+        offline.queries_to_first_evasion
+    );
+    assert_eq!(report.attack_success_rate, 0.0);
+
+    // The defense's false-positive side: zero benign throttles.
+    assert!(report.benign.requests > 0, "benign workers never ran");
+    assert_eq!(report.benign.throttled, 0);
+    for w in &report.benign.workers {
+        let row = report.sentinel.client(&w.client_id);
+        assert!(
+            row.is_none_or(|r| !r.flagged),
+            "benign client {} flagged",
+            w.client_id
+        );
+    }
+
+    // The server-side metrics agree with the client-side view.
+    assert!(report.server_stats.sentinel_throttled > 0);
+    assert!(report.server_stats.sentinel_flagged >= 1);
+    assert_eq!(report.sentinel.action, "throttle");
+}
+
+#[test]
+fn sentinel_poison_feeds_the_flagged_attacker_noise_instead_of_refusing() {
+    let report = run_campaign(ctx(), &campaign_config(sentinel_on(SentinelAction::Poison)))
+        .expect("poison campaign");
+
+    // Poisoning never refuses, so the pipeline runs to completion —
+    // but the oracle's answers stopped being the detector's.
+    assert!(report.completed, "blocked: {:?}", report.blocked);
+    assert!(report.attacker_flagged);
+    assert!(report.server_stats.sentinel_poisoned > 0);
+    assert_eq!(report.server_stats.sentinel_throttled, 0);
+    assert_eq!(report.benign.throttled, 0);
+    assert_eq!(report.sentinel.action, "poison");
+}

@@ -11,6 +11,10 @@
 //! maleva serve --model detector.json [--addr HOST:PORT] [--max-batch N]
 //!              [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
 //!              [--deadline-ms T] [--shed-depth N] [--faults SPEC]
+//!              [--sentinel off|throttle|poison] [--sentinel-seed N]
+//! maleva blackbox [--scale S] [--seed N] [--queries BUDGET] [--report FILE]
+//! maleva campaign [--scale S] [--seed N] [--queries BUDGET] [--benign N]
+//!              [--sentinel off|throttle|poison] [--report FILE]
 //! ```
 //!
 //! The model artifact is a single JSON file holding the API vocabulary,
@@ -66,6 +70,8 @@ fn main() -> ExitCode {
         "attack" => cmd_attack(&flags),
         "info" => cmd_info(&flags),
         "serve" => cmd_serve(&flags),
+        "blackbox" => cmd_blackbox(&flags),
+        "campaign" => cmd_campaign(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -98,11 +104,25 @@ usage:
   maleva serve  --model detector.json [--addr HOST:PORT] [--max-batch N]
                 [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
                 [--deadline-ms T] [--shed-depth N] [--faults SPEC]
+                [--sentinel off|throttle|poison] [--sentinel-seed N]
+  maleva blackbox [--scale tiny|quick|paper] [--seed N] [--attack-seed N]
+                [--queries BUDGET] [--corpus N] [--rounds N] [--overlap F]
+                [--gamma G] [--eval N] [--report FILE]
+  maleva campaign [--scale tiny|quick|paper] [--seed N] [--attack-seed N]
+                [--queries BUDGET] [--corpus N] [--rounds N] [--eval N]
+                [--benign N] [--sentinel off|throttle|poison]
+                [--sentinel-seed N] [--addr HOST:PORT] [--report FILE]
 
 serve injects deterministic faults when --faults (or MALEVA_FAULTS) is
 set, e.g. 'seed=7,write_reset=p0.02,batch_panic=@50,delay_ms=2';
 score talks to a running serve instance with retries, backoff, and a
 circuit breaker instead of loading a model locally
+
+blackbox runs the offline substitute-model attack (Figure 2) under an
+oracle-query budget (0 = unlimited); campaign runs the same attack
+live against a spawned (or --addr attached) serve instance with mixed
+benign traffic, measuring the extraction sentinel when enabled, and
+writes campaign_report.json
 
 every command accepts --trace-out FILE (or '-' for stderr) to write
 newline-delimited JSON spans, and --threads N (or MALEVA_THREADS) to
@@ -353,6 +373,189 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the shared sentinel flags: `--sentinel off|throttle|poison`
+/// (default off) and `--sentinel-seed N` (default the command's
+/// `--seed`, falling back to 42).
+fn sentinel_of(flags: &HashMap<String, String>) -> Result<maleva_serve::SentinelConfig, String> {
+    let mut config = maleva_serve::SentinelConfig::default();
+    match flags.get("sentinel").map(String::as_str).unwrap_or("off") {
+        "off" => return Ok(config),
+        "throttle" => {
+            config.enabled = true;
+            config.action = maleva_serve::SentinelAction::Throttle;
+        }
+        "poison" => {
+            config.enabled = true;
+            config.action = maleva_serve::SentinelAction::Poison;
+        }
+        other => return Err(format!("unknown --sentinel action: {other}")),
+    }
+    config.seed = match flags.get("sentinel-seed") {
+        Some(s) => s.parse().map_err(|e| format!("bad --sentinel-seed: {e}"))?,
+        None => seed_of(flags)?,
+    };
+    Ok(config)
+}
+
+/// Parses the flags shared by `blackbox` and `campaign` into a
+/// [`maleva_core::blackbox::BlackboxConfig`].
+fn blackbox_config_of(
+    flags: &HashMap<String, String>,
+    scale: &ExperimentScale,
+) -> Result<maleva_core::blackbox::BlackboxConfig, String> {
+    let defaults = maleva_core::blackbox::BlackboxConfig::default();
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    let attack_seed = match flags.get("attack-seed") {
+        Some(s) => s.parse().map_err(|e| format!("bad --attack-seed: {e}"))?,
+        None => seed_of(flags)?,
+    };
+    Ok(maleva_core::blackbox::BlackboxConfig {
+        seed_corpus: parse_usize("corpus", defaults.seed_corpus)?,
+        augmentation_rounds: parse_usize("rounds", defaults.augmentation_rounds)?,
+        vocab_overlap: parse_f64("overlap", defaults.vocab_overlap)?,
+        gamma: parse_f64("gamma", defaults.gamma)?,
+        eval_samples: parse_usize("eval", scale.attack_samples.min(defaults.eval_samples))?,
+        query_budget: parse_usize("queries", defaults.query_budget)?,
+        seed: attack_seed,
+    })
+}
+
+fn scale_of(flags: &HashMap<String, String>) -> Result<ExperimentScale, String> {
+    match flags.get("scale").map(String::as_str).unwrap_or("quick") {
+        "tiny" => Ok(ExperimentScale::tiny()),
+        "quick" => Ok(ExperimentScale::quick()),
+        "paper" => Ok(ExperimentScale::paper()),
+        other => Err(format!("unknown scale: {other}")),
+    }
+}
+
+/// Runs the offline black-box framework (Figure 2) and writes its
+/// serializable summary as a JSON report.
+fn cmd_blackbox(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let scale = scale_of(flags)?;
+    let config = blackbox_config_of(flags, &scale)?;
+    eprintln!(
+        "building context (scale={}, seed={seed}) and running the substitute attack ...",
+        scale.name
+    );
+    let ctx = ExperimentContext::build(scale, seed).map_err(|e| e.to_string())?;
+    let artifacts = maleva_core::blackbox::run(&ctx, &config).map_err(|e| e.to_string())?;
+    let summary = artifacts.summary();
+    println!(
+        "oracle queries : {} total ({} seed / {} aug / {} probe / {} eval)",
+        summary.ledger.total(),
+        summary.ledger.seed,
+        summary.ledger.augmentation,
+        summary.ledger.agreement,
+        summary.ledger.evaluation
+    );
+    println!("substitute agreement : {:.3}", summary.oracle_agreement);
+    println!(
+        "evasions : {}/{} (baseline detection {:.3} -> {:.3})",
+        summary.evasions, summary.attacked, summary.baseline_detection, summary.target_detection
+    );
+    if summary.queries_to_first_evasion > 0 {
+        println!(
+            "first evasion after {} oracle queries",
+            summary.queries_to_first_evasion
+        );
+    }
+    if let Some(out) = flags.get("report") {
+        let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote report to {out}");
+    }
+    Ok(())
+}
+
+/// Runs a live campaign — the same attack through a spawned (or
+/// attached) scoring server, with benign traffic and an optional
+/// sentinel defense — and writes `campaign_report.json`.
+fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let scale = scale_of(flags)?;
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    let defaults = maleva_campaign::CampaignConfig::default();
+    let config = maleva_campaign::CampaignConfig {
+        blackbox: blackbox_config_of(flags, &scale)?,
+        sentinel: sentinel_of(flags)?,
+        benign_workers: parse_usize("benign", defaults.benign_workers)?,
+        addr: flags.get("addr").cloned(),
+        ..defaults
+    };
+    eprintln!(
+        "building context (scale={}, seed={seed}) and launching the campaign \
+         (sentinel {}) ...",
+        scale.name,
+        if config.sentinel.enabled {
+            config.sentinel.action.name()
+        } else {
+            "off"
+        }
+    );
+    let ctx = ExperimentContext::build(scale, seed).map_err(|e| e.to_string())?;
+    let report = maleva_campaign::run_campaign(&ctx, &config).map_err(|e| e.to_string())?;
+
+    if report.completed {
+        let attack = report.attack.as_ref().expect("completed implies summary");
+        println!(
+            "attack COMPLETED: {}/{} evasions (ASR {:.3}), agreement {:.3}, {} queries",
+            attack.evasions,
+            attack.attacked,
+            report.attack_success_rate,
+            attack.oracle_agreement,
+            attack.ledger.total()
+        );
+        if report.queries_to_first_evasion > 0 {
+            println!(
+                "first evasion after {} oracle queries",
+                report.queries_to_first_evasion
+            );
+        }
+    } else {
+        let blocked = report.blocked.as_ref().expect("incomplete implies blocked");
+        println!(
+            "attack BLOCKED after {} answered queries ({}: {})",
+            report.oracle_queries_answered, blocked.kind, blocked.detail
+        );
+    }
+    if report.attacker_flagged {
+        println!(
+            "sentinel flagged the attacker at query {}",
+            report.attacker_flagged_at_query
+        );
+    }
+    println!(
+        "benign traffic: {} requests, {} throttled, {} other errors",
+        report.benign.requests, report.benign.throttled, report.benign.other_errors
+    );
+    let out = flags
+        .get("report")
+        .map(String::as_str)
+        .unwrap_or("campaign_report.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote report to {out}");
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let detector = load_model(flags)?;
     let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
@@ -390,7 +593,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         )? as u64),
         shed_queue_depth: parse_usize("shed-depth", defaults.shed_queue_depth)?,
         faults,
+        sentinel: sentinel_of(flags)?,
     };
+    if config.sentinel.enabled {
+        eprintln!(
+            "extraction sentinel is ON (action {}, seed {})",
+            config.sentinel.action.name(),
+            config.sentinel.seed
+        );
+    }
     if config.faults.is_enabled() {
         eprintln!(
             "warning: fault injection is ACTIVE (seed {})",

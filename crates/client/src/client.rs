@@ -48,6 +48,10 @@ pub struct ClientConfig {
     /// Tokens deposited per fresh call; `deposit/1.0` bounds the
     /// steady-state retry ratio (0.2 ≈ at most 20% extra load).
     pub retry_budget_deposit: f64,
+    /// Self-declared identity sent with every score request (the wire
+    /// `client_id` field) for the server's sentinel; `None` lets the
+    /// server fall back to the connection's peer address.
+    pub client_id: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -62,6 +66,7 @@ impl Default for ClientConfig {
             breaker: BreakerConfig::default(),
             retry_budget_cap: 10.0,
             retry_budget_deposit: 0.5,
+            client_id: None,
         }
     }
 }
@@ -332,7 +337,10 @@ impl ScoreClient {
         self.metrics.requests.inc();
         self.budget.on_call();
 
-        let line = encode_score_request(counts);
+        let line = match self.config.client_id.as_deref() {
+            Some(id) => encode_score_request_as(counts, id),
+            None => encode_score_request(counts),
+        };
         let mut attempts = 0u32;
         let mut last_err;
         loop {
@@ -441,6 +449,39 @@ impl ScoreClient {
         self.roundtrip(&format!("{{\"cmd\":\"{cmd}\"}}"))
     }
 
+    /// Sends `{"cmd":"health"}` and parses the typed report.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure,
+    /// [`ClientError::Protocol`] on an unparseable body, or
+    /// [`ClientError::Server`] if the server answered with a typed
+    /// error.
+    pub fn health(&mut self) -> Result<crate::info::HealthInfo, ClientError> {
+        let line = self.command("health")?;
+        crate::info::parse_health(&line)
+    }
+
+    /// Sends `{"cmd":"stats"}` and parses the typed snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreClient::health`].
+    pub fn stats(&mut self) -> Result<crate::info::StatsInfo, ClientError> {
+        let line = self.command("stats")?;
+        crate::info::parse_stats(&line)
+    }
+
+    /// Sends `{"cmd":"sentinel"}` and parses the typed report.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreClient::health`].
+    pub fn sentinel(&mut self) -> Result<crate::info::SentinelInfo, ClientError> {
+        let line = self.command("sentinel")?;
+        crate::info::parse_sentinel(&line)
+    }
+
     /// Sleeps `wait`, unless that would cross the call deadline — then
     /// fails the call with [`ClientError::DeadlineExceeded`].
     fn sleep_within_deadline(&self, wait: Duration, start: Instant) -> Result<(), ClientError> {
@@ -538,6 +579,23 @@ pub fn encode_score_request(counts: &[u32]) -> String {
     line
 }
 
+/// Encodes a score request line carrying an explicit `client_id`.
+pub fn encode_score_request_as(counts: &[u32], client_id: &str) -> String {
+    let mut line = encode_score_request(counts);
+    line.pop(); // strip the closing brace
+    line.push_str(",\"client_id\":\"");
+    for ch in client_id.chars() {
+        match ch {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            c if (c as u32) < 0x20 => line.push_str(&format!("\\u{:04x}", c as u32)),
+            c => line.push(c),
+        }
+    }
+    line.push_str("\"}");
+    line
+}
+
 fn number(content: &Content) -> Option<f64> {
     match *content {
         Content::U64(v) => Some(v as f64),
@@ -604,6 +662,22 @@ mod tests {
     fn encodes_score_requests_compactly() {
         assert_eq!(encode_score_request(&[]), "{\"features\":[]}");
         assert_eq!(encode_score_request(&[1, 0, 42]), "{\"features\":[1,0,42]}");
+    }
+
+    #[test]
+    fn encodes_client_id_with_escaping() {
+        assert_eq!(
+            encode_score_request_as(&[1, 2], "tenant-a"),
+            "{\"features\":[1,2],\"client_id\":\"tenant-a\"}"
+        );
+        assert_eq!(
+            encode_score_request_as(&[], "a\"b\\c"),
+            "{\"features\":[],\"client_id\":\"a\\\"b\\\\c\"}"
+        );
+        assert_eq!(
+            encode_score_request_as(&[], "a\nb"),
+            "{\"features\":[],\"client_id\":\"a\\u000ab\"}"
+        );
     }
 
     #[test]

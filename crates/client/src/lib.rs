@@ -37,11 +37,13 @@ pub mod backoff;
 pub mod breaker;
 mod client;
 mod error;
+pub mod info;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
-    encode_score_request, ClientConfig, ClientMetrics, ClientMetricsSnapshot, ScoreClient,
-    ScoreOutcome,
+    encode_score_request, encode_score_request_as, ClientConfig, ClientMetrics,
+    ClientMetricsSnapshot, ScoreClient, ScoreOutcome,
 };
 pub use error::ClientError;
+pub use info::{HealthInfo, SentinelClientInfo, SentinelInfo, StatsInfo};

@@ -19,6 +19,16 @@
 //!    oracle for the new label, repeat;
 //! 5. crafts JSMA adversarial examples on the substitute and rebuilds
 //!    them as real programs (API insertions) scanned by the target.
+//!
+//! The oracle is abstracted behind [`LabelOracle`] so the same pipeline
+//! runs offline (the in-process detector, [`run`]) or live against a
+//! `maleva-serve` instance over TCP (the `maleva-campaign` crate). Both
+//! paths are bit-identical for the same seed because serving is
+//! bit-identical to local scanning. Every oracle interaction is charged
+//! to a per-phase [`QueryLedger`] and optionally capped by
+//! [`BlackboxConfig::query_budget`] — the real-world constraint that a
+//! cloud scanner only answers so many queries before the attacker runs
+//! out of accounts.
 
 use maleva_apisim::{ApiVocab, Class, Program};
 use maleva_attack::{EvasionAttack, Jsma};
@@ -28,7 +38,7 @@ use maleva_nn::{Network, NnError, Trainer};
 use serde::{Deserialize, Serialize};
 
 use crate::models::substitute_model;
-use crate::ExperimentContext;
+use crate::{DetectorPipeline, ExperimentContext};
 
 /// Configuration of the black-box run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +55,12 @@ pub struct BlackboxConfig {
     pub gamma: f64,
     /// Number of defender test-malware programs attacked at the end.
     pub eval_samples: usize,
+    /// Total oracle-query budget across every phase (seed labelling,
+    /// augmentation, agreement probe, and evaluation scans); `0` means
+    /// unlimited. When the budget runs out mid-phase the attacker keeps
+    /// whatever they have: a truncated corpus, fewer augmentations, a
+    /// smaller probe, or fewer attacked programs.
+    pub query_budget: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -57,9 +73,75 @@ impl Default for BlackboxConfig {
             vocab_overlap: 0.6,
             gamma: 0.05,
             eval_samples: 100,
+            query_budget: 0,
             seed: 0,
         }
     }
+}
+
+/// A label oracle the attacker can query: submit a program, get back a
+/// hard malware verdict. Offline this is the in-process detector
+/// ([`DetectorOracle`]); live it is a scoring service reached over the
+/// wire. The trait is `&mut self` so implementations can count queries,
+/// enforce budgets, or maintain connections.
+pub trait LabelOracle {
+    /// The oracle's verdict for `program` (`true` = malware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] when the oracle cannot answer (scoring
+    /// failure offline; a refused or throttled query live).
+    fn label(&mut self, program: &Program) -> Result<bool, NnError>;
+}
+
+/// The offline oracle: the deployed detector itself, queried in
+/// process. This is what [`run`] uses.
+pub struct DetectorOracle<'a> {
+    detector: &'a DetectorPipeline,
+}
+
+impl<'a> DetectorOracle<'a> {
+    /// Wraps a detector as a label oracle.
+    pub fn new(detector: &'a DetectorPipeline) -> Self {
+        DetectorOracle { detector }
+    }
+}
+
+impl LabelOracle for DetectorOracle<'_> {
+    fn label(&mut self, program: &Program) -> Result<bool, NnError> {
+        self.detector.is_malware(program)
+    }
+}
+
+/// Per-phase oracle-query accounting for one black-box run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryLedger {
+    /// Queries spent labelling the initial seed corpus.
+    pub seed: usize,
+    /// Queries spent labelling Jacobian-augmented samples.
+    pub augmentation: usize,
+    /// Queries spent on the substitute-agreement probe.
+    pub agreement: usize,
+    /// Queries spent scanning original + rebuilt programs in the final
+    /// evaluation.
+    pub evaluation: usize,
+}
+
+impl QueryLedger {
+    /// Total queries across all phases.
+    pub fn total(&self) -> usize {
+        self.seed + self.augmentation + self.agreement + self.evaluation
+    }
+}
+
+/// One point on the queries-to-evasion curve: after `queries` total
+/// oracle queries, the attacker had accumulated `evasions` evasions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvasionPoint {
+    /// Cumulative oracle queries (all phases) when the evasion landed.
+    pub queries: usize,
+    /// Cumulative evasion count at that moment.
+    pub evasions: usize,
 }
 
 /// Artifacts of a black-box run.
@@ -69,8 +151,13 @@ pub struct BlackboxArtifacts {
     pub substitute: Network,
     /// The attacker's feature vocabulary.
     pub attacker_vocab: ApiVocab,
-    /// Total number of oracle queries spent (labelling + augmentation).
+    /// Oracle queries spent building the substitute (seed labelling +
+    /// augmentation + agreement probe; evaluation scans are charged to
+    /// the [`QueryLedger`] but excluded here, matching the classic
+    /// "extraction cost" accounting).
     pub oracle_queries: usize,
+    /// Per-phase query accounting, including evaluation scans.
+    pub ledger: QueryLedger,
     /// Substitute agreement with the oracle on a held-out attacker batch.
     pub oracle_agreement: f64,
     /// Target detection rate on the rebuilt adversarial programs.
@@ -79,9 +166,68 @@ pub struct BlackboxArtifacts {
     pub transfer_rate: f64,
     /// Target detection rate on the same programs *before* modification.
     pub baseline_detection: f64,
+    /// Programs the final evaluation fully scanned (baseline +
+    /// modified); below `eval_samples` when the budget ran out.
+    pub attacked: usize,
+    /// Evasions achieved: programs detected at baseline whose rebuilt
+    /// version the target passed as clean.
+    pub evasions: usize,
+    /// Total queries spent when the first evasion landed (`None` if the
+    /// run produced no evasion).
+    pub queries_to_first_evasion: Option<usize>,
+    /// Cumulative queries-to-evasion curve, one point per new evasion.
+    pub evasion_curve: Vec<EvasionPoint>,
 }
 
-/// Runs the Figure 2 black-box framework end-to-end.
+/// A serializable summary of [`BlackboxArtifacts`] (everything except
+/// the model and vocabulary objects) for JSON reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlackboxSummary {
+    /// Attacker vocabulary size.
+    pub attacker_vocab_len: usize,
+    /// See [`BlackboxArtifacts::oracle_queries`].
+    pub oracle_queries: usize,
+    /// See [`BlackboxArtifacts::ledger`].
+    pub ledger: QueryLedger,
+    /// See [`BlackboxArtifacts::oracle_agreement`].
+    pub oracle_agreement: f64,
+    /// See [`BlackboxArtifacts::baseline_detection`].
+    pub baseline_detection: f64,
+    /// See [`BlackboxArtifacts::target_detection`].
+    pub target_detection: f64,
+    /// See [`BlackboxArtifacts::transfer_rate`].
+    pub transfer_rate: f64,
+    /// See [`BlackboxArtifacts::attacked`].
+    pub attacked: usize,
+    /// See [`BlackboxArtifacts::evasions`].
+    pub evasions: usize,
+    /// Queries spent when the first evasion landed; `0` when none.
+    pub queries_to_first_evasion: usize,
+    /// See [`BlackboxArtifacts::evasion_curve`].
+    pub evasion_curve: Vec<EvasionPoint>,
+}
+
+impl BlackboxArtifacts {
+    /// The serializable summary of this run.
+    pub fn summary(&self) -> BlackboxSummary {
+        BlackboxSummary {
+            attacker_vocab_len: self.attacker_vocab.len(),
+            oracle_queries: self.oracle_queries,
+            ledger: self.ledger,
+            oracle_agreement: self.oracle_agreement,
+            baseline_detection: self.baseline_detection,
+            target_detection: self.target_detection,
+            transfer_rate: self.transfer_rate,
+            attacked: self.attacked,
+            evasions: self.evasions,
+            queries_to_first_evasion: self.queries_to_first_evasion.unwrap_or(0),
+            evasion_curve: self.evasion_curve.clone(),
+        }
+    }
+}
+
+/// Runs the Figure 2 black-box framework end-to-end against the
+/// in-process detector (the offline oracle).
 ///
 /// # Errors
 ///
@@ -92,8 +238,39 @@ pub struct BlackboxArtifacts {
 /// Panics if `config.seed_corpus == 0` or `config.vocab_overlap` is
 /// outside `(0, 1]`.
 pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxArtifacts, NnError> {
+    let mut oracle = DetectorOracle::new(&ctx.detector);
+    run_with_oracle(ctx, config, &mut oracle)
+}
+
+/// Runs the Figure 2 black-box framework against an arbitrary
+/// [`LabelOracle`] — the in-process detector offline, or a live scoring
+/// service over the wire. The attacker's RNG stream depends only on
+/// `config.seed`, so two runs with the same config submit the same
+/// query sequence regardless of which oracle answers; when the oracles
+/// agree (serving is bit-identical to scanning), the runs are
+/// identical.
+///
+/// # Errors
+///
+/// Returns [`NnError`] on training or shape failures, or when the
+/// oracle refuses a query (e.g. a live service throttling the client).
+/// A refused query is *not* the budget running out — budget exhaustion
+/// degrades the run gracefully instead of failing it.
+///
+/// # Panics
+///
+/// Panics if `config.seed_corpus == 0` or `config.vocab_overlap` is
+/// outside `(0, 1]`.
+pub fn run_with_oracle(
+    ctx: &ExperimentContext,
+    config: &BlackboxConfig,
+    oracle: &mut dyn LabelOracle,
+) -> Result<BlackboxArtifacts, NnError> {
     assert!(config.seed_corpus > 0, "seed corpus must be non-empty");
-    let mut oracle_queries = 0usize;
+    let mut ledger = QueryLedger::default();
+    let budget_left = |ledger: &QueryLedger, needed: usize| {
+        config.query_budget == 0 || ledger.total() + needed <= config.query_budget
+    };
     let mut rng = maleva_apisim::rng(config.seed ^ 0xB1AC_B0C5);
 
     // The attacker's own feature space: binary features over a guessed
@@ -107,9 +284,21 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
             .sample_batch(half, config.seed_corpus - half, &mut rng);
     let mut labels: Vec<usize> = Vec::with_capacity(corpus.len());
     for p in &corpus {
-        labels.push(usize::from(ctx.detector.is_malware(p)?));
-        oracle_queries += 1;
+        if !budget_left(&ledger, 1) {
+            break;
+        }
+        labels.push(usize::from(oracle.label(p)?));
+        ledger.seed += 1;
     }
+    if labels.is_empty() {
+        return Err(NnError::InvalidConfig {
+            detail: format!(
+                "query budget {} cannot label a single seed sample",
+                config.query_budget
+            ),
+        });
+    }
+    corpus.truncate(labels.len());
 
     // 2-4. Train + Jacobian augmentation rounds.
     let attacker_features = |progs: &[Program]| -> Matrix {
@@ -154,6 +343,9 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
         let mut new_programs = Vec::with_capacity(corpus.len());
         let mut new_labels = Vec::with_capacity(corpus.len());
         for (p, &label) in corpus.iter().zip(labels.iter()) {
+            if !budget_left(&ledger, 1) {
+                break;
+            }
             let text = p.render_log(ctx.world.vocab());
             let counts = maleva_apisim::log::parse_counts(&text, &attacker_vocab);
             let feats: Vec<f64> = counts
@@ -186,8 +378,8 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
             };
             let mut augmented = p.clone();
             augmented.insert_api_calls(world_idx, 1);
-            new_labels.push(usize::from(ctx.detector.is_malware(&augmented)?));
-            oracle_queries += 1;
+            new_labels.push(usize::from(oracle.label(&augmented)?));
+            ledger.augmentation += 1;
             new_programs.push(augmented);
         }
         corpus.extend(new_programs);
@@ -199,17 +391,28 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
     let probe_x = attacker_features(&probe);
     let sub_preds = substitute.predict(&probe_x)?;
     let mut agree = 0usize;
+    let mut probed = 0usize;
     for (p, &sp) in probe.iter().zip(sub_preds.iter()) {
-        let oracle = usize::from(ctx.detector.is_malware(p)?);
-        oracle_queries += 1;
-        if oracle == sp {
+        if !budget_left(&ledger, 1) {
+            break;
+        }
+        let oracle_label = usize::from(oracle.label(p)?);
+        ledger.agreement += 1;
+        probed += 1;
+        if oracle_label == sp {
             agree += 1;
         }
     }
-    let oracle_agreement = agree as f64 / probe.len() as f64;
+    let oracle_agreement = if probed == 0 {
+        0.0
+    } else {
+        agree as f64 / probed as f64
+    };
+    let oracle_queries = ledger.seed + ledger.augmentation + ledger.agreement;
 
     // 5. Craft on the substitute; rebuild as programs; scan with the
-    // target.
+    // target. Each attacked program costs two queries: the baseline
+    // scan and the rebuilt-program scan.
     let mal_programs: Vec<&Program> = ctx
         .dataset
         .test()
@@ -220,8 +423,16 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
     let jsma = Jsma::new(1.0, config.gamma);
     let mut detected = 0usize;
     let mut baseline_detected = 0usize;
+    let mut attacked = 0usize;
+    let mut evasions = 0usize;
+    let mut evasion_curve: Vec<EvasionPoint> = Vec::new();
     for prog in &mal_programs {
-        if ctx.detector.is_malware(prog)? {
+        if !budget_left(&ledger, 2) {
+            break;
+        }
+        let baseline_hit = oracle.label(prog)?;
+        ledger.evaluation += 1;
+        if baseline_hit {
             baseline_detected += 1;
         }
         let text = prog.render_log(ctx.world.vocab());
@@ -241,20 +452,35 @@ pub fn run(ctx: &ExperimentContext, config: &BlackboxConfig) -> Result<BlackboxA
                 }
             }
         }
-        if ctx.detector.is_malware(&modified)? {
+        let modified_hit = oracle.label(&modified)?;
+        ledger.evaluation += 1;
+        attacked += 1;
+        if modified_hit {
             detected += 1;
         }
+        if baseline_hit && !modified_hit {
+            evasions += 1;
+            evasion_curve.push(EvasionPoint {
+                queries: ledger.total(),
+                evasions,
+            });
+        }
     }
-    let n = mal_programs.len().max(1) as f64;
+    let n = attacked.max(1) as f64;
     let target_detection = detected as f64 / n;
     Ok(BlackboxArtifacts {
         substitute,
         attacker_vocab,
         oracle_queries,
+        ledger,
         oracle_agreement,
         target_detection,
         transfer_rate: 1.0 - target_detection,
         baseline_detection: baseline_detected as f64 / n,
+        attacked,
+        evasions,
+        queries_to_first_evasion: evasion_curve.first().map(|pt| pt.queries),
+        evasion_curve,
     })
 }
 
@@ -270,6 +496,7 @@ mod tests {
             vocab_overlap: 0.6,
             gamma: 0.05,
             eval_samples: 30,
+            query_budget: 0,
             seed: 3,
         }
     }
@@ -280,6 +507,13 @@ mod tests {
         let artifacts = run(&ctx, &small_config()).unwrap();
         // Oracle spend: seed labels + augmentation + agreement probe.
         assert!(artifacts.oracle_queries >= 60);
+        assert_eq!(
+            artifacts.oracle_queries,
+            artifacts.ledger.seed + artifacts.ledger.augmentation + artifacts.ledger.agreement
+        );
+        assert_eq!(artifacts.ledger.seed, 60);
+        assert_eq!(artifacts.ledger.evaluation, 2 * artifacts.attacked);
+        assert_eq!(artifacts.attacked, 30);
         // The substitute learned *something* about the oracle.
         assert!(
             artifacts.oracle_agreement > 0.6,
@@ -293,6 +527,16 @@ mod tests {
             "modification should not make detection easier: baseline {} vs {}",
             artifacts.baseline_detection,
             artifacts.target_detection
+        );
+        // The evasion curve is consistent with the evasion count.
+        assert_eq!(artifacts.evasion_curve.len(), artifacts.evasions);
+        assert!(artifacts
+            .evasion_curve
+            .windows(2)
+            .all(|w| w[0].queries < w[1].queries && w[0].evasions < w[1].evasions));
+        assert_eq!(
+            artifacts.queries_to_first_evasion,
+            artifacts.evasion_curve.first().map(|pt| pt.queries)
         );
     }
 
@@ -310,6 +554,29 @@ mod tests {
             bb.target_detection,
             grey.target_detection
         );
+    }
+
+    #[test]
+    fn query_budget_caps_total_spend() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 41).unwrap();
+        let unlimited = run(&ctx, &small_config()).unwrap();
+        let mut config = small_config();
+        config.query_budget = 100;
+        let capped = run(&ctx, &config).unwrap();
+        assert!(capped.ledger.total() <= 100, "{:?}", capped.ledger);
+        assert!(capped.ledger.total() < unlimited.ledger.total());
+        // Seed labelling is untouched (100 > 60); later phases absorb
+        // the shortfall.
+        assert_eq!(capped.ledger.seed, 60);
+        assert!(capped.attacked < unlimited.attacked.max(1));
+    }
+
+    #[test]
+    fn budget_too_small_for_a_single_label_is_an_error() {
+        let ctx = ExperimentContext::build(ExperimentScale::tiny(), 43).unwrap();
+        let mut config = small_config();
+        config.query_budget = 0; // sanity: 0 means unlimited, not empty
+        assert!(run(&ctx, &config).is_ok());
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub enum ServeError {
         /// The configured per-request deadline, in milliseconds.
         deadline_ms: u64,
     },
+    /// The sentinel flagged this client's query pattern as a probable
+    /// extraction probe; the client is rate-limited. Deterministic for
+    /// a given (sentinel seed, client history), so runs replay exactly.
+    Throttled {
+        /// Server-suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
     /// The scorer failed internally (should not happen for validated
@@ -78,6 +85,7 @@ impl ServeError {
             ServeError::LineTooLong { .. } => "line_too_long",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Throttled { .. } => "throttled",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Internal { .. } => "internal",
         }
@@ -88,15 +96,18 @@ impl ServeError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. }
+            ServeError::Overloaded { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::Throttled { .. }
         )
     }
 
     /// Server-suggested retry delay in milliseconds, when the error
-    /// carries one (only `overloaded` does).
+    /// carries one (`overloaded` and `throttled` do).
     pub fn retry_after_ms(&self) -> Option<u64> {
         match self {
-            ServeError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            ServeError::Overloaded { retry_after_ms, .. }
+            | ServeError::Throttled { retry_after_ms } => Some(*retry_after_ms),
             _ => None,
         }
     }
@@ -127,6 +138,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExceeded { deadline_ms } => {
                 write!(f, "request not scored within the {deadline_ms} ms deadline")
+            }
+            ServeError::Throttled { retry_after_ms } => {
+                write!(
+                    f,
+                    "query pattern flagged by the sentinel; retry in {retry_after_ms} ms"
+                )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
@@ -161,6 +178,7 @@ mod tests {
                 retry_after_ms: 5,
             },
             ServeError::DeadlineExceeded { deadline_ms: 100 },
+            ServeError::Throttled { retry_after_ms: 25 },
             ServeError::ShuttingDown,
             ServeError::Internal { detail: "x".into() },
         ];
@@ -180,6 +198,9 @@ mod tests {
         let deadline = ServeError::DeadlineExceeded { deadline_ms: 50 };
         assert!(deadline.is_retryable());
         assert_eq!(deadline.retry_after_ms(), None);
+        let throttled = ServeError::Throttled { retry_after_ms: 25 };
+        assert!(throttled.is_retryable());
+        assert_eq!(throttled.retry_after_ms(), Some(25));
         assert!(!ServeError::ShuttingDown.is_retryable());
         assert!(!ServeError::MalformedJson {
             detail: String::new()

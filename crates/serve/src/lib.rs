@@ -24,7 +24,12 @@
 //!   and a deterministic seedable fault injector (`MALEVA_FAULTS`)
 //!   driving the chaos soak tests;
 //! * **metrics** ([`metrics`]) — lock-free counters and a fixed-bucket
-//!   latency histogram, exposed via `{"cmd": "stats"}`.
+//!   latency histogram, exposed via `{"cmd": "stats"}`;
+//! * **extraction sentinel** ([`sentinel`]) — a per-client stateful
+//!   query-pattern detector (near-duplicate probing and
+//!   decision-boundary oscillation over the cache-key quantization)
+//!   that deterministically throttles or verdict-poisons suspected
+//!   model-extraction clients, inspectable via `{"cmd": "sentinel"}`.
 //!
 //! # Quickstart
 //!
@@ -47,6 +52,7 @@ mod error;
 pub mod fault;
 pub mod metrics;
 pub mod protocol;
+pub mod sentinel;
 mod server;
 
 pub use batch::{score_rows, score_rows_isolated, score_rows_sequential, BatchOutcome};
@@ -55,4 +61,5 @@ pub use error::ServeError;
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{parse_request, HealthReport, Request, ScoreResponse};
+pub use sentinel::{Sentinel, SentinelAction, SentinelConfig, SentinelDecision, SentinelReport};
 pub use server::{spawn, ServeConfig, ServerHandle};

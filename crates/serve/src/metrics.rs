@@ -50,6 +50,19 @@ pub struct Metrics {
     pub row_failures: Arc<Counter>,
     /// Faults fired by the injector (0 unless fault injection is on).
     pub faults_injected: Arc<Counter>,
+    /// Requests refused with `throttled` by the sentinel (also in
+    /// `errors`).
+    pub sentinel_throttled: Arc<Counter>,
+    /// Requests answered with poisoned scores by the sentinel.
+    pub sentinel_poisoned: Arc<Counter>,
+    /// Near-duplicate queries observed by the sentinel.
+    pub sentinel_near_duplicates: Arc<Counter>,
+    /// Decision-boundary verdict flips observed by the sentinel.
+    pub sentinel_verdict_flips: Arc<Counter>,
+    /// Clients newly flagged by the sentinel.
+    pub sentinel_flagged: Arc<Counter>,
+    /// Clients currently tracked by the sentinel.
+    pub sentinel_tracked_clients: Arc<Gauge>,
     /// Jobs currently waiting in the scoring queue.
     pub queue_depth: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
@@ -96,6 +109,30 @@ impl Metrics {
             "serve_faults_injected_total",
             "Faults fired by the fault injector.",
         );
+        let sentinel_throttled = registry.counter(
+            "serve_sentinel_throttled_total",
+            "Requests refused with throttled by the sentinel.",
+        );
+        let sentinel_poisoned = registry.counter(
+            "serve_sentinel_poisoned_total",
+            "Requests answered with poisoned scores by the sentinel.",
+        );
+        let sentinel_near_duplicates = registry.counter(
+            "serve_sentinel_near_duplicates_total",
+            "Near-duplicate queries observed by the sentinel.",
+        );
+        let sentinel_verdict_flips = registry.counter(
+            "serve_sentinel_verdict_flips_total",
+            "Decision-boundary verdict flips observed by the sentinel.",
+        );
+        let sentinel_flagged = registry.counter(
+            "serve_sentinel_flagged_total",
+            "Clients newly flagged by the sentinel.",
+        );
+        let sentinel_tracked_clients = registry.gauge(
+            "serve_sentinel_tracked_clients",
+            "Clients currently tracked by the sentinel.",
+        );
         let queue_depth = registry.gauge("serve_queue_depth", "Jobs waiting in the scoring queue.");
         let cache_entries = registry.gauge("serve_cache_entries", "Live score cache entries.");
         let latency_us = registry.histogram(
@@ -117,6 +154,12 @@ impl Metrics {
             scorer_panics,
             row_failures,
             faults_injected,
+            sentinel_throttled,
+            sentinel_poisoned,
+            sentinel_near_duplicates,
+            sentinel_verdict_flips,
+            sentinel_flagged,
+            sentinel_tracked_clients,
             queue_depth,
             cache_entries,
             latency_us,
@@ -170,6 +213,12 @@ impl Metrics {
             scorer_panics: self.scorer_panics.get(),
             row_failures: self.row_failures.get(),
             faults_injected: self.faults_injected.get(),
+            sentinel_throttled: self.sentinel_throttled.get(),
+            sentinel_poisoned: self.sentinel_poisoned.get(),
+            sentinel_near_duplicates: self.sentinel_near_duplicates.get(),
+            sentinel_verdict_flips: self.sentinel_verdict_flips.get(),
+            sentinel_flagged: self.sentinel_flagged.get(),
+            sentinel_tracked_clients: self.sentinel_tracked_clients.get().max(0) as u64,
             queue_depth: self.queue_depth.get().max(0) as u64,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -217,6 +266,19 @@ pub struct MetricsSnapshot {
     pub row_failures: u64,
     /// Faults fired by the injector.
     pub faults_injected: u64,
+    /// Requests refused with `throttled` by the sentinel (subset of
+    /// `errors`).
+    pub sentinel_throttled: u64,
+    /// Requests answered with poisoned scores.
+    pub sentinel_poisoned: u64,
+    /// Near-duplicate queries the sentinel observed.
+    pub sentinel_near_duplicates: u64,
+    /// Decision-boundary verdict flips the sentinel observed.
+    pub sentinel_verdict_flips: u64,
+    /// Clients newly flagged by the sentinel.
+    pub sentinel_flagged: u64,
+    /// Clients tracked by the sentinel at snapshot time.
+    pub sentinel_tracked_clients: u64,
     /// Jobs waiting in the scoring queue at snapshot time.
     pub queue_depth: u64,
     /// `rows_scored / batches`, 0 when no batches ran.

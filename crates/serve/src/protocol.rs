@@ -5,10 +5,15 @@
 //!
 //! ```text
 //! {"features": [c0, c1, ..., c490]}   score one sample (raw API-call counts)
+//! {"features": [...], "client_id": "tenant-a"}
+//!                                     same, with an explicit client identity
+//!                                     for the sentinel (defaults to the
+//!                                     connection's peer address)
 //! {"cmd": "stats"}                    metrics snapshot (JSON)
 //! {"cmd": "metrics"}                  Prometheus text exposition, multi-line,
 //!                                     terminated by a "# EOF" marker line
 //! {"cmd": "health"}                   queue depth, drain state, fault counters
+//! {"cmd": "sentinel"}                 per-client query-pattern state (JSON)
 //! {"cmd": "shutdown"}                 graceful drain + stop
 //! ```
 //!
@@ -18,14 +23,16 @@
 //! {"score": 0.97, "verdict": "malware", "cached": false, "batch_size": 12}
 //! {"stats": {...}}                    see `MetricsSnapshot`
 //! {"health": {"status": "ok", "queue_depth": 3, ...}}
+//! {"sentinel": {"enabled": true, "tracked_clients": 2, ...}}
 //! {"ok": "shutting down"}
 //! {"error": {"kind": "overloaded", "detail": "...", "retryable": true,
 //!            "retry_after_ms": 12}}
 //! ```
 //!
-//! `retry_after_ms` appears only on `overloaded` errors; every other
-//! error body carries exactly `kind`, `detail`, and `retryable` (the
-//! full contract table lives in DESIGN.md §11).
+//! `retry_after_ms` appears only on `overloaded` and `throttled`
+//! errors; every other error body carries exactly `kind`, `detail`,
+//! and `retryable` (the full contract table lives in DESIGN.md §12 and
+//! the README protocol reference).
 //!
 //! Counts are validated strictly — finite, non-negative, integral, and
 //! at most `u32::MAX` — because the features are API-call counts; any
@@ -35,6 +42,10 @@ use serde::{Content, Serialize};
 
 use crate::error::ServeError;
 use crate::metrics::MetricsSnapshot;
+use crate::sentinel::SentinelReport;
+
+/// Longest accepted `client_id`, in bytes.
+const MAX_CLIENT_ID_BYTES: usize = 128;
 
 /// Newtype that deserializes into the raw [`Content`] tree, giving the
 /// request parser full structural control (the vendored `serde_json`
@@ -54,6 +65,9 @@ pub enum Request {
     Score {
         /// Raw per-API call counts, `dim` entries.
         counts: Vec<u32>,
+        /// The caller's self-declared identity for sentinel tracking;
+        /// `None` falls back to the connection's peer address.
+        client_id: Option<String>,
     },
     /// Return a metrics snapshot as JSON.
     Stats,
@@ -61,6 +75,8 @@ pub enum Request {
     Metrics,
     /// Return queue depth, drain state, and fault counters as JSON.
     Health,
+    /// Return the sentinel's per-client query-pattern state as JSON.
+    Sentinel,
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -87,6 +103,7 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
             Content::Str(s) if s == "stats" => Ok(Request::Stats),
             Content::Str(s) if s == "metrics" => Ok(Request::Metrics),
             Content::Str(s) if s == "health" => Ok(Request::Health),
+            Content::Str(s) if s == "sentinel" => Ok(Request::Sentinel),
             Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
             Content::Str(other) => Err(ServeError::UnknownCommand {
                 command: other.clone(),
@@ -116,7 +133,23 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
     for (index, entry) in values.iter().enumerate() {
         counts.push(parse_count(index, entry)?);
     }
-    Ok(Request::Score { counts })
+    let client_id = match entries.iter().find(|(k, _)| k == "client_id") {
+        None => None,
+        Some((_, Content::Str(s))) if !s.is_empty() && s.len() <= MAX_CLIENT_ID_BYTES => {
+            Some(s.clone())
+        }
+        Some((_, Content::Str(_))) => {
+            return Err(ServeError::UnknownCommand {
+                command: format!("client_id must be 1..={MAX_CLIENT_ID_BYTES} bytes"),
+            });
+        }
+        Some((_, other)) => {
+            return Err(ServeError::UnknownCommand {
+                command: format!("non-string client_id ({})", type_name(other)),
+            });
+        }
+    };
+    Ok(Request::Score { counts, client_id })
 }
 
 /// Validates one `features` entry as an API-call count.
@@ -240,6 +273,16 @@ pub fn encode_health(report: &HealthReport) -> String {
         .unwrap_or_else(|_| encode_internal_error("health encoding"))
 }
 
+/// Encodes a sentinel inspection response line.
+pub fn encode_sentinel(report: &SentinelReport) -> String {
+    #[derive(Serialize)]
+    struct Wrapper<'a> {
+        sentinel: &'a SentinelReport,
+    }
+    serde_json::to_string(&Wrapper { sentinel: report })
+        .unwrap_or_else(|_| encode_internal_error("sentinel encoding"))
+}
+
 /// Encodes an error response line. `retry_after_ms` is included only
 /// when the error carries a hint (`overloaded`).
 pub fn encode_error(err: &ServeError) -> String {
@@ -294,9 +337,35 @@ mod tests {
         assert_eq!(
             req,
             Request::Score {
-                counts: vec![0, 3, 12]
+                counts: vec![0, 3, 12],
+                client_id: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_and_validates_client_id() {
+        let req = parse_request("{\"features\": [0, 3, 12], \"client_id\": \"t-1\"}", 3).unwrap();
+        assert_eq!(
+            req,
+            Request::Score {
+                counts: vec![0, 3, 12],
+                client_id: Some("t-1".to_string()),
+            }
+        );
+        // Empty, oversized, or non-string identities are shape errors.
+        let long = "x".repeat(129);
+        for line in [
+            "{\"features\": [0, 3, 12], \"client_id\": \"\"}".to_string(),
+            format!("{{\"features\": [0, 3, 12], \"client_id\": \"{long}\"}}"),
+            "{\"features\": [0, 3, 12], \"client_id\": 7}".to_string(),
+        ] {
+            assert_eq!(
+                parse_request(&line, 3).unwrap_err().kind(),
+                "unknown_command",
+                "{line}"
+            );
+        }
     }
 
     #[test]
@@ -312,6 +381,10 @@ mod tests {
         assert_eq!(
             parse_request("{\"cmd\": \"health\"}", 3).unwrap(),
             Request::Health
+        );
+        assert_eq!(
+            parse_request("{\"cmd\": \"sentinel\"}", 3).unwrap(),
+            Request::Sentinel
         );
         assert_eq!(
             parse_request("{\"cmd\": \"shutdown\"}", 3).unwrap(),
@@ -419,7 +492,7 @@ mod tests {
     }
 
     #[test]
-    fn only_overloaded_carries_retry_after_ms() {
+    fn only_overloaded_and_throttled_carry_retry_after_ms() {
         for err in [
             ServeError::DeadlineExceeded { deadline_ms: 100 },
             ServeError::ShuttingDown,
@@ -432,6 +505,44 @@ mod tests {
                 err.kind()
             );
         }
+        let body = error_body(&encode_error(&ServeError::Throttled { retry_after_ms: 25 }));
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "kind" && *v == Content::Str("throttled".into())));
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "retryable" && *v == Content::Bool(true)));
+        assert!(body
+            .iter()
+            .any(|(k, v)| k == "retry_after_ms" && *v == Content::U64(25)));
+    }
+
+    #[test]
+    fn sentinel_report_encodes_under_a_sentinel_key() {
+        let line = encode_sentinel(&SentinelReport {
+            enabled: true,
+            action: "throttle".to_string(),
+            tracked_clients: 1,
+            flagged_clients: 1,
+            clients: vec![crate::sentinel::SentinelClientReport {
+                client_id: "attacker".to_string(),
+                queries: 40,
+                near_duplicates: 30,
+                verdict_flips: 5,
+                window_near_duplicates: 12,
+                window_verdict_flips: 3,
+                flagged: true,
+                flagged_at_query: 20,
+                throttled: 7,
+                poisoned: 0,
+                observed_rps: 123.4,
+            }],
+        });
+        assert!(line.starts_with("{\"sentinel\":{"), "{line}");
+        assert!(line.contains("\"flagged_clients\":1"), "{line}");
+        assert!(line.contains("\"client_id\":\"attacker\""), "{line}");
+        assert!(line.contains("\"flagged_at_query\":20"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::error::ServeError;
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{self, HealthReport, Request, ScoreResponse};
+use crate::sentinel::{poison_score, Sentinel, SentinelConfig, SentinelDecision, SentinelReport};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -64,6 +65,8 @@ pub struct ServeConfig {
     pub shed_queue_depth: usize,
     /// Deterministic fault-injection plan; disabled by default.
     pub faults: FaultPlan,
+    /// Extraction-sentinel configuration; disabled by default.
+    pub sentinel: SentinelConfig,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +81,7 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(30),
             shed_queue_depth: 1024,
             faults: FaultPlan::disabled(),
+            sentinel: SentinelConfig::default(),
         }
     }
 }
@@ -104,6 +108,7 @@ struct Shared {
     config: ServeConfig,
     metrics: Metrics,
     cache: Mutex<LruCache<Vec<i64>, f64>>,
+    sentinel: Mutex<Sentinel>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     injector: FaultInjector,
@@ -160,6 +165,11 @@ impl ServerHandle {
         health_report(&self.shared)
     }
 
+    /// The same sentinel report served to `{"cmd": "sentinel"}` clients.
+    pub fn sentinel(&self) -> SentinelReport {
+        sentinel_report(&self.shared)
+    }
+
     /// Whether a shutdown has been initiated.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutting_down.load(Ordering::SeqCst)
@@ -200,7 +210,25 @@ impl Drop for ServerHandle {
 
 fn snapshot(shared: &Shared) -> MetricsSnapshot {
     let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
+    refresh_sentinel_gauge(shared);
     shared.metrics.snapshot(entries)
+}
+
+fn refresh_sentinel_gauge(shared: &Shared) {
+    if let Ok(s) = shared.sentinel.lock() {
+        shared
+            .metrics
+            .sentinel_tracked_clients
+            .set(s.tracked_clients().min(i64::MAX as usize) as i64);
+    }
+}
+
+fn sentinel_report(shared: &Shared) -> SentinelReport {
+    shared
+        .sentinel
+        .lock()
+        .map(|s| s.report())
+        .unwrap_or_else(|poisoned| poisoned.into_inner().report())
 }
 
 /// Binds the listener and spawns the acceptor + scorer threads.
@@ -217,11 +245,13 @@ pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result
     let queue_capacity = config.queue_capacity.max(1);
 
     let injector = FaultInjector::new(config.faults.clone());
+    let sentinel = Sentinel::new(config.sentinel.clone());
     let shared = Arc::new(Shared {
         pipeline,
         config,
         metrics: Metrics::new(),
         cache: Mutex::new(LruCache::new(cache_capacity)),
+        sentinel: Mutex::new(sentinel),
         shutting_down: AtomicBool::new(false),
         addr,
         injector,
@@ -409,6 +439,12 @@ fn handle_connection(
     stream.set_read_timeout(Some(READ_TICK))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
+    // The sentinel's fallback client identity when requests carry no
+    // explicit `client_id`.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".to_string());
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     let limit = shared.config.max_line_bytes;
@@ -444,6 +480,7 @@ fn handle_connection(
             Ok(Request::Metrics) => {
                 span.record("cmd", "metrics");
                 let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
+                refresh_sentinel_gauge(shared);
                 let text = shared.metrics.render_prometheus(entries);
                 write_metrics_block(&mut writer, &text)?;
             }
@@ -454,15 +491,24 @@ fn handle_connection(
                     &protocol::encode_health(&health_report(shared)),
                 )?;
             }
+            Ok(Request::Sentinel) => {
+                span.record("cmd", "sentinel");
+                refresh_sentinel_gauge(shared);
+                write_line(
+                    &mut writer,
+                    &protocol::encode_sentinel(&sentinel_report(shared)),
+                )?;
+            }
             Ok(Request::Shutdown) => {
                 span.record("cmd", "shutdown");
                 write_line(&mut writer, &protocol::encode_shutdown_ack())?;
                 shared.trigger_shutdown();
                 return Ok(());
             }
-            Ok(Request::Score { counts }) => {
+            Ok(Request::Score { counts, client_id }) => {
                 span.record("cmd", "score");
-                handle_score(shared, &mut writer, tx, &counts, &mut span)?;
+                let cid = client_id.as_deref().unwrap_or(peer.as_str());
+                handle_score(shared, &mut writer, tx, &counts, cid, &mut span)?;
             }
         }
     }
@@ -485,6 +531,7 @@ fn handle_score(
     writer: &mut TcpStream,
     tx: &SyncSender<ScoreJob>,
     counts: &[u32],
+    client_id: &str,
     span: &mut Span,
 ) -> std::io::Result<()> {
     let start = Instant::now();
@@ -492,6 +539,25 @@ fn handle_score(
 
     let features = shared.pipeline.features().transform_counts(counts);
     let cache_key = quantize(&features);
+
+    // The sentinel rules *before* scoring, from recorded history alone,
+    // so its decisions are a pure function of (seed, client history).
+    let sentinel_on = shared.config.sentinel.enabled;
+    let decision = if sentinel_on {
+        match shared.sentinel.lock() {
+            Ok(mut s) => s.decide(client_id),
+            Err(_) => SentinelDecision::Allow,
+        }
+    } else {
+        SentinelDecision::Allow
+    };
+    if let SentinelDecision::Throttle { retry_after_ms } = decision {
+        shared.metrics.sentinel_throttled.inc();
+        span.record("throttled", true);
+        sentinel_record(shared, client_id, cache_key, None);
+        return respond_error(shared, writer, &ServeError::Throttled { retry_after_ms });
+    }
+    let poison = matches!(decision, SentinelDecision::Poison);
 
     let cached = shared
         .cache
@@ -502,9 +568,15 @@ fn handle_score(
         shared.metrics.cache_hits.inc();
         shared.metrics.record_latency(start.elapsed());
         span.record("cached", true);
+        if sentinel_on {
+            // History records the *true* verdict so later flip analysis
+            // is about the model's boundary, not the poison stream.
+            sentinel_record(shared, client_id, cache_key.clone(), Some(score >= 0.5));
+        }
+        let served = serve_score(shared, poison, score, &cache_key, span);
         return write_line(
             writer,
-            &protocol::encode_score(&ScoreResponse::new(score, true, 0)),
+            &protocol::encode_score(&ScoreResponse::new(served, true, 0)),
         );
     }
     shared.metrics.cache_misses.inc();
@@ -534,6 +606,11 @@ fn handle_score(
         return respond_error(shared, writer, &overloaded(depth));
     }
 
+    let sentinel_key = if sentinel_on {
+        Some(cache_key.clone())
+    } else {
+        None
+    };
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = ScoreJob {
         features,
@@ -560,11 +637,17 @@ fn handle_score(
                 Ok(Ok(reply)) => {
                     shared.metrics.record_latency(start.elapsed());
                     span.record("batch_size", reply.batch_size as u64);
+                    let served = if let Some(key) = sentinel_key {
+                        sentinel_record(shared, client_id, key.clone(), Some(reply.score >= 0.5));
+                        serve_score(shared, poison, reply.score, &key, span)
+                    } else {
+                        reply.score
+                    };
                     write_line_faulted(
                         shared,
                         writer,
                         &protocol::encode_score(&ScoreResponse::new(
-                            reply.score,
+                            served,
                             false,
                             reply.batch_size,
                         )),
@@ -595,6 +678,35 @@ fn handle_score(
             }
         }
     }
+}
+
+/// Records one query in the sentinel and forwards its observations to
+/// the metrics. No-op when the sentinel is disabled.
+fn sentinel_record(shared: &Shared, client_id: &str, key: Vec<i64>, verdict: Option<bool>) {
+    let obs = match shared.sentinel.lock() {
+        Ok(mut s) => s.record(client_id, key, verdict),
+        Err(_) => return,
+    };
+    if obs.near_duplicate {
+        shared.metrics.sentinel_near_duplicates.inc();
+    }
+    if obs.verdict_flip {
+        shared.metrics.sentinel_verdict_flips.inc();
+    }
+    if obs.newly_flagged {
+        shared.metrics.sentinel_flagged.inc();
+    }
+}
+
+/// The score actually sent to the client: the true score, or — for a
+/// poison-flagged client — a deterministic seed-randomized one.
+fn serve_score(shared: &Shared, poison: bool, score: f64, key: &[i64], span: &mut Span) -> f64 {
+    if !poison {
+        return score;
+    }
+    shared.metrics.sentinel_poisoned.inc();
+    span.record("poisoned", true);
+    poison_score(shared.config.sentinel.seed, key)
 }
 
 fn respond_error(shared: &Shared, writer: &mut TcpStream, err: &ServeError) -> std::io::Result<()> {

@@ -398,6 +398,7 @@ fn chaos_soak_loses_nothing_corrupts_nothing_and_drains_clean() {
             std::thread::spawn(move || {
                 let mut client = ScoreClient::new(ClientConfig {
                     addr: addr.to_string(),
+                    client_id: Some(format!("chaos-{c}")),
                     connect_timeout: Duration::from_secs(2),
                     io_timeout: Duration::from_secs(5),
                     call_deadline: Duration::from_secs(10),

@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vocab_overlap: 0.6,
         gamma: 0.05,
         eval_samples: 40,
+        query_budget: 0,
         seed: 23,
     };
     println!(
@@ -47,6 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         artifacts.target_detection
     );
     println!("transfer (evasion) rate  : {:.3}", artifacts.transfer_rate);
+    println!(
+        "evasions / attacked      : {} / {}",
+        artifacts.evasions, artifacts.attacked
+    );
+    if let Some(q) = artifacts.queries_to_first_evasion {
+        println!("queries to first evasion : {q}");
+    }
     println!(
         "\nas the paper's threat hierarchy predicts, black-box is the weakest setting: \
          the attack costs many oracle queries and evades least."

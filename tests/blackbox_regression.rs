@@ -1,0 +1,97 @@
+//! Seeded regression coverage for the offline black-box pipeline.
+//!
+//! The campaign subsystem leans on one promise: for a fixed
+//! `(scale, seed)`, the black-box attack is a pure function of its
+//! configuration — same query sequence, same substitute, same
+//! evasions. These tests pin that promise for the tiny seed-42 context
+//! so a behavioural drift in the corpus sampler, the augmentation
+//! step, or the budget accounting shows up as a failed literal, not as
+//! a silently shifted campaign measurement.
+
+use std::sync::OnceLock;
+
+use maleva_core::blackbox::{self, BlackboxConfig, DetectorOracle};
+use maleva_core::{ExperimentContext, ExperimentScale};
+
+static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+
+fn ctx() -> &'static ExperimentContext {
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny ctx"))
+}
+
+/// The pinned attack configuration. Attack seed 13 is the reference
+/// attacker for the tiny seed-42 context: it lands several evasions,
+/// so the queries-to-evasion accounting below actually exercises the
+/// curve (most tiny-context attacker seeds produce none).
+fn pinned_config() -> BlackboxConfig {
+    BlackboxConfig {
+        seed_corpus: 60,
+        augmentation_rounds: 1,
+        vocab_overlap: 0.6,
+        gamma: 0.05,
+        eval_samples: 30,
+        query_budget: 0,
+        seed: 13,
+    }
+}
+
+#[test]
+fn seed_42_pins_query_accounting_agreement_and_evasions() {
+    let artifacts = blackbox::run(ctx(), &pinned_config()).expect("blackbox run");
+    // Per-phase accounting: 60 seed labels, 60 augmented labels (one
+    // round doubles the corpus), an 80-sample agreement probe, and 30
+    // attacked programs scanned twice (baseline + rebuilt).
+    assert_eq!(artifacts.ledger.seed, 60);
+    assert_eq!(artifacts.ledger.augmentation, 60);
+    assert_eq!(artifacts.ledger.agreement, 80);
+    assert_eq!(artifacts.ledger.evaluation, 60);
+    assert_eq!(artifacts.ledger.total(), 260);
+    // Extraction cost excludes the evaluation scans.
+    assert_eq!(artifacts.oracle_queries, 200);
+    assert!(
+        (artifacts.oracle_agreement - 0.95).abs() < 1e-12,
+        "agreement drifted: {}",
+        artifacts.oracle_agreement
+    );
+    assert_eq!(artifacts.attacked, 30);
+    assert_eq!(artifacts.evasions, 4);
+    assert_eq!(artifacts.queries_to_first_evasion, Some(216));
+    assert_eq!(artifacts.evasion_curve.len(), 4);
+    assert_eq!(artifacts.evasion_curve[0].queries, 216);
+    assert_eq!(artifacts.evasion_curve[0].evasions, 1);
+    assert_eq!(artifacts.evasion_curve[3].evasions, 4);
+}
+
+#[test]
+fn a_tight_budget_truncates_instead_of_failing() {
+    let config = BlackboxConfig {
+        query_budget: 100,
+        ..pinned_config()
+    };
+    let artifacts = blackbox::run(ctx(), &config).expect("budgeted run");
+    assert!(artifacts.ledger.total() <= 100);
+    // The whole seed corpus fits; the augmentation round is truncated
+    // to the remaining 40 labels, and nothing is left for the
+    // agreement probe or the evaluation.
+    assert_eq!(artifacts.ledger.seed, 60);
+    assert_eq!(artifacts.ledger.augmentation, 40);
+    assert_eq!(artifacts.ledger.agreement, 0);
+    assert_eq!(artifacts.attacked, 0);
+    assert_eq!(artifacts.evasions, 0);
+}
+
+#[test]
+fn explicit_detector_oracle_reproduces_the_offline_run() {
+    let offline = blackbox::run(ctx(), &pinned_config()).expect("offline run");
+    let mut oracle = DetectorOracle::new(&ctx().detector);
+    let explicit =
+        blackbox::run_with_oracle(ctx(), &pinned_config(), &mut oracle).expect("oracle run");
+    assert_eq!(offline.ledger, explicit.ledger);
+    assert_eq!(offline.oracle_agreement, explicit.oracle_agreement);
+    assert_eq!(offline.evasions, explicit.evasions);
+    assert_eq!(offline.evasion_curve, explicit.evasion_curve);
+    assert_eq!(
+        offline.queries_to_first_evasion,
+        explicit.queries_to_first_evasion
+    );
+}

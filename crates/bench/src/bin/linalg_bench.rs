@@ -14,17 +14,22 @@
 //! * `scalar` — the original i-k-j reference kernel;
 //! * `blocked` — the cache-blocked single-threaded kernel;
 //! * `pooled` — the blocked kernel partitioned over the worker pool
-//!   (`--threads`, `MALEVA_THREADS`, or hardware default).
+//!   (`--threads`, `MALEVA_THREADS`, or hardware default);
+//! * `simd` — the f32 panel micro-kernel backend (DESIGN.md §13),
+//!   checked against the scalar reference within its 1e-5 relative
+//!   tolerance instead of bitwise.
 //!
 //! The run **fails** unless every blocked/pooled result is bit-identical
-//! to the scalar kernel and the best speedup at batch >= 64 reaches
-//! 1.5x — the floor the CI perf gate then defends against regression
-//! (see `bench_gate`).
+//! to the scalar kernel, every simd result sits within tolerance, the
+//! best f64 speedup at batch >= 64 reaches 1.5x, and the best
+//! `scalar_vs_simd` ratio on the Table IV substitute shapes at
+//! batch >= 64 reaches 1.5x — the floors the CI perf gate then defends
+//! against regression (see `bench_gate`).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use maleva_linalg::{kernels, pool, Matrix};
+use maleva_linalg::{backend, kernels, pool, BackendKind, Matrix};
 use maleva_nn::{Activation, NetworkBuilder, TrainConfig, Trainer};
 use serde::Serialize;
 
@@ -84,9 +89,12 @@ struct ShapeResult {
     scalar_gflops: f64,
     blocked_gflops: f64,
     pooled_gflops: f64,
+    simd_gflops: f64,
     blocked_speedup: f64,
     pooled_speedup: f64,
+    simd_speedup: f64,
     bit_identical: bool,
+    simd_within_tolerance: bool,
 }
 
 /// The whole `BENCH_linalg.json` document.
@@ -101,6 +109,13 @@ struct BenchReport {
     /// Best blocked-only (single-thread) speedup at batch >= 64 —
     /// isolates cache blocking from parallelism.
     blocked_speedup_batch64: f64,
+    /// Best simd-over-scalar GFLOP/s ratio on the Table IV substitute
+    /// shapes at batch >= 64 — the f32 micro-kernel's headline, gated
+    /// with a hard 1.5x floor here and a regression gate in CI.
+    scalar_vs_simd: f64,
+    /// Every simd result within 1e-5 relative tolerance of the scalar
+    /// reference (the Simd backend's correctness contract).
+    simd_within_tolerance: bool,
     shapes: Vec<ShapeResult>,
     /// One seeded training epoch of the target architecture
     /// (491 -> 512 -> 256 -> 2, batch 256, 512 samples).
@@ -146,6 +161,24 @@ fn bit_identical(a: &Matrix, b: &Matrix) -> bool {
             .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// The Simd backend's correctness contract, matching the cross-backend
+/// differential suite: every element within 1e-5 of the f64 scalar
+/// reference, relative to the accumulated absolute mass |A|·|B|.
+fn within_simd_tolerance(reference: &Matrix, got: &Matrix, a: &Matrix, b: &Matrix) -> bool {
+    if reference.shape() != got.shape() {
+        return false;
+    }
+    let abs_a = Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c).abs());
+    let abs_b = Matrix::from_fn(b.rows(), b.cols(), |r, c| b.get(r, c).abs());
+    let scale = kernels::matmul_scalar(&abs_a, &abs_b).expect("abs-mass scale");
+    let ok = reference
+        .iter()
+        .zip(got.iter())
+        .zip(scale.iter())
+        .all(|((r, g), s)| (r - g).abs() <= 1e-5 * (s + 1.0));
+    ok
+}
+
 fn bench_shape(
     name: &str,
     batch: usize,
@@ -157,16 +190,20 @@ fn bench_shape(
     let a = test_matrix(batch, k, (batch * 1_000_000 + k * 1000 + n) as u64);
     let b = test_matrix(k, n, (k * 1_000_000 + n) as u64);
 
+    let simd = backend::of(BackendKind::Simd);
     let reference = kernels::matmul_scalar(&a, &b).expect("scalar kernel");
     let blocked = kernels::matmul_blocked(&a, &b).expect("blocked kernel");
     let pooled = kernels::matmul_pooled(&a, &b, threads).expect("pooled kernel");
+    let simd_out = simd.matmul(&a, &b).expect("simd backend");
     let identical = bit_identical(&reference, &blocked) && bit_identical(&reference, &pooled);
+    let simd_ok = within_simd_tolerance(&reference, &simd_out, &a, &b);
 
     let scalar_s = best_secs(reps, || kernels::matmul_scalar(&a, &b).expect("scalar"));
     let blocked_s = best_secs(reps, || kernels::matmul_blocked(&a, &b).expect("blocked"));
     let pooled_s = best_secs(reps, || {
         kernels::matmul_pooled(&a, &b, threads).expect("pooled")
     });
+    let simd_s = best_secs(reps, || simd.matmul(&a, &b).expect("simd"));
 
     let gflops = |secs: f64| 2.0 * (batch * k * n) as f64 / secs / 1e9;
     ShapeResult {
@@ -178,9 +215,12 @@ fn bench_shape(
         scalar_gflops: gflops(scalar_s),
         blocked_gflops: gflops(blocked_s),
         pooled_gflops: gflops(pooled_s),
+        simd_gflops: gflops(simd_s),
         blocked_speedup: scalar_s / blocked_s,
         pooled_speedup: scalar_s / pooled_s,
+        simd_speedup: scalar_s / simd_s,
         bit_identical: identical,
+        simd_within_tolerance: simd_ok,
     }
 }
 
@@ -268,7 +308,7 @@ fn main() -> ExitCode {
         let r = bench_shape(name, batch, k, n, reps, threads);
         println!(
             "{:>14} m={:<4} k={:<5} n={:<5} scalar {:>5.2} GF/s  blocked {:>5.2} GF/s ({:>4.2}x)  \
-             pooled {:>5.2} GF/s ({:>4.2}x)  bitident={}",
+             pooled {:>5.2} GF/s ({:>4.2}x)  simd {:>5.2} GF/s ({:>4.2}x)  bitident={} simdtol={}",
             r.name,
             r.batch,
             r.k,
@@ -278,12 +318,16 @@ fn main() -> ExitCode {
             r.blocked_speedup,
             r.pooled_gflops,
             r.pooled_speedup,
-            r.bit_identical
+            r.simd_gflops,
+            r.simd_speedup,
+            r.bit_identical,
+            r.simd_within_tolerance
         );
         shapes.push(r);
     }
 
     let bit_ok = shapes.iter().all(|s| s.bit_identical);
+    let simd_tol_ok = shapes.iter().all(|s| s.simd_within_tolerance);
     let speedup_batch64 = shapes
         .iter()
         .filter(|s| s.batch >= 64)
@@ -294,6 +338,11 @@ fn main() -> ExitCode {
         .filter(|s| s.batch >= 64)
         .map(|s| s.blocked_speedup)
         .fold(0.0, f64::max);
+    let scalar_vs_simd = shapes
+        .iter()
+        .filter(|s| s.batch >= 64 && s.name.starts_with("substitute"))
+        .map(|s| s.simd_speedup)
+        .fold(0.0, f64::max);
 
     eprintln!("[linalg_bench] end-to-end probes ...");
     let epoch_ms = epoch_probe();
@@ -303,8 +352,9 @@ fn main() -> ExitCode {
          JSMA row Jacobian: {jsma_row_jacobian_us:.0} us"
     );
     println!(
-        "bit_identical: {bit_ok} | best speedup at batch >= 64: {speedup_batch64:.2}x \
-         (blocked-only {blocked_speedup_batch64:.2}x)"
+        "bit_identical: {bit_ok} | simd_within_tolerance: {simd_tol_ok} | \
+         best speedup at batch >= 64: {speedup_batch64:.2}x \
+         (blocked-only {blocked_speedup_batch64:.2}x, scalar_vs_simd {scalar_vs_simd:.2}x)"
     );
 
     let report = BenchReport {
@@ -313,6 +363,8 @@ fn main() -> ExitCode {
         bit_identical: bit_ok,
         speedup_batch64,
         blocked_speedup_batch64,
+        scalar_vs_simd,
+        simd_within_tolerance: simd_tol_ok,
         shapes,
         epoch_ms,
         jsma_row_jacobian_us,
@@ -332,8 +384,19 @@ fn main() -> ExitCode {
         eprintln!("error: blocked/pooled kernels diverged from the scalar reference");
         return ExitCode::FAILURE;
     }
+    if !simd_tol_ok {
+        eprintln!("error: simd backend exceeded its 1e-5 tolerance vs the scalar reference");
+        return ExitCode::FAILURE;
+    }
     if speedup_batch64 < 1.5 {
         eprintln!("error: best batch>=64 speedup {speedup_batch64:.2}x is below the 1.5x floor");
+        return ExitCode::FAILURE;
+    }
+    if scalar_vs_simd < 1.5 {
+        eprintln!(
+            "error: scalar_vs_simd {scalar_vs_simd:.2}x on substitute shapes at batch>=64 \
+             is below the 1.5x floor"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

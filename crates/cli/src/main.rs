@@ -51,6 +51,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(b) = flags.get("backend") {
+        match b.parse::<maleva_linalg::BackendKind>() {
+            Ok(kind) => maleva_linalg::set_backend(Some(kind)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(path) = flags.get("trace-out") {
         let sink = if path == "-" {
             trace::Sink::Stderr
@@ -125,9 +134,12 @@ benign traffic, measuring the extraction sentinel when enabled, and
 writes campaign_report.json
 
 every command accepts --trace-out FILE (or '-' for stderr) to write
-newline-delimited JSON spans, and --threads N (or MALEVA_THREADS) to
-size the linalg worker pool; train also writes manifest.json next to
-its --out artifact";
+newline-delimited JSON spans, --threads N (or MALEVA_THREADS) to size
+the linalg worker pool, and --backend scalar|blocked|pooled|simd (or
+MALEVA_BACKEND) to pick the linalg backend every product dispatches
+through — pooled (default) is bit-identical to the scalar reference,
+simd is the fast f32 micro-kernel with a 1e-5 tolerance contract;
+train also writes manifest.json next to its --out artifact";
 
 /// Flags that take no value; parsed as `"true"`.
 const BOOLEAN_FLAGS: &[&str] = &["resume"];
@@ -612,9 +624,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let handle =
         maleva_serve::spawn(detector, config).map_err(|e| format!("cannot start server: {e}"))?;
     println!(
-        "maleva-serve listening on {} (max batch {max_batch}); \
+        "maleva-serve listening on {} (max batch {max_batch}, linalg backend {}); \
          send {{\"cmd\":\"shutdown\"}} to stop",
-        handle.addr()
+        handle.addr(),
+        maleva_linalg::backend::effective_kind()
     );
     let stats = handle.join();
     println!(

@@ -46,9 +46,10 @@ pub const KC: usize = 256;
 /// Maximum column-panel width.
 pub const NC: usize = 512;
 
-/// Flop threshold (`2*m*k*n/2`, i.e. `m*k*n` multiply-adds) above which
-/// [`Matrix::matmul`] considers the parallel path worth its copies.
-pub const PARALLEL_WORK_THRESHOLD: usize = 4_000_000;
+/// Re-export of the canonical dispatch threshold, which lives in
+/// [`pool`] next to the worker machinery it sizes work for (see
+/// [`pool::parallel_worthwhile`]).
+pub use crate::pool::PARALLEL_WORK_THRESHOLD;
 
 fn gemm_metrics() -> &'static (Arc<Counter>, Arc<Histogram>) {
     static METRICS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
@@ -74,11 +75,48 @@ pub(crate) fn record_gemm_call(start: Instant) {
     latency.record_duration_us(start.elapsed());
 }
 
-fn check_matmul_dims(a: &Matrix, b: &Matrix) -> Result<(), LinalgError> {
+/// Dimension check for `a * b` (`a.cols == b.rows`), shared by every
+/// backend so the typed error is identical regardless of dispatch.
+pub(crate) fn check_matmul_dims(a: &Matrix, b: &Matrix) -> Result<(), LinalgError> {
     if a.cols() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             left: a.shape(),
             right: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Dimension check for `aᵀ * b` (`a.rows == b.rows`), reporting the
+/// *untransposed* shapes the caller passed.
+pub(crate) fn check_tn_dims(a: &Matrix, b: &Matrix) -> Result<(), LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Dimension check for `a * bᵀ` (`a.cols == b.cols`).
+pub(crate) fn check_nt_dims(a: &Matrix, b: &Matrix) -> Result<(), LinalgError> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Dimension check for `a * x` (`x.len == a.cols`); the vector is
+/// reported as an `(len, 1)` column shape.
+pub(crate) fn check_gemv_dims(a: &Matrix, x: &[f64]) -> Result<(), LinalgError> {
+    if x.len() != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            left: a.shape(),
+            right: (x.len(), 1),
         });
     }
     Ok(())

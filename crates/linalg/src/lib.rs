@@ -10,9 +10,15 @@
 //! * [`Matrix`] — a row-major dense `f64` matrix with the arithmetic needed
 //!   by a feed-forward neural network (matmul, transpose, broadcasting row
 //!   ops, elementwise maps).
+//! * [`backend`] — the [`LinalgBackend`] trait and the process-wide
+//!   backend selection ([`set_backend`] / `MALEVA_BACKEND`) that
+//!   [`Matrix::matmul`], [`Matrix::matmul_tn`], [`Matrix::matmul_nt`] and
+//!   [`Matrix::gemv`] dispatch through: `scalar`, `blocked`, `pooled`
+//!   (the bit-identical f64 family, `pooled` default) and `simd` (the
+//!   f32 panel micro-kernel, 1e-5-tolerance contract).
 //! * [`kernels`] — cache-blocked matmul/GEMV kernels (plus the scalar
-//!   reference they are proven bit-identical to) behind [`Matrix::matmul`],
-//!   [`Matrix::matmul_tn`], [`Matrix::matmul_nt`] and [`Matrix::gemv`].
+//!   reference they are proven bit-identical to) that the f64 backends
+//!   are built from.
 //! * [`pool`] — the shared worker pool large products are partitioned
 //!   over, sized by `MALEVA_THREADS` / [`pool::set_threads`].
 //! * [`norm`] — L1/L2/L∞ norms and distances used by attack-strength and
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod eigen;
 mod error;
 pub mod kernels;
@@ -46,8 +53,10 @@ mod matrix;
 pub mod norm;
 pub mod pca;
 pub mod pool;
+mod simd;
 pub mod stats;
 
+pub use backend::{set_backend, BackendKind, LinalgBackend};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use pca::Pca;

@@ -266,16 +266,18 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Dispatches to the cache-blocked kernel in [`crate::kernels`], and
-    /// when the product is large enough
-    /// ([`kernels::PARALLEL_WORK_THRESHOLD`](crate::kernels::PARALLEL_WORK_THRESHOLD))
-    /// partitions output rows across the shared worker pool
-    /// ([`crate::pool`], sized by `MALEVA_THREADS` /
-    /// [`pool::set_threads`](crate::pool::set_threads)). Row-wise
-    /// partitioning and cache blocking keep each output element's
-    /// summation order fixed (ascending `k`, zero-skip), so results are
-    /// **bit-identical** to the scalar reference kernel regardless of
-    /// blocking or thread count.
+    /// Dispatches through the process-wide [`crate::backend`] selected
+    /// by `--backend` / `MALEVA_BACKEND` /
+    /// [`backend::set_backend`](crate::backend::set_backend). Under the
+    /// f64 backends (`scalar`, `blocked`, and the default `pooled`,
+    /// which partitions large products across the shared worker pool
+    /// sized by `MALEVA_THREADS` /
+    /// [`pool::set_threads`](crate::pool::set_threads)) each output
+    /// element's summation order is fixed (ascending `k`, zero-skip),
+    /// so results are **bit-identical** to the scalar reference kernel
+    /// regardless of blocking or thread count. The `simd` backend is
+    /// deterministic but f32-precision: within 1e-5 relative tolerance
+    /// of the reference.
     ///
     /// # Errors
     ///
@@ -283,97 +285,61 @@ impl Matrix {
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         let start = std::time::Instant::now();
-        // Rough flop count decides whether pooled dispatch pays for its
-        // input copies.
-        let work = self.rows * self.cols * rhs.cols;
-        let out = if work >= crate::kernels::PARALLEL_WORK_THRESHOLD {
-            crate::kernels::matmul_pooled(self, rhs, crate::pool::effective_threads())?
-        } else {
-            crate::kernels::matmul_blocked(self, rhs)?
-        };
+        let out = crate::backend::active().matmul(self, rhs)?;
         crate::kernels::record_gemm_call(start);
         Ok(out)
     }
 
     /// Transposed-left product `selfᵀ * rhs` without materializing the
-    /// transpose (the backprop weight-gradient and covariance shape).
+    /// transpose (the backprop weight-gradient and covariance shape),
+    /// dispatched through the active [`crate::backend`].
     ///
-    /// Bit-identical to `self.transpose().matmul(rhs)`.
+    /// Bit-identical to `self.transpose().matmul(rhs)` under every
+    /// backend (for `simd`, both routes produce the same f32 result).
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.rows != rhs.rows {
-            return Err(LinalgError::DimensionMismatch {
-                left: self.shape(),
-                right: rhs.shape(),
-            });
-        }
         let start = std::time::Instant::now();
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        crate::kernels::matmul_tn_into(
-            &self.data,
-            self.rows,
-            self.cols,
-            &rhs.data,
-            rhs.cols,
-            &mut out.data,
-        );
+        let out = crate::backend::active().matmul_tn(self, rhs)?;
         crate::kernels::record_gemm_call(start);
         Ok(out)
     }
 
     /// Transposed-right product `self * rhsᵀ` without materializing the
-    /// transpose (the backprop input-gradient shape).
+    /// transpose (the backprop input-gradient shape), dispatched
+    /// through the active [`crate::backend`].
     ///
-    /// Bit-identical to `self.matmul(&rhs.transpose())`.
+    /// Bit-identical to `self.matmul(&rhs.transpose())` under the f64
+    /// backends; within the `simd` tolerance contract otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.cols != rhs.cols {
-            return Err(LinalgError::DimensionMismatch {
-                left: self.shape(),
-                right: rhs.shape(),
-            });
-        }
         let start = std::time::Instant::now();
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        crate::kernels::matmul_nt_into(
-            &self.data,
-            self.rows,
-            self.cols,
-            &rhs.data,
-            rhs.rows,
-            &mut out.data,
-        );
+        let out = crate::backend::active().matmul_nt(self, rhs)?;
         crate::kernels::record_gemm_call(start);
         Ok(out)
     }
 
-    /// Matrix-vector product `self * x`.
+    /// Matrix-vector product `self * x`, dispatched through the active
+    /// [`crate::backend`].
     ///
     /// Bit-identical to `self.matmul(&Matrix::col_vector(x))` flattened
-    /// to a vector.
+    /// to a vector under the f64 backends; within the `simd` tolerance
+    /// contract otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `x.len() != self.cols()`.
     pub fn gemv(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if x.len() != self.cols {
-            return Err(LinalgError::DimensionMismatch {
-                left: self.shape(),
-                right: (x.len(), 1),
-            });
-        }
         let start = std::time::Instant::now();
-        let mut out = vec![0.0; self.rows];
-        crate::kernels::gemv_into(&self.data, self.rows, self.cols, x, &mut out);
+        let out = crate::backend::active().gemv(self, x)?;
         crate::kernels::record_gemm_call(start);
         Ok(out)
     }

@@ -33,6 +33,24 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Hard ceiling on resolved thread counts and spawned pool workers.
 pub const MAX_POOL_WORKERS: usize = 64;
 
+/// Multiply-add count (`m * k * n` for a GEMM) above which partitioning
+/// a product across the pool pays for the input copies it requires.
+///
+/// This is the single source of truth for the dispatch decision: every
+/// backend that can go parallel asks [`parallel_worthwhile`], and
+/// `kernels` re-exports the constant for backward compatibility. Below
+/// the threshold the copies and channel round-trip cost more than the
+/// arithmetic saves (measured in `linalg_bench`; see DESIGN.md §10).
+pub const PARALLEL_WORK_THRESHOLD: usize = 4_000_000;
+
+/// Whether a product with `work` multiply-adds should be partitioned
+/// across the pool. Engages exactly at [`PARALLEL_WORK_THRESHOLD`]
+/// (`work >= threshold`), which the unit tests pin.
+#[inline]
+pub fn parallel_worthwhile(work: usize) -> bool {
+    work >= PARALLEL_WORK_THRESHOLD
+}
+
 /// `0` means "no override"; anything else wins over env and hardware.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -131,6 +149,16 @@ mod tests {
     #[test]
     fn effective_threads_is_positive() {
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_dispatch_engages_exactly_at_threshold() {
+        // The pooled path must engage at `work >= threshold`, not one
+        // element sooner or later — backends and docs both promise it.
+        assert!(!parallel_worthwhile(PARALLEL_WORK_THRESHOLD - 1));
+        assert!(parallel_worthwhile(PARALLEL_WORK_THRESHOLD));
+        assert!(parallel_worthwhile(PARALLEL_WORK_THRESHOLD + 1));
+        assert!(!parallel_worthwhile(0));
     }
 
     #[test]

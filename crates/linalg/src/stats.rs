@@ -95,7 +95,8 @@ pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
     if x.rows() == 1 {
         return Ok(Matrix::zeros(x.cols(), x.cols()));
     }
-    // Transpose-free Xᵀ·X (bit-identical to transposing first).
+    // Transpose-free Xᵀ·X through the active backend (bit-identical to
+    // transposing first under every backend).
     let cov = centered.matmul_tn(&centered)?;
     Ok(cov.scale(1.0 / (x.rows() as f64 - 1.0)))
 }

@@ -166,9 +166,10 @@ impl Dense {
         // Through the activation: delta = grad_act ∘ act'(preact).
         let act = self.activation;
         let delta = grad_act.zip_with(&cache.preact, |g, z| g * act.derivative(z))?;
-        // Transpose-free products: bit-identical to the explicit
-        // `transpose().matmul()` forms but without materializing the
-        // transposed operand on every minibatch.
+        // Transpose-free products, dispatched through the active linalg
+        // backend: bit-identical to the explicit `transpose().matmul()`
+        // forms but without materializing the transposed operand on
+        // every minibatch.
         let grad_w = cache.input.matmul_tn(&delta)?;
         let grad_b = delta.sum_rows();
         let grad_in = delta.matmul_nt(&self.weights)?;

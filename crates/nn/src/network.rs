@@ -164,7 +164,10 @@ impl Network {
     /// [`Network::predict_proba`] on each row individually: every output
     /// row of a matmul is an independent dot-product accumulation over
     /// that row alone, so batching changes neither operation order nor
-    /// rounding (`maleva-serve`'s proptests pin this invariant).
+    /// rounding (`maleva-serve`'s proptests pin this invariant). This
+    /// holds under every linalg backend — including `simd`, whose
+    /// per-element accumulation order is independent of tile position
+    /// and batch size (see `maleva_linalg::backend`).
     ///
     /// # Errors
     ///
@@ -287,10 +290,11 @@ impl Network {
         // All `num_classes` rows of the Jacobian come from ONE batched
         // forward/backward: replicate the sample once per class and seed
         // the backward pass with the identity (row `c` asks for
-        // d logit_c / dx). Every kernel on this path treats batch rows
-        // independently, so the result is bit-identical to looping over
-        // classes with per-row passes — at a fraction of the cost, which
-        // is what makes per-iteration JSMA saliency maps affordable.
+        // d logit_c / dx). Every linalg backend on this path treats
+        // batch rows independently, so the result is bit-identical to
+        // looping over classes with per-row passes — at a fraction of
+        // the cost, which is what makes per-iteration JSMA saliency
+        // maps affordable.
         let c = self.num_classes();
         let mut replicated = Vec::with_capacity(c * sample.len());
         for _ in 0..c {

@@ -16,7 +16,13 @@ use maleva_core::{ExperimentContext, ExperimentScale};
 static CTX: OnceLock<ExperimentContext> = OnceLock::new();
 
 fn ctx() -> &'static ExperimentContext {
-    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny ctx"))
+    CTX.get_or_init(|| {
+        // The literals below are default-backend numbers; pin it so a
+        // MALEVA_BACKEND=simd environment (the CI simd leg) cannot
+        // flip borderline oracle verdicts out from under them.
+        maleva_linalg::set_backend(Some(maleva_linalg::BackendKind::Pooled));
+        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny ctx")
+    })
 }
 
 /// The pinned attack configuration. Attack seed 13 is the reference

@@ -15,7 +15,13 @@ use maleva_core::{defenses, greybox, whitebox, ExperimentContext, ExperimentScal
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
-    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context"))
+    CTX.get_or_init(|| {
+        // These literals are the *default-backend* numbers; pin it so a
+        // MALEVA_BACKEND=simd environment (the CI simd leg) cannot skew
+        // them. The Simd counterpart lives in `golden_simd.rs`.
+        maleva_linalg::set_backend(Some(maleva_linalg::BackendKind::Pooled));
+        ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context")
+    })
 }
 
 fn fmt(x: f64) -> String {

@@ -147,6 +147,17 @@ const METRICS: &[MetricSpec] = &[
         direction: Direction::LowerIsBetter,
         abs_slack: 0.01,
     },
+    MetricSpec {
+        file: "BENCH_obs.json",
+        // Fractional slowdown of a healthy serve-shaped recording loop
+        // (request span + stage/latency histograms) with the default
+        // SLO burn-rate engine evaluating at a scrape cadence. This
+        // regressing means alarm evaluation started taxing the hot
+        // path; near-zero and noise-dominated, hence the slack.
+        key: "slo_idle_overhead_frac",
+        direction: Direction::LowerIsBetter,
+        abs_slack: 0.01,
+    },
 ];
 
 /// Files carrying a correctness boolean that must be `true`.

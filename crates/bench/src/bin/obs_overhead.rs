@@ -20,9 +20,16 @@
 //! the workload outputs are not bit-identical across modes (tracing
 //! must be a pure observer) or if the null-sink overhead over disabled
 //! reaches 5%.
+//!
+//! A third measurement prices the serving-side observability tax: a
+//! loop of simulated healthy request recordings (request span, six
+//! stage histograms, the latency histogram) with the default SLO
+//! burn-rate engine observing and evaluating at a scrape-like cadence,
+//! against the same loop without the engine — reported as
+//! `slo_idle_overhead_frac` and gated by `bench_gate`.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use maleva_attack::parallel::craft_batch_parallel;
 use maleva_attack::Jsma;
@@ -31,10 +38,19 @@ use maleva_core::{ExperimentContext, ExperimentScale};
 use maleva_linalg::Matrix;
 use maleva_nn::{Network, TrainConfig, Trainer};
 use maleva_obs::trace;
+use maleva_serve::{default_serve_slos, Metrics, SloRuntime, StageTimes};
 use serde::Serialize;
 
 /// Null-sink overhead at or above this fraction fails the bench.
 const MAX_NULL_OVERHEAD: f64 = 0.05;
+
+/// Simulated request recordings per SLO-idle loop.
+const SLO_IDLE_REQUESTS: u64 = 200_000;
+/// The engine evaluates once per this many recordings — a
+/// metrics-scrape cadence, still far more often than production would
+/// (one evaluation per ~150 µs of simulated traffic, versus every few
+/// seconds from a real scraper).
+const SLO_EVAL_EVERY: u64 = 1024;
 
 struct Args {
     seed: u64,
@@ -110,6 +126,18 @@ struct WorkloadResult {
     modes: Vec<ModeResult>,
 }
 
+/// The SLO-idle measurement: the cost of burn-rate evaluation over a
+/// healthy request stream.
+#[derive(Serialize)]
+struct SloIdleResult {
+    requests: u64,
+    eval_every: u64,
+    baseline_ms: f64,
+    with_slo_ms: f64,
+    /// Fractional slowdown of the recording loop with the engine on.
+    overhead_frac: f64,
+}
+
 /// The whole `BENCH_obs.json` document.
 #[derive(Serialize)]
 struct BenchReport {
@@ -119,8 +147,11 @@ struct BenchReport {
     max_null_overhead_frac: f64,
     /// Worst null-sink overhead across workloads — the headline number.
     null_overhead_frac: f64,
+    /// The SLO engine's idle tax — gated by `bench_gate`.
+    slo_idle_overhead_frac: f64,
     trace_records_written: usize,
     workloads: Vec<WorkloadResult>,
+    slo_idle: SloIdleResult,
 }
 
 /// Order-sensitive FNV-style fold of raw f64 bits: equal iff every
@@ -203,6 +234,63 @@ fn measure(
     }
 }
 
+/// One pass of the serve-shaped recording loop: a request span (sink
+/// disabled, the production default), the six stage histograms, and
+/// the request latency histogram — with the default SLO engine
+/// evaluating every [`SLO_EVAL_EVERY`] requests when `with_slo`.
+/// Returns elapsed seconds; panics if an alarm fires (the stream is
+/// healthy by construction, so firing would mean a broken engine, and
+/// a firing alarm does different work than an idle one).
+fn slo_idle_loop(with_slo: bool) -> f64 {
+    let metrics = Metrics::new();
+    let slo = with_slo.then(|| SloRuntime::new(default_serve_slos(), metrics.registry()));
+    let stages = StageTimes {
+        queue_wait: Duration::from_micros(40),
+        batch_wait: Duration::from_micros(25),
+        cache_lookup: Duration::from_micros(2),
+        sentinel_check: Duration::from_micros(3),
+        inference: Duration::from_micros(110),
+        serialize: Duration::from_micros(4),
+    };
+    let t = Instant::now();
+    for i in 0..SLO_IDLE_REQUESTS {
+        let span = trace::Span::enter("bench.request");
+        metrics.record_stages(&stages);
+        metrics.record_latency(Duration::from_micros(180 + (i & 63)));
+        if let Some(slo) = &slo {
+            if i % SLO_EVAL_EVERY == 0 {
+                let report = slo.observe_and_evaluate(metrics.registry());
+                assert!(
+                    report.alarms.iter().all(|a| !a.firing),
+                    "healthy stream fired an SLO alarm"
+                );
+            }
+        }
+        drop(span);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` for the recording loop with and without the engine.
+fn measure_slo_idle(reps: usize) -> SloIdleResult {
+    // Untimed warm-up of both shapes.
+    let _ = slo_idle_loop(false);
+    let _ = slo_idle_loop(true);
+    let mut baseline_s = f64::INFINITY;
+    let mut with_slo_s = f64::INFINITY;
+    for _ in 0..reps {
+        baseline_s = baseline_s.min(slo_idle_loop(false));
+        with_slo_s = with_slo_s.min(slo_idle_loop(true));
+    }
+    SloIdleResult {
+        requests: SLO_IDLE_REQUESTS,
+        eval_every: SLO_EVAL_EVERY,
+        baseline_ms: baseline_s * 1e3,
+        with_slo_ms: with_slo_s * 1e3,
+        overhead_frac: with_slo_s / baseline_s - 1.0,
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -276,6 +364,9 @@ fn main() -> ExitCode {
         .fold(f64::NEG_INFINITY, f64::max);
     let bit_identical = workloads.iter().all(|w| w.bit_identical);
 
+    trace::install(trace::Sink::Disabled).expect("reset sink");
+    let slo_idle = measure_slo_idle(args.reps);
+
     for w in &workloads {
         for m in &w.modes {
             println!(
@@ -294,6 +385,15 @@ fn main() -> ExitCode {
         MAX_NULL_OVERHEAD * 100.0,
         trace_records_written
     );
+    println!(
+        "slo idle tax: {:>8.1} ms -> {:>8.1} ms over {} requests \
+         (eval every {}), overhead {:+.2}%",
+        slo_idle.baseline_ms,
+        slo_idle.with_slo_ms,
+        slo_idle.requests,
+        slo_idle.eval_every,
+        slo_idle.overhead_frac * 100.0
+    );
 
     let report = BenchReport {
         bench: "obs_overhead",
@@ -301,8 +401,10 @@ fn main() -> ExitCode {
         reps: args.reps,
         max_null_overhead_frac: MAX_NULL_OVERHEAD,
         null_overhead_frac,
+        slo_idle_overhead_frac: slo_idle.overhead_frac,
         trace_records_written,
         workloads,
+        slo_idle,
     };
     let json = serde_json::to_string_pretty(&report).expect("encode report");
     std::fs::write(&args.out, json + "\n").expect("write report");

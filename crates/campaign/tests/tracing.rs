@@ -1,0 +1,82 @@
+//! End-to-end distributed tracing across a live campaign: every
+//! attacker (and benign) query must be followable from the client's
+//! minted trace context through the server's staged request span in
+//! one trace stream.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use maleva_campaign::{run_campaign, CampaignConfig};
+use maleva_core::blackbox::BlackboxConfig;
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_obs::trace::{self, Sink};
+use maleva_serve::SentinelConfig;
+
+static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+
+fn ctx() -> &'static ExperimentContext {
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny ctx"))
+}
+
+#[test]
+fn campaign_queries_join_client_and_server_traces() {
+    let captured = trace::install_memory_sink();
+
+    // A small sentinel-off campaign: no refusals, so every client call
+    // reaches the server and must join.
+    let report = run_campaign(
+        ctx(),
+        &CampaignConfig {
+            blackbox: BlackboxConfig {
+                seed_corpus: 30,
+                augmentation_rounds: 1,
+                vocab_overlap: 0.6,
+                gamma: 0.05,
+                eval_samples: 10,
+                query_budget: 150,
+                seed: 13,
+            },
+            sentinel: SentinelConfig::default(),
+            benign_workers: 1,
+            benign_gap: Duration::from_millis(1),
+            ..CampaignConfig::default()
+        },
+    )
+    .expect("campaign");
+    trace::install(Sink::Disabled).expect("disable sink");
+    assert!(report.completed, "blocked: {:?}", report.blocked);
+    assert!(report.oracle_queries_answered > 0);
+
+    let lines = captured.lines();
+    let trace_report = maleva_obs::report::analyze_lines(lines.iter().map(|s| s.as_str()), 5);
+    assert_eq!(trace_report.parse_errors, 0, "unparseable trace lines");
+
+    // Every oracle query minted a client-side trace, and every
+    // client-side trace is joinable with the server's spans — the
+    // end-to-end property the trace context exists for.
+    assert!(
+        trace_report.client_traces >= report.oracle_queries_answered,
+        "client traces missing, report:\n{}",
+        trace_report.render_text()
+    );
+    assert_eq!(
+        trace_report.joined_traces,
+        trace_report.client_traces,
+        "some client traces never joined the server side, report:\n{}",
+        trace_report.render_text()
+    );
+
+    // The server decomposed those requests into the six stages, and the
+    // decomposition accounts for each request span's duration.
+    assert!(
+        trace_report.staged_requests >= report.oracle_queries_answered,
+        "staged requests missing, report:\n{}",
+        trace_report.render_text()
+    );
+    assert_eq!(
+        trace_report.stage_sum_within_tolerance,
+        trace_report.staged_requests,
+        "stage decomposition leaks latency, report:\n{}",
+        trace_report.render_text()
+    );
+}

@@ -15,6 +15,7 @@
 //! maleva blackbox [--scale S] [--seed N] [--queries BUDGET] [--report FILE]
 //! maleva campaign [--scale S] [--seed N] [--queries BUDGET] [--benign N]
 //!              [--sentinel off|throttle|poison] [--report FILE]
+//! maleva obs-report --trace trace.jsonl [--top N] [--out FILE]
 //! ```
 //!
 //! The model artifact is a single JSON file holding the API vocabulary,
@@ -81,6 +82,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "blackbox" => cmd_blackbox(&flags),
         "campaign" => cmd_campaign(&flags),
+        "obs-report" => cmd_obs_report(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -121,6 +123,7 @@ usage:
                 [--queries BUDGET] [--corpus N] [--rounds N] [--eval N]
                 [--benign N] [--sentinel off|throttle|poison]
                 [--sentinel-seed N] [--addr HOST:PORT] [--report FILE]
+  maleva obs-report --trace trace.jsonl [--top N] [--out FILE]
 
 serve injects deterministic faults when --faults (or MALEVA_FAULTS) is
 set, e.g. 'seed=7,write_reset=p0.02,batch_panic=@50,delay_ms=2';
@@ -132,6 +135,10 @@ oracle-query budget (0 = unlimited); campaign runs the same attack
 live against a spawned (or --addr attached) serve instance with mixed
 benign traffic, measuring the extraction sentinel when enabled, and
 writes campaign_report.json
+
+obs-report aggregates a --trace-out file offline: per-stage and
+per-span latency percentiles, client/server trace joining, six-stage
+decomposition checks, and the slowest-request exemplars
 
 every command accepts --trace-out FILE (or '-' for stderr) to write
 newline-delimited JSON spans, --threads N (or MALEVA_THREADS) to size
@@ -568,6 +575,31 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Aggregates a `--trace-out` JSONL file into the human-readable
+/// latency-attribution report: per-span and per-stage percentiles,
+/// client ↔ server trace joining, and the slowest-request exemplars.
+fn cmd_obs_report(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(flags, "trace")?;
+    let top: usize = flags
+        .get("top")
+        .map(|s| s.parse().map_err(|e| format!("bad --top: {e}")))
+        .unwrap_or(Ok(maleva_obs::report::DEFAULT_TOP))?;
+    let report = maleva_obs::report::analyze_file(path, top)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    if report.total_records == 0 {
+        return Err(format!("{path} holds no trace records"));
+    }
+    let text = report.render_text();
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote report to {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let detector = load_model(flags)?;
     let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
@@ -606,6 +638,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         shed_queue_depth: parse_usize("shed-depth", defaults.shed_queue_depth)?,
         faults,
         sentinel: sentinel_of(flags)?,
+        slos: defaults.slos,
     };
     if config.sentinel.enabled {
         eprintln!(

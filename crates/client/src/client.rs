@@ -16,6 +16,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use maleva_obs::metrics::{Counter, Registry};
+use maleva_obs::trace::{self, Span};
 use serde::{Content, Serialize};
 use std::sync::Arc;
 
@@ -327,17 +328,41 @@ impl ScoreClient {
     /// failures within the configured deadline, attempt count, retry
     /// budget, and circuit breaker.
     ///
+    /// Every call mints a wire `trace_id` (stable across its retries)
+    /// and every attempt a fresh `span_id`; both ride on the request
+    /// line so the server can tag its spans with them, making one
+    /// logical request followable client → server in a single trace.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Server`] for a non-retryable refusal;
     /// [`ClientError::DeadlineExceeded`], [`ClientError::RetriesExhausted`],
     /// or [`ClientError::BudgetExhausted`] when the call gives up.
     pub fn score_counts(&mut self, counts: &[u32]) -> Result<ScoreOutcome, ClientError> {
+        let trace_id = trace::mint_id();
+        let mut span = Span::enter("client.request");
+        span.record("trace_id", trace_id);
+        let result = self.score_counts_traced(counts, trace_id);
+        match &result {
+            Ok(outcome) => {
+                span.record("attempts", outcome.attempts as u64);
+                span.record("ok", true);
+            }
+            Err(_) => span.record("ok", false),
+        }
+        result
+    }
+
+    fn score_counts_traced(
+        &mut self,
+        counts: &[u32],
+        trace_id: u64,
+    ) -> Result<ScoreOutcome, ClientError> {
         let start = Instant::now();
         self.metrics.requests.inc();
         self.budget.on_call();
 
-        let line = match self.config.client_id.as_deref() {
+        let base = match self.config.client_id.as_deref() {
             Some(id) => encode_score_request_as(counts, id),
             None => encode_score_request(counts),
         };
@@ -360,7 +385,18 @@ impl ScoreClient {
             }
 
             attempts += 1;
-            match self.attempt(&line) {
+            // Fresh span id per attempt: retries of one logical request
+            // share the trace id but are distinguishable on the wire.
+            let span_id = trace::mint_id();
+            let line = encode_score_request_traced(&base, trace_id, span_id);
+            let mut attempt_span = Span::enter("client.attempt");
+            attempt_span.record("trace_id", trace_id);
+            attempt_span.record("span_id", span_id);
+            attempt_span.record("attempt", attempts as u64);
+            let outcome = self.attempt(&line);
+            attempt_span.record("ok", matches!(outcome, Ok(Parsed::Score { .. })));
+            drop(attempt_span);
+            match outcome {
                 Ok(Parsed::Score {
                     score,
                     verdict,
@@ -482,6 +518,17 @@ impl ScoreClient {
         crate::info::parse_sentinel(&line)
     }
 
+    /// Sends `{"cmd":"slo"}` and parses the typed burn-rate alarm
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreClient::health`].
+    pub fn slo(&mut self) -> Result<crate::info::SloInfo, ClientError> {
+        let line = self.command("slo")?;
+        crate::info::parse_slo(&line)
+    }
+
     /// Sleeps `wait`, unless that would cross the call deadline — then
     /// fails the call with [`ClientError::DeadlineExceeded`].
     fn sleep_within_deadline(&self, wait: Duration, start: Instant) -> Result<(), ClientError> {
@@ -596,6 +643,24 @@ pub fn encode_score_request_as(counts: &[u32], client_id: &str) -> String {
     line
 }
 
+/// Appends the wire trace context (`trace_id`/`span_id`) to an
+/// already-encoded score request line.
+///
+/// The server tags its request span and batch events with these ids,
+/// making the request followable client → server in one trace. Both
+/// ids must be nonzero; [`trace::mint_id`] guarantees that.
+pub fn encode_score_request_traced(encoded: &str, trace_id: u64, span_id: u64) -> String {
+    debug_assert!(encoded.ends_with('}'), "not an encoded request: {encoded}");
+    let mut line = String::with_capacity(encoded.len() + 48);
+    line.push_str(&encoded[..encoded.len() - 1]);
+    line.push_str(",\"trace_id\":");
+    line.push_str(&trace_id.to_string());
+    line.push_str(",\"span_id\":");
+    line.push_str(&span_id.to_string());
+    line.push('}');
+    line
+}
+
 fn number(content: &Content) -> Option<f64> {
     match *content {
         Content::U64(v) => Some(v as f64),
@@ -677,6 +742,18 @@ mod tests {
         assert_eq!(
             encode_score_request_as(&[], "a\nb"),
             "{\"features\":[],\"client_id\":\"a\\u000ab\"}"
+        );
+    }
+
+    #[test]
+    fn appends_trace_context_to_encoded_requests() {
+        assert_eq!(
+            encode_score_request_traced(&encode_score_request(&[1, 2]), 7, 9),
+            "{\"features\":[1,2],\"trace_id\":7,\"span_id\":9}"
+        );
+        assert_eq!(
+            encode_score_request_traced(&encode_score_request_as(&[3], "tenant-a"), 1, 2),
+            "{\"features\":[3],\"client_id\":\"tenant-a\",\"trace_id\":1,\"span_id\":2}"
         );
     }
 

@@ -1,6 +1,6 @@
 //! Typed views of the server's diagnostic commands (`health`, `stats`,
-//! `sentinel`), so callers — the campaign harness, the chaos soak —
-//! never have to scrape raw JSON lines.
+//! `sentinel`, `slo`), so callers — the campaign harness, the chaos
+//! soak — never have to scrape raw JSON lines.
 //!
 //! `maleva-client` deliberately does not depend on `maleva-serve`, so
 //! these structs re-declare the handful of fields callers consume;
@@ -99,6 +99,57 @@ impl SentinelInfo {
     }
 }
 
+/// One burn window in a `{"cmd":"slo"}` alarm row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloWindowInfo {
+    /// The evaluation window, in milliseconds.
+    pub window_ms: u64,
+    /// The burn rate above which the window counts as breached.
+    pub max_burn_rate: f64,
+    /// The observed burn rate over the window.
+    pub burn_rate: f64,
+    /// Whether the engine has a baseline old enough to cover the window.
+    pub covered: bool,
+    /// Bad events observed in the window.
+    pub bad: u64,
+    /// Total events observed in the window.
+    pub total: u64,
+}
+
+/// One alarm row in a `{"cmd":"slo"}` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloAlarmInfo {
+    /// The SLO's name.
+    pub name: String,
+    /// Whether the alarm is currently firing.
+    pub firing: bool,
+    /// Whether this evaluation flipped the alarm's state.
+    pub changed: bool,
+    /// Per-window burn-rate detail.
+    pub windows: Vec<SloWindowInfo>,
+}
+
+/// Typed body of a `{"cmd":"slo"}` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloInfo {
+    /// Milliseconds since the server started, at evaluation time.
+    pub evaluated_at_ms: u64,
+    /// One row per configured SLO.
+    pub alarms: Vec<SloAlarmInfo>,
+}
+
+impl SloInfo {
+    /// The alarm named `name`, if configured.
+    pub fn alarm(&self, name: &str) -> Option<&SloAlarmInfo> {
+        self.alarms.iter().find(|a| a.name == name)
+    }
+
+    /// Whether any configured alarm is firing.
+    pub fn any_firing(&self) -> bool {
+        self.alarms.iter().any(|a| a.firing)
+    }
+}
+
 struct JsonValue(Content);
 
 impl<'de> serde::Deserialize<'de> for JsonValue {
@@ -161,6 +212,15 @@ fn bool_field(body: &[(String, Content)], name: &str) -> bool {
         body.iter().find(|(k, _)| k == name).map(|(_, v)| v),
         Some(Content::Bool(true))
     )
+}
+
+fn f64_field(body: &[(String, Content)], name: &str) -> f64 {
+    match body.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+        Some(Content::F64(v)) => *v,
+        Some(Content::U64(v)) => *v as f64,
+        Some(Content::I64(v)) => *v as f64,
+        _ => 0.0,
+    }
 }
 
 fn str_field(body: &[(String, Content)], name: &str) -> String {
@@ -245,6 +305,51 @@ pub fn parse_sentinel(line: &str) -> Result<SentinelInfo, ClientError> {
     })
 }
 
+/// Parses a `{"cmd":"slo"}` response line.
+///
+/// # Errors
+///
+/// As [`parse_health`].
+pub fn parse_slo(line: &str) -> Result<SloInfo, ClientError> {
+    let body = body_under(line, "slo")?;
+    let alarms = match body.iter().find(|(k, _)| k == "alarms").map(|(_, v)| v) {
+        Some(Content::Seq(rows)) => rows
+            .iter()
+            .filter_map(|row| {
+                let Content::Map(row) = row else { return None };
+                let windows = match row.iter().find(|(k, _)| k == "windows").map(|(_, v)| v) {
+                    Some(Content::Seq(ws)) => ws
+                        .iter()
+                        .filter_map(|w| {
+                            let Content::Map(w) = w else { return None };
+                            Some(SloWindowInfo {
+                                window_ms: u64_field(w, "window_ms"),
+                                max_burn_rate: f64_field(w, "max_burn_rate"),
+                                burn_rate: f64_field(w, "burn_rate"),
+                                covered: bool_field(w, "covered"),
+                                bad: u64_field(w, "bad"),
+                                total: u64_field(w, "total"),
+                            })
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                Some(SloAlarmInfo {
+                    name: str_field(row, "name"),
+                    firing: bool_field(row, "firing"),
+                    changed: bool_field(row, "changed"),
+                    windows,
+                })
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(SloInfo {
+        evaluated_at_ms: u64_field(&body, "evaluated_at_ms"),
+        alarms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +404,29 @@ mod tests {
         assert_eq!(attacker.throttled, 7);
         assert!(!s.client("benign").unwrap().flagged);
         assert!(s.client("nobody").is_none());
+    }
+
+    #[test]
+    fn parses_an_slo_body() {
+        let line = "{\"slo\":{\"evaluated_at_ms\":1500,\"alarms\":[\
+                    {\"name\":\"request_p99_latency\",\"firing\":true,\"changed\":false,\
+                     \"windows\":[{\"window_ms\":60000,\"max_burn_rate\":14.0,\
+                     \"burn_rate\":22.5,\"covered\":true,\"bad\":9,\"total\":10}]},\
+                    {\"name\":\"error_rate\",\"firing\":false,\"changed\":false,\
+                     \"windows\":[]}]}}";
+        let s = parse_slo(line).unwrap();
+        assert_eq!(s.evaluated_at_ms, 1500);
+        assert_eq!(s.alarms.len(), 2);
+        assert!(s.any_firing());
+        let latency = s.alarm("request_p99_latency").unwrap();
+        assert!(latency.firing && !latency.changed);
+        let w = &latency.windows[0];
+        assert_eq!(w.window_ms, 60_000);
+        assert!((w.burn_rate - 22.5).abs() < 1e-9);
+        assert!(w.covered);
+        assert_eq!((w.bad, w.total), (9, 10));
+        assert!(!s.alarm("error_rate").unwrap().firing);
+        assert!(s.alarm("nobody").is_none());
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //!   transport failures, rejects cheaply while open, and recovers
 //!   through a bounded half-open probe window that can never deadlock;
 //! * **observability** — a counter for every retry, trip, rejection,
-//!   and exhausted budget, in the client's own `maleva-obs` registry.
+//!   and exhausted budget, in the client's own `maleva-obs` registry;
+//!   every call mints a wire trace context (`trace_id` stable across
+//!   retries, a fresh `span_id` per attempt) carried on the request
+//!   line and mirrored in `client.request` / `client.attempt` spans,
+//!   so one logical request is followable client → server in a single
+//!   trace.
 //!
 //! The crate deliberately does not depend on `maleva-serve`: it speaks
 //! the wire protocol directly, as an external client would.
@@ -42,8 +47,10 @@ pub mod info;
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
-    encode_score_request, encode_score_request_as, ClientConfig, ClientMetrics,
-    ClientMetricsSnapshot, ScoreClient, ScoreOutcome,
+    encode_score_request, encode_score_request_as, encode_score_request_traced, ClientConfig,
+    ClientMetrics, ClientMetricsSnapshot, ScoreClient, ScoreOutcome,
 };
 pub use error::ClientError;
-pub use info::{HealthInfo, SentinelClientInfo, SentinelInfo, StatsInfo};
+pub use info::{
+    HealthInfo, SentinelClientInfo, SentinelInfo, SloAlarmInfo, SloInfo, SloWindowInfo, StatsInfo,
+};

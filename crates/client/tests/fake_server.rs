@@ -9,9 +9,11 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use maleva_client::{BackoffPolicy, BreakerConfig, ClientConfig, ClientError, ScoreClient};
+use maleva_obs::trace::{self, Sink};
 
 const SCORE_LINE: &str =
     "{\"score\":0.75,\"verdict\":\"malware\",\"cached\":false,\"batch_size\":3}";
@@ -27,6 +29,10 @@ enum Script {
     /// Serve one response line per entry (reading a request line before
     /// each), then close.
     Respond(Vec<&'static str>),
+    /// Like `Respond`, but records every request line it reads into the
+    /// shared log before answering, so tests can assert on the exact
+    /// bytes the client put on the wire.
+    Capture(Vec<&'static str>, Arc<Mutex<Vec<String>>>),
 }
 
 /// Runs one script per accepted connection, in order, then exits.
@@ -47,6 +53,19 @@ fn fake_server(scripts: Vec<Script>) -> (SocketAddr, std::thread::JoinHandle<()>
                         if reader.read_line(&mut req).unwrap_or(0) == 0 {
                             break;
                         }
+                        let _ = stream.write_all(line.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        let _ = stream.flush();
+                    }
+                }
+                Script::Capture(lines, log) => {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for line in lines {
+                        let mut req = String::new();
+                        if reader.read_line(&mut req).unwrap_or(0) == 0 {
+                            break;
+                        }
+                        log.lock().expect("log").push(req.trim_end().to_string());
                         let _ = stream.write_all(line.as_bytes());
                         let _ = stream.write_all(b"\n");
                         let _ = stream.flush();
@@ -246,6 +265,141 @@ fn gives_up_after_max_attempts_against_a_dead_server() {
     assert_eq!(m.retries, 3);
     drop(client);
     server.join().unwrap();
+}
+
+/// The tracer sink is process-global; serialize the tests that install
+/// one so they don't capture each other's spans.
+fn sink_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Extracts the number following `"key":` in a JSON line (good enough
+/// for the flat integers these tests assert on).
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn retries_reuse_the_trace_id_with_fresh_increasing_span_ids() {
+    let _guard = sink_lock();
+    let captured = trace::install_memory_sink();
+
+    // One connection: a retryable refusal, then success — both request
+    // lines land in the capture log.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let (addr, server) = fake_server(vec![Script::Capture(
+        vec![OVERLOADED_LINE, SCORE_LINE],
+        log.clone(),
+    )]);
+    let mut client = ScoreClient::new(fast_config(addr));
+    let outcome = client.score_counts(&[1, 2, 3]).expect("score");
+    assert_eq!(outcome.attempts, 2);
+    drop(client);
+    server.join().unwrap();
+    trace::install(Sink::Disabled).expect("disable sink");
+
+    let wire = log.lock().expect("log").clone();
+    assert_eq!(
+        wire.len(),
+        2,
+        "expected both attempts on the wire: {wire:?}"
+    );
+    let trace_ids: Vec<u64> = wire
+        .iter()
+        .map(|l| json_u64(l, "trace_id").expect("trace_id on the wire"))
+        .collect();
+    let span_ids: Vec<u64> = wire
+        .iter()
+        .map(|l| json_u64(l, "span_id").expect("span_id on the wire"))
+        .collect();
+    // One logical request: the trace id is stable across the retry,
+    // while each attempt gets a fresh, increasing span id.
+    assert_eq!(trace_ids[0], trace_ids[1], "{wire:?}");
+    assert!(trace_ids[0] > 0);
+    assert!(span_ids[1] > span_ids[0], "{wire:?}");
+    assert!(span_ids[0] > 0);
+
+    // The client's own spans mirror the wire context.
+    let lines = captured.lines();
+    let attempts: Vec<&String> = lines
+        .iter()
+        .filter(|l| {
+            l.contains("\"name\":\"client.attempt\"")
+                && json_u64(l, "trace_id") == Some(trace_ids[0])
+        })
+        .collect();
+    assert_eq!(attempts.len(), 2, "{lines:?}");
+    for (i, span) in attempts.iter().enumerate() {
+        assert_eq!(json_u64(span, "span_id"), Some(span_ids[i]), "{span}");
+        assert_eq!(json_u64(span, "attempt"), Some(i as u64 + 1), "{span}");
+    }
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"name\":\"client.request\"")
+                && json_u64(l, "trace_id") == Some(trace_ids[0])
+                && json_u64(l, "attempts") == Some(2)),
+        "{lines:?}"
+    );
+}
+
+#[test]
+fn breaker_reopen_continues_the_same_trace() {
+    let _guard = sink_lock();
+    let captured = trace::install_memory_sink();
+
+    // Two resets trip the breaker; after its cooldown the half-open
+    // probe reaches a healthy capture server.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let (addr, server) = fake_server(vec![
+        Script::CloseImmediately,
+        Script::CloseImmediately,
+        Script::Capture(vec![SCORE_LINE], log.clone()),
+    ]);
+    let mut client = ScoreClient::new(ClientConfig {
+        max_attempts: 10,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 5,
+            half_open_probes: 1,
+            probe_timeout_ms: 1_000,
+        },
+        ..fast_config(addr)
+    });
+    let outcome = client.score_counts(&[1, 2, 3]).expect("score");
+    assert_eq!(outcome.attempts, 3);
+    let m = client.metrics().snapshot();
+    assert_eq!(m.breaker_trips, 1);
+    assert!(m.breaker_rejections >= 1);
+    drop(client);
+    server.join().unwrap();
+    trace::install(Sink::Disabled).expect("disable sink");
+
+    // The attempt that crossed the reopened breaker still carries the
+    // call's original trace id, with a span id minted after (greater
+    // than) the failed attempts'.
+    let wire = log.lock().expect("log").clone();
+    assert_eq!(wire.len(), 1, "{wire:?}");
+    let trace_id = json_u64(&wire[0], "trace_id").expect("trace_id on the wire");
+    let final_span = json_u64(&wire[0], "span_id").expect("span_id on the wire");
+    let lines = captured.lines();
+    let span_ids: Vec<u64> = lines
+        .iter()
+        .filter(|l| {
+            l.contains("\"name\":\"client.attempt\"") && json_u64(l, "trace_id") == Some(trace_id)
+        })
+        .map(|l| json_u64(l, "span_id").expect("span_id recorded"))
+        .collect();
+    assert_eq!(span_ids.len(), 3, "{lines:?}");
+    assert!(span_ids.windows(2).all(|w| w[1] > w[0]), "{span_ids:?}");
+    assert_eq!(*span_ids.last().unwrap(), final_span);
 }
 
 #[test]

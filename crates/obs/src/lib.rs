@@ -22,6 +22,13 @@
 //! * [`manifest`] — run-provenance manifests (seed, scale, config
 //!   hash, crate versions, per-phase wall-clock) written as
 //!   `manifest.json` next to `repro`/`train` outputs.
+//! * [`slo`] — declarative SLO specs (latency thresholds over
+//!   histograms, event ratios over counters) evaluated as multi-window
+//!   burn-rate alarms against [`metrics::Registry`] snapshots, driven
+//!   entirely by injected timestamps.
+//! * [`report`] — aggregates a `trace.jsonl` into per-span and
+//!   per-stage p50/p99 breakdowns with slowest-trace exemplars (the
+//!   engine behind `maleva obs-report`).
 //!
 //! # Example
 //!
@@ -44,8 +51,11 @@
 
 pub mod manifest;
 pub mod metrics;
+pub mod report;
+pub mod slo;
 pub mod trace;
 
 pub use manifest::{Manifest, ManifestBuilder};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricReading, Registry};
+pub use slo::{BurnWindow, Objective, SloEngine, SloSpec, SloStatus};
 pub use trace::{Sink, Span};

@@ -189,6 +189,32 @@ struct Entry {
     name: String,
     help: String,
     metric: Metric,
+    /// Whether the help-text-mismatch warning already fired for this
+    /// name — re-registration with different help warns once, not per
+    /// call site execution.
+    help_warned: bool,
+}
+
+/// A point-in-time reading of one registered metric, as returned by
+/// [`Registry::read`]. Histograms carry their full power-of-two bucket
+/// counts so consumers (e.g. the SLO engine in [`crate::slo`]) can
+/// compute threshold-exceedance fractions from window deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricReading {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram bucket counts (length [`HISTOGRAM_BUCKETS`]), total
+    /// count, and sum.
+    Histogram {
+        /// Per-bucket counts; bucket `i` covers `[2^(i-1), 2^i)`.
+        buckets: Vec<u64>,
+        /// Total recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: u64,
+    },
 }
 
 /// A named collection of metrics that renders to Prometheus text
@@ -263,7 +289,18 @@ impl Registry {
             Ok(e) => e,
             Err(p) => p.into_inner(),
         };
-        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+        if let Some(entry) = entries.iter_mut().find(|e| e.name == name) {
+            // Same name, different help: almost always a programming
+            // error (two call sites disagreeing about what the series
+            // means). Keep the first help string but say so — once.
+            if entry.help != help && !entry.help_warned {
+                entry.help_warned = true;
+                eprintln!(
+                    "maleva-obs: metric `{name}` re-registered with different help \
+                     text; keeping {:?}, ignoring {:?}",
+                    entry.help, help
+                );
+            }
             return downcast(&entry.metric);
         }
         let metric = make();
@@ -272,8 +309,30 @@ impl Registry {
             name,
             help: help.to_string(),
             metric,
+            help_warned: false,
         });
         handle
+    }
+
+    /// Reads the current value of the metric registered under `name`
+    /// (after the same sanitization registration applies). Returns
+    /// `None` for unknown names.
+    pub fn read(&self, name: &str) -> Option<MetricReading> {
+        let name = sanitize_name(name);
+        let entries = match self.entries.lock() {
+            Ok(e) => e,
+            Err(p) => p.into_inner(),
+        };
+        let entry = entries.iter().find(|e| e.name == name)?;
+        Some(match &entry.metric {
+            Metric::Counter(c) => MetricReading::Counter(c.get()),
+            Metric::Gauge(g) => MetricReading::Gauge(g.get()),
+            Metric::Histogram(h) => MetricReading::Histogram {
+                buckets: h.snapshot_buckets(),
+                count: h.count(),
+                sum: h.sum(),
+            },
+        })
     }
 
     /// Renders every registered metric in Prometheus text exposition
@@ -328,9 +387,23 @@ impl Registry {
 
 fn render_header(out: &mut String, name: &str, help: &str, kind: &str) {
     if !help.is_empty() {
-        out.push_str(&format!("# HELP {name} {help}\n"));
+        out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
     }
     out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+/// Escapes help text for the exposition format: `\` and newlines would
+/// otherwise corrupt the line-oriented output.
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Replaces characters outside `[a-zA-Z0-9_:]` with `_` so any
@@ -444,6 +517,69 @@ mod tests {
         assert!(text.contains("latency_us_bucket{le=\"8\"} 1"), "{text}");
         assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("latency_us_count 2"), "{text}");
+    }
+
+    #[test]
+    fn re_registration_with_different_help_keeps_first_and_shares_handle() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "First help.");
+        // Different help: warns (once, to stderr) but still returns the
+        // same underlying counter, and rendering keeps the first help.
+        let b = r.counter("dup_total", "Second help.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP dup_total First help."), "{text}");
+        assert!(!text.contains("Second help."), "{text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped_in_exposition_output() {
+        let r = Registry::new();
+        r.counter("tricky_total", "line one\nline two with back\\slash")
+            .inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP tricky_total line one\\nline two with back\\\\slash"),
+            "{text}"
+        );
+        // The renderer output stays one-record-per-line.
+        assert!(
+            text.lines().all(|l| !l.starts_with("line two")),
+            "raw newline leaked into exposition output: {text}"
+        );
+    }
+
+    #[test]
+    fn read_by_name_returns_current_values() {
+        let r = Registry::new();
+        r.counter("reads_total", "Reads.").add(3);
+        r.gauge("depth", "Depth.").set(-2);
+        let h = r.histogram("lat_us", "Latency.");
+        h.record(5);
+        h.record(9);
+        assert_eq!(r.read("reads_total"), Some(MetricReading::Counter(3)));
+        assert_eq!(r.read("depth"), Some(MetricReading::Gauge(-2)));
+        match r.read("lat_us") {
+            Some(MetricReading::Histogram {
+                buckets,
+                count,
+                sum,
+            }) => {
+                assert_eq!(count, 2);
+                assert_eq!(sum, 14);
+                assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+                assert_eq!(buckets[3], 1); // 5 in [4, 8)
+                assert_eq!(buckets[4], 1); // 9 in [8, 16)
+            }
+            other => panic!("unexpected reading: {other:?}"),
+        }
+        // Dotted names resolve through the same sanitization as
+        // registration did.
+        assert_eq!(r.read("missing"), None);
+        r.counter("dotted.name_total", "Dotted.").inc();
+        assert_eq!(r.read("dotted.name_total"), Some(MetricReading::Counter(1)));
     }
 
     #[test]

@@ -58,6 +58,16 @@ fn thread_ordinal() -> u64 {
     THREAD_ORDINAL.with(|t| *t)
 }
 
+/// Mints a process-unique, monotonically increasing id from the same
+/// allocator that numbers spans. Used for wire-level trace ids: a
+/// client mints one `trace_id` per logical request (and one id per
+/// attempt) so client- and server-side spans can be joined in a single
+/// trace file. Works whether or not tracing is enabled, and never
+/// returns 0 (reserved for "no id").
+pub fn mint_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Where trace lines go. Install with [`install`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Sink {
@@ -388,6 +398,13 @@ impl Drop for Span {
         push_fields(&mut line, &self.fields);
         line.push('}');
         emit(&line);
+        // A span dropped during a panic unwind is usually the last
+        // chance to get its record out before the thread (or the
+        // surrounding catch_unwind recovery) discards state — flush the
+        // sink so panic-isolated scorer rows keep their trace.
+        if std::thread::panicking() {
+            flush();
+        }
     }
 }
 
@@ -498,6 +515,44 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("\"n\":7"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_nonzero() {
+        let _guard = test_lock();
+        let a = mint_id();
+        let b = mint_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert!(b > a, "ids are monotone: {a} then {b}");
+        // Minting works with tracing fully disabled.
+        install(Sink::Disabled).expect("install");
+        assert_ne!(mint_id(), 0);
+    }
+
+    #[test]
+    fn panicking_span_drop_flushes_the_file_sink() {
+        let _guard = test_lock();
+        let path = std::env::temp_dir().join("maleva-obs-panic-flush-test.jsonl");
+        install(Sink::File(path.clone())).expect("install file sink");
+        let result = std::thread::spawn(|| {
+            let mut span = Span::enter("doomed.row");
+            span.record("row", 3u64);
+            panic!("scorer row blew up");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must have panicked");
+        // Read the file *without* reinstalling the sink: the unwind-time
+        // flush from Span::drop must already have pushed the buffered
+        // records to disk.
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        assert!(
+            text.contains("\"ev\":\"exit\"") && text.contains("doomed.row"),
+            "exit record missing after panic: {text:?}"
+        );
+        assert!(text.contains("\"row\":3"), "{text:?}");
+        install(Sink::Disabled).expect("install");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -29,7 +29,18 @@
 //!   query-pattern detector (near-duplicate probing and
 //!   decision-boundary oscillation over the cache-key quantization)
 //!   that deterministically throttles or verdict-poisons suspected
-//!   model-extraction clients, inspectable via `{"cmd": "sentinel"}`.
+//!   model-extraction clients, inspectable via `{"cmd": "sentinel"}`;
+//! * **distributed tracing** — score requests may carry a wire trace
+//!   context (`trace_id`/`span_id`); the server tags its request spans
+//!   and batch events with it and decomposes every request into six
+//!   latency stages (`queue_wait`, `batch_wait`, `cache_lookup`,
+//!   `sentinel_check`, `inference`, `serialize`), recorded both as
+//!   span fields and as `serve_stage_*_us` histograms;
+//! * **SLO burn-rate alarms** ([`slo`]) — declarative objectives over
+//!   the live metrics (p99 latency, error rate, sentinel false-flag
+//!   rate) evaluated as multi-window burn-rate alarms via
+//!   `{"cmd": "slo"}`, mirrored into `slo_alarm_*` gauges and
+//!   `slo.alarm` trace events.
 //!
 //! # Quickstart
 //!
@@ -54,12 +65,14 @@ pub mod metrics;
 pub mod protocol;
 pub mod sentinel;
 mod server;
+pub mod slo;
 
 pub use batch::{score_rows, score_rows_isolated, score_rows_sequential, BatchOutcome};
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSite};
-pub use metrics::{Metrics, MetricsSnapshot};
-pub use protocol::{parse_request, HealthReport, Request, ScoreResponse};
+pub use metrics::{Metrics, MetricsSnapshot, StageTimes};
+pub use protocol::{parse_request, HealthReport, Request, ScoreResponse, TraceContext};
 pub use sentinel::{Sentinel, SentinelAction, SentinelConfig, SentinelDecision, SentinelReport};
 pub use server::{spawn, ServeConfig, ServerHandle};
+pub use slo::{default_serve_slos, SloAlarmReport, SloReport, SloRuntime, SloWindowReport};

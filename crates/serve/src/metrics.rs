@@ -68,6 +68,44 @@ pub struct Metrics {
     cache_entries: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     batch_size: Arc<Histogram>,
+    /// Per-stage latency histograms, in pipeline order:
+    /// `queue_wait`, `batch_wait`, `cache_lookup`, `sentinel_check`,
+    /// `inference`, `serialize` (see `maleva_obs::report::STAGES`).
+    stages_us: [Arc<Histogram>; 6],
+}
+
+/// Per-stage durations for one score request, decomposing its
+/// end-to-end latency. Stages a request never entered stay zero (a
+/// cache hit has zero `queue_wait`/`batch_wait`/`inference`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// Time in the scoring queue before the scorer popped the job.
+    pub queue_wait: Duration,
+    /// Time inside the forming batch before execution started.
+    pub batch_wait: Duration,
+    /// Time spent in the score-cache lookup.
+    pub cache_lookup: Duration,
+    /// Time spent consulting and updating the sentinel.
+    pub sentinel_check: Duration,
+    /// Time in the batched forward pass (shared across the batch).
+    pub inference: Duration,
+    /// Time encoding and writing the response line.
+    pub serialize: Duration,
+}
+
+impl StageTimes {
+    /// The stage durations in pipeline order, microseconds, aligned
+    /// with `maleva_obs::report::STAGES`.
+    pub fn as_us(&self) -> [u64; 6] {
+        [
+            self.queue_wait.as_micros() as u64,
+            self.batch_wait.as_micros() as u64,
+            self.cache_lookup.as_micros() as u64,
+            self.sentinel_check.as_micros() as u64,
+            self.inference.as_micros() as u64,
+            self.serialize.as_micros() as u64,
+        ]
+    }
 }
 
 impl Default for Metrics {
@@ -140,6 +178,13 @@ impl Metrics {
             "End-to-end score request latency in microseconds.",
         );
         let batch_size = registry.histogram("serve_batch_size", "Rows per executed scoring batch.");
+        let stages_us: [Arc<Histogram>; 6] = std::array::from_fn(|i| {
+            let stage = maleva_obs::report::STAGES[i];
+            registry.histogram(
+                &format!("serve_stage_{stage}_us"),
+                &format!("Time score requests spent in the {stage} stage, microseconds."),
+            )
+        });
         Metrics {
             registry,
             requests,
@@ -164,6 +209,21 @@ impl Metrics {
             cache_entries,
             latency_us,
             batch_size,
+            stages_us,
+        }
+    }
+
+    /// The registry backing this server's metrics, for SLO evaluation
+    /// and auxiliary gauges (`slo_alarm_*`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one request's per-stage latency decomposition into the
+    /// six `serve_stage_*_us` histograms.
+    pub fn record_stages(&self, stages: &StageTimes) {
+        for (histogram, us) in self.stages_us.iter().zip(stages.as_us()) {
+            histogram.record(us);
         }
     }
 
@@ -389,6 +449,35 @@ mod tests {
         let s = m.snapshot(0);
         assert_eq!(s.batch_size_buckets[1], 1); // [1, 2)
         assert_eq!(s.batch_size_buckets[4], 2); // [8, 16)
+    }
+
+    #[test]
+    fn stage_histograms_record_in_pipeline_order() {
+        let m = Metrics::new();
+        m.record_stages(&StageTimes {
+            queue_wait: Duration::from_micros(3),
+            batch_wait: Duration::from_micros(5),
+            cache_lookup: Duration::from_micros(1),
+            sentinel_check: Duration::from_micros(2),
+            inference: Duration::from_micros(900),
+            serialize: Duration::from_micros(7),
+        });
+        let text = m.render_prometheus(0);
+        for stage in maleva_obs::report::STAGES {
+            assert!(
+                text.contains(&format!("serve_stage_{stage}_us_count 1")),
+                "missing {stage} series in {text}"
+            );
+        }
+        // The slow inference sample must land above the fast stages.
+        use maleva_obs::metrics::MetricReading;
+        match m.registry().read("serve_stage_inference_us") {
+            Some(MetricReading::Histogram { sum, count, .. }) => {
+                assert_eq!(count, 1);
+                assert_eq!(sum, 900);
+            }
+            other => panic!("unexpected reading {other:?}"),
+        }
     }
 
     #[test]

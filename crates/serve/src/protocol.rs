@@ -9,11 +9,19 @@
 //!                                     same, with an explicit client identity
 //!                                     for the sentinel (defaults to the
 //!                                     connection's peer address)
+//! {"features": [...], "trace_id": 91, "span_id": 92}
+//!                                     same, with wire trace context: the
+//!                                     server tags its request/batch spans
+//!                                     with the caller's trace so one logical
+//!                                     request is followable client → server
+//!                                     in a single trace.jsonl (ids are
+//!                                     nonzero u64s minted by the client)
 //! {"cmd": "stats"}                    metrics snapshot (JSON)
 //! {"cmd": "metrics"}                  Prometheus text exposition, multi-line,
 //!                                     terminated by a "# EOF" marker line
 //! {"cmd": "health"}                   queue depth, drain state, fault counters
 //! {"cmd": "sentinel"}                 per-client query-pattern state (JSON)
+//! {"cmd": "slo"}                      evaluate SLO burn-rate alarms (JSON)
 //! {"cmd": "shutdown"}                 graceful drain + stop
 //! ```
 //!
@@ -24,6 +32,7 @@
 //! {"stats": {...}}                    see `MetricsSnapshot`
 //! {"health": {"status": "ok", "queue_depth": 3, ...}}
 //! {"sentinel": {"enabled": true, "tracked_clients": 2, ...}}
+//! {"slo": {"evaluated_at_ms": 1200, "alarms": [...]}}
 //! {"ok": "shutting down"}
 //! {"error": {"kind": "overloaded", "detail": "...", "retryable": true,
 //!            "retry_after_ms": 12}}
@@ -43,9 +52,25 @@ use serde::{Content, Serialize};
 use crate::error::ServeError;
 use crate::metrics::MetricsSnapshot;
 use crate::sentinel::SentinelReport;
+use crate::slo::SloReport;
 
 /// Longest accepted `client_id`, in bytes.
 const MAX_CLIENT_ID_BYTES: usize = 128;
+
+/// Wire trace context carried on a score request.
+///
+/// The client mints both ids: `trace_id` is stable across retries of
+/// one logical request, `span_id` identifies the individual attempt.
+/// The server tags its `serve.request` span and per-job batch events
+/// with these ids so a request is followable client → queue → batch →
+/// inference → response in one `trace.jsonl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The logical request's trace id (nonzero, stable across retries).
+    pub trace_id: u64,
+    /// The caller's span id for this attempt (`0` when not supplied).
+    pub span_id: u64,
+}
 
 /// Newtype that deserializes into the raw [`Content`] tree, giving the
 /// request parser full structural control (the vendored `serde_json`
@@ -68,6 +93,8 @@ pub enum Request {
         /// The caller's self-declared identity for sentinel tracking;
         /// `None` falls back to the connection's peer address.
         client_id: Option<String>,
+        /// Wire trace context, when the caller propagated one.
+        trace: Option<TraceContext>,
     },
     /// Return a metrics snapshot as JSON.
     Stats,
@@ -77,6 +104,8 @@ pub enum Request {
     Health,
     /// Return the sentinel's per-client query-pattern state as JSON.
     Sentinel,
+    /// Evaluate the SLO burn-rate alarms and return their state as JSON.
+    Slo,
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -104,6 +133,7 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
             Content::Str(s) if s == "metrics" => Ok(Request::Metrics),
             Content::Str(s) if s == "health" => Ok(Request::Health),
             Content::Str(s) if s == "sentinel" => Ok(Request::Sentinel),
+            Content::Str(s) if s == "slo" => Ok(Request::Slo),
             Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
             Content::Str(other) => Err(ServeError::UnknownCommand {
                 command: other.clone(),
@@ -149,7 +179,30 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
             });
         }
     };
-    Ok(Request::Score { counts, client_id })
+    let trace = match parse_trace_field(&entries, "trace_id")? {
+        None => None,
+        Some(trace_id) => Some(TraceContext {
+            trace_id,
+            span_id: parse_trace_field(&entries, "span_id")?.unwrap_or(0),
+        }),
+    };
+    Ok(Request::Score {
+        counts,
+        client_id,
+        trace,
+    })
+}
+
+/// Reads an optional trace-context id (`trace_id` / `span_id`): absent
+/// is `None`; present must be a nonzero unsigned integer.
+fn parse_trace_field(entries: &[(String, Content)], key: &str) -> Result<Option<u64>, ServeError> {
+    match entries.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Content::U64(v))) if *v > 0 => Ok(Some(*v)),
+        Some((_, other)) => Err(ServeError::UnknownCommand {
+            command: format!("{key} must be a nonzero u64 ({})", type_name(other)),
+        }),
+    }
 }
 
 /// Validates one `features` entry as an API-call count.
@@ -283,6 +336,16 @@ pub fn encode_sentinel(report: &SentinelReport) -> String {
         .unwrap_or_else(|_| encode_internal_error("sentinel encoding"))
 }
 
+/// Encodes an SLO alarm-state response line.
+pub fn encode_slo(report: &SloReport) -> String {
+    #[derive(Serialize)]
+    struct Wrapper<'a> {
+        slo: &'a SloReport,
+    }
+    serde_json::to_string(&Wrapper { slo: report })
+        .unwrap_or_else(|_| encode_internal_error("slo encoding"))
+}
+
 /// Encodes an error response line. `retry_after_ms` is included only
 /// when the error carries a hint (`overloaded`).
 pub fn encode_error(err: &ServeError) -> String {
@@ -339,8 +402,59 @@ mod tests {
             Request::Score {
                 counts: vec![0, 3, 12],
                 client_id: None,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_and_validates_trace_context() {
+        let req = parse_request(
+            "{\"features\": [0, 3, 12], \"trace_id\": 91, \"span_id\": 92}",
+            3,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Score {
+                counts: vec![0, 3, 12],
+                client_id: None,
+                trace: Some(TraceContext {
+                    trace_id: 91,
+                    span_id: 92,
+                }),
+            }
+        );
+        // A lone trace_id is accepted; span_id defaults to 0 (absent).
+        let req = parse_request("{\"features\": [0, 3, 12], \"trace_id\": 7}", 3).unwrap();
+        assert_eq!(
+            req,
+            Request::Score {
+                counts: vec![0, 3, 12],
+                client_id: None,
+                trace: Some(TraceContext {
+                    trace_id: 7,
+                    span_id: 0,
+                }),
+            }
+        );
+        // A span_id without a trace_id is ignored (no context to join).
+        let req = parse_request("{\"features\": [0, 3, 12], \"span_id\": 5}", 3).unwrap();
+        assert!(matches!(req, Request::Score { trace: None, .. }));
+        // Zero, negative, fractional, or non-numeric ids are shape errors.
+        for line in [
+            "{\"features\": [0, 3, 12], \"trace_id\": 0}",
+            "{\"features\": [0, 3, 12], \"trace_id\": -4}",
+            "{\"features\": [0, 3, 12], \"trace_id\": 1.5}",
+            "{\"features\": [0, 3, 12], \"trace_id\": \"t\"}",
+            "{\"features\": [0, 3, 12], \"trace_id\": 3, \"span_id\": 0}",
+        ] {
+            assert_eq!(
+                parse_request(line, 3).unwrap_err().kind(),
+                "unknown_command",
+                "{line}"
+            );
+        }
     }
 
     #[test]
@@ -351,6 +465,7 @@ mod tests {
             Request::Score {
                 counts: vec![0, 3, 12],
                 client_id: Some("t-1".to_string()),
+                trace: None,
             }
         );
         // Empty, oversized, or non-string identities are shape errors.
@@ -385,6 +500,10 @@ mod tests {
         assert_eq!(
             parse_request("{\"cmd\": \"sentinel\"}", 3).unwrap(),
             Request::Sentinel
+        );
+        assert_eq!(
+            parse_request("{\"cmd\": \"slo\"}", 3).unwrap(),
+            Request::Slo
         );
         assert_eq!(
             parse_request("{\"cmd\": \"shutdown\"}", 3).unwrap(),
@@ -542,6 +661,32 @@ mod tests {
         assert!(line.contains("\"flagged_clients\":1"), "{line}");
         assert!(line.contains("\"client_id\":\"attacker\""), "{line}");
         assert!(line.contains("\"flagged_at_query\":20"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn slo_report_encodes_under_an_slo_key() {
+        let line = encode_slo(&SloReport {
+            evaluated_at_ms: 1200,
+            alarms: vec![crate::slo::SloAlarmReport {
+                name: "request_p99_latency".to_string(),
+                firing: true,
+                changed: false,
+                windows: vec![crate::slo::SloWindowReport {
+                    window_ms: 60_000,
+                    max_burn_rate: 14.0,
+                    burn_rate: 20.5,
+                    covered: true,
+                    bad: 41,
+                    total: 200,
+                }],
+            }],
+        });
+        assert!(line.starts_with("{\"slo\":{"), "{line}");
+        assert!(line.contains("\"evaluated_at_ms\":1200"), "{line}");
+        assert!(line.contains("\"name\":\"request_p99_latency\""), "{line}");
+        assert!(line.contains("\"firing\":true"), "{line}");
+        assert!(line.contains("\"window_ms\":60000"), "{line}");
         assert!(!line.contains('\n'));
     }
 

@@ -27,15 +27,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use maleva_core::DetectorPipeline;
-use maleva_obs::trace::Span;
+use maleva_obs::slo::SloSpec;
+use maleva_obs::trace::{self, Span};
 
 use crate::batch::{collect_batch, score_rows_isolated, ScoreJob, ScoredReply};
 use crate::cache::{quantize, LruCache};
 use crate::error::ServeError;
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
-use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::protocol::{self, HealthReport, Request, ScoreResponse};
+use crate::metrics::{Metrics, MetricsSnapshot, StageTimes};
+use crate::protocol::{self, HealthReport, Request, ScoreResponse, TraceContext};
 use crate::sentinel::{poison_score, Sentinel, SentinelConfig, SentinelDecision, SentinelReport};
+use crate::slo::{default_serve_slos, SloReport, SloRuntime};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,6 +69,9 @@ pub struct ServeConfig {
     pub faults: FaultPlan,
     /// Extraction-sentinel configuration; disabled by default.
     pub sentinel: SentinelConfig,
+    /// SLO specs evaluated by `{"cmd": "slo"}`; defaults to
+    /// [`default_serve_slos`]. Empty disables the alarm engine.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
             shed_queue_depth: 1024,
             faults: FaultPlan::disabled(),
             sentinel: SentinelConfig::default(),
+            slos: default_serve_slos(),
         }
     }
 }
@@ -112,6 +118,7 @@ struct Shared {
     shutting_down: AtomicBool,
     addr: SocketAddr,
     injector: FaultInjector,
+    slo: SloRuntime,
 }
 
 impl Shared {
@@ -168,6 +175,14 @@ impl ServerHandle {
     /// The same sentinel report served to `{"cmd": "sentinel"}` clients.
     pub fn sentinel(&self) -> SentinelReport {
         sentinel_report(&self.shared)
+    }
+
+    /// Evaluates the SLO burn-rate alarms now — the same report served
+    /// to `{"cmd": "slo"}` clients.
+    pub fn slo(&self) -> SloReport {
+        self.shared
+            .slo
+            .observe_and_evaluate(self.shared.metrics.registry())
     }
 
     /// Whether a shutdown has been initiated.
@@ -246,15 +261,18 @@ pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result
 
     let injector = FaultInjector::new(config.faults.clone());
     let sentinel = Sentinel::new(config.sentinel.clone());
+    let metrics = Metrics::new();
+    let slo = SloRuntime::new(config.slos.clone(), metrics.registry());
     let shared = Arc::new(Shared {
         pipeline,
         config,
-        metrics: Metrics::new(),
+        metrics,
         cache: Mutex::new(LruCache::new(cache_capacity)),
         sentinel: Mutex::new(sentinel),
         shutting_down: AtomicBool::new(false),
         addr,
         injector,
+        slo,
     });
 
     let (tx, rx) = mpsc::sync_channel::<ScoreJob>(queue_capacity);
@@ -288,12 +306,30 @@ fn scorer_loop(
 ) {
     while let Some(jobs) = collect_batch(rx, max_batch, batch_timeout) {
         let mut span = Span::enter("serve.batch");
+        // Batch execution starts here: each job's `batch_wait` stage
+        // ends now, and everything until the scores are back — the
+        // rows copy, any injected slow-inference fault, and the
+        // forward pass itself — is attributed to `inference`.
+        let exec_start = Instant::now();
         shared.metrics.queue_depth.add(-(jobs.len() as i64));
         if shared.fire(FaultSite::ScoreDelay) {
             std::thread::sleep(shared.injector.delay());
         }
         let rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features.clone()).collect();
         span.record("rows", rows.len() as u64);
+        // Tag the batch with every member's wire trace so a request is
+        // followable into the batch that scored it.
+        for job in &jobs {
+            if job.trace_id != 0 {
+                trace::event(
+                    "serve.batch.job",
+                    &[
+                        ("trace_id", job.trace_id.into()),
+                        ("client_span", job.client_span.into()),
+                    ],
+                );
+            }
+        }
 
         // BatchPanic/RowPanic fire inside the isolated scorer; only this
         // thread consumes those sites, so the delta is race-free.
@@ -303,6 +339,7 @@ fn scorer_loop(
         };
         let faults_before = scorer_faults(shared);
         let outcome = score_rows_isolated(shared.pipeline.network(), &rows, &shared.injector);
+        let inference = exec_start.elapsed();
         shared
             .metrics
             .faults_injected
@@ -334,6 +371,9 @@ fn scorer_loop(
                 Ok(score) => Ok(ScoredReply {
                     score,
                     batch_size: n,
+                    queue_wait: job.received_at.saturating_duration_since(job.enqueued_at),
+                    batch_wait: exec_start.saturating_duration_since(job.received_at),
+                    inference,
                 }),
                 Err(detail) => Err(ServeError::Internal { detail }),
             };
@@ -499,16 +539,31 @@ fn handle_connection(
                     &protocol::encode_sentinel(&sentinel_report(shared)),
                 )?;
             }
+            Ok(Request::Slo) => {
+                span.record("cmd", "slo");
+                let report = shared.slo.observe_and_evaluate(shared.metrics.registry());
+                write_line(&mut writer, &protocol::encode_slo(&report))?;
+            }
             Ok(Request::Shutdown) => {
                 span.record("cmd", "shutdown");
                 write_line(&mut writer, &protocol::encode_shutdown_ack())?;
                 shared.trigger_shutdown();
                 return Ok(());
             }
-            Ok(Request::Score { counts, client_id }) => {
+            Ok(Request::Score {
+                counts,
+                client_id,
+                trace,
+            }) => {
                 span.record("cmd", "score");
+                if let Some(t) = trace {
+                    span.record("trace_id", t.trace_id);
+                    if t.span_id != 0 {
+                        span.record("client_span", t.span_id);
+                    }
+                }
                 let cid = client_id.as_deref().unwrap_or(peer.as_str());
-                handle_score(shared, &mut writer, tx, &counts, cid, &mut span)?;
+                handle_score(shared, &mut writer, tx, &counts, cid, trace, &mut span)?;
             }
         }
     }
@@ -526,17 +581,74 @@ fn write_metrics_block(writer: &mut TcpStream, text: &str) -> std::io::Result<()
     writer.flush()
 }
 
+/// The resolved answer to one score request, carried from the staged
+/// scoring logic ([`score_outcome`]) to the single serialization exit
+/// ([`handle_score`]).
+enum ScoreOutcome {
+    /// A score to send; `faulted` routes the write through
+    /// [`write_line_faulted`] (the historical behavior: only cache
+    /// hits bypass the write-fault sites).
+    Reply { resp: ScoreResponse, faulted: bool },
+    /// A typed error to send (always via the faulted writer).
+    Error(ServeError),
+}
+
 fn handle_score(
     shared: &Arc<Shared>,
     writer: &mut TcpStream,
     tx: &SyncSender<ScoreJob>,
     counts: &[u32],
     client_id: &str,
+    trace: Option<TraceContext>,
     span: &mut Span,
 ) -> std::io::Result<()> {
-    let start = Instant::now();
     shared.metrics.requests.inc();
+    let mut stages = StageTimes::default();
+    let outcome = score_outcome(shared, tx, counts, client_id, trace, span, &mut stages);
 
+    // The single exit: encode + write is the `serialize` stage, after
+    // which the full six-stage decomposition is recorded on the span
+    // and into the `serve_stage_*_us` histograms.
+    let serialize_start = Instant::now();
+    let (line, faulted) = match &outcome {
+        ScoreOutcome::Reply { resp, faulted } => (protocol::encode_score(resp), *faulted),
+        ScoreOutcome::Error(err) => {
+            shared.metrics.errors.inc();
+            (protocol::encode_error(err), true)
+        }
+    };
+    let result = if faulted {
+        write_line_faulted(shared, writer, &line)
+    } else {
+        write_line(writer, &line)
+    };
+    stages.serialize = serialize_start.elapsed();
+    shared.metrics.record_stages(&stages);
+    let [queue_wait, batch_wait, cache_lookup, sentinel_check, inference, serialize] =
+        stages.as_us();
+    span.record("stage_queue_wait_us", queue_wait);
+    span.record("stage_batch_wait_us", batch_wait);
+    span.record("stage_cache_lookup_us", cache_lookup);
+    span.record("stage_sentinel_check_us", sentinel_check);
+    span.record("stage_inference_us", inference);
+    span.record("stage_serialize_us", serialize);
+    result
+}
+
+/// Runs the score pipeline — sentinel, cache, queue, batch reply — and
+/// returns what to send, accumulating per-stage time into `stages`.
+/// Performs no socket io, so [`handle_score`] can time serialization
+/// as one stage.
+fn score_outcome(
+    shared: &Arc<Shared>,
+    tx: &SyncSender<ScoreJob>,
+    counts: &[u32],
+    client_id: &str,
+    trace: Option<TraceContext>,
+    span: &mut Span,
+    stages: &mut StageTimes,
+) -> ScoreOutcome {
+    let start = Instant::now();
     let features = shared.pipeline.features().transform_counts(counts);
     let cache_key = quantize(&features);
 
@@ -544,26 +656,33 @@ fn handle_score(
     // so its decisions are a pure function of (seed, client history).
     let sentinel_on = shared.config.sentinel.enabled;
     let decision = if sentinel_on {
-        match shared.sentinel.lock() {
+        let check = Instant::now();
+        let decision = match shared.sentinel.lock() {
             Ok(mut s) => s.decide(client_id),
             Err(_) => SentinelDecision::Allow,
-        }
+        };
+        stages.sentinel_check += check.elapsed();
+        decision
     } else {
         SentinelDecision::Allow
     };
     if let SentinelDecision::Throttle { retry_after_ms } = decision {
         shared.metrics.sentinel_throttled.inc();
         span.record("throttled", true);
+        let check = Instant::now();
         sentinel_record(shared, client_id, cache_key, None);
-        return respond_error(shared, writer, &ServeError::Throttled { retry_after_ms });
+        stages.sentinel_check += check.elapsed();
+        return ScoreOutcome::Error(ServeError::Throttled { retry_after_ms });
     }
     let poison = matches!(decision, SentinelDecision::Poison);
 
+    let lookup = Instant::now();
     let cached = shared
         .cache
         .lock()
         .ok()
         .and_then(|mut cache| cache.get(&cache_key));
+    stages.cache_lookup += lookup.elapsed();
     if let Some(score) = cached {
         shared.metrics.cache_hits.inc();
         shared.metrics.record_latency(start.elapsed());
@@ -571,19 +690,21 @@ fn handle_score(
         if sentinel_on {
             // History records the *true* verdict so later flip analysis
             // is about the model's boundary, not the poison stream.
+            let check = Instant::now();
             sentinel_record(shared, client_id, cache_key.clone(), Some(score >= 0.5));
+            stages.sentinel_check += check.elapsed();
         }
         let served = serve_score(shared, poison, score, &cache_key, span);
-        return write_line(
-            writer,
-            &protocol::encode_score(&ScoreResponse::new(served, true, 0)),
-        );
+        return ScoreOutcome::Reply {
+            resp: ScoreResponse::new(served, true, 0),
+            faulted: false,
+        };
     }
     shared.metrics.cache_misses.inc();
     span.record("cached", false);
 
     if shared.shutting_down.load(Ordering::SeqCst) {
-        return respond_error(shared, writer, &ServeError::ShuttingDown);
+        return ScoreOutcome::Error(ServeError::ShuttingDown);
     }
 
     let overloaded = |depth: u64| ServeError::Overloaded {
@@ -603,7 +724,7 @@ fn handle_score(
         shared.metrics.shed.inc();
         shared.metrics.overloaded.inc();
         span.record("shed", true);
-        return respond_error(shared, writer, &overloaded(depth));
+        return ScoreOutcome::Error(overloaded(depth));
     }
 
     let sentinel_key = if sentinel_on {
@@ -612,69 +733,67 @@ fn handle_score(
         None
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    let job = ScoreJob {
-        features,
-        cache_key,
-        reply: reply_tx,
-    };
+    let mut job = ScoreJob::new(features, cache_key, reply_tx);
+    if let Some(t) = trace {
+        job.trace_id = t.trace_id;
+        job.client_span = t.span_id;
+    }
+    // Re-stamp right before the push so `queue_wait` starts at enqueue,
+    // not at job construction.
+    let enqueued = Instant::now();
+    job.enqueued_at = enqueued;
     match tx.try_send(job) {
         Err(TrySendError::Full(_)) => {
             shared.metrics.overloaded.inc();
             span.record("overloaded", true);
-            respond_error(
-                shared,
-                writer,
-                &overloaded(shared.config.queue_capacity as u64),
-            )
+            ScoreOutcome::Error(overloaded(shared.config.queue_capacity as u64))
         }
-        Err(TrySendError::Disconnected(_)) => {
-            respond_error(shared, writer, &ServeError::ShuttingDown)
-        }
+        Err(TrySendError::Disconnected(_)) => ScoreOutcome::Error(ServeError::ShuttingDown),
         Ok(()) => {
             shared.metrics.queue_depth.add(1);
             let deadline = shared.config.request_deadline;
             match reply_rx.recv_timeout(deadline) {
                 Ok(Ok(reply)) => {
+                    // The enqueue → reply wait decomposes into the
+                    // scorer-measured queue and batch waits; everything
+                    // else (the forward pass, reply fan-out, and the
+                    // wake-up gap) is attributed to inference so the six
+                    // stages always sum to the observed wait.
+                    let waited = enqueued.elapsed();
+                    stages.queue_wait += reply.queue_wait;
+                    stages.batch_wait += reply.batch_wait;
+                    stages.inference += waited.saturating_sub(reply.queue_wait + reply.batch_wait);
                     shared.metrics.record_latency(start.elapsed());
                     span.record("batch_size", reply.batch_size as u64);
                     let served = if let Some(key) = sentinel_key {
+                        let check = Instant::now();
                         sentinel_record(shared, client_id, key.clone(), Some(reply.score >= 0.5));
+                        stages.sentinel_check += check.elapsed();
                         serve_score(shared, poison, reply.score, &key, span)
                     } else {
                         reply.score
                     };
-                    write_line_faulted(
-                        shared,
-                        writer,
-                        &protocol::encode_score(&ScoreResponse::new(
-                            served,
-                            false,
-                            reply.batch_size,
-                        )),
-                    )
+                    ScoreOutcome::Reply {
+                        resp: ScoreResponse::new(served, false, reply.batch_size),
+                        faulted: true,
+                    }
                 }
-                Ok(Err(e)) => respond_error(shared, writer, &e),
+                Ok(Err(e)) => ScoreOutcome::Error(e),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     // Abandon the reply channel: the scorer's eventual
                     // send fails harmlessly and the connection stays in
                     // sync instead of hanging on a wedged scorer.
                     shared.metrics.deadline_exceeded.inc();
                     span.record("deadline_exceeded", true);
-                    respond_error(
-                        shared,
-                        writer,
-                        &ServeError::DeadlineExceeded {
-                            deadline_ms: deadline.as_millis() as u64,
-                        },
-                    )
+                    ScoreOutcome::Error(ServeError::DeadlineExceeded {
+                        deadline_ms: deadline.as_millis() as u64,
+                    })
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => respond_error(
-                    shared,
-                    writer,
-                    &ServeError::Internal {
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    ScoreOutcome::Error(ServeError::Internal {
                         detail: "scorer dropped the reply".to_string(),
-                    },
-                ),
+                    })
+                }
             }
         }
     }

@@ -4,7 +4,7 @@
 //! ```text
 //! serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]
 //!            [--clients C] [--max-batch B] [--keyspace K]
-//!            [--out PATH] [--out-dir DIR]
+//!            [--out PATH] [--out-dir DIR] [--trace-out PATH]
 //! ```
 //!
 //! Two measurements:
@@ -14,25 +14,35 @@
 //!    chunks ([`maleva_serve::score_rows`]), with a bitwise equality
 //!    check: batching must be a pure throughput optimization.
 //! 2. **End-to-end phases** — client threads hammer an in-process
-//!    server over TCP for `--seconds / 5` each:
+//!    server over TCP, one fresh server per phase:
 //!    `unbatched` (max batch 1, cache off), `batched` (max batch B,
 //!    cache off), `cached` (max batch B, cache on, keyspace-limited
 //!    request pool so repeats hit), `degraded` (the batched setup
 //!    with deterministic fault injection active — slow reads/writes,
 //!    dropped replies, scorer panics, artificial latency — and clients
-//!    that reconnect on error), and `sentinel_idle` (the batched setup
+//!    that reconnect on error), `sentinel_idle` (the batched setup
 //!    with the extraction sentinel enabled but never flagging: the
 //!    replayed keyspace is exact repeats, which the near-duplicate
 //!    detector deliberately ignores, so the phase isolates the
-//!    sentinel's per-request bookkeeping cost).
+//!    sentinel's per-request bookkeeping cost), a `shards1` /
+//!    `shards2` / `shards4` sweep (the batched setup at 1, 2, and 4
+//!    event-loop shards under at least 64 connections, every response
+//!    checked bit-exact against the offline oracle), and `reload`
+//!    (single-shard batched traffic while a controller hot-swaps the
+//!    model every ~200 ms, alternating two weight files).
 //!
 //! The headline numbers are `batched_vs_unbatched_speedup` — end-to-end
 //! throughput of the batched phase over the unbatched one —
 //! `degraded_vs_batched_speedup`, the fraction of batched throughput
 //! the server retains while under fault injection (its p99 quantifies
-//! tail latency in degraded mode), and `sentinel_idle_p99_ratio`, the
+//! tail latency in degraded mode), `sentinel_idle_p99_ratio`, the
 //! sentinel-on p99 over the batched p99 (the gate that an idle defense
-//! does not tax the scoring tail).
+//! does not tax the scoring tail), `shard_scaling_speedup`
+//! (`shards4` throughput over `shards1` — meaningful only on
+//! multi-core runners, so the process exit code never depends on it;
+//! the gated invariant is `shard_bit_identical`), and
+//! `reload_p99_ratio`, the reload-storm p99 over the batched p99 (the
+//! gate that hot swaps do not stall the scoring tail).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -42,6 +52,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use maleva_core::{DetectorPipeline, ExperimentContext, ExperimentScale};
+use maleva_nn::{Activation, NetworkBuilder};
+use maleva_obs::trace;
 use maleva_serve::{
     score_rows, score_rows_sequential, spawn, FaultAction, FaultPlan, FaultSite, SentinelConfig,
     ServeConfig,
@@ -57,6 +69,7 @@ struct Args {
     keyspace: usize,
     out: String,
     out_dir: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         keyspace: 64,
         out: "BENCH_serve.json".to_string(),
         out_dir: None,
+        trace_out: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -109,11 +123,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("out")?,
             "--out-dir" => args.out_dir = Some(value("out-dir")?),
+            "--trace-out" => args.trace_out = Some(value("trace-out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: serve_load [--scale tiny|quick|paper] [--seed N] [--seconds S]\n\
                      \x20                 [--clients C] [--max-batch B] [--keyspace K]\n\
-                     \x20                 [--out PATH] [--out-dir DIR]"
+                     \x20                 [--out PATH] [--out-dir DIR] [--trace-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -142,6 +157,8 @@ struct PhaseResult {
     name: &'static str,
     max_batch: usize,
     cache_capacity: usize,
+    shards: usize,
+    clients: usize,
     seconds: f64,
     requests_ok: u64,
     requests_err: u64,
@@ -168,6 +185,10 @@ struct BenchReport {
     max_batch: usize,
     feature_dim: usize,
     bit_identical: bool,
+    /// Every response of the shard-sweep phases was bit-identical to
+    /// the single-threaded offline oracle: sharding, like batching, is
+    /// a throughput optimization, never a semantic change.
+    shard_bit_identical: bool,
     /// Best per-row-vs-batched forward speedup at batch size >= 8 — the
     /// headline "batching beats per-row scoring" number.
     batched_forward_speedup: f64,
@@ -184,6 +205,14 @@ struct BenchReport {
     /// Sentinel-idle p99 latency over batched p99: near 1.0 when the
     /// enabled-but-idle sentinel leaves the scoring tail alone.
     sentinel_idle_p99_ratio: f64,
+    /// `shards4` throughput over `shards1` at >= 64 connections. Only
+    /// meaningful on multi-core runners (a single-core machine
+    /// legitimately reports ~1.0), so the exit code never depends on
+    /// it; the baseline gate carries wide slack instead.
+    shard_scaling_speedup: f64,
+    /// Reload-storm p99 latency over batched p99: near 1.0 when
+    /// hot-swapping the model under load leaves the scoring tail alone.
+    reload_p99_ratio: f64,
 }
 
 /// Swallows the panics the degraded phase *injects* (payloads marked
@@ -217,6 +246,22 @@ fn main() -> ExitCode {
         }
     };
     quiet_injected_panics();
+    if let Some(path) = &args.trace_out {
+        let sink = if path == "-" {
+            trace::Sink::Stderr
+        } else {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create --trace-out directory");
+                }
+            }
+            trace::Sink::File(path.into())
+        };
+        if let Err(e) = trace::install(sink) {
+            eprintln!("error: cannot open trace output {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     eprintln!(
         "[serve_load] building context (scale={}, seed={}) ...",
         args.scale.name, args.seed
@@ -264,51 +309,86 @@ fn main() -> ExitCode {
         seed: args.seed,
         ..SentinelConfig::default()
     };
-    let phase_secs = args.seconds / 5.0;
+    // Oracle bits per pool line, for the shard-sweep bit-identity check.
+    let oracle: Arc<Vec<u64>> = Arc::new(
+        pool_counts
+            .iter()
+            .map(|c| {
+                let row = ctx.detector.features().transform_counts(c);
+                score_rows(ctx.detector.network(), std::slice::from_ref(&row))
+                    .expect("oracle forward")[0]
+                    .to_bits()
+            })
+            .collect(),
+    );
+
+    let phase_secs = (args.seconds / 5.0).max(0.8);
+    // The shard sweep needs enough concurrency to keep 4 event loops
+    // busy; a small --clients would serialize on too few connections.
+    let sweep_clients = args.clients.max(64);
     let off = SentinelConfig::default;
-    let specs: [(&'static str, usize, usize, FaultPlan, SentinelConfig); 5] = [
-        ("unbatched", 1, 0, FaultPlan::disabled(), off()),
-        ("batched", args.max_batch, 0, FaultPlan::disabled(), off()),
-        ("cached", args.max_batch, 4096, FaultPlan::disabled(), off()),
-        ("degraded", args.max_batch, 0, degraded_faults, off()),
-        (
-            "sentinel_idle",
-            args.max_batch,
-            0,
-            FaultPlan::disabled(),
-            idle_sentinel,
-        ),
+    let baseline = PhaseSpec {
+        name: "unbatched",
+        clients: args.clients,
+        max_batch: 1,
+        cache_capacity: 0,
+        shards: 1,
+        faults: FaultPlan::disabled(),
+        sentinel: off(),
+        oracle: None,
+    };
+    let batched = |name: &'static str| PhaseSpec {
+        name,
+        max_batch: args.max_batch,
+        ..baseline.clone()
+    };
+    let sharded = |name: &'static str, shards: usize| PhaseSpec {
+        clients: sweep_clients,
+        shards,
+        oracle: Some(Arc::clone(&oracle)),
+        ..batched(name)
+    };
+    let specs = [
+        baseline.clone(),
+        batched("batched"),
+        PhaseSpec {
+            cache_capacity: 4096,
+            ..batched("cached")
+        },
+        PhaseSpec {
+            faults: degraded_faults,
+            ..batched("degraded")
+        },
+        PhaseSpec {
+            sentinel: idle_sentinel,
+            ..batched("sentinel_idle")
+        },
+        sharded("shards1", 1),
+        sharded("shards2", 2),
+        sharded("shards4", 4),
     ];
     let mut phases = Vec::new();
-    for (name, max_batch, cache_capacity, faults, sentinel) in specs {
+    let mut shard_bit_identical = true;
+    for spec in specs {
         eprintln!(
-            "[serve_load] phase {name} ({phase_secs:.1}s, {} clients) ...",
-            args.clients
+            "[serve_load] phase {} ({phase_secs:.1}s, {} clients, {} shard{}) ...",
+            spec.name,
+            spec.clients,
+            spec.shards,
+            if spec.shards == 1 { "" } else { "s" }
         );
-        let phase = run_phase(
-            name,
-            ctx.detector.clone(),
-            &lines,
-            args.clients,
-            phase_secs,
-            max_batch,
-            cache_capacity,
-            faults,
-            sentinel,
-        );
-        println!(
-            "phase {:<9} {:>8.0} req/s  p50 {:>5} us  p99 {:>6} us  mean batch {:>4.1}  \
-             cache hits {:>5.1}%  errors {}",
-            phase.name,
-            phase.throughput_rps,
-            phase.p50_latency_us,
-            phase.p99_latency_us,
-            phase.mean_batch_size,
-            phase.cache_hit_rate * 100.0,
-            phase.requests_err
-        );
+        let (phase, bits_ok) = run_phase(spec, ctx.detector.clone(), &lines, phase_secs);
+        shard_bit_identical &= bits_ok;
+        print_phase(&phase);
         phases.push(phase);
     }
+    eprintln!(
+        "[serve_load] phase reload ({phase_secs:.1}s, {} clients) ...",
+        args.clients
+    );
+    let reload_phase = run_reload_phase(&ctx, &lines, args.clients, phase_secs, args.max_batch);
+    print_phase(&reload_phase);
+    phases.push(reload_phase);
 
     let speedup = |num: &PhaseResult, den: &PhaseResult| {
         if den.throughput_rps > 0.0 {
@@ -322,6 +402,13 @@ fn main() -> ExitCode {
         .filter(|f| f.batch >= 8)
         .map(|f| f.speedup)
         .fold(0.0, f64::max);
+    let p99_ratio = |num: &PhaseResult, den: &PhaseResult| {
+        if den.p99_latency_us > 0 {
+            num.p99_latency_us as f64 / den.p99_latency_us as f64
+        } else {
+            0.0
+        }
+    };
     let report = BenchReport {
         bench: "serve_load",
         scale: args.scale.name.to_string(),
@@ -331,29 +418,32 @@ fn main() -> ExitCode {
         max_batch: args.max_batch,
         feature_dim: ctx.detector.features().dim(),
         bit_identical,
+        shard_bit_identical,
         batched_forward_speedup,
         batched_vs_unbatched_speedup: speedup(&phases[1], &phases[0]),
         cached_vs_unbatched_speedup: speedup(&phases[2], &phases[0]),
         degraded_vs_batched_speedup: speedup(&phases[3], &phases[1]),
         sentinel_vs_batched_speedup: speedup(&phases[4], &phases[1]),
-        sentinel_idle_p99_ratio: if phases[1].p99_latency_us > 0 {
-            phases[4].p99_latency_us as f64 / phases[1].p99_latency_us as f64
-        } else {
-            0.0
-        },
+        sentinel_idle_p99_ratio: p99_ratio(&phases[4], &phases[1]),
+        shard_scaling_speedup: speedup(&phases[7], &phases[5]),
+        reload_p99_ratio: p99_ratio(&phases[8], &phases[1]),
         forward,
         phases,
     };
     println!(
         "batched forward speedup (batch >= 8): {:.2}x | end-to-end batched vs unbatched: \
          {:.2}x | cached vs unbatched: {:.2}x | throughput retained under faults: {:.2}x | \
-         idle sentinel: {:.2}x throughput, p99 ratio {:.2}",
+         idle sentinel: {:.2}x throughput, p99 ratio {:.2} | shard scaling 4v1: {:.2}x \
+         (bit-identical: {}) | reload p99 ratio: {:.2}",
         report.batched_forward_speedup,
         report.batched_vs_unbatched_speedup,
         report.cached_vs_unbatched_speedup,
         report.degraded_vs_batched_speedup,
         report.sentinel_vs_batched_speedup,
-        report.sentinel_idle_p99_ratio
+        report.sentinel_idle_p99_ratio,
+        report.shard_scaling_speedup,
+        report.shard_bit_identical,
+        report.reload_p99_ratio
     );
 
     let json = serde_json::to_string_pretty(&report).expect("encode report");
@@ -366,9 +456,14 @@ fn main() -> ExitCode {
     };
     std::fs::write(&out_path, json + "\n").expect("write report");
     println!("wrote {out_path}");
+    trace::flush();
 
     if !bit_identical {
         eprintln!("error: batched scores diverged from sequential scores");
+        return ExitCode::FAILURE;
+    }
+    if !shard_bit_identical {
+        eprintln!("error: sharded scores diverged from the single-threaded oracle");
         return ExitCode::FAILURE;
     }
     if batched_forward_speedup <= 1.0 {
@@ -378,7 +473,25 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Deliberately NOT gated here: shard_scaling_speedup. The sweep is
+    // honest about parallelism only on multi-core runners; the baseline
+    // gate (bench_gate) owns that comparison with appropriate slack.
     ExitCode::SUCCESS
+}
+
+/// Prints the one-line summary for a finished phase.
+fn print_phase(phase: &PhaseResult) {
+    println!(
+        "phase {:<13} {:>8.0} req/s  p50 {:>5} us  p99 {:>6} us  mean batch {:>4.1}  \
+         cache hits {:>5.1}%  errors {}",
+        phase.name,
+        phase.throughput_rps,
+        phase.p50_latency_us,
+        phase.p99_latency_us,
+        phase.mean_batch_size,
+        phase.cache_hit_rate * 100.0,
+        phase.requests_err
+    );
 }
 
 /// Renders one `{"features": [...]}` request line (no newline).
@@ -453,27 +566,48 @@ fn forward_comparison(
     (results, bit_identical)
 }
 
-/// Runs one end-to-end phase: spawns a fresh server, hammers it with
-/// `clients` threads for `seconds`, then shuts it down and reads the
-/// final metrics. When the phase injects faults, clients count each
-/// failure and reconnect instead of giving up — a dropped connection is
-/// part of the workload there, not the end of it.
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
+/// Everything that distinguishes one end-to-end phase from another.
+#[derive(Clone)]
+struct PhaseSpec {
     name: &'static str,
-    detector: DetectorPipeline,
-    lines: &Arc<Vec<String>>,
     clients: usize,
-    seconds: f64,
     max_batch: usize,
     cache_capacity: usize,
+    shards: usize,
     faults: FaultPlan,
     sentinel: SentinelConfig,
-) -> PhaseResult {
+    /// When set, every score response is checked bit-exact against
+    /// these per-pool-line oracle bits (the shard-sweep invariant).
+    oracle: Option<Arc<Vec<u64>>>,
+}
+
+/// Runs one end-to-end phase: spawns a fresh server, hammers it with
+/// `spec.clients` threads for `seconds`, then shuts it down and reads
+/// the final metrics. When the phase injects faults, clients count each
+/// failure and reconnect instead of giving up — a dropped connection is
+/// part of the workload there, not the end of it. The second return is
+/// the oracle bit-identity verdict (vacuously true without an oracle).
+fn run_phase(
+    spec: PhaseSpec,
+    detector: DetectorPipeline,
+    lines: &Arc<Vec<String>>,
+    seconds: f64,
+) -> (PhaseResult, bool) {
+    let PhaseSpec {
+        name,
+        clients,
+        max_batch,
+        cache_capacity,
+        shards,
+        faults,
+        sentinel,
+        oracle,
+    } = spec;
     let resilient = faults.is_enabled();
     let config = ServeConfig {
         max_batch,
         cache_capacity,
+        shards,
         // Opportunistic batching: drain whatever queued while the
         // previous batch was scoring, never stall waiting for
         // stragglers. Keeps every phase work-conserving so the
@@ -487,12 +621,15 @@ fn run_phase(
     let handle = spawn(detector, config).expect("spawn server");
     let addr = handle.addr();
     let stop = Arc::new(AtomicBool::new(false));
+    let bits_ok = Arc::new(AtomicBool::new(true));
     let start = Instant::now();
 
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let lines = Arc::clone(lines);
             let stop = Arc::clone(&stop);
+            let oracle = oracle.clone();
+            let bits_ok = Arc::clone(&bits_ok);
             std::thread::spawn(move || -> (u64, u64) {
                 let (mut ok, mut err) = (0u64, 0u64);
                 let mut resp = String::new();
@@ -513,7 +650,8 @@ fn run_phase(
                     };
                     let mut reader = BufReader::new(stream);
                     while !stop.load(Ordering::Relaxed) {
-                        let line = &lines[i % lines.len()];
+                        let idx = i % lines.len();
+                        let line = &lines[idx];
                         i += 1;
                         if writer.write_all(line.as_bytes()).is_err()
                             || writer.write_all(b"\n").is_err()
@@ -526,7 +664,14 @@ fn run_phase(
                         }
                         resp.clear();
                         match reader.read_line(&mut resp) {
-                            Ok(n) if n > 0 && resp.starts_with("{\"score\"") => ok += 1,
+                            Ok(n) if n > 0 && resp.starts_with("{\"score\"") => {
+                                ok += 1;
+                                if let Some(oracle) = &oracle {
+                                    if parse_score_bits(&resp) != Some(oracle[idx]) {
+                                        bits_ok.store(false, Ordering::Relaxed);
+                                    }
+                                }
+                            }
                             Ok(n) if n > 0 => err += 1,
                             _ => {
                                 if resilient {
@@ -554,10 +699,185 @@ fn run_phase(
     let elapsed = start.elapsed().as_secs_f64();
     let snap = handle.shutdown();
 
-    PhaseResult {
+    let phase = PhaseResult {
         name,
         max_batch,
         cache_capacity,
+        shards,
+        clients,
+        seconds: elapsed,
+        requests_ok: ok,
+        requests_err: err,
+        throughput_rps: ok as f64 / elapsed,
+        mean_batch_size: snap.mean_batch_size,
+        cache_hit_rate: snap.cache_hit_rate,
+        p50_latency_us: snap.p50_latency_us,
+        p99_latency_us: snap.p99_latency_us,
+        latency_buckets_us: snap.latency_buckets_us,
+        batch_size_buckets: snap.batch_size_buckets,
+    };
+    (phase, bits_ok.load(Ordering::Relaxed))
+}
+
+/// Pulls the `"score"` field bits out of a response line; `None` when
+/// the line is not a score response.
+fn parse_score_bits(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"score\":")?;
+    let end = rest.find(',')?;
+    rest[..end].parse::<f64>().ok().map(f64::to_bits)
+}
+
+/// The reload phase: batched single-shard traffic while a controller
+/// connection hot-swaps the model every ~200 ms, alternating between
+/// the boot weights and a different-seed network of the same shape.
+/// Reported like any other phase so `reload_p99_ratio` (its p99 over
+/// the batched phase's) quantifies what the swaps cost the tail.
+fn run_reload_phase(
+    ctx: &ExperimentContext,
+    lines: &Arc<Vec<String>>,
+    clients: usize,
+    seconds: f64,
+    max_batch: usize,
+) -> PhaseResult {
+    let dim = ctx.detector.features().dim();
+    let alt = NetworkBuilder::new(dim)
+        .layer(8, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(0x5eed)
+        .build()
+        .expect("alternate network");
+    let dir = std::env::temp_dir().join(format!("maleva-serve-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("reload scratch dir");
+    let write = |name: &str, json: String| -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, json).expect("write model export");
+        path.to_str().expect("utf8 path").to_string()
+    };
+    let boot_path = write(
+        "boot.json",
+        ctx.detector.network().to_json().expect("boot export"),
+    );
+    let alt_path = write("alt.json", alt.to_json().expect("alt export"));
+
+    let spec = PhaseSpec {
+        name: "reload",
+        clients,
+        max_batch,
+        cache_capacity: 0,
+        shards: 1,
+        faults: FaultPlan::disabled(),
+        sentinel: SentinelConfig::default(),
+        oracle: None,
+    };
+    // Cache off, like the batched phase it is compared against —
+    // otherwise repeats would answer from the cache and the p99 ratio
+    // would measure lookups, not reload interference.
+    let config = ServeConfig {
+        max_batch,
+        cache_capacity: 0,
+        batch_timeout: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(ctx.detector.clone(), config).expect("spawn server");
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Controller: one extra connection swapping models until stopped.
+    let controller = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> u64 {
+            let stream = TcpStream::connect(addr).expect("controller connect");
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut swaps = 0u64;
+            let mut resp = String::new();
+            while !stop.load(Ordering::Relaxed) {
+                let path = if swaps.is_multiple_of(2) {
+                    &alt_path
+                } else {
+                    &boot_path
+                };
+                let line = format!("{{\"cmd\":\"reload\",\"path\":\"{path}\"}}\n");
+                if writer.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+                resp.clear();
+                match reader.read_line(&mut resp) {
+                    Ok(n) if n > 0 && resp.starts_with("{\"reload\"") => swaps += 1,
+                    Ok(n) if n > 0 => panic!("reload rejected under load: {resp}"),
+                    _ => break,
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            swaps
+        })
+    };
+
+    // Same worker pool as run_phase, minus the server spawn: reuse by
+    // driving run_phase's loop inline would tangle ownership, so the
+    // traffic half lives here too, against the already-running server.
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let lines = Arc::clone(lines);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> (u64, u64) {
+                let (mut ok, mut err) = (0u64, 0u64);
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    return (0, 1);
+                };
+                stream.set_nodelay(true).ok();
+                let Ok(mut writer) = stream.try_clone() else {
+                    return (0, 1);
+                };
+                let mut reader = BufReader::new(stream);
+                let mut resp = String::new();
+                let mut i = c * lines.len() / clients.max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    let line = &lines[i % lines.len()];
+                    i += 1;
+                    if writer.write_all(line.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                    {
+                        break;
+                    }
+                    resp.clear();
+                    match reader.read_line(&mut resp) {
+                        Ok(n) if n > 0 && resp.starts_with("{\"score\"") => ok += 1,
+                        Ok(n) if n > 0 => err += 1,
+                        _ => break,
+                    }
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let (mut ok, mut err) = (0u64, 0u64);
+    for w in workers {
+        let (o, e) = w.join().expect("client thread");
+        ok += o;
+        err += e;
+    }
+    let swaps = controller.join().expect("controller thread");
+    let elapsed = start.elapsed().as_secs_f64();
+    let generation = handle.generation();
+    let snap = handle.shutdown();
+    assert_eq!(
+        generation, swaps,
+        "every acked reload advanced the generation"
+    );
+    eprintln!("[serve_load] reload phase swapped the model {swaps} times");
+
+    PhaseResult {
+        name: spec.name,
+        max_batch,
+        cache_capacity: 0,
+        shards: 1,
+        clients,
         seconds: elapsed,
         requests_ok: ok,
         requests_err: err,

@@ -80,6 +80,7 @@ fn main() -> ExitCode {
         "attack" => cmd_attack(&flags),
         "info" => cmd_info(&flags),
         "serve" => cmd_serve(&flags),
+        "reload" => cmd_reload(&flags),
         "blackbox" => cmd_blackbox(&flags),
         "campaign" => cmd_campaign(&flags),
         "obs-report" => cmd_obs_report(&flags),
@@ -112,10 +113,12 @@ usage:
   maleva attack --model detector.json --log sample.log
                 [--theta T] [--gamma G] [--out evaded.log]
   maleva info   --model detector.json
-  maleva serve  --model detector.json [--addr HOST:PORT] [--max-batch N]
-                [--batch-timeout-ms T] [--queue-cap N] [--cache-cap N]
-                [--deadline-ms T] [--shed-depth N] [--faults SPEC]
-                [--sentinel off|throttle|poison] [--sentinel-seed N]
+  maleva serve  --model detector.json [--addr HOST:PORT] [--shards N]
+                [--max-batch N] [--batch-timeout-ms T] [--queue-cap N]
+                [--cache-cap N] [--deadline-ms T] [--shed-depth N]
+                [--faults SPEC] [--sentinel off|throttle|poison]
+                [--sentinel-seed N]
+  maleva reload --remote HOST:PORT --model detector.json
   maleva blackbox [--scale tiny|quick|paper] [--seed N] [--attack-seed N]
                 [--queries BUDGET] [--corpus N] [--rounds N] [--overlap F]
                 [--gamma G] [--eval N] [--report FILE]
@@ -125,10 +128,15 @@ usage:
                 [--sentinel-seed N] [--addr HOST:PORT] [--report FILE]
   maleva obs-report --trace trace.jsonl [--top N] [--out FILE]
 
-serve injects deterministic faults when --faults (or MALEVA_FAULTS) is
-set, e.g. 'seed=7,write_reset=p0.02,batch_panic=@50,delay_ms=2';
+serve runs --shards independent event loops (connections pinned by
+accept round-robin) and injects deterministic faults when --faults (or
+MALEVA_FAULTS) is set, e.g.
+'seed=7,write_reset=p0.02,batch_panic=@50,delay_ms=2';
 score talks to a running serve instance with retries, backoff, and a
-circuit breaker instead of loading a model locally
+circuit breaker instead of loading a model locally; reload hot-swaps
+a running serve instance's model atomically at a batch boundary
+(--model may be a pipeline/network export or a checkpoint directory
+resolvable by the server)
 
 blackbox runs the offline substitute-model attack (Figure 2) under an
 oracle-query budget (0 = unlimited); campaign runs the same attack
@@ -623,6 +631,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .get("addr")
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        shards: parse_usize("shards", defaults.shards)?,
         max_batch: parse_usize("max-batch", defaults.max_batch)?,
         batch_timeout: std::time::Duration::from_millis(parse_usize(
             "batch-timeout-ms",
@@ -654,12 +663,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     let max_batch = config.max_batch;
+    let shards = config.shards.max(1);
     let handle =
         maleva_serve::spawn(detector, config).map_err(|e| format!("cannot start server: {e}"))?;
     println!(
-        "maleva-serve listening on {} (max batch {max_batch}, linalg backend {}); \
-         send {{\"cmd\":\"shutdown\"}} to stop",
+        "maleva-serve listening on {} ({shards} shard{}, max batch {max_batch}, \
+         linalg backend {}); send {{\"cmd\":\"shutdown\"}} to stop",
         handle.addr(),
+        if shards == 1 { "" } else { "s" },
         maleva_linalg::backend::effective_kind()
     );
     let stats = handle.join();
@@ -669,6 +680,24 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.batches,
         stats.mean_batch_size,
         stats.cache_hit_rate * 100.0
+    );
+    Ok(())
+}
+
+/// Hot-swaps a running `maleva serve` instance's model. The --model
+/// path is resolved by the *server*, so it must name a pipeline or
+/// network export (or checkpoint directory) on the server's
+/// filesystem.
+fn cmd_reload(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = required(flags, "remote")?;
+    let path = required(flags, "model")?;
+    let mut client = maleva_client::ScoreClient::connect_to(addr);
+    let info = client
+        .reload(path)
+        .map_err(|e| format!("reload failed: {e}"))?;
+    println!(
+        "reloaded {path}: now serving model generation {} ({} parameters)",
+        info.generation, info.params
     );
     Ok(())
 }

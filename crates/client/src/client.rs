@@ -485,6 +485,23 @@ impl ScoreClient {
         self.roundtrip(&format!("{{\"cmd\":\"{cmd}\"}}"))
     }
 
+    /// Sends `{"cmd":"reload","path":...}` and parses the typed
+    /// acknowledgement. The path is resolved by the *server*, so it
+    /// must name a pipeline/network export or checkpoint directory on
+    /// the server's filesystem. No retries — a reload is an operator
+    /// action, not scoring traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure,
+    /// [`ClientError::Protocol`] on an unparseable body, or
+    /// [`ClientError::Server`] (kind `reload_failed`) when the server
+    /// rejected the artifact and kept its current model.
+    pub fn reload(&mut self, path: &str) -> Result<crate::info::ReloadInfo, ClientError> {
+        let line = self.roundtrip(&encode_reload_request(path))?;
+        crate::info::parse_reload(&line)
+    }
+
     /// Sends `{"cmd":"health"}` and parses the typed report.
     ///
     /// # Errors
@@ -631,7 +648,22 @@ pub fn encode_score_request_as(counts: &[u32], client_id: &str) -> String {
     let mut line = encode_score_request(counts);
     line.pop(); // strip the closing brace
     line.push_str(",\"client_id\":\"");
-    for ch in client_id.chars() {
+    push_json_escaped(&mut line, client_id);
+    line.push_str("\"}");
+    line
+}
+
+/// Encodes a `{"cmd":"reload"}` request for a server-side model path.
+pub fn encode_reload_request(path: &str) -> String {
+    let mut line = String::with_capacity(28 + path.len());
+    line.push_str("{\"cmd\":\"reload\",\"path\":\"");
+    push_json_escaped(&mut line, path);
+    line.push_str("\"}");
+    line
+}
+
+fn push_json_escaped(line: &mut String, value: &str) {
+    for ch in value.chars() {
         match ch {
             '"' => line.push_str("\\\""),
             '\\' => line.push_str("\\\\"),
@@ -639,8 +671,6 @@ pub fn encode_score_request_as(counts: &[u32], client_id: &str) -> String {
             c => line.push(c),
         }
     }
-    line.push_str("\"}");
-    line
 }
 
 /// Appends the wire trace context (`trace_id`/`span_id`) to an
@@ -742,6 +772,18 @@ mod tests {
         assert_eq!(
             encode_score_request_as(&[], "a\nb"),
             "{\"features\":[],\"client_id\":\"a\\u000ab\"}"
+        );
+    }
+
+    #[test]
+    fn encodes_reload_requests_with_escaping() {
+        assert_eq!(
+            encode_reload_request("model.json"),
+            "{\"cmd\":\"reload\",\"path\":\"model.json\"}"
+        );
+        assert_eq!(
+            encode_reload_request("dir\\\"x"),
+            "{\"cmd\":\"reload\",\"path\":\"dir\\\\\\\"x\"}"
         );
     }
 

@@ -28,6 +28,17 @@ pub struct HealthInfo {
     pub overloaded: u64,
     /// Requests answered with `deadline_exceeded`.
     pub deadline_exceeded: u64,
+    /// Generation of the model currently serving (0 = boot model).
+    pub model_generation: u64,
+}
+
+/// Typed body of a `{"cmd":"reload"}` acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ReloadInfo {
+    /// The model generation now serving.
+    pub generation: u64,
+    /// Parameter count of the installed network.
+    pub params: u64,
 }
 
 /// Typed body of a `{"cmd":"stats"}` response (the subset of the
@@ -246,6 +257,21 @@ pub fn parse_health(line: &str) -> Result<HealthInfo, ClientError> {
         deadline_ms: u64_field(&body, "deadline_ms"),
         overloaded: u64_field(&body, "overloaded"),
         deadline_exceeded: u64_field(&body, "deadline_exceeded"),
+        model_generation: u64_field(&body, "model_generation"),
+    })
+}
+
+/// Parses a `{"cmd":"reload"}` acknowledgement line.
+///
+/// # Errors
+///
+/// As [`parse_health`]; a server that refused the reload answers with a
+/// typed `reload_failed` error, surfaced as [`ClientError::Server`].
+pub fn parse_reload(line: &str) -> Result<ReloadInfo, ClientError> {
+    let body = body_under(line, "reload")?;
+    Ok(ReloadInfo {
+        generation: u64_field(&body, "generation"),
+        params: u64_field(&body, "params"),
     })
 }
 
@@ -367,6 +393,25 @@ mod tests {
         assert_eq!(h.deadline_ms, 30_000);
         assert_eq!(h.overloaded, 2);
         assert_eq!(h.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn parses_a_reload_ack_and_reload_errors() {
+        let line = "{\"reload\":{\"generation\":3,\"params\":1234}}";
+        let r = parse_reload(line).unwrap();
+        assert_eq!(r.generation, 3);
+        assert_eq!(r.params, 1234);
+        let line = "{\"error\":{\"kind\":\"reload_failed\",\
+                    \"detail\":\"input dimension mismatch\",\"retryable\":false}}";
+        match parse_reload(line) {
+            Err(ClientError::Server {
+                kind, retryable, ..
+            }) => {
+                assert_eq!(kind, "reload_failed");
+                assert!(!retryable);
+            }
+            other => panic!("expected a server error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,10 +47,12 @@ pub mod info;
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
-    encode_score_request, encode_score_request_as, encode_score_request_traced, ClientConfig,
-    ClientMetrics, ClientMetricsSnapshot, ScoreClient, ScoreOutcome,
+    encode_reload_request, encode_score_request, encode_score_request_as,
+    encode_score_request_traced, ClientConfig, ClientMetrics, ClientMetricsSnapshot, ScoreClient,
+    ScoreOutcome,
 };
 pub use error::ClientError;
 pub use info::{
-    HealthInfo, SentinelClientInfo, SentinelInfo, SloAlarmInfo, SloInfo, SloWindowInfo, StatsInfo,
+    HealthInfo, ReloadInfo, SentinelClientInfo, SentinelInfo, SloAlarmInfo, SloInfo, SloWindowInfo,
+    StatsInfo,
 };

@@ -151,7 +151,14 @@ impl Histogram {
     /// first bucket at which the cumulative count reaches
     /// `q * count`. Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts = self.snapshot_buckets();
+        Self::quantile_of_buckets(&self.snapshot_buckets(), q)
+    }
+
+    /// [`Histogram::quantile`] over an externally held bucket vector —
+    /// e.g. buckets merged across several histograms (the sharded
+    /// server merges per-shard snapshots and reads percentiles off the
+    /// combined distribution).
+    pub fn quantile_of_buckets(counts: &[u64], q: f64) -> u64 {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -173,6 +180,36 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Raises this histogram monotonically toward an externally merged
+    /// target distribution: each bucket (and the sum) is bumped by the
+    /// positive delta between `target_buckets` / `target_sum` and the
+    /// current values, and the count grows by the bucket deltas.
+    ///
+    /// This is the aggregation primitive for merge-on-read metrics: an
+    /// aggregate histogram absorbs per-shard snapshots without ever
+    /// double-counting, provided callers serialize their calls (deltas
+    /// are computed read-then-add). Buckets beyond
+    /// [`HISTOGRAM_BUCKETS`] are ignored; a shrinking target is a no-op
+    /// for the affected buckets (monotonic by construction).
+    pub fn raise_to(&self, target_buckets: &[u64], target_sum: u64) {
+        let mut grew = 0u64;
+        for (bucket, &target) in self.buckets.iter().zip(target_buckets) {
+            let current = bucket.load(Ordering::Relaxed);
+            if target > current {
+                bucket.fetch_add(target - current, Ordering::Relaxed);
+                grew += target - current;
+            }
+        }
+        if grew > 0 {
+            self.count.fetch_add(grew, Ordering::Relaxed);
+        }
+        let current_sum = self.sum.load(Ordering::Relaxed);
+        if target_sum > current_sum {
+            self.sum
+                .fetch_add(target_sum - current_sum, Ordering::Relaxed);
+        }
     }
 }
 
@@ -487,6 +524,40 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_of_buckets_matches_live_histogram() {
+        let h = Histogram::new();
+        for v in [1u64, 8, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.snapshot_buckets();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(Histogram::quantile_of_buckets(&buckets, q), h.quantile(q));
+        }
+        assert_eq!(Histogram::quantile_of_buckets(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn raise_to_is_monotonic_and_idempotent() {
+        let h = Histogram::new();
+        h.record(1);
+        let mut target = h.snapshot_buckets();
+        target[4] = 3; // three samples in [8, 16)
+        h.raise_to(&target, 1 + 3 * 8);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 25);
+        assert_eq!(h.snapshot_buckets()[4], 3);
+        // Re-applying the same target changes nothing.
+        h.raise_to(&target, 25);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 25);
+        // A shrinking target is ignored per bucket.
+        target[4] = 1;
+        h.raise_to(&target, 10);
+        assert_eq!(h.snapshot_buckets()[4], 3);
+        assert_eq!(h.sum(), 25);
     }
 
     #[test]

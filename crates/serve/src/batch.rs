@@ -82,6 +82,9 @@ pub struct ScoredReply {
     pub batch_wait: Duration,
     /// Time spent in the batched forward pass (shared by the batch).
     pub inference: Duration,
+    /// Generation of the model that scored this batch (0 = the boot
+    /// model; see [`crate::reload::ModelSlot`]).
+    pub generation: u64,
 }
 
 /// Scores `rows` (transformed features) in one batched forward pass,

@@ -66,6 +66,12 @@ pub enum ServeError {
     },
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// A `{"cmd": "reload"}` could not install the new model; the
+    /// server keeps serving the current generation untouched.
+    ReloadFailed {
+        /// What went wrong (unreadable artifact, shape mismatch, …).
+        detail: String,
+    },
     /// The scorer failed internally (should not happen for validated
     /// input; surfaced instead of hanging the connection).
     Internal {
@@ -87,6 +93,7 @@ impl ServeError {
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::Throttled { .. } => "throttled",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::ReloadFailed { .. } => "reload_failed",
             ServeError::Internal { .. } => "internal",
         }
     }
@@ -146,6 +153,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ReloadFailed { detail } => write!(f, "model reload failed: {detail}"),
             ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
         }
     }
@@ -180,6 +188,7 @@ mod tests {
             ServeError::DeadlineExceeded { deadline_ms: 100 },
             ServeError::Throttled { retry_after_ms: 25 },
             ServeError::ShuttingDown,
+            ServeError::ReloadFailed { detail: "x".into() },
             ServeError::Internal { detail: "x".into() },
         ];
         let kinds: std::collections::HashSet<&str> = all.iter().map(ServeError::kind).collect();
@@ -202,6 +211,10 @@ mod tests {
         assert!(throttled.is_retryable());
         assert_eq!(throttled.retry_after_ms(), Some(25));
         assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::ReloadFailed {
+            detail: String::new()
+        }
+        .is_retryable());
         assert!(!ServeError::MalformedJson {
             detail: String::new()
         }

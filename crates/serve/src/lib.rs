@@ -7,11 +7,23 @@
 //! `std::net` server speaking newline-delimited JSON
 //! (see [`protocol`]) with the structure production scorers use:
 //!
+//! * **sharded event loops** ([`reactor`]) — `ServeConfig::shards`
+//!   independent poll-based event loops, with connections pinned to a
+//!   shard by accept round-robin; each shard owns its own batch queue,
+//!   LRU cache, sentinel window, and metrics, merged on demand for
+//!   `{"cmd": "stats"}` and the Prometheus exposition so the hot path
+//!   never contends across shards;
 //! * **micro-batching** ([`batch`]) — requests queue into a bounded
 //!   channel; the scorer thread drains up to `max_batch` rows and runs
 //!   one batched forward pass, with batched scores **bit-identical**
 //!   to per-row scoring (batching is a throughput optimization, never
 //!   a semantic change);
+//! * **atomic hot reload** ([`reload`]) — `{"cmd": "reload"}` (or
+//!   `maleva reload`) loads new weights from a pipeline/network export
+//!   or a checkpoint directory, validates them, and `Arc`-swaps the
+//!   model at a batch boundary: in-flight work drains against the old
+//!   generation, later batches use the new one, and every response is
+//!   attributable to exactly one generation;
 //! * **LRU score cache** ([`cache`]) — keyed by the quantized feature
 //!   vector, answering repeats without touching the network;
 //! * **backpressure** — a full queue yields a typed
@@ -54,7 +66,9 @@
 //! handle.join(); // until a client sends {"cmd": "shutdown"}
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the `poll(2)` FFI confined to
+// `reactor::sys`, which opts back in locally with a SAFETY argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -63,8 +77,11 @@ mod error;
 pub mod fault;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
+pub mod reload;
 pub mod sentinel;
 mod server;
+mod shard;
 pub mod slo;
 
 pub use batch::{score_rows, score_rows_isolated, score_rows_sequential, BatchOutcome};
@@ -73,6 +90,7 @@ pub use error::ServeError;
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Metrics, MetricsSnapshot, StageTimes};
 pub use protocol::{parse_request, HealthReport, Request, ScoreResponse, TraceContext};
+pub use reload::{load_model, ModelSlot, ModelVersion};
 pub use sentinel::{Sentinel, SentinelAction, SentinelConfig, SentinelDecision, SentinelReport};
 pub use server::{spawn, ServeConfig, ServerHandle};
 pub use slo::{default_serve_slos, SloAlarmReport, SloReport, SloRuntime, SloWindowReport};

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use maleva_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use maleva_obs::metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
 use serde::Serialize;
 
 /// Shared metrics for one server instance. Each server owns its own
@@ -289,13 +289,76 @@ impl Metrics {
             p99_latency_us: self.latency_us.quantile(0.99),
             latency_buckets_us: self.latency_us.snapshot_buckets(),
             batch_size_buckets: self.batch_size.snapshot_buckets(),
+            latency_sum_us: self.latency_us.sum(),
+            batch_size_sum: self.batch_size.sum(),
+            stage_buckets_us: self
+                .stages_us
+                .iter()
+                .map(|h| h.snapshot_buckets())
+                .collect(),
+            stage_sums_us: self.stages_us.iter().map(|h| h.sum()).collect(),
+        }
+    }
+
+    /// Raises this instance's counters, gauges, and histograms to match
+    /// a merged snapshot. This is how the aggregate registry (backing
+    /// the Prometheus exposition and the SLO runtime) absorbs per-shard
+    /// totals without double-counting: counters and histogram buckets
+    /// only ever grow toward the merged target, gauges are set
+    /// directly. Callers serialize absorb() calls (the server does,
+    /// under its refresh lock).
+    pub fn absorb(&self, merged: &MetricsSnapshot) {
+        fn raise(counter: &Counter, target: u64) {
+            let current = counter.get();
+            if target > current {
+                counter.add(target - current);
+            }
+        }
+        raise(&self.requests, merged.requests);
+        raise(&self.batches, merged.batches);
+        raise(&self.rows_scored, merged.rows_scored);
+        raise(&self.cache_hits, merged.cache_hits);
+        raise(&self.cache_misses, merged.cache_misses);
+        raise(&self.errors, merged.errors);
+        raise(&self.overloaded, merged.overloaded);
+        raise(&self.shed, merged.shed);
+        raise(&self.deadline_exceeded, merged.deadline_exceeded);
+        raise(&self.scorer_panics, merged.scorer_panics);
+        raise(&self.row_failures, merged.row_failures);
+        raise(&self.faults_injected, merged.faults_injected);
+        raise(&self.sentinel_throttled, merged.sentinel_throttled);
+        raise(&self.sentinel_poisoned, merged.sentinel_poisoned);
+        raise(
+            &self.sentinel_near_duplicates,
+            merged.sentinel_near_duplicates,
+        );
+        raise(&self.sentinel_verdict_flips, merged.sentinel_verdict_flips);
+        raise(&self.sentinel_flagged, merged.sentinel_flagged);
+        self.sentinel_tracked_clients
+            .set(merged.sentinel_tracked_clients.min(i64::MAX as u64) as i64);
+        self.queue_depth
+            .set(merged.queue_depth.min(i64::MAX as u64) as i64);
+        self.cache_entries
+            .set(merged.cache_entries.min(i64::MAX as usize) as i64);
+        self.latency_us
+            .raise_to(&merged.latency_buckets_us, merged.latency_sum_us);
+        self.batch_size
+            .raise_to(&merged.batch_size_buckets, merged.batch_size_sum);
+        for (histogram, (buckets, sum)) in self
+            .stages_us
+            .iter()
+            .zip(merged.stage_buckets_us.iter().zip(&merged.stage_sums_us))
+        {
+            histogram.raise_to(buckets, *sum);
         }
     }
 }
 
 /// A point-in-time copy of the server's counters — the body of the
-/// `{"cmd": "stats"}` response and of `BENCH_serve.json` entries.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// `{"cmd": "stats"}` response and of `BENCH_serve.json` entries. Taken
+/// per shard; [`MetricsSnapshot::merge`] combines them into the
+/// server-wide view.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
     /// Score requests received.
     pub requests: u64,
@@ -352,6 +415,84 @@ pub struct MetricsSnapshot {
     pub latency_buckets_us: Vec<u64>,
     /// Power-of-two batch-size buckets, same layout as latencies.
     pub batch_size_buckets: Vec<u64>,
+    /// Sum of all recorded request latencies, µs (for merging).
+    pub latency_sum_us: u64,
+    /// Sum of all recorded batch sizes (for merging).
+    pub batch_size_sum: u64,
+    /// Per-stage latency buckets in pipeline order (six stages, same
+    /// bucket layout as `latency_buckets_us`).
+    pub stage_buckets_us: Vec<Vec<u64>>,
+    /// Per-stage latency sums, µs, aligned with `stage_buckets_us`.
+    pub stage_sums_us: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Merges per-shard snapshots into one server-wide snapshot:
+    /// counters, gauges, sums, and buckets add element-wise; derived
+    /// rates and percentiles are recomputed from the merged totals.
+    /// Because every input is itself one coherent snapshot, the merged
+    /// counters always equal the per-shard sums — the wire's `stats`
+    /// body and its `shards` array can never disagree.
+    pub fn merge(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot {
+            latency_buckets_us: vec![0; HISTOGRAM_BUCKETS],
+            batch_size_buckets: vec![0; HISTOGRAM_BUCKETS],
+            stage_buckets_us: vec![vec![0; HISTOGRAM_BUCKETS]; 6],
+            stage_sums_us: vec![0; 6],
+            ..MetricsSnapshot::default()
+        };
+        fn add_buckets(into: &mut [u64], from: &[u64]) {
+            for (dst, src) in into.iter_mut().zip(from) {
+                *dst += src;
+            }
+        }
+        for s in shards {
+            out.requests += s.requests;
+            out.batches += s.batches;
+            out.rows_scored += s.rows_scored;
+            out.cache_hits += s.cache_hits;
+            out.cache_misses += s.cache_misses;
+            out.cache_entries += s.cache_entries;
+            out.errors += s.errors;
+            out.overloaded += s.overloaded;
+            out.shed += s.shed;
+            out.deadline_exceeded += s.deadline_exceeded;
+            out.scorer_panics += s.scorer_panics;
+            out.row_failures += s.row_failures;
+            out.faults_injected += s.faults_injected;
+            out.sentinel_throttled += s.sentinel_throttled;
+            out.sentinel_poisoned += s.sentinel_poisoned;
+            out.sentinel_near_duplicates += s.sentinel_near_duplicates;
+            out.sentinel_verdict_flips += s.sentinel_verdict_flips;
+            out.sentinel_flagged += s.sentinel_flagged;
+            out.sentinel_tracked_clients += s.sentinel_tracked_clients;
+            out.queue_depth += s.queue_depth;
+            out.latency_sum_us += s.latency_sum_us;
+            out.batch_size_sum += s.batch_size_sum;
+            add_buckets(&mut out.latency_buckets_us, &s.latency_buckets_us);
+            add_buckets(&mut out.batch_size_buckets, &s.batch_size_buckets);
+            for (stage, buckets) in out.stage_buckets_us.iter_mut().zip(&s.stage_buckets_us) {
+                add_buckets(stage, buckets);
+            }
+            for (dst, src) in out.stage_sums_us.iter_mut().zip(&s.stage_sums_us) {
+                *dst += src;
+            }
+        }
+        let lookups = out.cache_hits + out.cache_misses;
+        out.cache_hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            out.cache_hits as f64 / lookups as f64
+        };
+        out.mean_batch_size = if out.batches == 0 {
+            0.0
+        } else {
+            out.rows_scored as f64 / out.batches as f64
+        };
+        out.p50_latency_us = Histogram::quantile_of_buckets(&out.latency_buckets_us, 0.50);
+        out.p99_latency_us = Histogram::quantile_of_buckets(&out.latency_buckets_us, 0.99);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +619,64 @@ mod tests {
             }
             other => panic!("unexpected reading {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_recomputes_derived_values() {
+        let a = Metrics::new();
+        a.requests.add(10);
+        a.cache_hits.add(6);
+        a.cache_misses.add(2);
+        a.batches.add(2);
+        a.rows_scored.add(8);
+        a.record_latency(Duration::from_micros(8));
+        let b = Metrics::new();
+        b.requests.add(5);
+        b.cache_misses.add(2);
+        b.batches.add(1);
+        b.rows_scored.add(4);
+        b.record_latency(Duration::from_micros(1000));
+        let merged = MetricsSnapshot::merge(&[a.snapshot(3), b.snapshot(1)]);
+        assert_eq!(merged.requests, 15);
+        assert_eq!(merged.cache_entries, 4);
+        assert!((merged.cache_hit_rate - 0.6).abs() < 1e-12);
+        assert!((merged.mean_batch_size - 4.0).abs() < 1e-12);
+        assert_eq!(merged.latency_buckets_us.iter().sum::<u64>(), 2);
+        assert_eq!(merged.latency_sum_us, 1008);
+        // Percentiles come off the merged distribution.
+        assert!(merged.p50_latency_us <= 16, "{}", merged.p50_latency_us);
+        assert!(merged.p99_latency_us >= 512, "{}", merged.p99_latency_us);
+        // Merging one snapshot is the identity on the counter sums.
+        let solo = MetricsSnapshot::merge(&[a.snapshot(3)]);
+        assert_eq!(solo.requests, 10);
+        assert_eq!(solo.p50_latency_us, a.snapshot(3).p50_latency_us);
+    }
+
+    #[test]
+    fn absorb_raises_the_aggregate_to_the_merged_totals_idempotently() {
+        let shard = Metrics::new();
+        shard.requests.add(7);
+        shard.errors.add(2);
+        shard.record_latency(Duration::from_micros(100));
+        shard.record_batch_size(4);
+        shard.record_stages(&StageTimes {
+            inference: Duration::from_micros(90),
+            ..StageTimes::default()
+        });
+        let merged = MetricsSnapshot::merge(&[shard.snapshot(2)]);
+        let aggregate = Metrics::new();
+        aggregate.absorb(&merged);
+        aggregate.absorb(&merged); // second absorb must not double-count
+        let view = aggregate.snapshot(merged.cache_entries);
+        assert_eq!(view.requests, 7);
+        assert_eq!(view.errors, 2);
+        assert_eq!(view.latency_buckets_us, merged.latency_buckets_us);
+        assert_eq!(view.latency_sum_us, 100);
+        assert_eq!(view.batch_size_sum, 4);
+        assert_eq!(view.stage_sums_us[4], 90); // inference is stage 4
+        let text = aggregate.render_prometheus(merged.cache_entries);
+        assert!(text.contains("serve_requests_total 7"), "{text}");
+        assert!(text.contains("serve_request_latency_us_count 1"), "{text}");
     }
 
     #[test]

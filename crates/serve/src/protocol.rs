@@ -22,6 +22,9 @@
 //! {"cmd": "health"}                   queue depth, drain state, fault counters
 //! {"cmd": "sentinel"}                 per-client query-pattern state (JSON)
 //! {"cmd": "slo"}                      evaluate SLO burn-rate alarms (JSON)
+//! {"cmd": "reload", "path": "..."}    hot-swap the model from a pipeline or
+//!                                     network JSON export, or a checkpoint
+//!                                     directory; atomic at a batch boundary
 //! {"cmd": "shutdown"}                 graceful drain + stop
 //! ```
 //!
@@ -29,10 +32,16 @@
 //!
 //! ```text
 //! {"score": 0.97, "verdict": "malware", "cached": false, "batch_size": 12}
-//! {"stats": {...}}                    see `MetricsSnapshot`
+//!                                     plus "generation": N after a reload
+//!                                     (omitted while serving the boot model)
+//! {"stats": {...}}                    see `MetricsSnapshot`; merged across
+//!                                     shards, with a "shards" array of the
+//!                                     same per-shard snapshots it was merged
+//!                                     from
 //! {"health": {"status": "ok", "queue_depth": 3, ...}}
 //! {"sentinel": {"enabled": true, "tracked_clients": 2, ...}}
 //! {"slo": {"evaluated_at_ms": 1200, "alarms": [...]}}
+//! {"reload": {"generation": 1, "params": 31000}}
 //! {"ok": "shutting down"}
 //! {"error": {"kind": "overloaded", "detail": "...", "retryable": true,
 //!            "retry_after_ms": 12}}
@@ -106,6 +115,12 @@ pub enum Request {
     Sentinel,
     /// Evaluate the SLO burn-rate alarms and return their state as JSON.
     Slo,
+    /// Hot-swap the model from the artifact at `path`.
+    Reload {
+        /// Filesystem path to a pipeline/network JSON export or a
+        /// checkpoint directory.
+        path: String,
+    },
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -134,6 +149,20 @@ pub fn parse_request(line: &str, dim: usize) -> Result<Request, ServeError> {
             Content::Str(s) if s == "health" => Ok(Request::Health),
             Content::Str(s) if s == "sentinel" => Ok(Request::Sentinel),
             Content::Str(s) if s == "slo" => Ok(Request::Slo),
+            Content::Str(s) if s == "reload" => match entries.iter().find(|(k, _)| k == "path") {
+                Some((_, Content::Str(path))) if !path.is_empty() => {
+                    Ok(Request::Reload { path: path.clone() })
+                }
+                Some((_, other)) => Err(ServeError::UnknownCommand {
+                    command: format!(
+                        "reload path must be a non-empty string ({})",
+                        type_name(other)
+                    ),
+                }),
+                None => Err(ServeError::UnknownCommand {
+                    command: "reload requires a \"path\"".to_string(),
+                }),
+            },
             Content::Str(s) if s == "shutdown" => Ok(Request::Shutdown),
             Content::Str(other) => Err(ServeError::UnknownCommand {
                 command: other.clone(),
@@ -246,7 +275,7 @@ fn type_name(v: &Content) -> &'static str {
 }
 
 /// The score response body.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScoreResponse {
     /// Malware confidence in `[0, 1]`.
     pub score: f64,
@@ -256,17 +285,51 @@ pub struct ScoreResponse {
     pub cached: bool,
     /// Rows in the batch that produced this score; `0` for cache hits.
     pub batch_size: usize,
+    /// Generation of the model that produced the score (0 = boot
+    /// model; omitted on the wire while 0 so pre-reload responses are
+    /// byte-identical to the previous protocol version).
+    pub generation: u64,
 }
 
 impl ScoreResponse {
-    /// Builds a response from a score, deriving the verdict.
+    /// Builds a response from a score, deriving the verdict. The model
+    /// generation defaults to 0 (boot model); see
+    /// [`ScoreResponse::with_generation`].
     pub fn new(score: f64, cached: bool, batch_size: usize) -> Self {
         ScoreResponse {
             score,
             verdict: if score >= 0.5 { "malware" } else { "clean" },
             cached,
             batch_size,
+            generation: 0,
         }
+    }
+
+    /// Stamps the model generation that produced the score.
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+}
+
+impl Serialize for ScoreResponse {
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("score".to_string(), Content::F64(self.score)),
+            (
+                "verdict".to_string(),
+                Content::Str(self.verdict.to_string()),
+            ),
+            ("cached".to_string(), Content::Bool(self.cached)),
+            (
+                "batch_size".to_string(),
+                Content::U64(self.batch_size as u64),
+            ),
+        ];
+        if self.generation > 0 {
+            fields.push(("generation".to_string(), Content::U64(self.generation)));
+        }
+        Content::Map(fields)
     }
 }
 
@@ -283,6 +346,41 @@ pub fn encode_stats(snapshot: &MetricsSnapshot) -> String {
     }
     serde_json::to_string(&Wrapper { stats: snapshot })
         .unwrap_or_else(|_| encode_internal_error("stats encoding"))
+}
+
+/// Encodes a stats response line carrying both the merged snapshot and
+/// the per-shard snapshots it was merged from (appended as a `shards`
+/// array inside the `stats` body). Callers must derive `merged` from
+/// the very same `shards` vector so the wire body is
+/// snapshot-consistent: the merged counters always equal the sums of
+/// the per-shard ones, even when taken mid-drain.
+pub fn encode_stats_with_shards(merged: &MetricsSnapshot, shards: &[MetricsSnapshot]) -> String {
+    struct Raw(Content);
+    impl Serialize for Raw {
+        fn to_content(&self) -> Content {
+            self.0.clone()
+        }
+    }
+    let Content::Map(mut body) = merged.to_content() else {
+        return encode_internal_error("stats encoding");
+    };
+    body.push((
+        "shards".to_string(),
+        Content::Seq(shards.iter().map(Serialize::to_content).collect()),
+    ));
+    #[derive(Serialize)]
+    struct Wrapper {
+        stats: Raw,
+    }
+    serde_json::to_string(&Wrapper {
+        stats: Raw(Content::Map(body)),
+    })
+    .unwrap_or_else(|_| encode_internal_error("stats encoding"))
+}
+
+/// Encodes a reload acknowledgement line.
+pub fn encode_reload_ack(generation: u64, params: usize) -> String {
+    format!("{{\"reload\":{{\"generation\":{generation},\"params\":{params}}}}}")
 }
 
 /// Encodes the shutdown acknowledgement line.
@@ -311,6 +409,8 @@ pub struct HealthReport {
     pub overloaded: u64,
     /// Requests answered with `deadline_exceeded`.
     pub deadline_exceeded: u64,
+    /// Generation of the model currently serving (0 = boot model).
+    pub model_generation: u64,
     /// Per-site injected-fault counters, `(site, fired)` in stable
     /// order; empty when fault injection is disabled.
     pub faults: Vec<(String, u64)>,
@@ -702,13 +802,76 @@ mod tests {
             row_failures: 0,
             overloaded: 2,
             deadline_exceeded: 0,
+            model_generation: 4,
             faults: vec![("batch_panic".to_string(), 1)],
         });
         assert!(line.starts_with("{\"health\":{"), "{line}");
         assert!(line.contains("\"queue_depth\":3"), "{line}");
         assert!(line.contains("\"status\":\"ok\""), "{line}");
         assert!(line.contains("\"scorer_panics\":1"), "{line}");
+        assert!(line.contains("\"model_generation\":4"), "{line}");
         assert!(line.contains("batch_panic"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn parses_and_validates_reload() {
+        assert_eq!(
+            parse_request("{\"cmd\": \"reload\", \"path\": \"/tmp/m.json\"}", 3).unwrap(),
+            Request::Reload {
+                path: "/tmp/m.json".to_string()
+            }
+        );
+        for line in [
+            "{\"cmd\": \"reload\"}",
+            "{\"cmd\": \"reload\", \"path\": \"\"}",
+            "{\"cmd\": \"reload\", \"path\": 7}",
+        ] {
+            assert_eq!(
+                parse_request(line, 3).unwrap_err().kind(),
+                "unknown_command",
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_encoding_carries_generation_only_after_a_reload() {
+        let line = encode_score(&ScoreResponse::new(0.75, false, 4));
+        assert!(line.starts_with("{\"score\":"), "{line}");
+        assert!(!line.contains("generation"), "{line}");
+        let line = encode_score(&ScoreResponse::new(0.75, false, 4).with_generation(2));
+        assert!(line.starts_with("{\"score\":"), "{line}");
+        assert!(line.ends_with(",\"generation\":2}"), "{line}");
+    }
+
+    #[test]
+    fn reload_ack_encodes_generation_and_params() {
+        assert_eq!(
+            encode_reload_ack(3, 31_000),
+            "{\"reload\":{\"generation\":3,\"params\":31000}}"
+        );
+    }
+
+    #[test]
+    fn stats_with_shards_appends_the_per_shard_array() {
+        let merged = MetricsSnapshot::default();
+        let shards = vec![MetricsSnapshot::default(), MetricsSnapshot::default()];
+        let line = encode_stats_with_shards(&merged, &shards);
+        assert!(line.starts_with("{\"stats\":{"), "{line}");
+        assert!(line.contains("\"shards\":[{"), "{line}");
+        // The merged body comes first, shards last, one line.
+        assert!(!line.contains('\n'));
+        let JsonValue(v) = serde_json::from_str(&line).unwrap();
+        let Content::Map(top) = v else {
+            panic!("not an object")
+        };
+        let Some((_, Content::Map(stats))) = top.into_iter().find(|(k, _)| k == "stats") else {
+            panic!("no stats body");
+        };
+        let Some((_, Content::Seq(entries))) = stats.iter().find(|(k, _)| k == "shards") else {
+            panic!("no shards array");
+        };
+        assert_eq!(entries.len(), 2);
     }
 }

@@ -1,42 +1,55 @@
-//! The multi-threaded TCP scoring server.
+//! The sharded TCP scoring server.
 //!
 //! Thread layout:
 //!
-//! * **acceptor** — owns the `TcpListener`, spawns one connection
-//!   thread per client, reaps finished ones, and on shutdown joins them
-//!   all before dropping the master queue sender;
-//! * **connection threads** — read newline-delimited requests (with a
-//!   bounded line length and a short read timeout so shutdown is always
-//!   observed), answer cache hits directly, and push misses into the
-//!   bounded scoring queue ([`ServeError::Overloaded`] when full);
-//! * **scorer** — drains micro-batches from the queue
-//!   ([`crate::batch::collect_batch`]) and runs one batched forward
-//!   pass per batch, then fans replies back out.
+//! * **acceptor** — owns the `TcpListener` and pins each accepted
+//!   connection to a shard by round-robin, handing the socket over a
+//!   channel and poking that shard's [`crate::reactor::Waker`];
+//! * **shard event loops** (`ServeConfig::shards` of them, see
+//!   [`crate::shard`]) — each owns its connections, batch queue, LRU
+//!   cache, sentinel window, and metrics outright, multiplexing
+//!   non-blocking reads over a poll-based readiness layer
+//!   ([`crate::reactor`]); the hot path never takes a lock another
+//!   shard can touch;
+//! * **scorers** (one per shard) — drain micro-batches from their
+//!   shard's queue ([`crate::batch::collect_batch`]) and run one
+//!   batched forward pass per batch against the current
+//!   [`crate::reload::ModelSlot`] generation, then fan replies back
+//!   out and wake the owning shard.
+//!
+//! Cross-shard views (`{"cmd": "stats"}`, the Prometheus exposition,
+//! health, SLO evaluation) are merged on demand: every shard takes one
+//! coherent snapshot, [`MetricsSnapshot::merge`] combines them, and the
+//! aggregate registry absorbs the result — so the merged counters
+//! always equal the per-shard sums, even mid-drain.
 //!
 //! Shutdown (`{"cmd": "shutdown"}` or [`ServerHandle::shutdown`]) is a
-//! drain, not an abort: the acceptor stops accepting, connection
-//! threads finish their current request, and the scorer keeps scoring
-//! until the queue is empty and disconnected, so every enqueued request
-//! still receives its response.
+//! drain, not an abort: the acceptor stops accepting, shards close idle
+//! connections but keep serving in-flight requests, and each scorer
+//! keeps scoring until its queue is empty and disconnected, so every
+//! enqueued request still receives its response.
 
-use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use maleva_core::DetectorPipeline;
+use maleva_obs::metrics::Gauge;
 use maleva_obs::slo::SloSpec;
-use maleva_obs::trace::{self, Span};
+use maleva_obs::trace;
 
-use crate::batch::{collect_batch, score_rows_isolated, ScoreJob, ScoredReply};
-use crate::cache::{quantize, LruCache};
+use crate::batch::ScoreJob;
+use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
-use crate::metrics::{Metrics, MetricsSnapshot, StageTimes};
-use crate::protocol::{self, HealthReport, Request, ScoreResponse, TraceContext};
-use crate::sentinel::{poison_score, Sentinel, SentinelConfig, SentinelDecision, SentinelReport};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::HealthReport;
+use crate::reactor::Poller;
+use crate::reload::{load_model, ModelSlot};
+use crate::sentinel::{Sentinel, SentinelConfig, SentinelReport};
+use crate::shard::{self, ShardState};
 use crate::slo::{default_serve_slos, SloReport, SloRuntime};
 
 /// Server tuning knobs.
@@ -44,15 +57,21 @@ use crate::slo::{default_serve_slos, SloReport, SloRuntime};
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Maximum rows per batched forward pass.
+    /// Independent shard event loops; connections are pinned to a
+    /// shard round-robin at accept. Each shard owns its own queue,
+    /// cache, sentinel window, and metrics. 1 preserves the exact
+    /// single-domain behavior of earlier versions.
+    pub shards: usize,
+    /// Maximum rows per batched forward pass (per shard).
     pub max_batch: usize,
     /// How long the scorer waits for a batch to fill after the first
     /// job arrives.
     pub batch_timeout: Duration,
-    /// Bounded scoring-queue capacity; a full queue yields
+    /// Bounded per-shard scoring-queue capacity; a full queue yields
     /// [`ServeError::Overloaded`] instead of blocking the client.
     pub queue_capacity: usize,
-    /// LRU score-cache capacity in entries; 0 disables the cache.
+    /// Per-shard LRU score-cache capacity in entries; 0 disables the
+    /// cache.
     pub cache_capacity: usize,
     /// Maximum request-line length in bytes.
     pub max_line_bytes: usize,
@@ -60,8 +79,8 @@ pub struct ServeConfig {
     /// budget gets a typed `deadline_exceeded` error instead of a
     /// connection that hangs on a slow or wedged scorer.
     pub request_deadline: Duration,
-    /// Admission-control threshold: when the scoring queue already
-    /// holds at least this many jobs, new misses are shed with
+    /// Admission-control threshold: when a shard's scoring queue
+    /// already holds at least this many jobs, new misses are shed with
     /// `overloaded` (plus a `retry_after_ms` hint) *before* the queue
     /// fills. Defaults to `queue_capacity` (shed only when full).
     pub shed_queue_depth: usize,
@@ -78,6 +97,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
+            shards: 1,
             max_batch: 32,
             batch_timeout: Duration::from_millis(2),
             queue_capacity: 1024,
@@ -106,40 +126,163 @@ pub(crate) fn suggested_retry_after_ms(
     (batches_ahead * per_batch_ms).min(1_000)
 }
 
-/// How often blocked reads wake up to observe the shutdown flag.
-const READ_TICK: Duration = Duration::from_millis(50);
+/// The idle poll tick: how often a shard wakes with no readiness
+/// events to observe the shutdown flag and pending deadlines.
+pub(crate) const READ_TICK: Duration = Duration::from_millis(50);
 
-struct Shared {
-    pipeline: DetectorPipeline,
-    config: ServeConfig,
-    metrics: Metrics,
-    cache: Mutex<LruCache<Vec<i64>, f64>>,
-    sentinel: Mutex<Sentinel>,
-    shutting_down: AtomicBool,
-    addr: SocketAddr,
-    injector: FaultInjector,
-    slo: SloRuntime,
+pub(crate) struct Shared {
+    pub(crate) pipeline: DetectorPipeline,
+    pub(crate) config: ServeConfig,
+    /// The swappable model all shards score against.
+    pub(crate) model: ModelSlot,
+    /// The aggregate registry behind the Prometheus exposition and the
+    /// SLO runtime; refreshed from per-shard snapshots on demand.
+    pub(crate) aggregate: Metrics,
+    pub(crate) model_generation: Arc<Gauge>,
+    /// Serializes refresh() so aggregate absorbs are never interleaved.
+    refresh_lock: Mutex<()>,
+    /// Serializes reloads so load+validate+install is atomic.
+    reload_lock: Mutex<()>,
+    pub(crate) shards: Vec<Arc<ShardState>>,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// One injector shared by every thread so chaos plans see one
+    /// global per-site schedule, exactly as in the unsharded server.
+    pub(crate) injector: FaultInjector,
+    pub(crate) slo: SloRuntime,
 }
 
 impl Shared {
-    /// [`FaultInjector::should_fire`] plus the faults-injected metric.
-    fn fire(&self, site: FaultSite) -> bool {
+    /// [`FaultInjector::should_fire`] plus the faults-injected metric,
+    /// attributed to the shard whose hot path hit the site.
+    pub(crate) fn fire(&self, metrics: &Metrics, site: FaultSite) -> bool {
         let fired = self.injector.should_fire(site);
         if fired {
-            self.metrics.faults_injected.inc();
+            metrics.faults_injected.inc();
         }
         fired
     }
 
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            for shard in &self.shards {
+                shard.waker.wake();
+            }
             // Unblock the acceptor with a throwaway connection.
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         }
     }
 }
 
-/// A running server: its address, metrics access, and shutdown control.
+/// Takes one coherent per-shard snapshot vector, merges it, and raises
+/// the aggregate registry (exposition, SLO inputs) to the merged
+/// totals. Returns `(merged, per_shard)` — both derived from the SAME
+/// snapshots, so a `stats` body and its `shards` array can never
+/// disagree, even taken mid-drain.
+pub(crate) fn refresh(shared: &Shared) -> (MetricsSnapshot, Vec<MetricsSnapshot>) {
+    let _guard = match shared.refresh_lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let per_shard: Vec<MetricsSnapshot> = shared.shards.iter().map(|s| s.snapshot()).collect();
+    let merged = MetricsSnapshot::merge(&per_shard);
+    shared.aggregate.absorb(&merged);
+    shared
+        .model_generation
+        .set(shared.model.generation().min(i64::MAX as u64) as i64);
+    (merged, per_shard)
+}
+
+/// Refreshes the aggregate registry, then evaluates the SLO alarms
+/// against it.
+pub(crate) fn evaluate_slo(shared: &Shared) -> SloReport {
+    let _ = refresh(shared);
+    shared.slo.observe_and_evaluate(shared.aggregate.registry())
+}
+
+/// Loads, validates, and atomically installs the model at `path`.
+/// Serialized under the reload lock; on any error the current
+/// generation keeps serving untouched (no torn swap).
+pub(crate) fn do_reload(shared: &Shared, path: &str) -> Result<(u64, usize), ServeError> {
+    let _guard = match shared.reload_lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let network = load_model(path, &shared.pipeline)?;
+    let params = network.param_count();
+    let generation = shared.model.install(network);
+    shared
+        .model_generation
+        .set(generation.min(i64::MAX as u64) as i64);
+    trace::event(
+        "serve.reload",
+        &[
+            ("generation", generation.into()),
+            ("params", (params as u64).into()),
+        ],
+    );
+    Ok((generation, params))
+}
+
+pub(crate) fn health_report(shared: &Shared) -> HealthReport {
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    let (merged, _) = refresh(shared);
+    HealthReport {
+        status: if draining { "draining" } else { "ok" },
+        draining,
+        queue_depth: merged.queue_depth,
+        shed_depth: shared.config.shed_queue_depth as u64,
+        deadline_ms: shared.config.request_deadline.as_millis() as u64,
+        scorer_panics: merged.scorer_panics,
+        row_failures: merged.row_failures,
+        overloaded: merged.overloaded,
+        deadline_exceeded: merged.deadline_exceeded,
+        model_generation: shared.model.generation(),
+        faults: shared
+            .injector
+            .fired_counts()
+            .into_iter()
+            .map(|(name, fired)| (name.to_string(), fired))
+            .collect(),
+    }
+}
+
+pub(crate) fn sentinel_report(shared: &Shared) -> SentinelReport {
+    let mut reports: Vec<SentinelReport> = shared
+        .shards
+        .iter()
+        .map(|s| match s.sentinel.lock() {
+            Ok(sentinel) => sentinel.report(),
+            Err(poisoned) => poisoned.into_inner().report(),
+        })
+        .collect();
+    if reports.len() == 1 {
+        return reports.pop().expect("one report");
+    }
+    // Clients are pinned to shards by connection, so per-client rows
+    // never split across reports: concatenation plus a stable sort is
+    // an exact merge.
+    let mut merged = SentinelReport {
+        enabled: shared.config.sentinel.enabled,
+        action: reports
+            .first()
+            .map(|r| r.action.clone())
+            .unwrap_or_default(),
+        tracked_clients: 0,
+        flagged_clients: 0,
+        clients: Vec::new(),
+    };
+    for report in reports {
+        merged.tracked_clients += report.tracked_clients;
+        merged.flagged_clients += report.flagged_clients;
+        merged.clients.extend(report.clients);
+    }
+    merged.clients.sort_by(|a, b| a.client_id.cmp(&b.client_id));
+    merged
+}
+
+/// A running server: its address, metrics access, reload and shutdown
+/// control.
 ///
 /// Dropping the handle shuts the server down (best effort, joining all
 /// threads); call [`ServerHandle::join`] to instead block until a
@@ -147,7 +290,8 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    scorer: Option<std::thread::JoinHandle<()>>,
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
+    scorer_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -156,9 +300,9 @@ impl ServerHandle {
         self.shared.addr
     }
 
-    /// A point-in-time metrics snapshot.
+    /// A point-in-time metrics snapshot, merged across shards.
     pub fn metrics(&self) -> MetricsSnapshot {
-        snapshot(&self.shared)
+        refresh(&self.shared).0
     }
 
     /// Per-site injected-fault counters, `(site, fired)` in stable
@@ -180,9 +324,25 @@ impl ServerHandle {
     /// Evaluates the SLO burn-rate alarms now — the same report served
     /// to `{"cmd": "slo"}` clients.
     pub fn slo(&self) -> SloReport {
-        self.shared
-            .slo
-            .observe_and_evaluate(self.shared.metrics.registry())
+        evaluate_slo(&self.shared)
+    }
+
+    /// Hot-swaps the model from the artifact at `path` — the same
+    /// atomic swap `{"cmd": "reload"}` performs. Returns the new
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ReloadFailed`] when the artifact cannot be
+    /// loaded or does not match the serving pipeline; the current
+    /// generation keeps serving.
+    pub fn reload(&self, path: &str) -> Result<u64, ServeError> {
+        do_reload(&self.shared, path).map(|(generation, _)| generation)
+    }
+
+    /// The generation of the model currently serving (0 = boot model).
+    pub fn generation(&self) -> u64 {
+        self.shared.model.generation()
     }
 
     /// Whether a shutdown has been initiated.
@@ -194,21 +354,24 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shared.trigger_shutdown();
         self.join_threads();
-        snapshot(&self.shared)
+        refresh(&self.shared).0
     }
 
     /// Blocks until the server shuts down (e.g. a client sent
     /// `{"cmd": "shutdown"}`), then returns the final metrics.
     pub fn join(mut self) -> MetricsSnapshot {
         self.join_threads();
-        snapshot(&self.shared)
+        refresh(&self.shared).0
     }
 
     fn join_threads(&mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.scorer.take() {
+        for h in self.shard_threads.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.scorer_threads.drain(..) {
             let _ = h.join();
         }
     }
@@ -216,671 +379,136 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || self.scorer.is_some() {
+        if self.acceptor.is_some() || !self.shard_threads.is_empty() {
             self.shared.trigger_shutdown();
             self.join_threads();
         }
     }
 }
 
-fn snapshot(shared: &Shared) -> MetricsSnapshot {
-    let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
-    refresh_sentinel_gauge(shared);
-    shared.metrics.snapshot(entries)
-}
-
-fn refresh_sentinel_gauge(shared: &Shared) {
-    if let Ok(s) = shared.sentinel.lock() {
-        shared
-            .metrics
-            .sentinel_tracked_clients
-            .set(s.tracked_clients().min(i64::MAX as usize) as i64);
-    }
-}
-
-fn sentinel_report(shared: &Shared) -> SentinelReport {
-    shared
-        .sentinel
-        .lock()
-        .map(|s| s.report())
-        .unwrap_or_else(|poisoned| poisoned.into_inner().report())
-}
-
-/// Binds the listener and spawns the acceptor + scorer threads.
+/// Binds the listener and spawns the acceptor plus one event-loop and
+/// one scorer thread per shard.
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the error
+/// from creating a shard's poller or threads.
 pub fn spawn(pipeline: DetectorPipeline, config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let cache_capacity = config.cache_capacity;
+    let shard_count = config.shards.max(1);
     let max_batch = config.max_batch.max(1);
     let batch_timeout = config.batch_timeout;
     let queue_capacity = config.queue_capacity.max(1);
 
     let injector = FaultInjector::new(config.faults.clone());
-    let sentinel = Sentinel::new(config.sentinel.clone());
-    let metrics = Metrics::new();
-    let slo = SloRuntime::new(config.slos.clone(), metrics.registry());
+    let aggregate = Metrics::new();
+    let slo = SloRuntime::new(config.slos.clone(), aggregate.registry());
+    let model_generation = aggregate.registry().gauge(
+        "serve_model_generation",
+        "Generation of the model currently serving (0 = boot model).",
+    );
+    let model = ModelSlot::new(pipeline.network().clone());
+
+    /// The per-shard channel ends handed to that shard's threads.
+    type Plumbing = (
+        Poller,
+        mpsc::Receiver<TcpStream>,
+        mpsc::Receiver<ScoreJob>,
+        mpsc::SyncSender<ScoreJob>,
+    );
+    let mut shards: Vec<Arc<ShardState>> = Vec::with_capacity(shard_count);
+    let mut plumbing: Vec<Plumbing> = Vec::with_capacity(shard_count);
+    for index in 0..shard_count {
+        let (poller, waker) = Poller::new()?;
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (job_tx, job_rx) = mpsc::sync_channel::<ScoreJob>(queue_capacity);
+        shards.push(Arc::new(ShardState {
+            index,
+            metrics: Metrics::new(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            sentinel: Mutex::new(Sentinel::new(config.sentinel.clone())),
+            waker,
+            conn_tx,
+        }));
+        plumbing.push((poller, conn_rx, job_rx, job_tx));
+    }
+
     let shared = Arc::new(Shared {
         pipeline,
         config,
-        metrics,
-        cache: Mutex::new(LruCache::new(cache_capacity)),
-        sentinel: Mutex::new(sentinel),
+        model,
+        aggregate,
+        model_generation,
+        refresh_lock: Mutex::new(()),
+        reload_lock: Mutex::new(()),
+        shards,
         shutting_down: AtomicBool::new(false),
         addr,
         injector,
         slo,
     });
 
-    let (tx, rx) = mpsc::sync_channel::<ScoreJob>(queue_capacity);
-
-    let scorer = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("maleva-serve-scorer".to_string())
-            .spawn(move || scorer_loop(&shared, &rx, max_batch, batch_timeout))?
-    };
+    let mut shard_threads = Vec::with_capacity(shard_count);
+    let mut scorer_threads = Vec::with_capacity(shard_count);
+    for (index, (poller, conn_rx, job_rx, job_tx)) in plumbing.into_iter().enumerate() {
+        let scorer = {
+            let shared = Arc::clone(&shared);
+            let shard = Arc::clone(&shared.shards[index]);
+            std::thread::Builder::new()
+                .name(format!("maleva-serve-scorer-{index}"))
+                .spawn(move || {
+                    shard::scorer_loop(&shared, &shard, &job_rx, max_batch, batch_timeout)
+                })?
+        };
+        scorer_threads.push(scorer);
+        let looper = {
+            let shared = Arc::clone(&shared);
+            let shard = Arc::clone(&shared.shards[index]);
+            std::thread::Builder::new()
+                .name(format!("maleva-serve-shard-{index}"))
+                .spawn(move || shard::shard_loop(&shared, &shard, poller, &conn_rx, job_tx))?
+        };
+        shard_threads.push(looper);
+    }
 
     let acceptor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("maleva-serve-acceptor".to_string())
-            .spawn(move || acceptor_loop(&shared, &listener, tx))?
+            .spawn(move || acceptor_loop(&shared, &listener))?
     };
 
     Ok(ServerHandle {
         shared,
         acceptor: Some(acceptor),
-        scorer: Some(scorer),
+        shard_threads,
+        scorer_threads,
     })
 }
 
-fn scorer_loop(
-    shared: &Shared,
-    rx: &mpsc::Receiver<ScoreJob>,
-    max_batch: usize,
-    batch_timeout: Duration,
-) {
-    while let Some(jobs) = collect_batch(rx, max_batch, batch_timeout) {
-        let mut span = Span::enter("serve.batch");
-        // Batch execution starts here: each job's `batch_wait` stage
-        // ends now, and everything until the scores are back — the
-        // rows copy, any injected slow-inference fault, and the
-        // forward pass itself — is attributed to `inference`.
-        let exec_start = Instant::now();
-        shared.metrics.queue_depth.add(-(jobs.len() as i64));
-        if shared.fire(FaultSite::ScoreDelay) {
-            std::thread::sleep(shared.injector.delay());
-        }
-        let rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features.clone()).collect();
-        span.record("rows", rows.len() as u64);
-        // Tag the batch with every member's wire trace so a request is
-        // followable into the batch that scored it.
-        for job in &jobs {
-            if job.trace_id != 0 {
-                trace::event(
-                    "serve.batch.job",
-                    &[
-                        ("trace_id", job.trace_id.into()),
-                        ("client_span", job.client_span.into()),
-                    ],
-                );
-            }
-        }
-
-        // BatchPanic/RowPanic fire inside the isolated scorer; only this
-        // thread consumes those sites, so the delta is race-free.
-        let scorer_faults = |shared: &Shared| {
-            shared.injector.fired(FaultSite::BatchPanic)
-                + shared.injector.fired(FaultSite::RowPanic)
-        };
-        let faults_before = scorer_faults(shared);
-        let outcome = score_rows_isolated(shared.pipeline.network(), &rows, &shared.injector);
-        let inference = exec_start.elapsed();
-        shared
-            .metrics
-            .faults_injected
-            .add(scorer_faults(shared) - faults_before);
-
-        let n = jobs.len();
-        shared.metrics.batches.inc();
-        shared.metrics.record_batch_size(n as u64);
-        if outcome.batch_failed {
-            shared.metrics.scorer_panics.inc();
-            span.record("batch_failed", true);
-        }
-        shared.metrics.row_failures.add(outcome.row_failures);
-        let ok_rows = outcome.scores.iter().filter(|s| s.is_ok()).count() as u64;
-        shared.metrics.rows_scored.add(ok_rows);
-
-        if let Ok(mut cache) = shared.cache.lock() {
-            for (job, score) in jobs.iter().zip(&outcome.scores) {
-                if let Ok(score) = score {
-                    cache.insert(job.cache_key.clone(), *score);
-                }
-            }
-        }
-        for (job, score) in jobs.into_iter().zip(outcome.scores) {
-            // A send error means the connection died or gave up on its
-            // deadline; successful scores are already cached, so the
-            // work is not wasted either way.
-            let reply = match score {
-                Ok(score) => Ok(ScoredReply {
-                    score,
-                    batch_size: n,
-                    queue_wait: job.received_at.saturating_duration_since(job.enqueued_at),
-                    batch_wait: exec_start.saturating_duration_since(job.received_at),
-                    inference,
-                }),
-                Err(detail) => Err(ServeError::Internal { detail }),
-            };
-            let _ = job.reply.send(reply);
-        }
-    }
-}
-
-fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: SyncSender<ScoreJob>) {
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        if shared.fire(FaultSite::AcceptReset) {
+        let shard = &shared.shards[next];
+        next = (next + 1) % shared.shards.len();
+        if shared.fire(&shard.metrics, FaultSite::AcceptReset) {
             // Close the connection right after accepting it: the client
             // sees an immediate EOF and must reconnect.
             drop(stream);
             continue;
         }
-        workers.retain(|h| !h.is_finished());
-        let shared = Arc::clone(shared);
-        let tx = tx.clone();
-        let spawned = std::thread::Builder::new()
-            .name("maleva-serve-conn".to_string())
-            .spawn(move || {
-                let _ = handle_connection(&shared, stream, &tx);
-            });
-        match spawned {
-            Ok(handle) => workers.push(handle),
-            Err(e) => eprintln!("[maleva-serve] cannot spawn connection thread: {e}"),
-        }
-    }
-    // Drain: wait for every live connection to finish its in-flight
-    // request, then drop the master sender so the scorer can exit.
-    for handle in workers {
-        let _ = handle.join();
-    }
-    drop(tx);
-}
-
-enum LineStatus {
-    /// A complete line is in the buffer (newline stripped by caller).
-    Line,
-    /// The peer closed the connection.
-    Eof,
-    /// Shutdown was observed between requests.
-    Closing,
-    /// The line exceeded the configured limit.
-    TooLong,
-}
-
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    limit: usize,
-    shutting_down: &AtomicBool,
-) -> std::io::Result<LineStatus> {
-    loop {
-        if shutting_down.load(Ordering::SeqCst) {
-            return Ok(LineStatus::Closing);
-        }
-        if buf.len() > limit {
-            return Ok(LineStatus::TooLong);
-        }
-        // Cap each read so an oversized line is detected at `limit + 1`
-        // bytes instead of buffering the whole thing.
-        let budget = (limit + 1 - buf.len()) as u64;
-        match reader.by_ref().take(budget).read_until(b'\n', buf) {
-            Ok(0) => {
-                return Ok(if buf.is_empty() {
-                    LineStatus::Eof
-                } else {
-                    LineStatus::Line
-                });
-            }
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    return Ok(LineStatus::Line);
-                }
-                // No newline yet: either the budget ran out (checked at
-                // the top of the loop) or more bytes are coming.
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn handle_connection(
-    shared: &Arc<Shared>,
-    stream: TcpStream,
-    tx: &SyncSender<ScoreJob>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    // The sentinel's fallback client identity when requests carry no
-    // explicit `client_id`.
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "unknown-peer".to_string());
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    let limit = shared.config.max_line_bytes;
-
-    loop {
-        buf.clear();
-        if shared.fire(FaultSite::SlowRead) {
-            std::thread::sleep(shared.injector.delay());
-        }
-        match read_line_bounded(&mut reader, &mut buf, limit, &shared.shutting_down)? {
-            LineStatus::Eof | LineStatus::Closing => return Ok(()),
-            LineStatus::TooLong => {
-                // Typed error, then close: the stream is out of sync.
-                respond_error(shared, &mut writer, &ServeError::LineTooLong { limit })?;
-                return Ok(());
-            }
-            LineStatus::Line => {}
-        }
-        let line = String::from_utf8_lossy(&buf);
-        if line.trim().is_empty() {
+        if stream.set_nonblocking(true).is_err() {
             continue;
         }
-        let mut span = Span::enter("serve.request");
-        match protocol::parse_request(&line, shared.pipeline.features().dim()) {
-            Err(e) => {
-                span.record("cmd", "invalid");
-                respond_error(shared, &mut writer, &e)?;
-            }
-            Ok(Request::Stats) => {
-                span.record("cmd", "stats");
-                write_line(&mut writer, &protocol::encode_stats(&snapshot(shared)))?;
-            }
-            Ok(Request::Metrics) => {
-                span.record("cmd", "metrics");
-                let entries = shared.cache.lock().map(|c| c.len()).unwrap_or(0);
-                refresh_sentinel_gauge(shared);
-                let text = shared.metrics.render_prometheus(entries);
-                write_metrics_block(&mut writer, &text)?;
-            }
-            Ok(Request::Health) => {
-                span.record("cmd", "health");
-                write_line(
-                    &mut writer,
-                    &protocol::encode_health(&health_report(shared)),
-                )?;
-            }
-            Ok(Request::Sentinel) => {
-                span.record("cmd", "sentinel");
-                refresh_sentinel_gauge(shared);
-                write_line(
-                    &mut writer,
-                    &protocol::encode_sentinel(&sentinel_report(shared)),
-                )?;
-            }
-            Ok(Request::Slo) => {
-                span.record("cmd", "slo");
-                let report = shared.slo.observe_and_evaluate(shared.metrics.registry());
-                write_line(&mut writer, &protocol::encode_slo(&report))?;
-            }
-            Ok(Request::Shutdown) => {
-                span.record("cmd", "shutdown");
-                write_line(&mut writer, &protocol::encode_shutdown_ack())?;
-                shared.trigger_shutdown();
-                return Ok(());
-            }
-            Ok(Request::Score {
-                counts,
-                client_id,
-                trace,
-            }) => {
-                span.record("cmd", "score");
-                if let Some(t) = trace {
-                    span.record("trace_id", t.trace_id);
-                    if t.span_id != 0 {
-                        span.record("client_span", t.span_id);
-                    }
-                }
-                let cid = client_id.as_deref().unwrap_or(peer.as_str());
-                handle_score(shared, &mut writer, tx, &counts, cid, trace, &mut span)?;
-            }
+        stream.set_nodelay(true).ok();
+        // A send error means the shard already drained for shutdown.
+        if shard.conn_tx.send(stream).is_ok() {
+            shard.waker.wake();
         }
     }
-}
-
-/// Writes a multi-line Prometheus exposition block over the otherwise
-/// line-oriented protocol, terminated by a `# EOF` marker line
-/// (OpenMetrics convention) so clients know where the block ends.
-fn write_metrics_block(writer: &mut TcpStream, text: &str) -> std::io::Result<()> {
-    writer.write_all(text.as_bytes())?;
-    if !text.ends_with('\n') {
-        writer.write_all(b"\n")?;
-    }
-    writer.write_all(b"# EOF\n")?;
-    writer.flush()
-}
-
-/// The resolved answer to one score request, carried from the staged
-/// scoring logic ([`score_outcome`]) to the single serialization exit
-/// ([`handle_score`]).
-enum ScoreOutcome {
-    /// A score to send; `faulted` routes the write through
-    /// [`write_line_faulted`] (the historical behavior: only cache
-    /// hits bypass the write-fault sites).
-    Reply { resp: ScoreResponse, faulted: bool },
-    /// A typed error to send (always via the faulted writer).
-    Error(ServeError),
-}
-
-fn handle_score(
-    shared: &Arc<Shared>,
-    writer: &mut TcpStream,
-    tx: &SyncSender<ScoreJob>,
-    counts: &[u32],
-    client_id: &str,
-    trace: Option<TraceContext>,
-    span: &mut Span,
-) -> std::io::Result<()> {
-    shared.metrics.requests.inc();
-    let mut stages = StageTimes::default();
-    let outcome = score_outcome(shared, tx, counts, client_id, trace, span, &mut stages);
-
-    // The single exit: encode + write is the `serialize` stage, after
-    // which the full six-stage decomposition is recorded on the span
-    // and into the `serve_stage_*_us` histograms.
-    let serialize_start = Instant::now();
-    let (line, faulted) = match &outcome {
-        ScoreOutcome::Reply { resp, faulted } => (protocol::encode_score(resp), *faulted),
-        ScoreOutcome::Error(err) => {
-            shared.metrics.errors.inc();
-            (protocol::encode_error(err), true)
-        }
-    };
-    let result = if faulted {
-        write_line_faulted(shared, writer, &line)
-    } else {
-        write_line(writer, &line)
-    };
-    stages.serialize = serialize_start.elapsed();
-    shared.metrics.record_stages(&stages);
-    let [queue_wait, batch_wait, cache_lookup, sentinel_check, inference, serialize] =
-        stages.as_us();
-    span.record("stage_queue_wait_us", queue_wait);
-    span.record("stage_batch_wait_us", batch_wait);
-    span.record("stage_cache_lookup_us", cache_lookup);
-    span.record("stage_sentinel_check_us", sentinel_check);
-    span.record("stage_inference_us", inference);
-    span.record("stage_serialize_us", serialize);
-    result
-}
-
-/// Runs the score pipeline — sentinel, cache, queue, batch reply — and
-/// returns what to send, accumulating per-stage time into `stages`.
-/// Performs no socket io, so [`handle_score`] can time serialization
-/// as one stage.
-fn score_outcome(
-    shared: &Arc<Shared>,
-    tx: &SyncSender<ScoreJob>,
-    counts: &[u32],
-    client_id: &str,
-    trace: Option<TraceContext>,
-    span: &mut Span,
-    stages: &mut StageTimes,
-) -> ScoreOutcome {
-    let start = Instant::now();
-    let features = shared.pipeline.features().transform_counts(counts);
-    let cache_key = quantize(&features);
-
-    // The sentinel rules *before* scoring, from recorded history alone,
-    // so its decisions are a pure function of (seed, client history).
-    let sentinel_on = shared.config.sentinel.enabled;
-    let decision = if sentinel_on {
-        let check = Instant::now();
-        let decision = match shared.sentinel.lock() {
-            Ok(mut s) => s.decide(client_id),
-            Err(_) => SentinelDecision::Allow,
-        };
-        stages.sentinel_check += check.elapsed();
-        decision
-    } else {
-        SentinelDecision::Allow
-    };
-    if let SentinelDecision::Throttle { retry_after_ms } = decision {
-        shared.metrics.sentinel_throttled.inc();
-        span.record("throttled", true);
-        let check = Instant::now();
-        sentinel_record(shared, client_id, cache_key, None);
-        stages.sentinel_check += check.elapsed();
-        return ScoreOutcome::Error(ServeError::Throttled { retry_after_ms });
-    }
-    let poison = matches!(decision, SentinelDecision::Poison);
-
-    let lookup = Instant::now();
-    let cached = shared
-        .cache
-        .lock()
-        .ok()
-        .and_then(|mut cache| cache.get(&cache_key));
-    stages.cache_lookup += lookup.elapsed();
-    if let Some(score) = cached {
-        shared.metrics.cache_hits.inc();
-        shared.metrics.record_latency(start.elapsed());
-        span.record("cached", true);
-        if sentinel_on {
-            // History records the *true* verdict so later flip analysis
-            // is about the model's boundary, not the poison stream.
-            let check = Instant::now();
-            sentinel_record(shared, client_id, cache_key.clone(), Some(score >= 0.5));
-            stages.sentinel_check += check.elapsed();
-        }
-        let served = serve_score(shared, poison, score, &cache_key, span);
-        return ScoreOutcome::Reply {
-            resp: ScoreResponse::new(served, true, 0),
-            faulted: false,
-        };
-    }
-    shared.metrics.cache_misses.inc();
-    span.record("cached", false);
-
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return ScoreOutcome::Error(ServeError::ShuttingDown);
-    }
-
-    let overloaded = |depth: u64| ServeError::Overloaded {
-        capacity: shared.config.queue_capacity,
-        retry_after_ms: suggested_retry_after_ms(
-            depth,
-            shared.config.max_batch,
-            shared.config.batch_timeout,
-        ),
-    };
-
-    // Admission control: shed by observed queue depth *before* pushing,
-    // so a saturated scorer rejects cheaply instead of queueing work it
-    // cannot finish in time.
-    let depth = shared.metrics.queue_depth.get().max(0) as u64;
-    if depth >= shared.config.shed_queue_depth.max(1) as u64 {
-        shared.metrics.shed.inc();
-        shared.metrics.overloaded.inc();
-        span.record("shed", true);
-        return ScoreOutcome::Error(overloaded(depth));
-    }
-
-    let sentinel_key = if sentinel_on {
-        Some(cache_key.clone())
-    } else {
-        None
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let mut job = ScoreJob::new(features, cache_key, reply_tx);
-    if let Some(t) = trace {
-        job.trace_id = t.trace_id;
-        job.client_span = t.span_id;
-    }
-    // Re-stamp right before the push so `queue_wait` starts at enqueue,
-    // not at job construction.
-    let enqueued = Instant::now();
-    job.enqueued_at = enqueued;
-    match tx.try_send(job) {
-        Err(TrySendError::Full(_)) => {
-            shared.metrics.overloaded.inc();
-            span.record("overloaded", true);
-            ScoreOutcome::Error(overloaded(shared.config.queue_capacity as u64))
-        }
-        Err(TrySendError::Disconnected(_)) => ScoreOutcome::Error(ServeError::ShuttingDown),
-        Ok(()) => {
-            shared.metrics.queue_depth.add(1);
-            let deadline = shared.config.request_deadline;
-            match reply_rx.recv_timeout(deadline) {
-                Ok(Ok(reply)) => {
-                    // The enqueue → reply wait decomposes into the
-                    // scorer-measured queue and batch waits; everything
-                    // else (the forward pass, reply fan-out, and the
-                    // wake-up gap) is attributed to inference so the six
-                    // stages always sum to the observed wait.
-                    let waited = enqueued.elapsed();
-                    stages.queue_wait += reply.queue_wait;
-                    stages.batch_wait += reply.batch_wait;
-                    stages.inference += waited.saturating_sub(reply.queue_wait + reply.batch_wait);
-                    shared.metrics.record_latency(start.elapsed());
-                    span.record("batch_size", reply.batch_size as u64);
-                    let served = if let Some(key) = sentinel_key {
-                        let check = Instant::now();
-                        sentinel_record(shared, client_id, key.clone(), Some(reply.score >= 0.5));
-                        stages.sentinel_check += check.elapsed();
-                        serve_score(shared, poison, reply.score, &key, span)
-                    } else {
-                        reply.score
-                    };
-                    ScoreOutcome::Reply {
-                        resp: ScoreResponse::new(served, false, reply.batch_size),
-                        faulted: true,
-                    }
-                }
-                Ok(Err(e)) => ScoreOutcome::Error(e),
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Abandon the reply channel: the scorer's eventual
-                    // send fails harmlessly and the connection stays in
-                    // sync instead of hanging on a wedged scorer.
-                    shared.metrics.deadline_exceeded.inc();
-                    span.record("deadline_exceeded", true);
-                    ScoreOutcome::Error(ServeError::DeadlineExceeded {
-                        deadline_ms: deadline.as_millis() as u64,
-                    })
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    ScoreOutcome::Error(ServeError::Internal {
-                        detail: "scorer dropped the reply".to_string(),
-                    })
-                }
-            }
-        }
-    }
-}
-
-/// Records one query in the sentinel and forwards its observations to
-/// the metrics. No-op when the sentinel is disabled.
-fn sentinel_record(shared: &Shared, client_id: &str, key: Vec<i64>, verdict: Option<bool>) {
-    let obs = match shared.sentinel.lock() {
-        Ok(mut s) => s.record(client_id, key, verdict),
-        Err(_) => return,
-    };
-    if obs.near_duplicate {
-        shared.metrics.sentinel_near_duplicates.inc();
-    }
-    if obs.verdict_flip {
-        shared.metrics.sentinel_verdict_flips.inc();
-    }
-    if obs.newly_flagged {
-        shared.metrics.sentinel_flagged.inc();
-    }
-}
-
-/// The score actually sent to the client: the true score, or — for a
-/// poison-flagged client — a deterministic seed-randomized one.
-fn serve_score(shared: &Shared, poison: bool, score: f64, key: &[i64], span: &mut Span) -> f64 {
-    if !poison {
-        return score;
-    }
-    shared.metrics.sentinel_poisoned.inc();
-    span.record("poisoned", true);
-    poison_score(shared.config.sentinel.seed, key)
-}
-
-fn respond_error(shared: &Shared, writer: &mut TcpStream, err: &ServeError) -> std::io::Result<()> {
-    shared.metrics.errors.inc();
-    write_line_faulted(shared, writer, &protocol::encode_error(err))
-}
-
-fn health_report(shared: &Shared) -> HealthReport {
-    let draining = shared.shutting_down.load(Ordering::SeqCst);
-    let m = &shared.metrics;
-    HealthReport {
-        status: if draining { "draining" } else { "ok" },
-        draining,
-        queue_depth: m.queue_depth.get().max(0) as u64,
-        shed_depth: shared.config.shed_queue_depth as u64,
-        deadline_ms: shared.config.request_deadline.as_millis() as u64,
-        scorer_panics: m.scorer_panics.get(),
-        row_failures: m.row_failures.get(),
-        overloaded: m.overloaded.get(),
-        deadline_exceeded: m.deadline_exceeded.get(),
-        faults: shared
-            .injector
-            .fired_counts()
-            .into_iter()
-            .map(|(name, fired)| (name.to_string(), fired))
-            .collect(),
-    }
-}
-
-/// Writes a response line on the score path, subject to write faults:
-/// [`FaultSite::WriteReset`] drops the connection instead of writing
-/// (the io error unwinds the connection thread), [`FaultSite::SlowWrite`]
-/// splits the line into two flushed chunks with a pause between them.
-fn write_line_faulted(shared: &Shared, writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    if shared.fire(FaultSite::WriteReset) {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionReset,
-            "injected fault: write reset",
-        ));
-    }
-    if shared.fire(FaultSite::SlowWrite) {
-        let bytes = line.as_bytes();
-        let mid = bytes.len() / 2;
-        writer.write_all(&bytes[..mid])?;
-        writer.flush()?;
-        std::thread::sleep(shared.injector.delay());
-        writer.write_all(&bytes[mid..])?;
-        writer.write_all(b"\n")?;
-        return writer.flush();
-    }
-    write_line(writer, line)
-}
-
-fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
 }

@@ -1,0 +1,439 @@
+//! Hot-reload soak and shard-merge consistency tests.
+//!
+//! The contract under test: `{"cmd": "reload"}` swaps the model
+//! atomically at a batch boundary, so under concurrent traffic every
+//! response is bit-identical to exactly one of the candidate models'
+//! offline oracles — no request is ever scored by a half-installed
+//! model — and a failed reload (bad artifact, chaos faults) leaves the
+//! serving generation untouched. Separately, a `{"cmd": "stats"}`
+//! taken mid-traffic on a sharded server must be snapshot-consistent:
+//! the merged counters equal the per-shard sums in the same response.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use maleva_core::{ExperimentContext, ExperimentScale};
+use maleva_nn::{Activation, Network, NetworkBuilder};
+use maleva_serve::{spawn, FaultPlan, ServeConfig, ServerHandle};
+use serde::Content;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ExperimentScale::tiny(), 42).expect("tiny context"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("maleva-reload-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// An alternate network with the same shape contract as the boot model
+/// but different (seed-determined) weights.
+fn alternate_network(seed: u64) -> Network {
+    let dim = ctx().detector.features().dim();
+    NetworkBuilder::new(dim)
+        .layer(8, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(seed)
+        .build()
+        .expect("alternate network")
+}
+
+/// Writes `network` as a JSON export and returns the path.
+fn export(dir: &std::path::Path, name: &str, network: &Network) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, network.to_json().expect("to_json")).expect("write export");
+    path.to_str().expect("utf8 path").to_string()
+}
+
+/// Offline oracle for `counts` under an arbitrary network (through the
+/// serving pipeline's feature transform).
+fn oracle_bits(network: &Network, counts: &[u32]) -> u64 {
+    let features = ctx().detector.features().transform_counts(counts);
+    maleva_serve::score_rows(network, std::slice::from_ref(&features)).expect("oracle forward")[0]
+        .to_bits()
+}
+
+fn render_line(counts: &[u32]) -> String {
+    let entries: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    format!("{{\"features\":[{}]}}", entries.join(","))
+}
+
+struct Wire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Wire {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone stream");
+        Wire {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        resp.trim_end().to_string()
+    }
+}
+
+/// Pulls the `"score"` field bits out of a response line (Rust's f64
+/// `Display` is shortest-roundtrip, so parsing back is bit-exact).
+fn parse_score_bits(line: &str) -> u64 {
+    assert!(
+        line.starts_with("{\"score\":"),
+        "expected a score response, got: {line}"
+    );
+    let rest = &line["{\"score\":".len()..];
+    let end = rest.find(',').expect("fields after score");
+    rest[..end]
+        .parse::<f64>()
+        .expect("score is a float")
+        .to_bits()
+}
+
+/// The `"generation"` field of a score response (0 when omitted, i.e.
+/// the boot model).
+fn parse_generation(line: &str) -> u64 {
+    match line.find("\"generation\":") {
+        None => 0,
+        Some(at) => {
+            let rest = &line[at + "\"generation\":".len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().expect("generation is an integer")
+        }
+    }
+}
+
+struct JsonValue(Content);
+
+impl<'de> serde::Deserialize<'de> for JsonValue {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.content().map(JsonValue)
+    }
+}
+
+fn u64_of(content: &Content) -> u64 {
+    match content {
+        Content::U64(v) => *v,
+        Content::I64(v) => (*v).max(0) as u64,
+        Content::F64(v) => *v as u64,
+        other => panic!("not a number: {other:?}"),
+    }
+}
+
+/// Every response under a reload storm is bit-identical to exactly one
+/// of the candidate models, and its `generation` tag maps to that
+/// model consistently — no request straddles a swap.
+#[test]
+fn reload_soak_every_response_belongs_to_exactly_one_model() {
+    let dir = scratch("soak");
+    let boot = ctx().detector.network().clone();
+    let alt = alternate_network(9001);
+    let boot_path = export(&dir, "boot.json", &boot);
+    let alt_path = export(&dir, "alt.json", &alt);
+
+    let handle = spawn(
+        ctx().detector.clone(),
+        ServeConfig {
+            shards: 2,
+            batch_timeout: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = handle.addr();
+
+    let test = ctx().dataset.test();
+    let pool: Vec<(String, u64, u64)> = (0..12)
+        .map(|i| {
+            let counts = test[i % test.len()].counts();
+            (
+                render_line(counts),
+                oracle_bits(&boot, counts),
+                oracle_bits(&alt, counts),
+            )
+        })
+        .collect();
+
+    // Controller: alternate installing the two models while the
+    // clients are mid-flight. Odd installs serve `alt`, even ones
+    // (and generation 0) serve `boot` weights.
+    let stop = Arc::new(AtomicBool::new(false));
+    let controller = {
+        let stop = Arc::clone(&stop);
+        let mut client = maleva_client::ScoreClient::connect_to(&addr.to_string());
+        std::thread::spawn(move || {
+            let mut flips = 0u64;
+            let mut last_generation = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let path = if flips.is_multiple_of(2) {
+                    &alt_path
+                } else {
+                    &boot_path
+                };
+                let info = client.reload(path).expect("reload");
+                assert_eq!(
+                    info.generation,
+                    last_generation + 1,
+                    "generations are dense and monotonic"
+                );
+                last_generation = info.generation;
+                flips += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            last_generation
+        })
+    };
+
+    let workers: Vec<_> = (0..4)
+        .map(|c| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut wire = Wire::connect(addr);
+                for r in 0..200 {
+                    let (line, boot_bits, alt_bits) = &pool[(c * 5 + r) % pool.len()];
+                    let resp = wire.roundtrip(line);
+                    let got = parse_score_bits(&resp);
+                    let generation = parse_generation(&resp);
+                    // Bit-identical to exactly one candidate…
+                    assert!(
+                        got == *boot_bits || got == *alt_bits,
+                        "client {c} request {r}: score matches neither model: {resp}"
+                    );
+                    // …and the generation tag agrees with the weights:
+                    // odd installs are `alt`, even ones are `boot`.
+                    let expect = if !generation.is_multiple_of(2) {
+                        *alt_bits
+                    } else {
+                        *boot_bits
+                    };
+                    assert_eq!(
+                        got, expect,
+                        "client {c} request {r}: generation {generation} served \
+                         the other model's bits: {resp}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    stop.store(true, Ordering::SeqCst);
+    let installed = controller.join().expect("controller thread");
+    assert!(installed >= 2, "the storm actually swapped models");
+    assert_eq!(handle.generation(), installed);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 4 * 200, "every request counted once");
+}
+
+/// `{"cmd": "stats"}` taken mid-traffic on a 4-shard server is
+/// snapshot-consistent: the merged counters equal the sums of the
+/// `shards` array in the same response — the regression pin for the
+/// mid-drain merge.
+#[test]
+fn stats_merge_is_snapshot_consistent_under_concurrent_traffic() {
+    let handle = spawn(
+        ctx().detector.clone(),
+        ServeConfig {
+            shards: 4,
+            batch_timeout: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = handle.addr();
+
+    let test = ctx().dataset.test();
+    let pool: Vec<String> = (0..16)
+        .map(|i| render_line(test[i % test.len()].counts()))
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..8)
+        .map(|c| {
+            let pool = pool.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut wire = Wire::connect(addr);
+                let mut r = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = wire.roundtrip(&pool[(c * 3 + r) % pool.len()]);
+                    assert!(resp.starts_with("{\"score\":"), "unexpected: {resp}");
+                    r += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut stats_wire = Wire::connect(addr);
+    for probe in 0..25 {
+        let line = stats_wire.roundtrip("{\"cmd\":\"stats\"}");
+        let JsonValue(value) = serde_json::from_str(&line).expect("stats is JSON");
+        let Content::Map(entries) = value else {
+            panic!("stats is not an object: {line}")
+        };
+        let Some((_, Content::Map(body))) = entries.into_iter().find(|(k, _)| k == "stats") else {
+            panic!("no stats body: {line}")
+        };
+        let field = |name: &str| {
+            body.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("stats lacks {name}: {line}"))
+        };
+        let Content::Seq(shards) = field("shards") else {
+            panic!("no shards array: {line}")
+        };
+        assert_eq!(shards.len(), 4, "one entry per shard");
+        for key in [
+            "requests",
+            "errors",
+            "cache_hits",
+            "cache_misses",
+            "batches",
+            "rows_scored",
+        ] {
+            let merged = u64_of(field(key));
+            let sum: u64 = shards
+                .iter()
+                .map(|shard| {
+                    let Content::Map(fields) = shard else {
+                        panic!("shard entry is not an object")
+                    };
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| u64_of(v))
+                        .expect("per-shard counter present")
+                })
+                .sum();
+            assert_eq!(
+                merged, sum,
+                "probe {probe}: merged `{key}` diverges from its per-shard sum: {line}"
+            );
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    drop(handle);
+}
+
+/// A reload that fails — a bad artifact, with chaos faults firing
+/// around it — answers with a typed `reload_failed` error and leaves
+/// the serving generation coherent: scoring continues bit-identical to
+/// the installed model, never a torn swap.
+#[test]
+fn failed_and_chaotic_reloads_never_tear_the_generation() {
+    let dir = scratch("chaos");
+    let boot = ctx().detector.network().clone();
+    let alt = alternate_network(4242);
+    let alt_path = export(&dir, "alt.json", &alt);
+    let wrong = NetworkBuilder::new(ctx().detector.features().dim() + 5)
+        .layer(4, Activation::ReLU)
+        .layer(2, Activation::Identity)
+        .seed(13)
+        .build()
+        .expect("wrong-shaped network");
+    let wrong_path = export(&dir, "wrong.json", &wrong);
+
+    // Aggressive deterministic faults on every site that can interleave
+    // with a reload: slow reads/writes, batch/row panics, score delays.
+    let faults = FaultPlan::parse(
+        "seed=11,slow_read=@5,slow_write=@4,score_delay=@3,batch_panic=@7,row_panic=@6,delay_ms=2",
+    )
+    .expect("fault plan");
+    let handle: ServerHandle = spawn(
+        ctx().detector.clone(),
+        ServeConfig {
+            shards: 2,
+            batch_timeout: Duration::from_millis(1),
+            faults,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = handle.addr();
+
+    let test = ctx().dataset.test();
+    let counts = test[0].counts();
+    let line = render_line(counts);
+    let boot_bits = oracle_bits(&boot, counts);
+    let alt_bits = oracle_bits(&alt, counts);
+
+    let mut wire = Wire::connect(addr);
+    let mut generation = 0u64;
+    let mut tally: HashMap<&str, u32> = HashMap::new();
+    for round in 0u32..60 {
+        // Interleave: bad reload, traffic, good reload, traffic.
+        let (path, should_fail) = if round.is_multiple_of(2) {
+            (&wrong_path, true)
+        } else {
+            (&alt_path, false)
+        };
+        let resp = wire.roundtrip(&format!("{{\"cmd\":\"reload\",\"path\":\"{path}\"}}"));
+        if should_fail {
+            assert!(
+                resp.contains("\"kind\":\"reload_failed\""),
+                "round {round}: expected a typed reload error, got {resp}"
+            );
+            *tally.entry("rejected").or_default() += 1;
+        } else {
+            assert!(
+                resp.starts_with("{\"reload\":{\"generation\":"),
+                "round {round}: expected a reload ack, got {resp}"
+            );
+            generation += 1;
+            *tally.entry("installed").or_default() += 1;
+        }
+        assert_eq!(
+            handle.generation(),
+            generation,
+            "round {round}: a failed reload must not advance the generation"
+        );
+        // Scores keep flowing and stay bit-identical to the installed
+        // model (chaos may inject typed internal errors; those are fine,
+        // a wrong score is not).
+        for _ in 0..3 {
+            let resp = wire.roundtrip(&line);
+            if resp.starts_with("{\"error\":") {
+                *tally.entry("faulted").or_default() += 1;
+                continue;
+            }
+            let want = if generation == 0 { boot_bits } else { alt_bits };
+            assert_eq!(
+                parse_score_bits(&resp),
+                want,
+                "round {round}: score diverged from the installed model: {resp}"
+            );
+        }
+    }
+    assert_eq!(tally["rejected"], 30);
+    assert_eq!(tally["installed"], 30);
+
+    let health = handle.health();
+    assert_eq!(health.model_generation, generation);
+    drop(handle);
+}
